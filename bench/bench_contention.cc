@@ -1,0 +1,237 @@
+// E3 -- the long-transaction problem (paper Sec. 1, 3.2).
+//
+// "The [refresh] transaction may be long-lived, resulting in contention
+//  between the refresh process and concurrent updates to the underlying
+//  tables, and between the refresh operation and concurrent reads of the
+//  materialized view."
+//
+// Concurrent paced updaters + MV readers run for a fixed wall-clock window
+// while the view is maintained by one of:
+//   none       -- no maintenance (updater baseline)
+//   full       -- periodic atomic full recomputation
+//   sync-eq1   -- periodic atomic incremental refresh (Eq. 1, Figure 1)
+//   propagate  -- continuous Figure 5 propagation + apply
+//   rolling    -- continuous Figure 10 rolling propagation + apply
+//
+// Reported: achieved updater txns, updater p50/p99/max latency, total lock
+// wait, deadlocks, reader p99, and the MV's final staleness (stable CSN
+// minus MV CSN).
+
+#include <thread>
+
+#include "bench_util.h"
+#include "harness/mv_reader.h"
+#include "harness/worker.h"
+#include "ivm/snapshot_propagate.h"
+
+namespace rollview {
+namespace bench {
+namespace {
+
+constexpr int kRunMillis = 1500;
+constexpr double kUpdaterRate = 250.0;  // txns/sec per updater
+constexpr int kUpdaters = 3;
+
+struct RowResult {
+  std::string mode;
+  uint64_t updater_txns = 0;
+  uint64_t p50_us = 0, p99_us = 0, max_us = 0;
+  uint64_t lock_wait_ms = 0;
+  uint64_t deadlocks = 0;
+  uint64_t reader_p99_us = 0;
+  uint64_t staleness = 0;
+  uint64_t maint_queries = 0;
+};
+
+RowResult RunMode(const std::string& mode) {
+  Env env;
+  TwoTableWorkload workload = ValueOrDie(
+      TwoTableWorkload::Create(&env.db, /*r_rows=*/30000, /*s_rows=*/8000,
+                               /*join_domain=*/1024, /*seed=*/5),
+      "workload");
+  env.capture.CatchUp();
+  View* view =
+      ValueOrDie(env.views.CreateView("V", workload.ViewDef()), "view");
+  CheckOk(env.views.Materialize(view), "materialize");
+  env.capture.Start();
+  env.db.lock_manager()->ResetStats();
+
+  std::vector<std::unique_ptr<UpdateStream>> streams;
+  std::vector<std::unique_ptr<Worker>> updaters;
+  for (int i = 0; i < kUpdaters; ++i) {
+    streams.push_back(std::make_unique<UpdateStream>(
+        &env.db,
+        i == 0 ? workload.SStream(i + 1, 100 + i)
+               : workload.RStream(i + 1, 100 + i),
+        100 + i));
+    UpdateStream* s = streams.back().get();
+    Worker::Options opts;
+    opts.target_ops_per_sec = kUpdaterRate;
+    updaters.push_back(
+        std::make_unique<Worker>([s] { return s->RunTransaction(); }, opts));
+  }
+
+  MvReader reader(&env.views, view);
+  Worker::Options reader_opts;
+  reader_opts.target_ops_per_sec = 200;
+  Worker read_worker([&reader] { return reader.ReadOnce(); }, reader_opts);
+
+  // Staleness sampler: stable CSN minus MV CSN, every 20 ms.
+  Counter staleness_samples;
+  Counter staleness_sum;
+  Worker staleness_worker(
+      [&]() -> Status {
+        staleness_sum.Add(env.db.stable_csn() - view->mv->csn());
+        staleness_samples.Add();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return Status::OK();
+      },
+      Worker::Options{.name = "staleness"});
+
+  // Maintenance actors.
+  std::unique_ptr<SyncRefresher> refresher;
+  std::unique_ptr<Worker> refresh_worker;
+  std::unique_ptr<Propagator> plain;
+  std::unique_ptr<RollingPropagator> rolling;
+  std::unique_ptr<SnapshotPropagator> snap;
+  std::unique_ptr<Applier> applier;
+  std::unique_ptr<Worker> maintain_worker;
+
+  if (mode == "full" || mode == "sync-eq1") {
+    refresher = std::make_unique<SyncRefresher>(&env.views, view);
+    SyncRefresher* r = refresher.get();
+    bool full = (mode == "full");
+    refresh_worker = std::make_unique<Worker>(
+        [r, full]() -> Status {
+          Status s = full ? r->RefreshFull().status()
+                          : r->RefreshEq1().status();
+          if (!s.ok()) return s;
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+          return Status::OK();
+        },
+        Worker::Options{.name = "refresh"});
+  } else if (mode == "propagate" || mode == "rolling" ||
+             mode == "mvcc-snap") {
+    applier = std::make_unique<Applier>(&env.views, view,
+                                        ApplierOptions{.prune_view_delta = true});
+    if (mode == "propagate") {
+      plain = std::make_unique<Propagator>(
+          &env.views, view, std::make_unique<TargetRowsInterval>(256));
+    } else if (mode == "mvcc-snap") {
+      snap = std::make_unique<SnapshotPropagator>(
+          &env.views, view, std::make_unique<TargetRowsInterval>(256));
+    } else {
+      std::vector<std::unique_ptr<IntervalPolicy>> ps;
+      ps.push_back(std::make_unique<TargetRowsInterval>(256));
+      ps.push_back(std::make_unique<TargetRowsInterval>(64));
+      rolling = std::make_unique<RollingPropagator>(&env.views, view,
+                                                    std::move(ps));
+    }
+    maintain_worker = std::make_unique<Worker>(
+        [&]() -> Status {
+          bool advanced = false;
+          if (plain != nullptr) {
+            Result<bool> r = plain->Step();
+            if (!r.ok()) return r.status();
+            advanced = r.value();
+          } else if (snap != nullptr) {
+            Result<bool> r = snap->Step();
+            if (!r.ok()) return r.status();
+            advanced = r.value();
+          } else {
+            Result<bool> r = rolling->Step();
+            if (!r.ok()) return r.status();
+            advanced = r.value();
+          }
+          Csn hwm = view->high_water_mark();
+          if (hwm > view->mv->csn()) {
+            ROLLVIEW_RETURN_NOT_OK(applier->RollTo(hwm));
+          }
+          if (!advanced) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          return Status::OK();
+        },
+        Worker::Options{.name = "maintain"});
+  }
+
+  for (auto& u : updaters) u->Start();
+  read_worker.Start();
+  staleness_worker.Start();
+  if (refresh_worker) refresh_worker->Start();
+  if (maintain_worker) maintain_worker->Start();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(kRunMillis));
+
+  for (auto& u : updaters) CheckOk(u->Join(), "updater");
+  if (refresh_worker) CheckOk(refresh_worker->Join(), "refresher");
+  if (maintain_worker) CheckOk(maintain_worker->Join(), "maintainer");
+  CheckOk(read_worker.Join(), "reader");
+  CheckOk(staleness_worker.Join(), "staleness");
+  env.capture.Stop();
+
+  RowResult out;
+  out.mode = mode;
+  uint64_t p50 = 0, p99 = 0, max_ns = 0;
+  for (auto& u : updaters) {
+    out.updater_txns += u->iterations();
+    p50 = std::max(p50, u->latency().Percentile(0.50));
+    p99 = std::max(p99, u->latency().Percentile(0.99));
+    max_ns = std::max(max_ns, u->latency().max_nanos());
+  }
+  out.p50_us = p50 / 1000;
+  out.p99_us = p99 / 1000;
+  out.max_us = max_ns / 1000;
+  LockManager::Stats ls = env.db.lock_manager()->GetStats();
+  out.lock_wait_ms = ls.wait_nanos / 1000000;
+  out.deadlocks = ls.deadlocks;
+  out.reader_p99_us = read_worker.latency().Percentile(0.99) / 1000;
+  out.staleness = staleness_samples.value() == 0
+                      ? 0
+                      : staleness_sum.value() / staleness_samples.value();
+  if (refresher) out.maint_queries = refresher->stats().queries;
+  if (plain) out.maint_queries = plain->runner()->stats().queries;
+  if (rolling) out.maint_queries = rolling->runner()->stats().queries;
+  if (snap) out.maint_queries = snap->stats().exec.queries;
+  return out;
+}
+
+}  // namespace
+
+void Main() {
+  Banner("E3: bench_contention",
+         "Updater/reader interference under five maintenance strategies "
+         "(fixed offered load). The paper's long-transaction problem: "
+         "atomic refresh inflates updater tails and lock waits.");
+
+  TablePrinter table({"mode", "upd_txns", "p50_us", "p99_us", "max_ms",
+                      "lockwait_ms", "deadlocks", "rd_p99_us", "avg_stale",
+                      "queries"},
+                     13);
+  table.PrintHeader();
+  for (const std::string mode :
+       {"none", "full", "sync-eq1", "propagate", "rolling", "mvcc-snap"}) {
+    RowResult r = RunMode(mode);
+    table.PrintRow({r.mode, FmtInt(r.updater_txns), FmtInt(r.p50_us),
+                    FmtInt(r.p99_us), Fmt(r.max_us / 1000.0, 1),
+                    FmtInt(r.lock_wait_ms), FmtInt(r.deadlocks),
+                    FmtInt(r.reader_p99_us), FmtInt(r.staleness),
+                    FmtInt(r.maint_queries)});
+  }
+  std::printf(
+      "\nShape: 'full'/'sync-eq1' hold S locks on all base tables per\n"
+      "refresh -> updater max latency ~ refresh duration, lock waits pile\n"
+      "up. Continuous propagate/rolling bound each transaction, keeping\n"
+      "tails near the 'none' baseline while staleness stays low.\n"
+      "'mvcc-snap' is the ablation the paper's engine could not run:\n"
+      "Eq. 2 over time-travel snapshots takes no locks at all -- its\n"
+      "lock-wait column is pure updater-vs-updater noise.\n");
+}
+
+}  // namespace bench
+}  // namespace rollview
+
+int main() {
+  rollview::bench::Main();
+  return 0;
+}

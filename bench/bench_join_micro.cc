@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark) for the propagation-query execution
+// path: index-probe joins vs build-side hash joins vs full-scan baselines,
+// as a function of delta-range size and base-table size. These are the
+// per-query costs the interval policies of E2/E4 trade off.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ra/executor.h"
+
+namespace rollview {
+namespace bench {
+namespace {
+
+// Shared fixture state per base-table size.
+struct JoinFixture {
+  std::unique_ptr<Db> db;
+  TableId r = kInvalidTableId;  // indexed on col 0
+  TableId r_noindex = kInvalidTableId;
+  DeltaRows delta;
+
+  explicit JoinFixture(int64_t base_rows, int64_t delta_rows) {
+    db = std::make_unique<Db>();
+    Schema schema({Column{"a", ValueType::kInt64},
+                   Column{"v", ValueType::kInt64}});
+    TableOptions indexed;
+    indexed.indexed_columns = {0};
+    r = db->CreateTable("R", schema, indexed).value();
+    r_noindex = db->CreateTable("Rn", schema).value();
+    auto txn = db->Begin();
+    Rng rng(7);
+    for (int64_t i = 0; i < base_rows; ++i) {
+      Tuple t{Value(i), Value(rng.Uniform(0, 1000))};
+      CheckOk(db->Insert(txn.get(), r, t), "load");
+      CheckOk(db->Insert(txn.get(), r_noindex, std::move(t)), "load");
+    }
+    CheckOk(db->Commit(txn.get()), "commit");
+    for (int64_t i = 0; i < delta_rows; ++i) {
+      delta.emplace_back(
+          Tuple{Value(rng.Uniform(0, base_rows - 1)), Value(int64_t{1})},
+          +1, static_cast<Csn>(i + 1));
+    }
+  }
+};
+
+JoinFixture* GetFixture(int64_t base_rows, int64_t delta_rows) {
+  // Benchmarks run single-threaded; cache fixtures across iterations.
+  static std::vector<std::tuple<int64_t, int64_t, JoinFixture*>> cache;
+  for (auto& [b, d, f] : cache) {
+    if (b == base_rows && d == delta_rows) return f;
+  }
+  auto* f = new JoinFixture(base_rows, delta_rows);
+  cache.emplace_back(base_rows, delta_rows, f);
+  return f;
+}
+
+void BM_DeltaProbeJoin(benchmark::State& state) {
+  JoinFixture* f = GetFixture(state.range(0), state.range(1));
+  JoinExecutor exec(f->db.get());
+  ExecStats stats;
+  for (auto _ : state) {
+    auto txn = f->db->Begin();
+    JoinQuery q;
+    q.terms = {TermSource::Rows(f->r, &f->delta),
+               TermSource::BaseCurrent(f->r)};
+    q.equi_joins = {EquiJoin{0, 0, 1, 0}};
+    auto rows = exec.Execute(q, txn.get(), &stats);
+    CheckOk(rows.status(), "exec");
+    benchmark::DoNotOptimize(rows.value().size());
+    CheckOk(f->db->Commit(txn.get()), "commit");
+  }
+  state.counters["probes/query"] = static_cast<double>(stats.index_probes) /
+                                   static_cast<double>(stats.queries);
+  state.counters["rows_out/query"] = static_cast<double>(stats.output_rows) /
+                                     static_cast<double>(stats.queries);
+}
+BENCHMARK(BM_DeltaProbeJoin)
+    ->ArgNames({"base", "delta"})
+    ->Args({10000, 10})
+    ->Args({10000, 100})
+    ->Args({10000, 1000})
+    ->Args({100000, 100})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeltaHashJoinNoIndex(benchmark::State& state) {
+  JoinFixture* f = GetFixture(state.range(0), state.range(1));
+  JoinExecutor exec(f->db.get());
+  for (auto _ : state) {
+    auto txn = f->db->Begin();
+    JoinQuery q;
+    q.terms = {TermSource::Rows(f->r_noindex, &f->delta),
+               TermSource::BaseCurrent(f->r_noindex)};
+    q.equi_joins = {EquiJoin{0, 0, 1, 0}};
+    auto rows = exec.Execute(q, txn.get());
+    CheckOk(rows.status(), "exec");
+    benchmark::DoNotOptimize(rows.value().size());
+    CheckOk(f->db->Commit(txn.get()), "commit");
+  }
+}
+BENCHMARK(BM_DeltaHashJoinNoIndex)
+    ->ArgNames({"base", "delta"})
+    ->Args({10000, 10})
+    ->Args({10000, 100})
+    ->Args({10000, 1000})
+    ->Args({100000, 100})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotScan(benchmark::State& state) {
+  JoinFixture* f = GetFixture(state.range(0), 10);
+  Csn stable = f->db->stable_csn();
+  for (auto _ : state) {
+    auto rows = f->db->SnapshotScan(f->r, stable);
+    CheckOk(rows.status(), "scan");
+    benchmark::DoNotOptimize(rows.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotScan)
+    ->ArgNames({"base"})
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NetEffect(benchmark::State& state) {
+  Rng rng(3);
+  DeltaRows rows;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    rows.emplace_back(Tuple{Value(rng.Uniform(0, state.range(0) / 4))},
+                      rng.Bernoulli(0.5) ? +1 : -1,
+                      static_cast<Csn>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NetEffect(rows).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetEffect)->Arg(1000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  LockManager lm;
+  TxnId txn = 1;
+  for (auto _ : state) {
+    CheckOk(lm.Acquire(txn, ResourceId::Row(1, 42), LockMode::kX), "lock");
+    lm.ReleaseAll(txn);
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+}  // namespace
+}  // namespace bench
+}  // namespace rollview
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E5 -- point-in-time refresh and propagate/apply independence (paper
+// Sec. 1, 3.3).
+//
+// "Because the tuples are timestamped, the apply process can, at any time,
+//  use the view delta to roll the materialized view forward to any time
+//  point up to the view delta's high-water mark."
+//
+// One long, fully propagated history. Part A: the cost of rolling the MV
+// scales with the width of the rolled window, not with the total history.
+// Part B: stepwise rolls visit a chain of transaction-consistent
+// intermediate states whose cumulative cost matches one big roll.
+
+#include "bench_util.h"
+
+namespace rollview {
+namespace bench {
+
+void Main() {
+  Banner("E5: bench_point_in_time",
+         "Cost of rolling the MV to a point in time vs window width; "
+         "apply is independent of propagation and of total history length.");
+
+  Env env;
+  TwoTableWorkload workload = ValueOrDie(
+      TwoTableWorkload::Create(&env.db, /*r_rows=*/10000, /*s_rows=*/4000,
+                               /*join_domain=*/512, /*seed=*/13),
+      "workload");
+  env.capture.CatchUp();
+  View* view =
+      ValueOrDie(env.views.CreateView("V", workload.ViewDef()), "view");
+  CheckOk(env.views.Materialize(view), "materialize");
+  Csn t0 = view->propagate_from.load();
+  CountMap initial = view->mv->Contents();
+
+  RunTwoTableHistory(&env, workload, /*txns=*/1200, /*seed=*/14);
+  Csn t_end = env.capture.high_water_mark();
+
+  RollingPropagator prop(&env.views, view, /*uniform_interval=*/64);
+  Stopwatch prop_sw;
+  CheckOk(prop.RunUntil(t_end), "propagate");
+  std::printf("history: %llu commits; propagation: %.1f ms, %zu view-delta "
+              "rows, hwm=%llu\n\n",
+              static_cast<unsigned long long>(t_end - t0),
+              prop_sw.ElapsedMillis(), view->view_delta->size(),
+              static_cast<unsigned long long>(view->high_water_mark()));
+
+  Csn hwm = view->high_water_mark();
+  Csn span = hwm - t0;
+
+  std::printf("Part A: one roll of varying width (MV reset to t0 each time)\n");
+  TablePrinter table({"window_pct", "window_csns", "rows_applied",
+                      "roll_ms", "mv_tuples"});
+  table.PrintHeader();
+  for (int pct : {1, 5, 10, 25, 50, 75, 100}) {
+    view->mv->Replace(initial, t0);
+    Csn target = t0 + span * static_cast<Csn>(pct) / 100;
+    Applier applier(&env.views, view);
+    Stopwatch sw;
+    CheckOk(applier.RollTo(target), "roll");
+    table.PrintRow({FmtInt(static_cast<uint64_t>(pct)),
+                    FmtInt(target - t0),
+                    FmtInt(applier.stats().rows_selected),
+                    Fmt(sw.ElapsedMillis()),
+                    FmtInt(view->mv->cardinality())});
+  }
+
+  std::printf("\nPart B: stepwise rolls through 10 consistent intermediate "
+              "states\n");
+  view->mv->Replace(initial, t0);
+  Applier stepper(&env.views, view);
+  Stopwatch total;
+  for (int step = 1; step <= 10; ++step) {
+    CheckOk(stepper.RollTo(t0 + span * static_cast<Csn>(step) / 10), "roll");
+  }
+  double stepwise_ms = total.ElapsedMillis();
+  view->mv->Replace(initial, t0);
+  Applier one_shot(&env.views, view);
+  Stopwatch one;
+  CheckOk(one_shot.RollTo(hwm), "roll");
+  double one_ms = one.ElapsedMillis();
+  std::printf("10 stepwise rolls: %.2f ms total (%llu rows); one roll: "
+              "%.2f ms (%llu rows)\n",
+              stepwise_ms,
+              static_cast<unsigned long long>(stepper.stats().rows_selected),
+              one_ms,
+              static_cast<unsigned long long>(one_shot.stats().rows_selected));
+  std::printf(
+      "\nShape: roll cost grows with the rolled window's delta volume, not\n"
+      "the total history; stepwise and one-shot apply the same rows. Apply\n"
+      "never touches base tables or delta capture -- full independence.\n");
+}
+
+}  // namespace bench
+}  // namespace rollview
+
+int main() {
+  rollview::bench::Main();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E1 -- propagation-query plan shapes (paper Sec. 3.1-3.2).
+//
+// Claims reproduced:
+//  * Equation 1 computes V_{a,b} with 2^n - 1 queries; Equation 2 with n.
+//  * Asynchronous ComputeDelta replaces each synchronous query with a
+//    forward query plus a recursively compensated subtree; the total query
+//    count is bounded (f(n) = n * (1 + f(n-1))) and in practice far smaller
+//    because empty delta ranges prune whole subtrees.
+//  * All three produce net-equivalent deltas (verified each row).
+
+#include "bench_util.h"
+#include "ivm/compute_delta.h"
+#include "ra/net_effect.h"
+
+namespace rollview {
+namespace bench {
+namespace {
+
+// Builds an n-way chain-join workload: T0(k, j0, v), Ti(j{i-1}, ji, v).
+struct ChainWorkload {
+  std::vector<TableId> tables;
+  SpjViewDef def;
+};
+
+ChainWorkload MakeChain(Env* env, size_t n, int64_t rows_per_table,
+                        int64_t domain, uint64_t seed) {
+  ChainWorkload w;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    Schema schema({Column{"a", ValueType::kInt64},
+                   Column{"b", ValueType::kInt64},
+                   Column{"v", ValueType::kInt64}});
+    TableOptions opts;
+    opts.indexed_columns = {0, 1};
+    TableId id = ValueOrDie(
+        env->db.CreateTable("T" + std::to_string(i), schema, opts), "create");
+    w.tables.push_back(id);
+    auto txn = env->db.Begin();
+    for (int64_t r = 0; r < rows_per_table; ++r) {
+      CheckOk(env->db.Insert(txn.get(), id,
+                             Tuple{Value(rng.Uniform(0, domain - 1)),
+                                   Value(rng.Uniform(0, domain - 1)),
+                                   Value(r)}),
+              "load");
+    }
+    CheckOk(env->db.Commit(txn.get()), "load commit");
+  }
+  std::vector<std::pair<size_t, size_t>> links;
+  for (size_t i = 0; i + 1 < n; ++i) links.push_back({1, 0});  // Ti.b = Ti+1.a
+  w.def = ChainJoin(w.tables, links);
+  return w;
+}
+
+void TouchAllTables(Env* env, const ChainWorkload& w, size_t txns_per_table,
+                    int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  for (TableId id : w.tables) {
+    for (size_t t = 0; t < txns_per_table; ++t) {
+      auto txn = env->db.Begin();
+      CheckOk(env->db.Insert(txn.get(), id,
+                             Tuple{Value(rng.Uniform(0, domain - 1)),
+                                   Value(rng.Uniform(0, domain - 1)),
+                                   Value(int64_t(1000000 + t))}),
+              "update");
+      CheckOk(env->db.Commit(txn.get()), "update commit");
+    }
+  }
+  env->capture.CatchUp();
+}
+
+}  // namespace
+
+void Main() {
+  Banner("E1: bench_query_plans",
+         "Query counts per maintenance method vs join width n "
+         "(Eq.1 = 2^n - 1, Eq.2 = n, async ComputeDelta = forwards + "
+         "pruned compensation subtrees). Deltas cross-checked equivalent.");
+
+  TablePrinter table({"n", "eq1_queries", "eq2_queries", "async_queries",
+                      "async_skipped", "async_depth", "eq1_rows_in",
+                      "eq2_rows_in", "async_rows_in", "equal"});
+  table.PrintHeader();
+
+  for (size_t n = 2; n <= 5; ++n) {
+    Env env;
+    ChainWorkload w = MakeChain(&env, n, /*rows_per_table=*/400,
+                                /*domain=*/40, /*seed=*/n);
+    env.capture.CatchUp();
+    View* view =
+        ValueOrDie(env.views.CreateView("V", w.def), "create view");
+    CheckOk(env.views.Materialize(view), "materialize");
+    Csn a = view->propagate_from.load();
+
+    TouchAllTables(&env, w, /*txns_per_table=*/8, /*domain=*/40,
+                   /*seed=*/77 + n);
+    Csn b = env.capture.high_water_mark();
+
+    ExecStats eq1_stats, eq2_stats;
+    DeltaRows eq1 = ValueOrDie(
+        ComputeDeltaEq1Snapshot(&env.db, view->resolved, a, b, &eq1_stats),
+        "eq1");
+    DeltaRows eq2 = ValueOrDie(
+        ComputeDeltaEq2Snapshot(&env.db, view->resolved, a, b, &eq2_stats),
+        "eq2");
+
+    QueryRunner runner(&env.views, view);
+    ComputeDeltaOp op(&runner);
+    CheckOk(op.PropagateInterval(view, a, b), "async");
+    DeltaRows async_delta = view->view_delta->Scan(CsnRange{a, b});
+
+    bool equal = NetEquivalent(eq1, eq2) && NetEquivalent(eq2, async_delta);
+    table.PrintRow({FmtInt(n), FmtInt(eq1_stats.queries),
+                    FmtInt(eq2_stats.queries),
+                    FmtInt(runner.stats().queries),
+                    FmtInt(op.stats().queries_skipped),
+                    FmtInt(op.stats().max_depth),
+                    FmtInt(eq1_stats.input_rows),
+                    FmtInt(eq2_stats.input_rows),
+                    FmtInt(runner.stats().exec.input_rows),
+                    equal ? "yes" : "NO!"});
+  }
+  std::printf(
+      "\nNote: Eq.2's n queries need pre-update snapshots (here: MVCC time\n"
+      "travel); the paper notes they are otherwise not realizable. Async\n"
+      "ComputeDelta needs no snapshots at all -- that is the contribution.\n");
+}
+
+}  // namespace bench
+}  // namespace rollview
+
+int main() {
+  rollview::bench::Main();
+  return 0;
+}

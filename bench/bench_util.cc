@@ -1,0 +1,71 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+namespace rollview {
+namespace bench {
+
+void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "BENCH FATAL (%s): %s\n", what,
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+
+void RunTwoTableHistory(Env* env, const TwoTableWorkload& workload,
+                        size_t txns, uint64_t seed, size_t s_every) {
+  UpdateStream r_stream(&env->db, workload.RStream(seed % 1000 + 1, seed),
+                        seed);
+  UpdateStream s_stream(&env->db,
+                        workload.SStream(seed % 1000 + 500, seed + 1),
+                        seed + 1);
+  for (size_t i = 0; i < txns; ++i) {
+    CheckOk(r_stream.RunTransaction(), "R update");
+    if (s_every != 0 && i % s_every == 0) {
+      CheckOk(s_stream.RunTransaction(), "S update");
+    }
+  }
+  env->capture.CatchUp();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns, int width)
+    : columns_(std::move(columns)), width_(width) {}
+
+void TablePrinter::PrintHeader() const {
+  for (const std::string& c : columns_) {
+    std::printf("%-*s", width_, c.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (int j = 0; j < width_ - 2; ++j) std::printf("-");
+    std::printf("  ");
+  }
+  std::printf("\n");
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  for (const std::string& c : cells) {
+    std::printf("%-*s", width_, c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+void Banner(const char* experiment_id, const char* claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n%s\n", experiment_id, claim);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace bench
+}  // namespace rollview

@@ -1,0 +1,84 @@
+// Copyright 2026 The rollview Authors.
+//
+// Shared benchmark scaffolding: engine bundles, seeded histories, wall-clock
+// timing, and fixed-width table printing so each bench binary emits a
+// paper-style table (see EXPERIMENTS.md for the experiment index).
+
+#ifndef ROLLVIEW_BENCH_BENCH_UTIL_H_
+#define ROLLVIEW_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capture/log_capture.h"
+#include "ivm/apply.h"
+#include "ivm/baselines.h"
+#include "ivm/propagate.h"
+#include "ivm/rolling.h"
+#include "ivm/view_manager.h"
+#include "workload/schemas.h"
+
+namespace rollview {
+namespace bench {
+
+// Aborts the benchmark on error -- benches assume a working build.
+void CheckOk(const Status& s, const char* what);
+
+template <typename T>
+T ValueOrDie(Result<T> r, const char* what) {
+  CheckOk(r.status(), what);
+  return std::move(r).value();
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMillis() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+               d)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Engine + capture + views bundle.
+struct Env {
+  Env() : capture(&db), views(&db, &capture) {}
+  Db db;
+  LogCapture capture;
+  ViewManager views;
+};
+
+// Runs `txns` update transactions against R (and every `s_every`-th round
+// also against S) of a TwoTableWorkload, then drains capture.
+void RunTwoTableHistory(Env* env, const TwoTableWorkload& workload,
+                        size_t txns, uint64_t seed, size_t s_every = 2);
+
+// Fixed-width table printing.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns, int width = 14);
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+std::string Fmt(double v, int precision = 2);
+std::string FmtInt(uint64_t v);
+
+// Prints the standard experiment banner.
+void Banner(const char* experiment_id, const char* claim);
+
+}  // namespace bench
+}  // namespace rollview
+
+#endif  // ROLLVIEW_BENCH_BENCH_UTIL_H_

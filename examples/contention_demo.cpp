@@ -1,0 +1,116 @@
+// The long-transaction problem, live: refresh a materialized view while
+// updaters hammer the base tables, first with the classic synchronous
+// atomic refresh (Eq. 1 in one big S-locking transaction), then with
+// asynchronous rolling propagation. Compare updater latencies and lock
+// waits. (bench_contention measures this rigorously; this example makes it
+// visible in a few seconds.)
+
+#include <cstdio>
+
+#include "capture/log_capture.h"
+#include "harness/worker.h"
+#include "ivm/apply.h"
+#include "ivm/baselines.h"
+#include "ivm/rolling.h"
+#include "ivm/view_manager.h"
+#include "workload/schemas.h"
+
+using namespace rollview;
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    ::rollview::Status s_ = (expr);                               \
+    if (!s_.ok()) {                                               \
+      std::fprintf(stderr, "FATAL: %s\n", s_.ToString().c_str()); \
+      return 1;                                                   \
+    }                                                             \
+  } while (false)
+
+namespace {
+
+struct Run {
+  uint64_t updater_txns = 0;
+  uint64_t p99_micros = 0;
+  uint64_t max_micros = 0;
+  uint64_t lock_wait_millis = 0;
+};
+
+}  // namespace
+
+int main() {
+  for (const char* mode : {"sync-eq1", "rolling"}) {
+    Db db;
+    LogCapture capture(&db);
+    ViewManager views(&db, &capture);
+    auto workload =
+        TwoTableWorkload::Create(&db, /*r_rows=*/20000, /*s_rows=*/5000,
+                                 /*join_domain=*/64, /*seed=*/1)
+            .value();
+    capture.CatchUp();
+    View* view = views.CreateView("V", workload.ViewDef()).value();
+    CHECK_OK(views.Materialize(view));
+    capture.Start();
+    db.lock_manager()->ResetStats();
+
+    // Two updaters at a fixed offered load.
+    UpdateStream u1(&db, workload.RStream(1, 11), 11);
+    UpdateStream u2(&db, workload.SStream(2, 12), 12);
+    Worker::Options paced;
+    paced.target_ops_per_sec = 300;
+    Worker w1([&] { return u1.RunTransaction(); }, paced);
+    Worker w2([&] { return u2.RunTransaction(); }, paced);
+    w1.Start();
+    w2.Start();
+
+    // Let updates accumulate, then maintain the view while they continue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    if (std::string(mode) == "sync-eq1") {
+      SyncRefresher refresher(&views, view);
+      for (int i = 0; i < 3; ++i) {
+        CHECK_OK(refresher.RefreshEq1().status());
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      }
+    } else {
+      RollingPropagator prop(&views, view, /*uniform_interval=*/200);
+      Applier applier(&views, view);
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(1200);
+      while (std::chrono::steady_clock::now() < deadline) {
+        Result<bool> r = prop.Step();
+        CHECK_OK(r.status());
+        if (view->high_water_mark() > view->mv->csn()) {
+          CHECK_OK(applier.RollTo(view->high_water_mark()));
+        }
+        if (!r.value()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    }
+
+    CHECK_OK(w1.Join());
+    CHECK_OK(w2.Join());
+    capture.Stop();
+
+    Run run;
+    run.updater_txns = u1.stats().txns + u2.stats().txns;
+    run.p99_micros =
+        std::max(w1.latency().Percentile(0.99), w2.latency().Percentile(0.99)) /
+        1000;
+    run.max_micros =
+        std::max(w1.latency().max_nanos(), w2.latency().max_nanos()) / 1000;
+    run.lock_wait_millis = db.lock_manager()->GetStats().wait_nanos / 1000000;
+
+    std::printf(
+        "%-9s  updater_txns=%6llu  updater_p99=%7llu us  max=%8llu us  "
+        "total_lock_wait=%llu ms\n",
+        mode, static_cast<unsigned long long>(run.updater_txns),
+        static_cast<unsigned long long>(run.p99_micros),
+        static_cast<unsigned long long>(run.max_micros),
+        static_cast<unsigned long long>(run.lock_wait_millis));
+  }
+  std::printf(
+      "\nThe synchronous refresh S-locks both base tables for the whole\n"
+      "refresh, so updater tail latency tracks the refresh duration;\n"
+      "rolling propagation's small transactions keep the tail flat.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Crash recovery: persist the WAL, "crash" with a transaction in flight,
+// rebuild the engine by log replay, and carry on with full view
+// maintenance -- delta tables, the unit-of-work table, and the view itself
+// are all reconstructed from the log (the view delta is derived data).
+
+#include <cstdio>
+
+#include "capture/log_capture.h"
+#include "ivm/maintenance.h"
+#include "ivm/view_manager.h"
+#include "storage/wal_codec.h"
+#include "workload/schemas.h"
+
+using namespace rollview;
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    ::rollview::Status s_ = (expr);                               \
+    if (!s_.ok()) {                                               \
+      std::fprintf(stderr, "FATAL: %s\n", s_.ToString().c_str()); \
+      return 1;                                                   \
+    }                                                             \
+  } while (false)
+
+int main() {
+  const std::string wal_path = "/tmp/rollview_example.wal";
+
+  // ---- Life before the crash -------------------------------------------
+  Csn crash_point = 0;
+  {
+    Db db;
+    CaptureOptions copts;
+    copts.truncate_wal = false;  // keep the log: it IS the durable state
+    LogCapture capture(&db, copts);
+    auto workload =
+        TwoTableWorkload::Create(&db, 100, 60, 8, 2026).value();
+    capture.CatchUp();
+
+    UpdateStream updates(&db, workload.RStream(1, 5), 5);
+    CHECK_OK(updates.RunTransactions(25));
+    crash_point = db.stable_csn();
+
+    // A transaction is mid-flight when the machine dies...
+    auto doomed = db.Begin();
+    CHECK_OK(db.Insert(doomed.get(), workload.r,
+                       {Value(int64_t{666}), Value(int64_t{0}),
+                        Value(int64_t{0})}));
+    // (never committed)
+
+    std::vector<WalRecord> wal;
+    db.wal()->ReadFrom(0, 1u << 24, &wal);
+    CHECK_OK(WriteWalFile(wal_path, wal));
+    std::printf("persisted %zu WAL records at stable csn %llu "
+                "(one txn in flight)\n",
+                wal.size(), static_cast<unsigned long long>(crash_point));
+    CHECK_OK(db.Abort(doomed.get()));
+  }  // <- crash: the first engine is gone
+
+  // ---- Recovery ---------------------------------------------------------
+  auto records = ReadWalFile(wal_path).value();
+  auto recovered = Db::Recover(records).value();
+  std::printf("recovered engine at stable csn %llu (in-flight txn "
+              "discarded: %s)\n",
+              static_cast<unsigned long long>(recovered->stable_csn()),
+              recovered->stable_csn() == crash_point ? "yes" : "NO");
+
+  // Capture re-reads the replayed log; views are derived data, rebuilt by
+  // materializing and propagating as usual.
+  LogCapture capture(recovered.get());
+  capture.Start();
+  ViewManager views(recovered.get(), &capture);
+  TableId r = recovered->FindTable("R").value();
+  TableId s = recovered->FindTable("S").value();
+  View* view = views.CreateView("V", ChainJoin({r, s}, {{1, 1}})).value();
+  CHECK_OK(views.Materialize(view));
+
+  TwoTableWorkload workload;  // reattach the generator to the new engine
+  workload.r = r;
+  workload.s = s;
+  workload.join_domain = 8;
+  UpdateStream more(recovered.get(), workload.RStream(2, 6), 6);
+  CHECK_OK(more.RunTransactions(15));
+
+  MaintenanceService service(&views, view);
+  service.Start();
+  CHECK_OK(service.Drain(recovered->stable_csn()));
+  CHECK_OK(service.Stop());
+  capture.Stop();
+
+  std::printf("view maintained across the crash: %zu tuples at csn %llu "
+              "(%llu propagation queries)\n",
+              view->mv->cardinality(),
+              static_cast<unsigned long long>(view->mv->csn()),
+              static_cast<unsigned long long>(
+                  service.runner_stats()->queries));
+  std::remove(wal_path.c_str());
+  return 0;
+}

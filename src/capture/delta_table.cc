@@ -1,0 +1,110 @@
+#include "capture/delta_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+namespace rollview {
+
+void DeltaTable::Append(DeltaRow row) {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  if (ts_sorted_) {
+    assert(row.ts >= max_ts_ && "ts_sorted delta table appended out of order");
+  }
+  if (row.ts > max_ts_) max_ts_ = row.ts;
+  rows_.push_back(std::move(row));
+}
+
+void DeltaTable::AppendBatch(std::vector<DeltaRow> rows) {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  for (DeltaRow& row : rows) {
+    if (ts_sorted_) {
+      assert(row.ts >= max_ts_ &&
+             "ts_sorted delta table appended out of order");
+    }
+    if (row.ts > max_ts_) max_ts_ = row.ts;
+    rows_.push_back(std::move(row));
+  }
+}
+
+size_t DeltaTable::LowerBound(Csn bound) const {
+  // First index with ts > bound.
+  auto it = std::upper_bound(
+      rows_.begin(), rows_.end(), bound,
+      [](Csn b, const DeltaRow& r) { return b < r.ts; });
+  return static_cast<size_t>(it - rows_.begin());
+}
+
+DeltaRows DeltaTable::Scan(const CsnRange& range) const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  DeltaRows out;
+  if (range.empty()) return out;
+  if (ts_sorted_) {
+    size_t begin = LowerBound(range.lo);
+    size_t end = LowerBound(range.hi);
+    out.assign(rows_.begin() + static_cast<ptrdiff_t>(begin),
+               rows_.begin() + static_cast<ptrdiff_t>(end));
+  } else {
+    for (const DeltaRow& r : rows_) {
+      if (range.Contains(r.ts)) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+DeltaRows DeltaTable::ScanAll() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return rows_;
+}
+
+size_t DeltaTable::CountInRange(const CsnRange& range) const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  if (range.empty()) return 0;
+  if (ts_sorted_) {
+    return LowerBound(range.hi) - LowerBound(range.lo);
+  }
+  size_t n = 0;
+  for (const DeltaRow& r : rows_) {
+    if (range.Contains(r.ts)) ++n;
+  }
+  return n;
+}
+
+Csn DeltaTable::TsAfterRows(Csn from, size_t rows, Csn cap) const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  assert(ts_sorted_);
+  if (rows == 0) return from >= cap ? cap : from;
+  size_t begin = LowerBound(from);
+  size_t target = begin + rows - 1;
+  if (target >= rows_.size()) return cap;
+  Csn ts = rows_[target].ts;
+  return ts > cap ? cap : ts;
+}
+
+size_t DeltaTable::size() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return rows_.size();
+}
+
+Csn DeltaTable::max_ts() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return max_ts_;
+}
+
+size_t DeltaTable::Prune(Csn up_to) {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  size_t before = rows_.size();
+  if (ts_sorted_) {
+    size_t keep_from = LowerBound(up_to);
+    rows_.erase(rows_.begin(), rows_.begin() + static_cast<ptrdiff_t>(keep_from));
+  } else {
+    rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                               [up_to](const DeltaRow& r) {
+                                 return r.ts <= up_to;
+                               }),
+                rows_.end());
+  }
+  return before - rows_.size();
+}
+
+}  // namespace rollview

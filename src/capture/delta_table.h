@@ -1,0 +1,85 @@
+// Copyright 2026 The rollview Authors.
+//
+// DeltaTable: the materialized change stream for one base table (Delta^R in
+// the paper) or for a view (the view delta). Rows carry the base schema plus
+// the implicit (count, timestamp) attributes of DeltaRow.
+//
+// Two flavors, selected at construction:
+//  * ts_sorted = true  -- base-table deltas. Rows are appended in commit
+//    order (the capture process and the trigger-mode commit path both append
+//    under the commit mutex), so sigma_{a,b} range scans are binary searches.
+//  * ts_sorted = false -- view deltas. The min-timestamp rule (Sec. 2) means
+//    propagation inserts rows whose timestamps are *older* than previously
+//    inserted ones, so the view delta is not time-ordered; scans filter.
+//
+// Thread safety: a shared_mutex guards the row vector. In log-capture mode
+// the capture thread is the only appender for base deltas and propagation
+// transactions are the only appenders for view deltas; readers take the
+// shared latch. Logical 2PL locking of delta tables (trigger mode only) is
+// the Db layer's responsibility.
+
+#ifndef ROLLVIEW_CAPTURE_DELTA_TABLE_H_
+#define ROLLVIEW_CAPTURE_DELTA_TABLE_H_
+
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/csn.h"
+#include "schema/schema.h"
+#include "schema/tuple.h"
+#include "storage/ids.h"
+
+namespace rollview {
+
+class DeltaTable {
+ public:
+  DeltaTable(std::string name, Schema schema, bool ts_sorted)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        ts_sorted_(ts_sorted) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  bool ts_sorted() const { return ts_sorted_; }
+
+  // Appends one row. In ts_sorted mode the row's ts must be >= max_ts().
+  void Append(DeltaRow row);
+  void AppendBatch(std::vector<DeltaRow> rows);
+
+  // sigma_{lo,hi}: rows with lo < ts <= hi.
+  DeltaRows Scan(const CsnRange& range) const;
+  DeltaRows ScanAll() const;
+  // Number of rows a Scan(range) would return, without materializing.
+  size_t CountInRange(const CsnRange& range) const;
+
+  // Adaptive-interval helper (ts_sorted only): the smallest ts T <= cap such
+  // that (from, T] contains at least `rows` rows -- i.e. the end of a
+  // propagation interval sized to roughly `rows` delta rows. Returns `cap`
+  // when fewer than `rows` rows exist in (from, cap].
+  Csn TsAfterRows(Csn from, size_t rows, Csn cap) const;
+
+  size_t size() const;
+  Csn max_ts() const;
+
+  // Drops rows with ts <= up_to (e.g. base-delta pruning below the view's
+  // materialization time, or view-delta pruning below the applied time).
+  // Returns the number of rows dropped.
+  size_t Prune(Csn up_to);
+
+ private:
+  // Index of the first row with ts > bound (requires ts_sorted_, latch held).
+  size_t LowerBound(Csn bound) const;
+
+  std::string name_;
+  Schema schema_;
+  bool ts_sorted_;
+
+  mutable std::shared_mutex latch_;
+  std::vector<DeltaRow> rows_;
+  Csn max_ts_ = kNullCsn;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_CAPTURE_DELTA_TABLE_H_

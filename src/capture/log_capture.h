@@ -1,0 +1,107 @@
+// Copyright 2026 The rollview Authors.
+//
+// LogCapture: the paper's DPropR analogue (Sec. 5). It tails the engine's
+// write-ahead log, buffers each transaction's changes until its commit
+// record appears, and then -- atomically with respect to readers of the
+// delta tables -- appends timestamped delta rows to Delta^R for every
+// log-capture-mode base table the transaction touched, and records the
+// transaction in the unit-of-work table.
+//
+// Because commit records enter the WAL in commit-sequence order, capture
+// processes commits in CSN order and its high-water mark (the largest CSN
+// for which all delta rows are in place) advances monotonically. The
+// propagation algorithms never read a delta range beyond this mark.
+//
+// Capture can run as a background thread (Start/Stop) or be stepped
+// manually with Poll() for deterministic tests.
+
+#ifndef ROLLVIEW_CAPTURE_LOG_CAPTURE_H_
+#define ROLLVIEW_CAPTURE_LOG_CAPTURE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/db.h"
+
+namespace rollview {
+
+struct CaptureOptions {
+  // WAL records consumed per Poll (throughput throttle).
+  size_t batch_size = 4096;
+  // Background thread poll period; larger values simulate capture lag.
+  std::chrono::milliseconds poll_period{1};
+  // Truncate consumed WAL prefixes to bound memory.
+  bool truncate_wal = true;
+};
+
+class LogCapture {
+ public:
+  explicit LogCapture(Db* db, CaptureOptions options = CaptureOptions{});
+  ~LogCapture();
+
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  // Processes up to batch_size available WAL records; returns the number
+  // processed. Safe to call concurrently with Start (internally serialized).
+  size_t Poll();
+
+  // Drains the WAL completely (repeated Poll until empty).
+  void CatchUp();
+
+  void Start();
+  void Stop();
+
+  // Largest CSN all of whose delta rows have been published.
+  Csn high_water_mark() const {
+    return hwm_.load(std::memory_order_acquire);
+  }
+
+  // Blocks until high_water_mark() >= csn. If the background thread is not
+  // running, polls inline. Returns Busy on timeout.
+  Status WaitForCsn(Csn csn, std::chrono::milliseconds timeout =
+                                  std::chrono::milliseconds(10000));
+
+  struct Stats {
+    uint64_t records_processed = 0;
+    uint64_t txns_captured = 0;   // committed txns with captured changes
+    uint64_t rows_published = 0;  // delta rows appended
+  };
+  Stats GetStats() const;
+
+ private:
+  struct PendingChange {
+    TableId table;
+    Tuple tuple;
+    int64_t count;  // +1 insert, -1 delete
+  };
+
+  void ThreadMain();
+
+  Db* db_;
+  CaptureOptions options_;
+
+  std::mutex poll_mu_;  // serializes Poll bodies
+  Lsn cursor_ = 0;      // next WAL LSN to read (guarded by poll_mu_)
+  std::unordered_map<TxnId, std::vector<PendingChange>> pending_;
+
+  std::atomic<Csn> hwm_{0};
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::condition_variable stop_cv_;
+  std::mutex stop_mu_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_CAPTURE_LOG_CAPTURE_H_

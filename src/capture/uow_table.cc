@@ -1,0 +1,51 @@
+#include "capture/uow_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rollview {
+
+void UowTable::Record(TxnId txn, Csn csn, WallTime commit_time) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = by_txn_.try_emplace(txn, csn);
+  if (!inserted) {
+    assert(it->second == csn && "transaction recorded with two CSNs");
+    return;
+  }
+  entries_.emplace(csn, Entry{txn, csn, commit_time});
+}
+
+std::optional<UowTable::Entry> UowTable::LookupTxn(TxnId txn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return std::nullopt;
+  auto eit = entries_.find(it->second);
+  if (eit == entries_.end()) return std::nullopt;
+  return eit->second;
+}
+
+std::optional<UowTable::Entry> UowTable::LookupCsn(Csn csn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(csn);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+Csn UowTable::CsnAtOrBefore(WallTime t) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Commit times are non-decreasing in CSN order (both recording paths
+  // stamp the time under the commit mutex), so scan from the largest CSN
+  // down to the first entry at or before t. Typical queries target the
+  // recent past, so this walk is short.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->second.commit_time <= t) return it->first;
+  }
+  return kNullCsn;
+}
+
+size_t UowTable::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace rollview

@@ -1,0 +1,61 @@
+// Copyright 2026 The rollview Authors.
+//
+// Unit-of-work (UOW) table, after the paper's Sec. 5: maps each relevant
+// transaction id to its commit sequence number and wall-clock commit
+// timestamp. "Both the sequence number and the timestamp are consistent with
+// the transaction serialization order, but the sequence numbers are unique,
+// while commit timestamps may not be."
+//
+// The propagation machinery works in CSNs; the UOW table lets applications
+// specify refresh points in wall-clock terms ("roll the view to 5:00pm") and
+// translates them to CSNs.
+
+#ifndef ROLLVIEW_CAPTURE_UOW_TABLE_H_
+#define ROLLVIEW_CAPTURE_UOW_TABLE_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/csn.h"
+#include "storage/ids.h"
+
+namespace rollview {
+
+using WallTime = std::chrono::system_clock::time_point;
+
+class UowTable {
+ public:
+  struct Entry {
+    TxnId txn = kInvalidTxnId;
+    Csn csn = kNullCsn;
+    WallTime commit_time;
+  };
+
+  // Records a commit. Idempotent per transaction (the trigger-capture
+  // commit path and the log-capture process may both report a transaction
+  // that touched tables of both modes), and tolerant of out-of-order
+  // arrival (the trigger path runs ahead of the log reader).
+  void Record(TxnId txn, Csn csn, WallTime commit_time);
+
+  std::optional<Entry> LookupTxn(TxnId txn) const;
+  std::optional<Entry> LookupCsn(Csn csn) const;
+
+  // Largest CSN whose commit time is <= `t` (the CSN to roll a view to for a
+  // wall-clock point-in-time refresh). kNullCsn if none.
+  Csn CsnAtOrBefore(WallTime t) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, Csn> by_txn_;
+  std::map<Csn, Entry> entries_;  // keyed (and therefore sorted) by CSN
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_CAPTURE_UOW_TABLE_H_

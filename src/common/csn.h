@@ -1,0 +1,61 @@
+// Copyright 2026 The rollview Authors.
+//
+// Commit sequence numbers (CSNs) are the logical "times" of the paper.
+//
+// The paper's prototype (Sec. 5) uses DPropR commit sequence numbers as times
+// internally and carries wall-clock commit timestamps alongside for human
+// consumption. We do the same: all algorithm state is in CSNs; the
+// unit-of-work table (capture/uow_table.h) maps CSN -> wall-clock time.
+//
+// CSN 0 is reserved as the "null timestamp": base-table tuples carry an
+// implicit null timestamp (paper Sec. 2), and the min-timestamp rule ignores
+// nulls (footnote 2: "only timestamps from the delta tables are considered").
+
+#ifndef ROLLVIEW_COMMON_CSN_H_
+#define ROLLVIEW_COMMON_CSN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rollview {
+
+using Csn = uint64_t;
+
+// Null timestamp / "not yet committed" sentinel.
+inline constexpr Csn kNullCsn = 0;
+// +infinity sentinel for version chains ("not yet deleted").
+inline constexpr Csn kMaxCsn = std::numeric_limits<Csn>::max();
+
+// Minimum of two timestamps under the paper's rule: null (kNullCsn) is
+// ignored; the min of two nulls is null.
+inline Csn MinTimestamp(Csn a, Csn b) {
+  if (a == kNullCsn) return b;
+  if (b == kNullCsn) return a;
+  return std::min(a, b);
+}
+
+// A half-open-on-the-left interval of commit times, (lo, hi]. This matches
+// the paper's sigma_{a,b} operator, which selects tuples with timestamps
+// strictly greater than t_a and less than or equal to t_b.
+struct CsnRange {
+  Csn lo = kNullCsn;  // exclusive
+  Csn hi = kNullCsn;  // inclusive
+
+  bool Contains(Csn ts) const { return ts > lo && ts <= hi; }
+  bool empty() const { return hi <= lo; }
+  uint64_t length() const { return empty() ? 0 : hi - lo; }
+
+  friend bool operator==(const CsnRange& a, const CsnRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+  }
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_COMMON_CSN_H_

@@ -1,0 +1,19 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rollview {
+
+uint64_t LatencyHistogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (samples_.empty()) return 0;
+  std::vector<uint64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(std::llround(rank));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace rollview

@@ -1,0 +1,96 @@
+// Copyright 2026 The rollview Authors.
+//
+// Lightweight thread-safe metrics: counters and latency histograms. The
+// benchmark harness aggregates these across updater/propagate/apply/reader
+// threads to report the contention measurements of experiments E2-E7.
+
+#ifndef ROLLVIEW_COMMON_METRICS_H_
+#define ROLLVIEW_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rollview {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Recorded in nanoseconds; reports percentiles. Mutex-guarded: recording
+// happens per transaction, orders of magnitude less often than lock/unlock.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t nanos) {
+    std::lock_guard<std::mutex> g(mu_);
+    samples_.push_back(nanos);
+    sum_ += nanos;
+    if (nanos > max_) max_ = nanos;
+  }
+
+  uint64_t count() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return samples_.size();
+  }
+  uint64_t sum_nanos() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return sum_;
+  }
+  uint64_t max_nanos() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return max_;
+  }
+  double mean_nanos() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return samples_.empty() ? 0.0 : static_cast<double>(sum_) / samples_.size();
+  }
+  // q in [0, 1]; e.g. 0.99 for p99. Sorts a copy; call at report time only.
+  uint64_t Percentile(double q) const;
+
+  void Reset() {
+    std::lock_guard<std::mutex> g(mu_);
+    samples_.clear();
+    sum_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint64_t> samples_;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+// RAII stopwatch recording into a LatencyHistogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    auto end = std::chrono::steady_clock::now();
+    hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_COMMON_METRICS_H_

@@ -1,0 +1,67 @@
+// Copyright 2026 The rollview Authors.
+//
+// Result<T>: a value-or-Status holder, in the style of arrow::Result.
+
+#ifndef ROLLVIEW_COMMON_RESULT_H_
+#define ROLLVIEW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rollview {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both T and Status keep call sites terse:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument("..."); return 42; }
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {     // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;           // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define ROLLVIEW_CONCAT_IMPL(a, b) a##b
+#define ROLLVIEW_CONCAT(a, b) ROLLVIEW_CONCAT_IMPL(a, b)
+#define ROLLVIEW_ASSIGN_OR_RETURN(lhs, expr)                          \
+  ROLLVIEW_ASSIGN_OR_RETURN_IMPL(ROLLVIEW_CONCAT(result__, __LINE__), \
+                                 lhs, expr)
+#define ROLLVIEW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value();
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_COMMON_RESULT_H_

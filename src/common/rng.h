@@ -1,0 +1,77 @@
+// Copyright 2026 The rollview Authors.
+//
+// Deterministic pseudo-random number generation for workloads and tests.
+// Every randomized component takes an explicit seed so that runs reproduce.
+
+#ifndef ROLLVIEW_COMMON_RNG_H_
+#define ROLLVIEW_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rollview {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  }
+
+  // Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Derive an independent child seed (for spawning per-thread generators).
+  uint64_t Fork() { return gen_(); }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+// Zipfian distribution over {0, ..., n-1} with parameter theta, using the
+// classic precomputed-harmonic inversion. Skewed key choice drives hot-spot
+// update streams in the star-schema workloads.
+class Zipf {
+ public:
+  Zipf(int64_t n, double theta) : n_(n), theta_(theta) {
+    assert(n >= 1);
+    cdf_.reserve(static_cast<size_t>(n));
+    double sum = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      cdf_.push_back(sum);
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  int64_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return n_ - 1;
+    return static_cast<int64_t>(it - cdf_.begin());
+  }
+
+  double theta() const { return theta_; }
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_COMMON_RNG_H_

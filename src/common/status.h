@@ -1,0 +1,90 @@
+// Copyright 2026 The rollview Authors.
+//
+// Status: lightweight error type returned by fallible operations, in the
+// style of RocksDB/Arrow. Functions that cannot fail return void or a value;
+// everything else returns Status or Result<T> (see result.h).
+
+#ifndef ROLLVIEW_COMMON_STATUS_H_
+#define ROLLVIEW_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace rollview {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kAlreadyExists = 3,
+    kTxnAborted = 4,     // transaction was aborted (deadlock victim, explicit)
+    kBusy = 5,           // lock timeout / would-block
+    kNotSupported = 6,
+    kInternal = 7,
+    kOutOfRange = 8,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status TxnAborted(std::string msg) {
+    return Status(Code::kTxnAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsTxnAborted() const { return code_ == Code::kTxnAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // Human-readable "<CODE>: <message>" string.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+// Propagates a non-OK status to the caller. Standard macro idiom; the
+// double-underscore local avoids shadowing warnings in nested use.
+#define ROLLVIEW_RETURN_NOT_OK(expr)              \
+  do {                                            \
+    ::rollview::Status status__ = (expr);         \
+    if (!status__.ok()) return status__;          \
+  } while (false)
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_COMMON_STATUS_H_

@@ -1,0 +1,120 @@
+#include "common/value.h"
+
+#include <cassert>
+
+namespace rollview {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+double Value::NumericValue() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return 0.0;
+  }
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+// Rank used to order values of different types: NULL < numerics < strings.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type() == b.type()) return a.rep_ == b.rep_;
+  if (IsNumeric(a.type()) && IsNumeric(b.type())) {
+    return a.NumericValue() == b.NumericValue();
+  }
+  return false;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (IsNumeric(a.type()) && IsNumeric(b.type())) {
+    // Mixed int/double comparisons go through double; exact for the value
+    // ranges our workloads use.
+    if (a.type() != b.type()) return a.NumericValue() < b.NumericValue();
+  }
+  int ra = TypeRank(a.type());
+  int rb = TypeRank(b.type());
+  if (ra != rb) return ra < rb;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt64:
+      return a.AsInt64() < b.AsInt64();
+    case ValueType::kDouble:
+      return a.AsDouble() < b.AsDouble();
+    case ValueType::kString:
+      return a.AsString() < b.AsString();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(AsInt64());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash doubles that are exactly integral like their int64 counterpart
+      // so that mixed-type equality implies equal hashes.
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return std::hash<int64_t>{}(as_int);
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace rollview

@@ -1,0 +1,77 @@
+// Copyright 2026 The rollview Authors.
+//
+// Value: a dynamically-typed scalar cell. Tuples (schema/tuple.h) are vectors
+// of Values. Supported types are the minimum a realistic star-schema workload
+// needs: 64-bit integers, doubles, and strings, plus SQL-style NULL.
+
+#ifndef ROLLVIEW_COMMON_VALUE_H_
+#define ROLLVIEW_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace rollview {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* ValueTypeName(ValueType type);
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Accessors assert-free by contract: callers check type() first (the
+  // schema layer guarantees cells match their column types).
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  // SQL-ish numeric coercion: int64 and double compare/convert numerically.
+  double NumericValue() const;
+
+  // Total ordering used for sorting and equality-join keys. NULL sorts first
+  // and equals NULL (multiset/grouping semantics, not SQL ternary logic --
+  // delta net-effect grouping needs NULL == NULL).
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  struct NullTag {
+    friend bool operator==(const NullTag&, const NullTag&) { return true; }
+  };
+  std::variant<NullTag, int64_t, double, std::string> rep_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_COMMON_VALUE_H_

@@ -1,0 +1,19 @@
+#include "harness/mv_reader.h"
+
+namespace rollview {
+
+Status MvReader::ReadOnce(int64_t* out_total_count) {
+  std::unique_ptr<Txn> txn = views_->db()->Begin();
+  Status s = views_->db()->LockNamedShared(txn.get(), view_->mv_lock_resource);
+  if (!s.ok()) {
+    views_->db()->Abort(txn.get()).ok();
+    return s;
+  }
+  int64_t total = view_->mv->TotalCount();
+  ROLLVIEW_RETURN_NOT_OK(views_->db()->Commit(txn.get()));
+  if (out_total_count != nullptr) *out_total_count = total;
+  ++reads_;
+  return Status::OK();
+}
+
+}  // namespace rollview

@@ -1,0 +1,34 @@
+// Copyright 2026 The rollview Authors.
+//
+// MvReader: a query workload against a materialized view. Each query takes
+// an S lock on the view's resource (serializing with the apply driver's X
+// lock) and scans the MV contents -- the reader side of the paper's
+// refresh-vs-read contention story.
+
+#ifndef ROLLVIEW_HARNESS_MV_READER_H_
+#define ROLLVIEW_HARNESS_MV_READER_H_
+
+#include "common/status.h"
+#include "ivm/view_manager.h"
+
+namespace rollview {
+
+class MvReader {
+ public:
+  MvReader(ViewManager* views, View* view) : views_(views), view_(view) {}
+
+  // One read query: S-lock the view, aggregate its contents. Returns the
+  // observed multiset size through `out` (optional).
+  Status ReadOnce(int64_t* out_total_count = nullptr);
+
+  uint64_t reads() const { return reads_; }
+
+ private:
+  ViewManager* views_;
+  View* view_;
+  uint64_t reads_ = 0;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_HARNESS_MV_READER_H_

@@ -1,0 +1,54 @@
+#include "harness/worker.h"
+
+namespace rollview {
+
+void Worker::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Worker::Stop() { running_.store(false, std::memory_order_relaxed); }
+
+Status Worker::Join() {
+  Stop();
+  if (thread_.joinable()) thread_.join();
+  return error_;
+}
+
+void Worker::Run() {
+  using Clock = std::chrono::steady_clock;
+  const bool paced = options_.target_ops_per_sec > 0.0;
+  const auto period =
+      paced ? std::chrono::nanoseconds(static_cast<int64_t>(
+                  1e9 / options_.target_ops_per_sec))
+            : std::chrono::nanoseconds(0);
+  auto next_due = Clock::now();
+
+  while (running_.load(std::memory_order_relaxed)) {
+    if (paced) {
+      auto now = Clock::now();
+      if (now < next_due) {
+        std::this_thread::sleep_until(next_due);
+      }
+      next_due += period;
+      // Do not accumulate unbounded backlog when the body is slower than
+      // the pace: reset the schedule if we fall more than one period behind.
+      if (Clock::now() > next_due + period) next_due = Clock::now();
+    }
+    auto start = Clock::now();
+    Status s = body_();
+    auto end = Clock::now();
+    latency_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count()));
+    iterations_.fetch_add(1, std::memory_order_relaxed);
+    if (!s.ok()) {
+      error_ = s;
+      running_.store(false, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+}  // namespace rollview

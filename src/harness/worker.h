@@ -1,0 +1,67 @@
+// Copyright 2026 The rollview Authors.
+//
+// Worker: a generic benchmark-harness thread running a work item in a loop
+// -- updater transactions, MV reader queries, propagation steps, apply
+// rolls. Records per-iteration latency and supports optional pacing (target
+// iterations/second) so experiments can fix offered load.
+
+#ifndef ROLLVIEW_HARNESS_WORKER_H_
+#define ROLLVIEW_HARNESS_WORKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace rollview {
+
+class Worker {
+ public:
+  struct Options {
+    std::string name = "worker";
+    // 0 = unpaced (run flat out).
+    double target_ops_per_sec = 0.0;
+  };
+
+  // `body` runs once per iteration; a non-OK status stops the worker and is
+  // reported by Join().
+  explicit Worker(std::function<Status()> body)
+      : Worker(std::move(body), Options{}) {}
+  Worker(std::function<Status()> body, Options options)
+      : body_(std::move(body)), options_(std::move(options)) {}
+
+  ~Worker() { Join().ok(); }  // stop AND join: the thread uses our members
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void Start();
+  void Stop();            // request stop; does not join
+  Status Join();          // stop and wait; returns first error (or OK)
+
+  uint64_t iterations() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+  const LatencyHistogram& latency() const { return latency_; }
+  const std::string& name() const { return options_.name; }
+
+ private:
+  void Run();
+
+  std::function<Status()> body_;
+  Options options_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> iterations_{0};
+  LatencyHistogram latency_;
+  Status error_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_HARNESS_WORKER_H_

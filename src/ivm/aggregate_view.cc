@@ -1,0 +1,151 @@
+#include "ivm/aggregate_view.h"
+
+#include <mutex>
+
+namespace rollview {
+
+namespace {
+
+Tuple GroupKey(const Tuple& row, const AggSpec& spec) {
+  Tuple key;
+  key.reserve(spec.group_columns.size());
+  for (size_t c : spec.group_columns) key.push_back(row[c]);
+  return key;
+}
+
+// Accumulates one (tuple, count) contribution into `state`.
+void Accumulate(AggState* state, const Tuple& row, int64_t count,
+                const AggSpec& spec) {
+  state->count += count;
+  if (state->sums.size() != spec.sum_columns.size()) {
+    state->sums.resize(spec.sum_columns.size(), 0.0);
+  }
+  for (size_t i = 0; i < spec.sum_columns.size(); ++i) {
+    state->sums[i] +=
+        static_cast<double>(count) * row[spec.sum_columns[i]].NumericValue();
+  }
+}
+
+}  // namespace
+
+Result<SummaryDelta> ComputeSummaryDelta(const DeltaRows& window,
+                                         const AggSpec& spec) {
+  SummaryDelta out;
+  for (const DeltaRow& row : window) {
+    for (size_t c : spec.group_columns) {
+      if (c >= row.tuple.size()) {
+        return Status::InvalidArgument("group column out of range");
+      }
+    }
+    Accumulate(&out[GroupKey(row.tuple, spec)], row.tuple, row.count, spec);
+  }
+  // Drop no-op groups (pure churn within the window).
+  for (auto it = out.begin(); it != out.end();) {
+    bool zero = it->second.count == 0;
+    for (double s : it->second.sums) {
+      if (s != 0.0) zero = false;
+    }
+    it = zero ? out.erase(it) : ++it;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<AggregateView>> AggregateView::Create(const View* base,
+                                                             AggSpec spec) {
+  const Schema& schema = base->resolved.view_schema();
+  if (spec.group_columns.empty()) {
+    return Status::InvalidArgument("aggregate view needs group columns");
+  }
+  for (size_t c : spec.group_columns) {
+    if (c >= schema.num_columns()) {
+      return Status::InvalidArgument("group column out of range");
+    }
+  }
+  for (size_t c : spec.sum_columns) {
+    if (c >= schema.num_columns()) {
+      return Status::InvalidArgument("sum column out of range");
+    }
+    ValueType t = schema.column(c).type;
+    if (t != ValueType::kInt64 && t != ValueType::kDouble) {
+      return Status::InvalidArgument("SUM column '" + schema.column(c).name +
+                                     "' is not numeric");
+    }
+  }
+  return std::unique_ptr<AggregateView>(
+      new AggregateView(base, std::move(spec)));
+}
+
+Status AggregateView::InitializeFromBaseMv() {
+  Csn base_csn = base_->mv->csn();
+  if (base_csn == kNullCsn) {
+    return Status::InvalidArgument("base view is not materialized");
+  }
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  groups_.clear();
+  for (const DeltaRow& row : base_->mv->AsDeltaRows()) {
+    Accumulate(&groups_[GroupKey(row.tuple, spec_)], row.tuple, row.count,
+               spec_);
+  }
+  csn_ = base_csn;
+  return Status::OK();
+}
+
+Status AggregateView::RollTo(Csn target) {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  if (csn_ == kNullCsn) {
+    return Status::InvalidArgument("aggregate view not initialized");
+  }
+  if (target < csn_) {
+    return Status::InvalidArgument("cannot roll aggregate view backwards");
+  }
+  if (target > base_->high_water_mark()) {
+    return Status::OutOfRange("target beyond base view's high-water mark");
+  }
+  if (target == csn_) return Status::OK();
+
+  DeltaRows window = base_->view_delta->Scan(CsnRange{csn_, target});
+  ROLLVIEW_ASSIGN_OR_RETURN(SummaryDelta summary,
+                            ComputeSummaryDelta(window, spec_));
+  // Validate before mutating.
+  for (const auto& [key, delta] : summary) {
+    auto it = groups_.find(key);
+    int64_t existing = it == groups_.end() ? 0 : it->second.count;
+    if (existing + delta.count < 0) {
+      return Status::Internal("aggregate group count would go negative");
+    }
+  }
+  for (const auto& [key, delta] : summary) {
+    AggState& state = groups_[key];
+    if (state.sums.size() != spec_.sum_columns.size()) {
+      state.sums.resize(spec_.sum_columns.size(), 0.0);
+    }
+    state.count += delta.count;
+    for (size_t i = 0; i < delta.sums.size(); ++i) {
+      state.sums[i] += delta.sums[i];
+    }
+    if (state.count == 0) groups_.erase(key);
+  }
+  csn_ = target;
+  stats_.rolls++;
+  stats_.window_rows += window.size();
+  stats_.groups_touched += summary.size();
+  return Status::OK();
+}
+
+std::unordered_map<Tuple, AggState, TupleHasher> AggregateView::Contents()
+    const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return groups_;
+}
+
+size_t AggregateView::num_groups() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return groups_.size();
+}
+
+AggregateView::Stats AggregateView::stats() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return stats_;
+}
+
+}  // namespace rollview

@@ -1,0 +1,116 @@
+// Copyright 2026 The rollview Authors.
+//
+// Aggregate views maintained with summary-delta tables.
+//
+// The paper (Sec. 2, Sec. 6) notes that rolling propagation "can be
+// extended to support views with aggregation by using summary-delta
+// tables" [Mumick/Quass/Mumick, SIGMOD'97]: a summary-delta records the
+// *net change to each aggregate group* over a time window.
+//
+// An AggregateView sits on top of an SPJ View's timestamped view delta:
+//
+//   A = SELECT g1..gk, COUNT(*), SUM(m1), ... FROM V GROUP BY g1..gk
+//
+// Rolling A from t_a to t_b folds sigma_{a,b}(Delta^V) into a summary
+// delta -- for each group: delta_count = sum of row counts, delta_sum_i =
+// sum of count * measure_i -- and merges it into the stored aggregate
+// state. Groups whose count reaches zero disappear. Because the underlying
+// view delta is a timed delta table, the aggregate view inherits
+// point-in-time refresh: it can roll to any CSN up to the SPJ view's
+// high-water mark, entirely independent of the SPJ view's own apply state.
+//
+// COUNT and SUM are self-maintainable under inserts and deletes; AVG is
+// derived as SUM/COUNT at read time. MIN/MAX are not maintainable from
+// deltas alone (a deleted extremum needs a base rescan) and are not
+// offered.
+
+#ifndef ROLLVIEW_IVM_AGGREGATE_VIEW_H_
+#define ROLLVIEW_IVM_AGGREGATE_VIEW_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ivm/view.h"
+
+namespace rollview {
+
+struct AggSpec {
+  // Indexes (into the SPJ view's output schema) of the group-by columns.
+  std::vector<size_t> group_columns;
+  // Indexes of the numeric measure columns to SUM. COUNT(*) is implicit.
+  std::vector<size_t> sum_columns;
+};
+
+// One group's net change over a window (a summary-delta row) or its stored
+// state (when held in the aggregate view's extent).
+struct AggState {
+  int64_t count = 0;               // net COUNT(*)
+  std::vector<double> sums;        // net SUM(measure_i)
+
+  double avg(size_t i) const {
+    return count == 0 ? 0.0 : sums[i] / static_cast<double>(count);
+  }
+};
+
+using SummaryDelta = std::unordered_map<Tuple, AggState, TupleHasher>;
+
+// Folds a view-delta window into a summary delta (pure function; exposed
+// for tests and for users who want raw summary-delta streams).
+Result<SummaryDelta> ComputeSummaryDelta(const DeltaRows& window,
+                                         const AggSpec& spec);
+
+class AggregateView {
+ public:
+  // `base` must outlive this object. The spec is validated against the
+  // base view's output schema.
+  static Result<std::unique_ptr<AggregateView>> Create(const View* base,
+                                                       AggSpec spec);
+
+  const View* base() const { return base_; }
+  const AggSpec& spec() const { return spec_; }
+
+  Csn csn() const {
+    std::shared_lock<std::shared_mutex> lk(latch_);
+    return csn_;
+  }
+
+  // Initializes the aggregate state from the base view's *materialized*
+  // extent (which must itself be materialized). Subsequent rolls start
+  // from the MV's CSN.
+  Status InitializeFromBaseMv();
+
+  // Rolls the aggregate state forward to `target` (csn() <= target <=
+  // base view-delta high-water mark) using the summary delta of the
+  // window. Fails (state untouched) if a group's count would go negative.
+  Status RollTo(Csn target);
+
+  // Stored groups: group-key tuple -> aggregate state.
+  std::unordered_map<Tuple, AggState, TupleHasher> Contents() const;
+  size_t num_groups() const;
+
+  struct Stats {
+    uint64_t rolls = 0;
+    uint64_t window_rows = 0;    // view-delta rows folded
+    uint64_t groups_touched = 0; // summary-delta rows merged
+  };
+  Stats stats() const;
+
+ private:
+  AggregateView(const View* base, AggSpec spec)
+      : base_(base), spec_(std::move(spec)) {}
+
+  const View* base_;
+  AggSpec spec_;
+
+  mutable std::shared_mutex latch_;
+  std::unordered_map<Tuple, AggState, TupleHasher> groups_;
+  Csn csn_ = kNullCsn;
+  Stats stats_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_AGGREGATE_VIEW_H_

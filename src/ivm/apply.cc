@@ -1,0 +1,73 @@
+#include "ivm/apply.h"
+
+namespace rollview {
+
+Status Applier::RollTo(Csn target) {
+  Csn from = view_->mv->csn();
+  if (target < from) {
+    return Status::InvalidArgument(
+        "cannot roll view backwards (mv at " + std::to_string(from) +
+        ", target " + std::to_string(target) + ")");
+  }
+  if (target > view_->high_water_mark()) {
+    return Status::OutOfRange(
+        "target " + std::to_string(target) +
+        " beyond view-delta high-water mark " +
+        std::to_string(view_->high_water_mark()));
+  }
+  if (target == from) return Status::OK();
+
+  // The transaction exists to serialize with MV readers through the lock
+  // manager (X on the view resource); the MV itself is not an engine table.
+  std::unique_ptr<Txn> txn = views_->db()->Begin();
+  Status s = views_->db()->LockNamedExclusive(txn.get(),
+                                              view_->mv_lock_resource);
+  if (!s.ok()) {
+    views_->db()->Abort(txn.get()).ok();
+    return s;
+  }
+
+  DeltaRows window = view_->view_delta->Scan(CsnRange{from, target});
+  s = view_->mv->Merge(window, target);
+  if (!s.ok()) {
+    views_->db()->Abort(txn.get()).ok();
+    return s;
+  }
+  ROLLVIEW_RETURN_NOT_OK(views_->db()->Commit(txn.get()));
+
+  stats_.rolls++;
+  stats_.rows_selected += window.size();
+  if (options_.prune_view_delta) {
+    stats_.rows_pruned += view_->view_delta->Prune(target);
+  }
+  return Status::OK();
+}
+
+Result<Csn> Applier::RollToLatest() {
+  Csn target = view_->high_water_mark();
+  ROLLVIEW_RETURN_NOT_OK(RollTo(target));
+  return target;
+}
+
+Result<Csn> Applier::RollToWallTime(WallTime t) {
+  Csn csn = views_->db()->uow()->CsnAtOrBefore(t);
+  if (csn == kNullCsn) {
+    return Status::NotFound("no transaction committed at or before the "
+                            "requested time");
+  }
+  // Clamp into the legal window.
+  Csn from = view_->mv->csn();
+  Csn hwm = view_->high_water_mark();
+  if (csn < from) {
+    return Status::InvalidArgument("requested time precedes the view's "
+                                   "materialization time");
+  }
+  if (csn > hwm) {
+    return Status::OutOfRange("requested time beyond the view-delta "
+                              "high-water mark");
+  }
+  ROLLVIEW_RETURN_NOT_OK(RollTo(csn));
+  return csn;
+}
+
+}  // namespace rollview

@@ -1,0 +1,65 @@
+#include "ivm/compute_delta.h"
+
+#include <cassert>
+
+namespace rollview {
+
+Status ComputeDeltaOp::Run(const PropQuery& q,
+                           const std::vector<Csn>& tau_old, Csn t_new) {
+  return RunAtDepth(q, tau_old, t_new, 1);
+}
+
+Status ComputeDeltaOp::PropagateInterval(const View* view, Csn from,
+                                         Csn to) {
+  PropQuery q = PropQuery::AllBase(view);
+  std::vector<Csn> tau_old(q.num_terms(), from);
+  return Run(q, tau_old, to);
+}
+
+Status ComputeDeltaOp::RunAtDepth(const PropQuery& q,
+                                  const std::vector<Csn>& tau_old, Csn t_new,
+                                  uint64_t depth) {
+  assert(tau_old.size() == q.num_terms());
+  stats_.invocations++;
+  if (depth > stats_.max_depth) stats_.max_depth = depth;
+
+  // Emptiness of a delta range is only final once capture has published
+  // everything up to t_new; wait before deciding to skip subtrees.
+  if (options_.skip_empty_ranges && runner_->views()->capture() != nullptr) {
+    ROLLVIEW_RETURN_NOT_OK(runner_->views()->capture()->WaitForCsn(t_new));
+  }
+
+  for (size_t i = 0; i < q.num_terms(); ++i) {
+    if (q.terms[i].is_delta) continue;    // fixed delta term: does not evolve
+    if (!(tau_old[i] < t_new)) continue;  // this term needs no delta here
+
+    PropQuery fwd = q;
+    fwd.terms[i] = PropTerm::Delta(tau_old[i], t_new);
+
+    if (options_.skip_empty_ranges) {
+      DeltaTable* dt = runner_->views()->db()->delta(q.view->resolved.table(i));
+      if (dt->CountInRange(CsnRange{tau_old[i], t_new}) == 0) {
+        stats_.queries_skipped++;
+        continue;  // Q' is identically empty: skip it and its compensation
+      }
+    }
+
+    ROLLVIEW_ASSIGN_OR_RETURN(Csn t_exec, runner_->Execute(fwd));
+    stats_.queries_issued++;
+
+    if (fwd.HasBaseTerm()) {
+      // Tables left of i were intended at their tau_old; tables right of i
+      // at t_new (the Eq. 2 convention). The query actually saw all of them
+      // at t_exec; recursively compensate the difference.
+      std::vector<Csn> tau_intended(q.num_terms());
+      for (size_t j = 0; j < q.num_terms(); ++j) {
+        tau_intended[j] = (j < i) ? tau_old[j] : t_new;
+      }
+      ROLLVIEW_RETURN_NOT_OK(
+          RunAtDepth(fwd.Negated(), tau_intended, t_exec, depth + 1));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rollview

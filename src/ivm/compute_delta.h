@@ -1,0 +1,73 @@
+// Copyright 2026 The rollview Authors.
+//
+// ComputeDelta (paper Figure 4): asynchronous view-delta propagation by
+// recursive compensation.
+//
+// ComputeDelta(Q, tau_old, t_new) computes Q_{tau_old, t_new} -- the delta
+// of query Q from the vector time tau_old to t_new -- as a series of
+// independently committed propagation queries, each executed *after* t_new:
+//
+//   for each base term R^i of Q with tau_old[i] < t_new:
+//     Q' <- Q with R^i replaced by R^i_{tau_old[i], t_new}
+//     t_exec <- Execute(Q')          // runs now; sees base tables at t_exec
+//     if Q' still has base terms:
+//       tau_intended <- [tau_old[1..i-1], t_new, ..., t_new]
+//       ComputeDelta(-Q', tau_intended, t_exec)   // compensate the drift
+//
+// The recursion terminates because each level has one fewer base term.
+//
+// Optimization (exact, not approximate): when the delta range
+// (tau_old[i], t_new] of the i-th term contains no rows, Q' is identically
+// empty at every evaluation time, so both the query and its entire
+// compensation subtree are skipped.
+
+#ifndef ROLLVIEW_IVM_COMPUTE_DELTA_H_
+#define ROLLVIEW_IVM_COMPUTE_DELTA_H_
+
+#include <vector>
+
+#include "ivm/query_runner.h"
+
+namespace rollview {
+
+struct ComputeDeltaOptions {
+  bool skip_empty_ranges = true;
+};
+
+struct ComputeDeltaStats {
+  uint64_t invocations = 0;      // ComputeDelta calls (incl. recursive)
+  uint64_t queries_issued = 0;   // Execute calls
+  uint64_t queries_skipped = 0;  // empty-range skips
+  uint64_t max_depth = 0;        // deepest compensation nesting
+};
+
+class ComputeDeltaOp {
+ public:
+  ComputeDeltaOp(QueryRunner* runner,
+                 ComputeDeltaOptions options = ComputeDeltaOptions{})
+      : runner_(runner), options_(options) {}
+
+  // Appends the delta of `q` from `tau_old` to `t_new` to the view delta.
+  // tau_old entries for delta terms of `q` are ignored (delta tables do not
+  // evolve, Sec. 2).
+  Status Run(const PropQuery& q, const std::vector<Csn>& tau_old, Csn t_new);
+
+  // Convenience: the view delta V_{from,to} (paper's
+  // ComputeDelta(V, [a,...,a], t_b)).
+  Status PropagateInterval(const View* view, Csn from, Csn to);
+
+  const ComputeDeltaStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ComputeDeltaStats{}; }
+
+ private:
+  Status RunAtDepth(const PropQuery& q, const std::vector<Csn>& tau_old,
+                    Csn t_new, uint64_t depth);
+
+  QueryRunner* runner_;
+  ComputeDeltaOptions options_;
+  ComputeDeltaStats stats_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_COMPUTE_DELTA_H_

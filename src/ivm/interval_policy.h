@@ -1,0 +1,71 @@
+// Copyright 2026 The rollview Authors.
+//
+// Interval policies: "choose a propagation interval length delta" (Figures
+// 5 and 10). The interval is the paper's tuning knob balancing per-query
+// cost against query count and contention (Sec. 3.3); RollingPropagate
+// allows one policy per base relation (Sec. 3.4).
+
+#ifndef ROLLVIEW_IVM_INTERVAL_POLICY_H_
+#define ROLLVIEW_IVM_INTERVAL_POLICY_H_
+
+#include <algorithm>
+#include <memory>
+
+#include "capture/delta_table.h"
+#include "common/csn.h"
+
+namespace rollview {
+
+class IntervalPolicy {
+ public:
+  virtual ~IntervalPolicy() = default;
+
+  // The end of the next propagation interval starting at `from`, given that
+  // delta rows are published up to `ready` (the capture high-water mark).
+  // Must return a value in [from, ready]; returning `from` means "cannot
+  // advance yet".
+  virtual Csn NextBoundary(Csn from, Csn ready, const DeltaTable& delta) = 0;
+};
+
+// Fixed interval length in commit-sequence units.
+class FixedInterval : public IntervalPolicy {
+ public:
+  explicit FixedInterval(Csn length) : length_(length) {}
+
+  Csn NextBoundary(Csn from, Csn ready, const DeltaTable&) override {
+    return std::min<Csn>(from + length_, ready);
+  }
+
+ private:
+  Csn length_;
+};
+
+// Adaptive: size each interval to roughly `target_rows` delta rows, so
+// frequently-updated relations get short (in time) intervals and
+// rarely-updated ones get long intervals -- the star-schema motivation of
+// Sec. 3.4 expressed as a per-relation policy.
+class TargetRowsInterval : public IntervalPolicy {
+ public:
+  explicit TargetRowsInterval(size_t target_rows)
+      : target_rows_(target_rows) {}
+
+  Csn NextBoundary(Csn from, Csn ready, const DeltaTable& delta) override {
+    if (from >= ready) return from;
+    return delta.TsAfterRows(from, target_rows_, ready);
+  }
+
+ private:
+  size_t target_rows_;
+};
+
+// Greedy: always consume everything captured so far (one big interval).
+class DrainInterval : public IntervalPolicy {
+ public:
+  Csn NextBoundary(Csn from, Csn ready, const DeltaTable&) override {
+    return std::max(from, ready);
+  }
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_INTERVAL_POLICY_H_

@@ -1,0 +1,162 @@
+#include "ivm/maintenance.h"
+
+namespace rollview {
+
+MaintenanceService::MaintenanceService(ViewManager* views, View* view,
+                                       Options options)
+    : views_(views), view_(view), options_(options) {
+  auto make_policy = [&] {
+    return std::make_unique<TargetRowsInterval>(
+        options_.target_rows_per_query);
+  };
+  if (options_.algorithm == Options::Algorithm::kRolling) {
+    std::vector<std::unique_ptr<IntervalPolicy>> policies;
+    for (size_t i = 0; i < view->resolved.num_terms(); ++i) {
+      policies.push_back(make_policy());
+    }
+    RollingOptions ropts;
+    ropts.runner = options_.runner;
+    rolling_ = std::make_unique<RollingPropagator>(views, view,
+                                                   std::move(policies),
+                                                   std::move(ropts));
+  } else {
+    PropagatorOptions popts;
+    popts.runner = options_.runner;
+    plain_ = std::make_unique<Propagator>(views, view, make_policy(), popts);
+  }
+  ApplierOptions aopts;
+  aopts.prune_view_delta = options_.prune_view_delta;
+  applier_ = std::make_unique<Applier>(views, view, aopts);
+}
+
+MaintenanceService::~MaintenanceService() { Stop().ok(); }
+
+const RunnerStats* MaintenanceService::runner_stats() const {
+  return rolling_ != nullptr ? &rolling_->runner()->stats()
+                             : &plain_->runner()->stats();
+}
+
+Status MaintenanceService::PropagateStep(bool* advanced) {
+  if (rolling_ != nullptr) {
+    Result<bool> r = rolling_->Step();
+    if (!r.ok()) return r.status();
+    *advanced = r.value();
+    if (!*advanced) {
+      // Settle the tail so the HWM can reach the frontier at quiescence.
+      Result<bool> settled = rolling_->TryFinish();
+      if (!settled.ok()) return settled.status();
+    }
+    return Status::OK();
+  }
+  Result<bool> r = plain_->Step();
+  if (!r.ok()) return r.status();
+  *advanced = r.value();
+  return Status::OK();
+}
+
+void MaintenanceService::PropagateLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    if (propagate_paused_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(options_.idle_sleep);
+      continue;
+    }
+    bool advanced = false;
+    Status s = PropagateStep(&advanced);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lk(error_mu_);
+      if (error_.ok()) error_ = s;
+      return;
+    }
+    if (!advanced) std::this_thread::sleep_for(options_.idle_sleep);
+  }
+}
+
+void MaintenanceService::ApplyLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    if (apply_paused_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(options_.idle_sleep);
+      continue;
+    }
+    Csn hwm = view_->high_water_mark();
+    if (hwm > view_->mv->csn()) {
+      Status s = applier_->RollTo(hwm);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lk(error_mu_);
+        if (error_.ok()) error_ = s;
+        return;
+      }
+    } else {
+      std::this_thread::sleep_for(options_.idle_sleep);
+    }
+  }
+}
+
+void MaintenanceService::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  propagate_thread_ = std::thread([this] { PropagateLoop(); });
+  if (options_.apply_continuously) {
+    apply_thread_ = std::thread([this] { ApplyLoop(); });
+  }
+}
+
+Status MaintenanceService::Stop() {
+  running_.store(false, std::memory_order_relaxed);
+  if (propagate_thread_.joinable()) propagate_thread_.join();
+  if (apply_thread_.joinable()) apply_thread_.join();
+  std::lock_guard<std::mutex> lk(error_mu_);
+  return error_;
+}
+
+Status MaintenanceService::Drain(Csn target) {
+  bool was_running = running_.load(std::memory_order_relaxed);
+  if (was_running) {
+    // Let the background drivers do the work; wait for them.
+    while (view_->high_water_mark() < target) {
+      {
+        std::lock_guard<std::mutex> lk(error_mu_);
+        ROLLVIEW_RETURN_NOT_OK(error_);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  } else if (rolling_ != nullptr) {
+    ROLLVIEW_RETURN_NOT_OK(rolling_->RunUntil(target));
+  } else {
+    ROLLVIEW_RETURN_NOT_OK(plain_->RunUntil(target));
+  }
+  if (!options_.apply_continuously) return Status::OK();
+  if (was_running) {
+    while (view_->mv->csn() < target) {
+      {
+        std::lock_guard<std::mutex> lk(error_mu_);
+        ROLLVIEW_RETURN_NOT_OK(error_);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return Status::OK();
+  }
+  return applier_->RollTo(view_->high_water_mark());
+}
+
+void RetentionService::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      manager_.PruneOnce();
+      passes_.fetch_add(1, std::memory_order_relaxed);
+      auto deadline = std::chrono::steady_clock::now() + period_;
+      while (running_.load(std::memory_order_relaxed) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+}
+
+void RetentionService::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace rollview

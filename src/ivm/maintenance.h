@@ -1,0 +1,117 @@
+// Copyright 2026 The rollview Authors.
+//
+// MaintenanceService: the deployment shape of the paper's prototype
+// (Figure 11) as a managed component -- one background propagation driver
+// and one background apply driver per view, independently pausable, plus a
+// ViewManager-wide retention service. The propagate and apply drivers are
+// "completely independent" apart from producer/consumer ordering (Sec. 1);
+// pausing either (e.g. during load spikes) never affects correctness, only
+// staleness.
+
+#ifndef ROLLVIEW_IVM_MAINTENANCE_H_
+#define ROLLVIEW_IVM_MAINTENANCE_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "ivm/apply.h"
+#include "ivm/propagate.h"
+#include "ivm/retention.h"
+#include "ivm/rolling.h"
+
+namespace rollview {
+
+class MaintenanceService {
+ public:
+  struct Options {
+    enum class Algorithm { kRolling, kPropagate };
+    Algorithm algorithm = Algorithm::kRolling;
+    // Adaptive interval target (delta rows per forward query), applied to
+    // every relation. For custom per-relation policies construct a
+    // RollingPropagator directly.
+    size_t target_rows_per_query = 256;
+    // Run the apply driver (roll the MV to the high-water mark as it
+    // advances). Point-in-time users leave this off and roll manually.
+    bool apply_continuously = true;
+    bool prune_view_delta = true;  // applier prunes applied windows
+    std::chrono::milliseconds idle_sleep{1};
+    RunnerOptions runner;
+  };
+
+  MaintenanceService(ViewManager* views, View* view)
+      : MaintenanceService(views, view, Options{}) {}
+  MaintenanceService(ViewManager* views, View* view, Options options);
+  ~MaintenanceService();
+
+  MaintenanceService(const MaintenanceService&) = delete;
+  MaintenanceService& operator=(const MaintenanceService&) = delete;
+
+  void Start();
+  // Stops both drivers and joins their threads. Returns the first error
+  // either driver hit (they stop on error).
+  Status Stop();
+
+  // Suspend/resume individual drivers ("either process, or both, can be
+  // suspended during periods of high system load", Sec. 1).
+  void PausePropagation() { propagate_paused_.store(true); }
+  void ResumePropagation() { propagate_paused_.store(false); }
+  void PauseApply() { apply_paused_.store(true); }
+  void ResumeApply() { apply_paused_.store(false); }
+
+  // Blocks until the view delta covers `target` and (if apply is enabled)
+  // the MV has been rolled there. Works whether or not Start() was called.
+  Status Drain(Csn target);
+
+  View* view() const { return view_; }
+  const RunnerStats* runner_stats() const;
+  const Applier::Stats& apply_stats() const { return applier_->stats(); }
+
+ private:
+  Status PropagateStep(bool* advanced);
+  void PropagateLoop();
+  void ApplyLoop();
+
+  ViewManager* views_;
+  View* view_;
+  Options options_;
+
+  std::unique_ptr<RollingPropagator> rolling_;
+  std::unique_ptr<Propagator> plain_;
+  std::unique_ptr<Applier> applier_;
+
+  std::thread propagate_thread_;
+  std::thread apply_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> propagate_paused_{false};
+  std::atomic<bool> apply_paused_{false};
+  std::mutex error_mu_;
+  Status error_;
+};
+
+// Periodic retention passes over every view of a ViewManager.
+class RetentionService {
+ public:
+  RetentionService(ViewManager* views, RetentionOptions options,
+                   std::chrono::milliseconds period)
+      : manager_(views, options), period_(period) {}
+  ~RetentionService() { Stop(); }
+
+  void Start();
+  void Stop();
+  // One synchronous pass (also usable without Start).
+  RetentionManager::PruneReport RunOnce() { return manager_.PruneOnce(); }
+
+  uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+
+ private:
+  RetentionManager manager_;
+  std::chrono::milliseconds period_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> passes_{0};
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_MAINTENANCE_H_

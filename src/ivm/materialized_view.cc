@@ -1,0 +1,67 @@
+#include "ivm/materialized_view.h"
+
+#include <mutex>
+
+namespace rollview {
+
+void MaterializedView::Replace(CountMap contents, Csn csn) {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  map_ = std::move(contents);
+  csn_ = csn;
+}
+
+Status MaterializedView::Merge(const DeltaRows& delta, Csn new_csn) {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  // First pass: validate against a scratch aggregation so a bad delta does
+  // not corrupt the view.
+  CountMap net = ToCountMap(delta);
+  for (const auto& [tuple, count] : net) {
+    auto it = map_.find(tuple);
+    int64_t existing = (it == map_.end()) ? 0 : it->second;
+    if (existing + count < 0) {
+      return Status::Internal("merge would drive count of tuple " +
+                              TupleToString(tuple) + " to " +
+                              std::to_string(existing + count));
+    }
+  }
+  for (const auto& [tuple, count] : net) {
+    auto [it, inserted] = map_.try_emplace(tuple, count);
+    if (!inserted) {
+      it->second += count;
+      if (it->second == 0) map_.erase(it);
+    } else if (count == 0) {
+      map_.erase(it);
+    }
+  }
+  csn_ = new_csn;
+  return Status::OK();
+}
+
+CountMap MaterializedView::Contents() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return map_;
+}
+
+DeltaRows MaterializedView::AsDeltaRows() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  DeltaRows out;
+  out.reserve(map_.size());
+  for (const auto& [tuple, count] : map_) {
+    out.emplace_back(tuple, count, kNullCsn);
+  }
+  return out;
+}
+
+size_t MaterializedView::cardinality() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return map_.size();
+}
+
+int64_t MaterializedView::TotalCount() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  int64_t n = 0;
+  for (const auto& [tuple, count] : map_) n += count;
+  return n;
+}
+
+}  // namespace rollview

@@ -1,0 +1,62 @@
+// Copyright 2026 The rollview Authors.
+//
+// MaterializedView: the stored extent of a view, as a multiset represented
+// by tuple -> count (the canonical phi form), together with its
+// materialization time (the CSN the contents reflect).
+//
+// Physical consistency is guarded by an internal latch; *logical* isolation
+// between the apply driver and concurrent view readers is the callers'
+// responsibility (they take the view's named lock through the Db lock
+// manager -- this is the reader/apply contention experiment E5 measures).
+
+#ifndef ROLLVIEW_IVM_MATERIALIZED_VIEW_H_
+#define ROLLVIEW_IVM_MATERIALIZED_VIEW_H_
+
+#include <shared_mutex>
+
+#include "common/csn.h"
+#include "common/status.h"
+#include "ra/net_effect.h"
+#include "schema/schema.h"
+#include "schema/tuple.h"
+
+namespace rollview {
+
+class MaterializedView {
+ public:
+  explicit MaterializedView(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  Csn csn() const {
+    std::shared_lock<std::shared_mutex> lk(latch_);
+    return csn_;
+  }
+
+  // Installs a full recomputation (non-incremental refresh).
+  void Replace(CountMap contents, Csn csn);
+
+  // Applies a delta: adds each row's count to its tuple's count, dropping
+  // zeroed tuples. Fails with Internal (leaving the view untouched) if any
+  // resulting count would be negative -- a delta that deletes tuples the
+  // view does not contain indicates a maintenance bug upstream.
+  Status Merge(const DeltaRows& delta, Csn new_csn);
+
+  CountMap Contents() const;
+  DeltaRows AsDeltaRows() const;
+
+  // Number of distinct tuples.
+  size_t cardinality() const;
+  // Sum of counts (multiset size).
+  int64_t TotalCount() const;
+
+ private:
+  Schema schema_;
+  mutable std::shared_mutex latch_;
+  CountMap map_;
+  Csn csn_ = kNullCsn;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_MATERIALIZED_VIEW_H_

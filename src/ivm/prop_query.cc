@@ -1,0 +1,30 @@
+#include "ivm/prop_query.h"
+
+namespace rollview {
+
+bool PropQuery::HasBaseTerm() const {
+  for (const PropTerm& t : terms) {
+    if (!t.is_delta) return true;
+  }
+  return false;
+}
+
+size_t PropQuery::NumDeltaTerms() const {
+  size_t n = 0;
+  for (const PropTerm& t : terms) {
+    if (t.is_delta) ++n;
+  }
+  return n;
+}
+
+std::string PropQuery::ToString() const {
+  std::string out = sign < 0 ? "-" : "";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += " * ";
+    out += "R" + std::to_string(i + 1);
+    if (terms[i].is_delta) out += terms[i].range.ToString();
+  }
+  return out;
+}
+
+}  // namespace rollview

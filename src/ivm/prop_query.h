@@ -1,0 +1,63 @@
+// Copyright 2026 The rollview Authors.
+//
+// PropQuery: one propagation query Q^V (paper Sec. 2) -- the view's join
+// with one or more base relations replaced by delta-table range selections.
+// Q[i] is either the base table R^i (seen at the executing transaction's
+// time) or R^i_{lo,hi} = sigma_{lo,hi}(Delta^R_i).
+//
+// The paper's terminology (Sec. 3.2, footnote 1):
+//  * a *forward query* has exactly one delta term;
+//  * a *compensation query* has more than one.
+
+#ifndef ROLLVIEW_IVM_PROP_QUERY_H_
+#define ROLLVIEW_IVM_PROP_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/csn.h"
+#include "ivm/view.h"
+
+namespace rollview {
+
+struct PropTerm {
+  bool is_delta = false;
+  CsnRange range;  // meaningful iff is_delta
+
+  static PropTerm Base() { return PropTerm{false, {}}; }
+  static PropTerm Delta(Csn lo, Csn hi) {
+    return PropTerm{true, CsnRange{lo, hi}};
+  }
+};
+
+struct PropQuery {
+  const View* view = nullptr;
+  std::vector<PropTerm> terms;  // one per view term
+  int64_t sign = +1;
+
+  // The all-base query for `view` (the starting point of ComputeDelta).
+  static PropQuery AllBase(const View* view, int64_t sign = +1) {
+    PropQuery q;
+    q.view = view;
+    q.terms.assign(view->resolved.num_terms(), PropTerm::Base());
+    q.sign = sign;
+    return q;
+  }
+
+  size_t num_terms() const { return terms.size(); }
+  bool HasBaseTerm() const;
+  size_t NumDeltaTerms() const;
+  // -Q: flips the sign (the paper's negation operator applied to a query).
+  PropQuery Negated() const {
+    PropQuery q = *this;
+    q.sign = -q.sign;
+    return q;
+  }
+
+  // E.g. "-R1(3,7] * R2 * R3(0,7]" -- delta terms show their range.
+  std::string ToString() const;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_PROP_QUERY_H_

@@ -1,0 +1,55 @@
+#include "ivm/propagate.h"
+
+#include <thread>
+
+namespace rollview {
+
+Propagator::Propagator(ViewManager* views, View* view,
+                       std::unique_ptr<IntervalPolicy> policy,
+                       PropagatorOptions options)
+    : views_(views),
+      view_(view),
+      policy_(std::move(policy)),
+      runner_(views, view, options.runner),
+      compute_delta_(&runner_, options.compute_delta),
+      t_cur_(view->propagate_from.load(std::memory_order_acquire)) {}
+
+Result<bool> Propagator::Step() {
+  Csn ready = views_->DeltaReadyCsn();
+  if (ready <= t_cur_) return false;
+
+  // Propagate uses one interval for all relations; ask the policy against
+  // the busiest base delta (the first table's by convention is arbitrary --
+  // a uniform-interval process has no per-relation knowledge, so we give it
+  // the union cardinality by probing each and taking the earliest bound).
+  Csn t_next = ready;
+  for (size_t i = 0; i < view_->resolved.num_terms(); ++i) {
+    DeltaTable* dt = views_->db()->delta(view_->resolved.table(i));
+    Csn b = policy_->NextBoundary(t_cur_, ready, *dt);
+    if (b > t_cur_ && b < t_next) t_next = b;
+  }
+  if (t_next <= t_cur_) return false;
+
+  ROLLVIEW_RETURN_NOT_OK(
+      compute_delta_.PropagateInterval(view_, t_cur_, t_next));
+  t_cur_ = t_next;
+  view_->AdvanceHwm(t_cur_);
+  return true;
+}
+
+Status Propagator::RunUntil(Csn target) {
+  while (t_cur_ < target) {
+    ROLLVIEW_ASSIGN_OR_RETURN(bool advanced, Step());
+    if (!advanced) {
+      if (views_->capture() != nullptr) {
+        // Give capture a chance to publish more of the log.
+        ROLLVIEW_RETURN_NOT_OK(views_->capture()->WaitForCsn(
+            std::min(target, views_->db()->stable_csn())));
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rollview

@@ -1,0 +1,144 @@
+#include "ivm/query_runner.h"
+
+#include <cassert>
+#include <thread>
+
+namespace rollview {
+
+QueryRunner::QueryRunner(ViewManager* views, View* view,
+                         RunnerOptions options)
+    : views_(views), view_(view), options_(options) {}
+
+Status QueryRunner::EnsureSpecialTable() {
+  if (special_table_ != kInvalidTableId) return Status::OK();
+  // One probe table per view; capture must be in log mode so that DPropR
+  // (LogCapture) resolves the marker's transaction to a CSN.
+  std::string name = "__uow_probe_" + view_->name;
+  Result<TableId> existing = views_->db()->FindTable(name);
+  if (existing.ok()) {
+    special_table_ = existing.value();
+    return Status::OK();
+  }
+  Schema schema({Column{"marker", ValueType::kInt64}});
+  ROLLVIEW_ASSIGN_OR_RETURN(special_table_,
+                            views_->db()->CreateTable(name, schema));
+  return Status::OK();
+}
+
+Result<Csn> QueryRunner::Execute(const PropQuery& q) {
+  assert(q.view == view_);
+  // The query may only read delta ranges that capture has fully published.
+  Csn need = kNullCsn;
+  for (const PropTerm& t : q.terms) {
+    if (t.is_delta && t.range.hi > need) need = t.range.hi;
+  }
+  if (need != kNullCsn && views_->capture() != nullptr) {
+    ROLLVIEW_RETURN_NOT_OK(views_->capture()->WaitForCsn(need));
+  }
+
+  int attempts = 0;
+  while (true) {
+    Result<Csn> r = ExecuteOnce(q);
+    if (r.ok()) return r;
+    bool retryable = r.status().IsTxnAborted() || r.status().IsBusy();
+    if (!retryable || ++attempts > options_.max_retries) return r;
+    stats_.retries++;
+    std::this_thread::sleep_for(options_.retry_backoff * attempts);
+  }
+}
+
+Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
+  Db* db = views_->db();
+  const ResolvedView& rv = view_->resolved;
+  std::unique_ptr<Txn> txn = db->Begin();
+
+  auto fail = [&](Status s) -> Result<Csn> {
+    db->Abort(txn.get()).ok();
+    return s;
+  };
+
+  // Materialize the delta-range terms. In trigger-capture mode the delta
+  // table is part of updaters' footprints, so reading it requires an S lock
+  // on its resource (this is the contention experiment E7 measures).
+  std::vector<DeltaRows> materialized(q.num_terms());
+  JoinQuery jq;
+  jq.terms.reserve(q.num_terms());
+  for (size_t i = 0; i < q.num_terms(); ++i) {
+    TableId tid = rv.table(i);
+    if (q.terms[i].is_delta) {
+      Status s = db->LockDeltaShared(txn.get(), tid);
+      if (!s.ok()) return fail(s);
+      materialized[i] = db->delta(tid)->Scan(q.terms[i].range);
+      jq.terms.push_back(TermSource::Rows(tid, &materialized[i]));
+    } else {
+      // Lock before evaluation so every base term is seen at one time (the
+      // commit CSN); strict 2PL holds the lock through commit.
+      Status s = db->LockTableShared(txn.get(), tid);
+      if (!s.ok()) return fail(s);
+      jq.terms.push_back(TermSource::BaseCurrent(tid));
+    }
+  }
+  jq.equi_joins = rv.def().joins;
+  jq.residual = rv.def().selection;
+  jq.projection = rv.def().projection;
+  jq.sign = q.sign;
+
+  JoinExecutor exec(db);
+  Result<DeltaRows> rows = exec.Execute(jq, txn.get(), &stats_.exec);
+  if (!rows.ok()) return fail(rows.status());
+
+  for (DeltaRow& row : rows.value()) {
+    db->BufferDeltaAppend(txn.get(), view_->view_delta.get(),
+                          std::move(row));
+  }
+  size_t appended = rows.value().size();
+
+  if (options_.use_special_table_csn_resolution) {
+    Status s = EnsureSpecialTable();
+    if (!s.ok()) return fail(s);
+    s = db->Insert(txn.get(), special_table_, Tuple{Value(++special_seq_)});
+    if (!s.ok()) return fail(s);
+  }
+
+  Status s = db->Commit(txn.get());
+  if (!s.ok()) return fail(s);
+  Csn csn = txn->commit_csn();
+
+  if (options_.use_special_table_csn_resolution &&
+      views_->capture() != nullptr) {
+    // The prototype's round-trip: wait for DPropR to capture the marker,
+    // then resolve this transaction's serialization time via the UOW table
+    // (Sec. 5). It must agree with the engine-reported commit CSN.
+    ROLLVIEW_RETURN_NOT_OK(views_->capture()->WaitForCsn(csn));
+    auto entry = db->uow()->LookupTxn(txn->id());
+    if (!entry.has_value()) {
+      return Status::Internal("UOW table missing propagation transaction");
+    }
+    if (entry->csn != csn) {
+      return Status::Internal("UOW-resolved CSN disagrees with commit CSN");
+    }
+    csn = entry->csn;
+  }
+
+  stats_.queries++;
+  stats_.rows_appended += appended;
+  if (q.NumDeltaTerms() == 1) {
+    stats_.forward_queries++;
+  } else {
+    stats_.comp_queries++;
+  }
+
+  if (tracker_ != nullptr) {
+    RegionTracker::Region region;
+    region.extent.reserve(q.num_terms());
+    for (const PropTerm& t : q.terms) {
+      region.extent.push_back(t.is_delta ? t.range : CsnRange{0, csn});
+    }
+    region.sign = q.sign;
+    region.label = q.ToString() + " @t" + std::to_string(csn);
+    tracker_->Record(std::move(region));
+  }
+  return csn;
+}
+
+}  // namespace rollview

@@ -1,0 +1,79 @@
+// Copyright 2026 The rollview Authors.
+//
+// QueryRunner: the Execute() primitive of Figures 4, 5 and 10. Each call
+// evaluates one propagation query as its own serializable transaction,
+// inserts the (signed, min-timestamped) result rows into the view delta
+// table, commits, and returns the transaction's commit CSN -- the query's
+// execution time t_exec, which the compensation machinery reasons about.
+//
+// In the paper's prototype, propagate discovers its own commit sequence
+// number by updating a special global table and waiting for DPropR to
+// capture it (Sec. 5). Our engine hands the commit CSN back directly; an
+// optional "special table round-trip" mode reproduces the prototype's
+// behavior faithfully for demonstration (see RunnerOptions).
+
+#ifndef ROLLVIEW_IVM_QUERY_RUNNER_H_
+#define ROLLVIEW_IVM_QUERY_RUNNER_H_
+
+#include <chrono>
+
+#include "common/result.h"
+#include "ivm/prop_query.h"
+#include "ivm/region_tracker.h"
+#include "ivm/view_manager.h"
+#include "ra/executor.h"
+
+namespace rollview {
+
+struct RunnerOptions {
+  // Retries on deadlock-victim aborts / lock timeouts.
+  int max_retries = 64;
+  std::chrono::microseconds retry_backoff{200};
+  // Reproduce the prototype's CSN discovery: write a marker row into a
+  // special captured table and resolve the CSN through the UOW table.
+  bool use_special_table_csn_resolution = false;
+};
+
+struct RunnerStats {
+  uint64_t queries = 0;          // committed propagation queries
+  uint64_t forward_queries = 0;  // exactly one delta term
+  uint64_t comp_queries = 0;     // more than one delta term
+  uint64_t retries = 0;
+  uint64_t rows_appended = 0;    // view-delta rows written
+  ExecStats exec;                // join-executor work
+};
+
+class QueryRunner {
+ public:
+  QueryRunner(ViewManager* views, View* view,
+              RunnerOptions options = RunnerOptions{});
+
+  // Executes `q`; returns its execution time (commit CSN). Blocks until the
+  // capture high-water mark covers every delta range in the query.
+  Result<Csn> Execute(const PropQuery& q);
+
+  ViewManager* views() const { return views_; }
+  View* view() const { return view_; }
+
+  const RunnerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RunnerStats{}; }
+
+  // Optional geometric instrumentation (Figs 6-9).
+  void set_region_tracker(RegionTracker* tracker) { tracker_ = tracker; }
+
+ private:
+  Result<Csn> ExecuteOnce(const PropQuery& q);
+  Status EnsureSpecialTable();
+
+  ViewManager* views_;
+  View* view_;
+  RunnerOptions options_;
+  RunnerStats stats_;
+  RegionTracker* tracker_ = nullptr;
+  TableId special_table_ = kInvalidTableId;
+  int64_t special_seq_ = 0;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_QUERY_RUNNER_H_

@@ -1,0 +1,108 @@
+#include "ivm/region_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rollview {
+
+void RegionTracker::Record(Region region) {
+  std::lock_guard<std::mutex> lk(mu_);
+  regions_.push_back(std::move(region));
+}
+
+std::vector<RegionTracker::Region> RegionTracker::regions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return regions_;
+}
+
+size_t RegionTracker::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return regions_.size();
+}
+
+void RegionTracker::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  regions_.clear();
+}
+
+int64_t RegionTracker::CoverageAt(const std::vector<Csn>& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  int64_t cover = 0;
+  for (const Region& r : regions_) {
+    if (r.extent.size() == point.size() && r.Contains(point)) {
+      cover += r.sign;
+    }
+  }
+  return cover;
+}
+
+std::optional<std::vector<Csn>> RegionTracker::CheckCoverage(
+    Csn base, Csn frontier) const {
+  std::vector<Region> snapshot = regions();
+  if (snapshot.empty()) return std::nullopt;
+  size_t dims = snapshot[0].extent.size();
+
+  // Elementary-cell sampling: collect the boundary CSNs per axis; each
+  // half-open cell (b_k, b_{k+1}] has uniform coverage, represented by the
+  // point with coordinates b_k + 1.
+  std::vector<std::vector<Csn>> reps(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    std::vector<Csn> bounds{0, base, frontier};
+    for (const Region& r : snapshot) {
+      bounds.push_back(std::min(r.extent[d].lo, frontier));
+      bounds.push_back(std::min(r.extent[d].hi, frontier));
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+      if (bounds[k] + 1 <= frontier) reps[d].push_back(bounds[k] + 1);
+    }
+    if (reps[d].empty()) reps[d].push_back(1);
+  }
+
+  // Walk the grid (odometer-style).
+  std::vector<size_t> idx(dims, 0);
+  std::vector<Csn> point(dims);
+  while (true) {
+    bool in_target = false;
+    for (size_t d = 0; d < dims; ++d) {
+      point[d] = reps[d][idx[d]];
+      if (point[d] > base) in_target = true;
+    }
+    int64_t expected = in_target ? 1 : 0;
+    int64_t cover = 0;
+    for (const Region& r : snapshot) {
+      if (r.Contains(point)) cover += r.sign;
+    }
+    if (cover != expected) return point;
+
+    size_t d = 0;
+    while (d < dims && ++idx[d] == reps[d].size()) {
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == dims) break;
+  }
+  return std::nullopt;
+}
+
+std::string RegionTracker::Dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const Region& r : regions_) {
+    out += r.sign >= 0 ? "+" : "-";
+    out += " ";
+    for (size_t d = 0; d < r.extent.size(); ++d) {
+      if (d > 0) out += " x ";
+      out += r.extent[d].ToString();
+    }
+    if (!r.label.empty()) {
+      out += "   ; ";
+      out += r.label;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rollview

@@ -1,0 +1,74 @@
+// Copyright 2026 The rollview Authors.
+//
+// RegionTracker: executable reproduction of the paper's Figures 6-9.
+//
+// The figures explain propagation geometrically: with one time axis per base
+// relation, a propagation query covers a hyper-rectangle -- a delta term
+// R^i_{lo,hi} spans (lo, hi] on axis i, and a base term seen at the query's
+// execution time t_e spans (0, t_e] on its axis. Forward queries count
+// positively, compensations negatively, and correctness means the *signed
+// coverage* of the executed queries equals exactly the L-shaped region
+// V_{a,b}: points with every coordinate <= b and at least one coordinate > a
+// are covered net once; all other points (up to the settled frontier) net
+// zero.
+//
+// The tracker records the rectangle of every executed query and can verify
+// signed coverage below a settled frontier, or dump the ledger (the textual
+// analogue of Figs 7-9) for bench_fig_geometry.
+
+#ifndef ROLLVIEW_IVM_REGION_TRACKER_H_
+#define ROLLVIEW_IVM_REGION_TRACKER_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csn.h"
+
+namespace rollview {
+
+class RegionTracker {
+ public:
+  struct Region {
+    std::vector<CsnRange> extent;  // one axis per view term
+    int64_t sign = +1;
+    std::string label;
+
+    bool Contains(const std::vector<Csn>& point) const {
+      for (size_t i = 0; i < extent.size(); ++i) {
+        if (!extent[i].Contains(point[i])) return false;
+      }
+      return true;
+    }
+  };
+
+  void Record(Region region);
+
+  std::vector<Region> regions() const;
+  size_t size() const;
+  void Clear();
+
+  // Verifies signed coverage against the target region V_{base, frontier}:
+  // for every sampled point p with all coordinates <= frontier, expects
+  //   sum of signs of covering regions == (any p_i > base) ? 1 : 0.
+  // Sample points are drawn from the boundary structure of the recorded
+  // regions (one representative per elementary cell), so the check is exact
+  // for the recorded rectangles. Returns the first violating point, or
+  // nullopt if coverage is correct.
+  std::optional<std::vector<Csn>> CheckCoverage(Csn base, Csn frontier) const;
+
+  // Signed coverage at one point.
+  int64_t CoverageAt(const std::vector<Csn>& point) const;
+
+  // Ledger: one line per region, in execution order.
+  std::string Dump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_REGION_TRACKER_H_

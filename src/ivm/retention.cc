@@ -1,0 +1,52 @@
+#include "ivm/retention.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rollview {
+
+RetentionManager::PruneReport RetentionManager::PruneOnce() {
+  PruneReport report;
+  std::vector<View*> views = views_->AllViews();
+  if (views.empty()) return report;
+
+  // Per-base-table floor: the minimum retention point over every view that
+  // reads the table's delta. Tables no view reads keep everything (their
+  // deltas may serve future views); a production system would expose a
+  // separate policy for them.
+  std::unordered_map<TableId, Csn> floors;
+  Csn global_floor = kMaxCsn;
+  for (View* v : views) {
+    Csn floor =
+        options_.base_delta_policy ==
+                RetentionOptions::BaseDeltaPolicy::kApplied
+            ? v->mv->csn()
+            : v->high_water_mark();
+    global_floor = std::min(global_floor, floor);
+    for (size_t i = 0; i < v->resolved.num_terms(); ++i) {
+      TableId t = v->resolved.table(i);
+      auto [it, inserted] = floors.try_emplace(t, floor);
+      if (!inserted) it->second = std::min(it->second, floor);
+    }
+  }
+  report.base_floor = global_floor == kMaxCsn ? kNullCsn : global_floor;
+
+  Db* db = views_->db();
+  for (const auto& [table, floor] : floors) {
+    if (floor == kNullCsn) continue;
+    report.base_delta_rows += db->delta(table)->Prune(floor);
+    if (options_.gc_versions) {
+      db->table(table)->GarbageCollect(floor);
+    }
+  }
+  if (options_.prune_view_deltas) {
+    for (View* v : views) {
+      Csn floor = v->mv->csn();
+      if (floor == kNullCsn) continue;
+      report.view_delta_rows += v->view_delta->Prune(floor);
+    }
+  }
+  return report;
+}
+
+}  // namespace rollview

@@ -1,0 +1,64 @@
+// Copyright 2026 The rollview Authors.
+//
+// Retention: bounding the growth of delta tables and MVCC version history
+// in a continuously running deployment.
+//
+// A base-delta row with timestamp ts is dead once every view over that
+// table has propagated past ts: forward queries start at the relation's
+// frontier and compensation queries reach back only to CompTime >= the
+// view's high-water mark, so rows at or below the mark are never read
+// again. (When synchronous refresh baselines are also in play, their reads
+// start at the MV's materialization time instead, which is never above the
+// mark -- the conservative policy covers that.)
+//
+// Similarly, a view-delta row at or below the MV's materialization time
+// can never be selected by a future roll, and base-table versions deleted
+// at or below the oldest interesting snapshot can be garbage collected.
+
+#ifndef ROLLVIEW_IVM_RETENTION_H_
+#define ROLLVIEW_IVM_RETENTION_H_
+
+#include "ivm/view_manager.h"
+
+namespace rollview {
+
+struct RetentionOptions {
+  // kApplied: prune base deltas below min(MV materialization time) --
+  //   conservative, also safe for synchronous-refresh users.
+  // kPropagated: prune below min(view-delta high-water mark) -- tighter,
+  //   safe when all maintenance is propagate/apply based.
+  enum class BaseDeltaPolicy { kApplied, kPropagated };
+  BaseDeltaPolicy base_delta_policy = BaseDeltaPolicy::kApplied;
+
+  // Also prune each view's view delta below its MV time.
+  bool prune_view_deltas = true;
+
+  // Also garbage-collect MVCC versions below the same floor. Disable when
+  // tests/oracles need time travel across the whole history.
+  bool gc_versions = false;
+};
+
+class RetentionManager {
+ public:
+  RetentionManager(ViewManager* views,
+                   RetentionOptions options = RetentionOptions{})
+      : views_(views), options_(options) {}
+
+  struct PruneReport {
+    uint64_t base_delta_rows = 0;
+    uint64_t view_delta_rows = 0;
+    Csn base_floor = kNullCsn;  // floor applied to base deltas (global min)
+  };
+
+  // One retention pass over every table and view. Safe to run concurrently
+  // with updaters, capture, propagation, and apply.
+  PruneReport PruneOnce();
+
+ private:
+  ViewManager* views_;
+  RetentionOptions options_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_RETENTION_H_

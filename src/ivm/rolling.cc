@@ -1,0 +1,214 @@
+#include "ivm/rolling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace rollview {
+
+RollingPropagator::RollingPropagator(
+    ViewManager* views, View* view,
+    std::vector<std::unique_ptr<IntervalPolicy>> policies,
+    RollingOptions options)
+    : views_(views),
+      view_(view),
+      policies_(std::move(policies)),
+      runner_(views, view, options.runner),
+      compute_delta_(&runner_, options.compute_delta),
+      skip_empty_(options.compute_delta.skip_empty_ranges),
+      mode_(options.compensation),
+      n_(view->resolved.num_terms()) {
+  assert(policies_.size() == n_ && "one interval policy per base relation");
+  Csn start = view->propagate_from.load(std::memory_order_acquire);
+  tfwd_.assign(n_, start);
+  tcomp_.assign(n_, start);
+  querylist_.resize(n_);
+}
+
+RollingPropagator::RollingPropagator(ViewManager* views, View* view,
+                                     Csn uniform_interval,
+                                     RollingOptions options)
+    : RollingPropagator(
+          views, view,
+          [&] {
+            std::vector<std::unique_ptr<IntervalPolicy>> ps;
+            for (size_t i = 0; i < view->resolved.num_terms(); ++i) {
+              ps.push_back(std::make_unique<FixedInterval>(uniform_interval));
+            }
+            return ps;
+          }(),
+          std::move(options)) {}
+
+void RollingPropagator::PruneQueryLists(Csn t) {
+  // A forward query whose execution time is <= every frontier can no longer
+  // overlap any future forward query (future queries start at frontiers and
+  // a strip extends only to its execution time on foreign axes), so it is
+  // fully compensated (paper footnote 4).
+  for (size_t j = 0; j < n_; ++j) {
+    while (!querylist_[j].empty() && querylist_[j].front().exec <= t) {
+      querylist_[j].pop_front();
+    }
+  }
+  RecomputeTcomp();
+}
+
+Csn RollingPropagator::CompTime(size_t j, Csn t) const {
+  // Oldest not-fully-compensated forward query of R^j still covering
+  // heights above t (exec > t); records are in increasing exec *and*
+  // increasing lo order, so the covering set is a suffix and its x-union
+  // starts at that record's lo. If none, only future strips (starting at
+  // tfwd[j]) can overlap.
+  for (const ForwardRecord& r : querylist_[j]) {
+    if (r.exec > t) return r.lo;
+  }
+  return tfwd_[j];
+}
+
+Csn RollingPropagator::SegmentEnd(size_t i, Csn t, Csn cap) const {
+  Csn end = cap;
+  for (size_t j = 0; j < i; ++j) {
+    for (const ForwardRecord& r : querylist_[j]) {
+      if (r.exec > t && r.exec < end) end = r.exec;
+    }
+  }
+  return end;
+}
+
+void RollingPropagator::RecomputeTcomp() {
+  for (size_t j = 0; j < n_; ++j) {
+    tcomp_[j] = querylist_[j].empty() ? tfwd_[j] : querylist_[j].front().lo;
+  }
+}
+
+Csn RollingPropagator::high_water_mark() const {
+  // Frontier mode settles each strip completely before advancing, so the
+  // mark is the frontier minimum (the Theorem 4.2 argument); deferred mode
+  // trails at the oldest uncompensated strip start (Theorem 4.3).
+  Csn hwm = kMaxCsn;
+  for (size_t j = 0; j < n_; ++j) {
+    hwm = std::min(hwm, mode_ == CompensationMode::kFrontier ? tfwd_[j]
+                                                             : tcomp_[j]);
+  }
+  return hwm == kMaxCsn ? kNullCsn : hwm;
+}
+
+Result<bool> RollingPropagator::Step() {
+  Csn ready = views_->DeltaReadyCsn();
+
+  // Choose the base relation with the smallest forward frontier.
+  size_t i = 0;
+  for (size_t j = 1; j < n_; ++j) {
+    if (tfwd_[j] < tfwd_[i]) i = j;
+  }
+  if (tfwd_[i] >= ready) return false;  // every frontier is caught up
+
+  PruneQueryLists(tfwd_[i]);
+
+  DeltaTable* dt = views_->db()->delta(view_->resolved.table(i));
+  Csn y1 = tfwd_[i];
+  Csn y2 = policies_[i]->NextBoundary(y1, ready, *dt);
+  if (y2 <= y1) return false;
+  stats_.steps++;
+
+  // Exact skip: an empty delta range makes the forward query (and every
+  // compensation involving this strip) identically empty. The frontier
+  // still advances. DeltaReadyCsn() >= y2 makes the emptiness final.
+  if (skip_empty_ && dt->CountInRange(CsnRange{y1, y2}) == 0) {
+    tfwd_[i] = y2;
+    stats_.forward_skipped++;
+    RecomputeTcomp();
+    view_->AdvanceHwm(high_water_mark());
+    return true;
+  }
+
+  // Forward query for R^i over (y1, y2].
+  PropQuery fwd = PropQuery::AllBase(view_);
+  fwd.terms[i] = PropTerm::Delta(y1, y2);
+  ROLLVIEW_ASSIGN_OR_RETURN(Csn t_exec, runner_.Execute(fwd));
+  stats_.forward_queries++;
+
+  if (mode_ == CompensationMode::kFrontier) {
+    // Compensate every other relation's drift back from the execution time
+    // to its current frontier; the strip's net contribution becomes the
+    // exact staircase rectangle (y1, y2] x prod_{j != i} (0, tfwd_j].
+    std::vector<Csn> tau(n_, t_exec);
+    for (size_t j = 0; j < n_; ++j) {
+      if (j != i) tau[j] = tfwd_[j];
+    }
+    ROLLVIEW_RETURN_NOT_OK(compute_delta_.Run(fwd.Negated(), tau, t_exec));
+    stats_.compensation_segments++;
+  } else {
+    // Deferred (Figure 10): remember the strip so higher-numbered relations
+    // compensate against it later ("if i < n"; 0-based: all but the last
+    // relation), and eagerly compensate overlap with lower-numbered
+    // relations, splitting (y1, y2] into rectangular segments at querylist
+    // execution times (the repeat/until of Figure 10).
+    if (i + 1 < n_) {
+      querylist_[i].push_back(ForwardRecord{y1, y2, t_exec});
+    }
+    if (i > 0) {
+      Csn t = y1;
+      while (t < y2) {
+        Csn seg_end = SegmentEnd(i, t, y2);
+        PropQuery comp = PropQuery::AllBase(view_, /*sign=*/-1);
+        comp.terms[i] = PropTerm::Delta(t, seg_end);
+        std::vector<Csn> tau(n_, t_exec);
+        for (size_t j = 0; j < i; ++j) tau[j] = CompTime(j, t);
+        ROLLVIEW_RETURN_NOT_OK(compute_delta_.Run(comp, tau, t_exec));
+        stats_.compensation_segments++;
+        t = seg_end;
+      }
+    }
+  }
+
+  tfwd_[i] = y2;
+  RecomputeTcomp();
+  view_->AdvanceHwm(high_water_mark());
+  return true;
+}
+
+Result<bool> RollingPropagator::TryFinish() {
+  Csn max_exec = kNullCsn;
+  for (const auto& list : querylist_) {
+    for (const ForwardRecord& r : list) {
+      if (r.exec > max_exec) max_exec = r.exec;
+    }
+  }
+  if (max_exec != kNullCsn && views_->capture() != nullptr) {
+    // The exec CSNs are commits of our own propagation queries; capture
+    // reaches them by draining the log, after which the range counts below
+    // are final.
+    ROLLVIEW_RETURN_NOT_OK(views_->capture()->WaitForCsn(max_exec));
+  }
+  for (size_t j = 0; j < n_; ++j) {
+    for (const ForwardRecord& strip : querylist_[j]) {
+      for (size_t k = j + 1; k < n_; ++k) {
+        DeltaTable* dk = views_->db()->delta(view_->resolved.table(k));
+        if (dk->CountInRange(CsnRange{tfwd_[k], strip.exec}) > 0) {
+          return false;  // real overlap remains; keep stepping
+        }
+      }
+    }
+  }
+  for (auto& list : querylist_) list.clear();
+  RecomputeTcomp();
+  view_->AdvanceHwm(high_water_mark());
+  return true;
+}
+
+Status RollingPropagator::RunUntil(Csn target) {
+  while (high_water_mark() < target) {
+    ROLLVIEW_ASSIGN_OR_RETURN(bool advanced, Step());
+    if (advanced) continue;
+    ROLLVIEW_ASSIGN_OR_RETURN(bool settled, TryFinish());
+    if (settled && high_water_mark() >= target) break;
+    if (views_->capture() != nullptr) {
+      ROLLVIEW_RETURN_NOT_OK(views_->capture()->WaitForCsn(
+          std::min(target, views_->db()->stable_csn())));
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return Status::OK();
+}
+
+}  // namespace rollview

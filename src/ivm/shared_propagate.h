@@ -1,0 +1,98 @@
+// Copyright 2026 The rollview Authors.
+//
+// SharedViewGroup: one propagation stream feeding many views.
+//
+// The paper motivates asynchrony partly by scale: "as the number of views
+// to be maintained increases, this problem becomes worse" (Sec. 1). When
+// several views share the same join (same base tables, same join
+// predicates) and differ only in selection and projection -- the common
+// dashboard pattern -- propagating each independently repeats identical
+// join work k times. A SharedViewGroup instead maintains one *carrier*
+// view (the unprojected, unfiltered join) with any rolling propagator, and
+// derives every member's timestamped view delta by filtering and
+// projecting the carrier's delta rows -- pure in-memory post-processing,
+// no additional propagation queries.
+//
+// Members remain ordinary Views: each has its own view delta, its own
+// high-water mark (advanced in lockstep with the carrier), and its own
+// apply schedule -- point-in-time refresh per member is unchanged.
+
+#ifndef ROLLVIEW_IVM_SHARED_PROPAGATE_H_
+#define ROLLVIEW_IVM_SHARED_PROPAGATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivm/rolling.h"
+
+namespace rollview {
+
+class SharedViewGroup {
+ public:
+  struct Options {
+    // Drop carrier delta rows once distributed to the members. Keeps each
+    // Distribute pass proportional to the *new* rows (the carrier's delta
+    // is unsorted, so scans are linear) -- without this the group's driver
+    // degrades quadratically and falls behind, which under frontier
+    // compensation snowballs into large propagation transactions. Disable
+    // only if the carrier itself will be rolled with an Applier.
+    bool prune_carrier_delta = true;
+  };
+
+  // `carrier_def` must have no selection and no projection (the carrier
+  // must subsume every member).
+  static Result<std::unique_ptr<SharedViewGroup>> Create(
+      ViewManager* views, const std::string& name, SpjViewDef carrier_def) {
+    return Create(views, name, std::move(carrier_def), Options{});
+  }
+  static Result<std::unique_ptr<SharedViewGroup>> Create(
+      ViewManager* views, const std::string& name, SpjViewDef carrier_def,
+      Options options);
+
+  // Registers a member view. Its tables and join predicates must equal the
+  // carrier's; selection/projection are free. Must be called before
+  // MaterializeAll.
+  Result<View*> AddMember(const std::string& name, SpjViewDef def);
+
+  // Materializes the carrier with one transaction and installs every
+  // member's extent (filter + project of the carrier rows) at the same CSN.
+  Status MaterializeAll();
+
+  // One rolling step on the carrier; newly settled carrier delta rows are
+  // distributed to the members and every high-water mark advances together.
+  Result<bool> Step();
+  Status RunUntil(Csn target);
+
+  View* carrier() const { return carrier_; }
+  const std::vector<View*>& members() const { return members_; }
+  Csn high_water_mark() const { return distributed_to_; }
+  RollingPropagator* propagator() { return propagator_.get(); }
+
+  struct Stats {
+    uint64_t carrier_rows_distributed = 0;
+    uint64_t member_rows_emitted = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  SharedViewGroup(ViewManager* views, View* carrier)
+      : views_(views), carrier_(carrier) {}
+
+  // Applies a member's selection/projection to carrier rows.
+  DeltaRows DeriveMemberRows(const View* member,
+                             const DeltaRows& carrier_rows) const;
+  Status Distribute(Csn up_to);
+
+  ViewManager* views_;
+  View* carrier_;
+  Options options_;
+  std::vector<View*> members_;
+  std::unique_ptr<RollingPropagator> propagator_;
+  Csn distributed_to_ = kNullCsn;
+  Stats stats_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_SHARED_PROPAGATE_H_

@@ -1,0 +1,105 @@
+#include "ivm/union_view.h"
+
+#include <algorithm>
+
+#include "ivm/apply.h"
+#include "ivm/propagate.h"
+
+namespace rollview {
+
+Result<std::unique_ptr<UnionView>> UnionView::Create(
+    std::vector<View*> branches) {
+  if (branches.empty()) {
+    return Status::InvalidArgument("union view needs at least one branch");
+  }
+  const Schema& schema = branches[0]->resolved.view_schema();
+  for (View* v : branches) {
+    if (!(v->resolved.view_schema() == schema)) {
+      return Status::InvalidArgument(
+          "union branches have incompatible schemas: " +
+          schema.ToString() + " vs " +
+          v->resolved.view_schema().ToString());
+    }
+  }
+  auto out = std::unique_ptr<UnionView>(new UnionView(std::move(branches)));
+  out->mv_ = std::make_unique<MaterializedView>(schema);
+  return out;
+}
+
+Csn UnionView::high_water_mark() const {
+  Csn hwm = kMaxCsn;
+  for (const View* v : branches_) {
+    hwm = std::min(hwm, v->high_water_mark());
+  }
+  return hwm == kMaxCsn ? kNullCsn : hwm;
+}
+
+Status UnionView::InitializeFromBranches() {
+  Csn csn = kNullCsn;
+  for (const View* v : branches_) {
+    Csn c = v->mv->csn();
+    if (c == kNullCsn) {
+      return Status::InvalidArgument("branch '" + v->name +
+                                     "' is not materialized");
+    }
+    if (csn == kNullCsn) {
+      csn = c;
+    } else if (csn != c) {
+      return Status::InvalidArgument(
+          "branches materialized at different times (" + std::to_string(csn) +
+          " vs " + std::to_string(c) + ")");
+    }
+  }
+  DeltaRows all;
+  for (const View* v : branches_) {
+    DeltaRows rows = v->mv->AsDeltaRows();
+    all.insert(all.end(), rows.begin(), rows.end());
+  }
+  mv_->Replace(ToCountMap(all), csn);
+  return Status::OK();
+}
+
+Status UnionView::AlignAndInitialize(ViewManager* views) {
+  Csn target = kNullCsn;
+  for (const View* v : branches_) {
+    if (v->mv->csn() == kNullCsn) {
+      return Status::InvalidArgument("branch '" + v->name +
+                                     "' is not materialized");
+    }
+    target = std::max(target, v->mv->csn());
+  }
+  for (View* v : branches_) {
+    if (v->mv->csn() == target) continue;
+    if (v->high_water_mark() < target) {
+      Propagator prop(views, v, std::make_unique<DrainInterval>());
+      ROLLVIEW_RETURN_NOT_OK(prop.RunUntil(target));
+    }
+    Applier applier(views, v);
+    ROLLVIEW_RETURN_NOT_OK(applier.RollTo(target));
+  }
+  return InitializeFromBranches();
+}
+
+Status UnionView::RollTo(Csn target) {
+  Csn from = mv_->csn();
+  if (from == kNullCsn) {
+    return Status::InvalidArgument("union view not initialized");
+  }
+  if (target < from) {
+    return Status::InvalidArgument("cannot roll union view backwards");
+  }
+  if (target > high_water_mark()) {
+    return Status::OutOfRange(
+        "target beyond the union's high-water mark (min over branches)");
+  }
+  if (target == from) return Status::OK();
+
+  DeltaRows window;
+  for (const View* v : branches_) {
+    DeltaRows rows = v->view_delta->Scan(CsnRange{from, target});
+    window.insert(window.end(), rows.begin(), rows.end());
+  }
+  return mv_->Merge(window, target);
+}
+
+}  // namespace rollview

@@ -1,0 +1,69 @@
+// Copyright 2026 The rollview Authors.
+//
+// Union views: V = V^1 + V^2 + ... + V^m (multiset union of
+// schema-compatible SPJ branches). The paper (Sec. 2): "Although rolling
+// propagation is presented for select-project-join views, it can be
+// extended easily to accommodate views involving union."
+//
+// The extension is exactly as easy as advertised: each branch is an
+// ordinary SPJ view with its own delta tables, propagator (any of
+// ComputeDelta / Propagate / RollingPropagate, with independent tuning),
+// and timestamped view delta. The union's delta over (a, b] is the
+// concatenation of the branches' deltas over (a, b] -- union distributes
+// over differencing -- so the union's high-water mark is the minimum of
+// the branch marks, and point-in-time refresh selects each branch's window
+// and merges them all into one stored extent.
+
+#ifndef ROLLVIEW_IVM_UNION_VIEW_H_
+#define ROLLVIEW_IVM_UNION_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "ivm/materialized_view.h"
+#include "ivm/view.h"
+
+namespace rollview {
+
+class ViewManager;
+
+class UnionView {
+ public:
+  // All branches must have identical output schemas and must already be
+  // registered with a ViewManager. Branches must outlive the union.
+  static Result<std::unique_ptr<UnionView>> Create(std::vector<View*> branches);
+
+  const std::vector<View*>& branches() const { return branches_; }
+  MaterializedView* mv() { return mv_.get(); }
+
+  // min over branches of their view-delta high-water marks: the furthest
+  // point the union can be rolled to.
+  Csn high_water_mark() const;
+
+  // Initializes the stored extent as the multiset union of the branches'
+  // *materialized* extents. All branches must be materialized at the same
+  // CSN (materialize them before updates start, or use AlignAndInitialize).
+  Status InitializeFromBranches();
+
+  // Brings every branch's MV to a common CSN -- the latest branch
+  // materialization time -- by propagating and applying the laggards, then
+  // initializes. Branch materializations commit as separate transactions,
+  // so their CSNs rarely line up naturally; this closes the gap.
+  Status AlignAndInitialize(ViewManager* views);
+
+  // Rolls the stored extent to `target` <= high_water_mark() by merging
+  // every branch's sigma_{cur, target} window.
+  Status RollTo(Csn target);
+
+ private:
+  explicit UnionView(std::vector<View*> branches)
+      : branches_(std::move(branches)) {}
+
+  std::vector<View*> branches_;
+  std::unique_ptr<MaterializedView> mv_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_UNION_VIEW_H_

@@ -1,0 +1,63 @@
+// Copyright 2026 The rollview Authors.
+//
+// View: one registered materialized view and its maintenance state -- the
+// in-memory equivalent of the paper's control tables (Sec. 5), which
+// "identify the tables associated with each materialized view, including the
+// view delta table, the underlying base tables, and their delta tables" and
+// "record the current view materialization time and the view delta
+// high-water mark".
+
+#ifndef ROLLVIEW_IVM_VIEW_H_
+#define ROLLVIEW_IVM_VIEW_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "capture/delta_table.h"
+#include "ivm/materialized_view.h"
+#include "ivm/view_def.h"
+
+namespace rollview {
+
+using ViewId = uint32_t;
+
+struct View {
+  ViewId id = 0;
+  std::string name;
+  ResolvedView resolved;
+
+  // The view delta: timestamped change rows produced by propagation. Not
+  // time-ordered (the min-timestamp rule emits rows out of order).
+  std::unique_ptr<DeltaTable> view_delta;
+
+  // The stored view extent; its csn() is the view materialization time.
+  std::unique_ptr<MaterializedView> mv;
+
+  // View delta high-water mark: sigma_{mv.csn, hwm}(view_delta) is a
+  // complete timed delta table (Def. 4.2). Advanced only by the propagation
+  // process; monotone.
+  std::atomic<Csn> delta_hwm{0};
+
+  // Where propagation starts (the initial materialization time).
+  std::atomic<Csn> propagate_from{0};
+
+  // Named lock-manager resource for reader/apply isolation on the MV.
+  uint64_t mv_lock_resource = 0;
+
+  Csn high_water_mark() const {
+    return delta_hwm.load(std::memory_order_acquire);
+  }
+  // Monotonic advance (propagation never retracts the mark).
+  void AdvanceHwm(Csn csn) {
+    Csn cur = delta_hwm.load(std::memory_order_relaxed);
+    while (csn > cur &&
+           !delta_hwm.compare_exchange_weak(cur, csn,
+                                            std::memory_order_release)) {
+    }
+  }
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_VIEW_H_

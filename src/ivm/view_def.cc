@@ -1,0 +1,76 @@
+#include "ivm/view_def.h"
+
+#include <cassert>
+
+namespace rollview {
+
+Result<ResolvedView> ResolvedView::Resolve(Db* db, SpjViewDef def) {
+  if (def.tables.empty()) {
+    return Status::InvalidArgument("view has no base tables");
+  }
+  ResolvedView rv;
+  rv.offsets_.reserve(def.tables.size());
+  rv.widths_.reserve(def.tables.size());
+  Schema concat;
+  for (TableId id : def.tables) {
+    VersionedTable* t = db->table(id);
+    if (t == nullptr) {
+      return Status::NotFound("view references unknown table " +
+                              std::to_string(id));
+    }
+    rv.offsets_.push_back(concat.num_columns());
+    rv.widths_.push_back(t->schema().num_columns());
+    concat = concat.Concat(t->schema());
+  }
+  for (const EquiJoin& j : def.joins) {
+    if (j.left_term >= def.tables.size() ||
+        j.right_term >= def.tables.size() ||
+        j.left_col >= rv.widths_[j.left_term] ||
+        j.right_col >= rv.widths_[j.right_term]) {
+      return Status::InvalidArgument("join predicate out of range");
+    }
+  }
+  if (def.selection) {
+    size_t max_col = def.selection->MaxColumnIndex();
+    if (max_col != SIZE_MAX && max_col >= concat.num_columns()) {
+      return Status::InvalidArgument("selection references column beyond "
+                                     "concatenated tuple");
+    }
+  }
+  for (size_t p : def.projection) {
+    if (p >= concat.num_columns()) {
+      return Status::InvalidArgument("projection index out of range");
+    }
+  }
+  rv.view_schema_ =
+      def.projection.empty() ? concat : concat.Project(def.projection);
+  rv.def_ = std::move(def);
+  return rv;
+}
+
+SpjViewDef ChainJoin(std::vector<TableId> tables,
+                     std::vector<std::pair<size_t, size_t>> links) {
+  assert(links.size() + 1 == tables.size());
+  SpjViewDef def;
+  def.tables = std::move(tables);
+  for (size_t i = 0; i < links.size(); ++i) {
+    def.joins.push_back(EquiJoin{i, links[i].first, i + 1, links[i].second});
+  }
+  return def;
+}
+
+SpjViewDef StarJoin(TableId fact, std::vector<TableId> dims,
+                    std::vector<size_t> fact_cols,
+                    std::vector<size_t> dim_key_cols) {
+  assert(dims.size() == fact_cols.size() &&
+         dims.size() == dim_key_cols.size());
+  SpjViewDef def;
+  def.tables.push_back(fact);
+  for (size_t d = 0; d < dims.size(); ++d) {
+    def.tables.push_back(dims[d]);
+    def.joins.push_back(EquiJoin{0, fact_cols[d], d + 1, dim_key_cols[d]});
+  }
+  return def;
+}
+
+}  // namespace rollview

@@ -1,0 +1,79 @@
+// Copyright 2026 The rollview Authors.
+//
+// SpjViewDef: the definition of a select-project-join view
+//   V = pi(sigma(R^1 |><| R^2 |><| ... |><| R^n))
+// (paper Sec. 2), plus ResolvedView, the definition bound to a Db with
+// schemas and concatenated-tuple offsets resolved.
+
+#ifndef ROLLVIEW_IVM_VIEW_DEF_H_
+#define ROLLVIEW_IVM_VIEW_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ra/expr.h"
+#include "ra/join_query.h"
+#include "schema/schema.h"
+#include "storage/db.h"
+
+namespace rollview {
+
+struct SpjViewDef {
+  // The base relations R^1..R^n, in join order.
+  std::vector<TableId> tables;
+  // Equi-join predicates between terms (term indexes into `tables`).
+  std::vector<EquiJoin> joins;
+  // Optional extra selection over the concatenated tuple (term order). Must
+  // not reference count or timestamp -- those are not addressable.
+  ExprPtr selection;
+  // Optional projection: indexes into the concatenated tuple; empty = all
+  // columns. Projection must not eliminate count or timestamp (they are
+  // implicit and always preserved).
+  std::vector<size_t> projection;
+};
+
+class ResolvedView {
+ public:
+  // An unresolved placeholder; usable only after assignment from Resolve.
+  ResolvedView() = default;
+
+  // Validates the definition against `db` and resolves offsets/schemas.
+  static Result<ResolvedView> Resolve(Db* db, SpjViewDef def);
+
+  const SpjViewDef& def() const { return def_; }
+  size_t num_terms() const { return def_.tables.size(); }
+  TableId table(size_t term) const { return def_.tables[term]; }
+
+  // Offset of term `i`'s first column in the concatenated tuple.
+  size_t term_offset(size_t term) const { return offsets_[term]; }
+  size_t term_width(size_t term) const { return widths_[term]; }
+  // Concatenated-tuple index of (term, col).
+  size_t ConcatIndex(size_t term, size_t col) const {
+    return offsets_[term] + col;
+  }
+
+  // Schema of the view's output tuples (after projection).
+  const Schema& view_schema() const { return view_schema_; }
+
+ private:
+  SpjViewDef def_;
+  std::vector<size_t> offsets_;
+  std::vector<size_t> widths_;
+  Schema view_schema_;
+};
+
+// Convenience builder: a chain join R^1.rkey = R^2.lkey, R^2.rkey = R^3.lkey,
+// ... where each link gives (left term's column, right term's column).
+SpjViewDef ChainJoin(std::vector<TableId> tables,
+                     std::vector<std::pair<size_t, size_t>> links);
+
+// Convenience builder: a star join -- every dimension table d joins the fact
+// table on fact_cols[d] = dim_key_cols[d].
+SpjViewDef StarJoin(TableId fact, std::vector<TableId> dims,
+                    std::vector<size_t> fact_cols,
+                    std::vector<size_t> dim_key_cols);
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_VIEW_DEF_H_

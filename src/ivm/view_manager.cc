@@ -1,0 +1,73 @@
+#include "ivm/view_manager.h"
+
+namespace rollview {
+
+Result<View*> ViewManager::CreateView(const std::string& name,
+                                      SpjViewDef def) {
+  ROLLVIEW_ASSIGN_OR_RETURN(ResolvedView resolved,
+                            ResolvedView::Resolve(db_, std::move(def)));
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& v : views_) {
+    if (v->name == name) {
+      return Status::AlreadyExists("view '" + name + "' exists");
+    }
+  }
+  auto view = std::make_unique<View>();
+  view->id = next_id_++;
+  view->name = name;
+  view->resolved = std::move(resolved);
+  view->view_delta = std::make_unique<DeltaTable>(
+      "vdelta_" + name, view->resolved.view_schema(), /*ts_sorted=*/false);
+  view->mv = std::make_unique<MaterializedView>(view->resolved.view_schema());
+  // Named lock resources: keep view locks clear of delta-table resources
+  // (which use the base TableId directly).
+  view->mv_lock_resource = (1ULL << 20) + view->id;
+  views_.push_back(std::move(view));
+  return views_.back().get();
+}
+
+std::vector<View*> ViewManager::AllViews() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<View*> out;
+  out.reserve(views_.size());
+  for (const auto& v : views_) out.push_back(v.get());
+  return out;
+}
+
+View* ViewManager::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& v : views_) {
+    if (v->name == name) return v.get();
+  }
+  return nullptr;
+}
+
+Status ViewManager::Materialize(View* view) {
+  const ResolvedView& rv = view->resolved;
+  std::unique_ptr<Txn> txn = db_->Begin();
+
+  JoinQuery q;
+  q.terms.reserve(rv.num_terms());
+  for (size_t i = 0; i < rv.num_terms(); ++i) {
+    q.terms.push_back(TermSource::BaseCurrent(rv.table(i)));
+  }
+  q.equi_joins = rv.def().joins;
+  q.residual = rv.def().selection;
+  q.projection = rv.def().projection;
+
+  JoinExecutor exec(db_);
+  Result<DeltaRows> rows = exec.Execute(q, txn.get());
+  if (!rows.ok()) {
+    db_->Abort(txn.get()).ok();
+    return rows.status();
+  }
+  ROLLVIEW_RETURN_NOT_OK(db_->Commit(txn.get()));
+  Csn csn = txn->commit_csn();
+
+  view->mv->Replace(ToCountMap(rows.value()), csn);
+  view->propagate_from.store(csn, std::memory_order_release);
+  view->delta_hwm.store(csn, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace rollview

@@ -1,0 +1,61 @@
+// Copyright 2026 The rollview Authors.
+//
+// ViewManager: registers views against a Db + LogCapture pair and performs
+// initial (full) materialization.
+
+#ifndef ROLLVIEW_IVM_VIEW_MANAGER_H_
+#define ROLLVIEW_IVM_VIEW_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "capture/log_capture.h"
+#include "ivm/view.h"
+#include "ra/executor.h"
+#include "storage/db.h"
+
+namespace rollview {
+
+class ViewManager {
+ public:
+  // `capture` may be null only if every base table uses trigger capture.
+  ViewManager(Db* db, LogCapture* capture) : db_(db), capture_(capture) {}
+
+  Db* db() const { return db_; }
+  LogCapture* capture() const { return capture_; }
+
+  // Registers a view. The view starts unmaterialized; call Materialize.
+  Result<View*> CreateView(const std::string& name, SpjViewDef def);
+
+  View* Find(const std::string& name) const;
+
+  // All registered views (stable pointers; views are never dropped).
+  std::vector<View*> AllViews() const;
+
+  // Fully computes the view in one transaction (S locks on all base tables)
+  // and installs the result. Sets the materialization time, the propagation
+  // start, and the view-delta high-water mark to the commit CSN.
+  Status Materialize(View* view);
+
+  // Largest CSN whose base-delta rows are guaranteed published: capture's
+  // high-water mark, or the engine's stable CSN when there is no capture
+  // (all-trigger configurations publish delta rows at commit).
+  Csn DeltaReadyCsn() const {
+    return capture_ != nullptr ? capture_->high_water_mark()
+                               : db_->stable_csn();
+  }
+
+ private:
+  Db* db_;
+  LogCapture* capture_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<View>> views_;
+  ViewId next_id_ = 1;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_VIEW_MANAGER_H_

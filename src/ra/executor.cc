@@ -1,0 +1,416 @@
+#include "ra/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "common/csn.h"
+
+namespace rollview {
+
+namespace {
+
+// Composite join key: the values of several columns, hashed together.
+struct JoinKey {
+  std::vector<Value> values;
+
+  friend bool operator==(const JoinKey& a, const JoinKey& b) {
+    return a.values == b.values;
+  }
+};
+
+struct JoinKeyHasher {
+  size_t operator()(const JoinKey& k) const {
+    size_t h = 0x243f6a8885a308d3ULL;
+    for (const Value& v : k.values) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// A partially-joined row: per-term indexes into the term arenas, plus the
+// running count product and min timestamp.
+struct PartialRow {
+  std::vector<uint32_t> slot;  // indexed by term; kUnbound if term unbound
+  int64_t count = 1;
+  Csn ts = kNullCsn;
+};
+
+constexpr uint32_t kUnbound = std::numeric_limits<uint32_t>::max();
+
+// Flattens a conjunction tree into its conjuncts.
+void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == Expr::Kind::kAnd) {
+    CollectConjuncts(e->lhs(), out);
+    CollectConjuncts(e->rhs(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+ExprPtr AndTogether(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return Expr::And(std::move(a), std::move(b));
+}
+
+}  // namespace
+
+Result<DeltaRows> JoinExecutor::Execute(const JoinQuery& query, Txn* txn,
+                                        ExecStats* stats) {
+  const size_t n = query.terms.size();
+  if (n == 0) return Status::InvalidArgument("join query has no terms");
+
+  ExecStats local;
+  local.queries = 1;
+
+  // Resolve table metadata and lock current-state terms up front so the
+  // whole query sees one consistent state (strict 2PL holds the locks to
+  // commit).
+  std::vector<VersionedTable*> tables(n, nullptr);
+  std::vector<size_t> widths(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const TermSource& t = query.terms[i];
+    VersionedTable* vt = db_->table(t.table);
+    if (vt == nullptr) return Status::NotFound("join term table not found");
+    tables[i] = vt;
+    widths[i] = vt->schema().num_columns();
+    if (t.kind == TermSource::Kind::kBaseCurrent) {
+      if (txn == nullptr) {
+        return Status::InvalidArgument(
+            "current-state term requires a transaction");
+      }
+      ROLLVIEW_RETURN_NOT_OK(db_->LockTableShared(txn, t.table));
+    } else if (t.kind == TermSource::Kind::kBaseSnapshot) {
+      if (t.snapshot_csn > db_->stable_csn()) {
+        return Status::OutOfRange("snapshot term beyond stable csn");
+      }
+    } else if (t.rows == nullptr) {
+      return Status::InvalidArgument("kRows term with null rows");
+    }
+  }
+
+  // Selection pushdown: conjuncts of the residual whose column references
+  // fall inside a single term's slice run against that term's rows before
+  // the join (shifted to the term's local column space); the rest stays as
+  // the post-join residual.
+  std::vector<size_t> offsets(n, 0);
+  for (size_t i = 1; i < n; ++i) offsets[i] = offsets[i - 1] + widths[i - 1];
+  std::vector<ExprPtr> term_pred(n);
+  ExprPtr residual;
+  {
+    std::vector<ExprPtr> conjuncts;
+    CollectConjuncts(query.residual, &conjuncts);
+    for (ExprPtr& c : conjuncts) {
+      size_t lo = c->MinColumnIndex();
+      size_t hi = c->MaxColumnIndex();
+      bool pushed = false;
+      if (lo != SIZE_MAX) {
+        for (size_t i = 0; i < n; ++i) {
+          if (lo >= offsets[i] && hi < offsets[i] + widths[i]) {
+            term_pred[i] =
+                AndTogether(std::move(term_pred[i]), c->ShiftColumns(offsets[i]));
+            pushed = true;
+            break;
+          }
+        }
+      }
+      if (!pushed) residual = AndTogether(std::move(residual), std::move(c));
+    }
+  }
+
+  // Arenas hold every row materialized or probed per term; PartialRows
+  // reference arena slots. deque keeps references stable under growth.
+  std::vector<std::deque<DeltaRow>> arena(n);
+  std::vector<bool> bound(n, false);
+  std::vector<bool> materialized(n, false);
+
+  // True if the term-local predicate (if any) admits the tuple.
+  auto admits = [&](size_t i, const Tuple& t) {
+    if (term_pred[i] == nullptr || term_pred[i]->EvalBool(t)) return true;
+    local.pushdown_filtered++;
+    return false;
+  };
+
+  auto materialize = [&](size_t i) -> Status {
+    if (materialized[i]) return Status::OK();
+    const TermSource& t = query.terms[i];
+    switch (t.kind) {
+      case TermSource::Kind::kRows:
+        local.input_rows += t.rows->size();
+        for (const DeltaRow& r : *t.rows) {
+          if (admits(i, r.tuple)) arena[i].push_back(r);
+        }
+        break;
+      case TermSource::Kind::kBaseCurrent: {
+        std::vector<Tuple> rows = tables[i]->CurrentScan(txn->id());
+        local.input_rows += rows.size();
+        for (Tuple& tp : rows) {
+          if (!admits(i, tp)) continue;
+          arena[i].push_back(DeltaRow(std::move(tp), +1, kNullCsn));
+        }
+        break;
+      }
+      case TermSource::Kind::kBaseSnapshot: {
+        std::vector<Tuple> rows = tables[i]->SnapshotScan(t.snapshot_csn);
+        local.input_rows += rows.size();
+        for (Tuple& tp : rows) {
+          if (!admits(i, tp)) continue;
+          arena[i].push_back(DeltaRow(std::move(tp), +1, kNullCsn));
+        }
+        break;
+      }
+    }
+    materialized[i] = true;
+    return Status::OK();
+  };
+
+  // Pick the start term: the smallest kRows term if any (propagation
+  // queries always have one -- every maintenance query involves at least one
+  // delta table), else the first base term.
+  size_t start = SIZE_MAX;
+  size_t start_size = SIZE_MAX;
+  for (size_t i = 0; i < n; ++i) {
+    if (query.terms[i].kind == TermSource::Kind::kRows &&
+        query.terms[i].rows->size() < start_size) {
+      start = i;
+      start_size = query.terms[i].rows->size();
+    }
+  }
+  if (start == SIZE_MAX) start = 0;
+
+  ROLLVIEW_RETURN_NOT_OK(materialize(start));
+  bound[start] = true;
+
+  std::vector<PartialRow> current;
+  current.reserve(arena[start].size());
+  for (uint32_t s = 0; s < arena[start].size(); ++s) {
+    PartialRow pr;
+    pr.slot.assign(n, kUnbound);
+    pr.slot[start] = s;
+    pr.count = arena[start][s].count;
+    pr.ts = arena[start][s].ts;
+    current.push_back(std::move(pr));
+  }
+
+  size_t num_bound = 1;
+  std::vector<bool> pred_used(query.equi_joins.size(), false);
+
+  while (num_bound < n) {
+    // Choose the next term: connected to the bound set, preferring (a) a
+    // base term probe-able through a hash index, then (b) any connected
+    // term, then (c) cartesian fallback.
+    size_t next = SIZE_MAX;
+    bool next_probeable = false;
+    // Predicates connecting the bound set to `next`:
+    //   (bound_term, bound_col, next_col)
+    std::vector<std::tuple<size_t, size_t, size_t>> connecting;
+
+    for (size_t cand = 0; cand < n && next == SIZE_MAX; ++cand) {
+      // First pass: probe-able candidates.
+      if (bound[cand]) continue;
+      if (query.terms[cand].kind == TermSource::Kind::kRows) continue;
+      for (const EquiJoin& ej : query.equi_joins) {
+        size_t other, other_col, cand_col;
+        if (ej.left_term == cand && bound[ej.right_term]) {
+          other = ej.right_term;
+          other_col = ej.right_col;
+          cand_col = ej.left_col;
+        } else if (ej.right_term == cand && bound[ej.left_term]) {
+          other = ej.left_term;
+          other_col = ej.left_col;
+          cand_col = ej.right_col;
+        } else {
+          continue;
+        }
+        const std::vector<size_t>& idx = tables[cand]->indexed_columns();
+        if (std::find(idx.begin(), idx.end(), cand_col) != idx.end()) {
+          next = cand;
+          next_probeable = true;
+          connecting.clear();
+          connecting.emplace_back(other, other_col, cand_col);
+          break;
+        }
+      }
+    }
+    if (next == SIZE_MAX) {
+      // Second pass: any connected candidate (hash join).
+      for (size_t cand = 0; cand < n && next == SIZE_MAX; ++cand) {
+        if (bound[cand]) continue;
+        for (const EquiJoin& ej : query.equi_joins) {
+          bool connects =
+              (ej.left_term == cand && bound[ej.right_term]) ||
+              (ej.right_term == cand && bound[ej.left_term]);
+          if (connects) {
+            next = cand;
+            break;
+          }
+        }
+      }
+    }
+    if (next == SIZE_MAX) {
+      // Cartesian fallback: first unbound term.
+      for (size_t cand = 0; cand < n; ++cand) {
+        if (!bound[cand]) {
+          next = cand;
+          break;
+        }
+      }
+    }
+
+    if (!next_probeable) {
+      // Gather all predicates connecting bound terms to `next`.
+      connecting.clear();
+      for (const EquiJoin& ej : query.equi_joins) {
+        if (ej.left_term == next && bound[ej.right_term]) {
+          connecting.emplace_back(ej.right_term, ej.right_col, ej.left_col);
+        } else if (ej.right_term == next && bound[ej.left_term]) {
+          connecting.emplace_back(ej.left_term, ej.left_col, ej.right_col);
+        }
+      }
+    }
+
+    std::vector<PartialRow> joined;
+
+    if (next_probeable && !connecting.empty()) {
+      auto [bt, bc, nc] = connecting[0];
+      const TermSource& ts = query.terms[next];
+      for (const PartialRow& pr : current) {
+        const Value& key = arena[bt][pr.slot[bt]].tuple[bc];
+        std::vector<Tuple> matches =
+            ts.kind == TermSource::Kind::kBaseCurrent
+                ? tables[next]->CurrentProbe(txn->id(), nc, key)
+                : tables[next]->SnapshotProbe(ts.snapshot_csn, nc, key);
+        local.index_probes++;
+        local.input_rows += matches.size();
+        for (Tuple& m : matches) {
+          if (!admits(next, m)) continue;
+          arena[next].push_back(DeltaRow(std::move(m), +1, kNullCsn));
+          PartialRow ext = pr;
+          ext.slot[next] = static_cast<uint32_t>(arena[next].size() - 1);
+          joined.push_back(std::move(ext));
+        }
+      }
+    } else if (!connecting.empty()) {
+      // Hash join: build on `next`, probe with current rows.
+      ROLLVIEW_RETURN_NOT_OK(materialize(next));
+      std::unordered_map<JoinKey, std::vector<uint32_t>, JoinKeyHasher> ht;
+      ht.reserve(arena[next].size());
+      for (uint32_t s = 0; s < arena[next].size(); ++s) {
+        JoinKey key;
+        key.values.reserve(connecting.size());
+        for (auto& [bt, bc, nc] : connecting) {
+          (void)bt;
+          (void)bc;
+          key.values.push_back(arena[next][s].tuple[nc]);
+        }
+        ht[std::move(key)].push_back(s);
+      }
+      for (const PartialRow& pr : current) {
+        JoinKey key;
+        key.values.reserve(connecting.size());
+        for (auto& [bt, bc, nc] : connecting) {
+          (void)nc;
+          key.values.push_back(arena[bt][pr.slot[bt]].tuple[bc]);
+        }
+        auto it = ht.find(key);
+        if (it == ht.end()) continue;
+        for (uint32_t s : it->second) {
+          PartialRow ext = pr;
+          ext.slot[next] = s;
+          joined.push_back(std::move(ext));
+        }
+      }
+    } else {
+      // Cartesian product.
+      ROLLVIEW_RETURN_NOT_OK(materialize(next));
+      for (const PartialRow& pr : current) {
+        for (uint32_t s = 0; s < arena[next].size(); ++s) {
+          PartialRow ext = pr;
+          ext.slot[next] = s;
+          joined.push_back(std::move(ext));
+        }
+      }
+    }
+
+    // Fold the joined term's count/ts into the partial rows, then apply any
+    // remaining predicates both of whose sides are now bound.
+    for (PartialRow& pr : joined) {
+      const DeltaRow& r = arena[next][pr.slot[next]];
+      pr.count *= r.count;
+      pr.ts = MinTimestamp(pr.ts, r.ts);
+    }
+    bound[next] = true;
+    ++num_bound;
+
+    // Residual equi-join predicates across already-bound terms (e.g. cycle
+    // edges in the join graph) filter here.
+    std::vector<PartialRow> filtered;
+    filtered.reserve(joined.size());
+    for (PartialRow& pr : joined) {
+      bool keep = true;
+      for (size_t p = 0; p < query.equi_joins.size(); ++p) {
+        if (pred_used[p]) continue;
+        const EquiJoin& ej = query.equi_joins[p];
+        if (!bound[ej.left_term] || !bound[ej.right_term]) continue;
+        const Value& a = arena[ej.left_term][pr.slot[ej.left_term]]
+                             .tuple[ej.left_col];
+        const Value& b = arena[ej.right_term][pr.slot[ej.right_term]]
+                             .tuple[ej.right_col];
+        if (!(a == b)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(std::move(pr));
+    }
+    // Mark predicates with both sides bound as consumed (they were either
+    // used for the join or checked as residuals just now).
+    for (size_t p = 0; p < query.equi_joins.size(); ++p) {
+      const EquiJoin& ej = query.equi_joins[p];
+      if (bound[ej.left_term] && bound[ej.right_term]) pred_used[p] = true;
+    }
+    current = std::move(filtered);
+    if (current.empty()) break;  // no output; still a valid (empty) result
+  }
+
+  // Assemble output: concatenated tuple in term order, residual selection,
+  // projection, sign.
+  DeltaRows out;
+  size_t total_width = 0;
+  for (size_t w : widths) total_width += w;
+
+  for (const PartialRow& pr : current) {
+    if (pr.count == 0) continue;
+    Tuple concat;
+    concat.reserve(total_width);
+    bool complete = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (pr.slot[i] == kUnbound) {
+        complete = false;
+        break;
+      }
+      const Tuple& piece = arena[i][pr.slot[i]].tuple;
+      concat.insert(concat.end(), piece.begin(), piece.end());
+    }
+    if (!complete) continue;  // current.empty() break left partial rows out
+    if (residual && !residual->EvalBool(concat)) continue;
+    Tuple projected;
+    if (query.projection.empty()) {
+      projected = std::move(concat);
+    } else {
+      projected.reserve(query.projection.size());
+      for (size_t idx : query.projection) projected.push_back(concat[idx]);
+    }
+    out.emplace_back(std::move(projected), pr.count * query.sign, pr.ts);
+  }
+  local.output_rows = out.size();
+  if (stats != nullptr) stats->Add(local);
+  return out;
+}
+
+}  // namespace rollview

@@ -1,0 +1,90 @@
+// Copyright 2026 The rollview Authors.
+//
+// A small expression tree for selection predicates and computed columns.
+// Expressions are evaluated against a tuple (for propagation queries: the
+// concatenation of all join terms' tuples, in term order). Column references
+// are positional; the ivm layer resolves (term, column) pairs to offsets.
+//
+// Boolean results are represented as int64 0/1; SQL NULL propagates through
+// comparisons as false (sufficient for the workloads; the IVM algorithms
+// place no constraints on the selection beyond not referencing count or
+// timestamp, which are not addressable here at all).
+
+#ifndef ROLLVIEW_RA_EXPR_H_
+#define ROLLVIEW_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "schema/tuple.h"
+
+namespace rollview {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind {
+    kColumn,
+    kLiteral,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+    kArith,
+  };
+  enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+  enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+
+  static ExprPtr Column(size_t index);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr operand);
+  // Numeric arithmetic: int64 op int64 stays integral (kMod requires it);
+  // any double operand promotes the result to double; NULL operands yield
+  // NULL; division/modulo by zero yields NULL.
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+
+  Kind kind() const { return kind_; }
+  size_t column_index() const { return column_index_; }
+  const Value& literal() const { return literal_; }
+  CmpOp cmp_op() const { return cmp_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  Value Eval(const Tuple& tuple) const;
+  bool EvalBool(const Tuple& tuple) const;
+
+  // Largest column index referenced (for arity checks); SIZE_MAX if none.
+  size_t MaxColumnIndex() const;
+  // Smallest column index referenced; SIZE_MAX if none.
+  size_t MinColumnIndex() const;
+
+  // Returns a copy of this expression with every column index shifted down
+  // by `offset` (for evaluating a pushed-down predicate against a single
+  // term's tuple instead of the concatenated tuple).
+  ExprPtr ShiftColumns(size_t offset) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  size_t column_index_ = 0;
+  Value literal_;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_RA_EXPR_H_

@@ -1,0 +1,80 @@
+#include "ra/net_effect.h"
+
+#include <algorithm>
+
+namespace rollview {
+
+CountMap ToCountMap(const DeltaRows& rows) {
+  CountMap map;
+  map.reserve(rows.size());
+  for (const DeltaRow& r : rows) {
+    auto [it, inserted] = map.try_emplace(r.tuple, r.count);
+    if (!inserted) {
+      it->second += r.count;
+      if (it->second == 0) map.erase(it);
+    } else if (r.count == 0) {
+      map.erase(it);
+    }
+  }
+  return map;
+}
+
+namespace {
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+DeltaRows FromCountMap(const CountMap& map) {
+  DeltaRows out;
+  out.reserve(map.size());
+  for (const auto& [tuple, count] : map) {
+    out.emplace_back(tuple, count, kNullCsn);
+  }
+  std::sort(out.begin(), out.end(), [](const DeltaRow& a, const DeltaRow& b) {
+    return TupleLess(a.tuple, b.tuple);
+  });
+  return out;
+}
+
+}  // namespace
+
+DeltaRows NetEffect(const DeltaRows& rows) {
+  return FromCountMap(ToCountMap(rows));
+}
+
+DeltaRows Negate(DeltaRows rows) {
+  for (DeltaRow& r : rows) r.count = -r.count;
+  return rows;
+}
+
+DeltaRows Union(DeltaRows a, const DeltaRows& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+bool NetEquivalent(const DeltaRows& a, const DeltaRows& b) {
+  CountMap ma = ToCountMap(a);
+  CountMap mb = ToCountMap(b);
+  if (ma.size() != mb.size()) return false;
+  for (const auto& [tuple, count] : ma) {
+    auto it = mb.find(tuple);
+    if (it == mb.end() || it->second != count) return false;
+  }
+  return true;
+}
+
+DeltaRows FromTuples(const std::vector<Tuple>& tuples) {
+  DeltaRows out;
+  out.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    out.emplace_back(t, +1, kNullCsn);
+  }
+  return out;
+}
+
+DeltaRows ApplyDelta(const DeltaRows& state, const DeltaRows& delta) {
+  return NetEffect(Union(DeltaRows(state), delta));
+}
+
+}  // namespace rollview

@@ -1,0 +1,48 @@
+// Copyright 2026 The rollview Authors.
+//
+// The net-effect operator phi (paper Definition 4.1) and delta-algebra
+// helpers. phi maps equivalent delta tables to a canonical form: group on
+// all attributes except count and timestamp, sum counts, null the timestamp,
+// drop zero-count groups.
+//
+// These functions are the vocabulary of the correctness tests (the timed-
+// delta-table invariant of Definition 4.2) and of the apply driver, which
+// merges selected view-delta rows into the materialized view.
+
+#ifndef ROLLVIEW_RA_NET_EFFECT_H_
+#define ROLLVIEW_RA_NET_EFFECT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "schema/tuple.h"
+
+namespace rollview {
+
+using CountMap = std::unordered_map<Tuple, int64_t, TupleHasher>;
+
+// Aggregates rows into tuple -> net count (zero-count entries removed).
+CountMap ToCountMap(const DeltaRows& rows);
+
+// phi(R): canonical form, sorted by tuple for deterministic comparison.
+DeltaRows NetEffect(const DeltaRows& rows);
+
+// -R: negates every count (paper Sec. 2).
+DeltaRows Negate(DeltaRows rows);
+
+// Multiset union R + S (concatenation; no normalization).
+DeltaRows Union(DeltaRows a, const DeltaRows& b);
+
+// True iff phi(a) == phi(b).
+bool NetEquivalent(const DeltaRows& a, const DeltaRows& b);
+
+// Lifts a plain multiset of tuples (e.g. a snapshot scan) into delta-row
+// form: each tuple with count +1, null timestamp.
+DeltaRows FromTuples(const std::vector<Tuple>& tuples);
+
+// phi(state + delta): the result of applying a delta to a state.
+DeltaRows ApplyDelta(const DeltaRows& state, const DeltaRows& delta);
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_RA_NET_EFFECT_H_

@@ -1,0 +1,25 @@
+// Copyright 2026 The rollview Authors.
+
+#ifndef ROLLVIEW_SCHEMA_COLUMN_H_
+#define ROLLVIEW_SCHEMA_COLUMN_H_
+
+#include <string>
+
+#include "common/value.h"
+
+namespace rollview {
+
+// A named, typed column. Columns are identified positionally within a
+// Schema; names exist for API ergonomics and debugging output.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  friend bool operator==(const Column& a, const Column& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_SCHEMA_COLUMN_H_

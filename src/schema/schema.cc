@@ -1,0 +1,57 @@
+#include "schema/schema.h"
+
+namespace rollview {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (size_t i : indices) {
+    cols.push_back(columns_[i]);
+  }
+  return Schema(std::move(cols));
+}
+
+Status Schema::ValidateTuple(const std::vector<Value>& cells) const {
+  if (cells.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(cells.size()) + " cells, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].is_null()) continue;
+    if (cells[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeName(columns_[i].type) + ", got " +
+          ValueTypeName(cells[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rollview

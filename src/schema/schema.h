@@ -1,0 +1,56 @@
+// Copyright 2026 The rollview Authors.
+//
+// Schema: an ordered list of columns. Base tables, delta tables, and view
+// results all describe their tuples with a Schema. Per the paper (Sec. 2),
+// the count and timestamp attributes of delta tables are *implicit*: they are
+// carried on DeltaRow (schema/tuple.h), not modeled as schema columns.
+
+#ifndef ROLLVIEW_SCHEMA_SCHEMA_H_
+#define ROLLVIEW_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/column.h"
+
+namespace rollview {
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of the column with the given name, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  // Concatenation, used when joining: the joined tuple's schema is the
+  // left schema followed by the right schema. Duplicate names are permitted
+  // (positional resolution disambiguates).
+  Schema Concat(const Schema& other) const;
+
+  // Schema containing the given subset of columns, in the given order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  // Verifies a tuple's cells match the column types (NULL allowed anywhere).
+  Status ValidateTuple(const std::vector<Value>& cells) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.columns_ == b.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_SCHEMA_SCHEMA_H_

@@ -1,0 +1,244 @@
+// Copyright 2026 The rollview Authors.
+//
+// Db: the embeddable storage engine the view-maintenance algorithms run
+// against -- the stand-in for the DB2 engine of the paper's prototype
+// (Sec. 5). It coordinates:
+//
+//   * versioned heap tables (MVCC) with per-table hash indexes
+//   * strict 2PL via the LockManager (serializable; commit order == CSN
+//     order == serialization order)
+//   * a write-ahead log consumed by the log-capture process
+//   * per-base-table delta tables and the unit-of-work table
+//
+// Capture mode per table (paper Sec. 5 discusses both):
+//   * kLog (default; the DPropR approach): the WAL is the only delta source.
+//     Update transactions never touch the delta table, so propagation reads
+//     of Delta^R do not conflict with updaters. Delta rows become visible
+//     when LogCapture processes the commit record.
+//   * kTrigger: the update transaction itself appends the delta rows at
+//     commit, after taking an X lock on the delta-table resource -- the
+//     widened "update footprint" the paper warns about. Propagation queries
+//     reading Delta^R in this mode take an S lock on the same resource.
+//     (Timestamps remain correct because stamping still happens at commit;
+//     the paper notes a naive trigger-at-update-time cannot know them.)
+
+#ifndef ROLLVIEW_STORAGE_DB_H_
+#define ROLLVIEW_STORAGE_DB_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "capture/delta_table.h"
+#include "capture/uow_table.h"
+#include "common/csn.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "schema/schema.h"
+#include "schema/tuple.h"
+#include "storage/ids.h"
+#include "storage/lock_manager.h"
+#include "storage/txn.h"
+#include "storage/versioned_table.h"
+#include "storage/wal.h"
+
+namespace rollview {
+
+struct TableOptions {
+  CaptureMode capture_mode = CaptureMode::kLog;
+  // Columns to maintain hash indexes on (propagation queries probe these).
+  std::vector<size_t> indexed_columns;
+};
+
+struct DbOptions {
+  LockManager::Options lock_options;
+  // When > 0, a transaction holding this many row locks on one table
+  // escalates to a table-level X lock (subsequent row locks on that table
+  // become no-ops). Classic contention/overhead trade: fewer lock-manager
+  // entries, coarser conflicts. 0 disables escalation.
+  size_t lock_escalation_threshold = 0;
+};
+
+using TuplePredicate = std::function<bool(const Tuple&)>;
+
+class Db {
+ public:
+  Db() : Db(DbOptions{}) {}
+  explicit Db(DbOptions options);
+  ~Db();
+
+  // Rebuilds an engine from a write-ahead log (e.g. one read back with
+  // ReadWalFile): replays table creations, then every *committed*
+  // transaction with its original CSN. Transactions with no commit record
+  // -- a crash's in-flight tail -- are discarded. The replayed history is
+  // re-emitted into the new engine's WAL so a fresh LogCapture rebuilds
+  // the delta tables and unit-of-work table; trigger-mode delta rows are
+  // regenerated directly, as on the original commit path. View deltas and
+  // materialized views are derived data and are rebuilt by re-registering
+  // the views and propagating.
+  static Result<std::unique_ptr<Db>> Recover(
+      const std::vector<WalRecord>& records,
+      DbOptions options = DbOptions{});
+
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  // --- Catalog ---
+
+  Result<TableId> CreateTable(const std::string& name, Schema schema,
+                              TableOptions options = TableOptions{});
+  Result<TableId> FindTable(const std::string& name) const;
+  VersionedTable* table(TableId id) const;
+  DeltaTable* delta(TableId id) const;  // Delta^R for base table `id`
+  CaptureMode capture_mode(TableId id) const;
+  std::vector<TableId> AllTableIds() const;
+
+  // --- Transactions ---
+
+  std::unique_ptr<Txn> Begin();
+  // Assigns the commit CSN, stamps versions and buffered delta rows, writes
+  // the WAL commit record, publishes the stable CSN, releases locks.
+  Status Commit(Txn* txn);
+  Status Abort(Txn* txn);
+
+  // --- Data operations (acquire their own IX/X locks) ---
+
+  Status Insert(Txn* txn, TableId table, Tuple tuple);
+  // Deletes up to `limit` (-1 = all) visible copies matching `pred`;
+  // returns the number deleted.
+  Result<int64_t> DeleteWhere(Txn* txn, TableId table,
+                              const TuplePredicate& pred, int64_t limit = -1);
+  // Convenience: delete copies equal to `tuple`.
+  Result<int64_t> DeleteTuple(Txn* txn, TableId table, const Tuple& tuple,
+                              int64_t limit = 1);
+  // The paper models an update as a deletion plus an insertion (Sec. 2).
+  Status Update(Txn* txn, TableId table, const Tuple& old_tuple,
+                Tuple new_tuple);
+
+  // --- Reads ---
+
+  // Current-state reads; take an S (scan) or IS+row-compatible (probe) lock.
+  Result<std::vector<Tuple>> Scan(Txn* txn, TableId table);
+  Result<std::vector<Tuple>> ScanWhere(Txn* txn, TableId table,
+                                       const TuplePredicate& pred);
+  // Index point read: visible rows whose indexed column `col` equals `key`.
+  // Takes IS on the table plus S on the key's row-lock resource, so it runs
+  // concurrently with writers of *other* keys (a full Scan's table-S lock
+  // would not). `col` must be one of the table's indexed columns; key-level
+  // serializability additionally requires `col` to be the leading indexed
+  // column (the one row locks hash), which is the common case.
+  Result<std::vector<Tuple>> ReadByKey(Txn* txn, TableId table, size_t col,
+                                       const Value& key);
+  // Lock-free time travel; `csn` must be <= stable_csn().
+  Result<std::vector<Tuple>> SnapshotScan(TableId table, Csn csn) const;
+
+  // --- Locking helpers for the IVM layer ---
+
+  // Table-level S lock for the duration of the txn (propagation queries see
+  // a stable current state of the base tables they read).
+  Status LockTableShared(Txn* txn, TableId table);
+  Status LockTableExclusive(Txn* txn, TableId table);
+  // Lock on the delta-table resource (trigger mode only; no-op in log mode).
+  Status LockDeltaShared(Txn* txn, TableId table);
+  // Lock on an arbitrary named resource (e.g. the materialized view).
+  Status LockNamedShared(Txn* txn, uint64_t resource);
+  Status LockNamedExclusive(Txn* txn, uint64_t resource);
+
+  // Buffers a view-delta append carrying a precomputed timestamp; applied
+  // atomically at commit. Used by ivm::Execute.
+  void BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row);
+
+  // --- Infrastructure access ---
+
+  Wal* wal() { return &wal_; }
+  LockManager* lock_manager() { return &lock_manager_; }
+  UowTable* uow() { return &uow_; }
+
+  // Largest CSN all of whose effects are stamped and snapshot-readable.
+  Csn stable_csn() const { return stable_csn_.load(std::memory_order_acquire); }
+
+  // Wall-clock time the commit path records into the UOW table. Benchmarks
+  // leave the default (system_clock::now).
+  void SetWallClock(std::function<WallTime()> clock);
+
+  // --- Snapshot pinning ---
+  //
+  // A pinned snapshot guarantees SnapshotScan(table, pin.csn()) keeps
+  // working regardless of concurrent GarbageCollect calls: GC horizons are
+  // clamped below the oldest pin. RAII -- dropping the handle unpins.
+  class SnapshotHandle {
+   public:
+    SnapshotHandle() = default;
+    SnapshotHandle(SnapshotHandle&& other) noexcept { *this = std::move(other); }
+    SnapshotHandle& operator=(SnapshotHandle&& other) noexcept;
+    ~SnapshotHandle() { Release(); }
+
+    SnapshotHandle(const SnapshotHandle&) = delete;
+    SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+    Csn csn() const { return csn_; }
+    bool valid() const { return db_ != nullptr; }
+    void Release();
+
+   private:
+    friend class Db;
+    SnapshotHandle(Db* db, Csn csn) : db_(db), csn_(csn) {}
+    Db* db_ = nullptr;
+    Csn csn_ = kNullCsn;
+  };
+
+  // Pins the current stable CSN.
+  SnapshotHandle PinSnapshot();
+  // Oldest pinned snapshot CSN; kMaxCsn when nothing is pinned.
+  Csn OldestPinnedSnapshot() const;
+
+  // Drops table versions no snapshot reader at or after `horizon` needs.
+  // The horizon is clamped below the oldest pinned snapshot.
+  void GarbageCollect(Csn horizon);
+
+ private:
+  struct TableEntry {
+    std::unique_ptr<VersionedTable> table;
+    std::unique_ptr<DeltaTable> delta;
+    CaptureMode capture_mode = CaptureMode::kLog;
+  };
+
+  TableEntry* entry(TableId id) const;
+  // Row-lock key for a tuple: hash of the first indexed column if any
+  // (key-level locking), else the whole tuple.
+  uint64_t RowLockKey(const TableEntry& e, const Tuple& tuple) const;
+  Status AcquireRowLock(Txn* txn, TableId table, const TableEntry& e,
+                        const Tuple& tuple);
+  // In trigger mode, buffers the delta row and locks the delta resource.
+  Status CaptureOnWrite(Txn* txn, TableId table, TableEntry* e,
+                        const Tuple& tuple, int64_t count);
+
+  DbOptions options_;
+  LockManager lock_manager_;
+  Wal wal_;
+  UowTable uow_;
+
+  mutable std::mutex catalog_mu_;
+  std::unordered_map<std::string, TableId> by_name_;
+  std::unordered_map<TableId, std::unique_ptr<TableEntry>> tables_;
+  TableId next_table_id_ = 1;
+
+  std::atomic<TxnId> next_txn_id_{1};
+  std::mutex commit_mu_;
+  Csn next_csn_ = 1;  // guarded by commit_mu_
+  std::atomic<Csn> stable_csn_{0};
+
+  std::function<WallTime()> wall_clock_;
+
+  mutable std::mutex pins_mu_;
+  std::multiset<Csn> pinned_snapshots_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_STORAGE_DB_H_

@@ -1,0 +1,24 @@
+// Copyright 2026 The rollview Authors.
+
+#ifndef ROLLVIEW_STORAGE_IDS_H_
+#define ROLLVIEW_STORAGE_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rollview {
+
+using TableId = uint32_t;
+using TxnId = uint64_t;
+
+inline constexpr TxnId kInvalidTxnId = 0;
+inline constexpr TableId kInvalidTableId = 0;
+
+// How a base table's delta table (Delta^R) is populated -- see storage/db.h
+// for the trade-off discussion (paper Sec. 5). Lives here so the WAL's
+// catalog records can carry it without depending on db.h.
+enum class CaptureMode : uint8_t { kLog = 0, kTrigger = 1 };
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_STORAGE_IDS_H_

@@ -1,0 +1,339 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rollview {
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+bool LockCompatible(LockMode a, LockMode b) {
+  // Rows: holder mode; columns: requested mode. Standard matrix.
+  static constexpr bool kCompat[5][5] = {
+      //            IS     IX     S      SIX    X
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+LockMode LockSupremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  auto is = [](LockMode m, LockMode x) { return m == x; };
+  // X absorbs everything.
+  if (is(a, LockMode::kX) || is(b, LockMode::kX)) return LockMode::kX;
+  // SIX with anything but X is SIX.
+  if (is(a, LockMode::kSIX) || is(b, LockMode::kSIX)) return LockMode::kSIX;
+  // S + IX = SIX; S + IS = S.
+  if ((is(a, LockMode::kS) && is(b, LockMode::kIX)) ||
+      (is(a, LockMode::kIX) && is(b, LockMode::kS))) {
+    return LockMode::kSIX;
+  }
+  if (is(a, LockMode::kS) || is(b, LockMode::kS)) return LockMode::kS;
+  if (is(a, LockMode::kIX) || is(b, LockMode::kIX)) return LockMode::kIX;
+  return LockMode::kIS;
+}
+
+LockManager::Queue* LockManager::GetQueue(const ResourceId& res) {
+  auto it = queues_.find(res);
+  if (it != queues_.end()) return it->second.get();
+  auto q = std::make_unique<Queue>();
+  Queue* raw = q.get();
+  queues_.emplace(res, std::move(q));
+  return raw;
+}
+
+const LockManager::Request* LockManager::FindGranted(const Queue& q,
+                                                     TxnId txn) const {
+  for (const Request& r : q.granted) {
+    if (r.txn == txn) return &r;
+  }
+  return nullptr;
+}
+
+bool LockManager::CanGrantFresh(const Queue& q, LockMode mode) const {
+  // FIFO fairness: a fresh request is granted only when compatible with all
+  // granted holders AND no one is already waiting (prevents a stream of S
+  // requests from starving a waiting X).
+  if (!q.waiting.empty()) return false;
+  for (const Request& r : q.granted) {
+    if (!LockCompatible(r.mode, mode)) return false;
+  }
+  return true;
+}
+
+bool LockManager::CanGrantUpgrade(const Queue& q, TxnId txn,
+                                  LockMode mode) const {
+  for (const Request& r : q.granted) {
+    if (r.txn == txn) continue;  // own old entry does not block the upgrade
+    if (!LockCompatible(r.mode, mode)) return false;
+  }
+  return true;
+}
+
+void LockManager::PromoteWaiters(const ResourceId& res, Queue* q) {
+  bool granted_any = false;
+  // Upgrades first: they hold a granted entry already and other waiters may
+  // be queued behind the very lock the upgrader holds.
+  for (auto it = q->waiting.begin(); it != q->waiting.end();) {
+    if (it->is_upgrade && CanGrantUpgrade(*q, it->txn, it->mode)) {
+      for (Request& g : q->granted) {
+        if (g.txn == it->txn) g.mode = it->mode;
+      }
+      it->granted = true;  // signals the waiting thread
+      waiting_on_.erase(it->txn);
+      it = q->waiting.erase(it);
+      granted_any = true;
+    } else {
+      ++it;
+    }
+  }
+  // Then FIFO for fresh requests: grant a prefix of compatible waiters.
+  while (!q->waiting.empty()) {
+    Request& front = q->waiting.front();
+    if (front.is_upgrade) break;  // blocked upgrade keeps FIFO order
+    bool ok = true;
+    for (const Request& r : q->granted) {
+      if (!LockCompatible(r.mode, front.mode)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) break;
+    front.granted = true;
+    q->granted.push_back(front);
+    held_[front.txn].push_back(res);
+    waiting_on_.erase(front.txn);
+    q->waiting.pop_front();
+    granted_any = true;
+  }
+  if (granted_any) q->cv.notify_all();
+}
+
+std::unordered_set<TxnId> LockManager::BlockersOf(TxnId txn,
+                                                  const Queue& q) const {
+  // A waiter is blocked behind (a) granted holders whose mode conflicts and
+  // (b) any request queued ahead of it (FIFO order blocks regardless of
+  // compatibility; this slightly over-approximates, trading spurious victim
+  // aborts for guaranteed progress).
+  std::unordered_set<TxnId> out;
+  LockMode mode = LockMode::kIS;
+  bool is_upgrade = false;
+  bool seen_self = false;
+  for (const Request& w : q.waiting) {
+    if (w.txn == txn) {
+      mode = w.mode;
+      is_upgrade = w.is_upgrade;
+      seen_self = true;
+      break;
+    }
+  }
+  if (!seen_self) return out;
+  for (const Request& g : q.granted) {
+    if (g.txn == txn) continue;
+    if (is_upgrade) {
+      if (!LockCompatible(g.mode, mode)) out.insert(g.txn);
+    } else {
+      if (!LockCompatible(g.mode, mode)) out.insert(g.txn);
+    }
+  }
+  if (!is_upgrade) {
+    for (const Request& w : q.waiting) {
+      if (w.txn == txn) break;
+      out.insert(w.txn);
+    }
+  }
+  return out;
+}
+
+bool LockManager::DetectDeadlock(TxnId self) const {
+  // DFS over the waits-for graph starting from `self`, looking for a cycle
+  // back to `self`. The graph is derived on demand from queue state.
+  std::unordered_set<TxnId> visited;
+  std::vector<TxnId> stack{self};
+  bool first = true;
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (!first && cur == self) return true;
+    first = false;
+    if (!visited.insert(cur).second) continue;
+    auto wit = waiting_on_.find(cur);
+    if (wit == waiting_on_.end()) continue;
+    auto qit = queues_.find(wit->second);
+    if (qit == queues_.end()) continue;
+    for (TxnId blocker : BlockersOf(cur, *qit->second)) {
+      if (blocker == self) return true;
+      stack.push_back(blocker);
+    }
+  }
+  return false;
+}
+
+void LockManager::RemoveWaiting(Queue* q, TxnId txn) {
+  for (auto it = q->waiting.begin(); it != q->waiting.end(); ++it) {
+    if (it->txn == txn) {
+      q->waiting.erase(it);
+      break;
+    }
+  }
+  waiting_on_.erase(txn);
+}
+
+Status LockManager::Acquire(TxnId txn, const ResourceId& res, LockMode mode) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Queue* q = GetQueue(res);
+
+  const Request* mine = FindGranted(*q, txn);
+  bool is_upgrade = false;
+  if (mine != nullptr) {
+    LockMode target = LockSupremum(mine->mode, mode);
+    if (target == mine->mode) {
+      return Status::OK();  // already held strongly enough
+    }
+    mode = target;
+    is_upgrade = true;
+    if (CanGrantUpgrade(*q, txn, mode)) {
+      for (Request& g : q->granted) {
+        if (g.txn == txn) g.mode = mode;
+      }
+      stats_.acquires++;
+      return Status::OK();
+    }
+  } else if (CanGrantFresh(*q, mode)) {
+    q->granted.push_back(Request{txn, mode, false, true});
+    held_[txn].push_back(res);
+    stats_.acquires++;
+    return Status::OK();
+  }
+
+  // Must wait.
+  q->waiting.push_back(Request{txn, mode, is_upgrade, false});
+  waiting_on_[txn] = res;
+  stats_.waits++;
+  auto wait_start = std::chrono::steady_clock::now();
+  auto deadline = wait_start + options_.wait_timeout;
+
+  auto finish_wait = [&]() {
+    auto now = std::chrono::steady_clock::now();
+    stats_.wait_nanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - wait_start)
+            .count());
+  };
+
+  while (true) {
+    q->cv.wait_for(lk, options_.deadlock_check_interval);
+
+    // Were we granted by a releaser's PromoteWaiters?
+    if (is_upgrade) {
+      const Request* g = FindGranted(*q, txn);
+      if (g != nullptr && g->mode == mode) {
+        bool still_waiting = false;
+        for (const Request& w : q->waiting) {
+          if (w.txn == txn) still_waiting = true;
+        }
+        if (!still_waiting) {
+          finish_wait();
+          stats_.acquires++;
+          return Status::OK();
+        }
+      }
+    } else {
+      bool still_waiting = false;
+      for (const Request& w : q->waiting) {
+        if (w.txn == txn) still_waiting = true;
+      }
+      if (!still_waiting) {
+        finish_wait();
+        stats_.acquires++;
+        return Status::OK();
+      }
+    }
+
+    if (DetectDeadlock(txn)) {
+      RemoveWaiting(q, txn);
+      PromoteWaiters(res, q);
+      finish_wait();
+      stats_.deadlocks++;
+      return Status::TxnAborted("deadlock victim on resource " +
+                                std::to_string(res.hi) + "/" +
+                                std::to_string(res.lo));
+    }
+
+    if (std::chrono::steady_clock::now() >= deadline) {
+      RemoveWaiting(q, txn);
+      PromoteWaiters(res, q);
+      finish_wait();
+      stats_.timeouts++;
+      return Status::Busy("lock wait timeout");
+    }
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+
+  // Remove any still-waiting request (aborted transaction mid-wait).
+  auto wit = waiting_on_.find(txn);
+  if (wit != waiting_on_.end()) {
+    auto qit = queues_.find(wit->second);
+    if (qit != queues_.end()) {
+      RemoveWaiting(qit->second.get(), txn);
+      PromoteWaiters(qit->first, qit->second.get());
+    }
+  }
+
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  std::vector<ResourceId> resources = std::move(hit->second);
+  held_.erase(hit);
+  for (const ResourceId& res : resources) {
+    auto qit = queues_.find(res);
+    if (qit == queues_.end()) continue;
+    Queue* q = qit->second.get();
+    q->granted.erase(
+        std::remove_if(q->granted.begin(), q->granted.end(),
+                       [txn](const Request& r) { return r.txn == txn; }),
+        q->granted.end());
+    PromoteWaiters(res, q);
+  }
+}
+
+bool LockManager::Holds(TxnId txn, const ResourceId& res,
+                        LockMode mode) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto qit = queues_.find(res);
+  if (qit == queues_.end()) return false;
+  const Request* r = FindGranted(*qit->second, txn);
+  if (r == nullptr) return false;
+  return LockSupremum(r->mode, mode) == r->mode;
+}
+
+LockManager::Stats LockManager::GetStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void LockManager::ResetStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = Stats{};
+}
+
+}  // namespace rollview

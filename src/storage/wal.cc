@@ -1,0 +1,43 @@
+#include "storage/wal.h"
+
+#include <cassert>
+
+namespace rollview {
+
+Lsn Wal::Append(WalRecord record) {
+  std::lock_guard<std::mutex> lk(mu_);
+  record.lsn = next_lsn_;
+  records_.push_back(std::move(record));
+  return next_lsn_++;
+}
+
+Lsn Wal::ReadFrom(Lsn from, size_t max, std::vector<WalRecord>* out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (from < first_lsn_) from = first_lsn_;
+  Lsn cursor = from;
+  while (cursor < next_lsn_ && out->size() < max) {
+    out->push_back(records_[static_cast<size_t>(cursor - first_lsn_)]);
+    ++cursor;
+  }
+  return cursor;
+}
+
+void Wal::Truncate(Lsn up_to) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (first_lsn_ < up_to && !records_.empty()) {
+    records_.pop_front();
+    ++first_lsn_;
+  }
+}
+
+Lsn Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_lsn_;
+}
+
+size_t Wal::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+}  // namespace rollview

@@ -1,0 +1,89 @@
+// Copyright 2026 The rollview Authors.
+//
+// Write-ahead log. Data operations append change records during the
+// transaction; Commit/Abort append a terminator carrying the commit CSN.
+// Because commits are serialized by the transaction manager's commit mutex,
+// commit records appear in the log in commit-sequence order -- the property
+// the log-capture process (capture/log_capture.h, the paper's DPropR
+// analogue) relies on to advance its high-water mark monotonically.
+//
+// The log is kept in memory; truncation of consumed prefixes is supported so
+// long-running benchmarks stay bounded.
+
+#ifndef ROLLVIEW_STORAGE_WAL_H_
+#define ROLLVIEW_STORAGE_WAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/csn.h"
+#include "schema/schema.h"
+#include "schema/tuple.h"
+#include "storage/ids.h"
+
+namespace rollview {
+
+using Lsn = uint64_t;
+
+// Catalog payload of a kCreateTable record: enough to recreate the table
+// (and its delta table) during log replay.
+struct CreateTablePayload {
+  std::string name;
+  Schema schema;
+  CaptureMode capture_mode = CaptureMode::kLog;
+  std::vector<size_t> indexed_columns;
+};
+
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kInsert,
+    kDelete,
+    kCommit,
+    kAbort,
+    kCreateTable,
+  };
+
+  Kind kind = Kind::kInsert;
+  Lsn lsn = 0;
+  TxnId txn = kInvalidTxnId;
+  TableId table = kInvalidTableId;  // kInsert/kDelete only
+  Tuple tuple;                      // kInsert/kDelete only
+  Csn commit_csn = kNullCsn;        // kCommit only
+  // Wall-clock commit timestamp (kCommit only); the capture process copies
+  // it into the unit-of-work table, exactly as DPropR reads commit times
+  // from the log.
+  std::chrono::system_clock::time_point commit_time;
+  // kCreateTable only (shared_ptr keeps WalRecord cheap to copy).
+  std::shared_ptr<CreateTablePayload> create;
+};
+
+class Wal {
+ public:
+  // Appends a record, assigning it the next LSN (returned).
+  Lsn Append(WalRecord record);
+
+  // Copies records with LSN >= `from` into `out` (up to `max` records).
+  // Returns the LSN one past the last record copied (the next `from`).
+  Lsn ReadFrom(Lsn from, size_t max, std::vector<WalRecord>* out) const;
+
+  // Drops records with LSN < `up_to`. Readers must have consumed them.
+  void Truncate(Lsn up_to);
+
+  Lsn next_lsn() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<WalRecord> records_;
+  Lsn first_lsn_ = 0;  // LSN of records_.front()
+  Lsn next_lsn_ = 0;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_STORAGE_WAL_H_

@@ -1,0 +1,275 @@
+#include "storage/wal_codec.h"
+
+#include <cassert>
+#include <cstring>
+#include <fstream>
+
+namespace rollview {
+
+namespace {
+
+// Little-endian primitives. memcpy keeps this alignment-safe; the hosts we
+// target are little-endian (a big-endian port would byte-swap here).
+template <typename T>
+void PutFixed(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool GetFixed(const std::string& data, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(const std::string& data, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!GetFixed(data, pos, &len)) return false;
+  if (*pos + len > data.size()) return false;
+  s->assign(data.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutFixed<uint8_t>(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutFixed<int64_t>(out, v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      PutFixed<double>(out, v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+bool GetValue(const std::string& data, size_t* pos, Value* v) {
+  uint8_t tag = 0;
+  if (!GetFixed(data, pos, &tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *v = Value::Null();
+      return true;
+    case ValueType::kInt64: {
+      int64_t x;
+      if (!GetFixed(data, pos, &x)) return false;
+      *v = Value(x);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double x;
+      if (!GetFixed(data, pos, &x)) return false;
+      *v = Value(x);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!GetString(data, pos, &s)) return false;
+      *v = Value(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(t.size()));
+  for (const Value& v : t) PutValue(out, v);
+}
+
+bool GetTuple(const std::string& data, size_t* pos, Tuple* t) {
+  uint32_t n = 0;
+  if (!GetFixed(data, pos, &n)) return false;
+  t->clear();
+  t->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    if (!GetValue(data, pos, &v)) return false;
+    t->push_back(std::move(v));
+  }
+  return true;
+}
+
+void PutCreatePayload(std::string* out, const CreateTablePayload& p) {
+  PutString(out, p.name);
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(p.schema.num_columns()));
+  for (const Column& c : p.schema.columns()) {
+    PutString(out, c.name);
+    PutFixed<uint8_t>(out, static_cast<uint8_t>(c.type));
+  }
+  PutFixed<uint8_t>(out, static_cast<uint8_t>(p.capture_mode));
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(p.indexed_columns.size()));
+  for (size_t col : p.indexed_columns) {
+    PutFixed<uint32_t>(out, static_cast<uint32_t>(col));
+  }
+}
+
+bool GetCreatePayload(const std::string& data, size_t* pos,
+                      CreateTablePayload* p) {
+  if (!GetString(data, pos, &p->name)) return false;
+  uint32_t ncols = 0;
+  if (!GetFixed(data, pos, &ncols)) return false;
+  std::vector<Column> cols;
+  cols.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Column c;
+    uint8_t type = 0;
+    if (!GetString(data, pos, &c.name)) return false;
+    if (!GetFixed(data, pos, &type)) return false;
+    c.type = static_cast<ValueType>(type);
+    cols.push_back(std::move(c));
+  }
+  p->schema = Schema(std::move(cols));
+  uint8_t mode = 0;
+  if (!GetFixed(data, pos, &mode)) return false;
+  p->capture_mode = static_cast<CaptureMode>(mode);
+  uint32_t nidx = 0;
+  if (!GetFixed(data, pos, &nidx)) return false;
+  p->indexed_columns.clear();
+  for (uint32_t i = 0; i < nidx; ++i) {
+    uint32_t col = 0;
+    if (!GetFixed(data, pos, &col)) return false;
+    p->indexed_columns.push_back(col);
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeWalRecord(const WalRecord& record, std::string* out) {
+  std::string body;
+  PutFixed<uint8_t>(&body, static_cast<uint8_t>(record.kind));
+  PutFixed<uint64_t>(&body, record.lsn);
+  PutFixed<uint64_t>(&body, record.txn);
+  PutFixed<uint32_t>(&body, record.table);
+  PutFixed<uint64_t>(&body, record.commit_csn);
+  int64_t nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      record.commit_time.time_since_epoch())
+                      .count();
+  PutFixed<int64_t>(&body, nanos);
+  switch (record.kind) {
+    case WalRecord::Kind::kInsert:
+    case WalRecord::Kind::kDelete:
+      PutTuple(&body, record.tuple);
+      break;
+    case WalRecord::Kind::kCreateTable:
+      assert(record.create != nullptr &&
+             "kCreateTable record requires a catalog payload");
+      PutCreatePayload(&body, *record.create);
+      break;
+    case WalRecord::Kind::kCommit:
+    case WalRecord::Kind::kAbort:
+      break;
+  }
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(body.size()));
+  out->append(body);
+}
+
+Result<WalRecord> DecodeWalRecord(const std::string& data, size_t offset,
+                                  size_t* consumed) {
+  size_t pos = offset;
+  uint32_t len = 0;
+  if (!GetFixed(data, &pos, &len)) {
+    return Status::OutOfRange("truncated length prefix");
+  }
+  if (pos + len > data.size()) {
+    return Status::OutOfRange("truncated record body");
+  }
+  size_t end = pos + len;
+
+  WalRecord rec;
+  uint8_t kind = 0;
+  int64_t nanos = 0;
+  if (!GetFixed(data, &pos, &kind) || !GetFixed(data, &pos, &rec.lsn) ||
+      !GetFixed(data, &pos, &rec.txn) || !GetFixed(data, &pos, &rec.table) ||
+      !GetFixed(data, &pos, &rec.commit_csn) ||
+      !GetFixed(data, &pos, &nanos)) {
+    return Status::Internal("corrupt record header");
+  }
+  rec.kind = static_cast<WalRecord::Kind>(kind);
+  rec.commit_time = std::chrono::system_clock::time_point(
+      std::chrono::duration_cast<std::chrono::system_clock::duration>(
+          std::chrono::nanoseconds(nanos)));
+  switch (rec.kind) {
+    case WalRecord::Kind::kInsert:
+    case WalRecord::Kind::kDelete:
+      if (!GetTuple(data, &pos, &rec.tuple)) {
+        return Status::Internal("corrupt tuple payload");
+      }
+      break;
+    case WalRecord::Kind::kCreateTable: {
+      auto payload = std::make_shared<CreateTablePayload>();
+      if (!GetCreatePayload(data, &pos, payload.get())) {
+        return Status::Internal("corrupt catalog payload");
+      }
+      rec.create = std::move(payload);
+      break;
+    }
+    case WalRecord::Kind::kCommit:
+    case WalRecord::Kind::kAbort:
+      break;
+    default:
+      return Status::Internal("unknown record kind " + std::to_string(kind));
+  }
+  if (pos != end) {
+    return Status::Internal("record length mismatch");
+  }
+  *consumed = end - offset;
+  return rec;
+}
+
+std::string EncodeWal(const std::vector<WalRecord>& records) {
+  std::string out;
+  for (const WalRecord& r : records) EncodeWalRecord(r, &out);
+  return out;
+}
+
+Result<std::vector<WalRecord>> DecodeWal(const std::string& data) {
+  std::vector<WalRecord> out;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t consumed = 0;
+    Result<WalRecord> r = DecodeWalRecord(data, pos, &consumed);
+    if (!r.ok()) {
+      if (r.status().IsOutOfRange()) break;  // torn tail: stop cleanly
+      return r.status();
+    }
+    out.push_back(std::move(r).value());
+    pos += consumed;
+  }
+  return out;
+}
+
+Status WriteWalFile(const std::string& path,
+                    const std::vector<WalRecord>& records) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::Internal("cannot open '" + path + "' for write");
+  std::string encoded = EncodeWal(records);
+  f.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  f.flush();
+  if (!f) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> ReadWalFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  std::string data((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  return DecodeWal(data);
+}
+
+}  // namespace rollview

@@ -1,0 +1,48 @@
+// Copyright 2026 The rollview Authors.
+//
+// Binary serialization of WAL records, and WAL-file I/O. The format is a
+// sequence of length-prefixed records:
+//
+//   [u32 record_len][u8 kind][u64 lsn][u64 txn][u32 table]
+//   [u64 commit_csn][i64 commit_time_nanos_since_epoch]
+//   [payload...]
+//
+// where payload is the encoded tuple (kInsert/kDelete) or the encoded
+// catalog entry (kCreateTable). All integers little-endian. A file is valid
+// up to its last complete record; a torn tail (partial final record, e.g.
+// from a crash mid-write) is detected and dropped by ReadWalFile.
+
+#ifndef ROLLVIEW_STORAGE_WAL_CODEC_H_
+#define ROLLVIEW_STORAGE_WAL_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/wal.h"
+
+namespace rollview {
+
+// Appends the encoded record (including its length prefix) to `out`.
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+// Decodes one record from `data` (which starts at a length prefix).
+// On success sets *consumed to the full encoded size. Returns OutOfRange
+// when fewer than a full record's bytes are available (torn tail).
+Result<WalRecord> DecodeWalRecord(const std::string& data, size_t offset,
+                                  size_t* consumed);
+
+// Whole-log helpers.
+std::string EncodeWal(const std::vector<WalRecord>& records);
+// Decodes records until the data ends; a torn final record is dropped
+// silently (crash semantics). Corrupt interior data fails.
+Result<std::vector<WalRecord>> DecodeWal(const std::string& data);
+
+// File I/O (binary).
+Status WriteWalFile(const std::string& path,
+                    const std::vector<WalRecord>& records);
+Result<std::vector<WalRecord>> ReadWalFile(const std::string& path);
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_STORAGE_WAL_CODEC_H_

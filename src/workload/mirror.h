@@ -1,0 +1,44 @@
+// Copyright 2026 The rollview Authors.
+//
+// TableMirror: a client-side mirror of the tuples a workload generator has
+// inserted into (a partition of) a table, so deletes and updates can target
+// rows that actually exist. Each generator thread owns a disjoint key
+// partition and therefore its own mirror; mirrors never race.
+
+#ifndef ROLLVIEW_WORKLOAD_MIRROR_H_
+#define ROLLVIEW_WORKLOAD_MIRROR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "schema/tuple.h"
+
+namespace rollview {
+
+class TableMirror {
+ public:
+  void Add(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const Tuple& Peek(size_t i) const { return tuples_[i]; }
+
+  // Removes and returns a uniformly random tuple (swap-remove).
+  Tuple TakeRandom(Rng& rng) {
+    size_t i = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(
+                                                      tuples_.size() - 1)));
+    Tuple out = std::move(tuples_[i]);
+    tuples_[i] = std::move(tuples_.back());
+    tuples_.pop_back();
+    return out;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_WORKLOAD_MIRROR_H_

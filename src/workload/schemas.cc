@@ -1,0 +1,204 @@
+#include "workload/schemas.h"
+
+#include <memory>
+
+namespace rollview {
+
+namespace {
+
+// Deterministic 64-bit mix for deriving payload fields from keys.
+int64_t MixKey(int64_t key, uint64_t salt) {
+  uint64_t x = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL + salt;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return static_cast<int64_t>(x & 0x7fffffffffffffffULL);
+}
+
+constexpr int64_t kPartitionStride = 1'000'000'000'000LL;
+
+}  // namespace
+
+// --- TwoTableWorkload ---
+
+Result<TwoTableWorkload> TwoTableWorkload::Create(
+    Db* db, int64_t r_rows, int64_t s_rows, int64_t join_domain,
+    uint64_t seed, CaptureMode capture_mode, const std::string& prefix) {
+  TwoTableWorkload w;
+  w.join_domain = join_domain;
+
+  Schema r_schema({Column{"rkey", ValueType::kInt64},
+                   Column{"jkey", ValueType::kInt64},
+                   Column{"rval", ValueType::kInt64}});
+  Schema s_schema({Column{"skey", ValueType::kInt64},
+                   Column{"jkey", ValueType::kInt64},
+                   Column{"sval", ValueType::kInt64}});
+  TableOptions options;
+  options.capture_mode = capture_mode;
+  options.indexed_columns = {0, 1};  // key and join column
+  ROLLVIEW_ASSIGN_OR_RETURN(w.r,
+                            db->CreateTable(prefix + "R", r_schema, options));
+  ROLLVIEW_ASSIGN_OR_RETURN(w.s,
+                            db->CreateTable(prefix + "S", s_schema, options));
+
+  Rng rng(seed);
+  std::unique_ptr<Txn> txn = db->Begin();
+  for (int64_t k = 0; k < r_rows; ++k) {
+    ROLLVIEW_RETURN_NOT_OK(db->Insert(
+        txn.get(), w.r,
+        Tuple{Value(k), Value(rng.Uniform(0, join_domain - 1)),
+              Value(MixKey(k, 1))}));
+  }
+  for (int64_t k = 0; k < s_rows; ++k) {
+    ROLLVIEW_RETURN_NOT_OK(db->Insert(
+        txn.get(), w.s,
+        Tuple{Value(k), Value(rng.Uniform(0, join_domain - 1)),
+              Value(MixKey(k, 2))}));
+  }
+  ROLLVIEW_RETURN_NOT_OK(db->Commit(txn.get()));
+  return w;
+}
+
+SpjViewDef TwoTableWorkload::ViewDef() const {
+  return ChainJoin({r, s}, {{1, 1}});  // R.jkey = S.jkey
+}
+
+UpdateStreamConfig TwoTableWorkload::RStream(int64_t partition,
+                                             uint64_t seed) const {
+  UpdateStreamConfig cfg;
+  cfg.table = r;
+  cfg.first_key = (partition + 1) * kPartitionStride;
+  int64_t domain = join_domain;
+  auto rng = std::make_shared<Rng>(seed);
+  cfg.make_tuple = [rng, domain](int64_t key) {
+    return Tuple{Value(key), Value(rng->Uniform(0, domain - 1)),
+                 Value(MixKey(key, 1))};
+  };
+  return cfg;
+}
+
+UpdateStreamConfig TwoTableWorkload::SStream(int64_t partition,
+                                             uint64_t seed) const {
+  UpdateStreamConfig cfg = RStream(partition, seed);
+  cfg.table = s;
+  int64_t domain = join_domain;
+  auto rng = std::make_shared<Rng>(seed ^ 0xabcdef);
+  cfg.make_tuple = [rng, domain](int64_t key) {
+    return Tuple{Value(key), Value(rng->Uniform(0, domain - 1)),
+                 Value(MixKey(key, 2))};
+  };
+  return cfg;
+}
+
+// --- StarSchemaWorkload ---
+
+Result<StarSchemaWorkload> StarSchemaWorkload::Create(Db* db,
+                                                      StarSchemaConfig config,
+                                                      uint64_t seed) {
+  StarSchemaWorkload w;
+  w.config = config;
+  if (w.config.fact_fanout == 0) w.config.fact_fanout = config.dim_rows;
+
+  TableOptions dim_options;
+  dim_options.capture_mode = config.capture_mode;
+  dim_options.indexed_columns = {0};
+  Schema dim_schema({Column{"dkey", ValueType::kInt64},
+                     Column{"attr", ValueType::kInt64},
+                     Column{"label", ValueType::kString}});
+  for (size_t d = 0; d < config.num_dims; ++d) {
+    ROLLVIEW_ASSIGN_OR_RETURN(
+        TableId id,
+        db->CreateTable(config.prefix + "dim" + std::to_string(d), dim_schema,
+                        dim_options));
+    w.dims.push_back(id);
+  }
+
+  std::vector<Column> fact_cols{Column{"fkey", ValueType::kInt64}};
+  TableOptions fact_options;
+  fact_options.capture_mode = config.capture_mode;
+  fact_options.indexed_columns = {0};
+  for (size_t d = 0; d < config.num_dims; ++d) {
+    fact_cols.push_back(Column{"d" + std::to_string(d), ValueType::kInt64});
+    fact_options.indexed_columns.push_back(d + 1);
+  }
+  fact_cols.push_back(Column{"amount", ValueType::kDouble});
+  ROLLVIEW_ASSIGN_OR_RETURN(
+      w.fact, db->CreateTable(config.prefix + "fact", Schema(fact_cols),
+                              fact_options));
+
+  // Bulk load.
+  Rng rng(seed);
+  Zipf zipf(w.config.fact_fanout, config.zipf_theta);
+  std::unique_ptr<Txn> txn = db->Begin();
+  for (size_t d = 0; d < config.num_dims; ++d) {
+    for (int64_t k = 0; k < config.dim_rows; ++k) {
+      ROLLVIEW_RETURN_NOT_OK(db->Insert(
+          txn.get(), w.dims[d],
+          Tuple{Value(k), Value(MixKey(k, d)),
+                Value("d" + std::to_string(d) + "_" + std::to_string(k))}));
+    }
+  }
+  for (int64_t k = 0; k < config.fact_rows; ++k) {
+    Tuple t{Value(k)};
+    for (size_t d = 0; d < config.num_dims; ++d) {
+      t.push_back(Value(zipf.Sample(rng)));
+    }
+    t.push_back(Value(static_cast<double>(rng.Uniform(1, 10000)) / 100.0));
+    ROLLVIEW_RETURN_NOT_OK(db->Insert(txn.get(), w.fact, std::move(t)));
+  }
+  ROLLVIEW_RETURN_NOT_OK(db->Commit(txn.get()));
+  return w;
+}
+
+SpjViewDef StarSchemaWorkload::ViewDef() const {
+  std::vector<size_t> fact_cols;
+  std::vector<size_t> dim_keys;
+  for (size_t d = 0; d < dims.size(); ++d) {
+    fact_cols.push_back(d + 1);  // fact.d<d>
+    dim_keys.push_back(0);       // dim.dkey
+  }
+  return StarJoin(fact, dims, fact_cols, dim_keys);
+}
+
+UpdateStreamConfig StarSchemaWorkload::FactStream(int64_t partition,
+                                                  uint64_t seed) const {
+  UpdateStreamConfig cfg;
+  cfg.table = fact;
+  cfg.first_key = (partition + 1) * kPartitionStride;
+  cfg.delete_prob = 0.2;
+  cfg.update_prob = 0.2;
+  size_t num_dims = dims.size();
+  auto rng = std::make_shared<Rng>(seed);
+  auto zipf = std::make_shared<Zipf>(config.fact_fanout, config.zipf_theta);
+  cfg.make_tuple = [rng, zipf, num_dims](int64_t key) {
+    Tuple t{Value(key)};
+    for (size_t d = 0; d < num_dims; ++d) {
+      t.push_back(Value(zipf->Sample(*rng)));
+    }
+    t.push_back(Value(static_cast<double>(rng->Uniform(1, 10000)) / 100.0));
+    return t;
+  };
+  return cfg;
+}
+
+UpdateStreamConfig StarSchemaWorkload::DimStream(size_t d, int64_t partition,
+                                                 uint64_t /*seed*/) const {
+  UpdateStreamConfig cfg;
+  cfg.table = dims[d];
+  cfg.first_key = (partition + 1) * kPartitionStride;
+  // Dimensions churn by in-place attribute updates (key preserved).
+  cfg.delete_prob = 0.0;
+  cfg.update_prob = 1.0;
+  cfg.make_tuple = [d](int64_t key) {
+    return Tuple{Value(key), Value(MixKey(key, d)),
+                 Value("d" + std::to_string(d) + "_" + std::to_string(key))};
+  };
+  cfg.mutate_tuple = [](const Tuple& old_tuple, int64_t fresh) {
+    Tuple t = old_tuple;
+    t[1] = Value(MixKey(fresh, 99));
+    return t;
+  };
+  return cfg;
+}
+
+}  // namespace rollview

@@ -1,0 +1,84 @@
+// Copyright 2026 The rollview Authors.
+//
+// Canned workload schemas used by tests, examples, and benchmarks:
+//
+//  * TwoTableWorkload -- R(rkey, jkey, rval) |><| S(jkey, sval) on jkey.
+//    Small and easy to reason about; the unit/property tests' workhorse.
+//
+//  * StarSchemaWorkload -- sales fact table joined to `num_dims` dimension
+//    tables. The paper's motivating case for per-relation propagation
+//    intervals (Sec. 3.4): "a star schema in which the central fact table
+//    is frequently updated and the surrounding dimension tables are rarely
+//    updated."
+
+#ifndef ROLLVIEW_WORKLOAD_SCHEMAS_H_
+#define ROLLVIEW_WORKLOAD_SCHEMAS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ivm/view_def.h"
+#include "storage/db.h"
+#include "workload/update_stream.h"
+
+namespace rollview {
+
+// --- Two-table chain ---
+
+struct TwoTableWorkload {
+  TableId r = kInvalidTableId;  // R(rkey INT64, jkey INT64, rval INT64)
+  TableId s = kInvalidTableId;  // S(skey INT64, jkey INT64, sval INT64)
+  int64_t join_domain = 64;     // jkey drawn from [0, join_domain)
+
+  // Creates the tables (indexes on key and join columns) and bulk-loads
+  // `r_rows` / `s_rows` seeded rows.
+  static Result<TwoTableWorkload> Create(Db* db, int64_t r_rows,
+                                         int64_t s_rows, int64_t join_domain,
+                                         uint64_t seed,
+                                         CaptureMode capture_mode =
+                                             CaptureMode::kLog,
+                                         const std::string& prefix = "");
+
+  // V = R |><|_{jkey} S.
+  SpjViewDef ViewDef() const;
+
+  // Update stream over R or S; `partition` picks a disjoint key range.
+  UpdateStreamConfig RStream(int64_t partition, uint64_t seed) const;
+  UpdateStreamConfig SStream(int64_t partition, uint64_t seed) const;
+};
+
+// --- Star schema ---
+
+struct StarSchemaConfig {
+  size_t num_dims = 2;
+  int64_t dim_rows = 200;       // rows per dimension table
+  int64_t fact_rows = 2000;     // initial fact rows
+  int64_t fact_fanout = 0;      // fact fk domain; 0 = dim_rows (all keys)
+  double zipf_theta = 0.8;      // fk skew when sampling dimension keys
+  CaptureMode capture_mode = CaptureMode::kLog;
+  std::string prefix;           // table-name prefix (multiple instances)
+};
+
+struct StarSchemaWorkload {
+  TableId fact = kInvalidTableId;
+  // fact schema: (fkey INT64, d0 INT64, ..., d{n-1} INT64, amount DOUBLE)
+  std::vector<TableId> dims;
+  // dim schema: (dkey INT64, attr INT64, label STRING)
+  StarSchemaConfig config;
+
+  static Result<StarSchemaWorkload> Create(Db* db, StarSchemaConfig config,
+                                           uint64_t seed);
+
+  // V = fact |><| dim_0 |><| ... |><| dim_{n-1}.
+  SpjViewDef ViewDef() const;
+
+  UpdateStreamConfig FactStream(int64_t partition, uint64_t seed) const;
+  UpdateStreamConfig DimStream(size_t d, int64_t partition,
+                               uint64_t seed) const;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_WORKLOAD_SCHEMAS_H_

@@ -1,0 +1,114 @@
+#include "workload/update_stream.h"
+
+#include <cassert>
+#include <thread>
+
+namespace rollview {
+
+UpdateStream::UpdateStream(Db* db, UpdateStreamConfig config, uint64_t seed)
+    : db_(db),
+      config_(std::move(config)),
+      rng_(seed),
+      next_key_(config_.first_key) {
+  assert(config_.make_tuple && "UpdateStreamConfig::make_tuple is required");
+  assert(config_.delete_prob + config_.update_prob <= 1.0);
+}
+
+std::vector<UpdateStream::PlannedOp> UpdateStream::Plan() {
+  std::vector<PlannedOp> ops;
+  ops.reserve(config_.ops_per_txn);
+  // Victims are removed from the mirror at plan time so one transaction
+  // never targets the same row twice; if the transaction ultimately fails
+  // (after retries) the stream is unusable and should be discarded.
+  for (size_t k = 0; k < config_.ops_per_txn; ++k) {
+    double roll = rng_.NextDouble();
+    bool can_mutate = !mirror_.empty();
+    if (can_mutate && roll < config_.delete_prob) {
+      Tuple victim = mirror_.TakeRandom(rng_);
+      ops.push_back(PlannedOp{PlannedOp::Kind::kDelete, std::move(victim),
+                              {}});
+    } else if (can_mutate &&
+               roll < config_.delete_prob + config_.update_prob) {
+      Tuple old_tuple = mirror_.TakeRandom(rng_);
+      Tuple new_tuple = config_.mutate_tuple
+                            ? config_.mutate_tuple(old_tuple, next_key_++)
+                            : config_.make_tuple(next_key_++);
+      ops.push_back(PlannedOp{PlannedOp::Kind::kUpdate, old_tuple,
+                              new_tuple});
+    } else {
+      Tuple fresh = config_.make_tuple(next_key_++);
+      ops.push_back(
+          PlannedOp{PlannedOp::Kind::kInsert, std::move(fresh), {}});
+    }
+  }
+  return ops;
+}
+
+Status UpdateStream::Apply(Txn* txn, const std::vector<PlannedOp>& ops) {
+  for (const PlannedOp& op : ops) {
+    switch (op.kind) {
+      case PlannedOp::Kind::kInsert:
+        ROLLVIEW_RETURN_NOT_OK(db_->Insert(txn, config_.table, op.tuple));
+        break;
+      case PlannedOp::Kind::kDelete: {
+        ROLLVIEW_ASSIGN_OR_RETURN(
+            int64_t n, db_->DeleteTuple(txn, config_.table, op.tuple, 1));
+        if (n != 1) {
+          return Status::Internal("workload delete victim missing");
+        }
+        break;
+      }
+      case PlannedOp::Kind::kUpdate:
+        ROLLVIEW_RETURN_NOT_OK(
+            db_->Update(txn, config_.table, op.tuple, op.new_tuple));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status UpdateStream::RunTransaction(int max_retries) {
+  std::vector<PlannedOp> ops = Plan();
+  int attempts = 0;
+  while (true) {
+    std::unique_ptr<Txn> txn = db_->Begin();
+    Status s = Apply(txn.get(), ops);
+    if (s.ok()) s = db_->Commit(txn.get());
+    if (s.ok()) break;
+    if (txn->state() == TxnState::kActive) db_->Abort(txn.get()).ok();
+    if (!(s.IsTxnAborted() || s.IsBusy()) || ++attempts > max_retries) {
+      return s;
+    }
+    stats_.aborts_retried++;
+    std::this_thread::sleep_for(std::chrono::microseconds(100) * attempts);
+  }
+
+  // Success: sync the mirror.
+  for (const PlannedOp& op : ops) {
+    switch (op.kind) {
+      case PlannedOp::Kind::kInsert:
+        mirror_.Add(op.tuple);
+        stats_.inserts++;
+        break;
+      case PlannedOp::Kind::kDelete:
+        stats_.deletes++;  // victim already removed from the mirror by Plan
+        break;
+      case PlannedOp::Kind::kUpdate:
+        mirror_.Add(op.new_tuple);
+        stats_.updates++;
+        break;
+    }
+    stats_.ops++;
+  }
+  stats_.txns++;
+  return Status::OK();
+}
+
+Status UpdateStream::RunTransactions(size_t n, int max_retries) {
+  for (size_t i = 0; i < n; ++i) {
+    ROLLVIEW_RETURN_NOT_OK(RunTransaction(max_retries));
+  }
+  return Status::OK();
+}
+
+}  // namespace rollview

@@ -1,0 +1,89 @@
+// Copyright 2026 The rollview Authors.
+//
+// UpdateStream: a deterministic, seeded generator of update transactions
+// against one base table. Each transaction performs a configurable number of
+// operations drawn from an insert/delete/update mix; deletes and updates
+// target rows previously inserted by this stream (its key partition), so
+// transactions never fail for want of a victim.
+
+#ifndef ROLLVIEW_WORKLOAD_UPDATE_STREAM_H_
+#define ROLLVIEW_WORKLOAD_UPDATE_STREAM_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/db.h"
+#include "workload/mirror.h"
+
+namespace rollview {
+
+struct UpdateStreamConfig {
+  TableId table = kInvalidTableId;
+  // Operation mix; must sum to <= 1, remainder goes to insert.
+  double delete_prob = 0.2;
+  double update_prob = 0.3;
+  // Operations per transaction.
+  size_t ops_per_txn = 4;
+  // Produces a fresh tuple for key `k` (keys are unique per stream).
+  std::function<Tuple(int64_t key)> make_tuple;
+  // Optional: derive an update's new row from the old one (e.g. to preserve
+  // the primary key while changing attributes -- dimension-table updates).
+  // When unset, updates insert make_tuple(fresh_key) instead.
+  std::function<Tuple(const Tuple& old_tuple, int64_t fresh_key)> mutate_tuple;
+  // First key this stream allocates; streams sharing a table use disjoint
+  // ranges (e.g. thread t starts at t * 1'000'000'000).
+  int64_t first_key = 0;
+};
+
+class UpdateStream {
+ public:
+  UpdateStream(Db* db, UpdateStreamConfig config, uint64_t seed);
+
+  // Pre-populates the mirror with rows that already exist in the table
+  // (e.g. bulk-loaded dimension rows), making them eligible as update and
+  // delete victims. The rows must belong exclusively to this stream.
+  void SeedMirror(std::vector<Tuple> rows) {
+    for (Tuple& t : rows) mirror_.Add(std::move(t));
+  }
+
+  // Runs one transaction. Deadlock-victim aborts are retried internally up
+  // to `max_retries`; other errors propagate.
+  Status RunTransaction(int max_retries = 32);
+
+  // Runs `n` transactions back to back.
+  Status RunTransactions(size_t n, int max_retries = 32);
+
+  struct Stats {
+    uint64_t txns = 0;
+    uint64_t ops = 0;
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
+    uint64_t updates = 0;
+    uint64_t aborts_retried = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t live_rows() const { return mirror_.size(); }
+
+ private:
+  struct PlannedOp {
+    enum class Kind { kInsert, kDelete, kUpdate } kind;
+    Tuple tuple;      // insert: new row; delete: victim; update: old row
+    Tuple new_tuple;  // update only
+  };
+
+  // Plans a transaction against the mirror (mirror mutated only on success).
+  std::vector<PlannedOp> Plan();
+  Status Apply(Txn* txn, const std::vector<PlannedOp>& ops);
+
+  Db* db_;
+  UpdateStreamConfig config_;
+  Rng rng_;
+  TableMirror mirror_;
+  int64_t next_key_;
+  Stats stats_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_WORKLOAD_UPDATE_STREAM_H_

@@ -1,0 +1,98 @@
+#include "capture/delta_table.h"
+
+#include <gtest/gtest.h>
+
+namespace rollview {
+namespace {
+
+Schema OneCol() { return Schema({Column{"k", ValueType::kInt64}}); }
+
+DeltaRow Row(int64_t k, int64_t count, Csn ts) {
+  return DeltaRow(Tuple{Value(k)}, count, ts);
+}
+
+TEST(DeltaTableTest, SortedRangeScan) {
+  DeltaTable dt("d", OneCol(), /*ts_sorted=*/true);
+  for (Csn ts = 1; ts <= 10; ++ts) {
+    dt.Append(Row(static_cast<int64_t>(ts), +1, ts));
+  }
+  EXPECT_EQ(dt.size(), 10u);
+  EXPECT_EQ(dt.max_ts(), 10u);
+
+  DeltaRows rows = dt.Scan(CsnRange{3, 7});  // (3, 7]
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front().ts, 4u);
+  EXPECT_EQ(rows.back().ts, 7u);
+  EXPECT_EQ(dt.CountInRange(CsnRange{3, 7}), 4u);
+  EXPECT_EQ(dt.CountInRange(CsnRange{10, 20}), 0u);
+  EXPECT_TRUE(dt.Scan(CsnRange{5, 5}).empty());
+}
+
+TEST(DeltaTableTest, DuplicateTimestampsAllInRange) {
+  DeltaTable dt("d", OneCol(), true);
+  dt.Append(Row(1, +1, 5));
+  dt.Append(Row(2, +1, 5));
+  dt.Append(Row(3, +1, 5));
+  EXPECT_EQ(dt.CountInRange(CsnRange{4, 5}), 3u);
+  EXPECT_EQ(dt.CountInRange(CsnRange{5, 6}), 0u);
+}
+
+TEST(DeltaTableTest, UnsortedScanFilters) {
+  DeltaTable dt("vd", OneCol(), /*ts_sorted=*/false);
+  dt.Append(Row(1, +1, 9));
+  dt.Append(Row(2, -1, 2));  // out of order: the min-ts rule does this
+  dt.Append(Row(3, +1, 5));
+  DeltaRows rows = dt.Scan(CsnRange{1, 5});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(dt.CountInRange(CsnRange{0, 100}), 3u);
+}
+
+TEST(DeltaTableTest, PruneSortedDropsPrefix) {
+  DeltaTable dt("d", OneCol(), true);
+  for (Csn ts = 1; ts <= 10; ++ts) dt.Append(Row(1, +1, ts));
+  EXPECT_EQ(dt.Prune(4), 4u);
+  EXPECT_EQ(dt.size(), 6u);
+  EXPECT_EQ(dt.Scan(CsnRange{0, 100}).front().ts, 5u);
+}
+
+TEST(DeltaTableTest, PruneUnsortedFilters) {
+  DeltaTable dt("vd", OneCol(), false);
+  dt.Append(Row(1, +1, 9));
+  dt.Append(Row(2, +1, 2));
+  dt.Append(Row(3, +1, 5));
+  EXPECT_EQ(dt.Prune(5), 2u);
+  ASSERT_EQ(dt.size(), 1u);
+  EXPECT_EQ(dt.ScanAll()[0].ts, 9u);
+}
+
+TEST(DeltaTableTest, TsAfterRowsSizesAdaptiveIntervals) {
+  DeltaTable dt("d", OneCol(), true);
+  // 3 rows at ts 2, then one row each at 5, 6, 7.
+  dt.Append(Row(1, +1, 2));
+  dt.Append(Row(2, +1, 2));
+  dt.Append(Row(3, +1, 2));
+  dt.Append(Row(4, +1, 5));
+  dt.Append(Row(5, +1, 6));
+  dt.Append(Row(6, +1, 7));
+
+  // From 0, 2 rows land inside ts<=2.
+  EXPECT_EQ(dt.TsAfterRows(0, 2, 100), 2u);
+  // 4 rows reach ts=5.
+  EXPECT_EQ(dt.TsAfterRows(0, 4, 100), 5u);
+  // More rows than exist: the cap.
+  EXPECT_EQ(dt.TsAfterRows(0, 100, 42), 42u);
+  // Starting past the cluster.
+  EXPECT_EQ(dt.TsAfterRows(2, 1, 100), 5u);
+  // Cap clamps.
+  EXPECT_EQ(dt.TsAfterRows(0, 6, 6), 6u);
+}
+
+TEST(DeltaTableTest, AppendBatchKeepsOrderAndMaxTs) {
+  DeltaTable dt("d", OneCol(), true);
+  dt.AppendBatch({Row(1, +1, 1), Row(2, +1, 3), Row(3, -1, 3)});
+  EXPECT_EQ(dt.size(), 3u);
+  EXPECT_EQ(dt.max_ts(), 3u);
+}
+
+}  // namespace
+}  // namespace rollview

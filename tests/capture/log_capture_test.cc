@@ -1,0 +1,209 @@
+// The DPropR analogue: delta tables populated from the WAL, unit-of-work
+// bookkeeping, high-water mark semantics, trigger-capture mode.
+
+#include "capture/log_capture.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+class CaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema({Column{"k", ValueType::kInt64}});
+    auto log = db_.CreateTable("log_mode", schema);
+    ASSERT_TRUE(log.ok());
+    log_ = log.value();
+    TableOptions trig;
+    trig.capture_mode = CaptureMode::kTrigger;
+    auto t = db_.CreateTable("trig_mode", schema, trig);
+    ASSERT_TRUE(t.ok());
+    trig_ = t.value();
+  }
+
+  Csn CommitOne(TableId table, int64_t k, bool del = false) {
+    auto txn = db_.Begin();
+    if (del) {
+      auto n = db_.DeleteTuple(txn.get(), table, Tuple{Value(k)});
+      EXPECT_TRUE(n.ok() && n.value() == 1);
+    } else {
+      EXPECT_OK(db_.Insert(txn.get(), table, Tuple{Value(k)}));
+    }
+    EXPECT_OK(db_.Commit(txn.get()));
+    return txn->commit_csn();
+  }
+
+  Db db_;
+  TableId log_ = kInvalidTableId;
+  TableId trig_ = kInvalidTableId;
+};
+
+TEST_F(CaptureTest, DeltaRowsAppearOnlyAfterPoll) {
+  LogCapture capture(&db_);
+  Csn c = CommitOne(log_, 1);
+  EXPECT_EQ(db_.delta(log_)->size(), 0u);  // not yet captured
+  capture.CatchUp();
+  ASSERT_EQ(db_.delta(log_)->size(), 1u);
+  DeltaRows rows = db_.delta(log_)->ScanAll();
+  EXPECT_EQ(rows[0].count, 1);
+  EXPECT_EQ(rows[0].ts, c);
+  EXPECT_EQ(capture.high_water_mark(), c);
+}
+
+TEST_F(CaptureTest, DeletesCaptureNegativeCounts) {
+  LogCapture capture(&db_);
+  CommitOne(log_, 7);
+  Csn c2 = CommitOne(log_, 7, /*del=*/true);
+  capture.CatchUp();
+  DeltaRows rows = db_.delta(log_)->ScanAll();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].count, -1);
+  EXPECT_EQ(rows[1].ts, c2);
+}
+
+TEST_F(CaptureTest, AbortedTransactionsLeaveNoDelta) {
+  LogCapture capture(&db_);
+  auto txn = db_.Begin();
+  ASSERT_OK(db_.Insert(txn.get(), log_, Tuple{Value(int64_t{1})}));
+  ASSERT_OK(db_.Abort(txn.get()));
+  CommitOne(log_, 2);
+  capture.CatchUp();
+  DeltaRows rows = db_.delta(log_)->ScanAll();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple[0].AsInt64(), 2);
+}
+
+TEST_F(CaptureTest, UowRecordsOnlyRelevantTransactions) {
+  LogCapture capture(&db_);
+  Csn c1 = CommitOne(log_, 1);
+  // A transaction touching no log-capture table is not "relevant".
+  auto txn = db_.Begin();
+  ASSERT_OK(db_.Commit(txn.get()));
+  capture.CatchUp();
+  EXPECT_EQ(db_.uow()->size(), 1u);
+  auto entry = db_.uow()->LookupCsn(c1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->csn, c1);
+  // The empty commit still advanced the high-water mark.
+  EXPECT_EQ(capture.high_water_mark(), txn->commit_csn());
+}
+
+TEST_F(CaptureTest, HwmAdvancesMonotonically) {
+  LogCapture capture(&db_);
+  Csn last = 0;
+  for (int i = 0; i < 20; ++i) {
+    CommitOne(log_, i);
+    capture.Poll();
+    Csn hwm = capture.high_water_mark();
+    EXPECT_GE(hwm, last);
+    last = hwm;
+  }
+  capture.CatchUp();
+  EXPECT_EQ(capture.high_water_mark(), db_.stable_csn());
+}
+
+TEST_F(CaptureTest, TriggerModePublishesAtCommit) {
+  // No capture polling at all: trigger-mode delta rows appear the moment
+  // the transaction commits, stamped with its CSN, and the commit path
+  // maintains the UOW table.
+  Csn c = CommitOne(trig_, 5);
+  ASSERT_EQ(db_.delta(trig_)->size(), 1u);
+  EXPECT_EQ(db_.delta(trig_)->ScanAll()[0].ts, c);
+  auto entry = db_.uow()->LookupCsn(c);
+  ASSERT_TRUE(entry.has_value());
+}
+
+TEST_F(CaptureTest, TriggerModeAbortDropsDeltaRows) {
+  auto txn = db_.Begin();
+  ASSERT_OK(db_.Insert(txn.get(), trig_, Tuple{Value(int64_t{9})}));
+  ASSERT_OK(db_.Abort(txn.get()));
+  EXPECT_EQ(db_.delta(trig_)->size(), 0u);
+}
+
+TEST_F(CaptureTest, TriggerModeWidensLockFootprint) {
+  // The paper's complaint about trigger capture: the update transaction's
+  // footprint now includes Delta^R, so it conflicts with delta readers.
+  auto writer = db_.Begin();
+  ASSERT_OK(db_.Insert(writer.get(), trig_, Tuple{Value(int64_t{1})}));
+  EXPECT_TRUE(db_.lock_manager()->Holds(writer->id(),
+                                        ResourceId::Named(trig_),
+                                        LockMode::kX));
+  // A log-mode writer holds no such lock.
+  auto log_writer = db_.Begin();
+  ASSERT_OK(db_.Insert(log_writer.get(), log_, Tuple{Value(int64_t{1})}));
+  EXPECT_FALSE(db_.lock_manager()->Holds(log_writer->id(),
+                                         ResourceId::Named(log_),
+                                         LockMode::kX));
+  ASSERT_OK(db_.Commit(writer.get()));
+  ASSERT_OK(db_.Commit(log_writer.get()));
+}
+
+TEST_F(CaptureTest, BackgroundThreadKeepsUp) {
+  LogCapture capture(&db_);
+  capture.Start();
+  constexpr int kTxns = 300;
+  for (int i = 0; i < kTxns; ++i) CommitOne(log_, i);
+  ASSERT_OK(capture.WaitForCsn(db_.stable_csn()));
+  capture.Stop();
+  EXPECT_EQ(db_.delta(log_)->size(), static_cast<size_t>(kTxns));
+  EXPECT_GE(capture.GetStats().txns_captured, static_cast<uint64_t>(kTxns));
+}
+
+TEST_F(CaptureTest, WaitForCsnTimesOutOnMissingCsn) {
+  LogCapture capture(&db_);
+  Status s = capture.WaitForCsn(999, std::chrono::milliseconds(50));
+  EXPECT_TRUE(s.IsBusy());
+}
+
+TEST_F(CaptureTest, ConcurrentWritersAllCaptured) {
+  LogCapture capture(&db_);
+  capture.Start();
+  constexpr int kThreads = 6;
+  constexpr int kTxns = 60;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kTxns; ++i) {
+        auto txn = db_.Begin();
+        Status s = db_.Insert(txn.get(), log_,
+                              Tuple{Value(int64_t(t * 1000 + i))});
+        ASSERT_TRUE(s.ok());
+        ASSERT_TRUE(db_.Commit(txn.get()).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_OK(capture.WaitForCsn(db_.stable_csn()));
+  capture.Stop();
+  EXPECT_EQ(db_.delta(log_)->size(),
+            static_cast<size_t>(kThreads) * kTxns);
+  // Delta rows must be in commit (ts) order -- the sorted invariant that
+  // range scans rely on.
+  DeltaRows rows = db_.delta(log_)->ScanAll();
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].ts, rows[i - 1].ts);
+  }
+}
+
+TEST(UowTableTest, WallTimeResolution) {
+  UowTable uow;
+  auto base = std::chrono::system_clock::now();
+  uow.Record(1, 10, base + std::chrono::seconds(1));
+  uow.Record(2, 20, base + std::chrono::seconds(2));
+  uow.Record(3, 30, base + std::chrono::seconds(3));
+  EXPECT_EQ(uow.CsnAtOrBefore(base), kNullCsn);
+  EXPECT_EQ(uow.CsnAtOrBefore(base + std::chrono::seconds(1)), 10u);
+  EXPECT_EQ(uow.CsnAtOrBefore(base + std::chrono::milliseconds(2500)), 20u);
+  EXPECT_EQ(uow.CsnAtOrBefore(base + std::chrono::seconds(9)), 30u);
+  EXPECT_TRUE(uow.LookupTxn(2).has_value());
+  EXPECT_EQ(uow.LookupTxn(2)->csn, 20u);
+  EXPECT_FALSE(uow.LookupTxn(99).has_value());
+}
+
+}  // namespace
+}  // namespace rollview

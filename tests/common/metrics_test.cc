@@ -1,0 +1,112 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/result.h"
+
+namespace rollview {
+namespace {
+
+TEST(CounterTest, ConcurrentAdds) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), 80000u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAndStats) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v * 1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max_nanos(), 100000u);
+  EXPECT_DOUBLE_EQ(h.mean_nanos(), 50500.0);
+  EXPECT_NEAR(h.Percentile(0.5), 50000, 1500);
+  EXPECT_NEAR(h.Percentile(0.99), 99000, 1500);
+  EXPECT_EQ(h.Percentile(0.0), 1000u);
+  EXPECT_EQ(h.Percentile(1.0), 100000u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(ScopedTimerTest, RecordsElapsed) {
+  LatencyHistogram h;
+  {
+    ScopedTimer t(&h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max_nanos(), 1000000u);
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("thing");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+  EXPECT_TRUE(Status::Busy("b").IsBusy());
+  EXPECT_TRUE(Status::TxnAborted("t").IsTxnAborted());
+  EXPECT_TRUE(Status::Internal("i").IsInternal());
+  EXPECT_TRUE(Status::OutOfRange("o").IsOutOfRange());
+  EXPECT_TRUE(Status::InvalidArgument("a").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("e").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotSupported("n").IsNotSupported());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseParse(int v, int* out) {
+  ROLLVIEW_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(*good, 5);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+
+  int out = 0;
+  EXPECT_TRUE(UseParse(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(UseParse(-3, &out).IsInvalidArgument());
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    int64_t x = a.Uniform(-5, 5);
+    EXPECT_EQ(x, b.Uniform(-5, 5));
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  double d = a.NextDouble();
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 1.0);
+  // Fork produces a different stream.
+  Rng c(a.Fork());
+  EXPECT_NE(c.Uniform(0, 1u << 30), a.Uniform(0, 1u << 30));
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,80 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/csn.h"
+
+namespace rollview {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("abc").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(int64_t{7}), Value(int64_t{7}));
+  EXPECT_NE(Value(int64_t{7}), Value(int64_t{8}));
+  EXPECT_EQ(Value("x"), Value(std::string("x")));
+  EXPECT_NE(Value("x"), Value("y"));
+  EXPECT_EQ(Value::Null(), Value::Null());  // multiset-grouping semantics
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_NE(Value(int64_t{3}), Value(3.5));
+  // Equal values must hash equally, even across numeric types.
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, OrderingTotalAndTypeRanked) {
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));  // numerics before strings
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, HashDistinguishesCommonValues) {
+  std::unordered_set<size_t> hashes;
+  for (int64_t i = 0; i < 1000; ++i) {
+    hashes.insert(Value(i).Hash());
+  }
+  EXPECT_GT(hashes.size(), 990u);  // no catastrophic collisions
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+}
+
+TEST(CsnTest, MinTimestampIgnoresNull) {
+  EXPECT_EQ(MinTimestamp(kNullCsn, kNullCsn), kNullCsn);
+  EXPECT_EQ(MinTimestamp(kNullCsn, 5), 5u);
+  EXPECT_EQ(MinTimestamp(5, kNullCsn), 5u);
+  EXPECT_EQ(MinTimestamp(3, 5), 3u);
+  EXPECT_EQ(MinTimestamp(5, 3), 3u);
+}
+
+TEST(CsnTest, RangeSemantics) {
+  CsnRange r{3, 7};  // (3, 7]
+  EXPECT_FALSE(r.Contains(3));
+  EXPECT_TRUE(r.Contains(4));
+  EXPECT_TRUE(r.Contains(7));
+  EXPECT_FALSE(r.Contains(8));
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.length(), 4u);
+  EXPECT_TRUE((CsnRange{5, 5}).empty());
+  EXPECT_TRUE((CsnRange{6, 5}).empty());
+  EXPECT_EQ((CsnRange{6, 5}).length(), 0u);
+}
+
+}  // namespace
+}  // namespace rollview

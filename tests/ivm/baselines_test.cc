@@ -1,0 +1,142 @@
+// The synchronous baselines: Eq. 1 atomic refresh, full recomputation, and
+// their agreement with asynchronous propagation + apply.
+
+#include "ivm/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ivm/apply.h"
+#include "ivm/propagate.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        workload_, TwoTableWorkload::Create(env_.db(), 50, 30, 6, 29));
+    env_.CatchUpCapture();
+    ASSERT_OK_AND_ASSIGN(view_,
+                         env_.views()->CreateView("V", workload_.ViewDef()));
+    ASSERT_OK(env_.views()->Materialize(view_));
+  }
+
+  void RunUpdates(size_t txns, uint64_t seed) {
+    UpdateStream r_stream(env_.db(), workload_.RStream(1, seed), seed);
+    UpdateStream s_stream(env_.db(), workload_.SStream(2, seed + 1),
+                          seed + 1);
+    for (size_t i = 0; i < txns; ++i) {
+      ASSERT_OK(r_stream.RunTransaction());
+      if (i % 2 == 1) ASSERT_OK(s_stream.RunTransaction());
+    }
+    env_.CatchUpCapture();
+  }
+
+  ::testing::AssertionResult MvMatchesOracle() {
+    DeltaRows oracle = OracleViewState(env_.db(), view_, view_->mv->csn());
+    if (!NetEquivalent(oracle, view_->mv->AsDeltaRows())) {
+      return ::testing::AssertionFailure() << "MV diverges from oracle";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  TestEnv env_;
+  TwoTableWorkload workload_;
+  View* view_ = nullptr;
+};
+
+TEST_F(BaselinesTest, Eq1RefreshMatchesOracle) {
+  RunUpdates(10, 1);
+  SyncRefresher refresher(env_.views(), view_);
+  ASSERT_OK_AND_ASSIGN(Csn t_b, refresher.RefreshEq1());
+  EXPECT_EQ(view_->mv->csn(), t_b);
+  EXPECT_TRUE(MvMatchesOracle());
+  EXPECT_EQ(refresher.stats().queries, 3u);  // 2^2 - 1
+}
+
+TEST_F(BaselinesTest, Eq1RefreshIsIncrementallyRepeatable) {
+  SyncRefresher refresher(env_.views(), view_);
+  for (int round = 0; round < 4; ++round) {
+    RunUpdates(4, 10 + round);
+    ASSERT_OK(refresher.RefreshEq1().status());
+    ASSERT_TRUE(MvMatchesOracle()) << "round " << round;
+  }
+}
+
+TEST_F(BaselinesTest, FullRefreshMatchesOracle) {
+  RunUpdates(10, 2);
+  SyncRefresher refresher(env_.views(), view_);
+  ASSERT_OK_AND_ASSIGN(Csn t_b, refresher.RefreshFull());
+  EXPECT_EQ(view_->mv->csn(), t_b);
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(BaselinesTest, SyncAndAsyncConverge) {
+  // Same history, two views: one refreshed synchronously, one rolled via
+  // asynchronous propagation. They must agree at equal CSNs.
+  ASSERT_OK_AND_ASSIGN(View* v2,
+                       env_.views()->CreateView("V2", workload_.ViewDef()));
+  ASSERT_OK(env_.views()->Materialize(v2));
+  RunUpdates(10, 3);
+
+  SyncRefresher refresher(env_.views(), view_);
+  ASSERT_OK_AND_ASSIGN(Csn t_sync, refresher.RefreshEq1());
+
+  Propagator prop(env_.views(), v2, std::make_unique<DrainInterval>());
+  ASSERT_OK(prop.RunUntil(t_sync));
+  Applier applier(env_.views(), v2);
+  ASSERT_OK(applier.RollTo(t_sync));
+
+  EXPECT_TRUE(NetEquivalent(view_->mv->AsDeltaRows(), v2->mv->AsDeltaRows()));
+}
+
+TEST_F(BaselinesTest, Eq1RefreshBlocksConcurrentWriters) {
+  // The long-transaction problem in miniature: a writer that tries to
+  // commit mid-refresh must wait for the refresh's S locks.
+  RunUpdates(30, 4);
+
+  std::atomic<bool> refresh_started{false};
+  std::atomic<bool> refresh_done{false};
+  std::thread refresher_thread([&] {
+    SyncRefresher refresher(env_.views(), view_);
+    refresh_started.store(true);
+    ASSERT_TRUE(refresher.RefreshEq1().ok());
+    refresh_done.store(true);
+  });
+
+  while (!refresh_started.load()) std::this_thread::yield();
+  UpdateStream writer(env_.db(), workload_.RStream(9, 99), 99);
+  // Writers serialize behind the refresh; all must eventually succeed.
+  ASSERT_OK(writer.RunTransactions(5));
+  refresher_thread.join();
+  EXPECT_TRUE(refresh_done.load());
+  env_.CatchUpCapture();
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(BaselinesTest, Eq1AndEq2SnapshotFormsAgreeOnLongHistory) {
+  Csn a = view_->propagate_from.load();
+  RunUpdates(20, 5);
+  Csn b = env_.capture()->high_water_mark();
+  ExecStats eq1_stats, eq2_stats;
+  ASSERT_OK_AND_ASSIGN(
+      DeltaRows eq1,
+      ComputeDeltaEq1Snapshot(env_.db(), view_->resolved, a, b, &eq1_stats));
+  ASSERT_OK_AND_ASSIGN(
+      DeltaRows eq2,
+      ComputeDeltaEq2Snapshot(env_.db(), view_->resolved, a, b, &eq2_stats));
+  EXPECT_TRUE(NetEquivalent(eq1, eq2));
+  EXPECT_EQ(eq1_stats.queries, 3u);  // 2^n - 1
+  EXPECT_EQ(eq2_stats.queries, 2u);  // n
+  // And both equal the oracle difference.
+  DeltaRows va = OracleViewState(env_.db(), view_, a);
+  DeltaRows vb = OracleViewState(env_.db(), view_, b);
+  EXPECT_TRUE(NetEquivalent(ApplyDelta(va, eq2), vb));
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,139 @@
+// MaintenanceService / RetentionService: background drivers, pause/resume,
+// drain semantics, error propagation.
+
+#include "ivm/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        workload_, TwoTableWorkload::Create(env_.db(), 40, 25, 6, 12));
+    env_.CatchUpCapture();
+    ASSERT_OK_AND_ASSIGN(view_,
+                         env_.views()->CreateView("V", workload_.ViewDef()));
+    ASSERT_OK(env_.views()->Materialize(view_));
+    env_.StartCapture();
+  }
+
+  void RunUpdates(size_t txns, uint64_t seed) {
+    UpdateStream r_stream(env_.db(), workload_.RStream(seed, seed), seed);
+    for (size_t i = 0; i < txns; ++i) ASSERT_OK(r_stream.RunTransaction());
+  }
+
+  ::testing::AssertionResult MvMatchesOracle() {
+    DeltaRows oracle = OracleViewState(env_.db(), view_, view_->mv->csn());
+    if (!NetEquivalent(oracle, view_->mv->AsDeltaRows())) {
+      return ::testing::AssertionFailure() << "MV diverges from oracle";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  TestEnv env_;
+  TwoTableWorkload workload_;
+  View* view_ = nullptr;
+};
+
+TEST_F(MaintenanceTest, DrainWithoutStartWorksSynchronously) {
+  RunUpdates(10, 1);
+  ASSERT_OK(env_.capture()->WaitForCsn(env_.db()->stable_csn()));
+  MaintenanceService service(env_.views(), view_);
+  // Propagation queries commit too, advancing the stable CSN past the
+  // drain target; compare against the target we asked for.
+  Csn target = env_.db()->stable_csn();
+  ASSERT_OK(service.Drain(target));
+  EXPECT_GE(view_->mv->csn(), target);
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(MaintenanceTest, BackgroundDriversChaseUpdates) {
+  MaintenanceService service(env_.views(), view_);
+  service.Start();
+  RunUpdates(30, 2);
+  Csn target = env_.db()->stable_csn();
+  ASSERT_OK(service.Drain(target));
+  ASSERT_OK(service.Stop());
+  EXPECT_GE(view_->mv->csn(), target);
+  EXPECT_TRUE(MvMatchesOracle());
+  EXPECT_GT(service.runner_stats()->queries, 0u);
+  EXPECT_GT(service.apply_stats().rolls, 0u);
+}
+
+TEST_F(MaintenanceTest, PropagateAlgorithmOptionWorksToo) {
+  MaintenanceService::Options opts;
+  opts.algorithm = MaintenanceService::Options::Algorithm::kPropagate;
+  MaintenanceService service(env_.views(), view_, opts);
+  service.Start();
+  RunUpdates(20, 3);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(MaintenanceTest, PausedApplyHoldsTheMvStill) {
+  MaintenanceService service(env_.views(), view_);
+  service.PauseApply();
+  service.Start();
+  Csn mv_before = view_->mv->csn();
+  RunUpdates(15, 4);
+  // Propagation proceeds...
+  Csn target = env_.db()->stable_csn();
+  while (view_->high_water_mark() < target) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...but the MV does not move while apply is paused.
+  EXPECT_EQ(view_->mv->csn(), mv_before);
+  service.ResumeApply();
+  ASSERT_OK(service.Drain(target));
+  ASSERT_OK(service.Stop());
+  EXPECT_GE(view_->mv->csn(), target);
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(MaintenanceTest, PausedPropagationFreezesHwm) {
+  MaintenanceService service(env_.views(), view_);
+  service.Start();
+  RunUpdates(10, 5);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  service.PausePropagation();
+  Csn hwm_before = view_->high_water_mark();
+  RunUpdates(10, 6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(view_->high_water_mark(), hwm_before);
+  service.ResumePropagation();
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(MaintenanceTest, RetentionServicePrunesInBackground) {
+  MaintenanceService service(env_.views(), view_);
+  RetentionService retention(env_.views(), RetentionOptions{},
+                             std::chrono::milliseconds(5));
+  service.Start();
+  retention.Start();
+  RunUpdates(25, 7);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  // Give retention a few periods after the drain.
+  uint64_t passes = retention.passes();
+  while (retention.passes() < passes + 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  retention.Stop();
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+  // Everything at or below the MV time is gone.
+  EXPECT_EQ(env_.db()->delta(workload_.r)->CountInRange(
+                CsnRange{0, view_->mv->csn()}),
+            0u);
+  EXPECT_GT(retention.passes(), 0u);
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,91 @@
+#include "ivm/prop_query.h"
+
+#include <gtest/gtest.h>
+
+#include "ivm/interval_policy.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+class PropQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        workload_, TwoTableWorkload::Create(env_.db(), 5, 5, 3, 1));
+    env_.CatchUpCapture();
+    ASSERT_OK_AND_ASSIGN(view_,
+                         env_.views()->CreateView("V", workload_.ViewDef()));
+  }
+
+  TestEnv env_;
+  TwoTableWorkload workload_;
+  View* view_ = nullptr;
+};
+
+TEST_F(PropQueryTest, AllBaseShape) {
+  PropQuery q = PropQuery::AllBase(view_);
+  EXPECT_EQ(q.num_terms(), 2u);
+  EXPECT_TRUE(q.HasBaseTerm());
+  EXPECT_EQ(q.NumDeltaTerms(), 0u);
+  EXPECT_EQ(q.sign, 1);
+  EXPECT_EQ(q.ToString(), "R1 * R2");
+}
+
+TEST_F(PropQueryTest, ForwardAndCompensationClassification) {
+  PropQuery fwd = PropQuery::AllBase(view_);
+  fwd.terms[0] = PropTerm::Delta(3, 7);
+  EXPECT_EQ(fwd.NumDeltaTerms(), 1u);  // forward query
+  EXPECT_TRUE(fwd.HasBaseTerm());
+  EXPECT_EQ(fwd.ToString(), "R1(3, 7] * R2");
+
+  PropQuery comp = fwd;
+  comp.terms[1] = PropTerm::Delta(7, 9);
+  EXPECT_EQ(comp.NumDeltaTerms(), 2u);  // compensation query
+  EXPECT_FALSE(comp.HasBaseTerm());
+}
+
+TEST_F(PropQueryTest, NegationFlipsSignOnly) {
+  PropQuery q = PropQuery::AllBase(view_);
+  q.terms[0] = PropTerm::Delta(1, 2);
+  PropQuery n = q.Negated();
+  EXPECT_EQ(n.sign, -1);
+  EXPECT_EQ(n.Negated().sign, 1);
+  EXPECT_EQ(n.ToString(), "-R1(1, 2] * R2");
+  EXPECT_TRUE(n.terms[0].is_delta);
+  EXPECT_EQ(n.terms[0].range, (CsnRange{1, 2}));
+}
+
+TEST(IntervalPolicyTest, FixedClampss) {
+  DeltaTable dt("d", Schema({Column{"k", ValueType::kInt64}}), true);
+  FixedInterval fixed(10);
+  EXPECT_EQ(fixed.NextBoundary(5, 100, dt), 15u);
+  EXPECT_EQ(fixed.NextBoundary(95, 100, dt), 100u);
+  EXPECT_EQ(fixed.NextBoundary(100, 100, dt), 100u);  // no progress
+}
+
+TEST(IntervalPolicyTest, DrainTakesEverything) {
+  DeltaTable dt("d", Schema({Column{"k", ValueType::kInt64}}), true);
+  DrainInterval drain;
+  EXPECT_EQ(drain.NextBoundary(5, 100, dt), 100u);
+  EXPECT_EQ(drain.NextBoundary(100, 100, dt), 100u);
+}
+
+TEST(IntervalPolicyTest, TargetRowsFollowsDensity) {
+  DeltaTable dt("d", Schema({Column{"k", ValueType::kInt64}}), true);
+  // Dense burst at ts 10, then sparse.
+  for (int i = 0; i < 5; ++i) {
+    dt.Append(DeltaRow(Tuple{Value(int64_t{i})}, +1, 10));
+  }
+  dt.Append(DeltaRow(Tuple{Value(int64_t{9})}, +1, 50));
+  TargetRowsInterval policy(5);
+  // From 0: the 5th row lands at ts 10 -> short interval in dense times.
+  EXPECT_EQ(policy.NextBoundary(0, 100, dt), 10u);
+  // From 10: only one row remains -> stretch to the cap.
+  EXPECT_EQ(policy.NextBoundary(10, 100, dt), 100u);
+  // No progress possible.
+  EXPECT_EQ(policy.NextBoundary(100, 100, dt), 100u);
+}
+
+}  // namespace
+}  // namespace rollview

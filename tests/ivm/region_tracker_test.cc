@@ -1,0 +1,86 @@
+#include "ivm/region_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace rollview {
+namespace {
+
+RegionTracker::Region Rect(CsnRange x, CsnRange y, int64_t sign,
+                           const std::string& label = "") {
+  return RegionTracker::Region{{x, y}, sign, label};
+}
+
+TEST(RegionTrackerTest, Figure7ComputeDeltaGeometry) {
+  // The exact four-query picture of Figure 7 / Equation 3 for V_{a,b}:
+  //   + R1(a,b] x R2(0,c]      (forward, executed at c)
+  //   - R1(a,b] x R2(b,c]      (compensation)
+  //   + R1(0,d] x R2(a,b]      (forward, executed at d)
+  //   - R1(a,d] x R2(a,b]      (compensation)
+  // with a < b < c < d. Net coverage must be the L-region V_{a,b}.
+  const Csn a = 10, b = 20, c = 30, d = 40;
+  RegionTracker t;
+  t.Record(Rect({a, b}, {0, c}, +1, "fwd R1"));
+  t.Record(Rect({a, b}, {b, c}, -1, "comp R1"));
+  t.Record(Rect({0, d}, {a, b}, +1, "fwd R2"));
+  t.Record(Rect({a, d}, {a, b}, -1, "comp R2"));
+  EXPECT_FALSE(t.CheckCoverage(a, b).has_value()) << t.Dump();
+}
+
+TEST(RegionTrackerTest, DetectsDoubleCounting) {
+  const Csn a = 10, b = 20, c = 30;
+  RegionTracker t;
+  t.Record(Rect({a, b}, {0, c}, +1));
+  t.Record(Rect({0, c}, {a, b}, +1));
+  // Missing the overlap compensation: the square (a,b] x (a,b] counts 2.
+  auto violation = t.CheckCoverage(a, b);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_GT((*violation)[0], a);
+  EXPECT_LE((*violation)[0], b);
+}
+
+TEST(RegionTrackerTest, DetectsProtrusionBeyondTarget) {
+  const Csn a = 10, b = 20;
+  RegionTracker t;
+  // Covers below a on both axes -- that region must net zero.
+  t.Record(Rect({0, b}, {0, b}, +1));
+  EXPECT_TRUE(t.CheckCoverage(a, b).has_value());
+}
+
+TEST(RegionTrackerTest, CoverageAtPoint) {
+  RegionTracker t;
+  t.Record(Rect({0, 10}, {0, 10}, +1));
+  t.Record(Rect({5, 10}, {5, 10}, -1));
+  EXPECT_EQ(t.CoverageAt({3, 3}), 1);
+  EXPECT_EQ(t.CoverageAt({7, 7}), 0);
+  EXPECT_EQ(t.CoverageAt({11, 3}), 0);
+}
+
+TEST(RegionTrackerTest, ThreeDimensional) {
+  // A 3D box minus an inner box leaves the L-shell: simulate V_{a,b} built
+  // from one big +box(b) and one -box(a).
+  const Csn a = 5, b = 12;
+  RegionTracker t;
+  t.Record(RegionTracker::Region{{{0, b}, {0, b}, {0, b}}, +1, "box b"});
+  t.Record(RegionTracker::Region{{{0, a}, {0, a}, {0, a}}, -1, "box a"});
+  EXPECT_FALSE(t.CheckCoverage(a, b).has_value());
+}
+
+TEST(RegionTrackerTest, DumpIsHumanReadable) {
+  RegionTracker t;
+  t.Record(Rect({1, 2}, {0, 9}, -1, "comp"));
+  std::string dump = t.Dump();
+  EXPECT_NE(dump.find("- (1, 2] x (0, 9]"), std::string::npos);
+  EXPECT_NE(dump.find("comp"), std::string::npos);
+}
+
+TEST(RegionTrackerTest, ClearAndSize) {
+  RegionTracker t;
+  t.Record(Rect({0, 1}, {0, 1}, +1));
+  EXPECT_EQ(t.size(), 1u);
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.CheckCoverage(0, 10).has_value());  // vacuous
+}
+
+}  // namespace
+}  // namespace rollview

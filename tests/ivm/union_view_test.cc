@@ -1,0 +1,125 @@
+// Union views (the paper's union extension): branches propagate
+// independently; the union rolls to min(branch high-water marks).
+
+#include "ivm/union_view.h"
+
+#include <gtest/gtest.h>
+
+#include "ivm/propagate.h"
+#include "ivm/rolling.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+class UnionViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        workload_, TwoTableWorkload::Create(env_.db(), 40, 25, 6, 6));
+    env_.CatchUpCapture();
+
+    // Two branches over the same join, partitioned by a selection on
+    // S.sval parity -- a classic union-of-selections view.
+    SpjViewDef low = workload_.ViewDef();
+    low.selection = Expr::Compare(Expr::CmpOp::kLt, Expr::Column(5),
+                                  Expr::Literal(Value(int64_t{1} << 62)));
+    SpjViewDef high = workload_.ViewDef();
+    high.selection = Expr::Compare(Expr::CmpOp::kGe, Expr::Column(5),
+                                   Expr::Literal(Value(int64_t{1} << 62)));
+    ASSERT_OK_AND_ASSIGN(b1_, env_.views()->CreateView("Vlow", low));
+    ASSERT_OK_AND_ASSIGN(b2_, env_.views()->CreateView("Vhigh", high));
+    ASSERT_OK(env_.views()->Materialize(b1_));
+    ASSERT_OK(env_.views()->Materialize(b2_));
+  }
+
+  void RunUpdates(size_t txns, uint64_t seed) {
+    UpdateStream r_stream(env_.db(), workload_.RStream(seed, seed), seed);
+    UpdateStream s_stream(env_.db(), workload_.SStream(seed + 70, seed + 1),
+                          seed + 1);
+    for (size_t i = 0; i < txns; ++i) {
+      ASSERT_OK(r_stream.RunTransaction());
+      if (i % 2 == 0) ASSERT_OK(s_stream.RunTransaction());
+    }
+    env_.CatchUpCapture();
+  }
+
+  // Oracle: multiset union of the branches' snapshot states.
+  DeltaRows OracleUnion(Csn t) {
+    DeltaRows a = OracleViewState(env_.db(), b1_, t);
+    DeltaRows b = OracleViewState(env_.db(), b2_, t);
+    return NetEffect(Union(std::move(a), b));
+  }
+
+  TestEnv env_;
+  TwoTableWorkload workload_;
+  View* b1_ = nullptr;
+  View* b2_ = nullptr;
+};
+
+TEST_F(UnionViewTest, CreateRejectsIncompatibleSchemas) {
+  SpjViewDef projected = workload_.ViewDef();
+  projected.projection = {0, 1};
+  ASSERT_OK_AND_ASSIGN(View* narrow,
+                       env_.views()->CreateView("Vnarrow", projected));
+  EXPECT_TRUE(UnionView::Create({b1_, narrow}).status().IsInvalidArgument());
+  EXPECT_TRUE(UnionView::Create({}).status().IsInvalidArgument());
+}
+
+TEST_F(UnionViewTest, InitializeAndRollMatchOracle) {
+  ASSERT_OK_AND_ASSIGN(auto u, UnionView::Create({b1_, b2_}));
+  ASSERT_OK(u->AlignAndInitialize(env_.views()));
+  EXPECT_TRUE(NetEquivalent(OracleUnion(u->mv()->csn()),
+                            u->mv()->AsDeltaRows()));
+
+  RunUpdates(10, 80);
+  Csn target = env_.capture()->high_water_mark();
+  // Branches propagate with *different* algorithms and intervals.
+  Propagator p1(env_.views(), b1_, std::make_unique<FixedInterval>(3));
+  RollingPropagator p2(env_.views(), b2_, /*uniform_interval=*/7);
+  ASSERT_OK(p1.RunUntil(target));
+  ASSERT_OK(p2.RunUntil(target));
+  EXPECT_GE(u->high_water_mark(), target);
+
+  ASSERT_OK(u->RollTo(target));
+  EXPECT_TRUE(NetEquivalent(OracleUnion(target), u->mv()->AsDeltaRows()));
+}
+
+TEST_F(UnionViewTest, HwmIsMinOverBranches) {
+  ASSERT_OK_AND_ASSIGN(auto u, UnionView::Create({b1_, b2_}));
+  ASSERT_OK(u->AlignAndInitialize(env_.views()));
+  RunUpdates(8, 81);
+  Csn target = env_.capture()->high_water_mark();
+  // Only the first branch propagates: the union is pinned to branch 2.
+  Propagator p1(env_.views(), b1_, std::make_unique<DrainInterval>());
+  ASSERT_OK(p1.RunUntil(target));
+  EXPECT_EQ(u->high_water_mark(), b2_->high_water_mark());
+  EXPECT_LT(u->high_water_mark(), target);
+  EXPECT_TRUE(u->RollTo(target).IsOutOfRange());
+
+  // Branch 2 catches up; now the union can roll.
+  Propagator p2(env_.views(), b2_, std::make_unique<DrainInterval>());
+  ASSERT_OK(p2.RunUntil(target));
+  ASSERT_OK(u->RollTo(target));
+  EXPECT_TRUE(NetEquivalent(OracleUnion(target), u->mv()->AsDeltaRows()));
+}
+
+TEST_F(UnionViewTest, PointInTimeAcrossBranches) {
+  ASSERT_OK_AND_ASSIGN(auto u, UnionView::Create({b1_, b2_}));
+  ASSERT_OK(u->AlignAndInitialize(env_.views()));
+  Csn t0 = u->mv()->csn();
+  RunUpdates(9, 82);
+  Csn target = env_.capture()->high_water_mark();
+  Propagator p1(env_.views(), b1_, std::make_unique<FixedInterval>(4));
+  Propagator p2(env_.views(), b2_, std::make_unique<FixedInterval>(4));
+  ASSERT_OK(p1.RunUntil(target));
+  ASSERT_OK(p2.RunUntil(target));
+  for (Csn stop = t0 + 3; stop <= target; stop += 5) {
+    ASSERT_OK(u->RollTo(stop));
+    ASSERT_TRUE(NetEquivalent(OracleUnion(stop), u->mv()->AsDeltaRows()))
+        << "at " << stop;
+  }
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,184 @@
+// Property-based sweeps: random update histories x propagator
+// configurations x random roll points, all checked against the MVCC
+// oracle. This is the broadest correctness net in the suite: any violation
+// of Theorems 4.1-4.3 or of the min-timestamp rule shows up here.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ivm/apply.h"
+#include "ivm/propagate.h"
+#include "ivm/rolling.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+enum class PropKind {
+  kComputeDeltaDrain,   // Figure 4 over one big interval
+  kPropagateFixed,      // Figure 5, fixed interval
+  kPropagateTiny,       // Figure 5, interval = 1 (every commit)
+  kRollingUniform,      // Figure 10, same interval everywhere
+  kRollingSkewed,       // Figure 10, hot/cold per-relation intervals
+  kRollingAdaptive,     // Figure 10, target-rows policies
+};
+
+std::string KindName(PropKind k) {
+  switch (k) {
+    case PropKind::kComputeDeltaDrain:
+      return "ComputeDeltaDrain";
+    case PropKind::kPropagateFixed:
+      return "PropagateFixed";
+    case PropKind::kPropagateTiny:
+      return "PropagateTiny";
+    case PropKind::kRollingUniform:
+      return "RollingUniform";
+    case PropKind::kRollingSkewed:
+      return "RollingSkewed";
+    case PropKind::kRollingAdaptive:
+      return "RollingAdaptive";
+  }
+  return "?";
+}
+
+class RandomHistoryTest
+    : public ::testing::TestWithParam<std::tuple<int, PropKind>> {};
+
+TEST_P(RandomHistoryTest, InvariantHoldsUnderRandomHistory) {
+  const int seed = std::get<0>(GetParam());
+  const PropKind kind = std::get<1>(GetParam());
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+
+  TestEnv env;
+  ASSERT_OK_AND_ASSIGN(
+      TwoTableWorkload workload,
+      TwoTableWorkload::Create(env.db(), 30 + seed % 40, 20 + seed % 20,
+                               4 + seed % 6, static_cast<uint64_t>(seed)));
+  env.CatchUpCapture();
+  ASSERT_OK_AND_ASSIGN(View* view,
+                       env.views()->CreateView("V", workload.ViewDef()));
+  ASSERT_OK(env.views()->Materialize(view));
+  Csn t0 = view->propagate_from.load();
+
+  UpdateStream r_stream(env.db(), workload.RStream(1, seed + 1), seed + 1);
+  UpdateStream s_stream(env.db(), workload.SStream(2, seed + 2), seed + 2);
+
+  auto make_rolling = [&](std::vector<Csn> intervals) {
+    std::vector<std::unique_ptr<IntervalPolicy>> ps;
+    for (Csn len : intervals) {
+      ps.push_back(std::make_unique<FixedInterval>(len));
+    }
+    return std::make_unique<RollingPropagator>(env.views(), view,
+                                               std::move(ps));
+  };
+
+  std::unique_ptr<Propagator> plain;
+  std::unique_ptr<RollingPropagator> rolling;
+  switch (kind) {
+    case PropKind::kComputeDeltaDrain:
+      plain = std::make_unique<Propagator>(
+          env.views(), view, std::make_unique<DrainInterval>());
+      break;
+    case PropKind::kPropagateFixed:
+      plain = std::make_unique<Propagator>(
+          env.views(), view,
+          std::make_unique<FixedInterval>(2 + seed % 7));
+      break;
+    case PropKind::kPropagateTiny:
+      plain = std::make_unique<Propagator>(env.views(), view,
+                                           std::make_unique<FixedInterval>(1));
+      break;
+    case PropKind::kRollingUniform:
+      rolling = make_rolling({Csn(2 + seed % 5), Csn(2 + seed % 5)});
+      break;
+    case PropKind::kRollingSkewed:
+      rolling = make_rolling({Csn(1 + seed % 3), Csn(11 + seed % 17)});
+      break;
+    case PropKind::kRollingAdaptive: {
+      std::vector<std::unique_ptr<IntervalPolicy>> ps;
+      ps.push_back(std::make_unique<TargetRowsInterval>(3 + seed % 8));
+      ps.push_back(std::make_unique<TargetRowsInterval>(2 + seed % 5));
+      rolling = std::make_unique<RollingPropagator>(env.views(), view,
+                                                    std::move(ps));
+      break;
+    }
+  }
+
+  // Random interleaving of update bursts and propagation catch-up.
+  const int rounds = 4 + seed % 4;
+  for (int round = 0; round < rounds; ++round) {
+    int burst = static_cast<int>(rng.Uniform(1, 6));
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_OK(r_stream.RunTransaction());
+      if (rng.Bernoulli(0.4)) ASSERT_OK(s_stream.RunTransaction());
+    }
+    env.CatchUpCapture();
+    // Sometimes propagate fully, sometimes only partway (leaving drift for
+    // the next round to compensate).
+    if (rng.Bernoulli(0.7)) {
+      Csn target = env.capture()->high_water_mark();
+      if (plain != nullptr) {
+        ASSERT_OK(plain->RunUntil(target));
+      } else {
+        ASSERT_OK(rolling->RunUntil(target));
+      }
+    } else if (rolling != nullptr) {
+      ASSERT_OK(rolling->Step().status());
+    } else if (plain != nullptr) {
+      ASSERT_OK(plain->Step().status());
+    }
+  }
+  env.CatchUpCapture();
+  Csn target = env.capture()->high_water_mark();
+  if (plain != nullptr) {
+    ASSERT_OK(plain->RunUntil(target));
+  } else {
+    ASSERT_OK(rolling->RunUntil(target));
+  }
+  Csn hwm = view->high_water_mark();
+  ASSERT_GE(hwm, target);
+
+  // Invariant on random windows.
+  for (int i = 0; i < 12; ++i) {
+    Csn a = static_cast<Csn>(rng.Uniform(static_cast<int64_t>(t0),
+                                         static_cast<int64_t>(hwm)));
+    Csn b = static_cast<Csn>(rng.Uniform(static_cast<int64_t>(a),
+                                         static_cast<int64_t>(hwm)));
+    if (a >= b) continue;
+    ASSERT_TRUE(CheckTimedDeltaWindow(env.db(), view, a, b))
+        << KindName(kind) << " seed " << seed;
+  }
+  ASSERT_TRUE(CheckTimedDeltaWindow(env.db(), view, t0, hwm));
+
+  // Random point-in-time rolls, forward-monotone.
+  Applier applier(env.views(), view);
+  Csn pos = t0;
+  for (int i = 0; i < 4; ++i) {
+    Csn next = static_cast<Csn>(rng.Uniform(static_cast<int64_t>(pos),
+                                            static_cast<int64_t>(hwm)));
+    ASSERT_OK(applier.RollTo(next));
+    DeltaRows oracle = OracleViewState(env.db(), view, next);
+    ASSERT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()))
+        << "MV wrong at " << next << " (" << KindName(kind) << " seed "
+        << seed << ")";
+    pos = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomHistoryTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(PropKind::kComputeDeltaDrain,
+                                         PropKind::kPropagateFixed,
+                                         PropKind::kPropagateTiny,
+                                         PropKind::kRollingUniform,
+                                         PropKind::kRollingSkewed,
+                                         PropKind::kRollingAdaptive)),
+    [](const ::testing::TestParamInfo<std::tuple<int, PropKind>>& info) {
+      return KindName(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,81 @@
+#include "ra/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace rollview {
+namespace {
+
+using Cmp = Expr::CmpOp;
+
+Tuple Row(int64_t a, int64_t b, const std::string& s) {
+  return Tuple{Value(a), Value(b), Value(s)};
+}
+
+TEST(ExprTest, ColumnAndLiteral) {
+  Tuple t = Row(10, 20, "x");
+  EXPECT_EQ(Expr::Column(0)->Eval(t), Value(int64_t{10}));
+  EXPECT_EQ(Expr::Column(2)->Eval(t), Value("x"));
+  EXPECT_EQ(Expr::Literal(Value(int64_t{5}))->Eval(t), Value(int64_t{5}));
+}
+
+TEST(ExprTest, Comparisons) {
+  Tuple t = Row(10, 20, "x");
+  auto lt = Expr::Compare(Cmp::kLt, Expr::Column(0), Expr::Column(1));
+  EXPECT_TRUE(lt->EvalBool(t));
+  auto ge = Expr::Compare(Cmp::kGe, Expr::Column(0), Expr::Column(1));
+  EXPECT_FALSE(ge->EvalBool(t));
+  auto eq = Expr::Compare(Cmp::kEq, Expr::Column(2),
+                          Expr::Literal(Value("x")));
+  EXPECT_TRUE(eq->EvalBool(t));
+  auto ne = Expr::Compare(Cmp::kNe, Expr::Column(0),
+                          Expr::Literal(Value(int64_t{10})));
+  EXPECT_FALSE(ne->EvalBool(t));
+  auto le = Expr::Compare(Cmp::kLe, Expr::Column(0),
+                          Expr::Literal(Value(int64_t{10})));
+  EXPECT_TRUE(le->EvalBool(t));
+  auto gt = Expr::Compare(Cmp::kGt, Expr::Column(1), Expr::Column(0));
+  EXPECT_TRUE(gt->EvalBool(t));
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  Tuple t = Row(10, 20, "x");
+  auto yes = Expr::Compare(Cmp::kLt, Expr::Column(0), Expr::Column(1));
+  auto no = Expr::Compare(Cmp::kGt, Expr::Column(0), Expr::Column(1));
+  EXPECT_TRUE(Expr::And(yes, yes)->EvalBool(t));
+  EXPECT_FALSE(Expr::And(yes, no)->EvalBool(t));
+  EXPECT_TRUE(Expr::Or(no, yes)->EvalBool(t));
+  EXPECT_FALSE(Expr::Or(no, no)->EvalBool(t));
+  EXPECT_TRUE(Expr::Not(no)->EvalBool(t));
+  EXPECT_FALSE(Expr::Not(yes)->EvalBool(t));
+}
+
+TEST(ExprTest, NullComparesFalse) {
+  Tuple t{Value::Null(), Value(int64_t{1})};
+  auto eq = Expr::Compare(Cmp::kEq, Expr::Column(0), Expr::Column(0));
+  EXPECT_FALSE(eq->EvalBool(t));  // NULL = NULL is not true in predicates
+  auto lt = Expr::Compare(Cmp::kLt, Expr::Column(0), Expr::Column(1));
+  EXPECT_FALSE(lt->EvalBool(t));
+}
+
+TEST(ExprTest, MixedNumericComparison) {
+  Tuple t{Value(int64_t{3}), Value(3.5)};
+  auto lt = Expr::Compare(Cmp::kLt, Expr::Column(0), Expr::Column(1));
+  EXPECT_TRUE(lt->EvalBool(t));
+}
+
+TEST(ExprTest, MaxColumnIndex) {
+  auto e = Expr::And(
+      Expr::Compare(Cmp::kEq, Expr::Column(4), Expr::Literal(Value(1.0))),
+      Expr::Compare(Cmp::kLt, Expr::Column(2), Expr::Column(7)));
+  EXPECT_EQ(e->MaxColumnIndex(), 7u);
+  EXPECT_EQ(Expr::Literal(Value(int64_t{1}))->MaxColumnIndex(), SIZE_MAX);
+}
+
+TEST(ExprTest, ToStringReadable) {
+  auto e = Expr::Compare(Cmp::kLe, Expr::Column(1),
+                         Expr::Literal(Value(int64_t{9})));
+  EXPECT_EQ(e->ToString(), "($1 <= 9)");
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,86 @@
+// The net-effect operator phi (Definition 4.1) and its algebraic laws.
+
+#include "ra/net_effect.h"
+
+#include <gtest/gtest.h>
+
+namespace rollview {
+namespace {
+
+DeltaRow Row(int64_t k, int64_t count, Csn ts = kNullCsn) {
+  return DeltaRow(Tuple{Value(k)}, count, ts);
+}
+
+TEST(NetEffectTest, GroupsSumsAndDropsZeros) {
+  DeltaRows in{Row(1, +1, 5), Row(1, +2, 7), Row(2, +1, 3), Row(2, -1, 9),
+               Row(3, -4, 1)};
+  DeltaRows out = NetEffect(in);
+  ASSERT_EQ(out.size(), 2u);  // key 2 nets to zero
+  EXPECT_EQ(out[0].tuple[0].AsInt64(), 1);
+  EXPECT_EQ(out[0].count, 3);
+  EXPECT_EQ(out[0].ts, kNullCsn);  // timestamps nulled
+  EXPECT_EQ(out[1].tuple[0].AsInt64(), 3);
+  EXPECT_EQ(out[1].count, -4);
+}
+
+TEST(NetEffectTest, Idempotent) {
+  DeltaRows in{Row(1, +1), Row(1, +1), Row(2, -1)};
+  EXPECT_TRUE(NetEquivalent(NetEffect(in), NetEffect(NetEffect(in))));
+}
+
+TEST(NetEffectTest, DistributesOverUnion) {
+  // phi(R + S) == phi(phi(R) + phi(S)).
+  DeltaRows r{Row(1, +2), Row(2, -1)};
+  DeltaRows s{Row(1, -2), Row(3, +5)};
+  DeltaRows lhs = NetEffect(Union(DeltaRows(r), s));
+  DeltaRows rhs = NetEffect(Union(NetEffect(r), NetEffect(s)));
+  EXPECT_TRUE(NetEquivalent(lhs, rhs));
+}
+
+TEST(NetEffectTest, NegationCancels) {
+  DeltaRows r{Row(1, +2, 4), Row(2, -1, 6)};
+  DeltaRows sum = Union(DeltaRows(r), Negate(DeltaRows(r)));
+  EXPECT_TRUE(NetEffect(sum).empty());
+}
+
+TEST(NetEffectTest, EquivalentRepresentationsCompareEqual) {
+  // "+1" vs "+2 then -1" (the paper's example of equivalent deltas).
+  DeltaRows a{Row(1, +1)};
+  DeltaRows b{Row(1, +2), Row(1, -1)};
+  EXPECT_TRUE(NetEquivalent(a, b));
+  DeltaRows c{Row(1, +2)};
+  EXPECT_FALSE(NetEquivalent(a, c));
+  EXPECT_FALSE(NetEquivalent(a, DeltaRows{}));
+  EXPECT_TRUE(NetEquivalent(DeltaRows{Row(1, 0)}, DeltaRows{}));
+}
+
+TEST(NetEffectTest, ApplyDeltaRollsState) {
+  DeltaRows state{Row(1, +1), Row(2, +3)};
+  DeltaRows delta{Row(1, -1), Row(2, -1), Row(3, +2)};
+  DeltaRows next = ApplyDelta(state, delta);
+  CountMap m = ToCountMap(next);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[Tuple{Value(int64_t{2})}], 2);
+  EXPECT_EQ(m[Tuple{Value(int64_t{3})}], 2);
+}
+
+TEST(NetEffectTest, FromTuplesLiftsMultisets) {
+  std::vector<Tuple> ts{Tuple{Value(int64_t{1})}, Tuple{Value(int64_t{1})},
+                        Tuple{Value(int64_t{2})}};
+  DeltaRows rows = FromTuples(ts);
+  CountMap m = ToCountMap(rows);
+  EXPECT_EQ(m[Tuple{Value(int64_t{1})}], 2);
+  EXPECT_EQ(m[Tuple{Value(int64_t{2})}], 1);
+}
+
+TEST(NetEffectTest, DeterministicOrdering) {
+  DeltaRows in{Row(3, 1), Row(1, 1), Row(2, 1)};
+  DeltaRows out = NetEffect(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].tuple[0].AsInt64(), 1);
+  EXPECT_EQ(out[1].tuple[0].AsInt64(), 2);
+  EXPECT_EQ(out[2].tuple[0].AsInt64(), 3);
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,148 @@
+// Selection pushdown: single-term conjuncts of the residual filter term
+// rows before the join; cross-term conjuncts stay post-join. Results must
+// be identical either way.
+
+#include <gtest/gtest.h>
+
+#include "ra/executor.h"
+#include "ra/net_effect.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+using Cmp = Expr::CmpOp;
+
+class PushdownTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableOptions opts;
+    opts.indexed_columns = {0};
+    ASSERT_OK_AND_ASSIGN(
+        r_, db_.CreateTable("R",
+                            Schema({Column{"a", ValueType::kInt64},
+                                    Column{"rv", ValueType::kInt64}}),
+                            opts));
+    ASSERT_OK_AND_ASSIGN(
+        s_, db_.CreateTable("S",
+                            Schema({Column{"a", ValueType::kInt64},
+                                    Column{"sv", ValueType::kInt64}}),
+                            opts));
+    auto txn = db_.Begin();
+    for (int64_t i = 0; i < 40; ++i) {
+      ASSERT_OK(db_.Insert(txn.get(), r_, {Value(i % 8), Value(i)}));
+      ASSERT_OK(db_.Insert(txn.get(), s_, {Value(i % 8), Value(i * 10)}));
+    }
+    ASSERT_OK(db_.Commit(txn.get()));
+  }
+
+  // Concat layout: R.a=0 R.rv=1 S.a=2 S.sv=3.
+  JoinQuery BaseQuery() {
+    JoinQuery q;
+    q.terms = {TermSource::BaseCurrent(r_), TermSource::BaseCurrent(s_)};
+    q.equi_joins = {EquiJoin{0, 0, 1, 0}};
+    return q;
+  }
+
+  DeltaRows Run(const JoinQuery& q, ExecStats* stats = nullptr) {
+    auto txn = db_.Begin();
+    JoinExecutor exec(&db_);
+    auto rows = exec.Execute(q, txn.get(), stats);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_OK(db_.Commit(txn.get()));
+    return rows.ok() ? std::move(rows).value() : DeltaRows{};
+  }
+
+  Db db_;
+  TableId r_ = kInvalidTableId;
+  TableId s_ = kInvalidTableId;
+};
+
+TEST_F(PushdownTest, SingleTermConjunctIsPushed) {
+  JoinQuery q = BaseQuery();
+  // R.rv < 10 is entirely within term 0: pushable.
+  q.residual = Expr::Compare(Cmp::kLt, Expr::Column(1),
+                             Expr::Literal(Value(int64_t{10})));
+  ExecStats stats;
+  DeltaRows rows = Run(q, &stats);
+  EXPECT_GT(stats.pushdown_filtered, 0u);
+  for (const DeltaRow& row : rows) {
+    EXPECT_LT(row.tuple[1].AsInt64(), 10);
+  }
+  // Same result as evaluating post-join (disable pushdown by making the
+  // conjunct reference both terms trivially via OR with a cross-term
+  // always-false comparison).
+  JoinQuery q2 = BaseQuery();
+  q2.residual = Expr::Or(
+      Expr::Compare(Cmp::kLt, Expr::Column(1),
+                    Expr::Literal(Value(int64_t{10}))),
+      Expr::Compare(Cmp::kGt, Expr::Column(0), Expr::Column(2)));
+  ExecStats stats2;
+  DeltaRows rows2 = Run(q2, &stats2);
+  EXPECT_EQ(stats2.pushdown_filtered, 0u);  // cross-term: not pushed
+  EXPECT_TRUE(NetEquivalent(rows, rows2));
+}
+
+TEST_F(PushdownTest, MixedConjunctionSplits) {
+  JoinQuery q = BaseQuery();
+  // (R.rv >= 4) AND (S.sv <= 300) AND (R.rv*1 <= S.sv -> cross-term).
+  q.residual = Expr::And(
+      Expr::And(Expr::Compare(Cmp::kGe, Expr::Column(1),
+                              Expr::Literal(Value(int64_t{4}))),
+                Expr::Compare(Cmp::kLe, Expr::Column(3),
+                              Expr::Literal(Value(int64_t{300})))),
+      Expr::Compare(Cmp::kLe, Expr::Column(1), Expr::Column(3)));
+  ExecStats stats;
+  DeltaRows rows = Run(q, &stats);
+  EXPECT_GT(stats.pushdown_filtered, 0u);
+  for (const DeltaRow& row : rows) {
+    EXPECT_GE(row.tuple[1].AsInt64(), 4);
+    EXPECT_LE(row.tuple[3].AsInt64(), 300);
+    EXPECT_LE(row.tuple[1].AsInt64(), row.tuple[3].AsInt64());
+  }
+}
+
+TEST_F(PushdownTest, PushdownAppliesToProbedTerm) {
+  // Delta drives probes into S; S's pushed predicate must filter the
+  // probe results (not just scans).
+  DeltaRows delta{DeltaRow({Value(int64_t{3}), Value(int64_t{0})}, +1, 1)};
+  JoinQuery q;
+  q.terms = {TermSource::Rows(r_, &delta), TermSource::BaseCurrent(s_)};
+  q.equi_joins = {EquiJoin{0, 0, 1, 0}};
+  q.residual = Expr::Compare(Cmp::kLt, Expr::Column(3),
+                             Expr::Literal(Value(int64_t{200})));
+  ExecStats stats;
+  DeltaRows rows = Run(q, &stats);
+  EXPECT_GT(stats.index_probes, 0u);
+  EXPECT_GT(stats.pushdown_filtered, 0u);
+  for (const DeltaRow& row : rows) {
+    EXPECT_LT(row.tuple[3].AsInt64(), 200);
+  }
+}
+
+TEST_F(PushdownTest, LiteralOnlyConjunctStaysResidual) {
+  JoinQuery q = BaseQuery();
+  // A constant-false conjunct references no columns: kept post-join,
+  // result empty.
+  q.residual = Expr::Literal(Value(int64_t{0}));
+  ExecStats stats;
+  DeltaRows rows = Run(q, &stats);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(stats.pushdown_filtered, 0u);
+}
+
+TEST(ExprShiftTest, ShiftColumns) {
+  auto e = Expr::And(
+      Expr::Compare(Expr::CmpOp::kEq, Expr::Column(4),
+                    Expr::Literal(Value(int64_t{1}))),
+      Expr::Not(Expr::Compare(Expr::CmpOp::kLt, Expr::Column(5),
+                              Expr::Column(6))));
+  auto shifted = e->ShiftColumns(4);
+  EXPECT_EQ(shifted->MinColumnIndex(), 0u);
+  EXPECT_EQ(shifted->MaxColumnIndex(), 2u);
+  Tuple t{Value(int64_t{1}), Value(int64_t{9}), Value(int64_t{3})};
+  EXPECT_TRUE(shifted->EvalBool(t));  // 1==1 && !(9<3)
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,80 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/tuple.h"
+
+namespace rollview {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Column{"id", ValueType::kInt64},
+                 Column{"name", ValueType::kString},
+                 Column{"score", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.IndexOf("name"), std::optional<size_t>(1));
+  EXPECT_EQ(s.IndexOf("missing"), std::nullopt);
+  EXPECT_EQ(s.column(2).type, ValueType::kDouble);
+}
+
+TEST(SchemaTest, ConcatPreservesOrderAndAllowsDuplicates) {
+  Schema joined = TestSchema().Concat(TestSchema());
+  EXPECT_EQ(joined.num_columns(), 6u);
+  EXPECT_EQ(joined.column(0).name, "id");
+  EXPECT_EQ(joined.column(3).name, "id");  // positional resolution
+  // IndexOf finds the first occurrence.
+  EXPECT_EQ(joined.IndexOf("id"), std::optional<size_t>(0));
+}
+
+TEST(SchemaTest, Project) {
+  Schema p = TestSchema().Project({2, 0});
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).name, "score");
+  EXPECT_EQ(p.column(1).name, "id");
+}
+
+TEST(SchemaTest, ValidateTuple) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidateTuple({Value(int64_t{1}), Value("x"), Value(0.5)})
+                  .ok());
+  // NULL allowed in any column.
+  EXPECT_TRUE(
+      s.ValidateTuple({Value::Null(), Value::Null(), Value::Null()}).ok());
+  // Wrong arity.
+  EXPECT_TRUE(s.ValidateTuple({Value(int64_t{1})}).IsInvalidArgument());
+  // Wrong type.
+  EXPECT_TRUE(s.ValidateTuple({Value("no"), Value("x"), Value(0.5)})
+                  .IsInvalidArgument());
+  // int64 is not silently coerced to double.
+  EXPECT_TRUE(
+      s.ValidateTuple({Value(int64_t{1}), Value("x"), Value(int64_t{5})})
+          .IsInvalidArgument());
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TestSchema().ToString(),
+            "(id INT64, name STRING, score DOUBLE)");
+}
+
+TEST(TupleTest, HashEqualTuplesEqualHashes) {
+  Tuple a{Value(int64_t{3}), Value("x")};
+  Tuple b{Value(3.0), Value("x")};  // cross-type numeric equality
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(HashTuple(a), HashTuple(b));
+  Tuple c{Value(int64_t{4}), Value("x")};
+  EXPECT_NE(a, c);
+}
+
+TEST(TupleTest, DeltaRowToString) {
+  DeltaRow r(Tuple{Value(int64_t{1})}, -2, 7);
+  EXPECT_EQ(r.ToString(), "{[1], count=-2, ts=7}");
+  DeltaRow base(Tuple{Value(int64_t{1})}, 1, kNullCsn);
+  EXPECT_EQ(base.ToString(), "{[1], count=1, ts=null}");
+}
+
+}  // namespace
+}  // namespace rollview

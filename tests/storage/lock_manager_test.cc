@@ -1,0 +1,236 @@
+#include "storage/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace rollview {
+namespace {
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  using M = LockMode;
+  // IS compatible with all but X.
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kIS));
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kIX));
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kS));
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kSIX));
+  EXPECT_FALSE(LockCompatible(M::kIS, M::kX));
+  // IX with IS/IX only.
+  EXPECT_TRUE(LockCompatible(M::kIX, M::kIX));
+  EXPECT_FALSE(LockCompatible(M::kIX, M::kS));
+  EXPECT_FALSE(LockCompatible(M::kIX, M::kSIX));
+  // S with IS/S.
+  EXPECT_TRUE(LockCompatible(M::kS, M::kS));
+  EXPECT_FALSE(LockCompatible(M::kS, M::kIX));
+  // SIX with IS only.
+  EXPECT_TRUE(LockCompatible(M::kSIX, M::kIS));
+  EXPECT_FALSE(LockCompatible(M::kSIX, M::kSIX));
+  // X with nothing.
+  for (M m : {M::kIS, M::kIX, M::kS, M::kSIX, M::kX}) {
+    EXPECT_FALSE(LockCompatible(M::kX, m));
+  }
+}
+
+TEST(LockModeTest, Supremum) {
+  using M = LockMode;
+  EXPECT_EQ(LockSupremum(M::kIS, M::kIX), M::kIX);
+  EXPECT_EQ(LockSupremum(M::kS, M::kIX), M::kSIX);
+  EXPECT_EQ(LockSupremum(M::kIX, M::kS), M::kSIX);
+  EXPECT_EQ(LockSupremum(M::kS, M::kS), M::kS);
+  EXPECT_EQ(LockSupremum(M::kS, M::kX), M::kX);
+  EXPECT_EQ(LockSupremum(M::kIS, M::kIS), M::kIS);
+}
+
+TEST(LockManagerTest, GrantAndReacquire) {
+  LockManager lm;
+  ResourceId r = ResourceId::Table(1);
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Holds(1, r, LockMode::kS));
+  // Re-acquiring the same or weaker mode is a no-op.
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kIS).ok());
+  EXPECT_TRUE(lm.Holds(1, r, LockMode::kS));
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.Holds(1, r, LockMode::kIS));
+}
+
+TEST(LockManagerTest, SharedGrantsCoexist) {
+  LockManager lm;
+  ResourceId r = ResourceId::Table(1);
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(2, r, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(3, r, LockMode::kIS).ok());
+  EXPECT_TRUE(lm.Holds(2, r, LockMode::kS));
+}
+
+TEST(LockManagerTest, ConflictBlocksUntilRelease) {
+  LockManager lm;
+  ResourceId r = ResourceId::Table(1);
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kX).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread t([&] {
+    Status s = lm.Acquire(2, r, LockMode::kS);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  lm.ReleaseAll(1);
+  t.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_GT(lm.GetStats().wait_nanos, 0u);
+}
+
+TEST(LockManagerTest, FifoPreventsWriterStarvation) {
+  LockManager lm;
+  ResourceId r = ResourceId::Table(1);
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kS).ok());
+
+  std::atomic<bool> x_granted{false};
+  std::thread writer([&] {
+    EXPECT_TRUE(lm.Acquire(2, r, LockMode::kX).ok());
+    x_granted.store(true);
+    lm.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_FALSE(x_granted.load());
+
+  // A fresh S request must queue behind the waiting X, not jump it.
+  std::atomic<bool> s_granted{false};
+  std::thread reader([&] {
+    EXPECT_TRUE(lm.Acquire(3, r, LockMode::kS).ok());
+    s_granted.store(true);
+    lm.ReleaseAll(3);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(s_granted.load());
+
+  lm.ReleaseAll(1);  // X goes first, then S
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(x_granted.load());
+  EXPECT_TRUE(s_granted.load());
+}
+
+TEST(LockManagerTest, DeadlockDetectedAndVictimAborted) {
+  LockManager lm;
+  ResourceId a = ResourceId::Table(1);
+  ResourceId b = ResourceId::Table(2);
+  ASSERT_TRUE(lm.Acquire(1, a, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, b, LockMode::kX).ok());
+
+  std::atomic<int> aborted{0};
+  std::atomic<int> granted{0};
+  std::thread t1([&] {
+    Status s = lm.Acquire(1, b, LockMode::kX);  // waits for txn 2
+    if (s.IsTxnAborted()) {
+      aborted++;
+      lm.ReleaseAll(1);
+    } else if (s.ok()) {
+      granted++;
+      lm.ReleaseAll(1);
+    }
+  });
+  std::thread t2([&] {
+    Status s = lm.Acquire(2, a, LockMode::kX);  // waits for txn 1 -> cycle
+    if (s.IsTxnAborted()) {
+      aborted++;
+      lm.ReleaseAll(2);
+    } else if (s.ok()) {
+      granted++;
+      lm.ReleaseAll(2);
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(aborted.load(), 1);
+  EXPECT_GE(lm.GetStats().deadlocks, 1u);
+}
+
+TEST(LockManagerTest, UpgradeSToX) {
+  LockManager lm;
+  ResourceId r = ResourceId::Table(1);
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kX).ok());  // immediate upgrade
+  EXPECT_TRUE(lm.Holds(1, r, LockMode::kX));
+
+  // Another reader must now block.
+  std::atomic<bool> granted{false};
+  std::thread t([&] {
+    EXPECT_TRUE(lm.Acquire(2, r, LockMode::kS).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(granted.load());
+  lm.ReleaseAll(1);
+  t.join();
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
+  LockManager lm;
+  ResourceId r = ResourceId::Table(1);
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(2, r, LockMode::kS).ok());
+
+  std::atomic<bool> upgraded{false};
+  std::thread t([&] {
+    EXPECT_TRUE(lm.Acquire(1, r, LockMode::kX).ok());
+    upgraded.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(upgraded.load());
+  lm.ReleaseAll(2);
+  t.join();
+  EXPECT_TRUE(upgraded.load());
+  EXPECT_TRUE(lm.Holds(1, r, LockMode::kX));
+}
+
+TEST(LockManagerTest, TimeoutReturnsBusy) {
+  LockManager::Options opts;
+  opts.wait_timeout = std::chrono::milliseconds(30);
+  LockManager lm(opts);
+  ResourceId r = ResourceId::Table(1);
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kX).ok());
+  Status s = lm.Acquire(2, r, LockMode::kX);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  EXPECT_GE(lm.GetStats().timeouts, 1u);
+}
+
+TEST(LockManagerTest, RowAndTableResourcesAreIndependent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, ResourceId::Row(1, 42), LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, ResourceId::Row(1, 43), LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(3, ResourceId::Table(1), LockMode::kIX).ok());
+  // Named resources live in their own space.
+  ASSERT_TRUE(lm.Acquire(4, ResourceId::Named(1), LockMode::kX).ok());
+}
+
+TEST(LockManagerTest, ManyThreadsRowLockStress) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<uint64_t> counter{0};
+  uint64_t unprotected = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        TxnId txn = static_cast<TxnId>(t * kIters + i + 1);
+        Status s = lm.Acquire(txn, ResourceId::Row(9, 7), LockMode::kX);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        // X lock makes this critical section exclusive.
+        unprotected++;
+        counter.fetch_add(1);
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.load(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(unprotected, static_cast<uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,166 @@
+// Snapshot pinning vs garbage collection, and lock escalation.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+class SnapshotPinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableOptions opts;
+    opts.indexed_columns = {0};
+    auto r = db_.CreateTable("t", Schema({Column{"k", ValueType::kInt64}}),
+                             opts);
+    ASSERT_TRUE(r.ok());
+    t_ = r.value();
+  }
+
+  Csn InsertAndDelete(int64_t k) {
+    auto ins = db_.Begin();
+    EXPECT_OK(db_.Insert(ins.get(), t_, {Value(k)}));
+    EXPECT_OK(db_.Commit(ins.get()));
+    Csn at = ins->commit_csn();
+    auto del = db_.Begin();
+    auto n = db_.DeleteTuple(del.get(), t_, {Value(k)});
+    EXPECT_TRUE(n.ok() && n.value() == 1);
+    EXPECT_OK(db_.Commit(del.get()));
+    return at;
+  }
+
+  Db db_;
+  TableId t_ = kInvalidTableId;
+};
+
+TEST_F(SnapshotPinTest, PinProtectsVersionsFromGc) {
+  // Insert, pin while the row is alive, then delete it.
+  auto ins = db_.Begin();
+  ASSERT_OK(db_.Insert(ins.get(), t_, {Value(int64_t{1})}));
+  ASSERT_OK(db_.Commit(ins.get()));
+  Db::SnapshotHandle pin = db_.PinSnapshot();
+  ASSERT_EQ(pin.csn(), ins->commit_csn());
+  auto del = db_.Begin();
+  ASSERT_OK_AND_ASSIGN(int64_t n,
+                       db_.DeleteTuple(del.get(), t_, {Value(int64_t{1})}));
+  ASSERT_EQ(n, 1);
+  ASSERT_OK(db_.Commit(del.get()));
+
+  // GC at the stable CSN would drop the deleted version; the pin clamps it.
+  db_.GarbageCollect(db_.stable_csn());
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.SnapshotScan(t_, pin.csn()));
+  ASSERT_EQ(rows.size(), 1u) << "pinned snapshot lost a visible row to GC";
+  EXPECT_EQ(rows[0][0], Value(int64_t{1}));
+
+  pin.Release();
+  EXPECT_EQ(db_.OldestPinnedSnapshot(), kMaxCsn);
+  db_.GarbageCollect(db_.stable_csn());
+  EXPECT_EQ(db_.table(t_)->VersionCount(), 0u);  // everything dead now
+}
+
+TEST_F(SnapshotPinTest, OldestPinWins) {
+  InsertAndDelete(1);
+  Db::SnapshotHandle old_pin = db_.PinSnapshot();
+  InsertAndDelete(2);
+  Db::SnapshotHandle new_pin = db_.PinSnapshot();
+  EXPECT_EQ(db_.OldestPinnedSnapshot(), old_pin.csn());
+  new_pin.Release();
+  EXPECT_EQ(db_.OldestPinnedSnapshot(), old_pin.csn());
+  old_pin.Release();
+  EXPECT_EQ(db_.OldestPinnedSnapshot(), kMaxCsn);
+}
+
+TEST_F(SnapshotPinTest, HandleMoveSemantics) {
+  Db::SnapshotHandle a = db_.PinSnapshot();
+  Csn csn = a.csn();
+  Db::SnapshotHandle b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.csn(), csn);
+  EXPECT_EQ(db_.OldestPinnedSnapshot(), csn);
+  b.Release();
+  EXPECT_EQ(db_.OldestPinnedSnapshot(), kMaxCsn);
+}
+
+TEST(LockEscalationTest, EscalatesAfterThreshold) {
+  DbOptions options;
+  options.lock_escalation_threshold = 5;
+  Db db(options);
+  auto r = db.CreateTable("t", Schema({Column{"k", ValueType::kInt64}}));
+  ASSERT_TRUE(r.ok());
+  TableId t = r.value();
+
+  auto txn = db.Begin();
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_OK(db.Insert(txn.get(), t, {Value(i)}));
+  }
+  // Past the threshold the transaction holds a table-level X lock.
+  EXPECT_TRUE(db.lock_manager()->Holds(txn->id(), ResourceId::Table(t),
+                                       LockMode::kX));
+  ASSERT_OK(db.Commit(txn.get()));
+  // After commit the escalated lock is released like any other.
+  auto reader = db.Begin();
+  ASSERT_OK(db.LockTableShared(reader.get(), t));
+  ASSERT_OK(db.Commit(reader.get()));
+}
+
+TEST(LockEscalationTest, DisabledByDefault) {
+  Db db;
+  auto r = db.CreateTable("t", Schema({Column{"k", ValueType::kInt64}}));
+  ASSERT_TRUE(r.ok());
+  TableId t = r.value();
+  auto txn = db.Begin();
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_OK(db.Insert(txn.get(), t, {Value(i)}));
+  }
+  EXPECT_FALSE(db.lock_manager()->Holds(txn->id(), ResourceId::Table(t),
+                                        LockMode::kX));
+  ASSERT_OK(db.Commit(txn.get()));
+}
+
+TEST(LockEscalationTest, ConcurrentWritersStillSerializable) {
+  DbOptions options;
+  options.lock_escalation_threshold = 4;
+  options.lock_options.wait_timeout = std::chrono::milliseconds(5000);
+  Db db(options);
+  TableOptions topts;
+  topts.indexed_columns = {0};
+  auto r = db.CreateTable("t", Schema({Column{"k", ValueType::kInt64}}),
+                          topts);
+  ASSERT_TRUE(r.ok());
+  TableId t = r.value();
+
+  constexpr int kThreads = 4;
+  constexpr int kTxns = 30;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> committed{0};
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      for (int i = 0; i < kTxns; ++i) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          auto txn = db.Begin();
+          Status s;
+          for (int j = 0; j < 6 && s.ok(); ++j) {
+            s = db.Insert(txn.get(), t,
+                          {Value(int64_t(th * 100000 + i * 100 + j))});
+          }
+          if (s.ok()) s = db.Commit(txn.get());
+          if (s.ok()) {
+            committed.fetch_add(1);
+            break;
+          }
+          db.Abort(txn.get()).ok();
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(committed.load(), static_cast<uint64_t>(kThreads) * kTxns);
+  EXPECT_EQ(db.table(t)->LiveSize(),
+            static_cast<size_t>(kThreads) * kTxns * 6);
+}
+
+}  // namespace
+}  // namespace rollview

@@ -1,0 +1,70 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace rollview {
+namespace {
+
+WalRecord Insert(TxnId txn, TableId table) {
+  return WalRecord{WalRecord::Kind::kInsert, 0, txn, table,
+                   Tuple{Value(int64_t{1})}, kNullCsn};
+}
+
+TEST(WalTest, AppendAssignsSequentialLsns) {
+  Wal wal;
+  EXPECT_EQ(wal.Append(Insert(1, 1)), 0u);
+  EXPECT_EQ(wal.Append(Insert(1, 1)), 1u);
+  EXPECT_EQ(wal.Append(Insert(2, 1)), 2u);
+  EXPECT_EQ(wal.next_lsn(), 3u);
+  EXPECT_EQ(wal.size(), 3u);
+}
+
+TEST(WalTest, ReadFromReturnsCursor) {
+  Wal wal;
+  for (int i = 0; i < 10; ++i) wal.Append(Insert(1, 1));
+  std::vector<WalRecord> out;
+  Lsn next = wal.ReadFrom(0, 4, &out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(next, 4u);
+  out.clear();
+  next = wal.ReadFrom(next, 100, &out);
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(next, 10u);
+  // Reading at the end returns nothing, same cursor.
+  out.clear();
+  EXPECT_EQ(wal.ReadFrom(10, 5, &out), 10u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WalTest, TruncatePreservesLsnSpace) {
+  Wal wal;
+  for (int i = 0; i < 10; ++i) wal.Append(Insert(1, 1));
+  wal.Truncate(6);
+  EXPECT_EQ(wal.size(), 4u);
+  std::vector<WalRecord> out;
+  // Reads below the truncation point clamp forward.
+  Lsn next = wal.ReadFrom(0, 100, &out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].lsn, 6u);
+  EXPECT_EQ(next, 10u);
+  // New appends continue the LSN sequence.
+  EXPECT_EQ(wal.Append(Insert(2, 1)), 10u);
+}
+
+TEST(WalTest, RecordsRoundTripPayload) {
+  Wal wal;
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kCommit;
+  rec.txn = 42;
+  rec.commit_csn = 17;
+  wal.Append(rec);
+  std::vector<WalRecord> out;
+  wal.ReadFrom(0, 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, WalRecord::Kind::kCommit);
+  EXPECT_EQ(out[0].txn, 42u);
+  EXPECT_EQ(out[0].commit_csn, 17u);
+}
+
+}  // namespace
+}  // namespace rollview

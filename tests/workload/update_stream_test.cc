@@ -1,0 +1,147 @@
+#include "workload/update_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/schemas.h"
+
+namespace rollview {
+namespace {
+
+class UpdateStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        workload_, TwoTableWorkload::Create(env_.db(), 20, 10, 4, 1));
+    env_.CatchUpCapture();
+  }
+
+  TestEnv env_;
+  TwoTableWorkload workload_;
+};
+
+TEST_F(UpdateStreamTest, OperationsMatchMirrorAndTable) {
+  UpdateStream stream(env_.db(), workload_.RStream(1, 7), 7);
+  ASSERT_OK(stream.RunTransactions(50));
+  const UpdateStream::Stats& st = stream.stats();
+  EXPECT_EQ(st.txns, 50u);
+  EXPECT_EQ(st.ops, st.inserts + st.deletes + st.updates);
+  EXPECT_GT(st.inserts, 0u);
+  EXPECT_GT(st.deletes + st.updates, 0u);
+
+  // live_rows (mirror) must equal the stream's net contribution to R.
+  auto txn = env_.db()->Begin();
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> rows,
+                       env_.db()->Scan(txn.get(), workload_.r));
+  ASSERT_OK(env_.db()->Commit(txn.get()));
+  // 20 preloaded rows belong to no stream.
+  EXPECT_EQ(rows.size(), 20u + stream.live_rows());
+}
+
+TEST_F(UpdateStreamTest, DeterministicGivenSeed) {
+  TestEnv env2;
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload w2,
+                       TwoTableWorkload::Create(env2.db(), 20, 10, 4, 1));
+  UpdateStream a(env_.db(), workload_.RStream(1, 7), 7);
+  UpdateStream b(env2.db(), w2.RStream(1, 7), 7);
+  ASSERT_OK(a.RunTransactions(30));
+  ASSERT_OK(b.RunTransactions(30));
+  EXPECT_EQ(a.stats().inserts, b.stats().inserts);
+  EXPECT_EQ(a.stats().deletes, b.stats().deletes);
+  EXPECT_EQ(a.stats().updates, b.stats().updates);
+
+  auto t1 = env_.db()->Begin();
+  auto t2 = env2.db()->Begin();
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> r1,
+                       env_.db()->Scan(t1.get(), workload_.r));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> r2,
+                       env2.db()->Scan(t2.get(), w2.r));
+  ASSERT_OK(env_.db()->Commit(t1.get()));
+  ASSERT_OK(env2.db()->Commit(t2.get()));
+  EXPECT_TRUE(NetEquivalent(FromTuples(r1), FromTuples(r2)));
+}
+
+TEST_F(UpdateStreamTest, DisjointPartitionsNeverCollide) {
+  UpdateStream a(env_.db(), workload_.RStream(1, 7), 7);
+  UpdateStream b(env_.db(), workload_.RStream(2, 8), 8);
+  ASSERT_OK(a.RunTransactions(20));
+  ASSERT_OK(b.RunTransactions(20));
+  // Both streams' deletes found their victims (no cross-partition theft);
+  // RunTransactions would have failed otherwise.
+  EXPECT_EQ(a.stats().txns, 20u);
+  EXPECT_EQ(b.stats().txns, 20u);
+}
+
+TEST_F(UpdateStreamTest, MutateTuplePreservesKey) {
+  UpdateStreamConfig cfg = workload_.RStream(1, 7);
+  cfg.delete_prob = 0.0;
+  cfg.update_prob = 1.0;
+  cfg.ops_per_txn = 1;  // one mirror row: each txn updates it exactly once
+  cfg.mutate_tuple = [](const Tuple& old_tuple, int64_t) {
+    Tuple t = old_tuple;
+    t[2] = Value(t[2].AsInt64() + 1);
+    return t;
+  };
+  UpdateStream stream(env_.db(), cfg, 7);
+  // Seed with one known row (inserted out of band).
+  {
+    auto txn = env_.db()->Begin();
+    ASSERT_OK(env_.db()->Insert(
+        txn.get(), workload_.r,
+        Tuple{Value(int64_t{7777}), Value(int64_t{0}), Value(int64_t{1})}));
+    ASSERT_OK(env_.db()->Commit(txn.get()));
+  }
+  stream.SeedMirror({Tuple{Value(int64_t{7777}), Value(int64_t{0}),
+                           Value(int64_t{1})}});
+  ASSERT_OK(stream.RunTransactions(12, /*max_retries=*/4));
+  // Key preserved through 12 single-op mutations.
+  auto txn = env_.db()->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> rows,
+      env_.db()->ScanWhere(txn.get(), workload_.r, [](const Tuple& t) {
+        return t[0] == Value(int64_t{7777});
+      }));
+  ASSERT_OK(env_.db()->Commit(txn.get()));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][2].AsInt64(), 13);
+}
+
+TEST(StarWorkloadTest, CreateAndViewDefResolve) {
+  Db db;
+  StarSchemaConfig config;
+  config.num_dims = 3;
+  config.dim_rows = 20;
+  config.fact_rows = 100;
+  auto star = StarSchemaWorkload::Create(&db, config, 3);
+  ASSERT_TRUE(star.ok()) << star.status().ToString();
+  EXPECT_EQ(star->dims.size(), 3u);
+  EXPECT_EQ(db.table(star->fact)->LiveSize(), 100u);
+  EXPECT_EQ(db.table(star->dims[0])->LiveSize(), 20u);
+
+  auto resolved = ResolvedView::Resolve(&db, star->ViewDef());
+  ASSERT_TRUE(resolved.ok());
+  // fact(1 + 3 fks + amount) + 3 dims x 3 cols.
+  EXPECT_EQ(resolved->view_schema().num_columns(), 5u + 9u);
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  Rng rng(1);
+  Zipf zipf(100, 1.0);
+  int head = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) < 10) ++head;
+  }
+  // With theta=1, the top-10 of 100 keys draw well over a third of samples.
+  EXPECT_GT(head, kSamples / 3);
+
+  Zipf uniformish(100, 0.01);
+  head = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (uniformish.Sample(rng) < 10) ++head;
+  }
+  EXPECT_LT(head, kSamples / 5);  // near-uniform: ~10%
+}
+
+}  // namespace
+}  // namespace rollview
