@@ -11,12 +11,22 @@ LogCapture::~LogCapture() { Stop(); }
 
 size_t LogCapture::Poll() {
   std::lock_guard<std::mutex> poll_lk(poll_mu_);
+  FaultInjector* fi = db_->fault_injector();
+  if (fi != nullptr && fi->MaybeCaptureLag()) {
+    // Injected capture-lag spike: this poll consumes nothing, so the
+    // high-water mark stalls and downstream WaitForCsn calls time out with
+    // Busy -- the transient the maintenance drivers must absorb.
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.lag_stalls++;
+    return 0;
+  }
   std::vector<WalRecord> batch;
   Lsn next = db_->wal()->ReadFrom(cursor_, options_.batch_size, &batch);
   if (batch.empty()) return 0;
 
   uint64_t rows_published = 0;
   uint64_t txns_captured = 0;
+  bool hwm_advanced = false;
 
   for (const WalRecord& rec : batch) {
     switch (rec.kind) {
@@ -51,6 +61,7 @@ size_t LogCapture::Poll() {
         // The high-water mark advances on *every* commit: all changes with
         // CSN <= rec.commit_csn are now published.
         hwm_.store(rec.commit_csn, std::memory_order_release);
+        hwm_advanced = true;
         break;
       }
       case WalRecord::Kind::kAbort:
@@ -70,11 +81,22 @@ size_t LogCapture::Poll() {
     stats_.txns_captured += txns_captured;
     stats_.rows_published += rows_published;
   }
+  if (hwm_advanced) {
+    // Empty critical section: pairs with the predicate check in WaitForCsn
+    // so a waiter cannot miss the advance between its check and its wait.
+    { std::lock_guard<std::mutex> lk(hwm_mu_); }
+    hwm_cv_.notify_all();
+  }
   return batch.size();
 }
 
 void LogCapture::CatchUp() {
-  while (Poll() > 0) {
+  // "Poll()==0" alone is not "done": an injected lag stall consumes
+  // nothing while records remain, so check the cursor against the log end.
+  while (true) {
+    if (Poll() > 0) continue;
+    std::lock_guard<std::mutex> lk(poll_mu_);
+    if (cursor_ >= db_->wal()->next_lsn()) return;
   }
 }
 
@@ -87,6 +109,12 @@ void LogCapture::Start() {
 void LogCapture::Stop() {
   if (!running_.exchange(false)) return;
   stop_cv_.notify_all();
+  {
+    // Wake WaitForCsn sleepers so they notice running_ flipped and fall
+    // back to inline polling instead of waiting out their full timeout.
+    std::lock_guard<std::mutex> lk(hwm_mu_);
+  }
+  hwm_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -105,10 +133,22 @@ void LogCapture::ThreadMain() {
 Status LogCapture::WaitForCsn(Csn csn, std::chrono::milliseconds timeout) {
   auto deadline = std::chrono::steady_clock::now() + timeout;
   while (high_water_mark() < csn) {
-    if (!running_.load(std::memory_order_relaxed)) {
-      if (Poll() > 0) continue;
-      // Nothing in the WAL and still behind: the CSN may not exist yet.
+    if (running_.load(std::memory_order_relaxed)) {
+      // Background mode: block until Poll() advances the mark (or capture
+      // stops, in which case fall through to inline polling).
+      std::unique_lock<std::mutex> lk(hwm_mu_);
+      bool woke = hwm_cv_.wait_until(lk, deadline, [&] {
+        return high_water_mark() >= csn ||
+               !running_.load(std::memory_order_relaxed);
+      });
+      if (!woke && high_water_mark() < csn) {
+        return Status::Busy("capture did not reach csn " +
+                            std::to_string(csn));
+      }
+      continue;
     }
+    if (Poll() > 0) continue;
+    // Nothing in the WAL and still behind: the CSN may not exist yet.
     if (std::chrono::steady_clock::now() >= deadline) {
       return Status::Busy("capture did not reach csn " + std::to_string(csn));
     }

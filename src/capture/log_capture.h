@@ -63,8 +63,10 @@ class LogCapture {
     return hwm_.load(std::memory_order_acquire);
   }
 
-  // Blocks until high_water_mark() >= csn. If the background thread is not
-  // running, polls inline. Returns Busy on timeout.
+  // Blocks until high_water_mark() >= csn. With the background thread
+  // running, waits on a condition variable notified by Poll() when the
+  // high-water mark advances (no spinning); otherwise polls inline.
+  // Returns Busy on timeout.
   Status WaitForCsn(Csn csn, std::chrono::milliseconds timeout =
                                   std::chrono::milliseconds(10000));
 
@@ -72,6 +74,7 @@ class LogCapture {
     uint64_t records_processed = 0;
     uint64_t txns_captured = 0;   // committed txns with captured changes
     uint64_t rows_published = 0;  // delta rows appended
+    uint64_t lag_stalls = 0;      // Poll calls stalled by fault injection
   };
   Stats GetStats() const;
 
@@ -92,6 +95,10 @@ class LogCapture {
   std::unordered_map<TxnId, std::vector<PendingChange>> pending_;
 
   std::atomic<Csn> hwm_{0};
+  // Guards the sleep in WaitForCsn; Poll notifies after the HWM advances
+  // and Stop notifies so waiters fall back to inline polling.
+  std::mutex hwm_mu_;
+  std::condition_variable hwm_cv_;
 
   mutable std::mutex stats_mu_;
   Stats stats_;

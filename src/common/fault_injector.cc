@@ -1,0 +1,65 @@
+#include "common/fault_injector.h"
+
+namespace rollview {
+
+int& FaultInjector::Scope::depth() {
+  static thread_local int depth = 0;
+  return depth;
+}
+
+bool FaultInjector::Fire(double p, uint64_t Stats::*counter) {
+  if (p <= 0.0 || !armed()) return false;
+  if (options_.scoped_only && Scope::depth() == 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!rng_.Bernoulli(p)) return false;
+  stats_.*counter += 1;
+  return true;
+}
+
+Status FaultInjector::MaybeCommitAbort() {
+  if (Fire(options_.commit_abort_probability, &Stats::injected_aborts)) {
+    return Status::TxnAborted("injected commit abort");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::MaybeLockBusy() {
+  if (Fire(options_.lock_busy_probability, &Stats::injected_busy)) {
+    return Status::Busy("injected lock wait timeout");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::MaybeWalError() {
+  if (Fire(options_.wal_error_probability, &Stats::injected_wal_errors)) {
+    return Status::Busy("injected WAL write error");
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::MaybeCaptureLag() {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (lag_remaining_ > 0) {
+    --lag_remaining_;
+    stats_.lag_polls++;
+    return true;
+  }
+  if (options_.capture_lag_probability <= 0.0 ||
+      !rng_.Bernoulli(options_.capture_lag_probability)) {
+    return false;
+  }
+  stats_.lag_spikes++;
+  stats_.lag_polls++;
+  lag_remaining_ = options_.capture_lag_polls > 0
+                       ? options_.capture_lag_polls - 1
+                       : 0;
+  return true;
+}
+
+FaultInjector::Stats FaultInjector::GetStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace rollview

@@ -1,0 +1,108 @@
+// Copyright 2026 The rollview Authors.
+//
+// FaultInjector: seeded, deterministic fault injection for the storage and
+// capture layers. Tests and benchmarks arm it to prove that the supervised
+// maintenance drivers (ivm/maintenance.h) survive the transient failures a
+// loaded engine actually produces:
+//
+//   * injected transaction aborts at commit (deadlock-victim stand-ins),
+//   * injected lock-timeout Busy results from LockManager::Acquire,
+//   * injected WAL write errors on the append path,
+//   * capture-lag spikes (LogCapture::Poll stalls for a run of polls).
+//
+// Faults fire from a single seeded RNG, so a fixed seed gives a fixed fault
+// sequence per fault point. By default faults are scoped: they only fire on
+// threads that entered a FaultInjector::Scope (the maintenance transaction
+// paths -- QueryRunner::ExecuteOnce and Applier::RollTo -- install one), so
+// updater transactions in the same process run clean unless scoped_only is
+// disabled. Capture-lag spikes are process-wide by nature and ignore scope.
+
+#ifndef ROLLVIEW_COMMON_FAULT_INJECTOR_H_
+#define ROLLVIEW_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace rollview {
+
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // Probability that Db::Commit aborts the transaction (TxnAborted).
+    double commit_abort_probability = 0.0;
+    // Probability that LockManager::Acquire returns Busy immediately.
+    double lock_busy_probability = 0.0;
+    // Probability that a WAL append site fails (Busy, "injected WAL ...").
+    double wal_error_probability = 0.0;
+    // Probability (per Poll) that capture enters a lag spike during which
+    // the next `capture_lag_polls` Poll calls process nothing.
+    double capture_lag_probability = 0.0;
+    int capture_lag_polls = 20;
+    // When true (default), commit/lock/WAL faults fire only on threads
+    // inside a FaultInjector::Scope. Capture lag always ignores scope.
+    bool scoped_only = true;
+  };
+
+  struct Stats {
+    uint64_t injected_aborts = 0;
+    uint64_t injected_busy = 0;
+    uint64_t injected_wal_errors = 0;
+    uint64_t lag_spikes = 0;
+    uint64_t lag_polls = 0;  // Poll calls swallowed by spikes
+  };
+
+  explicit FaultInjector(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // RAII thread opt-in for scoped injection (see Options::scoped_only).
+  // Nestable; faults fire while depth > 0.
+  class Scope {
+   public:
+    Scope() { ++depth(); }
+    ~Scope() { --depth(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    friend class FaultInjector;
+    static int& depth();
+  };
+
+  // Arms/disarms the whole injector without touching probabilities, so a
+  // test can run an injected-fault burst and then let the system recover.
+  void set_armed(bool armed) {
+    armed_.store(armed, std::memory_order_relaxed);
+  }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Fault points. Each returns OK (or false) when the fault does not fire.
+  Status MaybeCommitAbort();
+  Status MaybeLockBusy();
+  Status MaybeWalError();
+  // True when this Poll call should stall (process nothing).
+  bool MaybeCaptureLag();
+
+  Stats GetStats() const;
+
+ private:
+  // Scoped gate + seeded Bernoulli draw; counts into `counter` on fire.
+  bool Fire(double p, uint64_t Stats::*counter);
+
+  Options options_;
+  std::atomic<bool> armed_{true};
+  mutable std::mutex mu_;
+  Rng rng_;                // guarded by mu_
+  int lag_remaining_ = 0;  // guarded by mu_
+  Stats stats_;            // guarded by mu_
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_COMMON_FAULT_INJECTOR_H_

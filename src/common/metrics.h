@@ -28,18 +28,30 @@ class Counter {
 
 // Recorded in nanoseconds; reports percentiles. Mutex-guarded: recording
 // happens per transaction, orders of magnitude less often than lock/unlock.
+//
+// count/sum/max are exact. Percentiles come from a bounded reservoir
+// (Vitter's algorithm R, deterministic xorshift stream), so memory stays
+// O(kReservoirCapacity) no matter how long a maintenance process runs.
 class LatencyHistogram {
  public:
+  static constexpr size_t kReservoirCapacity = 4096;
+
   void Record(uint64_t nanos) {
     std::lock_guard<std::mutex> g(mu_);
-    samples_.push_back(nanos);
+    ++count_;
     sum_ += nanos;
     if (nanos > max_) max_ = nanos;
+    if (samples_.size() < kReservoirCapacity) {
+      samples_.push_back(nanos);
+    } else {
+      uint64_t j = NextRandom() % count_;
+      if (j < kReservoirCapacity) samples_[static_cast<size_t>(j)] = nanos;
+    }
   }
 
   uint64_t count() const {
     std::lock_guard<std::mutex> g(mu_);
-    return samples_.size();
+    return count_;
   }
   uint64_t sum_nanos() const {
     std::lock_guard<std::mutex> g(mu_);
@@ -51,21 +63,41 @@ class LatencyHistogram {
   }
   double mean_nanos() const {
     std::lock_guard<std::mutex> g(mu_);
-    return samples_.empty() ? 0.0 : static_cast<double>(sum_) / samples_.size();
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
   }
-  // q in [0, 1]; e.g. 0.99 for p99. Sorts a copy; call at report time only.
+  // Number of retained samples (<= kReservoirCapacity); for tests.
+  size_t reservoir_size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return samples_.size();
+  }
+  // q in [0, 1]; e.g. 0.99 for p99. Sorts a copy of the reservoir; call at
+  // report time only. Approximate once count() exceeds the capacity.
   uint64_t Percentile(double q) const;
 
   void Reset() {
     std::lock_guard<std::mutex> g(mu_);
     samples_.clear();
+    count_ = 0;
     sum_ = 0;
     max_ = 0;
   }
 
  private:
+  // xorshift64*: cheap, deterministic, and private to this histogram so
+  // reservoir replacement never perturbs workload RNG streams.
+  uint64_t NextRandom() {
+    uint64_t x = rand_state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rand_state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
   mutable std::mutex mu_;
   std::vector<uint64_t> samples_;
+  uint64_t rand_state_ = 0x9E3779B97F4A7C15ULL;
+  uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t max_ = 0;
 };

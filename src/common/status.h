@@ -55,6 +55,16 @@ class Status {
   }
 
   bool ok() const { return code_ == Code::kOk; }
+
+  // Transient/permanent taxonomy. Transient errors are expected under
+  // contention (deadlock-victim aborts, lock/wait timeouts) and callers may
+  // retry the same operation; everything else indicates a bug, a bad
+  // argument, or an unrecoverable condition and must be surfaced. The
+  // supervised maintenance drivers key their restart policy off this bit.
+  bool IsTransient() const {
+    return code_ == Code::kTxnAborted || code_ == Code::kBusy;
+  }
+
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }

@@ -10,7 +10,11 @@ Status MvReader::ReadOnce(int64_t* out_total_count) {
     return s;
   }
   int64_t total = view_->mv->TotalCount();
-  ROLLVIEW_RETURN_NOT_OK(views_->db()->Commit(txn.get()));
+  s = views_->db()->Commit(txn.get());
+  if (!s.ok()) {
+    views_->db()->Abort(txn.get()).ok();  // failed commit leaves it active
+    return s;
+  }
   if (out_total_count != nullptr) *out_total_count = total;
   ++reads_;
   return Status::OK();

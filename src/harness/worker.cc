@@ -44,6 +44,10 @@ void Worker::Run() {
             .count()));
     iterations_.fetch_add(1, std::memory_order_relaxed);
     if (!s.ok()) {
+      if (options_.retry_transient_errors && s.IsTransient()) {
+        transient_errors_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       error_ = s;
       running_.store(false, std::memory_order_relaxed);
       break;

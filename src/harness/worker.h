@@ -25,6 +25,10 @@ class Worker {
     std::string name = "worker";
     // 0 = unpaced (run flat out).
     double target_ops_per_sec = 0.0;
+    // When true, a transient body error (Status::IsTransient) does not stop
+    // the worker: it is counted in transient_errors() and the loop goes on.
+    // Permanent errors always stop the worker and surface through Join().
+    bool retry_transient_errors = false;
   };
 
   // `body` runs once per iteration; a non-OK status stops the worker and is
@@ -46,6 +50,9 @@ class Worker {
   uint64_t iterations() const {
     return iterations_.load(std::memory_order_relaxed);
   }
+  uint64_t transient_errors() const {
+    return transient_errors_.load(std::memory_order_relaxed);
+  }
   const LatencyHistogram& latency() const { return latency_; }
   const std::string& name() const { return options_.name; }
 
@@ -58,6 +65,7 @@ class Worker {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> iterations_{0};
+  std::atomic<uint64_t> transient_errors_{0};
   LatencyHistogram latency_;
   Status error_;
 };

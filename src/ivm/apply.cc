@@ -1,8 +1,13 @@
 #include "ivm/apply.h"
 
+#include "common/fault_injector.h"
+
 namespace rollview {
 
 Status Applier::RollTo(Csn target) {
+  // Apply transactions opt into scoped fault injection alongside
+  // propagation (see common/fault_injector.h).
+  FaultInjector::Scope fault_scope;
   Csn from = view_->mv->csn();
   if (target < from) {
     return Status::InvalidArgument(
@@ -33,7 +38,14 @@ Status Applier::RollTo(Csn target) {
     views_->db()->Abort(txn.get()).ok();
     return s;
   }
-  ROLLVIEW_RETURN_NOT_OK(views_->db()->Commit(txn.get()));
+  s = views_->db()->Commit(txn.get());
+  if (!s.ok()) {
+    // The txn is still active after a failed commit; abort it so the X lock
+    // on the view resource is released before the supervisor retries (a
+    // leaked lock would starve every later roll).
+    views_->db()->Abort(txn.get()).ok();
+    return s;
+  }
 
   stats_.rolls++;
   stats_.rows_selected += window.size();

@@ -1,6 +1,22 @@
 #include "ivm/maintenance.h"
 
+#include <algorithm>
+
 namespace rollview {
+
+const char* DriverHealthName(DriverHealth health) {
+  switch (health) {
+    case DriverHealth::kStopped:
+      return "stopped";
+    case DriverHealth::kRunning:
+      return "running";
+    case DriverHealth::kDegraded:
+      return "degraded";
+    case DriverHealth::kFailed:
+      return "failed";
+  }
+  return "?";
+}
 
 MaintenanceService::MaintenanceService(ViewManager* views, View* view,
                                        Options options)
@@ -29,7 +45,11 @@ MaintenanceService::MaintenanceService(ViewManager* views, View* view,
   applier_ = std::make_unique<Applier>(views, view, aopts);
 }
 
-MaintenanceService::~MaintenanceService() { Stop().ok(); }
+MaintenanceService::~MaintenanceService() {
+  // The final error (if any) stays readable through last_error() until
+  // destruction; Stop()'s return value here has nowhere to go.
+  Stop().ok();
+}
 
 const RunnerStats* MaintenanceService::runner_stats() const {
   return rolling_ != nullptr ? &rolling_->runner()->stats()
@@ -54,69 +74,232 @@ Status MaintenanceService::PropagateStep(bool* advanced) {
   return Status::OK();
 }
 
-void MaintenanceService::PropagateLoop() {
-  while (running_.load(std::memory_order_relaxed)) {
-    if (propagate_paused_.load(std::memory_order_relaxed)) {
-      std::this_thread::sleep_for(options_.idle_sleep);
-      continue;
-    }
-    bool advanced = false;
-    Status s = PropagateStep(&advanced);
-    if (!s.ok()) {
-      std::lock_guard<std::mutex> lk(error_mu_);
-      if (error_.ok()) error_ = s;
-      return;
-    }
-    if (!advanced) std::this_thread::sleep_for(options_.idle_sleep);
+Status MaintenanceService::ApplyStep(bool* advanced) {
+  Csn hwm = view_->high_water_mark();
+  if (hwm > view_->mv->csn()) {
+    *advanced = true;
+    return applier_->RollTo(hwm);
   }
+  *advanced = false;
+  return Status::OK();
 }
 
-void MaintenanceService::ApplyLoop() {
+void MaintenanceService::RecordError(const Status& s, bool terminal) {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  last_error_ = s;
+  if (terminal && error_.ok()) error_ = s;
+}
+
+void MaintenanceService::InterruptibleSleep(std::chrono::nanoseconds d) {
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  wake_cv_.wait_for(lk, d, [&] {
+    return !running_.load(std::memory_order_relaxed);
+  });
+}
+
+void MaintenanceService::DriverLoop(Driver* driver,
+                                    std::atomic<bool>* paused,
+                                    const std::function<Status(bool*)>& step,
+                                    uint64_t salt) {
+  Rng jitter_rng(options_.backoff_seed ^ salt);
+  const BackoffPolicy& policy = options_.backoff;
+  std::chrono::nanoseconds backoff =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(policy.initial);
+  const std::chrono::nanoseconds backoff_cap =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(policy.max);
+  int consecutive_failures = 0;
+
   while (running_.load(std::memory_order_relaxed)) {
-    if (apply_paused_.load(std::memory_order_relaxed)) {
-      std::this_thread::sleep_for(options_.idle_sleep);
+    if (paused->load(std::memory_order_relaxed)) {
+      std::unique_lock<std::mutex> lk(wake_mu_);
+      wake_cv_.wait(lk, [&] {
+        return !running_.load(std::memory_order_relaxed) ||
+               !paused->load(std::memory_order_relaxed);
+      });
       continue;
     }
-    Csn hwm = view_->high_water_mark();
-    if (hwm > view_->mv->csn()) {
-      Status s = applier_->RollTo(hwm);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> lk(error_mu_);
-        if (error_.ok()) error_ = s;
-        return;
+
+    bool advanced = false;
+    Status s = step(&advanced);
+
+    if (s.ok()) {
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        driver->stats.steps++;
+        if (consecutive_failures > 0) driver->stats.recoveries++;
       }
-    } else {
-      std::this_thread::sleep_for(options_.idle_sleep);
+      consecutive_failures = 0;
+      backoff =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(policy.initial);
+      driver->health.store(DriverHealth::kRunning, std::memory_order_release);
+      if (!advanced) InterruptibleSleep(options_.idle_sleep);
+      continue;
     }
+
+    ++consecutive_failures;
+    bool terminal =
+        !s.IsTransient() || (options_.failed_after > 0 &&
+                             consecutive_failures >= options_.failed_after);
+    RecordError(s, terminal);
+    if (terminal) {
+      driver->health.store(DriverHealth::kFailed, std::memory_order_release);
+      return;
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      driver->stats.transient_errors++;
+      if (s.IsTxnAborted()) {
+        driver->stats.errors_aborted++;
+      } else {
+        driver->stats.errors_busy++;
+      }
+    }
+    if (consecutive_failures >= options_.degraded_after &&
+        driver->health.load(std::memory_order_relaxed) !=
+            DriverHealth::kDegraded) {
+      driver->health.store(DriverHealth::kDegraded,
+                           std::memory_order_release);
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      driver->stats.degraded_entries++;
+    }
+
+    double factor =
+        1.0 + policy.jitter * (2.0 * jitter_rng.NextDouble() - 1.0);
+    auto delay = std::chrono::nanoseconds(static_cast<int64_t>(
+        static_cast<double>(backoff.count()) * factor));
+    if (delay < std::chrono::nanoseconds(1)) delay = std::chrono::nanoseconds(1);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      driver->stats.backoff_nanos += static_cast<uint64_t>(delay.count());
+    }
+    InterruptibleSleep(delay);
+    backoff = std::min(
+        backoff_cap,
+        std::chrono::nanoseconds(static_cast<int64_t>(
+            static_cast<double>(backoff.count()) * policy.multiplier)));
   }
+  driver->health.store(DriverHealth::kStopped, std::memory_order_release);
 }
 
 void MaintenanceService::Start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
-  propagate_thread_ = std::thread([this] { PropagateLoop(); });
+  {
+    // A restarted service must not report a previous run's error.
+    std::lock_guard<std::mutex> lk(error_mu_);
+    error_ = Status::OK();
+    last_error_ = Status::OK();
+  }
+  propagate_driver_.health.store(DriverHealth::kRunning,
+                                 std::memory_order_release);
+  propagate_thread_ = std::thread([this] {
+    DriverLoop(&propagate_driver_, &propagate_paused_,
+               [this](bool* advanced) { return PropagateStep(advanced); },
+               /*salt=*/0x70726f70ULL);  // "prop"
+  });
   if (options_.apply_continuously) {
-    apply_thread_ = std::thread([this] { ApplyLoop(); });
+    apply_driver_.health.store(DriverHealth::kRunning,
+                               std::memory_order_release);
+    apply_thread_ = std::thread([this] {
+      DriverLoop(&apply_driver_, &apply_paused_,
+                 [this](bool* advanced) { return ApplyStep(advanced); },
+                 /*salt=*/0x6170706cULL);  // "appl"
+    });
   }
 }
 
 Status MaintenanceService::Stop() {
   running_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_all();
   if (propagate_thread_.joinable()) propagate_thread_.join();
   if (apply_thread_.joinable()) apply_thread_.join();
   std::lock_guard<std::mutex> lk(error_mu_);
   return error_;
 }
 
+void MaintenanceService::ResumePropagation() {
+  propagate_paused_.store(false);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_all();
+}
+
+void MaintenanceService::ResumeApply() {
+  apply_paused_.store(false);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_all();
+}
+
+DriverHealth MaintenanceService::Health() const {
+  auto rank = [](DriverHealth h) {
+    switch (h) {
+      case DriverHealth::kFailed:
+        return 3;
+      case DriverHealth::kDegraded:
+        return 2;
+      case DriverHealth::kRunning:
+        return 1;
+      case DriverHealth::kStopped:
+        return 0;
+    }
+    return 0;
+  };
+  DriverHealth p = propagate_health();
+  DriverHealth a = apply_health();
+  return rank(p) >= rank(a) ? p : a;
+}
+
+Status MaintenanceService::last_error() const {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  return last_error_;
+}
+
+DriverStats MaintenanceService::propagate_driver_stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return propagate_driver_.stats;
+}
+
+DriverStats MaintenanceService::apply_driver_stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return apply_driver_.stats;
+}
+
+Status MaintenanceService::CheckDrainProgress(
+    const Driver& driver, const std::atomic<bool>& paused) {
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    ROLLVIEW_RETURN_NOT_OK(error_);
+  }
+  if (driver.health.load(std::memory_order_acquire) ==
+      DriverHealth::kFailed) {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    if (!error_.ok()) return error_;
+    if (!last_error_.ok()) return last_error_;
+    return Status::Internal(std::string(driver.name) + " driver failed");
+  }
+  if (paused.load(std::memory_order_relaxed)) {
+    return Status::Busy(std::string("drain cannot make progress: ") +
+                        driver.name + " driver is paused");
+  }
+  return Status::OK();
+}
+
 Status MaintenanceService::Drain(Csn target) {
   bool was_running = running_.load(std::memory_order_relaxed);
   if (was_running) {
-    // Let the background drivers do the work; wait for them.
+    // Let the background drivers do the work; wait for them. Bail out with
+    // Busy instead of livelocking if the driver is paused, and with the
+    // driver's error if it died.
     while (view_->high_water_mark() < target) {
-      {
-        std::lock_guard<std::mutex> lk(error_mu_);
-        ROLLVIEW_RETURN_NOT_OK(error_);
-      }
+      ROLLVIEW_RETURN_NOT_OK(
+          CheckDrainProgress(propagate_driver_, propagate_paused_));
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   } else if (rolling_ != nullptr) {
@@ -127,10 +310,7 @@ Status MaintenanceService::Drain(Csn target) {
   if (!options_.apply_continuously) return Status::OK();
   if (was_running) {
     while (view_->mv->csn() < target) {
-      {
-        std::lock_guard<std::mutex> lk(error_mu_);
-        ROLLVIEW_RETURN_NOT_OK(error_);
-      }
+      ROLLVIEW_RETURN_NOT_OK(CheckDrainProgress(apply_driver_, apply_paused_));
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
     return Status::OK();

@@ -7,20 +7,64 @@
 // "completely independent" apart from producer/consumer ordering (Sec. 1);
 // pausing either (e.g. during load spikes) never affects correctness, only
 // staleness.
+//
+// The drivers are *supervised*: transient errors (Status::IsTransient --
+// deadlock-victim aborts, lock/capture timeouts) never kill a driver.
+// Instead the driver backs off with capped, seeded-jitter exponential
+// delays and retries, walking a per-driver health state machine:
+//
+//   kRunning --(degraded_after consecutive transient failures)--> kDegraded
+//   kDegraded --(next success)--> kRunning
+//   any --(permanent error, or failed_after consecutive failures)--> kFailed
+//
+// A kFailed driver exits its loop with the error recorded; Health() and
+// last_error() make that observable long before Stop(). Recovery work is
+// counted in per-driver DriverStats (transient errors by cause, recoveries,
+// time spent backing off).
 
 #ifndef ROLLVIEW_IVM_MAINTENANCE_H_
 #define ROLLVIEW_IVM_MAINTENANCE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <thread>
 
+#include "common/rng.h"
 #include "ivm/apply.h"
 #include "ivm/propagate.h"
 #include "ivm/retention.h"
 #include "ivm/rolling.h"
 
 namespace rollview {
+
+// Health of one background driver. kStopped: not started or cleanly
+// stopped. kFailed is terminal until the next Start().
+enum class DriverHealth { kStopped, kRunning, kDegraded, kFailed };
+
+const char* DriverHealthName(DriverHealth health);
+
+// Capped exponential backoff with symmetric jitter: the n-th consecutive
+// failure sleeps min(initial * multiplier^(n-1), max) scaled by a uniform
+// factor in [1 - jitter, 1 + jitter] drawn from a seeded per-driver RNG.
+struct BackoffPolicy {
+  std::chrono::microseconds initial{200};
+  std::chrono::microseconds max{50000};  // 50 ms
+  double multiplier = 2.0;
+  double jitter = 0.25;
+};
+
+// Recovery bookkeeping for one driver.
+struct DriverStats {
+  uint64_t steps = 0;             // successful step iterations
+  uint64_t transient_errors = 0;  // transient failures absorbed
+  uint64_t errors_aborted = 0;    //   ... of which TxnAborted
+  uint64_t errors_busy = 0;       //   ... of which Busy
+  uint64_t recoveries = 0;        // successes ending a failure streak
+  uint64_t degraded_entries = 0;  // kRunning/... -> kDegraded transitions
+  uint64_t backoff_nanos = 0;     // total time spent backing off
+};
 
 class MaintenanceService {
  public:
@@ -37,6 +81,16 @@ class MaintenanceService {
     bool prune_view_delta = true;  // applier prunes applied windows
     std::chrono::milliseconds idle_sleep{1};
     RunnerOptions runner;
+
+    // --- Supervision ---
+    BackoffPolicy backoff;
+    // Consecutive transient failures before the driver reports kDegraded.
+    int degraded_after = 3;
+    // Consecutive transient failures before the driver gives up (kFailed).
+    // 0 means never: the driver retries transient errors forever.
+    int failed_after = 64;
+    // Seeds the per-driver jitter RNGs (runs reproduce under a fixed seed).
+    uint64_t backoff_seed = 0x726f6c6c;
   };
 
   MaintenanceService(ViewManager* views, View* view)
@@ -47,30 +101,70 @@ class MaintenanceService {
   MaintenanceService(const MaintenanceService&) = delete;
   MaintenanceService& operator=(const MaintenanceService&) = delete;
 
+  // Starts the background drivers. Clears any error and health state left
+  // over from a previous run (a stopped service can be restarted).
   void Start();
-  // Stops both drivers and joins their threads. Returns the first error
-  // either driver hit (they stop on error).
+  // Stops both drivers and joins their threads. Returns the first
+  // *terminal* error either driver hit (transient errors that were
+  // recovered from do not surface here; see last_error()).
   Status Stop();
 
   // Suspend/resume individual drivers ("either process, or both, can be
   // suspended during periods of high system load", Sec. 1).
   void PausePropagation() { propagate_paused_.store(true); }
-  void ResumePropagation() { propagate_paused_.store(false); }
+  void ResumePropagation();
   void PauseApply() { apply_paused_.store(true); }
-  void ResumeApply() { apply_paused_.store(false); }
+  void ResumeApply();
 
   // Blocks until the view delta covers `target` and (if apply is enabled)
   // the MV has been rolled there. Works whether or not Start() was called.
+  // Returns Busy instead of livelocking when the driver that must make the
+  // progress is paused, and the driver's error if it permanently failed.
   Status Drain(Csn target);
+
+  // --- Observability ---
+
+  // Worst health across the two drivers (kFailed > kDegraded > kRunning >
+  // kStopped), so a single check answers "is maintenance alive".
+  DriverHealth Health() const;
+  DriverHealth propagate_health() const {
+    return propagate_driver_.health.load(std::memory_order_acquire);
+  }
+  DriverHealth apply_health() const {
+    return apply_driver_.health.load(std::memory_order_acquire);
+  }
+  // Most recent error either driver observed (transient or terminal);
+  // OK if none since the last Start().
+  Status last_error() const;
+
+  DriverStats propagate_driver_stats() const;
+  DriverStats apply_driver_stats() const;
 
   View* view() const { return view_; }
   const RunnerStats* runner_stats() const;
   const Applier::Stats& apply_stats() const { return applier_->stats(); }
 
  private:
+  struct Driver {
+    explicit Driver(const char* n) : name(n) {}
+    const char* name;
+    std::atomic<DriverHealth> health{DriverHealth::kStopped};
+    DriverStats stats;  // guarded by stats_mu_
+  };
+
   Status PropagateStep(bool* advanced);
-  void PropagateLoop();
-  void ApplyLoop();
+  Status ApplyStep(bool* advanced);
+  // The supervised driver loop: runs `step` until stopped, absorbing
+  // transient errors per the backoff policy and health state machine.
+  void DriverLoop(Driver* driver, std::atomic<bool>* paused,
+                  const std::function<Status(bool*)>& step, uint64_t salt);
+  // Sleeps up to `d`, waking early on Stop().
+  void InterruptibleSleep(std::chrono::nanoseconds d);
+  void RecordError(const Status& s, bool terminal);
+  // Non-OK when a drain waiting on `driver` cannot make progress: the
+  // driver failed (its error) or is paused (Busy).
+  Status CheckDrainProgress(const Driver& driver,
+                            const std::atomic<bool>& paused);
 
   ViewManager* views_;
   View* view_;
@@ -85,8 +179,18 @@ class MaintenanceService {
   std::atomic<bool> running_{false};
   std::atomic<bool> propagate_paused_{false};
   std::atomic<bool> apply_paused_{false};
-  std::mutex error_mu_;
-  Status error_;
+
+  // Wakes drivers sleeping on idle/backoff/pause.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+
+  Driver propagate_driver_{"propagate"};
+  Driver apply_driver_{"apply"};
+  mutable std::mutex stats_mu_;
+
+  mutable std::mutex error_mu_;
+  Status error_;       // first terminal error (what Stop() returns)
+  Status last_error_;  // most recent error of any kind
 };
 
 // Periodic retention passes over every view of a ViewManager.

@@ -30,8 +30,18 @@ Result<bool> Propagator::Step() {
   }
   if (t_next <= t_cur_) return false;
 
-  ROLLVIEW_RETURN_NOT_OK(
-      compute_delta_.PropagateInterval(view_, t_cur_, t_next));
+  // PropagateInterval commits one transaction per query in the interval's
+  // delta expansion; if a later one fails the earlier commits must be
+  // cancelled before the supervisor may retry the step, or the retry
+  // duplicates their rows (see StepUndoLog).
+  undo_log_.Clear();
+  runner_.set_undo_log(&undo_log_);
+  Status s = compute_delta_.PropagateInterval(view_, t_cur_, t_next);
+  runner_.set_undo_log(nullptr);
+  if (!s.ok()) {
+    ROLLVIEW_RETURN_NOT_OK(runner_.CancelFailedStep(&undo_log_));
+    return s;
+  }
   t_cur_ = t_next;
   view_->AdvanceHwm(t_cur_);
   return true;

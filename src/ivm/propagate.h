@@ -49,6 +49,7 @@ class Propagator {
   std::unique_ptr<IntervalPolicy> policy_;
   QueryRunner runner_;
   ComputeDeltaOp compute_delta_;
+  StepUndoLog undo_log_;
   Csn t_cur_;
 };
 

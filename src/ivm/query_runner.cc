@@ -3,6 +3,8 @@
 #include <cassert>
 #include <thread>
 
+#include "common/fault_injector.h"
+
 namespace rollview {
 
 QueryRunner::QueryRunner(ViewManager* views, View* view,
@@ -33,23 +35,62 @@ Result<Csn> QueryRunner::Execute(const PropQuery& q) {
     if (t.is_delta && t.range.hi > need) need = t.range.hi;
   }
   if (need != kNullCsn && views_->capture() != nullptr) {
-    ROLLVIEW_RETURN_NOT_OK(views_->capture()->WaitForCsn(need));
+    ROLLVIEW_RETURN_NOT_OK(
+        views_->capture()->WaitForCsn(need, options_.capture_wait_timeout));
   }
 
   int attempts = 0;
   while (true) {
     Result<Csn> r = ExecuteOnce(q);
     if (r.ok()) return r;
-    bool retryable = r.status().IsTxnAborted() || r.status().IsBusy();
-    if (!retryable || ++attempts > options_.max_retries) return r;
+    if (!r.status().IsTransient() || ++attempts > options_.max_retries) {
+      return r;
+    }
     stats_.retries++;
+    if (r.status().IsTxnAborted()) {
+      stats_.retries_aborted++;
+    } else {
+      stats_.retries_busy++;
+    }
     std::this_thread::sleep_for(options_.retry_backoff * attempts);
   }
+}
+
+Status QueryRunner::CancelFailedStep(StepUndoLog* log) {
+  if (log->empty()) return Status::OK();
+  Db* db = views_->db();
+  // Deliberately NOT inside a FaultInjector::Scope: the cancellation is the
+  // recovery path, so injected maintenance faults do not apply to it. Real
+  // transient conflicts still can, hence the bounded retry loop.
+  Status last;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::unique_ptr<Txn> txn = db->Begin();
+    for (const DeltaRow& row : log->rows()) {
+      DeltaRow neg = row;
+      neg.count = -neg.count;
+      db->BufferDeltaAppend(txn.get(), view_->view_delta.get(),
+                            std::move(neg));
+    }
+    last = db->Commit(txn.get());
+    if (last.ok()) {
+      log->Clear();
+      return Status::OK();
+    }
+    db->Abort(txn.get()).ok();
+    if (!last.IsTransient()) break;
+    std::this_thread::sleep_for(options_.retry_backoff * (attempt + 1));
+  }
+  return Status::Internal(
+      "could not cancel a partially committed propagation step: " +
+      last.ToString());
 }
 
 Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
   Db* db = views_->db();
   const ResolvedView& rv = view_->resolved;
+  // Propagation transactions are the scoped fault-injection target: an
+  // armed injector aborts/stalls maintenance here without touching updaters.
+  FaultInjector::Scope fault_scope;
   std::unique_ptr<Txn> txn = db->Begin();
 
   auto fail = [&](Status s) -> Result<Csn> {
@@ -87,6 +128,10 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
   Result<DeltaRows> rows = exec.Execute(jq, txn.get(), &stats_.exec);
   if (!rows.ok()) return fail(rows.status());
 
+  // When a step-undo log is attached, keep a copy of what this transaction
+  // publishes so a later query's failure can cancel it (see StepUndoLog).
+  DeltaRows undo_copy;
+  if (undo_log_ != nullptr) undo_copy = rows.value();
   for (DeltaRow& row : rows.value()) {
     db->BufferDeltaAppend(txn.get(), view_->view_delta.get(),
                           std::move(row));
@@ -103,6 +148,7 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
   Status s = db->Commit(txn.get());
   if (!s.ok()) return fail(s);
   Csn csn = txn->commit_csn();
+  if (undo_log_ != nullptr) undo_log_->Record(std::move(undo_copy));
 
   if (options_.use_special_table_csn_resolution &&
       views_->capture() != nullptr) {

@@ -26,9 +26,15 @@
 namespace rollview {
 
 struct RunnerOptions {
-  // Retries on deadlock-victim aborts / lock timeouts.
+  // Retries on transient errors (deadlock-victim aborts / lock timeouts).
+  // 0 disables the per-query retry loop entirely, surfacing every transient
+  // to the caller -- the supervised maintenance drivers use this to own the
+  // whole backoff policy.
   int max_retries = 64;
   std::chrono::microseconds retry_backoff{200};
+  // Bound on waiting for capture to publish the delta ranges a query reads;
+  // expiry surfaces as transient Busy (e.g. during a capture-lag spike).
+  std::chrono::milliseconds capture_wait_timeout{10000};
   // Reproduce the prototype's CSN discovery: write a marker row into a
   // special captured table and resolve the CSN through the UOW table.
   bool use_special_table_csn_resolution = false;
@@ -39,8 +45,33 @@ struct RunnerStats {
   uint64_t forward_queries = 0;  // exactly one delta term
   uint64_t comp_queries = 0;     // more than one delta term
   uint64_t retries = 0;
+  uint64_t retries_aborted = 0;  // retries caused by TxnAborted
+  uint64_t retries_busy = 0;     // retries caused by Busy
   uint64_t rows_appended = 0;    // view-delta rows written
   ExecStats exec;                // join-executor work
+};
+
+// Collects the view-delta rows committed by each successful Execute inside
+// one multi-query protocol step. A Figure 5/10 step is *several*
+// independently committed transactions (forward query + compensations); if
+// one of them fails after earlier ones committed, retrying the whole step
+// would duplicate the committed rows. CancelFailedStep appends the exact
+// negation of everything recorded (same tuples, same timestamps, negated
+// counts), so the net effect of the failed step is zero and the retry is
+// safe. Negation at identical timestamps cancels in every scan window, and
+// view deltas are not ts-sorted, so the late append is legal.
+class StepUndoLog {
+ public:
+  void Record(DeltaRows rows) {
+    rows_.insert(rows_.end(), std::make_move_iterator(rows.begin()),
+                 std::make_move_iterator(rows.end()));
+  }
+  void Clear() { rows_.clear(); }
+  bool empty() const { return rows_.empty(); }
+  const DeltaRows& rows() const { return rows_; }
+
+ private:
+  DeltaRows rows_;
 };
 
 class QueryRunner {
@@ -61,6 +92,15 @@ class QueryRunner {
   // Optional geometric instrumentation (Figs 6-9).
   void set_region_tracker(RegionTracker* tracker) { tracker_ = tracker; }
 
+  // While set, every successful Execute records its committed view-delta
+  // rows into `log` (multi-query steps install one around their protocol).
+  void set_undo_log(StepUndoLog* log) { undo_log_ = log; }
+  // Cancels a failed step exactly: appends the negation of every recorded
+  // row in one transaction (bounded transient retries), then clears the
+  // log. A non-OK return means the view delta still holds the partial
+  // step -- the caller must treat that as permanent, not retry the step.
+  Status CancelFailedStep(StepUndoLog* log);
+
  private:
   Result<Csn> ExecuteOnce(const PropQuery& q);
   Status EnsureSpecialTable();
@@ -70,6 +110,7 @@ class QueryRunner {
   RunnerOptions options_;
   RunnerStats stats_;
   RegionTracker* tracker_ = nullptr;
+  StepUndoLog* undo_log_ = nullptr;
   TableId special_table_ = kInvalidTableId;
   int64_t special_seq_ = 0;
 };

@@ -121,6 +121,30 @@ Result<bool> RollingPropagator::Step() {
     return true;
   }
 
+  // A step is a multi-transaction protocol: the forward query and each
+  // compensation segment commit independently. If one of them fails after
+  // earlier ones committed, retrying the step verbatim would duplicate the
+  // committed rows -- so run the fallible body under a step-undo log and
+  // cancel exactly what the failed step published before surfacing the
+  // error to the supervisor.
+  size_t pre_step_records = querylist_[i].size();
+  undo_log_.Clear();
+  runner_.set_undo_log(&undo_log_);
+  Status s = ForwardAndCompensate(i, y1, y2);
+  runner_.set_undo_log(nullptr);
+  if (!s.ok()) {
+    querylist_[i].resize(pre_step_records);  // drop this step's ForwardRecord
+    ROLLVIEW_RETURN_NOT_OK(runner_.CancelFailedStep(&undo_log_));
+    return s;
+  }
+
+  tfwd_[i] = y2;
+  RecomputeTcomp();
+  view_->AdvanceHwm(high_water_mark());
+  return true;
+}
+
+Status RollingPropagator::ForwardAndCompensate(size_t i, Csn y1, Csn y2) {
   // Forward query for R^i over (y1, y2].
   PropQuery fwd = PropQuery::AllBase(view_);
   fwd.terms[i] = PropTerm::Delta(y1, y2);
@@ -160,11 +184,7 @@ Result<bool> RollingPropagator::Step() {
       }
     }
   }
-
-  tfwd_[i] = y2;
-  RecomputeTcomp();
-  view_->AdvanceHwm(high_water_mark());
-  return true;
+  return Status::OK();
 }
 
 Result<bool> RollingPropagator::TryFinish() {

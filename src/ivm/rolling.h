@@ -127,6 +127,10 @@ class RollingPropagator {
     Csn exec = kNullCsn;  // execution time (commit CSN)
   };
 
+  // The fallible body of Step(): forward query over (y1, y2] on relation i
+  // plus its mode-specific compensation. Runs with the step-undo log
+  // attached so a mid-protocol failure can be cancelled exactly.
+  Status ForwardAndCompensate(size_t i, Csn y1, Csn y2);
   // Removes fully-compensated queries (execution time <= t) from every
   // query list and recomputes t_comp (paper's PruneQueryLists).
   void PruneQueryLists(Csn t);
@@ -150,6 +154,7 @@ class RollingPropagator {
   std::vector<Csn> tfwd_;
   std::vector<Csn> tcomp_;
   std::vector<std::deque<ForwardRecord>> querylist_;
+  StepUndoLog undo_log_;
   Stats stats_;
 };
 

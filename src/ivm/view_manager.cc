@@ -61,7 +61,11 @@ Status ViewManager::Materialize(View* view) {
     db_->Abort(txn.get()).ok();
     return rows.status();
   }
-  ROLLVIEW_RETURN_NOT_OK(db_->Commit(txn.get()));
+  Status cs = db_->Commit(txn.get());
+  if (!cs.ok()) {
+    db_->Abort(txn.get()).ok();  // failed commit leaves the txn active
+    return cs;
+  }
   Csn csn = txn->commit_csn();
 
   view->mv->Replace(ToCountMap(rows.value()), csn);

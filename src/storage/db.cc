@@ -145,6 +145,7 @@ Status Db::Insert(Txn* txn, TableId table, Tuple tuple) {
   ROLLVIEW_RETURN_NOT_OK(AcquireRowLock(txn, table, *e, tuple));
   ROLLVIEW_RETURN_NOT_OK(CaptureOnWrite(txn, table, e, tuple, +1));
 
+  ROLLVIEW_RETURN_NOT_OK(wal_.MaybeInjectWriteError());
   wal_.Append(WalRecord{WalRecord::Kind::kInsert, 0, txn->id(), table, tuple,
                         kNullCsn});
   size_t slot = e->table->AddPendingInsert(txn->id(), std::move(tuple));
@@ -161,6 +162,8 @@ Result<int64_t> Db::DeleteWhere(Txn* txn, TableId table,
   if (e == nullptr) return Status::NotFound("no such table");
   ROLLVIEW_RETURN_NOT_OK(lock_manager_.Acquire(
       txn->id(), ResourceId::Table(table), LockMode::kIX));
+  // Injected before any slot is marked so an abort fully undoes the txn.
+  ROLLVIEW_RETURN_NOT_OK(wal_.MaybeInjectWriteError());
 
   std::vector<size_t> slots;
   std::vector<Tuple> tuples;
@@ -271,6 +274,12 @@ void Db::BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row) {
 Status Db::Commit(Txn* txn) {
   if (txn->state() != TxnState::kActive) {
     return Status::InvalidArgument("txn not active");
+  }
+  if (FaultInjector* fi = fault_injector()) {
+    // Injected before any commit work: the transaction stays active and the
+    // caller aborts it, exactly like a real deadlock-victim commit failure.
+    ROLLVIEW_RETURN_NOT_OK(wal_.MaybeInjectWriteError());
+    ROLLVIEW_RETURN_NOT_OK(fi->MaybeCommitAbort());
   }
   {
     std::lock_guard<std::mutex> lk(commit_mu_);

@@ -159,6 +159,20 @@ class Db {
   LockManager* lock_manager() { return &lock_manager_; }
   UowTable* uow() { return &uow_; }
 
+  // Deterministic fault injection (common/fault_injector.h): injected
+  // commit aborts here, injected Busy in the lock manager, injected WAL
+  // write errors on the append sites, capture-lag spikes in LogCapture
+  // (which reads the injector through fault_injector()). Install before
+  // concurrent use; pass nullptr to detach. The injector is not owned.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+    lock_manager_.SetFaultInjector(injector);
+    wal_.SetFaultInjector(injector);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
   // Largest CSN all of whose effects are stamped and snapshot-readable.
   Csn stable_csn() const { return stable_csn_.load(std::memory_order_acquire); }
 
@@ -222,6 +236,7 @@ class Db {
   LockManager lock_manager_;
   Wal wal_;
   UowTable uow_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 
   mutable std::mutex catalog_mu_;
   std::unordered_map<std::string, TableId> by_name_;

@@ -198,6 +198,9 @@ void LockManager::RemoveWaiting(Queue* q, TxnId txn) {
 }
 
 Status LockManager::Acquire(TxnId txn, const ResourceId& res, LockMode mode) {
+  if (FaultInjector* fi = injector_.load(std::memory_order_acquire)) {
+    ROLLVIEW_RETURN_NOT_OK(fi->MaybeLockBusy());
+  }
   std::unique_lock<std::mutex> lk(mu_);
   Queue* q = GetQueue(res);
 

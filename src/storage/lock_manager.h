@@ -20,6 +20,7 @@
 #ifndef ROLLVIEW_STORAGE_LOCK_MANAGER_H_
 #define ROLLVIEW_STORAGE_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "storage/ids.h"
@@ -122,6 +124,13 @@ class LockManager {
   Stats GetStats() const;
   void ResetStats();
 
+  // Deterministic fault injection: Acquire may return an injected Busy
+  // before touching the queues (a simulated lock-wait timeout). Wire up
+  // before concurrent use; injected faults are NOT counted in Stats.
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   struct Request {
     TxnId txn;
@@ -148,6 +157,7 @@ class LockManager {
   void RemoveWaiting(Queue* q, TxnId txn);
 
   Options options_;
+  std::atomic<FaultInjector*> injector_{nullptr};
   mutable std::mutex mu_;
   std::unordered_map<ResourceId, std::unique_ptr<Queue>, ResourceIdHasher>
       queues_;

@@ -13,6 +13,7 @@
 #ifndef ROLLVIEW_STORAGE_WAL_H_
 #define ROLLVIEW_STORAGE_WAL_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -22,6 +23,8 @@
 #include <vector>
 
 #include "common/csn.h"
+#include "common/fault_injector.h"
+#include "common/status.h"
 #include "schema/schema.h"
 #include "schema/tuple.h"
 #include "storage/ids.h"
@@ -67,6 +70,20 @@ class Wal {
   // Appends a record, assigning it the next LSN (returned).
   Lsn Append(WalRecord record);
 
+  // Deterministic fault injection (common/fault_injector.h). Append sites
+  // that can surface an error to a transaction call MaybeInjectWriteError()
+  // *before* mutating any state; a non-OK result models a failed log write
+  // and the caller must abort the transaction.
+  // Atomic so installation from a test/driver thread publishes the fully
+  // constructed injector to threads already appending (release/acquire).
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  Status MaybeInjectWriteError() {
+    FaultInjector* fi = injector_.load(std::memory_order_acquire);
+    return fi == nullptr ? Status::OK() : fi->MaybeWalError();
+  }
+
   // Copies records with LSN >= `from` into `out` (up to `max` records).
   // Returns the LSN one past the last record copied (the next `from`).
   Lsn ReadFrom(Lsn from, size_t max, std::vector<WalRecord>* out) const;
@@ -78,6 +95,7 @@ class Wal {
   size_t size() const;
 
  private:
+  std::atomic<FaultInjector*> injector_{nullptr};
   mutable std::mutex mu_;
   std::deque<WalRecord> records_;
   Lsn first_lsn_ = 0;  // LSN of records_.front()

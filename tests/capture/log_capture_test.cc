@@ -7,6 +7,7 @@
 
 #include <thread>
 
+#include "common/fault_injector.h"
 #include "tests/test_util.h"
 
 namespace rollview {
@@ -158,6 +159,55 @@ TEST_F(CaptureTest, WaitForCsnTimesOutOnMissingCsn) {
   LogCapture capture(&db_);
   Status s = capture.WaitForCsn(999, std::chrono::milliseconds(50));
   EXPECT_TRUE(s.IsBusy());
+}
+
+TEST_F(CaptureTest, WaitForCsnWakesPromptlyOnBackgroundAdvance) {
+  LogCapture capture(&db_);
+  capture.Start();
+  Csn target = db_.stable_csn() + 1;
+  std::thread committer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    CommitOne(log_, 1);
+  });
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_OK(capture.WaitForCsn(target, std::chrono::milliseconds(5000)));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  committer.join();
+  capture.Stop();
+  EXPECT_GE(capture.high_water_mark(), target);
+  // The waiter is notified by Poll(), not spinning to the timeout: even on
+  // a loaded machine this should be far below the 5 s budget.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2000));
+}
+
+TEST_F(CaptureTest, WaitForCsnTimesOutInBackgroundMode) {
+  LogCapture capture(&db_);
+  capture.Start();
+  Status s = capture.WaitForCsn(db_.stable_csn() + 100,
+                                std::chrono::milliseconds(50));
+  capture.Stop();
+  EXPECT_TRUE(s.IsBusy());
+}
+
+TEST_F(CaptureTest, InjectedLagStallsPollsButCatchUpStillDrains) {
+  FaultInjector::Options fopts;
+  fopts.capture_lag_probability = 1.0;
+  fopts.capture_lag_polls = 3;
+  FaultInjector fi(fopts);
+  db_.SetFaultInjector(&fi);
+  LogCapture capture(&db_);
+  CommitOne(log_, 1);
+  // Every poll during the spike consumes nothing and the HWM stalls.
+  EXPECT_EQ(capture.Poll(), 0u);
+  EXPECT_EQ(capture.Poll(), 0u);
+  EXPECT_EQ(capture.high_water_mark(), 0u);
+  fi.set_armed(false);
+  capture.CatchUp();
+  EXPECT_EQ(db_.delta(log_)->size(), 1u);
+  EXPECT_EQ(capture.high_water_mark(), db_.stable_csn());
+  EXPECT_EQ(capture.GetStats().lag_stalls, 2u);
+  EXPECT_EQ(fi.GetStats().lag_polls, 2u);
+  db_.SetFaultInjector(nullptr);
 }
 
 TEST_F(CaptureTest, ConcurrentWritersAllCaptured) {

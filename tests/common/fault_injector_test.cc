@@ -1,0 +1,114 @@
+// FaultInjector: deterministic seeding, scope gating, arm/disarm, and
+// capture-lag spike semantics.
+
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rollview {
+namespace {
+
+#define EXPECT_OK(expr) EXPECT_TRUE((expr).ok())
+
+TEST(FaultInjectorTest, DeterministicUnderFixedSeed) {
+  FaultInjector::Options opts;
+  opts.seed = 42;
+  opts.commit_abort_probability = 0.3;
+  FaultInjector a(opts), b(opts);
+  FaultInjector::Scope scope;
+  std::vector<bool> seq_a, seq_b;
+  for (int i = 0; i < 1000; ++i) seq_a.push_back(!a.MaybeCommitAbort().ok());
+  for (int i = 0; i < 1000; ++i) seq_b.push_back(!b.MaybeCommitAbort().ok());
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(a.GetStats().injected_aborts, b.GetStats().injected_aborts);
+  // ~300 expected; the point is it fired at all and not always.
+  EXPECT_GT(a.GetStats().injected_aborts, 100u);
+  EXPECT_LT(a.GetStats().injected_aborts, 500u);
+}
+
+TEST(FaultInjectorTest, FaultsAreTransientStatuses) {
+  FaultInjector::Options opts;
+  opts.commit_abort_probability = 1.0;
+  opts.lock_busy_probability = 1.0;
+  opts.wal_error_probability = 1.0;
+  FaultInjector fi(opts);
+  FaultInjector::Scope scope;
+  Status abort = fi.MaybeCommitAbort();
+  EXPECT_TRUE(abort.IsTxnAborted());
+  EXPECT_TRUE(abort.IsTransient());
+  Status busy = fi.MaybeLockBusy();
+  EXPECT_TRUE(busy.IsBusy());
+  EXPECT_TRUE(busy.IsTransient());
+  Status wal = fi.MaybeWalError();
+  EXPECT_TRUE(wal.IsBusy());
+  EXPECT_TRUE(wal.IsTransient());
+  // Permanent errors are not transient.
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+}
+
+TEST(FaultInjectorTest, ScopedOnlySparesUnscopedThreads) {
+  FaultInjector::Options opts;
+  opts.commit_abort_probability = 1.0;
+  FaultInjector fi(opts);
+  // This thread never entered a Scope: no faults.
+  EXPECT_OK(fi.MaybeCommitAbort());
+  {
+    FaultInjector::Scope scope;
+    EXPECT_TRUE(fi.MaybeCommitAbort().IsTxnAborted());
+  }
+  // Scope exited: clean again.
+  EXPECT_OK(fi.MaybeCommitAbort());
+  // Scope is per-thread: a scoped main thread does not taint a worker.
+  FaultInjector::Scope scope;
+  Status worker_status = Status::TxnAborted("unset");
+  std::thread t([&] { worker_status = fi.MaybeCommitAbort(); });
+  t.join();
+  EXPECT_OK(worker_status);
+  EXPECT_EQ(fi.GetStats().injected_aborts, 1u);
+}
+
+TEST(FaultInjectorTest, UnscopedModeHitsEveryThread) {
+  FaultInjector::Options opts;
+  opts.commit_abort_probability = 1.0;
+  opts.scoped_only = false;
+  FaultInjector fi(opts);
+  EXPECT_TRUE(fi.MaybeCommitAbort().IsTxnAborted());
+}
+
+TEST(FaultInjectorTest, DisarmSilencesFaultsWithoutTouchingStats) {
+  FaultInjector::Options opts;
+  opts.commit_abort_probability = 1.0;
+  FaultInjector fi(opts);
+  FaultInjector::Scope scope;
+  EXPECT_TRUE(fi.MaybeCommitAbort().IsTxnAborted());
+  fi.set_armed(false);
+  for (int i = 0; i < 10; ++i) EXPECT_OK(fi.MaybeCommitAbort());
+  EXPECT_FALSE(fi.MaybeCaptureLag());
+  EXPECT_EQ(fi.GetStats().injected_aborts, 1u);
+  fi.set_armed(true);
+  EXPECT_TRUE(fi.MaybeCommitAbort().IsTxnAborted());
+}
+
+TEST(FaultInjectorTest, CaptureLagSpikeSwallowsARunOfPolls) {
+  FaultInjector::Options opts;
+  opts.capture_lag_probability = 1.0;
+  opts.capture_lag_polls = 3;
+  FaultInjector fi(opts);
+  // No Scope: lag ignores scoping by design.
+  EXPECT_TRUE(fi.MaybeCaptureLag());  // starts a spike
+  EXPECT_TRUE(fi.MaybeCaptureLag());
+  EXPECT_TRUE(fi.MaybeCaptureLag());  // spike exhausted...
+  FaultInjector::Stats stats = fi.GetStats();
+  EXPECT_EQ(stats.lag_spikes, 1u);
+  EXPECT_EQ(stats.lag_polls, 3u);
+  // ...and with p = 1.0 the very next poll starts a fresh spike.
+  EXPECT_TRUE(fi.MaybeCaptureLag());
+  EXPECT_EQ(fi.GetStats().lag_spikes, 2u);
+}
+
+}  // namespace
+}  // namespace rollview

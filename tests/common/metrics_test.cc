@@ -40,6 +40,31 @@ TEST(LatencyHistogramTest, PercentilesAndStats) {
   EXPECT_EQ(h.Percentile(0.5), 0u);
 }
 
+TEST(LatencyHistogramTest, ReservoirBoundsMemoryWithExactAggregates) {
+  LatencyHistogram h;
+  constexpr uint64_t kSamples = 3 * LatencyHistogram::kReservoirCapacity;
+  uint64_t expected_sum = 0;
+  for (uint64_t v = 1; v <= kSamples; ++v) {
+    h.Record(v);
+    expected_sum += v;
+  }
+  // Aggregates stay exact while storage is capped at the reservoir size.
+  EXPECT_EQ(h.count(), kSamples);
+  EXPECT_EQ(h.max_nanos(), kSamples);
+  EXPECT_DOUBLE_EQ(h.mean_nanos(),
+                   static_cast<double>(expected_sum) / kSamples);
+  EXPECT_EQ(h.reservoir_size(), LatencyHistogram::kReservoirCapacity);
+  // Percentiles are estimates over a uniform sample; the median of
+  // 1..kSamples should land well inside the middle half.
+  uint64_t p50 = h.Percentile(0.5);
+  EXPECT_GT(p50, kSamples / 4);
+  EXPECT_LT(p50, 3 * kSamples / 4);
+  EXPECT_LE(h.Percentile(1.0), kSamples);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.reservoir_size(), 0u);
+}
+
 TEST(ScopedTimerTest, RecordsElapsed) {
   LatencyHistogram h;
   {
@@ -64,6 +89,20 @@ TEST(StatusTest, CodesAndMessages) {
   EXPECT_TRUE(Status::InvalidArgument("a").IsInvalidArgument());
   EXPECT_TRUE(Status::AlreadyExists("e").IsAlreadyExists());
   EXPECT_TRUE(Status::NotSupported("n").IsNotSupported());
+}
+
+TEST(StatusTest, TransientTaxonomy) {
+  // Transient: the caller (or a supervised driver) may retry.
+  EXPECT_TRUE(Status::TxnAborted("deadlock victim").IsTransient());
+  EXPECT_TRUE(Status::Busy("lock wait timeout").IsTransient());
+  // Everything else is permanent.
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::OutOfRange("x").IsTransient());
+  EXPECT_FALSE(Status::NotSupported("x").IsTransient());
+  EXPECT_FALSE(Status::AlreadyExists("x").IsTransient());
 }
 
 Result<int> ParsePositive(int v) {

@@ -51,6 +51,43 @@ TEST(WorkerTest, PacingLimitsThroughput) {
   EXPECT_LE(runs.load(), 60);
 }
 
+TEST(WorkerTest, TransientErrorsAreRetriedWhenOptedIn) {
+  std::atomic<int> runs{0};
+  Worker::Options opts;
+  opts.retry_transient_errors = true;
+  Worker w([&runs]() -> Status {
+    int n = ++runs;
+    if (n % 3 == 1) return Status::TxnAborted("deadlock victim");
+    if (n % 3 == 2) return Status::Busy("lock wait timeout");
+    return Status::OK();
+  }, opts);
+  w.Start();
+  while (w.transient_errors() < 6) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(w.Join().ok());
+  EXPECT_GE(w.transient_errors(), 6u);
+  EXPECT_GE(w.iterations(), w.transient_errors());
+}
+
+TEST(WorkerTest, PermanentErrorStillStopsARetryingWorker) {
+  std::atomic<int> runs{0};
+  Worker::Options opts;
+  opts.retry_transient_errors = true;
+  Worker w([&runs]() -> Status {
+    if (++runs < 3) return Status::TxnAborted("transient");
+    return Status::Internal("fatal");
+  }, opts);
+  w.Start();
+  while (runs.load() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Status s = w.Join();
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_EQ(runs.load(), 3);
+  EXPECT_EQ(w.transient_errors(), 2u);
+}
+
 TEST(WorkerTest, DoubleStartAndJoinAreSafe) {
   Worker w([]() -> Status { return Status::OK(); });
   w.Start();

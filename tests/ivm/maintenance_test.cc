@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "tests/test_util.h"
 
 namespace rollview {
@@ -110,6 +111,120 @@ TEST_F(MaintenanceTest, PausedPropagationFreezesHwm) {
   ASSERT_OK(service.Drain(env_.db()->stable_csn()));
   ASSERT_OK(service.Stop());
   EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(MaintenanceTest, DrainReturnsBusyWhenPropagationIsPaused) {
+  MaintenanceService service(env_.views(), view_);
+  service.PausePropagation();
+  service.Start();
+  RunUpdates(5, 8);
+  ASSERT_OK(env_.capture()->WaitForCsn(env_.db()->stable_csn()));
+  Csn target = env_.db()->stable_csn();
+  // The driver that must advance the HWM is paused: Drain must report Busy
+  // instead of livelocking.
+  Status s = service.Drain(target);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  service.ResumePropagation();
+  ASSERT_OK(service.Drain(target));
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(MaintenanceTest, DrainReturnsBusyWhenApplyIsPaused) {
+  MaintenanceService service(env_.views(), view_);
+  service.PauseApply();
+  service.Start();
+  RunUpdates(5, 9);
+  Csn target = env_.db()->stable_csn();
+  while (view_->high_water_mark() < target) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Status s = service.Drain(target);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  service.ResumeApply();
+  ASSERT_OK(service.Drain(target));
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+TEST_F(MaintenanceTest, SupervisorAbsorbsTransientAbortBurst) {
+  FaultInjector::Options fopts;
+  fopts.seed = 7;
+  // High enough that a burst of aborts is certain across the dozens of
+  // maintenance commits below, low enough that multi-commit rolling steps
+  // still complete promptly (success rate per commit is 1 - p).
+  fopts.commit_abort_probability = 0.3;
+  FaultInjector fi(fopts);
+  env_.db()->SetFaultInjector(&fi);
+
+  MaintenanceService::Options opts;
+  opts.runner.max_retries = 0;  // the supervisor owns the whole retry policy
+  opts.target_rows_per_query = 8;  // many small strips -> many fault draws
+  opts.backoff.initial = std::chrono::microseconds(20);
+  opts.backoff.max = std::chrono::microseconds(1000);
+  MaintenanceService service(env_.views(), view_, opts);
+  service.Start();
+  RunUpdates(30, 8);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+
+  // Let the burst end and verify the service recovered fully.
+  fi.set_armed(false);
+  RunUpdates(5, 9);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  EXPECT_EQ(service.Health(), DriverHealth::kRunning);
+  EXPECT_EQ(service.propagate_health(), DriverHealth::kRunning);
+  ASSERT_OK(service.Stop());  // no terminal error despite the burst
+
+  DriverStats ps = service.propagate_driver_stats();
+  EXPECT_GT(ps.steps, 0u);
+  EXPECT_GT(ps.transient_errors, 0u);
+  EXPECT_GT(ps.errors_aborted, 0u);
+  EXPECT_GT(ps.recoveries, 0u);
+  EXPECT_GT(ps.backoff_nanos, 0u);
+  EXPECT_GT(fi.GetStats().injected_aborts, 0u);
+  EXPECT_TRUE(service.last_error().IsTxnAborted());  // observable history
+  EXPECT_TRUE(MvMatchesOracle());
+  env_.db()->SetFaultInjector(nullptr);
+}
+
+TEST_F(MaintenanceTest, PermanentFailureSurfacesAndRestartClearsIt) {
+  FaultInjector::Options fopts;
+  fopts.commit_abort_probability = 1.0;
+  FaultInjector fi(fopts);
+  env_.db()->SetFaultInjector(&fi);
+
+  MaintenanceService::Options opts;
+  opts.runner.max_retries = 0;
+  opts.degraded_after = 2;
+  opts.failed_after = 4;
+  opts.backoff.initial = std::chrono::microseconds(20);
+  opts.backoff.max = std::chrono::microseconds(500);
+  MaintenanceService service(env_.views(), view_, opts);
+  RunUpdates(5, 10);
+  service.Start();
+  while (service.propagate_health() != DriverHealth::kFailed) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(service.Health(), DriverHealth::kFailed);
+  EXPECT_TRUE(service.last_error().IsTxnAborted());
+  // Drain against a failed driver reports the driver's error, not a hang.
+  Status drain = service.Drain(env_.db()->stable_csn());
+  EXPECT_TRUE(drain.IsTxnAborted()) << drain.ToString();
+  Status stop = service.Stop();
+  EXPECT_TRUE(stop.IsTxnAborted()) << stop.ToString();
+  DriverStats ps = service.propagate_driver_stats();
+  EXPECT_GE(ps.transient_errors, 3u);  // the failures before giving up
+  EXPECT_GE(ps.degraded_entries, 1u);  // walked through kDegraded
+
+  // Restart after the fault cleared: no stale error from the previous run.
+  fi.set_armed(false);
+  service.Start();
+  EXPECT_OK(service.last_error());
+  EXPECT_EQ(service.propagate_health(), DriverHealth::kRunning);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+  env_.db()->SetFaultInjector(nullptr);
 }
 
 TEST_F(MaintenanceTest, RetentionServicePrunesInBackground) {
