@@ -131,13 +131,25 @@ void Main() {
                       "outcome"},
                      12);
   table.PrintHeader();
+  JsonReport report("fault_recovery");
   for (double p : {0.0, 0.05, 0.10, 0.25, 0.50}) {
     RowResult r = RunStorm(p);
     table.PrintRow({Fmt(r.abort_pct, 0), FmtInt(r.injected),
                     FmtInt(r.queries), FmtInt(r.transient_errors),
                     FmtInt(r.recoveries), FmtInt(r.degraded_entries),
                     Fmt(r.backoff_ms, 2), Fmt(r.drain_ms, 1), r.health});
+    report.BeginRow();
+    report.Num("abort_pct", r.abort_pct, 0);
+    report.Int("injected", r.injected);
+    report.Int("queries", r.queries);
+    report.Int("transient_errors", r.transient_errors);
+    report.Int("recoveries", r.recoveries);
+    report.Int("degraded_entries", r.degraded_entries);
+    report.Num("backoff_ms", r.backoff_ms, 3);
+    report.Num("drain_ms", r.drain_ms, 3);
+    report.Str("outcome", r.health);
   }
+  report.Write();
   std::printf(
       "\nShape: injected faults and absorbed transients rise together and\n"
       "recoveries track them; backoff time grows with the fault rate while\n"

@@ -59,6 +59,51 @@ std::string Fmt(double v, int precision) {
 
 std::string FmtInt(uint64_t v) { return std::to_string(v); }
 
+JsonReport::JsonReport(std::string name) : name_(std::move(name)) {}
+
+void JsonReport::BeginRow() { rows_.emplace_back(); }
+
+void JsonReport::Num(const std::string& key, double value, int precision) {
+  rows_.back().emplace_back(key, Fmt(value, precision));
+}
+
+void JsonReport::Int(const std::string& key, uint64_t value) {
+  rows_.back().emplace_back(key, std::to_string(value));
+}
+
+void JsonReport::Str(const std::string& key, const std::string& value) {
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  rows_.back().emplace_back(key, quoted);
+}
+
+bool JsonReport::Write() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"rows\": [\n",
+               name_.c_str());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f, "    {");
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                   rows_[i][j].first.c_str(), rows_[i][j].second.c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
 void Banner(const char* experiment_id, const char* claim) {
   std::printf("==============================================================="
               "=================\n");

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "capture/log_capture.h"
@@ -77,6 +78,29 @@ std::string FmtInt(uint64_t v);
 
 // Prints the standard experiment banner.
 void Banner(const char* experiment_id, const char* claim);
+
+// Machine-readable result sink alongside the printed table: accumulates
+// one flat object per measured row and writes
+// {"experiment": ..., "rows": [...]} to BENCH_<name>.json in the working
+// directory, so sweeps can be plotted/diffed without scraping stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name);
+
+  // Starts a new row; subsequent Num/Int/Str calls fill it.
+  void BeginRow();
+  void Num(const std::string& key, double value, int precision = 4);
+  void Int(const std::string& key, uint64_t value);
+  void Str(const std::string& key, const std::string& value);
+
+  // Writes BENCH_<name>.json and prints the path; returns false (after
+  // printing a warning) if the file cannot be written.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace bench
 }  // namespace rollview

@@ -1,14 +1,15 @@
-// Crash recovery: persist the WAL, "crash" with a transaction in flight,
-// rebuild the engine by log replay, and carry on with full view
-// maintenance -- delta tables, the unit-of-work table, and the view itself
-// are all reconstructed from the log (the view delta is derived data).
+// Crash recovery: run view maintenance with durable checkpoints and
+// WAL-logged propagation cursors, "crash" with a torn WAL tail, and bring
+// the whole stack back with CrashAndRecover. The view is restored from its
+// latest complete checkpoint plus the surviving WAL suffix -- no
+// re-materialization, no re-propagation of strips the old engine already
+// logged cursors for -- and the resumed MaintenanceService carries on from
+// the recovered frontier.
 
 #include <cstdio>
 
-#include "capture/log_capture.h"
+#include "harness/crash_harness.h"
 #include "ivm/maintenance.h"
-#include "ivm/view_manager.h"
-#include "storage/wal_codec.h"
 #include "workload/schemas.h"
 
 using namespace rollview;
@@ -23,76 +24,97 @@ using namespace rollview;
   } while (false)
 
 int main() {
-  const std::string wal_path = "/tmp/rollview_example.wal";
-
   // ---- Life before the crash -------------------------------------------
-  Csn crash_point = 0;
+  std::string encoded_wal;
+  SpjViewDef view_def;
+  Csn old_hwm = 0;
+  size_t old_cardinality = 0;
   {
     Db db;
     CaptureOptions copts;
     copts.truncate_wal = false;  // keep the log: it IS the durable state
     LogCapture capture(&db, copts);
-    auto workload =
-        TwoTableWorkload::Create(&db, 100, 60, 8, 2026).value();
+    ViewManager views(&db, &capture);
+    auto workload = TwoTableWorkload::Create(&db, 100, 60, 8, 2026).value();
+    view_def = workload.ViewDef();
     capture.CatchUp();
 
+    // Materialize writes the initial durable checkpoint; the maintenance
+    // service then checkpoints every 4 propagation steps and logs a cursor
+    // record for every step, so the log always holds a recent snapshot plus
+    // a replayable suffix.
+    View* view = views.CreateView("V", view_def).value();
+    CHECK_OK(views.Materialize(view));
+    MaintenanceService::Options mopts;
+    mopts.checkpoint_every_steps = 4;
+    mopts.apply_continuously = true;
+    MaintenanceService service(&views, view, mopts);
+
     UpdateStream updates(&db, workload.RStream(1, 5), 5);
-    CHECK_OK(updates.RunTransactions(25));
-    crash_point = db.stable_csn();
+    for (int round = 0; round < 4; ++round) {
+      CHECK_OK(updates.RunTransactions(8));
+      capture.CatchUp();
+      CHECK_OK(service.Drain(db.stable_csn()));
+    }
+    old_hwm = view->high_water_mark();
+    old_cardinality = view->mv->cardinality();
 
-    // A transaction is mid-flight when the machine dies...
-    auto doomed = db.Begin();
-    CHECK_OK(db.Insert(doomed.get(), workload.r,
-                       {Value(int64_t{666}), Value(int64_t{0}),
-                        Value(int64_t{0})}));
-    // (never committed)
-
-    std::vector<WalRecord> wal;
-    db.wal()->ReadFrom(0, 1u << 24, &wal);
-    CHECK_OK(WriteWalFile(wal_path, wal));
-    std::printf("persisted %zu WAL records at stable csn %llu "
-                "(one txn in flight)\n",
-                wal.size(), static_cast<unsigned long long>(crash_point));
-    CHECK_OK(db.Abort(doomed.get()));
+    encoded_wal = SnapshotEncodedWal(&db);
+    std::printf("maintained view to hwm %llu (%zu tuples); WAL is %zu "
+                "bytes\n",
+                static_cast<unsigned long long>(old_hwm), old_cardinality,
+                encoded_wal.size());
   }  // <- crash: the first engine is gone
 
+  // The machine died mid-write: the last 2% of the log is a torn tail.
+  CrashSpec spec;
+  spec.keep_bytes = encoded_wal.size() * 98 / 100;
+  std::string damaged = ApplyCrashSpec(encoded_wal, spec);
+
   // ---- Recovery ---------------------------------------------------------
-  auto records = ReadWalFile(wal_path).value();
-  auto recovered = Db::Recover(records).value();
-  std::printf("recovered engine at stable csn %llu (in-flight txn "
-              "discarded: %s)\n",
-              static_cast<unsigned long long>(recovered->stable_csn()),
-              recovered->stable_csn() == crash_point ? "yes" : "NO");
+  // CrashAndRecover decodes the longest valid prefix, replays it into a
+  // fresh engine, re-registers the view definition by name (expression
+  // trees live in code, not the log), and runs ViewManager::Recover:
+  // latest checkpoint + WAL suffix, cursors -> high-water mark, committed
+  // rows of steps without a durable cursor discarded (idempotent resume).
+  RecoveredSystem sys =
+      CrashAndRecover(damaged, {{"V", view_def}}).value();
+  View* view = sys.views->Find("V");
+  if (view == nullptr || sys.report.views_recovered != 1) {
+    std::fprintf(stderr, "FATAL: view did not recover\n");
+    return 1;
+  }
+  std::printf("recovered from torn tail: %zu records replayed, %zu "
+              "checkpoints seen, %zu cursor records, %zu mid-flight rows "
+              "discarded\n",
+              sys.records_recovered, sys.report.checkpoints_seen,
+              sys.report.cursor_records, sys.report.rows_discarded);
+  std::printf("view restored at hwm %llu (%zu tuples) without "
+              "re-materializing\n",
+              static_cast<unsigned long long>(view->high_water_mark()),
+              view->mv->cardinality());
 
-  // Capture re-reads the replayed log; views are derived data, rebuilt by
-  // materializing and propagating as usual.
-  LogCapture capture(recovered.get());
-  capture.Start();
-  ViewManager views(recovered.get(), &capture);
-  TableId r = recovered->FindTable("R").value();
-  TableId s = recovered->FindTable("S").value();
-  View* view = views.CreateView("V", ChainJoin({r, s}, {{1, 1}})).value();
-  CHECK_OK(views.Materialize(view));
-
+  // Maintenance picks up from the recovered cursors: new updates flow and
+  // only strips past the durable frontier are propagated.
+  sys.capture->Start();
   TwoTableWorkload workload;  // reattach the generator to the new engine
-  workload.r = r;
-  workload.s = s;
+  workload.r = sys.db->FindTable("R").value();
+  workload.s = sys.db->FindTable("S").value();
   workload.join_domain = 8;
-  UpdateStream more(recovered.get(), workload.RStream(2, 6), 6);
+  UpdateStream more(sys.db.get(), workload.RStream(2, 6), 6);
   CHECK_OK(more.RunTransactions(15));
 
-  MaintenanceService service(&views, view);
+  MaintenanceService service(sys.views.get(), view);
   service.Start();
-  CHECK_OK(service.Drain(recovered->stable_csn()));
+  CHECK_OK(service.Drain(sys.db->stable_csn()));
   CHECK_OK(service.Stop());
-  capture.Stop();
+  sys.capture->Stop();
 
   std::printf("view maintained across the crash: %zu tuples at csn %llu "
-              "(%llu propagation queries)\n",
+              "(%llu propagation steps after recovery)\n",
               view->mv->cardinality(),
               static_cast<unsigned long long>(view->mv->csn()),
               static_cast<unsigned long long>(
-                  service.runner_stats()->queries));
-  std::remove(wal_path.c_str());
+                  service.propagate_driver_stats().steps));
   return 0;
 }

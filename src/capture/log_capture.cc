@@ -69,6 +69,16 @@ size_t LogCapture::Poll() {
         break;
       case WalRecord::Kind::kCreateTable:
         break;  // catalog records matter to recovery, not to capture
+      case WalRecord::Kind::kCreateView:
+      case WalRecord::Kind::kViewDeltaAppend:
+      case WalRecord::Kind::kViewCursor:
+      case WalRecord::Kind::kViewApplied:
+      case WalRecord::Kind::kViewCheckpoint:
+        // View-maintenance durability records are recovery's concern; the
+        // capture process only publishes *base-table* deltas. (A propagation
+        // txn's kCommit still advances the high-water mark above, which is
+        // correct: it changed no captured table.)
+        break;
     }
   }
 

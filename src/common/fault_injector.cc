@@ -57,6 +57,14 @@ bool FaultInjector::MaybeCaptureLag() {
   return true;
 }
 
+bool FaultInjector::MaybeCrashPoint() {
+  if (options_.crash_probability <= 0.0 || !armed()) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!rng_.Bernoulli(options_.crash_probability)) return false;
+  stats_.crash_points++;
+  return true;
+}
+
 FaultInjector::Stats FaultInjector::GetStats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;

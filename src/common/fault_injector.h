@@ -42,6 +42,12 @@ class FaultInjector {
     // the next `capture_lag_polls` Poll calls process nothing.
     double capture_lag_probability = 0.0;
     int capture_lag_polls = 20;
+    // Probability that MaybeCrashPoint() reports "crash here". Nothing is
+    // killed by the injector itself: the crash harness polls crash points
+    // from its driver loop and performs the actual teardown (snapshot the
+    // WAL, drop the process state, recover). Ignores Scope -- a crash takes
+    // down updaters and maintenance alike.
+    double crash_probability = 0.0;
     // When true (default), commit/lock/WAL faults fire only on threads
     // inside a FaultInjector::Scope. Capture lag always ignores scope.
     bool scoped_only = true;
@@ -53,6 +59,7 @@ class FaultInjector {
     uint64_t injected_wal_errors = 0;
     uint64_t lag_spikes = 0;
     uint64_t lag_polls = 0;  // Poll calls swallowed by spikes
+    uint64_t crash_points = 0;
   };
 
   explicit FaultInjector(Options options)
@@ -88,6 +95,9 @@ class FaultInjector {
   Status MaybeWalError();
   // True when this Poll call should stall (process nothing).
   bool MaybeCaptureLag();
+  // True when the harness should crash the process image here (see
+  // Options::crash_probability; not gated on Scope).
+  bool MaybeCrashPoint();
 
   Stats GetStats() const;
 

@@ -1,0 +1,63 @@
+#include "harness/crash_harness.h"
+
+#include "storage/wal_codec.h"
+
+namespace rollview {
+
+std::string SnapshotEncodedWal(Db* db) {
+  std::vector<WalRecord> records;
+  db->wal()->ReadFrom(0, static_cast<size_t>(-1), &records);
+  return EncodeWal(records);
+}
+
+std::string ApplyCrashSpec(const std::string& encoded,
+                           const CrashSpec& spec) {
+  std::string damaged =
+      spec.keep_bytes < encoded.size() ? encoded.substr(0, spec.keep_bytes)
+                                       : encoded;
+  if (spec.flip_bit && !damaged.empty()) {
+    size_t at = spec.flip_offset % damaged.size();
+    damaged[at] = static_cast<char>(
+        static_cast<unsigned char>(damaged[at]) ^
+        (1u << (spec.flip_offset % 8)));
+  }
+  return damaged;
+}
+
+Result<RecoveredSystem> CrashAndRecover(const std::string& encoded_wal,
+                                        const std::vector<ViewDefSpec>& defs,
+                                        DbOptions db_options) {
+  RecoveredSystem sys;
+
+  // The longest cleanly decodable prefix is the durable truth; everything
+  // after a torn or corrupt record is gone (a fsync'd log never has valid
+  // records after a damaged one).
+  WalPrefix prefix = DecodeWalPrefix(encoded_wal);
+  sys.records_recovered = prefix.records.size();
+  sys.torn_tail = prefix.torn_tail;
+  if (!prefix.corruption.ok()) sys.corruption = prefix.corruption.ToString();
+
+  ROLLVIEW_ASSIGN_OR_RETURN(sys.db,
+                            Db::Recover(prefix.records, db_options));
+
+  CaptureOptions copts;
+  copts.truncate_wal = false;  // keep the log replayable for the next crash
+  sys.capture = std::make_unique<LogCapture>(sys.db.get(), copts);
+  sys.capture->CatchUp();
+
+  sys.views = std::make_unique<ViewManager>(sys.db.get(), sys.capture.get());
+  for (const ViewDefSpec& spec : defs) {
+    Result<View*> v = sys.views->CreateView(spec.name, spec.def);
+    if (!v.ok()) {
+      // Typically a base table whose creation record fell past the cut;
+      // the caller decides whether that is fatal for the scenario.
+      sys.unregistered_views.push_back(spec.name);
+    }
+  }
+
+  ROLLVIEW_RETURN_NOT_OK(
+      sys.views->Recover(prefix.records, &sys.report));
+  return std::move(sys);
+}
+
+}  // namespace rollview

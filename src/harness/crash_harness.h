@@ -1,0 +1,80 @@
+// Copyright 2026 The rollview Authors.
+//
+// Crash-injection harness: kills a live engine at an arbitrary WAL position
+// and brings up a replacement from the surviving log bytes, exercising the
+// whole recovery stack (wal_codec prefix decode -> Db::Recover ->
+// LogCapture::CatchUp -> view re-registration -> ViewManager::Recover).
+//
+// A "crash" here is byte-level, not process-level: the harness snapshots the
+// encoded WAL, then optionally truncates it mid-record (a torn tail) or
+// flips a single bit (media corruption), then discards every in-memory
+// structure and recovers into a fresh Db/ViewManager. Tests drive crash
+// points from FaultInjector::MaybeCrashPoint so a fixed seed gives a fixed
+// crash schedule.
+
+#ifndef ROLLVIEW_HARNESS_CRASH_HARNESS_H_
+#define ROLLVIEW_HARNESS_CRASH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capture/log_capture.h"
+#include "ivm/view_manager.h"
+#include "storage/db.h"
+
+namespace rollview {
+
+// How the durable log is damaged at the crash.
+struct CrashSpec {
+  // Keep only the first `keep_bytes` of the encoded WAL (values >= the log
+  // size keep everything). Cutting inside a record produces a torn tail.
+  size_t keep_bytes = static_cast<size_t>(-1);
+  // Flip one bit (at byte flip_offset, bit flip_offset % 8) after the
+  // truncation. Recovery must stop cleanly at the damaged record.
+  bool flip_bit = false;
+  size_t flip_offset = 0;
+};
+
+// A view definition to re-register after the crash (SpjViewDef holds
+// expression trees, so definitions live in code, not in the log).
+struct ViewDefSpec {
+  std::string name;
+  SpjViewDef def;
+};
+
+// Everything that survived the crash.
+struct RecoveredSystem {
+  std::unique_ptr<Db> db;
+  std::unique_ptr<LogCapture> capture;  // constructed but not started
+  std::unique_ptr<ViewManager> views;
+  ViewManager::RecoveryReport report;
+  size_t records_recovered = 0;
+  bool torn_tail = false;       // the log ended mid-record
+  std::string corruption;       // non-empty: tail dropped at a damaged record
+  // Views whose re-registration failed (e.g. a base table's creation record
+  // was lost to the tail cut); absent from `views`.
+  std::vector<std::string> unregistered_views;
+};
+
+// Serializes the engine's full WAL to its on-disk byte encoding. Requires
+// capture with truncate_wal=false (the log must still hold history from
+// LSN 0 -- it IS the durable state).
+std::string SnapshotEncodedWal(Db* db);
+
+// Applies the damage described by `spec` to an encoded WAL image.
+std::string ApplyCrashSpec(const std::string& encoded, const CrashSpec& spec);
+
+// Tears a system down to `encoded_wal` and recovers: decodes the longest
+// valid prefix, replays it into a fresh engine, catches capture up,
+// re-registers `defs` by name, and runs ViewManager::Recover. Returns the
+// recovered bundle; per-view outcomes are in `report` /
+// `unregistered_views`. The capture is constructed with truncate_wal=false
+// so the result can itself be crashed again.
+Result<RecoveredSystem> CrashAndRecover(const std::string& encoded_wal,
+                                        const std::vector<ViewDefSpec>& defs,
+                                        DbOptions db_options = DbOptions{});
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_HARNESS_CRASH_HARNESS_H_

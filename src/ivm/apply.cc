@@ -1,6 +1,7 @@
 #include "ivm/apply.h"
 
 #include "common/fault_injector.h"
+#include "ivm/checkpoint.h"
 
 namespace rollview {
 
@@ -46,6 +47,12 @@ Status Applier::RollTo(Csn target) {
     views_->db()->Abort(txn.get()).ok();
     return s;
   }
+
+  // Durable applied mark: recovery rolls the restored MV back to this CSN
+  // (never past it -- point-in-time users must not find their view advanced
+  // by a crash). The cursor records justifying `target` necessarily precede
+  // this record in the WAL, since RollTo only targets the high-water mark.
+  views_->db()->wal()->Append(MakeViewAppliedRecord(*view_, target));
 
   stats_.rolls++;
   stats_.rows_selected += window.size();

@@ -1,0 +1,228 @@
+#include "ivm/checkpoint.h"
+
+#include "storage/wal_codec.h"
+
+namespace rollview {
+
+using namespace wal_io;
+
+namespace {
+
+void PutCsnVector(std::string* out, const std::vector<Csn>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (Csn c : v) PutU64(out, c);
+}
+
+bool GetCsnVector(const std::string& data, size_t* pos, std::vector<Csn>* v) {
+  uint32_t n = 0;
+  if (!GetU32(data, pos, &n)) return false;
+  v->clear();
+  v->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Csn c = 0;
+    if (!GetU64(data, pos, &c)) return false;
+    v->push_back(c);
+  }
+  return true;
+}
+
+void PutStrips(std::string* out,
+               const std::vector<std::vector<ForwardStrip>>& strips) {
+  PutU32(out, static_cast<uint32_t>(strips.size()));
+  for (const auto& list : strips) {
+    PutU32(out, static_cast<uint32_t>(list.size()));
+    for (const ForwardStrip& s : list) {
+      PutU64(out, s.lo);
+      PutU64(out, s.hi);
+      PutU64(out, s.exec);
+    }
+  }
+}
+
+bool GetStrips(const std::string& data, size_t* pos,
+               std::vector<std::vector<ForwardStrip>>* strips) {
+  uint32_t n = 0;
+  if (!GetU32(data, pos, &n)) return false;
+  strips->clear();
+  strips->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t m = 0;
+    if (!GetU32(data, pos, &m)) return false;
+    (*strips)[i].resize(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      ForwardStrip& s = (*strips)[i][j];
+      if (!GetU64(data, pos, &s.lo)) return false;
+      if (!GetU64(data, pos, &s.hi)) return false;
+      if (!GetU64(data, pos, &s.exec)) return false;
+    }
+  }
+  return true;
+}
+
+WalRecord MakeViewRecord(WalRecord::Kind kind, ViewId id, std::string blob) {
+  WalRecord rec;
+  rec.kind = kind;
+  rec.view = id;
+  rec.blob = std::make_shared<std::string>(std::move(blob));
+  return rec;
+}
+
+}  // namespace
+
+std::string EncodeViewCursorBlob(const ViewCursorBlob& b) {
+  std::string out;
+  PutString(&out, b.view_name);
+  PutU64(&out, b.completed_step_seq);
+  PutCsnVector(&out, b.tfwd);
+  PutCsnVector(&out, b.tcomp);
+  PutStrips(&out, b.strips);
+  return out;
+}
+
+bool DecodeViewCursorBlob(const std::string& data, ViewCursorBlob* b) {
+  size_t pos = 0;
+  if (!GetString(data, &pos, &b->view_name)) return false;
+  if (!GetU64(data, &pos, &b->completed_step_seq)) return false;
+  if (!GetCsnVector(data, &pos, &b->tfwd)) return false;
+  if (!GetCsnVector(data, &pos, &b->tcomp)) return false;
+  if (!GetStrips(data, &pos, &b->strips)) return false;
+  return pos == data.size();
+}
+
+std::string EncodeViewAppliedBlob(const ViewAppliedBlob& b) {
+  std::string out;
+  PutString(&out, b.view_name);
+  PutU64(&out, b.applied_csn);
+  return out;
+}
+
+bool DecodeViewAppliedBlob(const std::string& data, ViewAppliedBlob* b) {
+  size_t pos = 0;
+  if (!GetString(data, &pos, &b->view_name)) return false;
+  if (!GetU64(data, &pos, &b->applied_csn)) return false;
+  return pos == data.size();
+}
+
+std::string EncodeViewCheckpointBlob(const ViewCheckpointBlob& b) {
+  std::string out;
+  PutString(&out, b.view_name);
+  PutU64(&out, b.mv_csn);
+  PutU32(&out, static_cast<uint32_t>(b.mv_rows.size()));
+  for (const auto& [tuple, count] : b.mv_rows) {
+    PutTuple(&out, tuple);
+    PutI64(&out, count);
+  }
+  PutU32(&out, static_cast<uint32_t>(b.view_delta.size()));
+  for (const DeltaRow& row : b.view_delta) PutDeltaRow(&out, row);
+  PutU64(&out, b.delta_hwm);
+  PutU64(&out, b.propagate_from);
+  PutCsnVector(&out, b.tfwd);
+  PutCsnVector(&out, b.tcomp);
+  PutU64(&out, b.next_step_seq);
+  PutStrips(&out, b.strips);
+  return out;
+}
+
+bool DecodeViewCheckpointBlob(const std::string& data, ViewCheckpointBlob* b) {
+  size_t pos = 0;
+  if (!GetString(data, &pos, &b->view_name)) return false;
+  if (!GetU64(data, &pos, &b->mv_csn)) return false;
+  uint32_t n = 0;
+  if (!GetU32(data, &pos, &n)) return false;
+  b->mv_rows.clear();
+  b->mv_rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Tuple tuple;
+    int64_t count = 0;
+    if (!GetTuple(data, &pos, &tuple)) return false;
+    if (!GetI64(data, &pos, &count)) return false;
+    b->mv_rows.emplace_back(std::move(tuple), count);
+  }
+  if (!GetU32(data, &pos, &n)) return false;
+  b->view_delta.clear();
+  b->view_delta.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DeltaRow row;
+    if (!GetDeltaRow(data, &pos, &row)) return false;
+    b->view_delta.push_back(std::move(row));
+  }
+  if (!GetU64(data, &pos, &b->delta_hwm)) return false;
+  if (!GetU64(data, &pos, &b->propagate_from)) return false;
+  if (!GetCsnVector(data, &pos, &b->tfwd)) return false;
+  if (!GetCsnVector(data, &pos, &b->tcomp)) return false;
+  if (!GetU64(data, &pos, &b->next_step_seq)) return false;
+  if (!GetStrips(data, &pos, &b->strips)) return false;
+  return pos == data.size();
+}
+
+WalRecord MakeCreateViewRecord(const View& view) {
+  return MakeViewRecord(WalRecord::Kind::kCreateView, view.id, view.name);
+}
+
+WalRecord MakeViewCursorRecord(const View& view, uint64_t completed_step_seq,
+                               const CursorState& cursors) {
+  ViewCursorBlob blob;
+  blob.view_name = view.name;
+  blob.completed_step_seq = completed_step_seq;
+  blob.tfwd = cursors.tfwd;
+  blob.tcomp = cursors.tcomp;
+  blob.strips = cursors.strips;
+  return MakeViewRecord(WalRecord::Kind::kViewCursor, view.id,
+                        EncodeViewCursorBlob(blob));
+}
+
+WalRecord MakeViewAppliedRecord(const View& view, Csn applied_csn) {
+  ViewAppliedBlob blob;
+  blob.view_name = view.name;
+  blob.applied_csn = applied_csn;
+  return MakeViewRecord(WalRecord::Kind::kViewApplied, view.id,
+                        EncodeViewAppliedBlob(blob));
+}
+
+Status WriteViewCheckpoint(Db* db, View* view) {
+  ViewCheckpointBlob blob;
+  blob.view_name = view->name;
+  // Order matters against a concurrent apply driver: scan the view delta
+  // BEFORE snapshotting the MV. If an apply rolls and prunes in between,
+  // the delta snapshot merely carries rows the (newer) MV CSN already
+  // covers -- harmless, since recovery only ever selects windows starting
+  // above the restored MV CSN. The reverse order could lose the pruned
+  // window entirely.
+  blob.view_delta = view->view_delta->ScanAll();
+  CountMap contents;
+  view->mv->Snapshot(&contents, &blob.mv_csn);
+  blob.mv_rows.assign(contents.begin(), contents.end());
+  blob.delta_hwm = view->high_water_mark();
+  blob.propagate_from = view->propagate_from.load(std::memory_order_acquire);
+  CursorState cursors = view->LoadCursors();
+  if (cursors.valid) {
+    blob.tfwd = std::move(cursors.tfwd);
+    blob.tcomp = std::move(cursors.tcomp);
+    blob.next_step_seq = cursors.next_step_seq;
+    blob.strips = std::move(cursors.strips);
+  } else {
+    // Freshly materialized: propagation starts everywhere at once.
+    size_t n = view->resolved.num_terms();
+    blob.tfwd.assign(n, blob.propagate_from);
+    blob.tcomp.assign(n, blob.propagate_from);
+    blob.next_step_seq = 1;
+  }
+  db->wal()->Append(MakeViewRecord(WalRecord::Kind::kViewCheckpoint, view->id,
+                                   EncodeViewCheckpointBlob(blob)));
+  return Status::OK();
+}
+
+Status CheckpointManager::OnStep() {
+  if (options_.every_steps == 0) return Status::OK();
+  if (++steps_since_checkpoint_ < options_.every_steps) return Status::OK();
+  return CheckpointNow();
+}
+
+Status CheckpointManager::CheckpointNow() {
+  steps_since_checkpoint_ = 0;
+  ROLLVIEW_RETURN_NOT_OK(WriteViewCheckpoint(db_, view_));
+  ++written_;
+  return Status::OK();
+}
+
+}  // namespace rollview

@@ -1,0 +1,140 @@
+// Copyright 2026 The rollview Authors.
+//
+// Durable view-maintenance state: blob payload codecs for the view WAL
+// record kinds (storage/wal.h), checkpoint writing, and the CheckpointManager
+// cadence driver.
+//
+// The paper's prototype keeps the view delta, the control tables, and the
+// propagation status in ordinary DB2 tables precisely so standard database
+// recovery covers asynchronous maintenance (Sec. 5). Our engine's tables are
+// recovered from the WAL, so we give maintenance state the same treatment by
+// logging it:
+//
+//   kCreateView       view registered (id -> name binding, in log order)
+//   kViewDeltaAppend  one timed view-delta row + its step sequence number;
+//                     transactional (emitted by Db::Commit just before the
+//                     owning txn's commit record)
+//   kViewCursor       a propagation step completed: the step's sequence
+//                     number and the full post-step tfwd/tcomp vectors
+//   kViewApplied      the apply driver rolled the MV to a CSN
+//   kViewCheckpoint   full snapshot: MV contents + CSN, view-delta rows,
+//                     hwm, propagate_from, cursor vectors, next step seq
+//
+// Idempotent resume hinges on the kViewCursor/kViewDeltaAppend pairing: a
+// strip's rows are included at recovery iff a cursor record covering the
+// strip's step is durable; the cursor record also carries the frontier
+// advance, so either BOTH the rows and the frontier advance survive (the
+// strip is never re-run) or NEITHER does (the strip re-runs from identical
+// cursors and regenerates identical rows). A mid-flight strip at the crash
+// is thereby cancelled by omission -- the durable analogue of StepUndoLog.
+
+#ifndef ROLLVIEW_IVM_CHECKPOINT_H_
+#define ROLLVIEW_IVM_CHECKPOINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/csn.h"
+#include "common/status.h"
+#include "ivm/view.h"
+#include "schema/tuple.h"
+#include "storage/db.h"
+
+namespace rollview {
+
+// --- Blob payloads -------------------------------------------------------
+//
+// Every blob leads with the view *name*: view ids restart from 1 in each
+// crash generation, so the id field on the record is only trustworthy
+// relative to the kCreateView records preceding it in the same log.
+
+struct ViewCursorBlob {
+  std::string view_name;
+  uint64_t completed_step_seq = 0;
+  std::vector<Csn> tfwd;
+  std::vector<Csn> tcomp;
+  // Rolling deferred mode: the querylists after this step. Frontier-mode
+  // steps log n empty lists.
+  std::vector<std::vector<ForwardStrip>> strips;
+};
+std::string EncodeViewCursorBlob(const ViewCursorBlob& b);
+bool DecodeViewCursorBlob(const std::string& data, ViewCursorBlob* b);
+
+struct ViewAppliedBlob {
+  std::string view_name;
+  Csn applied_csn = kNullCsn;
+};
+std::string EncodeViewAppliedBlob(const ViewAppliedBlob& b);
+bool DecodeViewAppliedBlob(const std::string& data, ViewAppliedBlob* b);
+
+struct ViewCheckpointBlob {
+  std::string view_name;
+  // MV contents and materialization time, read atomically.
+  Csn mv_csn = kNullCsn;
+  std::vector<std::pair<Tuple, int64_t>> mv_rows;
+  // The timed view delta (full contents at snapshot time).
+  DeltaRows view_delta;
+  Csn delta_hwm = kNullCsn;
+  Csn propagate_from = kNullCsn;
+  // Propagation cursors at snapshot time.
+  std::vector<Csn> tfwd;
+  std::vector<Csn> tcomp;
+  uint64_t next_step_seq = 1;
+  std::vector<std::vector<ForwardStrip>> strips;
+};
+std::string EncodeViewCheckpointBlob(const ViewCheckpointBlob& b);
+bool DecodeViewCheckpointBlob(const std::string& data, ViewCheckpointBlob* b);
+
+// --- Record builders -----------------------------------------------------
+
+WalRecord MakeCreateViewRecord(const View& view);
+WalRecord MakeViewCursorRecord(const View& view, uint64_t completed_step_seq,
+                               const CursorState& cursors);
+WalRecord MakeViewAppliedRecord(const View& view, Csn applied_csn);
+
+// Snapshots the view's live state into a kViewCheckpoint record and appends
+// it to the WAL. The cursor vectors come from the view's control state
+// (View::LoadCursors), falling back to uniform propagate_from vectors for a
+// freshly materialized view.
+//
+// MUST be called from the propagation driver thread, or while propagation
+// is quiescent: the view delta is scanned *before* the MV (so a concurrent
+// apply+prune cannot open a gap between them), but a concurrent propagation
+// commit could slip rows between the delta scan and the record append,
+// which would double-count them against the log suffix at recovery.
+Status WriteViewCheckpoint(Db* db, View* view);
+
+// Cadence driver: owns "when to checkpoint". The propagate driver calls
+// OnStep() after every successful step; every `every_steps`-th call writes
+// a checkpoint (inheriting WriteViewCheckpoint's threading contract).
+class CheckpointManager {
+ public:
+  struct Options {
+    // Checkpoint after this many successful propagation steps. 0 disables
+    // the cadence entirely (checkpoints then happen only at materialization
+    // and recovery).
+    uint64_t every_steps = 64;
+  };
+
+  CheckpointManager(Db* db, View* view, Options options)
+      : db_(db), view_(view), options_(options) {}
+
+  // Called after each successful propagation step; may write a checkpoint.
+  Status OnStep();
+  // Unconditional checkpoint (also resets the cadence counter).
+  Status CheckpointNow();
+
+  uint64_t checkpoints_written() const { return written_; }
+
+ private:
+  Db* db_;
+  View* view_;
+  Options options_;
+  uint64_t steps_since_checkpoint_ = 0;
+  uint64_t written_ = 0;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_CHECKPOINT_H_

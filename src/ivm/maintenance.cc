@@ -43,6 +43,12 @@ MaintenanceService::MaintenanceService(ViewManager* views, View* view,
   ApplierOptions aopts;
   aopts.prune_view_delta = options_.prune_view_delta;
   applier_ = std::make_unique<Applier>(views, view, aopts);
+  if (options_.checkpoint_every_steps > 0) {
+    CheckpointManager::Options copts;
+    copts.every_steps = options_.checkpoint_every_steps;
+    checkpointer_ = std::make_unique<CheckpointManager>(views->db(), view,
+                                                        copts);
+  }
 }
 
 MaintenanceService::~MaintenanceService() {
@@ -66,11 +72,16 @@ Status MaintenanceService::PropagateStep(bool* advanced) {
       Result<bool> settled = rolling_->TryFinish();
       if (!settled.ok()) return settled.status();
     }
-    return Status::OK();
+  } else {
+    Result<bool> r = plain_->Step();
+    if (!r.ok()) return r.status();
+    *advanced = r.value();
   }
-  Result<bool> r = plain_->Step();
-  if (!r.ok()) return r.status();
-  *advanced = r.value();
+  if (*advanced && checkpointer_ != nullptr) {
+    // On the propagate driver thread, between steps: exactly the threading
+    // contract WriteViewCheckpoint requires.
+    ROLLVIEW_RETURN_NOT_OK(checkpointer_->OnStep());
+  }
   return Status::OK();
 }
 
@@ -302,10 +313,25 @@ Status MaintenanceService::Drain(Csn target) {
           CheckDrainProgress(propagate_driver_, propagate_paused_));
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
-  } else if (rolling_ != nullptr) {
-    ROLLVIEW_RETURN_NOT_OK(rolling_->RunUntil(target));
   } else {
-    ROLLVIEW_RETURN_NOT_OK(plain_->RunUntil(target));
+    // Synchronous drain: drive the same PropagateStep the background driver
+    // runs, so the checkpoint cadence fires and step counts accrue exactly
+    // as they would under Start().
+    while (view_->high_water_mark() < target) {
+      bool advanced = false;
+      ROLLVIEW_RETURN_NOT_OK(PropagateStep(&advanced));
+      if (advanced) {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        propagate_driver_.stats.steps++;
+      } else {
+        if (views_->capture() != nullptr) {
+          // Give capture a chance to publish more of the log.
+          ROLLVIEW_RETURN_NOT_OK(views_->capture()->WaitForCsn(
+              std::min(target, views_->db()->stable_csn())));
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
   }
   if (!options_.apply_continuously) return Status::OK();
   if (was_running) {

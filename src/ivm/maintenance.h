@@ -33,6 +33,7 @@
 
 #include "common/rng.h"
 #include "ivm/apply.h"
+#include "ivm/checkpoint.h"
 #include "ivm/propagate.h"
 #include "ivm/retention.h"
 #include "ivm/rolling.h"
@@ -91,6 +92,12 @@ class MaintenanceService {
     int failed_after = 64;
     // Seeds the per-driver jitter RNGs (runs reproduce under a fixed seed).
     uint64_t backoff_seed = 0x726f6c6c;
+
+    // --- Durability ---
+    // Write a kViewCheckpoint record every N successful propagation steps
+    // (bounding the WAL suffix recovery must replay). 0 disables periodic
+    // checkpoints; the view still gets one at Materialize and Recover.
+    uint64_t checkpoint_every_steps = 0;
   };
 
   MaintenanceService(ViewManager* views, View* view)
@@ -143,6 +150,8 @@ class MaintenanceService {
   View* view() const { return view_; }
   const RunnerStats* runner_stats() const;
   const Applier::Stats& apply_stats() const { return applier_->stats(); }
+  // Null unless checkpoint_every_steps > 0.
+  CheckpointManager* checkpointer() { return checkpointer_.get(); }
 
  private:
   struct Driver {
@@ -173,6 +182,7 @@ class MaintenanceService {
   std::unique_ptr<RollingPropagator> rolling_;
   std::unique_ptr<Propagator> plain_;
   std::unique_ptr<Applier> applier_;
+  std::unique_ptr<CheckpointManager> checkpointer_;  // propagate-driver only
 
   std::thread propagate_thread_;
   std::thread apply_thread_;

@@ -19,9 +19,11 @@ Status MaterializedView::Merge(const DeltaRows& delta, Csn new_csn) {
     auto it = map_.find(tuple);
     int64_t existing = (it == map_.end()) ? 0 : it->second;
     if (existing + count < 0) {
-      return Status::Internal("merge would drive count of tuple " +
-                              TupleToString(tuple) + " to " +
-                              std::to_string(existing + count));
+      return Status::Internal(
+          "merge to csn " + std::to_string(new_csn) +
+          " (view at csn " + std::to_string(csn_) +
+          ") would drive count of tuple " + TupleToString(tuple) + " to " +
+          std::to_string(existing + count));
     }
   }
   for (const auto& [tuple, count] : net) {
@@ -35,6 +37,12 @@ Status MaterializedView::Merge(const DeltaRows& delta, Csn new_csn) {
   }
   csn_ = new_csn;
   return Status::OK();
+}
+
+void MaterializedView::Snapshot(CountMap* contents, Csn* csn) const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  *contents = map_;
+  *csn = csn_;
 }
 
 CountMap MaterializedView::Contents() const {

@@ -45,6 +45,12 @@ class MaterializedView {
   CountMap Contents() const;
   DeltaRows AsDeltaRows() const;
 
+  // Contents and materialization time read under one latch acquisition.
+  // Checkpointing needs the pair to be mutually consistent: reading them
+  // separately races with a concurrent apply (contents would reflect a roll
+  // the CSN does not, or vice versa).
+  void Snapshot(CountMap* contents, Csn* csn) const;
+
   // Number of distinct tuples.
   size_t cardinality() const;
   // Sum of counts (multiset size).

@@ -44,12 +44,17 @@ class Propagator {
   }
 
  private:
+  // Durable cursor publication after a completed step (uniform frontiers:
+  // n copies of t_cur_). See RollingPropagator::PublishCursors.
+  void PublishCursors(uint64_t completed_seq);
+
   ViewManager* views_;
   View* view_;
   std::unique_ptr<IntervalPolicy> policy_;
   QueryRunner runner_;
   ComputeDeltaOp compute_delta_;
   StepUndoLog undo_log_;
+  uint64_t step_seq_ = 1;
   Csn t_cur_;
 };
 

@@ -68,8 +68,10 @@ Status QueryRunner::CancelFailedStep(StepUndoLog* log) {
     for (const DeltaRow& row : log->rows()) {
       DeltaRow neg = row;
       neg.count = -neg.count;
+      // Same step sequence as the rows being cancelled: at recovery the pair
+      // is included or excluded together, net zero either way.
       db->BufferDeltaAppend(txn.get(), view_->view_delta.get(),
-                            std::move(neg));
+                            std::move(neg), view_->id, step_seq_);
     }
     last = db->Commit(txn.get());
     if (last.ok()) {
@@ -133,8 +135,8 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
   DeltaRows undo_copy;
   if (undo_log_ != nullptr) undo_copy = rows.value();
   for (DeltaRow& row : rows.value()) {
-    db->BufferDeltaAppend(txn.get(), view_->view_delta.get(),
-                          std::move(row));
+    db->BufferDeltaAppend(txn.get(), view_->view_delta.get(), std::move(row),
+                          view_->id, step_seq_);
   }
   size_t appended = rows.value().size();
 

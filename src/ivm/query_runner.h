@@ -95,6 +95,12 @@ class QueryRunner {
   // While set, every successful Execute records its committed view-delta
   // rows into `log` (multi-query steps install one around their protocol).
   void set_undo_log(StepUndoLog* log) { undo_log_ = log; }
+  // Step sequence number stamped (with the view id) on every view-delta
+  // append this runner commits, so crash recovery can attribute WAL-logged
+  // rows to propagation steps. The propagator bumps it once per step
+  // *attempt*; cancellation negations carry the failed attempt's number.
+  void set_step_seq(uint64_t seq) { step_seq_ = seq; }
+  uint64_t step_seq() const { return step_seq_; }
   // Cancels a failed step exactly: appends the negation of every recorded
   // row in one transaction (bounded transient retries), then clears the
   // log. A non-OK return means the view delta still holds the partial
@@ -111,6 +117,7 @@ class QueryRunner {
   RunnerStats stats_;
   RegionTracker* tracker_ = nullptr;
   StepUndoLog* undo_log_ = nullptr;
+  uint64_t step_seq_ = 0;
   TableId special_table_ = kInvalidTableId;
   int64_t special_seq_ = 0;
 };

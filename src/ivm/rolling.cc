@@ -4,6 +4,8 @@
 #include <cassert>
 #include <thread>
 
+#include "ivm/checkpoint.h"
+
 namespace rollview {
 
 RollingPropagator::RollingPropagator(
@@ -19,10 +21,56 @@ RollingPropagator::RollingPropagator(
       mode_(options.compensation),
       n_(view->resolved.num_terms()) {
   assert(policies_.size() == n_ && "one interval policy per base relation");
-  Csn start = view->propagate_from.load(std::memory_order_acquire);
-  tfwd_.assign(n_, start);
-  tcomp_.assign(n_, start);
   querylist_.resize(n_);
+  // Resume from the view's cursor control state when it exists (a previous
+  // propagator over this view, or crash recovery, left it there); otherwise
+  // start fresh at the materialization point. Without this, a second
+  // propagator would re-propagate strips already covered by the first one.
+  CursorState resume = view->LoadCursors();
+  if (resume.valid && resume.tfwd.size() == n_ && resume.tcomp.size() == n_) {
+    tfwd_ = resume.tfwd;
+    tcomp_ = resume.tcomp;
+    step_seq_ = resume.next_step_seq;
+    if (resume.strips.size() == n_) {
+      for (size_t j = 0; j < n_; ++j) {
+        querylist_[j].assign(resume.strips[j].begin(),
+                             resume.strips[j].end());
+      }
+    }
+  } else {
+    Csn start = view->propagate_from.load(std::memory_order_acquire);
+    tfwd_.assign(n_, start);
+    tcomp_.assign(n_, start);
+  }
+  CursorState init;
+  init.tfwd = tfwd_;
+  init.tcomp = tcomp_;
+  init.next_step_seq = step_seq_;
+  init.strips = SnapshotStrips();
+  view->StoreCursors(std::move(init));
+}
+
+std::vector<std::vector<ForwardStrip>> RollingPropagator::SnapshotStrips()
+    const {
+  std::vector<std::vector<ForwardStrip>> out(n_);
+  for (size_t j = 0; j < n_; ++j) {
+    out[j].assign(querylist_[j].begin(), querylist_[j].end());
+  }
+  return out;
+}
+
+void RollingPropagator::PublishCursors(uint64_t completed_seq) {
+  CursorState state;
+  state.tfwd = tfwd_;
+  state.tcomp = tcomp_;
+  state.next_step_seq = step_seq_;
+  state.strips = SnapshotStrips();
+  WalRecord rec = MakeViewCursorRecord(*view_, completed_seq, state);
+  view_->StoreCursors(std::move(state));
+  // Record first, hwm second: recovery recomputes the mark from durable
+  // cursors, so an advance must never be observable without its cursor.
+  views_->db()->wal()->Append(std::move(rec));
+  view_->AdvanceHwm(high_water_mark());
 }
 
 RollingPropagator::RollingPropagator(ViewManager* views, View* view,
@@ -93,6 +141,14 @@ Csn RollingPropagator::high_water_mark() const {
 }
 
 Result<bool> RollingPropagator::Step() {
+  // If a previous step failed AND its cancellation failed, the undo log
+  // still holds the partial step's rows. Retry the cancellation before
+  // anything else -- clearing the log here instead would let those rows
+  // stand uncancelled forever.
+  if (!undo_log_.empty()) {
+    ROLLVIEW_RETURN_NOT_OK(runner_.CancelFailedStep(&undo_log_));
+  }
+
   Csn ready = views_->DeltaReadyCsn();
 
   // Choose the base relation with the smallest forward frontier.
@@ -117,7 +173,9 @@ Result<bool> RollingPropagator::Step() {
     tfwd_[i] = y2;
     stats_.forward_skipped++;
     RecomputeTcomp();
-    view_->AdvanceHwm(high_water_mark());
+    // An empty step publishes no rows but still consumes a sequence number
+    // and logs its frontier advance -- the advance must survive a crash.
+    PublishCursors(step_seq_++);
     return true;
   }
 
@@ -128,6 +186,8 @@ Result<bool> RollingPropagator::Step() {
   // cancel exactly what the failed step published before surfacing the
   // error to the supervisor.
   size_t pre_step_records = querylist_[i].size();
+  uint64_t seq = step_seq_++;
+  runner_.set_step_seq(seq);
   undo_log_.Clear();
   runner_.set_undo_log(&undo_log_);
   Status s = ForwardAndCompensate(i, y1, y2);
@@ -137,10 +197,14 @@ Result<bool> RollingPropagator::Step() {
     ROLLVIEW_RETURN_NOT_OK(runner_.CancelFailedStep(&undo_log_));
     return s;
   }
+  // Success: the log's contents are committed view rows, not pending undo
+  // work. A populated log past this point would be cancelled (negated) at
+  // the next Step's entry check, corrupting the delta.
+  undo_log_.Clear();
 
   tfwd_[i] = y2;
   RecomputeTcomp();
-  view_->AdvanceHwm(high_water_mark());
+  PublishCursors(seq);
   return true;
 }
 
@@ -210,9 +274,19 @@ Result<bool> RollingPropagator::TryFinish() {
       }
     }
   }
-  for (auto& list : querylist_) list.clear();
+  bool retired_any = false;
+  for (auto& list : querylist_) {
+    retired_any = retired_any || !list.empty();
+    list.clear();
+  }
   RecomputeTcomp();
-  view_->AdvanceHwm(high_water_mark());
+  if (retired_any) {
+    // Retiring strips lifts tcomp (and possibly the hwm); make the new
+    // cursor state durable like any step would.
+    PublishCursors(step_seq_ - 1);
+  } else {
+    view_->AdvanceHwm(high_water_mark());
+  }
   return true;
 }
 

@@ -121,16 +121,21 @@ class RollingPropagator {
   QueryRunner* runner() { return &runner_; }
 
  private:
-  struct ForwardRecord {
-    Csn lo = kNullCsn;    // delta-interval start
-    Csn hi = kNullCsn;    // delta-interval end
-    Csn exec = kNullCsn;  // execution time (commit CSN)
-  };
+  // ivm/view.h's ForwardStrip: {lo, hi, exec} = delta interval start/end and
+  // execution time (commit CSN). Shared with CursorState so querylists are
+  // part of the durable cursor state.
+  using ForwardRecord = ForwardStrip;
 
   // The fallible body of Step(): forward query over (y1, y2] on relation i
   // plus its mode-specific compensation. Runs with the step-undo log
   // attached so a mid-protocol failure can be cancelled exactly.
   Status ForwardAndCompensate(size_t i, Csn y1, Csn y2);
+  // Publishes the post-step cursor state: mirrors it into the view control
+  // (View::StoreCursors), appends the kViewCursor record making step
+  // `completed_seq` durable, THEN advances the high-water mark -- so a
+  // durable hwm advance always has a durable cursor justifying it.
+  void PublishCursors(uint64_t completed_seq);
+  std::vector<std::vector<ForwardStrip>> SnapshotStrips() const;
   // Removes fully-compensated queries (execution time <= t) from every
   // query list and recomputes t_comp (paper's PruneQueryLists).
   void PruneQueryLists(Csn t);
@@ -155,6 +160,7 @@ class RollingPropagator {
   std::vector<Csn> tcomp_;
   std::vector<std::deque<ForwardRecord>> querylist_;
   StepUndoLog undo_log_;
+  uint64_t step_seq_ = 1;  // next step-attempt sequence number
   Stats stats_;
 };
 

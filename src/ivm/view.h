@@ -12,7 +12,9 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "capture/delta_table.h"
 #include "ivm/materialized_view.h"
@@ -21,6 +23,30 @@
 namespace rollview {
 
 using ViewId = uint32_t;
+
+// One remembered forward query (rolling deferred mode): delta interval
+// (lo, hi] and execution time. Kept until fully compensated.
+struct ForwardStrip {
+  Csn lo = kNullCsn;
+  Csn hi = kNullCsn;
+  Csn exec = kNullCsn;
+};
+
+// Propagation-cursor control state: per-relation forward frontiers tfwd[i],
+// compensation frontiers tcomp[i], the next propagation step sequence
+// number, and -- in rolling deferred mode -- the per-relation query lists of
+// not-yet-fully-compensated forward strips. The live propagator mirrors its
+// cursors here after every advance, so checkpoints can snapshot them, a
+// newly constructed propagator resumes where the previous one (or crash
+// recovery) left off, and the Sec. 5 "control table" has an explicit
+// in-memory analogue.
+struct CursorState {
+  bool valid = false;
+  std::vector<Csn> tfwd;
+  std::vector<Csn> tcomp;
+  uint64_t next_step_seq = 1;
+  std::vector<std::vector<ForwardStrip>> strips;  // empty in frontier mode
+};
 
 struct View {
   ViewId id = 0;
@@ -44,6 +70,22 @@ struct View {
 
   // Named lock-manager resource for reader/apply isolation on the MV.
   uint64_t mv_lock_resource = 0;
+
+  mutable std::mutex cursor_mu;
+  CursorState cursors;  // guarded by cursor_mu
+
+  // Cursor control state (see CursorState). Written by the propagation
+  // driver after every frontier advance and by ViewManager::Recover; read
+  // by propagator constructors and the checkpointer.
+  void StoreCursors(CursorState state) {
+    std::lock_guard<std::mutex> lk(cursor_mu);
+    cursors = std::move(state);
+    cursors.valid = true;
+  }
+  CursorState LoadCursors() const {
+    std::lock_guard<std::mutex> lk(cursor_mu);
+    return cursors;
+  }
 
   Csn high_water_mark() const {
     return delta_hwm.load(std::memory_order_acquire);

@@ -1,5 +1,11 @@
 #include "ivm/view_manager.h"
 
+#include <algorithm>
+#include <unordered_map>
+
+#include "ivm/checkpoint.h"
+#include "storage/wal_codec.h"
+
 namespace rollview {
 
 Result<View*> ViewManager::CreateView(const std::string& name,
@@ -23,6 +29,10 @@ Result<View*> ViewManager::CreateView(const std::string& name,
   // (which use the base TableId directly).
   view->mv_lock_resource = (1ULL << 20) + view->id;
   views_.push_back(std::move(view));
+  // Durable id -> name binding: view ids restart per crash generation, so
+  // every later view record in the log resolves its id through the most
+  // recent preceding kCreateView.
+  db_->wal()->Append(MakeCreateViewRecord(*views_.back()));
   return views_.back().get();
 }
 
@@ -71,6 +81,234 @@ Status ViewManager::Materialize(View* view) {
   view->mv->Replace(ToCountMap(rows.value()), csn);
   view->propagate_from.store(csn, std::memory_order_release);
   view->delta_hwm.store(csn, std::memory_order_release);
+  // Materialization resets maintenance history: fresh cursors, and an
+  // initial checkpoint so a crash right after this point recovers the full
+  // computation instead of redoing it.
+  CursorState cursors;
+  cursors.tfwd.assign(view->resolved.num_terms(), csn);
+  cursors.tcomp.assign(view->resolved.num_terms(), csn);
+  cursors.next_step_seq = 1;
+  view->StoreCursors(std::move(cursors));
+  return WriteViewCheckpoint(db_, view);
+}
+
+Status ViewManager::Recover(const std::vector<WalRecord>& records,
+                            RecoveryReport* report) {
+  RecoveryReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = RecoveryReport{};
+
+  // Per-view replay state, keyed by name (ids are remapped in log order).
+  struct ReplayedAppend {
+    size_t idx = 0;  // position in `records`
+    DeltaRow row;
+    uint64_t step_seq = 0;
+  };
+  struct ReplayedCursor {
+    size_t idx = 0;
+    ViewCursorBlob blob;
+  };
+  struct PerView {
+    bool has_checkpoint = false;
+    size_t checkpoint_idx = 0;
+    ViewCheckpointBlob checkpoint;
+    std::vector<ReplayedAppend> appends;  // committed, in log order
+    std::vector<ReplayedCursor> cursors;
+    Csn applied = kNullCsn;  // latest durable applied mark (monotone)
+    uint64_t max_step_seq = 0;
+  };
+  struct PendingAppend {
+    std::string view_name;
+    ReplayedAppend append;
+  };
+  std::unordered_map<std::string, PerView> state;
+  std::unordered_map<ViewId, std::string> names;  // current id -> name
+  std::unordered_map<TxnId, std::vector<PendingAppend>> pending;
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    const WalRecord& rec = records[i];
+    switch (rec.kind) {
+      case WalRecord::Kind::kCreateView:
+        if (rec.blob == nullptr) {
+          return Status::Internal("kCreateView record without payload");
+        }
+        names[rec.view] = *rec.blob;
+        break;
+      case WalRecord::Kind::kViewDeltaAppend: {
+        auto name_it = names.find(rec.view);
+        if (name_it == names.end()) {
+          return Status::Internal("view-delta append for unknown view id " +
+                                  std::to_string(rec.view));
+        }
+        PendingAppend p;
+        p.view_name = name_it->second;
+        p.append.idx = i;
+        if (rec.blob == nullptr ||
+            !DecodeViewDeltaBlob(*rec.blob, &p.append.row,
+                                 &p.append.step_seq)) {
+          return Status::Internal("corrupt view-delta append payload");
+        }
+        pending[rec.txn].push_back(std::move(p));
+        break;
+      }
+      case WalRecord::Kind::kCommit: {
+        auto it = pending.find(rec.txn);
+        if (it != pending.end()) {
+          for (PendingAppend& p : it->second) {
+            PerView& pv = state[p.view_name];
+            pv.max_step_seq = std::max(pv.max_step_seq, p.append.step_seq);
+            pv.appends.push_back(std::move(p.append));
+          }
+          pending.erase(it);
+        }
+        break;
+      }
+      case WalRecord::Kind::kAbort:
+        pending.erase(rec.txn);
+        break;
+      case WalRecord::Kind::kViewCursor: {
+        ReplayedCursor c;
+        c.idx = i;
+        if (rec.blob == nullptr ||
+            !DecodeViewCursorBlob(*rec.blob, &c.blob)) {
+          return Status::Internal("corrupt view-cursor payload");
+        }
+        PerView& pv = state[c.blob.view_name];
+        pv.max_step_seq =
+            std::max(pv.max_step_seq, c.blob.completed_step_seq);
+        pv.cursors.push_back(std::move(c));
+        report->cursor_records++;
+        break;
+      }
+      case WalRecord::Kind::kViewApplied: {
+        ViewAppliedBlob blob;
+        if (rec.blob == nullptr || !DecodeViewAppliedBlob(*rec.blob, &blob)) {
+          return Status::Internal("corrupt view-applied payload");
+        }
+        PerView& pv = state[blob.view_name];
+        pv.applied = std::max(pv.applied, blob.applied_csn);
+        break;
+      }
+      case WalRecord::Kind::kViewCheckpoint: {
+        ViewCheckpointBlob blob;
+        if (rec.blob == nullptr ||
+            !DecodeViewCheckpointBlob(*rec.blob, &blob)) {
+          return Status::Internal("corrupt view-checkpoint payload");
+        }
+        PerView& pv = state[blob.view_name];
+        pv.checkpoint = std::move(blob);
+        pv.has_checkpoint = true;
+        pv.checkpoint_idx = i;
+        report->checkpoints_seen++;
+        break;
+      }
+      default:
+        break;  // base-table records: Db::Recover's concern
+    }
+  }
+  // Entries left in `pending` belong to transactions without a commit
+  // record -- the crash's in-flight tail -- and are dropped, exactly as
+  // Db::Recover drops their base-table ops.
+
+  for (View* view : AllViews()) {
+    auto it = state.find(view->name);
+    if (it == state.end() || !it->second.has_checkpoint) {
+      report->views_unrecovered++;
+      continue;
+    }
+    PerView& pv = it->second;
+    const ViewCheckpointBlob& cp = pv.checkpoint;
+    const size_t n = view->resolved.num_terms();
+    if (cp.tfwd.size() != n || cp.tcomp.size() != n) {
+      // The registered definition disagrees with the logged state (e.g. the
+      // view was re-registered with a different shape). Treat as not
+      // recoverable rather than poisoning the whole recovery.
+      report->views_unrecovered++;
+      continue;
+    }
+
+    // Cursor state: checkpoint baseline, then every durable advance after
+    // it, in log order. last_completed_seq decides which replayed rows are
+    // kept: a step's rows are included iff a cursor record covering its
+    // sequence number is durable. (A step that failed and was cancelled
+    // in-process contributes rows AND their exact negations under the same
+    // sequence number, so including or excluding the pair is net-zero
+    // either way.)
+    std::vector<Csn> tfwd = cp.tfwd;
+    std::vector<Csn> tcomp = cp.tcomp;
+    std::vector<std::vector<ForwardStrip>> strips = cp.strips;
+    uint64_t last_completed_seq = cp.next_step_seq - 1;
+    for (const ReplayedCursor& c : pv.cursors) {
+      if (c.idx <= pv.checkpoint_idx) continue;
+      if (c.blob.tfwd.size() != n || c.blob.tcomp.size() != n) {
+        return Status::Internal("cursor record arity mismatch for view '" +
+                                view->name + "'");
+      }
+      tfwd = c.blob.tfwd;
+      tcomp = c.blob.tcomp;
+      strips = c.blob.strips;
+      last_completed_seq =
+          std::max(last_completed_seq, c.blob.completed_step_seq);
+    }
+
+    // Restore the MV and the timed view delta.
+    CountMap contents;
+    contents.reserve(cp.mv_rows.size());
+    for (const auto& [tuple, count] : cp.mv_rows) {
+      contents.emplace(tuple, count);
+    }
+    view->mv->Replace(std::move(contents), cp.mv_csn);
+    view->view_delta->AppendBatch(cp.view_delta);
+    report->delta_rows_restored += cp.view_delta.size();
+    for (ReplayedAppend& a : pv.appends) {
+      if (a.idx <= pv.checkpoint_idx) continue;  // inside the snapshot
+      if (a.step_seq > last_completed_seq) {
+        // Mid-flight strip at the crash: its cursor advance never became
+        // durable, so the strip will re-run from the recovered cursors --
+        // dropping its rows here is the StepUndoLog cancellation, replayed.
+        report->rows_discarded++;
+        continue;
+      }
+      view->view_delta->Append(std::move(a.row));
+      report->delta_rows_restored++;
+    }
+
+    view->propagate_from.store(cp.propagate_from, std::memory_order_release);
+    // Theorem 4.3: the view delta is complete through min_i t_comp[i]. The
+    // checkpointed hwm and the MV time are durable lower bounds (the mark
+    // is monotone; both were valid when logged).
+    Csn min_tcomp = kMaxCsn;
+    for (size_t i = 0; i < n; ++i) min_tcomp = std::min(min_tcomp, tcomp[i]);
+    Csn hwm = std::max({min_tcomp, cp.delta_hwm, cp.mv_csn});
+    view->delta_hwm.store(hwm, std::memory_order_release);
+
+    // Roll the MV to the last durable applied mark (not to the high-water
+    // mark: when the apply driver runs point-in-time, recovery must not
+    // advance the view past where apply had taken it).
+    Csn target = std::min(pv.applied, hwm);
+    if (target > cp.mv_csn) {
+      DeltaRows window =
+          view->view_delta->Scan(CsnRange{cp.mv_csn, target});
+      ROLLVIEW_RETURN_NOT_OK(view->mv->Merge(window, target));
+    }
+
+    // Seed the next propagator. Sequence numbers continue above everything
+    // ever logged for this view so replayed rows can never collide with
+    // rows of a future step.
+    CursorState cursors;
+    cursors.tfwd = std::move(tfwd);
+    cursors.tcomp = std::move(tcomp);
+    cursors.strips = std::move(strips);
+    cursors.next_step_seq =
+        std::max(cp.next_step_seq, pv.max_step_seq + 1);
+    view->StoreCursors(std::move(cursors));
+    report->views_recovered++;
+
+    // Recovery checkpoint: shadows the discarded mid-flight rows still
+    // present in the re-emitted log, so a second crash does not need to
+    // re-discard them (their log positions precede this checkpoint).
+    ROLLVIEW_RETURN_NOT_OK(WriteViewCheckpoint(db_, view));
+  }
   return Status::OK();
 }
 

@@ -1,7 +1,10 @@
 // Copyright 2026 The rollview Authors.
 //
-// ViewManager: registers views against a Db + LogCapture pair and performs
-// initial (full) materialization.
+// ViewManager: registers views against a Db + LogCapture pair, performs
+// initial (full) materialization, and -- after a crash -- rebuilds every
+// registered view from its latest durable checkpoint plus the WAL suffix
+// (Recover), so maintenance resumes from the recovered cursors instead of
+// recomputing the view from scratch.
 
 #ifndef ROLLVIEW_IVM_VIEW_MANAGER_H_
 #define ROLLVIEW_IVM_VIEW_MANAGER_H_
@@ -36,8 +39,51 @@ class ViewManager {
 
   // Fully computes the view in one transaction (S locks on all base tables)
   // and installs the result. Sets the materialization time, the propagation
-  // start, and the view-delta high-water mark to the commit CSN.
+  // start, and the view-delta high-water mark to the commit CSN, and writes
+  // an initial durable checkpoint so the view is recoverable from this
+  // moment on.
   Status Materialize(View* view);
+
+  // --- Crash recovery ---
+
+  struct RecoveryReport {
+    size_t views_recovered = 0;    // restored from a checkpoint
+    size_t views_unrecovered = 0;  // registered but not restorable (no
+                                   // checkpoint in the log, or a definition
+                                   // mismatch); caller re-Materializes
+    size_t checkpoints_seen = 0;
+    size_t cursor_records = 0;
+    size_t delta_rows_restored = 0;  // checkpoint rows + replayed appends
+    size_t rows_discarded = 0;  // committed rows of steps with no durable
+                                // cursor (mid-flight strips, cancelled by
+                                // omission)
+  };
+
+  // Rebuilds every *registered* view from `records` -- the same decoded
+  // record list handed to Db::Recover. Call order after a crash:
+  //
+  //   1. Db::Recover(records)            base tables, catalog, WAL
+  //   2. LogCapture::CatchUp()           base delta tables, UOW table
+  //   3. re-register view defs by name   (SpjViewDef holds expression
+  //      via CreateView                   trees; it is not serialized)
+  //   4. ViewManager::Recover(records)
+  //
+  // For each view (matched by name; view ids restart per crash generation
+  // and are remapped through the kCreateView records in log order), finds
+  // the latest complete checkpoint, restores MV/view-delta/cursors from it,
+  // replays the WAL suffix (committed kViewDeltaAppend rows of steps whose
+  // kViewCursor advance is durable, cursor advances, applied marks),
+  // recomputes the high-water mark as min_i t_comp[i], rolls the MV to the
+  // last durable applied CSN, and seeds the view's cursor state so the next
+  // propagator resumes idempotently. Finishes each recovered view with a
+  // fresh checkpoint, which shadows any discarded mid-flight rows still
+  // sitting in the re-emitted log (they would otherwise need this same
+  // discard logic again after a second crash).
+  //
+  // A registered view with no usable checkpoint is left unmaterialized and
+  // counted in the report; the caller decides whether to Materialize it.
+  Status Recover(const std::vector<WalRecord>& records,
+                 RecoveryReport* report = nullptr);
 
   // Largest CSN whose base-delta rows are guaranteed published: capture's
   // high-water mark, or the engine's stable CSN when there is no capture

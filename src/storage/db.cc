@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "storage/wal_codec.h"
+
 namespace rollview {
 
 Db::Db(DbOptions options)
@@ -266,9 +268,10 @@ Status Db::LockNamedExclusive(Txn* txn, uint64_t resource) {
                                LockMode::kX);
 }
 
-void Db::BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row) {
-  txn->pending_delta_appends_.push_back(
-      Txn::PendingDeltaAppend{delta, std::move(row), false});
+void Db::BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row,
+                           uint32_t wal_view, uint64_t step_seq) {
+  txn->pending_delta_appends_.push_back(Txn::PendingDeltaAppend{
+      delta, std::move(row), false, wal_view, step_seq});
 }
 
 Status Db::Commit(Txn* txn) {
@@ -303,6 +306,18 @@ Status Db::Commit(Txn* txn) {
           uow_.Record(txn->id(), csn, now);
           recorded_uow = true;
         }
+      }
+      if (p.wal_view != 0) {
+        // Durable view delta: the row (with its final timestamp) goes to
+        // the log ahead of the commit record, so recovery sees the append
+        // iff it also sees the commit that made it visible.
+        WalRecord rec;
+        rec.kind = WalRecord::Kind::kViewDeltaAppend;
+        rec.txn = txn->id();
+        rec.view = p.wal_view;
+        rec.blob = std::make_shared<std::string>(
+            EncodeViewDeltaBlob(p.row, p.step_seq));
+        wal_.Append(std::move(rec));
       }
       p.delta->Append(std::move(p.row));
     }
@@ -366,7 +381,19 @@ Result<std::unique_ptr<Db>> Db::Recover(const std::vector<WalRecord>& records,
       }
       case WalRecord::Kind::kInsert:
       case WalRecord::Kind::kDelete:
+      case WalRecord::Kind::kViewDeltaAppend:
+        // View-delta appends gate on the commit record like data ops; the
+        // ivm layer (ViewManager::Recover) consumes them -- here they are
+        // only re-emitted so the new engine's log stays self-contained.
         pending[rec.txn].push_back(&rec);
+        break;
+      case WalRecord::Kind::kCreateView:
+      case WalRecord::Kind::kViewCursor:
+      case WalRecord::Kind::kViewApplied:
+      case WalRecord::Kind::kViewCheckpoint:
+        // Non-transactional view records: passed through verbatim for
+        // ViewManager::Recover and for the next crash.
+        db->wal_.Append(rec);
         break;
       case WalRecord::Kind::kAbort:
         pending.erase(rec.txn);
@@ -378,6 +405,12 @@ Result<std::unique_ptr<Db>> Db::Recover(const std::vector<WalRecord>& records,
           bool touched_log_mode = false;
           bool trigger_rows = false;
           for (const WalRecord* op : it->second) {
+            if (op->kind == WalRecord::Kind::kViewDeltaAppend) {
+              // Committed view-delta rows re-enter the log only; the view
+              // layer rebuilds the in-memory delta tables from them.
+              db->wal_.Append(*op);
+              continue;
+            }
             TableEntry* e = db->entry(op->table);
             if (e == nullptr) {
               return Status::Internal("replayed op on unknown table");

@@ -150,8 +150,12 @@ class Db {
   Status LockNamedExclusive(Txn* txn, uint64_t resource);
 
   // Buffers a view-delta append carrying a precomputed timestamp; applied
-  // atomically at commit. Used by ivm::Execute.
-  void BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row);
+  // atomically at commit. Used by ivm::Execute. When `wal_view` is nonzero
+  // the commit path additionally logs a kViewDeltaAppend record (tagged
+  // with the view id and the propagation step sequence number) immediately
+  // before the commit record, making the timed view delta recoverable.
+  void BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row,
+                         uint32_t wal_view = 0, uint64_t step_seq = 0);
 
   // --- Infrastructure access ---
 

@@ -50,6 +50,14 @@ class Txn {
     DeltaTable* delta = nullptr;
     DeltaRow row;
     bool stamp_with_commit_csn = false;
+    // View-delta rows additionally log a kViewDeltaAppend WAL record at
+    // commit so crash recovery can rebuild the timed view delta. wal_view
+    // is the owning view's id (0 = not a view row, nothing logged);
+    // step_seq tags the propagation step that produced the row, which is
+    // how recovery discards rows of a step whose cursor advance never made
+    // it to the log (the durable analogue of StepUndoLog).
+    uint32_t wal_view = 0;
+    uint64_t step_seq = 0;
   };
 
   TxnId id_;

@@ -49,6 +49,17 @@ struct WalRecord {
     kCommit,
     kAbort,
     kCreateTable,
+    // --- View-maintenance records (ivm layer). The paper's prototype keeps
+    // propagation status and view deltas in ordinary DB2 tables so standard
+    // recovery covers them; we log them instead. Payloads are opaque blobs
+    // encoded/decoded by ivm/checkpoint.{h,cc} so the storage layer stays
+    // ignorant of view internals.
+    kCreateView,       // view registered; blob = view name
+    kViewDeltaAppend,  // one timed view-delta row; transactional (gated on
+                       // the owning txn's kCommit record, like kInsert)
+    kViewCursor,       // propagation step completed; blob = frontier vectors
+    kViewApplied,      // MV rolled forward; blob = applied CSN
+    kViewCheckpoint,   // periodic durable snapshot of MV + delta + cursors
   };
 
   Kind kind = Kind::kInsert;
@@ -63,7 +74,20 @@ struct WalRecord {
   std::chrono::system_clock::time_point commit_time;
   // kCreateTable only (shared_ptr keeps WalRecord cheap to copy).
   std::shared_ptr<CreateTablePayload> create;
+  // View records only: the view id this record belongs to, plus the
+  // ivm-encoded payload (shared_ptr keeps copies cheap; checkpoints can be
+  // large).
+  uint32_t view = 0;
+  std::shared_ptr<std::string> blob;
 };
+
+inline bool IsViewRecord(WalRecord::Kind k) {
+  return k == WalRecord::Kind::kCreateView ||
+         k == WalRecord::Kind::kViewDeltaAppend ||
+         k == WalRecord::Kind::kViewCursor ||
+         k == WalRecord::Kind::kViewApplied ||
+         k == WalRecord::Kind::kViewCheckpoint;
+}
 
 class Wal {
  public:

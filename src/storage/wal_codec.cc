@@ -25,6 +25,29 @@ bool GetFixed(const std::string& data, size_t* pos, T* v) {
   return true;
 }
 
+}  // namespace
+
+// The exported primitives double as the codec's own building blocks so the
+// ivm blob payloads and the WAL bodies share one wire dialect.
+namespace wal_io {
+
+void PutU8(std::string* out, uint8_t v) { PutFixed<uint8_t>(out, v); }
+void PutU32(std::string* out, uint32_t v) { PutFixed<uint32_t>(out, v); }
+void PutU64(std::string* out, uint64_t v) { PutFixed<uint64_t>(out, v); }
+void PutI64(std::string* out, int64_t v) { PutFixed<int64_t>(out, v); }
+bool GetU8(const std::string& data, size_t* pos, uint8_t* v) {
+  return GetFixed(data, pos, v);
+}
+bool GetU32(const std::string& data, size_t* pos, uint32_t* v) {
+  return GetFixed(data, pos, v);
+}
+bool GetU64(const std::string& data, size_t* pos, uint64_t* v) {
+  return GetFixed(data, pos, v);
+}
+bool GetI64(const std::string& data, size_t* pos, int64_t* v) {
+  return GetFixed(data, pos, v);
+}
+
 void PutString(std::string* out, const std::string& s) {
   PutFixed<uint32_t>(out, static_cast<uint32_t>(s.size()));
   out->append(s);
@@ -38,6 +61,13 @@ bool GetString(const std::string& data, size_t* pos, std::string* s) {
   *pos += len;
   return true;
 }
+
+}  // namespace wal_io
+
+namespace {
+
+using wal_io::GetString;
+using wal_io::PutString;
 
 void PutValue(std::string* out, const Value& v) {
   PutFixed<uint8_t>(out, static_cast<uint8_t>(v.type()));
@@ -147,7 +177,53 @@ bool GetCreatePayload(const std::string& data, size_t* pos,
   return true;
 }
 
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
 }  // namespace
+
+uint32_t Crc32(const char* data, size_t n) {
+  static const Crc32Table table;
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.entries[(c ^ static_cast<uint8_t>(data[i])) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace wal_io {
+
+void PutTuple(std::string* out, const Tuple& t) {
+  rollview::PutTuple(out, t);
+}
+
+bool GetTuple(const std::string& data, size_t* pos, Tuple* t) {
+  return rollview::GetTuple(data, pos, t);
+}
+
+void PutDeltaRow(std::string* out, const DeltaRow& r) {
+  PutTuple(out, r.tuple);
+  PutI64(out, r.count);
+  PutU64(out, r.ts);
+}
+
+bool GetDeltaRow(const std::string& data, size_t* pos, DeltaRow* r) {
+  if (!GetTuple(data, pos, &r->tuple)) return false;
+  if (!GetI64(data, pos, &r->count)) return false;
+  return GetU64(data, pos, &r->ts);
+}
+
+}  // namespace wal_io
 
 void EncodeWalRecord(const WalRecord& record, std::string* out) {
   std::string body;
@@ -173,8 +249,17 @@ void EncodeWalRecord(const WalRecord& record, std::string* out) {
     case WalRecord::Kind::kCommit:
     case WalRecord::Kind::kAbort:
       break;
+    case WalRecord::Kind::kCreateView:
+    case WalRecord::Kind::kViewDeltaAppend:
+    case WalRecord::Kind::kViewCursor:
+    case WalRecord::Kind::kViewApplied:
+    case WalRecord::Kind::kViewCheckpoint:
+      PutFixed<uint32_t>(&body, record.view);
+      PutString(&body, record.blob == nullptr ? std::string() : *record.blob);
+      break;
   }
   PutFixed<uint32_t>(out, static_cast<uint32_t>(body.size()));
+  PutFixed<uint32_t>(out, Crc32(body.data(), body.size()));
   out->append(body);
 }
 
@@ -182,13 +267,20 @@ Result<WalRecord> DecodeWalRecord(const std::string& data, size_t offset,
                                   size_t* consumed) {
   size_t pos = offset;
   uint32_t len = 0;
-  if (!GetFixed(data, &pos, &len)) {
-    return Status::OutOfRange("truncated length prefix");
+  uint32_t crc = 0;
+  if (!GetFixed(data, &pos, &len) || !GetFixed(data, &pos, &crc)) {
+    return Status::OutOfRange("truncated record header");
   }
   if (pos + len > data.size()) {
     return Status::OutOfRange("truncated record body");
   }
   size_t end = pos + len;
+  uint32_t actual = Crc32(data.data() + pos, len);
+  if (actual != crc) {
+    return Status::Internal("crc mismatch: record claims " +
+                            std::to_string(crc) + ", body hashes to " +
+                            std::to_string(actual));
+  }
 
   WalRecord rec;
   uint8_t kind = 0;
@@ -221,6 +313,19 @@ Result<WalRecord> DecodeWalRecord(const std::string& data, size_t offset,
     case WalRecord::Kind::kCommit:
     case WalRecord::Kind::kAbort:
       break;
+    case WalRecord::Kind::kCreateView:
+    case WalRecord::Kind::kViewDeltaAppend:
+    case WalRecord::Kind::kViewCursor:
+    case WalRecord::Kind::kViewApplied:
+    case WalRecord::Kind::kViewCheckpoint: {
+      auto blob = std::make_shared<std::string>();
+      if (!GetFixed(data, &pos, &rec.view) ||
+          !GetString(data, &pos, blob.get())) {
+        return Status::Internal("corrupt view payload");
+      }
+      rec.blob = std::move(blob);
+      break;
+    }
     default:
       return Status::Internal("unknown record kind " + std::to_string(kind));
   }
@@ -251,6 +356,42 @@ Result<std::vector<WalRecord>> DecodeWal(const std::string& data) {
     pos += consumed;
   }
   return out;
+}
+
+WalPrefix DecodeWalPrefix(const std::string& data) {
+  WalPrefix out;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t consumed = 0;
+    Result<WalRecord> r = DecodeWalRecord(data, pos, &consumed);
+    if (!r.ok()) {
+      if (r.status().IsOutOfRange()) {
+        out.torn_tail = true;
+      } else {
+        out.corruption = r.status();
+      }
+      break;
+    }
+    out.records.push_back(std::move(r).value());
+    pos += consumed;
+  }
+  out.valid_bytes = pos;
+  return out;
+}
+
+std::string EncodeViewDeltaBlob(const DeltaRow& row, uint64_t step_seq) {
+  std::string out;
+  wal_io::PutDeltaRow(&out, row);
+  wal_io::PutU64(&out, step_seq);
+  return out;
+}
+
+bool DecodeViewDeltaBlob(const std::string& blob, DeltaRow* row,
+                         uint64_t* step_seq) {
+  size_t pos = 0;
+  if (!wal_io::GetDeltaRow(blob, &pos, row)) return false;
+  if (!wal_io::GetU64(blob, &pos, step_seq)) return false;
+  return pos == blob.size();
 }
 
 Status WriteWalFile(const std::string& path,

@@ -1,34 +1,48 @@
 // Copyright 2026 The rollview Authors.
 //
 // Binary serialization of WAL records, and WAL-file I/O. The format is a
-// sequence of length-prefixed records:
+// sequence of length-prefixed, checksummed records:
 //
-//   [u32 record_len][u8 kind][u64 lsn][u64 txn][u32 table]
+//   [u32 record_len][u32 crc32_of_body]
+//   [u8 kind][u64 lsn][u64 txn][u32 table]
 //   [u64 commit_csn][i64 commit_time_nanos_since_epoch]
 //   [payload...]
 //
-// where payload is the encoded tuple (kInsert/kDelete) or the encoded
-// catalog entry (kCreateTable). All integers little-endian. A file is valid
-// up to its last complete record; a torn tail (partial final record, e.g.
-// from a crash mid-write) is detected and dropped by ReadWalFile.
+// record_len counts the body (everything after the crc field); the CRC32
+// covers exactly those bytes. Payload is the encoded tuple (kInsert/
+// kDelete), the encoded catalog entry (kCreateTable), or -- for the view-
+// maintenance kinds -- the view id followed by an opaque blob whose contents
+// are owned by ivm/checkpoint.{h,cc}. All integers little-endian.
+//
+// A file is valid up to its last complete record; a torn tail (partial
+// final record, e.g. from a crash mid-write) is detected and dropped by
+// ReadWalFile. Interior corruption -- a bit flip inside a complete record
+// -- fails the CRC and surfaces as Internal, never as a silently decoded
+// garbage record.
 
 #ifndef ROLLVIEW_STORAGE_WAL_CODEC_H_
 #define ROLLVIEW_STORAGE_WAL_CODEC_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "schema/tuple.h"
 #include "storage/wal.h"
 
 namespace rollview {
+
+// CRC32 (IEEE 802.3 polynomial, software table) over `n` bytes.
+uint32_t Crc32(const char* data, size_t n);
 
 // Appends the encoded record (including its length prefix) to `out`.
 void EncodeWalRecord(const WalRecord& record, std::string* out);
 
 // Decodes one record from `data` (which starts at a length prefix).
 // On success sets *consumed to the full encoded size. Returns OutOfRange
-// when fewer than a full record's bytes are available (torn tail).
+// when fewer than a full record's bytes are available (torn tail) and
+// Internal on checksum or structural corruption.
 Result<WalRecord> DecodeWalRecord(const std::string& data, size_t offset,
                                   size_t* consumed);
 
@@ -38,10 +52,53 @@ std::string EncodeWal(const std::vector<WalRecord>& records);
 // silently (crash semantics). Corrupt interior data fails.
 Result<std::vector<WalRecord>> DecodeWal(const std::string& data);
 
+// Crash-tolerant decode: the longest valid record prefix of `data`, plus
+// why decoding stopped. Never fails -- a torn tail or a corrupt record
+// simply ends the prefix (a corrupt record makes everything after it
+// untrustworthy, so recovery treats it exactly like a torn tail). Used by
+// crash recovery, which must accept arbitrary byte prefixes of a log.
+struct WalPrefix {
+  std::vector<WalRecord> records;
+  size_t valid_bytes = 0;  // bytes consumed by `records`
+  bool torn_tail = false;  // stopped on an incomplete final record
+  // Non-OK iff decoding stopped on corruption (failed CRC / bad structure)
+  // rather than clean end-of-data or a torn tail.
+  Status corruption = Status::OK();
+};
+WalPrefix DecodeWalPrefix(const std::string& data);
+
+// kViewDeltaAppend payload: one timed view-delta row plus the propagation
+// step sequence number that produced it. Lives here (not in the ivm layer)
+// because Db::Commit emits these records itself when a buffered view-delta
+// append carries a view tag.
+std::string EncodeViewDeltaBlob(const DeltaRow& row, uint64_t step_seq);
+bool DecodeViewDeltaBlob(const std::string& blob, DeltaRow* row,
+                         uint64_t* step_seq);
+
 // File I/O (binary).
 Status WriteWalFile(const std::string& path,
                     const std::vector<WalRecord>& records);
 Result<std::vector<WalRecord>> ReadWalFile(const std::string& path);
+
+// Reusable little-endian primitives for payload codecs layered on the WAL
+// (ivm/checkpoint.{h,cc} encodes its blobs with these so view payloads and
+// WAL bodies share one wire dialect). Get* return false on truncation.
+namespace wal_io {
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutString(std::string* out, const std::string& s);
+void PutTuple(std::string* out, const Tuple& t);
+void PutDeltaRow(std::string* out, const DeltaRow& r);
+bool GetU8(const std::string& data, size_t* pos, uint8_t* v);
+bool GetU32(const std::string& data, size_t* pos, uint32_t* v);
+bool GetU64(const std::string& data, size_t* pos, uint64_t* v);
+bool GetI64(const std::string& data, size_t* pos, int64_t* v);
+bool GetString(const std::string& data, size_t* pos, std::string* s);
+bool GetTuple(const std::string& data, size_t* pos, Tuple* t);
+bool GetDeltaRow(const std::string& data, size_t* pos, DeltaRow* r);
+}  // namespace wal_io
 
 }  // namespace rollview
 

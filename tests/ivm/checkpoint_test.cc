@@ -1,0 +1,206 @@
+// Durable maintenance state: blob codecs round-trip, Materialize writes an
+// initial checkpoint, the CheckpointManager cadence fires on schedule, and
+// a checkpoint's contents agree with the live view it snapshots.
+
+#include "ivm/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "ivm/maintenance.h"
+#include "storage/wal_codec.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+std::vector<WalRecord> WalRecordsOfKind(Db* db, WalRecord::Kind kind) {
+  std::vector<WalRecord> all;
+  db->wal()->ReadFrom(0, 1u << 24, &all);
+  std::vector<WalRecord> out;
+  for (WalRecord& rec : all) {
+    if (rec.kind == kind) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+TEST(CheckpointBlobTest, CursorBlobRoundTrip) {
+  ViewCursorBlob b;
+  b.view_name = "V";
+  b.completed_step_seq = 17;
+  b.tfwd = {5, 9, 3};
+  b.tcomp = {4, 9, 3};
+  b.strips = {{{1, 5, 8}, {5, 9, 12}}, {}, {{2, 3, 6}}};
+
+  ViewCursorBlob out;
+  ASSERT_TRUE(DecodeViewCursorBlob(EncodeViewCursorBlob(b), &out));
+  EXPECT_EQ(out.view_name, "V");
+  EXPECT_EQ(out.completed_step_seq, 17u);
+  EXPECT_EQ(out.tfwd, b.tfwd);
+  EXPECT_EQ(out.tcomp, b.tcomp);
+  ASSERT_EQ(out.strips.size(), 3u);
+  EXPECT_EQ(out.strips[0].size(), 2u);
+  EXPECT_TRUE(out.strips[1].empty());
+  EXPECT_EQ(out.strips[2][0].lo, 2u);
+  EXPECT_EQ(out.strips[2][0].hi, 3u);
+  EXPECT_EQ(out.strips[2][0].exec, 6u);
+  // Trailing garbage must be rejected, not ignored.
+  EXPECT_FALSE(DecodeViewCursorBlob(EncodeViewCursorBlob(b) + "x", &out));
+}
+
+TEST(CheckpointBlobTest, AppliedBlobRoundTrip) {
+  ViewAppliedBlob b;
+  b.view_name = "orders_by_region";
+  b.applied_csn = 12345;
+  ViewAppliedBlob out;
+  ASSERT_TRUE(DecodeViewAppliedBlob(EncodeViewAppliedBlob(b), &out));
+  EXPECT_EQ(out.view_name, b.view_name);
+  EXPECT_EQ(out.applied_csn, b.applied_csn);
+  EXPECT_FALSE(DecodeViewAppliedBlob("", &out));
+}
+
+TEST(CheckpointBlobTest, CheckpointBlobRoundTrip) {
+  ViewCheckpointBlob b;
+  b.view_name = "V";
+  b.mv_csn = 42;
+  b.mv_rows = {{Tuple{Value(int64_t{1}), Value("a")}, 2},
+               {Tuple{Value(int64_t{2}), Value("b")}, -1}};
+  b.view_delta = {DeltaRow(Tuple{Value(int64_t{7})}, +1, 40),
+                  DeltaRow(Tuple{Value(int64_t{7})}, -1, 41)};
+  b.delta_hwm = 44;
+  b.propagate_from = 10;
+  b.tfwd = {44, 43};
+  b.tcomp = {44, 43};
+  b.next_step_seq = 9;
+  b.strips = {{}, {{40, 43, 44}}};
+
+  ViewCheckpointBlob out;
+  ASSERT_TRUE(DecodeViewCheckpointBlob(EncodeViewCheckpointBlob(b), &out));
+  EXPECT_EQ(out.view_name, b.view_name);
+  EXPECT_EQ(out.mv_csn, b.mv_csn);
+  ASSERT_EQ(out.mv_rows.size(), 2u);
+  EXPECT_EQ(out.mv_rows[0].first, b.mv_rows[0].first);
+  EXPECT_EQ(out.mv_rows[1].second, -1);
+  ASSERT_EQ(out.view_delta.size(), 2u);
+  EXPECT_EQ(out.view_delta[1].count, -1);
+  EXPECT_EQ(out.view_delta[1].ts, 41u);
+  EXPECT_EQ(out.delta_hwm, 44u);
+  EXPECT_EQ(out.propagate_from, 10u);
+  EXPECT_EQ(out.next_step_seq, 9u);
+  ASSERT_EQ(out.strips.size(), 2u);
+  EXPECT_EQ(out.strips[1][0].exec, 44u);
+  // A truncated blob fails cleanly.
+  std::string enc = EncodeViewCheckpointBlob(b);
+  EXPECT_FALSE(DecodeViewCheckpointBlob(enc.substr(0, enc.size() / 2), &out));
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() : env_([] {
+          CaptureOptions copts;
+          copts.truncate_wal = false;  // tests read the WAL back
+          return copts;
+        }()) {}
+
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        workload_,
+        TwoTableWorkload::Create(env_.db(), 50, 30, 8, /*seed=*/7));
+    env_.CatchUpCapture();
+    ASSERT_OK_AND_ASSIGN(view_, env_.views()->CreateView(
+                                    "V", workload_.ViewDef()));
+    ASSERT_OK(env_.views()->Materialize(view_));
+  }
+
+  TestEnv env_;
+  TwoTableWorkload workload_;
+  View* view_ = nullptr;
+};
+
+TEST_F(CheckpointTest, MaterializeWritesInitialCheckpoint) {
+  auto checkpoints =
+      WalRecordsOfKind(env_.db(), WalRecord::Kind::kViewCheckpoint);
+  ASSERT_EQ(checkpoints.size(), 1u);
+  ASSERT_NE(checkpoints[0].blob, nullptr);
+  ViewCheckpointBlob blob;
+  ASSERT_TRUE(DecodeViewCheckpointBlob(*checkpoints[0].blob, &blob));
+  EXPECT_EQ(blob.view_name, "V");
+  EXPECT_EQ(blob.mv_csn, view_->mv->csn());
+  EXPECT_EQ(blob.mv_rows.size(), view_->mv->cardinality());
+  EXPECT_EQ(blob.propagate_from,
+            view_->propagate_from.load(std::memory_order_acquire));
+  EXPECT_EQ(blob.next_step_seq, 1u);
+  // The create record precedes it, binding id -> name.
+  auto creates = WalRecordsOfKind(env_.db(), WalRecord::Kind::kCreateView);
+  ASSERT_EQ(creates.size(), 1u);
+  EXPECT_EQ(*creates[0].blob, "V");
+  EXPECT_EQ(creates[0].view, view_->id);
+}
+
+TEST_F(CheckpointTest, CadenceWritesEveryNSteps) {
+  UpdateStream updates(env_.db(), workload_.RStream(1, 11), 11);
+  ASSERT_OK(updates.RunTransactions(20));
+  env_.CatchUpCapture();
+
+  MaintenanceService::Options mopts;
+  mopts.checkpoint_every_steps = 2;
+  mopts.target_rows_per_query = 4;  // force several steps
+  MaintenanceService service(env_.views(), view_, mopts);
+  ASSERT_NE(service.checkpointer(), nullptr);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+
+  uint64_t steps = service.propagate_driver_stats().steps;
+  uint64_t written = service.checkpointer()->checkpoints_written();
+  EXPECT_GE(written, 1u);
+  EXPECT_LE(written, steps / 2 + 1);
+  // 1 initial (Materialize) + the cadence ones.
+  auto checkpoints =
+      WalRecordsOfKind(env_.db(), WalRecord::Kind::kViewCheckpoint);
+  EXPECT_EQ(checkpoints.size(), 1 + written);
+}
+
+TEST_F(CheckpointTest, CheckpointNowSnapshotsLiveState) {
+  UpdateStream updates(env_.db(), workload_.SStream(1, 13), 13);
+  ASSERT_OK(updates.RunTransactions(10));
+  env_.CatchUpCapture();
+  MaintenanceService::Options mopts;
+  mopts.apply_continuously = true;
+  MaintenanceService service(env_.views(), view_, mopts);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+
+  CheckpointManager manager(env_.db(), view_, CheckpointManager::Options{});
+  ASSERT_OK(manager.CheckpointNow());
+  EXPECT_EQ(manager.checkpoints_written(), 1u);
+
+  auto checkpoints =
+      WalRecordsOfKind(env_.db(), WalRecord::Kind::kViewCheckpoint);
+  ASSERT_FALSE(checkpoints.empty());
+  ViewCheckpointBlob blob;
+  ASSERT_TRUE(
+      DecodeViewCheckpointBlob(*checkpoints.back().blob, &blob));
+  EXPECT_EQ(blob.mv_csn, view_->mv->csn());
+  EXPECT_EQ(blob.mv_rows.size(), view_->mv->cardinality());
+  EXPECT_EQ(blob.delta_hwm, view_->high_water_mark());
+  // Cursors mirrored from the live propagator's control state.
+  CursorState cursors = view_->LoadCursors();
+  ASSERT_TRUE(cursors.valid);
+  EXPECT_EQ(blob.tfwd, cursors.tfwd);
+  EXPECT_EQ(blob.tcomp, cursors.tcomp);
+  EXPECT_EQ(blob.next_step_seq, cursors.next_step_seq);
+}
+
+TEST(CheckpointCadenceTest, ZeroDisablesCadence) {
+  // OnStep with every_steps=0 never writes (needs no engine at all: the
+  // early-out precedes any Db access).
+  CheckpointManager::Options opts;
+  opts.every_steps = 0;
+  CheckpointManager manager(nullptr, nullptr, opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(manager.OnStep().ok());
+  }
+  EXPECT_EQ(manager.checkpoints_written(), 0u);
+}
+
+}  // namespace
+}  // namespace rollview

@@ -227,6 +227,61 @@ TEST_F(MaintenanceTest, PermanentFailureSurfacesAndRestartClearsIt) {
   env_.db()->SetFaultInjector(nullptr);
 }
 
+TEST_F(MaintenanceTest, RestartAfterPermanentFailureResumesFromCursors) {
+  // Progress a first service to a frontier and destroy it; then fail a
+  // second service permanently under a 100% injected-abort storm. Every
+  // (re)start in this sequence must pick up from the view's durable cursor
+  // state -- never from CSN 0. A restart that re-propagated the old strips
+  // would duplicate their view-delta rows and break the oracle check.
+  RunUpdates(8, 21);
+  ASSERT_OK(env_.capture()->WaitForCsn(env_.db()->stable_csn()));
+  {
+    MaintenanceService warm(env_.views(), view_);
+    ASSERT_OK(warm.Drain(env_.db()->stable_csn()));
+  }  // destroyed: the propagator is gone, only the cursor state survives
+  Csn h1 = view_->high_water_mark();
+  CursorState resume = view_->LoadCursors();
+  ASSERT_TRUE(resume.valid);
+  uint64_t seq1 = resume.next_step_seq;
+  ASSERT_GT(seq1, 1u);
+
+  FaultInjector::Options fopts;
+  fopts.seed = 0x5eed;
+  fopts.commit_abort_probability = 1.0;  // nothing can commit
+  FaultInjector fi(fopts);
+  env_.db()->SetFaultInjector(&fi);
+
+  MaintenanceService::Options opts;
+  opts.runner.max_retries = 0;
+  opts.failed_after = 3;
+  opts.backoff.initial = std::chrono::microseconds(20);
+  opts.backoff.max = std::chrono::microseconds(200);
+  MaintenanceService service(env_.views(), view_, opts);
+  // Fresh construction resumed from the cursors: the hwm did not reset.
+  EXPECT_EQ(view_->high_water_mark(), h1);
+
+  RunUpdates(6, 22);
+  service.Start();
+  while (service.propagate_health() != DriverHealth::kFailed) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Status stop = service.Stop();
+  EXPECT_FALSE(stop.ok());
+  EXPECT_GE(view_->high_water_mark(), h1);  // failure never regressed it
+
+  // Fault cleared: the same service restarts and finishes the job from
+  // wherever the failed run got to.
+  fi.set_armed(false);
+  service.Start();
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+  EXPECT_GT(view_->high_water_mark(), h1);
+  CursorState after = view_->LoadCursors();
+  EXPECT_GE(after.next_step_seq, seq1);  // step sequence continued
+  env_.db()->SetFaultInjector(nullptr);
+}
+
 TEST_F(MaintenanceTest, RetentionServicePrunesInBackground) {
   MaintenanceService service(env_.views(), view_);
   RetentionService retention(env_.views(), RetentionOptions{},

@@ -49,6 +49,23 @@ TEST(MaterializedViewTest, MergeIsAtomicOnFailure) {
   EXPECT_EQ(mv.TotalCount(), 1);
 }
 
+TEST(MaterializedViewTest, NegativeCountErrorNamesTupleAndCsn) {
+  MaterializedView mv(OneCol());
+  mv.Replace({{Tuple{Value(int64_t{7})}, 1}}, 5);
+  Status s = mv.Merge({Row(7, -3, 9)}, 9);
+  ASSERT_TRUE(s.IsInternal());
+  // Debugging a maintenance bug starts from this message: it must identify
+  // the offending tuple, the merge target CSN, the view's CSN, and the
+  // count the merge would have produced.
+  std::string msg = s.ToString();
+  EXPECT_NE(msg.find(TupleToString(Tuple{Value(int64_t{7})})),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("csn 9"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("view at csn 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("to -2"), std::string::npos) << msg;
+}
+
 TEST(MaterializedViewTest, MergeNetsWithinTheBatchFirst) {
   MaterializedView mv(OneCol());
   mv.Replace({}, 1);
