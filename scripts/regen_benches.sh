@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate every committed BENCH_*.json baseline from a fresh Release-ish
+# build. Run from anywhere; outputs land at the repo root, next to this
+# script's parent directory.
+#
+#   scripts/regen_benches.sh [build_dir]
+#
+# The perf-smoke ctest label (bench_executor_smoke) compares deterministic
+# counters against the committed BENCH_executor.json and enforces a wide
+# wall-clock floor on the cache-on speedup, so rerun this script -- on a
+# quiet machine -- whenever an intentional change shifts those counters,
+# then commit the refreshed JSON together with the change.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+mkdir -p "${build_dir}"
+build_dir="$(cd "${build_dir}" && pwd)"  # absolute: we cd away below
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target bench_executor bench_fault_recovery bench_recovery >/dev/null
+
+# Each bench writes BENCH_<experiment>.json into its working directory.
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+cd "${workdir}"
+
+for bench in bench_executor bench_fault_recovery bench_recovery; do
+  echo "== ${bench}"
+  "${build_dir}/bench/${bench}"
+done
+
+for json in BENCH_*.json; do
+  cp "${json}" "${repo_root}/${json}"
+  echo "updated ${repo_root}/${json}"
+done

@@ -54,7 +54,27 @@ DeltaRows DeltaTable::Scan(const CsnRange& range) const {
 
 DeltaRows DeltaTable::ScanAll() const {
   std::shared_lock<std::shared_mutex> lk(latch_);
-  return rows_;
+  return DeltaRows(rows_.begin(), rows_.end());
+}
+
+DeltaRowRefs DeltaTable::ScanRefs(const CsnRange& range, Pin* pin) const {
+  // Pin before latching: once Prune (which holds the exclusive latch while
+  // it checks pins) lets us through, the store can only grow.
+  *pin = Pin(this);
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  DeltaRowRefs out;
+  if (range.empty()) return out;
+  if (ts_sorted_) {
+    size_t begin = LowerBound(range.lo);
+    size_t end = LowerBound(range.hi);
+    out.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) out.push_back(&rows_[i]);
+  } else {
+    for (const DeltaRow& r : rows_) {
+      if (range.Contains(r.ts)) out.push_back(&r);
+    }
+  }
+  return out;
 }
 
 size_t DeltaTable::CountInRange(const CsnRange& range) const {
@@ -93,6 +113,11 @@ Csn DeltaTable::max_ts() const {
 
 size_t DeltaTable::Prune(Csn up_to) {
   std::unique_lock<std::shared_mutex> lk(latch_);
+  // Defer while borrowed refs are outstanding; retention's next cycle will
+  // reclaim. Checked under the exclusive latch: a reader pins before it
+  // latches, so a pin we cannot see here belongs to a reader that has not
+  // collected its refs yet and will see the post-prune store.
+  if (pins_.load(std::memory_order_acquire) > 0) return 0;
   size_t before = rows_.size();
   if (ts_sorted_) {
     size_t keep_from = LowerBound(up_to);

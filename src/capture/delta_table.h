@@ -21,6 +21,8 @@
 #ifndef ROLLVIEW_CAPTURE_DELTA_TABLE_H_
 #define ROLLVIEW_CAPTURE_DELTA_TABLE_H_
 
+#include <atomic>
+#include <deque>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -50,6 +52,41 @@ class DeltaTable {
   // sigma_{lo,hi}: rows with lo < ts <= hi.
   DeltaRows Scan(const CsnRange& range) const;
   DeltaRows ScanAll() const;
+
+  // RAII pin that defers pruning: while any Pin on a table is live, Prune
+  // is a no-op (retention retries on its next cycle). Combined with deque
+  // row storage -- appends never move existing rows -- this makes borrowed
+  // row pointers stable for the pin's lifetime.
+  class Pin {
+   public:
+    Pin() = default;
+    explicit Pin(const DeltaTable* t) : t_(t) {
+      t_->pins_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    Pin(Pin&& o) noexcept : t_(o.t_) { o.t_ = nullptr; }
+    Pin& operator=(Pin&& o) noexcept {
+      Release();
+      t_ = o.t_;
+      o.t_ = nullptr;
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+   private:
+    void Release() {
+      if (t_ != nullptr) t_->pins_.fetch_sub(1, std::memory_order_acq_rel);
+      t_ = nullptr;
+    }
+    const DeltaTable* t_ = nullptr;
+  };
+
+  // Zero-copy sigma_{lo,hi}: pointers into the row store, valid while *pin
+  // is held. The pin is acquired before the rows are collected, so a
+  // concurrent Prune either ran first (the refs see the pruned store) or
+  // observes the pin and defers.
+  DeltaRowRefs ScanRefs(const CsnRange& range, Pin* pin) const;
   // Number of rows a Scan(range) would return, without materializing.
   size_t CountInRange(const CsnRange& range) const;
 
@@ -64,7 +101,8 @@ class DeltaTable {
 
   // Drops rows with ts <= up_to (e.g. base-delta pruning below the view's
   // materialization time, or view-delta pruning below the applied time).
-  // Returns the number of rows dropped.
+  // Returns the number of rows dropped. A no-op (returns 0) while any Pin
+  // is live, so borrowed ScanRefs rows can never dangle.
   size_t Prune(Csn up_to);
 
  private:
@@ -76,7 +114,10 @@ class DeltaTable {
   bool ts_sorted_;
 
   mutable std::shared_mutex latch_;
-  std::vector<DeltaRow> rows_;
+  // Deque, not vector: growth must not move rows out from under ScanRefs
+  // borrowers (deque push_back never invalidates references to elements).
+  std::deque<DeltaRow> rows_;
+  mutable std::atomic<int> pins_{0};
   Csn max_ts_ = kNullCsn;
 };
 

@@ -100,10 +100,14 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
     return s;
   };
 
-  // Materialize the delta-range terms. In trigger-capture mode the delta
-  // table is part of updaters' footprints, so reading it requires an S lock
-  // on its resource (this is the contention experiment E7 measures).
-  std::vector<DeltaRows> materialized(q.num_terms());
+  // Materialize the delta-range terms as zero-copy borrows: ScanRefs pins
+  // the delta store (pruning defers) and the executor reads the rows in
+  // place -- the pins outlive the execution below. In trigger-capture mode
+  // the delta table is part of updaters' footprints, so reading it requires
+  // an S lock on its resource (this is the contention experiment E7
+  // measures).
+  std::vector<DeltaRowRefs> materialized(q.num_terms());
+  std::vector<DeltaTable::Pin> pins(q.num_terms());
   JoinQuery jq;
   jq.terms.reserve(q.num_terms());
   for (size_t i = 0; i < q.num_terms(); ++i) {
@@ -111,8 +115,8 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
     if (q.terms[i].is_delta) {
       Status s = db->LockDeltaShared(txn.get(), tid);
       if (!s.ok()) return fail(s);
-      materialized[i] = db->delta(tid)->Scan(q.terms[i].range);
-      jq.terms.push_back(TermSource::Rows(tid, &materialized[i]));
+      materialized[i] = db->delta(tid)->ScanRefs(q.terms[i].range, &pins[i]);
+      jq.terms.push_back(TermSource::RowRefs(tid, &materialized[i]));
     } else {
       // Lock before evaluation so every base term is seen at one time (the
       // commit CSN); strict 2PL holds the lock through commit.
@@ -125,8 +129,13 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
   jq.residual = rv.def().selection;
   jq.projection = rv.def().projection;
   jq.sign = q.sign;
+  // Every base table is S-locked above and this transaction writes only the
+  // view delta, so the current-visible state of each base term equals the
+  // snapshot at the stable CSN observed after lock acquisition -- which
+  // makes the terms servable from the snapshot-keyed BuildCache.
+  jq.current_snapshot_hint = db->stable_csn();
 
-  JoinExecutor exec(db);
+  JoinExecutor exec(db, options_.use_build_cache ? db->build_cache() : nullptr);
   Result<DeltaRows> rows = exec.Execute(jq, txn.get(), &stats_.exec);
   if (!rows.ok()) return fail(rows.status());
 

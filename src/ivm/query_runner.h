@@ -38,6 +38,12 @@ struct RunnerOptions {
   // Reproduce the prototype's CSN discovery: write a marker row into a
   // special captured table and resolve the CSN through the UOW table.
   bool use_special_table_csn_resolution = false;
+  // Serve base-table builds from the engine's snapshot-keyed BuildCache
+  // (no-op when the engine was created with build_cache_bytes == 0). All
+  // queries of a propagation step -- and, while the base tables are quiet,
+  // of successive steps -- share one build per table. Off forces the
+  // uncached scan/probe paths (the cache-off arm of bench_executor).
+  bool use_build_cache = true;
 };
 
 struct RunnerStats {

@@ -1,0 +1,163 @@
+#include "ra/build_cache.h"
+
+#include <chrono>
+
+namespace rollview {
+
+size_t TupleApproxBytes(const Tuple& t) {
+  size_t bytes = sizeof(Tuple) + t.size() * sizeof(Value);
+  for (const Value& v : t) {
+    if (v.type() == ValueType::kString) bytes += v.AsString().size();
+  }
+  return bytes;
+}
+
+size_t BuildCache::KeyHasher::operator()(const Key& k) const {
+  size_t h = std::hash<uint64_t>{}((uint64_t{k.table} << 32) ^ k.snapshot_csn);
+  for (size_t c : k.join_cols) {
+    h ^= std::hash<size_t>{}(c) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  h ^= std::hash<std::string>{}(k.pred_fingerprint) + (h << 6) + (h >> 2);
+  return h;
+}
+
+namespace {
+
+size_t EntryApproxBytes(const BuildCache::Entry& e) {
+  size_t bytes = sizeof(BuildCache::Entry);
+  for (const Tuple& t : e.tuples) bytes += TupleApproxBytes(t);
+  for (const auto& [key, slots] : e.index) {
+    bytes += sizeof(JoinKey) + key.values.size() * sizeof(Value) +
+             slots.size() * sizeof(uint32_t) + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<BuildCache::Lookup> BuildCache::GetOrBuild(const Key& key,
+                                                  const Builder& builder) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      stats_.hits++;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return Lookup{it->second.entry, /*hit=*/true};
+    }
+    stats_.misses++;
+  }
+
+  // Build outside the lock: a long build must not block readers of other
+  // entries. Two threads missing the same key both build; the second insert
+  // finds the winner and drops its own work (benign, counted as one build).
+  auto entry = std::make_shared<Entry>();
+  auto start = std::chrono::steady_clock::now();
+  ROLLVIEW_RETURN_NOT_OK(builder(entry.get()));
+  entry->build_nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  entry->bytes = EntryApproxBytes(*entry);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.builds++;
+  stats_.build_nanos += entry->build_nanos;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Lost the build race; serve the resident entry.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return Lookup{it->second.entry, /*hit=*/false};
+  }
+  Slot slot;
+  slot.key = key;
+  slot.entry = entry;
+  auto [ins, ok] = entries_.emplace(key, std::move(slot));
+  (void)ok;
+  lru_.push_front(&ins->second);
+  ins->second.lru_pos = lru_.begin();
+  resident_bytes_ += entry->bytes;
+  while (resident_bytes_ > byte_budget_ && entries_.size() > 1) {
+    const Slot* victim = lru_.back();
+    stats_.evictions++;
+    EraseLocked(entries_.find(victim->key));
+  }
+  return Lookup{std::move(entry), /*hit=*/false};
+}
+
+std::shared_ptr<const BuildCache::Entry> BuildCache::Peek(
+    const Key& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second.entry;
+}
+
+bool BuildCache::ShouldBuildForProbe(const Key& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.find(key) != entries_.end()) return true;
+  // Bound the bookkeeping: losing counts just delays an admission by one
+  // request, so wholesale reset is fine.
+  if (touches_.size() >= 4096) touches_.clear();
+  return ++touches_[key] >= 2;
+}
+
+void BuildCache::EraseLocked(
+    std::unordered_map<Key, Slot, KeyHasher>::iterator it) {
+  resident_bytes_ -= it->second.entry->bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void BuildCache::InvalidateBelow(Csn horizon) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.snapshot_csn < horizon) {
+      stats_.invalidations++;
+      auto next = std::next(it);
+      EraseLocked(it);
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BuildCache::InvalidateTable(TableId table) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.table == table) {
+      stats_.invalidations++;
+      auto next = std::next(it);
+      EraseLocked(it);
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BuildCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+  lru_.clear();
+  touches_.clear();
+  resident_bytes_ = 0;
+}
+
+size_t BuildCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return resident_bytes_;
+}
+
+size_t BuildCache::entry_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+BuildCache::Stats BuildCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace rollview

@@ -1,0 +1,189 @@
+// Copyright 2026 The rollview Authors.
+//
+// BuildCache: memoized build-side state for propagation queries.
+//
+// Every query of a propagation step scans the same base tables at the same
+// snapshot (either an explicit kBaseSnapshot CSN or, for current-state
+// terms executed under a table-S lock, the stable CSN the lock freezes --
+// see JoinQuery::current_snapshot_hint). Rebuilding the scan/hash-build of
+// those tables per query is the dominant constant factor of the hot path.
+// A BuildCache entry memoizes the admitted tuples (and, when join columns
+// are given, the hash index over them) for one
+//
+//   (table, snapshot_csn, join_cols, pushed-predicate fingerprint)
+//
+// key. Entries are immutable once built -- snapshots never change -- and
+// are handed out as shared_ptr<const Entry>, so the executor borrows tuple
+// references from an entry for the duration of a query with zero copies,
+// and eviction can never invalidate an in-flight borrower.
+//
+// Eviction: LRU over an approximate byte budget. Invalidation: entries own
+// their tuples, so garbage collection cannot dangle them; InvalidateBelow
+// instead exists so the cache never *serves* a snapshot the version store
+// can no longer reproduce -- after GC at horizon h, a miss at csn < h would
+// rebuild from a partially collected history and silently diverge from the
+// cached (correct) entry. Dropping those entries keeps the invariant that
+// cached and uncached execution are observationally identical.
+//
+// Thread safety: all operations take an internal mutex; builds run outside
+// it (concurrent builders of the same key race benignly -- the loser's
+// entry is dropped and the winner's is returned).
+
+#ifndef ROLLVIEW_RA_BUILD_CACHE_H_
+#define ROLLVIEW_RA_BUILD_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/csn.h"
+#include "common/result.h"
+#include "schema/tuple.h"
+#include "storage/ids.h"
+
+namespace rollview {
+
+// Composite equi-join key: the values of several columns hashed together.
+// Shared by the executor's ad-hoc hash joins and cached build indexes.
+struct JoinKey {
+  std::vector<Value> values;
+
+  friend bool operator==(const JoinKey& a, const JoinKey& b) {
+    return a.values == b.values;
+  }
+};
+
+struct JoinKeyHasher {
+  size_t operator()(const JoinKey& k) const {
+    size_t h = 0x243f6a8885a308d3ULL;
+    for (const Value& v : k.values) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// Approximate heap footprint of a tuple (used for cache budgeting and the
+// borrowed/copied byte accounting in ExecStats).
+size_t TupleApproxBytes(const Tuple& t);
+
+class BuildCache {
+ public:
+  struct Key {
+    TableId table = kInvalidTableId;
+    Csn snapshot_csn = kNullCsn;
+    // Columns the entry's hash index covers; empty = plain filtered scan.
+    std::vector<size_t> join_cols;
+    // Canonical text of the pushed-down single-term predicate ("" = none).
+    // The full text -- not a hash -- is the key component, so distinct
+    // predicates can never alias to the same entry.
+    std::string pred_fingerprint;
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.table == b.table && a.snapshot_csn == b.snapshot_csn &&
+             a.join_cols == b.join_cols &&
+             a.pred_fingerprint == b.pred_fingerprint;
+    }
+  };
+
+  struct KeyHasher {
+    size_t operator()(const Key& k) const;
+  };
+
+  // Immutable after Build returns it to the cache. `tuples` addresses are
+  // stable for the entry's lifetime (the vector is never resized again), so
+  // borrowers may hold `const Tuple*` into it while they hold the entry.
+  struct Entry {
+    std::vector<Tuple> tuples;  // admitted rows, in version-store scan order
+    // join-key -> slots into `tuples`; empty when the key has no join_cols.
+    std::unordered_map<JoinKey, std::vector<uint32_t>, JoinKeyHasher> index;
+    size_t bytes = 0;        // approximate footprint (filled by the cache)
+    uint64_t build_nanos = 0;  // wall time of the builder callback
+  };
+
+  struct Lookup {
+    std::shared_ptr<const Entry> entry;
+    bool hit = false;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t builds = 0;         // successful builder runs (>= inserts)
+    uint64_t evictions = 0;      // entries dropped by the byte budget
+    uint64_t invalidations = 0;  // entries dropped by invalidation calls
+    uint64_t build_nanos = 0;    // total time spent in builders
+  };
+
+  using Builder = std::function<Status(Entry*)>;
+
+  // `byte_budget` bounds resident entry bytes (approximate; a single entry
+  // larger than the budget is still admitted and evicted on the next
+  // insert).
+  explicit BuildCache(size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  BuildCache(const BuildCache&) = delete;
+  BuildCache& operator=(const BuildCache&) = delete;
+
+  // Returns the cached entry for `key`, building it via `builder` on a
+  // miss. The builder populates Entry::tuples (and Entry::index when the
+  // key has join_cols); bytes and build_nanos are filled in here.
+  Result<Lookup> GetOrBuild(const Key& key, const Builder& builder);
+
+  // Entry lookup without building, LRU promotion, or stats impact -- the
+  // executor's plan chooser uses this to prefer a resident build over
+  // per-row index probes.
+  std::shared_ptr<const Entry> Peek(const Key& key) const;
+
+  // Admission test for probe-able terms: true when a build for `key` is
+  // already resident, or when this is at least the second request for it.
+  // One query with a small driving side can never amortize a build, but a
+  // repeat request proves the key recurs across the propagation run (the
+  // same snapshot serves every step), so building then pays for itself --
+  // admit-on-second-touch. Touch counts are bookkeeping only: no LRU
+  // promotion, no hit/miss stats, dropped wholesale when the table grows
+  // past a fixed bound.
+  bool ShouldBuildForProbe(const Key& key);
+
+  // Drops entries whose snapshot is strictly below `horizon` (the GC hook:
+  // those snapshots are no longer rebuildable from the version store).
+  void InvalidateBelow(Csn horizon);
+  // Drops every entry of `table`.
+  void InvalidateTable(TableId table);
+  void Clear();
+
+  size_t resident_bytes() const;
+  size_t entry_count() const;
+  size_t byte_budget() const { return byte_budget_; }
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    Key key;
+    std::shared_ptr<const Entry> entry;
+    std::list<const Slot*>::iterator lru_pos;
+  };
+
+  // Removes `it`'s slot from the map, LRU list, and byte count. Caller
+  // holds mu_.
+  void EraseLocked(std::unordered_map<Key, Slot, KeyHasher>::iterator it);
+
+  size_t byte_budget_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Slot, KeyHasher> entries_;
+  // Front = most recently used. Values point at the owning map slots.
+  std::list<const Slot*> lru_;
+  // Request counts for keys not (yet) resident; see ShouldBuildForProbe.
+  std::unordered_map<Key, uint32_t, KeyHasher> touches_;
+  size_t resident_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_RA_BUILD_CACHE_H_

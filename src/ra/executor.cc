@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <deque>
 #include <limits>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/csn.h"
 
@@ -12,34 +15,74 @@ namespace rollview {
 
 namespace {
 
-// Composite join key: the values of several columns, hashed together.
-struct JoinKey {
-  std::vector<Value> values;
+constexpr uint32_t kUnbound = std::numeric_limits<uint32_t>::max();
 
-  friend bool operator==(const JoinKey& a, const JoinKey& b) {
-    return a.values == b.values;
-  }
-};
-
-struct JoinKeyHasher {
-  size_t operator()(const JoinKey& k) const {
-    size_t h = 0x243f6a8885a308d3ULL;
-    for (const Value& v : k.values) {
-      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-
-// A partially-joined row: per-term indexes into the term arenas, plus the
-// running count product and min timestamp.
-struct PartialRow {
-  std::vector<uint32_t> slot;  // indexed by term; kUnbound if term unbound
+// One input row as seen by the join: a tuple reference (borrowed from the
+// caller's DeltaRows or owned by the executor's spill) plus its delta
+// count/timestamp (+1 / null for base rows).
+struct ArenaRow {
+  const Tuple* tuple = nullptr;
   int64_t count = 1;
   Csn ts = kNullCsn;
 };
 
-constexpr uint32_t kUnbound = std::numeric_limits<uint32_t>::max();
+// Per-term input rows. Backed either by a pinned immutable BuildCache entry
+// (borrowed wholesale; base rows carry count +1 and a null timestamp) or by
+// an explicit ArenaRow vector.
+struct TermArena {
+  std::shared_ptr<const BuildCache::Entry> entry;
+  std::vector<ArenaRow> rows;
+
+  bool from_entry() const { return entry != nullptr; }
+  size_t size() const {
+    return from_entry() ? entry->tuples.size() : rows.size();
+  }
+  const Tuple& tuple(uint32_t s) const {
+    return from_entry() ? entry->tuples[s] : *rows[s].tuple;
+  }
+  int64_t count(uint32_t s) const { return from_entry() ? 1 : rows[s].count; }
+  Csn ts(uint32_t s) const { return from_entry() ? kNullCsn : rows[s].ts; }
+};
+
+// Partially-joined rows, struct-of-arrays: one flat uint32 slab row of
+// width n (slot per term, kUnbound if unbound) plus parallel count and
+// timestamp columns. Extending a row appends one slab row -- no per-level
+// std::vector copy.
+class PartialSet {
+ public:
+  explicit PartialSet(size_t width) : width_(width) {}
+
+  size_t size() const { return counts_.size(); }
+  const uint32_t* slots(size_t r) const { return slots_.data() + r * width_; }
+  int64_t count(size_t r) const { return counts_[r]; }
+  Csn ts(size_t r) const { return tss_[r]; }
+
+  void AppendRoot(size_t term, uint32_t s, int64_t count, Csn ts) {
+    size_t base = slots_.size();
+    slots_.resize(base + width_, kUnbound);
+    slots_[base + term] = s;
+    counts_.push_back(count);
+    tss_.push_back(ts);
+  }
+
+  // Copies src row r, binds `term` to slot `s`, and folds in the joined
+  // row's count (product) and timestamp (min rule).
+  void AppendExtended(const PartialSet& src, size_t r, size_t term, uint32_t s,
+                      int64_t count, Csn ts) {
+    const uint32_t* from = src.slots(r);
+    size_t base = slots_.size();
+    slots_.insert(slots_.end(), from, from + width_);
+    slots_[base + term] = s;
+    counts_.push_back(src.count(r) * count);
+    tss_.push_back(MinTimestamp(src.ts(r), ts));
+  }
+
+ private:
+  size_t width_;
+  std::vector<uint32_t> slots_;
+  std::vector<int64_t> counts_;
+  std::vector<Csn> tss_;
+};
 
 // Flattens a conjunction tree into its conjuncts.
 void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
@@ -58,6 +101,78 @@ ExprPtr AndTogether(ExprPtr a, ExprPtr b) {
   return Expr::And(std::move(a), std::move(b));
 }
 
+// A pushed-down term predicate, flattened for per-row evaluation. Conjuncts
+// of the shape `Column <op> Literal` (or mirrored) run as direct Value
+// comparisons -- no Expr-tree recursion, no per-row Value copies -- which
+// matters because this runs on every raw row of every delta range a query
+// materializes. Anything else falls back to the Expr interpreter.
+struct CompiledPred {
+  struct Simple {
+    size_t col;
+    Expr::CmpOp op;
+    Value lit;
+  };
+  std::vector<Simple> simple;
+  ExprPtr rest;  // conjuncts the fast path cannot represent (may be null)
+
+  bool empty() const { return simple.empty() && rest == nullptr; }
+
+  bool Admits(const Tuple& t) const {
+    for (const Simple& s : simple) {
+      const Value& v = t[s.col];
+      if (v.is_null()) return false;
+      bool r = false;
+      switch (s.op) {
+        case Expr::CmpOp::kEq: r = (v == s.lit); break;
+        case Expr::CmpOp::kNe: r = (v != s.lit); break;
+        case Expr::CmpOp::kLt: r = (v < s.lit); break;
+        case Expr::CmpOp::kLe: r = (v <= s.lit); break;
+        case Expr::CmpOp::kGt: r = (v > s.lit); break;
+        case Expr::CmpOp::kGe: r = (v >= s.lit); break;
+      }
+      if (!r) return false;
+    }
+    return rest == nullptr || rest->EvalBool(t);
+  }
+};
+
+Expr::CmpOp MirrorCmp(Expr::CmpOp op) {
+  switch (op) {
+    case Expr::CmpOp::kLt: return Expr::CmpOp::kGt;
+    case Expr::CmpOp::kLe: return Expr::CmpOp::kGe;
+    case Expr::CmpOp::kGt: return Expr::CmpOp::kLt;
+    case Expr::CmpOp::kGe: return Expr::CmpOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+CompiledPred CompilePred(const ExprPtr& pred) {
+  CompiledPred out;
+  if (pred == nullptr) return out;
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(pred, &conjuncts);
+  for (ExprPtr& c : conjuncts) {
+    if (c->kind() == Expr::Kind::kCompare) {
+      const ExprPtr& l = c->lhs();
+      const ExprPtr& r = c->rhs();
+      if (l->kind() == Expr::Kind::kColumn &&
+          r->kind() == Expr::Kind::kLiteral) {
+        out.simple.push_back(
+            CompiledPred::Simple{l->column_index(), c->cmp_op(), r->literal()});
+        continue;
+      }
+      if (l->kind() == Expr::Kind::kLiteral &&
+          r->kind() == Expr::Kind::kColumn) {
+        out.simple.push_back(CompiledPred::Simple{
+            r->column_index(), MirrorCmp(c->cmp_op()), l->literal()});
+        continue;
+      }
+    }
+    out.rest = AndTogether(std::move(out.rest), std::move(c));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<DeltaRows> JoinExecutor::Execute(const JoinQuery& query, Txn* txn,
@@ -67,6 +182,7 @@ Result<DeltaRows> JoinExecutor::Execute(const JoinQuery& query, Txn* txn,
 
   ExecStats local;
   local.queries = 1;
+  const auto exec_start = std::chrono::steady_clock::now();
 
   // Resolve table metadata and lock current-state terms up front so the
   // whole query sees one consistent state (strict 2PL holds the locks to
@@ -89,7 +205,7 @@ Result<DeltaRows> JoinExecutor::Execute(const JoinQuery& query, Txn* txn,
       if (t.snapshot_csn > db_->stable_csn()) {
         return Status::OutOfRange("snapshot term beyond stable csn");
       }
-    } else if (t.rows == nullptr) {
+    } else if (t.rows == nullptr && t.row_refs == nullptr) {
       return Status::InvalidArgument("kRows term with null rows");
     }
   }
@@ -112,8 +228,8 @@ Result<DeltaRows> JoinExecutor::Execute(const JoinQuery& query, Txn* txn,
       if (lo != SIZE_MAX) {
         for (size_t i = 0; i < n; ++i) {
           if (lo >= offsets[i] && hi < offsets[i] + widths[i]) {
-            term_pred[i] =
-                AndTogether(std::move(term_pred[i]), c->ShiftColumns(offsets[i]));
+            term_pred[i] = AndTogether(std::move(term_pred[i]),
+                                       c->ShiftColumns(offsets[i]));
             pushed = true;
             break;
           }
@@ -122,133 +238,263 @@ Result<DeltaRows> JoinExecutor::Execute(const JoinQuery& query, Txn* txn,
       if (!pushed) residual = AndTogether(std::move(residual), std::move(c));
     }
   }
+  // Flatten each term's pushed predicate once; Admits() then runs without
+  // touching the Expr tree for the common column-vs-literal conjuncts.
+  std::vector<CompiledPred> term_filter(n);
+  for (size_t i = 0; i < n; ++i) term_filter[i] = CompilePred(term_pred[i]);
 
-  // Arenas hold every row materialized or probed per term; PartialRows
-  // reference arena slots. deque keeps references stable under growth.
-  std::vector<std::deque<DeltaRow>> arena(n);
+  // Snapshot keys: the CSN at which a base term can be served from the
+  // BuildCache (kNullCsn = not snapshot-keyed). Keys are canonicalized to
+  // the table's last-change CSN: consecutive propagation queries run at
+  // successive commit CSNs, but as long as the base table itself has not
+  // changed they all map to one cache entry.
+  std::vector<Csn> snap_key(n, kNullCsn);
+  for (size_t i = 0; i < n; ++i) {
+    const TermSource& t = query.terms[i];
+    if (t.kind == TermSource::Kind::kBaseSnapshot) {
+      Csn last = tables[i]->last_change_csn();
+      snap_key[i] = (last <= t.snapshot_csn) ? last : t.snapshot_csn;
+    } else if (t.kind == TermSource::Kind::kBaseCurrent &&
+               query.current_snapshot_hint != kNullCsn &&
+               query.current_snapshot_hint <= db_->stable_csn() &&
+               !txn->HasPendingWriteOn(tables[i])) {
+      // Under the table-S lock, current state == the snapshot at the hint;
+      // a last-change CSN above the hint would contradict that, so treat it
+      // as an unusable hint rather than trust it.
+      Csn last = tables[i]->last_change_csn();
+      if (last <= query.current_snapshot_hint) snap_key[i] = last;
+    }
+  }
+  // Arenas hold every input row per term; partial rows reference arena
+  // slots. The spill owns tuples that must be copied (probe results and
+  // uncached scans); a deque keeps their addresses stable under growth.
+  std::vector<TermArena> arena(n);
   std::vector<bool> bound(n, false);
   std::vector<bool> materialized(n, false);
+  std::deque<Tuple> spill;
+
+  auto copy_into_spill = [&](const Tuple& t) -> const Tuple* {
+    local.rows_copied++;
+    local.bytes_copied += TupleApproxBytes(t);
+    spill.push_back(t);
+    return &spill.back();
+  };
+  auto note_borrow = [&](const Tuple& t) {
+    local.rows_borrowed++;
+    local.bytes_borrowed += TupleApproxBytes(t);
+  };
 
   // True if the term-local predicate (if any) admits the tuple.
   auto admits = [&](size_t i, const Tuple& t) {
-    if (term_pred[i] == nullptr || term_pred[i]->EvalBool(t)) return true;
+    if (term_filter[i].empty() || term_filter[i].Admits(t)) return true;
     local.pushdown_filtered++;
     return false;
   };
 
+  auto cache_key = [&](size_t i, std::vector<size_t> cols) {
+    BuildCache::Key key;
+    key.table = query.terms[i].table;
+    key.snapshot_csn = snap_key[i];
+    key.join_cols = std::move(cols);
+    if (term_pred[i] != nullptr) {
+      key.pred_fingerprint = term_pred[i]->ToString();
+    }
+    return key;
+  };
+
+  // Builder for a cache entry of term i: admitted tuples at the canonical
+  // snapshot, plus a hash index over `cols` when joining. Runs at most once
+  // per distinct key engine-wide; its copies are build cost, not per-query
+  // copy traffic, so they do not count into rows_copied.
+  auto entry_builder = [&](size_t i, std::vector<size_t> cols) {
+    return [&tables, &term_pred, &snap_key, i,
+            cols = std::move(cols)](BuildCache::Entry* e) -> Status {
+      const ExprPtr& pred = term_pred[i];
+      tables[i]->ScanVisitSnapshot(snap_key[i], [&](const Tuple& t) {
+        if (pred != nullptr && !pred->EvalBool(t)) return;
+        e->tuples.push_back(t);
+      });
+      if (!cols.empty()) {
+        e->index.reserve(e->tuples.size());
+        for (size_t s = 0; s < e->tuples.size(); ++s) {
+          JoinKey k;
+          k.values.reserve(cols.size());
+          for (size_t c : cols) k.values.push_back(e->tuples[s][c]);
+          e->index[std::move(k)].push_back(static_cast<uint32_t>(s));
+        }
+      }
+      return Status::OK();
+    };
+  };
+
+  auto fetch_entry = [&](size_t i, std::vector<size_t> cols)
+      -> Result<std::shared_ptr<const BuildCache::Entry>> {
+    BuildCache::Key key = cache_key(i, cols);
+    ROLLVIEW_ASSIGN_OR_RETURN(
+        BuildCache::Lookup lookup,
+        cache_->GetOrBuild(key, entry_builder(i, std::move(cols))));
+    if (lookup.hit) {
+      local.build_cache_hits++;
+    } else {
+      local.build_cache_misses++;
+      local.build_nanos += lookup.entry->build_nanos;
+    }
+    return std::move(lookup.entry);
+  };
+
   auto materialize = [&](size_t i) -> Status {
     if (materialized[i]) return Status::OK();
-    const TermSource& t = query.terms[i];
-    switch (t.kind) {
-      case TermSource::Kind::kRows:
-        local.input_rows += t.rows->size();
-        for (const DeltaRow& r : *t.rows) {
-          if (admits(i, r.tuple)) arena[i].push_back(r);
-        }
-        break;
-      case TermSource::Kind::kBaseCurrent: {
-        std::vector<Tuple> rows = tables[i]->CurrentScan(txn->id());
-        local.input_rows += rows.size();
-        for (Tuple& tp : rows) {
-          if (!admits(i, tp)) continue;
-          arena[i].push_back(DeltaRow(std::move(tp), +1, kNullCsn));
-        }
-        break;
-      }
-      case TermSource::Kind::kBaseSnapshot: {
-        std::vector<Tuple> rows = tables[i]->SnapshotScan(t.snapshot_csn);
-        local.input_rows += rows.size();
-        for (Tuple& tp : rows) {
-          if (!admits(i, tp)) continue;
-          arena[i].push_back(DeltaRow(std::move(tp), +1, kNullCsn));
-        }
-        break;
-      }
-    }
     materialized[i] = true;
+    const TermSource& t = query.terms[i];
+    if (t.kind == TermSource::Kind::kRows) {
+      // Borrow delta tuples in place; the caller owns them (and, for the
+      // refs variant, keeps the underlying store pinned) for the whole
+      // execution.
+      if (t.row_refs != nullptr) {
+        local.input_rows += t.row_refs->size();
+        arena[i].rows.reserve(t.row_refs->size());
+        for (const DeltaRow* r : *t.row_refs) {
+          if (!admits(i, r->tuple)) continue;
+          note_borrow(r->tuple);
+          arena[i].rows.push_back(ArenaRow{&r->tuple, r->count, r->ts});
+        }
+        return Status::OK();
+      }
+      local.input_rows += t.rows->size();
+      arena[i].rows.reserve(t.rows->size());
+      for (const DeltaRow& r : *t.rows) {
+        if (!admits(i, r.tuple)) continue;
+        note_borrow(r.tuple);
+        arena[i].rows.push_back(ArenaRow{&r.tuple, r.count, r.ts});
+      }
+      return Status::OK();
+    }
+    if (cache_ != nullptr && snap_key[i] != kNullCsn) {
+      // Snapshot-keyed scan served from (or built into) the cache; the
+      // pinned entry backs the arena directly.
+      ROLLVIEW_ASSIGN_OR_RETURN(arena[i].entry, fetch_entry(i, {}));
+      local.input_rows += arena[i].entry->tuples.size();
+      for (const Tuple& tp : arena[i].entry->tuples) note_borrow(tp);
+      return Status::OK();
+    }
+    // Uncached scan: copy admitted rows into the spill.
+    auto visit = [&](const Tuple& tp) {
+      local.input_rows++;
+      if (!admits(i, tp)) return;
+      arena[i].rows.push_back(ArenaRow{copy_into_spill(tp), 1, kNullCsn});
+    };
+    if (t.kind == TermSource::Kind::kBaseCurrent) {
+      tables[i]->ScanVisitCurrent(txn->id(), visit);
+    } else {
+      tables[i]->ScanVisitSnapshot(t.snapshot_csn, visit);
+    }
     return Status::OK();
   };
 
-  // Pick the start term: the smallest kRows term if any (propagation
-  // queries always have one -- every maintenance query involves at least one
-  // delta table), else the first base term.
+  // Pick the start term among kRows terms by *admitted* (post-pushdown)
+  // size -- materializing them is cheap (borrowed references), and raw size
+  // misranks a heavily-filtered large delta against a small unfiltered one.
+  // Propagation queries always have a kRows term; otherwise start at 0.
   size_t start = SIZE_MAX;
   size_t start_size = SIZE_MAX;
   for (size_t i = 0; i < n; ++i) {
-    if (query.terms[i].kind == TermSource::Kind::kRows &&
-        query.terms[i].rows->size() < start_size) {
+    if (query.terms[i].kind != TermSource::Kind::kRows) continue;
+    ROLLVIEW_RETURN_NOT_OK(materialize(i));
+    if (arena[i].size() < start_size) {
       start = i;
-      start_size = query.terms[i].rows->size();
+      start_size = arena[i].size();
     }
   }
   if (start == SIZE_MAX) start = 0;
-
   ROLLVIEW_RETURN_NOT_OK(materialize(start));
   bound[start] = true;
 
-  std::vector<PartialRow> current;
-  current.reserve(arena[start].size());
-  for (uint32_t s = 0; s < arena[start].size(); ++s) {
-    PartialRow pr;
-    pr.slot.assign(n, kUnbound);
-    pr.slot[start] = s;
-    pr.count = arena[start][s].count;
-    pr.ts = arena[start][s].ts;
-    current.push_back(std::move(pr));
+  PartialSet current(n);
+  for (size_t s = 0; s < arena[start].size(); ++s) {
+    uint32_t slot = static_cast<uint32_t>(s);
+    current.AppendRoot(start, slot, arena[start].count(slot),
+                       arena[start].ts(slot));
   }
 
   size_t num_bound = 1;
   std::vector<bool> pred_used(query.equi_joins.size(), false);
 
-  while (num_bound < n) {
-    // Choose the next term: connected to the bound set, preferring (a) a
-    // base term probe-able through a hash index, then (b) any connected
-    // term, then (c) cartesian fallback.
-    size_t next = SIZE_MAX;
-    bool next_probeable = false;
-    // Predicates connecting the bound set to `next`:
-    //   (bound_term, bound_col, next_col)
-    std::vector<std::tuple<size_t, size_t, size_t>> connecting;
+  enum class Mode { kProbe, kCachedJoin, kHashJoin, kCartesian };
+  // A predicate connecting the bound set to the candidate term:
+  // (equi_joins index, bound term, bound col, candidate col).
+  struct Conn {
+    size_t pred;
+    size_t bt;
+    size_t bc;
+    size_t nc;
+  };
 
+  while (num_bound < n && current.size() > 0) {
+    size_t next = SIZE_MAX;
+    Mode mode = Mode::kCartesian;
+    std::vector<Conn> connecting;
+    size_t probe_conn = SIZE_MAX;  // index into `connecting` for kProbe
+
+    auto gather = [&](size_t cand) {
+      connecting.clear();
+      for (size_t p = 0; p < query.equi_joins.size(); ++p) {
+        const EquiJoin& ej = query.equi_joins[p];
+        if (ej.left_term == cand && bound[ej.right_term]) {
+          connecting.push_back(Conn{p, ej.right_term, ej.right_col,
+                                    ej.left_col});
+        } else if (ej.right_term == cand && bound[ej.left_term]) {
+          connecting.push_back(Conn{p, ej.left_term, ej.left_col,
+                                    ej.right_col});
+        }
+      }
+    };
+
+    // First pass: base candidates reachable through a hash-indexed join
+    // column (probe-able). A snapshot-keyed candidate upgrades to a cached
+    // join when a build is already resident or the driving side is large
+    // enough to amortize building one.
     for (size_t cand = 0; cand < n && next == SIZE_MAX; ++cand) {
-      // First pass: probe-able candidates.
       if (bound[cand]) continue;
       if (query.terms[cand].kind == TermSource::Kind::kRows) continue;
-      for (const EquiJoin& ej : query.equi_joins) {
-        size_t other, other_col, cand_col;
-        if (ej.left_term == cand && bound[ej.right_term]) {
-          other = ej.right_term;
-          other_col = ej.right_col;
-          cand_col = ej.left_col;
-        } else if (ej.right_term == cand && bound[ej.left_term]) {
-          other = ej.left_term;
-          other_col = ej.left_col;
-          cand_col = ej.right_col;
-        } else {
-          continue;
-        }
-        const std::vector<size_t>& idx = tables[cand]->indexed_columns();
-        if (std::find(idx.begin(), idx.end(), cand_col) != idx.end()) {
+      gather(cand);
+      const std::vector<size_t>& idx = tables[cand]->indexed_columns();
+      for (size_t ci = 0; ci < connecting.size(); ++ci) {
+        if (std::find(idx.begin(), idx.end(), connecting[ci].nc) !=
+            idx.end()) {
           next = cand;
-          next_probeable = true;
-          connecting.clear();
-          connecting.emplace_back(other, other_col, cand_col);
+          probe_conn = ci;
           break;
         }
       }
     }
+    if (next != SIZE_MAX) {
+      mode = Mode::kProbe;
+      if (cache_ != nullptr && snap_key[next] != kNullCsn) {
+        std::vector<size_t> cols;
+        cols.reserve(connecting.size());
+        for (const Conn& c : connecting) cols.push_back(c.nc);
+        // Upgrade when the driving side is large enough to amortize a
+        // build within this query, or when the cache has seen this key
+        // before (resident, or second touch): propagation steps repeat the
+        // same snapshot key query after query, so a recurring key amortizes
+        // the build across the run even if every driving side is tiny.
+        if (current.size() >= kCachedBuildThreshold ||
+            cache_->ShouldBuildForProbe(cache_key(next, std::move(cols)))) {
+          mode = Mode::kCachedJoin;
+        }
+      }
+    }
     if (next == SIZE_MAX) {
-      // Second pass: any connected candidate (hash join).
+      // Second pass: any connected candidate (hash join; snapshot-keyed
+      // base builds route through the cache).
       for (size_t cand = 0; cand < n && next == SIZE_MAX; ++cand) {
         if (bound[cand]) continue;
-        for (const EquiJoin& ej : query.equi_joins) {
-          bool connects =
-              (ej.left_term == cand && bound[ej.right_term]) ||
-              (ej.right_term == cand && bound[ej.left_term]);
-          if (connects) {
-            next = cand;
-            break;
-          }
+        gather(cand);
+        if (!connecting.empty()) {
+          next = cand;
+          mode = (cache_ != nullptr && snap_key[cand] != kNullCsn)
+                     ? Mode::kCachedJoin
+                     : Mode::kHashJoin;
         }
       }
     }
@@ -260,144 +506,210 @@ Result<DeltaRows> JoinExecutor::Execute(const JoinQuery& query, Txn* txn,
           break;
         }
       }
+      gather(next);  // leaves `connecting` empty by construction
+      mode = Mode::kCartesian;
     }
 
-    if (!next_probeable) {
-      // Gather all predicates connecting bound terms to `next`.
-      connecting.clear();
-      for (const EquiJoin& ej : query.equi_joins) {
-        if (ej.left_term == next && bound[ej.right_term]) {
-          connecting.emplace_back(ej.right_term, ej.right_col, ej.left_col);
-        } else if (ej.right_term == next && bound[ej.left_term]) {
-          connecting.emplace_back(ej.left_term, ej.left_col, ej.right_col);
-        }
+    // Hoist the residual equi-join predicates that become checkable at this
+    // level (both sides bound once `next` binds, not already consumed, not
+    // satisfied by the join itself) -- computed once per level, not per row.
+    std::vector<const EquiJoin*> check_preds;
+    {
+      std::vector<bool> satisfied(query.equi_joins.size(), false);
+      if (mode == Mode::kProbe) {
+        satisfied[connecting[probe_conn].pred] = true;
+      } else if (mode == Mode::kCachedJoin || mode == Mode::kHashJoin) {
+        for (const Conn& c : connecting) satisfied[c.pred] = true;
+      }
+      for (size_t p = 0; p < query.equi_joins.size(); ++p) {
+        if (pred_used[p] || satisfied[p]) continue;
+        const EquiJoin& ej = query.equi_joins[p];
+        bool l_ok = bound[ej.left_term] || ej.left_term == next;
+        bool r_ok = bound[ej.right_term] || ej.right_term == next;
+        if (l_ok && r_ok) check_preds.push_back(&ej);
       }
     }
 
-    std::vector<PartialRow> joined;
+    auto passes = [&](const uint32_t* slots, const Tuple& next_tuple) {
+      for (const EquiJoin* ej : check_preds) {
+        const Tuple& lt = ej->left_term == next
+                              ? next_tuple
+                              : arena[ej->left_term].tuple(
+                                    slots[ej->left_term]);
+        const Tuple& rt = ej->right_term == next
+                              ? next_tuple
+                              : arena[ej->right_term].tuple(
+                                    slots[ej->right_term]);
+        if (!(lt[ej->left_col] == rt[ej->right_col])) return false;
+      }
+      return true;
+    };
 
-    if (next_probeable && !connecting.empty()) {
-      auto [bt, bc, nc] = connecting[0];
-      const TermSource& ts = query.terms[next];
-      for (const PartialRow& pr : current) {
-        const Value& key = arena[bt][pr.slot[bt]].tuple[bc];
-        std::vector<Tuple> matches =
-            ts.kind == TermSource::Kind::kBaseCurrent
-                ? tables[next]->CurrentProbe(txn->id(), nc, key)
-                : tables[next]->SnapshotProbe(ts.snapshot_csn, nc, key);
+    PartialSet joined(n);
+
+    if (mode == Mode::kProbe) {
+      const Conn& pc = connecting[probe_conn];
+      const TermSource& tsrc = query.terms[next];
+      materialized[next] = true;  // filled incrementally by the probes
+      for (size_t r = 0; r < current.size(); ++r) {
+        const uint32_t* slots = current.slots(r);
+        const Value& key = arena[pc.bt].tuple(slots[pc.bt])[pc.bc];
         local.index_probes++;
-        local.input_rows += matches.size();
-        for (Tuple& m : matches) {
-          if (!admits(next, m)) continue;
-          arena[next].push_back(DeltaRow(std::move(m), +1, kNullCsn));
-          PartialRow ext = pr;
-          ext.slot[next] = static_cast<uint32_t>(arena[next].size() - 1);
-          joined.push_back(std::move(ext));
+        auto on_match = [&](const Tuple& m) {
+          local.input_rows++;
+          if (!admits(next, m)) return;
+          if (!passes(slots, m)) return;
+          arena[next].rows.push_back(
+              ArenaRow{copy_into_spill(m), 1, kNullCsn});
+          joined.AppendExtended(
+              current, r, next,
+              static_cast<uint32_t>(arena[next].rows.size() - 1), 1,
+              kNullCsn);
+        };
+        if (tsrc.kind == TermSource::Kind::kBaseCurrent) {
+          tables[next]->ProbeVisitCurrent(txn->id(), pc.nc, key, on_match);
+        } else {
+          tables[next]->ProbeVisitSnapshot(tsrc.snapshot_csn, pc.nc, key,
+                                           on_match);
         }
       }
-    } else if (!connecting.empty()) {
-      // Hash join: build on `next`, probe with current rows.
-      ROLLVIEW_RETURN_NOT_OK(materialize(next));
-      std::unordered_map<JoinKey, std::vector<uint32_t>, JoinKeyHasher> ht;
-      ht.reserve(arena[next].size());
-      for (uint32_t s = 0; s < arena[next].size(); ++s) {
-        JoinKey key;
-        key.values.reserve(connecting.size());
-        for (auto& [bt, bc, nc] : connecting) {
-          (void)bt;
-          (void)bc;
-          key.values.push_back(arena[next][s].tuple[nc]);
+    } else if (mode == Mode::kCachedJoin) {
+      std::vector<size_t> cols;
+      cols.reserve(connecting.size());
+      for (const Conn& c : connecting) cols.push_back(c.nc);
+      ROLLVIEW_ASSIGN_OR_RETURN(arena[next].entry,
+                                fetch_entry(next, std::move(cols)));
+      materialized[next] = true;
+      const BuildCache::Entry& entry = *arena[next].entry;
+      JoinKey key;
+      for (size_t r = 0; r < current.size(); ++r) {
+        const uint32_t* slots = current.slots(r);
+        key.values.clear();
+        for (const Conn& c : connecting) {
+          key.values.push_back(arena[c.bt].tuple(slots[c.bt])[c.bc]);
         }
-        ht[std::move(key)].push_back(s);
-      }
-      for (const PartialRow& pr : current) {
-        JoinKey key;
-        key.values.reserve(connecting.size());
-        for (auto& [bt, bc, nc] : connecting) {
-          (void)nc;
-          key.values.push_back(arena[bt][pr.slot[bt]].tuple[bc]);
-        }
-        auto it = ht.find(key);
-        if (it == ht.end()) continue;
+        auto it = entry.index.find(key);
+        if (it == entry.index.end()) continue;
         for (uint32_t s : it->second) {
-          PartialRow ext = pr;
-          ext.slot[next] = s;
-          joined.push_back(std::move(ext));
+          const Tuple& m = entry.tuples[s];
+          local.input_rows++;
+          note_borrow(m);
+          if (!passes(slots, m)) continue;
+          joined.AppendExtended(current, r, next, s, 1, kNullCsn);
+        }
+      }
+    } else if (mode == Mode::kHashJoin) {
+      ROLLVIEW_RETURN_NOT_OK(materialize(next));
+      // Build the hash table over the smaller input. Compensation queries
+      // drive a few partial rows against a large delta range; building over
+      // `current` there turns O(|big| inserts) into O(|big| lookups).
+      std::unordered_map<JoinKey, std::vector<uint32_t>, JoinKeyHasher> ht;
+      if (current.size() <= arena[next].size()) {
+        ht.reserve(current.size());
+        for (size_t r = 0; r < current.size(); ++r) {
+          const uint32_t* slots = current.slots(r);
+          JoinKey k;
+          k.values.reserve(connecting.size());
+          for (const Conn& c : connecting) {
+            k.values.push_back(arena[c.bt].tuple(slots[c.bt])[c.bc]);
+          }
+          ht[std::move(k)].push_back(static_cast<uint32_t>(r));
+        }
+        JoinKey key;
+        for (size_t s = 0; s < arena[next].size(); ++s) {
+          uint32_t slot = static_cast<uint32_t>(s);
+          key.values.clear();
+          for (const Conn& c : connecting) {
+            key.values.push_back(arena[next].tuple(slot)[c.nc]);
+          }
+          auto it = ht.find(key);
+          if (it == ht.end()) continue;
+          for (uint32_t r : it->second) {
+            if (!passes(current.slots(r), arena[next].tuple(slot))) continue;
+            joined.AppendExtended(current, r, next, slot,
+                                  arena[next].count(slot),
+                                  arena[next].ts(slot));
+          }
+        }
+      } else {
+        ht.reserve(arena[next].size());
+        for (size_t s = 0; s < arena[next].size(); ++s) {
+          uint32_t slot = static_cast<uint32_t>(s);
+          JoinKey k;
+          k.values.reserve(connecting.size());
+          for (const Conn& c : connecting) {
+            k.values.push_back(arena[next].tuple(slot)[c.nc]);
+          }
+          ht[std::move(k)].push_back(slot);
+        }
+        JoinKey key;
+        for (size_t r = 0; r < current.size(); ++r) {
+          const uint32_t* slots = current.slots(r);
+          key.values.clear();
+          for (const Conn& c : connecting) {
+            key.values.push_back(arena[c.bt].tuple(slots[c.bt])[c.bc]);
+          }
+          auto it = ht.find(key);
+          if (it == ht.end()) continue;
+          for (uint32_t s : it->second) {
+            if (!passes(slots, arena[next].tuple(s))) continue;
+            joined.AppendExtended(current, r, next, s, arena[next].count(s),
+                                  arena[next].ts(s));
+          }
         }
       }
     } else {
       // Cartesian product.
       ROLLVIEW_RETURN_NOT_OK(materialize(next));
-      for (const PartialRow& pr : current) {
-        for (uint32_t s = 0; s < arena[next].size(); ++s) {
-          PartialRow ext = pr;
-          ext.slot[next] = s;
-          joined.push_back(std::move(ext));
+      for (size_t r = 0; r < current.size(); ++r) {
+        const uint32_t* slots = current.slots(r);
+        for (size_t s = 0; s < arena[next].size(); ++s) {
+          uint32_t slot = static_cast<uint32_t>(s);
+          if (!passes(slots, arena[next].tuple(slot))) continue;
+          joined.AppendExtended(current, r, next, slot,
+                                arena[next].count(slot),
+                                arena[next].ts(slot));
         }
       }
     }
 
-    // Fold the joined term's count/ts into the partial rows, then apply any
-    // remaining predicates both of whose sides are now bound.
-    for (PartialRow& pr : joined) {
-      const DeltaRow& r = arena[next][pr.slot[next]];
-      pr.count *= r.count;
-      pr.ts = MinTimestamp(pr.ts, r.ts);
+    // Mark every predicate checkable at this level as consumed (used for
+    // the join or checked via check_preds just now).
+    for (size_t p = 0; p < query.equi_joins.size(); ++p) {
+      const EquiJoin& ej = query.equi_joins[p];
+      bool l_ok = bound[ej.left_term] || ej.left_term == next;
+      bool r_ok = bound[ej.right_term] || ej.right_term == next;
+      if (l_ok && r_ok) pred_used[p] = true;
     }
     bound[next] = true;
     ++num_bound;
-
-    // Residual equi-join predicates across already-bound terms (e.g. cycle
-    // edges in the join graph) filter here.
-    std::vector<PartialRow> filtered;
-    filtered.reserve(joined.size());
-    for (PartialRow& pr : joined) {
-      bool keep = true;
-      for (size_t p = 0; p < query.equi_joins.size(); ++p) {
-        if (pred_used[p]) continue;
-        const EquiJoin& ej = query.equi_joins[p];
-        if (!bound[ej.left_term] || !bound[ej.right_term]) continue;
-        const Value& a = arena[ej.left_term][pr.slot[ej.left_term]]
-                             .tuple[ej.left_col];
-        const Value& b = arena[ej.right_term][pr.slot[ej.right_term]]
-                             .tuple[ej.right_col];
-        if (!(a == b)) {
-          keep = false;
-          break;
-        }
-      }
-      if (keep) filtered.push_back(std::move(pr));
-    }
-    // Mark predicates with both sides bound as consumed (they were either
-    // used for the join or checked as residuals just now).
-    for (size_t p = 0; p < query.equi_joins.size(); ++p) {
-      const EquiJoin& ej = query.equi_joins[p];
-      if (bound[ej.left_term] && bound[ej.right_term]) pred_used[p] = true;
-    }
-    current = std::move(filtered);
-    if (current.empty()) break;  // no output; still a valid (empty) result
+    current = std::move(joined);
   }
 
   // Assemble output: concatenated tuple in term order, residual selection,
   // projection, sign.
   DeltaRows out;
+  out.reserve(current.size());
   size_t total_width = 0;
   for (size_t w : widths) total_width += w;
 
-  for (const PartialRow& pr : current) {
-    if (pr.count == 0) continue;
-    Tuple concat;
-    concat.reserve(total_width);
+  for (size_t r = 0; r < current.size(); ++r) {
+    if (current.count(r) == 0) continue;
+    const uint32_t* slots = current.slots(r);
     bool complete = true;
     for (size_t i = 0; i < n; ++i) {
-      if (pr.slot[i] == kUnbound) {
+      if (slots[i] == kUnbound) {
         complete = false;
         break;
       }
-      const Tuple& piece = arena[i][pr.slot[i]].tuple;
+    }
+    if (!complete) continue;  // empty-level break left partial rows unbound
+    Tuple concat;
+    concat.reserve(total_width);
+    for (size_t i = 0; i < n; ++i) {
+      const Tuple& piece = arena[i].tuple(slots[i]);
       concat.insert(concat.end(), piece.begin(), piece.end());
     }
-    if (!complete) continue;  // current.empty() break left partial rows out
     if (residual && !residual->EvalBool(concat)) continue;
     Tuple projected;
     if (query.projection.empty()) {
@@ -406,9 +718,14 @@ Result<DeltaRows> JoinExecutor::Execute(const JoinQuery& query, Txn* txn,
       projected.reserve(query.projection.size());
       for (size_t idx : query.projection) projected.push_back(concat[idx]);
     }
-    out.emplace_back(std::move(projected), pr.count * query.sign, pr.ts);
+    out.emplace_back(std::move(projected), current.count(r) * query.sign,
+                     current.ts(r));
   }
   local.output_rows = out.size();
+  local.exec_nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - exec_start)
+          .count());
   if (stats != nullptr) stats->Add(local);
   return out;
 }

@@ -2,13 +2,27 @@
 //
 // JoinExecutor: evaluates a JoinQuery against a Db.
 //
-// Strategy: greedy left-deep join starting from the smallest materialized
-// (kRows) term. Each next term is chosen among terms connected to the bound
-// set by at least one equi-join predicate; a base term whose join column is
-// hash-indexed is fetched by per-row index probes (the common case for
-// propagation queries: small delta range driving lookups into large base
-// tables), otherwise the term is materialized and hash-joined. Disconnected
-// terms fall back to a cartesian product.
+// Strategy: greedy left-deep join starting from the smallest *admitted*
+// (post-pushdown) materialized kRows term. Each next term is chosen among
+// terms connected to the bound set by at least one equi-join predicate:
+//
+//  * snapshot-keyed base terms (kBaseSnapshot, or kBaseCurrent covered by
+//    JoinQuery::current_snapshot_hint) join through the engine's BuildCache
+//    when a cached build is resident or the driving side is large enough to
+//    amortize one -- the cached hash table is shared by every propagation
+//    query at the same (table, last-change CSN, join columns, pushed
+//    predicate);
+//  * otherwise a base term whose join column is hash-indexed is fetched by
+//    per-row index probes (small delta driving lookups into a large base
+//    table);
+//  * otherwise the term is materialized and hash-joined; disconnected terms
+//    fall back to a cartesian product.
+//
+// Zero-copy contract: input tuples are *borrowed* wherever their storage
+// outlives the query -- kRows tuples in place from the caller's DeltaRows,
+// cache-served tuples from the pinned immutable entry -- and only probe /
+// uncached-scan results are deep-copied into executor-owned storage.
+// ExecStats::rows_copied / rows_borrowed account the split.
 //
 // Current-state base reads require `txn` to hold (at least) an S lock on
 // the table; the executor acquires it if the caller has not.
@@ -19,6 +33,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "ra/build_cache.h"
 #include "ra/join_query.h"
 #include "storage/db.h"
 
@@ -26,7 +41,15 @@ namespace rollview {
 
 class JoinExecutor {
  public:
-  explicit JoinExecutor(Db* db) : db_(db) {}
+  // Uses the engine's shared BuildCache (nullptr when disabled).
+  explicit JoinExecutor(Db* db) : db_(db), cache_(db->build_cache()) {}
+  // Explicit cache override; pass nullptr to force uncached execution.
+  JoinExecutor(Db* db, BuildCache* cache) : db_(db), cache_(cache) {}
+
+  // Once the driving partial-row set is at least this large, a snapshot-
+  // keyed term is joined through a (new) cached build instead of per-row
+  // index probes; below it, a build is only used when already resident.
+  static constexpr size_t kCachedBuildThreshold = 64;
 
   // Evaluates `query`. `txn` is required iff any term is kBaseCurrent.
   // `stats`, if non-null, is incremented with this execution's work.
@@ -35,6 +58,7 @@ class JoinExecutor {
 
  private:
   Db* db_;
+  BuildCache* cache_;
 };
 
 }  // namespace rollview

@@ -33,16 +33,24 @@ struct TermSource {
   Kind kind = Kind::kBaseCurrent;
   TableId table = kInvalidTableId;  // identifies the relation (all kinds)
   Csn snapshot_csn = kNullCsn;      // kBaseSnapshot only
-  const DeltaRows* rows = nullptr;  // kRows only
+  // kRows only: exactly one of `rows` (owned elsewhere, copied storage) or
+  // `row_refs` (zero-copy borrow, e.g. DeltaTable::ScanRefs under a pin) is
+  // set; the caller keeps both the container and -- for row_refs -- the
+  // pinned underlying rows alive for the whole execution.
+  const DeltaRows* rows = nullptr;
+  const DeltaRowRefs* row_refs = nullptr;
 
   static TermSource BaseCurrent(TableId table) {
-    return TermSource{Kind::kBaseCurrent, table, kNullCsn, nullptr};
+    return TermSource{Kind::kBaseCurrent, table, kNullCsn, nullptr, nullptr};
   }
   static TermSource BaseSnapshot(TableId table, Csn csn) {
-    return TermSource{Kind::kBaseSnapshot, table, csn, nullptr};
+    return TermSource{Kind::kBaseSnapshot, table, csn, nullptr, nullptr};
   }
   static TermSource Rows(TableId table, const DeltaRows* rows) {
-    return TermSource{Kind::kRows, table, kNullCsn, rows};
+    return TermSource{Kind::kRows, table, kNullCsn, rows, nullptr};
+  }
+  static TermSource RowRefs(TableId table, const DeltaRowRefs* refs) {
+    return TermSource{Kind::kRows, table, kNullCsn, nullptr, refs};
   }
 };
 
@@ -64,6 +72,14 @@ struct JoinQuery {
   std::vector<size_t> projection;
   // Multiplied into every output count (compensation queries pass -1).
   int64_t sign = +1;
+  // Optional optimizer hint: the stable CSN whose snapshot is known to equal
+  // the current-visible state of every kBaseCurrent term. Valid only when
+  // the executing transaction holds (at least) S locks on those tables and
+  // has no pending writes on them -- then strict 2PL guarantees no version
+  // can commit or change underneath, so current == SnapshotScan(hint). Set
+  // by QueryRunner/SyncRefresher after lock acquisition; lets the executor
+  // serve kBaseCurrent terms from the snapshot-keyed BuildCache.
+  Csn current_snapshot_hint = kNullCsn;
 };
 
 // Execution statistics, accumulated across queries by the IVM layer to
@@ -76,6 +92,23 @@ struct ExecStats {
   // Rows eliminated early by single-term conjuncts of the residual
   // selection pushed below the join.
   uint64_t pushdown_filtered = 0;
+  // Zero-copy accounting: input rows deep-copied into executor-owned
+  // storage vs borrowed (referenced in place from caller-owned delta rows
+  // or pinned immutable cache entries). Entry *builds* are not counted here
+  // -- they are amortized across queries and tracked via build_cache_misses
+  // and build_nanos -- so a warm cached query reports rows_copied == 0 on
+  // its snapshot-served terms.
+  uint64_t rows_copied = 0;
+  uint64_t rows_borrowed = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t bytes_borrowed = 0;
+  // BuildCache traffic attributable to these queries.
+  uint64_t build_cache_hits = 0;
+  uint64_t build_cache_misses = 0;
+  uint64_t build_nanos = 0;  // time spent building cache entries (misses)
+  // Wall time inside JoinExecutor::Execute (includes build_nanos), so
+  // callers can split executor cost from transaction/WAL/capture overhead.
+  uint64_t exec_nanos = 0;
 
   void Add(const ExecStats& o) {
     input_rows += o.input_rows;
@@ -83,6 +116,14 @@ struct ExecStats {
     output_rows += o.output_rows;
     queries += o.queries;
     pushdown_filtered += o.pushdown_filtered;
+    rows_copied += o.rows_copied;
+    rows_borrowed += o.rows_borrowed;
+    bytes_copied += o.bytes_copied;
+    bytes_borrowed += o.bytes_borrowed;
+    build_cache_hits += o.build_cache_hits;
+    build_cache_misses += o.build_cache_misses;
+    build_nanos += o.build_nanos;
+    exec_nanos += o.exec_nanos;
   }
 };
 

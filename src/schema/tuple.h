@@ -50,6 +50,10 @@ struct DeltaRow {
 // contents and of propagation-query results.
 using DeltaRows = std::vector<DeltaRow>;
 
+// Borrowed view of delta rows owned elsewhere (see DeltaTable::ScanRefs):
+// the zero-copy counterpart of DeltaRows for read-only consumers.
+using DeltaRowRefs = std::vector<const DeltaRow*>;
+
 }  // namespace rollview
 
 #endif  // ROLLVIEW_SCHEMA_TUPLE_H_

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "ra/build_cache.h"
 #include "storage/wal_codec.h"
 
 namespace rollview {
@@ -9,7 +10,11 @@ namespace rollview {
 Db::Db(DbOptions options)
     : options_(options),
       lock_manager_(options.lock_options),
-      wall_clock_([] { return std::chrono::system_clock::now(); }) {}
+      wall_clock_([] { return std::chrono::system_clock::now(); }) {
+  if (options_.build_cache_bytes > 0) {
+    build_cache_ = std::make_unique<BuildCache>(options_.build_cache_bytes);
+  }
+}
 
 Db::~Db() = default;
 
@@ -505,6 +510,10 @@ void Db::GarbageCollect(Csn horizon) {
     // at horizon h drops versions with end_csn <= h, so h must stay <= s.
     horizon = oldest_pin;
   }
+  // Invalidate cached builds first: entries with snapshot_csn < horizon are
+  // about to become non-rebuildable from the version store, and a post-GC
+  // miss at such a snapshot would silently rebuild from collected history.
+  if (build_cache_ != nullptr) build_cache_->InvalidateBelow(horizon);
   std::lock_guard<std::mutex> lk(catalog_mu_);
   for (auto& [id, e] : tables_) {
     e->table->GarbageCollect(horizon);

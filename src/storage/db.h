@@ -62,9 +62,15 @@ struct DbOptions {
   // become no-ops). Classic contention/overhead trade: fewer lock-manager
   // entries, coarser conflicts. 0 disables escalation.
   size_t lock_escalation_threshold = 0;
+  // Byte budget of the snapshot-keyed join BuildCache shared by every
+  // JoinExecutor running against this engine (src/ra/build_cache.h).
+  // 0 disables the cache entirely (build_cache() returns nullptr).
+  size_t build_cache_bytes = 64u << 20;
 };
 
 using TuplePredicate = std::function<bool(const Tuple&)>;
+
+class BuildCache;
 
 class Db {
  public:
@@ -180,6 +186,12 @@ class Db {
   // Largest CSN all of whose effects are stamped and snapshot-readable.
   Csn stable_csn() const { return stable_csn_.load(std::memory_order_acquire); }
 
+  // Shared snapshot-keyed join build cache; nullptr when disabled
+  // (DbOptions::build_cache_bytes == 0). GarbageCollect invalidates entries
+  // below its horizon so the cache never serves snapshots the version store
+  // can no longer reproduce.
+  BuildCache* build_cache() const { return build_cache_.get(); }
+
   // Wall-clock time the commit path records into the UOW table. Benchmarks
   // leave the default (system_clock::now).
   void SetWallClock(std::function<WallTime()> clock);
@@ -240,6 +252,7 @@ class Db {
   LockManager lock_manager_;
   Wal wal_;
   UowTable uow_;
+  std::unique_ptr<BuildCache> build_cache_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
 
   mutable std::mutex catalog_mu_;

@@ -71,6 +71,7 @@ void VersionedTable::CommitInsert(size_t slot, Csn csn) {
   assert(v.begin_csn == kNullCsn && !v.insert_aborted);
   v.begin_csn = csn;
   v.begin_txn = kInvalidTxnId;
+  if (csn > last_change_csn_) last_change_csn_ = csn;
 }
 
 void VersionedTable::CommitDelete(size_t slot, Csn csn) {
@@ -79,6 +80,7 @@ void VersionedTable::CommitDelete(size_t slot, Csn csn) {
   assert(v.end_txn != kInvalidTxnId && v.end_csn == kMaxCsn);
   v.end_csn = csn;
   v.end_txn = kInvalidTxnId;
+  if (csn > last_change_csn_) last_change_csn_ = csn;
 }
 
 void VersionedTable::AbortInsert(size_t slot) {
@@ -97,68 +99,98 @@ void VersionedTable::AbortDelete(size_t slot) {
 }
 
 template <typename Visible>
-std::vector<Tuple> VersionedTable::ScanImpl(
-    Visible visible, const std::function<bool(const Tuple&)>* pred) const {
+void VersionedTable::ScanVisitImpl(
+    Visible visible, const std::function<bool(const Tuple&)>* pred,
+    const std::function<void(const Tuple&)>& fn) const {
   std::shared_lock<std::shared_mutex> lk(latch_);
-  std::vector<Tuple> out;
   for (const Version& v : versions_) {
     if (!visible(v)) continue;
     if (pred != nullptr && !(*pred)(v.tuple)) continue;
-    out.push_back(v.tuple);
+    fn(v.tuple);
   }
-  return out;
+}
+
+template <typename Visible>
+void VersionedTable::ProbeVisitImpl(
+    Visible visible, size_t col, const Value& key,
+    const std::function<void(const Tuple&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  for (size_t i = 0; i < indexed_columns_.size(); ++i) {
+    if (indexed_columns_[i] != col) continue;
+    auto it = indexes_[i].find(key);
+    if (it == indexes_[i].end()) return;
+    for (size_t slot : it->second) {
+      const Version& v = versions_[slot];
+      if (visible(v)) fn(v.tuple);
+    }
+    return;
+  }
+  assert(false && "probe on a non-indexed column");
+}
+
+void VersionedTable::ScanVisitCurrent(
+    TxnId txn, const std::function<void(const Tuple&)>& fn,
+    const std::function<bool(const Tuple&)>* pred) const {
+  ScanVisitImpl([&](const Version& v) { return VisibleToTxn(v, txn); }, pred,
+                fn);
+}
+
+void VersionedTable::ScanVisitSnapshot(
+    Csn csn, const std::function<void(const Tuple&)>& fn,
+    const std::function<bool(const Tuple&)>* pred) const {
+  ScanVisitImpl([&](const Version& v) { return VisibleAt(v, csn); }, pred, fn);
+}
+
+void VersionedTable::ProbeVisitCurrent(
+    TxnId txn, size_t col, const Value& key,
+    const std::function<void(const Tuple&)>& fn) const {
+  ProbeVisitImpl([&](const Version& v) { return VisibleToTxn(v, txn); }, col,
+                 key, fn);
+}
+
+void VersionedTable::ProbeVisitSnapshot(
+    Csn csn, size_t col, const Value& key,
+    const std::function<void(const Tuple&)>& fn) const {
+  ProbeVisitImpl([&](const Version& v) { return VisibleAt(v, csn); }, col, key,
+                 fn);
 }
 
 std::vector<Tuple> VersionedTable::CurrentScan(TxnId txn) const {
-  return ScanImpl([&](const Version& v) { return VisibleToTxn(v, txn); },
-                  nullptr);
+  std::vector<Tuple> out;
+  ScanVisitCurrent(txn, [&](const Tuple& t) { out.push_back(t); });
+  return out;
 }
 
 std::vector<Tuple> VersionedTable::CurrentScanWhere(
     TxnId txn, const std::function<bool(const Tuple&)>& pred) const {
-  return ScanImpl([&](const Version& v) { return VisibleToTxn(v, txn); },
-                  &pred);
+  std::vector<Tuple> out;
+  ScanVisitCurrent(txn, [&](const Tuple& t) { out.push_back(t); }, &pred);
+  return out;
 }
 
 std::vector<Tuple> VersionedTable::SnapshotScan(Csn csn) const {
-  return ScanImpl([&](const Version& v) { return VisibleAt(v, csn); },
-                  nullptr);
+  std::vector<Tuple> out;
+  ScanVisitSnapshot(csn, [&](const Tuple& t) { out.push_back(t); });
+  return out;
 }
 
 std::vector<Tuple> VersionedTable::CurrentProbe(TxnId txn, size_t col,
                                                 const Value& key) const {
-  std::shared_lock<std::shared_mutex> lk(latch_);
   std::vector<Tuple> out;
-  for (size_t i = 0; i < indexed_columns_.size(); ++i) {
-    if (indexed_columns_[i] != col) continue;
-    auto it = indexes_[i].find(key);
-    if (it == indexes_[i].end()) return out;
-    for (size_t slot : it->second) {
-      const Version& v = versions_[slot];
-      if (VisibleToTxn(v, txn)) out.push_back(v.tuple);
-    }
-    return out;
-  }
-  assert(false && "CurrentProbe on a non-indexed column");
+  ProbeVisitCurrent(txn, col, key, [&](const Tuple& t) { out.push_back(t); });
   return out;
 }
 
 std::vector<Tuple> VersionedTable::SnapshotProbe(Csn csn, size_t col,
                                                  const Value& key) const {
-  std::shared_lock<std::shared_mutex> lk(latch_);
   std::vector<Tuple> out;
-  for (size_t i = 0; i < indexed_columns_.size(); ++i) {
-    if (indexed_columns_[i] != col) continue;
-    auto it = indexes_[i].find(key);
-    if (it == indexes_[i].end()) return out;
-    for (size_t slot : it->second) {
-      const Version& v = versions_[slot];
-      if (VisibleAt(v, csn)) out.push_back(v.tuple);
-    }
-    return out;
-  }
-  assert(false && "SnapshotProbe on a non-indexed column");
+  ProbeVisitSnapshot(csn, col, key, [&](const Tuple& t) { out.push_back(t); });
   return out;
+}
+
+Csn VersionedTable::last_change_csn() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return last_change_csn_;
 }
 
 size_t VersionedTable::LiveSize() const {

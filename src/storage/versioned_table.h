@@ -83,6 +83,25 @@ class VersionedTable {
 
   // --- Read path ---
 
+  // Visitor scans/probes: invoke `fn` on every visible tuple while holding
+  // the shared latch, without copying. The `const Tuple&` passed to `fn` is
+  // valid ONLY for the duration of the callback -- callers that need the
+  // tuple afterwards must copy it (version slots can move under concurrent
+  // appends and GC compaction once the latch drops). `fn` must not re-enter
+  // this table (the latch is held) and must not block. The optional `pred`
+  // filters before `fn` sees the tuple.
+  void ScanVisitCurrent(
+      TxnId txn, const std::function<void(const Tuple&)>& fn,
+      const std::function<bool(const Tuple&)>* pred = nullptr) const;
+  void ScanVisitSnapshot(
+      Csn csn, const std::function<void(const Tuple&)>& fn,
+      const std::function<bool(const Tuple&)>* pred = nullptr) const;
+  // Index-probe visitors; `col` must be one of indexed_columns().
+  void ProbeVisitCurrent(TxnId txn, size_t col, const Value& key,
+                         const std::function<void(const Tuple&)>& fn) const;
+  void ProbeVisitSnapshot(Csn csn, size_t col, const Value& key,
+                          const std::function<void(const Tuple&)>& fn) const;
+
   // All tuples visible to `txn` right now (committed + own pending).
   std::vector<Tuple> CurrentScan(TxnId txn) const;
   // Visible tuples matching `pred`.
@@ -98,6 +117,13 @@ class VersionedTable {
   std::vector<Tuple> SnapshotProbe(Csn csn, size_t col,
                                    const Value& key) const;
 
+  // Highest commit CSN stamped on any version (insert or delete) of this
+  // table; kNullCsn if never written. For any csn c <= the manager's stable
+  // CSN with last_change_csn() <= c, the table's content at c equals its
+  // content at last_change_csn() -- the BuildCache uses this to canonicalize
+  // snapshot keys so queries at successive quiescent CSNs share one entry.
+  Csn last_change_csn() const;
+
   // Number of currently committed-visible rows (approximate live size).
   size_t LiveSize() const;
   // Total versions retained (live + historical).
@@ -112,9 +138,12 @@ class VersionedTable {
   bool VisibleAt(const Version& v, Csn csn) const;
 
   template <typename Visible>
-  std::vector<Tuple> ScanImpl(Visible visible,
-                              const std::function<bool(const Tuple&)>* pred)
-      const;
+  void ScanVisitImpl(Visible visible,
+                     const std::function<bool(const Tuple&)>* pred,
+                     const std::function<void(const Tuple&)>& fn) const;
+  template <typename Visible>
+  void ProbeVisitImpl(Visible visible, size_t col, const Value& key,
+                      const std::function<void(const Tuple&)>& fn) const;
 
   TableId id_;
   std::string name_;
@@ -123,6 +152,7 @@ class VersionedTable {
 
   mutable std::shared_mutex latch_;
   std::vector<Version> versions_;
+  Csn last_change_csn_ = kNullCsn;  // max CSN ever stamped (guarded by latch_)
   // One hash index per indexed column: key value -> version slots. Entries
   // are added at insert time and filtered through visibility at probe time;
   // GarbageCollect purges dead entries.

@@ -94,5 +94,62 @@ TEST(DeltaTableTest, AppendBatchKeepsOrderAndMaxTs) {
   EXPECT_EQ(dt.max_ts(), 3u);
 }
 
+TEST(DeltaTableTest, ScanRefsMatchesScan) {
+  DeltaTable dt("d", OneCol(), true);
+  for (Csn ts = 1; ts <= 10; ++ts) {
+    dt.Append(Row(static_cast<int64_t>(ts), +1, ts));
+  }
+  DeltaTable::Pin pin;
+  DeltaRowRefs refs = dt.ScanRefs(CsnRange{3, 7}, &pin);
+  DeltaRows rows = dt.Scan(CsnRange{3, 7});
+  ASSERT_EQ(refs.size(), rows.size());
+  for (size_t i = 0; i < refs.size(); ++i) EXPECT_EQ(*refs[i], rows[i]);
+}
+
+TEST(DeltaTableTest, ScanRefsSurviveAppendsAndPinDefersPrune) {
+  DeltaTable dt("d", OneCol(), true);
+  for (Csn ts = 1; ts <= 100; ++ts) {
+    dt.Append(Row(static_cast<int64_t>(ts), +1, ts));
+  }
+  DeltaTable::Pin pin;
+  DeltaRowRefs refs = dt.ScanRefs(CsnRange{0, 100}, &pin);
+  ASSERT_EQ(refs.size(), 100u);
+
+  // Concurrent-append simulation: enough growth to force reallocation in a
+  // vector-backed store; deque storage must keep the borrowed refs valid.
+  for (Csn ts = 101; ts <= 2000; ++ts) {
+    dt.Append(Row(static_cast<int64_t>(ts), +1, ts));
+  }
+  // Pruning is deferred while the pin is live.
+  EXPECT_EQ(dt.Prune(50), 0u);
+  EXPECT_EQ(dt.size(), 2000u);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    EXPECT_EQ(refs[i]->ts, static_cast<Csn>(i + 1));
+    EXPECT_EQ(refs[i]->tuple[0], Value(static_cast<int64_t>(i + 1)));
+  }
+
+  // Releasing the pin re-enables pruning.
+  pin = DeltaTable::Pin();
+  EXPECT_EQ(dt.Prune(50), 50u);
+  EXPECT_EQ(dt.size(), 1950u);
+}
+
+TEST(DeltaTableTest, PinIsMoveOnlyAndReleasesOnce) {
+  DeltaTable dt("d", OneCol(), true);
+  dt.Append(Row(1, +1, 1));
+  DeltaTable::Pin outer;
+  {
+    DeltaTable::Pin a;
+    DeltaRowRefs refs = dt.ScanRefs(CsnRange{0, 10}, &a);
+    ASSERT_EQ(refs.size(), 1u);
+    EXPECT_EQ(dt.Prune(10), 0u);
+    outer = std::move(a);  // a no longer holds the pin
+  }
+  // `a` destructed but the pin moved out of it: still deferred.
+  EXPECT_EQ(dt.Prune(10), 0u);
+  outer = DeltaTable::Pin();
+  EXPECT_EQ(dt.Prune(10), 1u);
+}
+
 }  // namespace
 }  // namespace rollview

@@ -1,0 +1,356 @@
+// BuildCache: hit/miss accounting, key aliasing, LRU eviction, GC
+// invalidation, and the executor's zero-copy cached-build path.
+
+#include "ra/build_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "ra/executor.h"
+#include "ra/net_effect.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+BuildCache::Builder OneTupleBuilder(int64_t tag) {
+  return [tag](BuildCache::Entry* e) {
+    e->tuples.push_back(T(tag, tag * 10));
+    return Status::OK();
+  };
+}
+
+TEST(BuildCacheTest, MissBuildsThenHits) {
+  BuildCache cache(1 << 20);
+  BuildCache::Key key{TableId{1}, Csn{7}, {}, ""};
+
+  ASSERT_OK_AND_ASSIGN(BuildCache::Lookup first,
+                       cache.GetOrBuild(key, OneTupleBuilder(1)));
+  EXPECT_FALSE(first.hit);
+  ASSERT_NE(first.entry, nullptr);
+  ASSERT_EQ(first.entry->tuples.size(), 1u);
+  EXPECT_GT(first.entry->bytes, 0u);
+
+  // The second lookup must return the same entry and must not rebuild.
+  ASSERT_OK_AND_ASSIGN(BuildCache::Lookup second,
+                       cache.GetOrBuild(key, OneTupleBuilder(2)));
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.entry.get(), first.entry.get());
+  EXPECT_EQ(second.entry->tuples[0][0], Value(int64_t{1}));
+
+  BuildCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(BuildCacheTest, DistinctPredicateFingerprintsDoNotAlias) {
+  BuildCache cache(1 << 20);
+  BuildCache::Key base{TableId{1}, Csn{7}, {0}, "(c0 >= 10)"};
+  BuildCache::Key other = base;
+  other.pred_fingerprint = "(c0 >= 11)";
+
+  ASSERT_OK_AND_ASSIGN(BuildCache::Lookup a,
+                       cache.GetOrBuild(base, OneTupleBuilder(10)));
+  ASSERT_OK_AND_ASSIGN(BuildCache::Lookup b,
+                       cache.GetOrBuild(other, OneTupleBuilder(11)));
+  EXPECT_FALSE(b.hit);
+  EXPECT_NE(a.entry.get(), b.entry.get());
+  EXPECT_EQ(a.entry->tuples[0][0], Value(int64_t{10}));
+  EXPECT_EQ(b.entry->tuples[0][0], Value(int64_t{11}));
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // Same for differing join-column sets and snapshots.
+  BuildCache::Key cols = base;
+  cols.join_cols = {1};
+  ASSERT_OK_AND_ASSIGN(BuildCache::Lookup c,
+                       cache.GetOrBuild(cols, OneTupleBuilder(12)));
+  EXPECT_FALSE(c.hit);
+  BuildCache::Key csn = base;
+  csn.snapshot_csn = Csn{8};
+  ASSERT_OK_AND_ASSIGN(BuildCache::Lookup d,
+                       cache.GetOrBuild(csn, OneTupleBuilder(13)));
+  EXPECT_FALSE(d.hit);
+  EXPECT_EQ(cache.entry_count(), 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(BuildCacheTest, LruEvictionRespectsByteBudgetAndRecency) {
+  // Budget fits roughly two one-tuple entries; entry bytes are approximate,
+  // so size the budget from a probe entry.
+  BuildCache probe(1 << 20);
+  ASSERT_OK_AND_ASSIGN(
+      BuildCache::Lookup sized,
+      probe.GetOrBuild(BuildCache::Key{TableId{9}, Csn{1}, {}, ""},
+                       OneTupleBuilder(0)));
+  size_t one = probe.resident_bytes();
+  ASSERT_GT(one, 0u);
+  (void)sized;
+
+  BuildCache cache(2 * one + one / 2);
+  auto key = [](uint64_t csn) {
+    return BuildCache::Key{TableId{1}, Csn{csn}, {}, ""};
+  };
+  ASSERT_OK(cache.GetOrBuild(key(1), OneTupleBuilder(1)).status());
+  ASSERT_OK(cache.GetOrBuild(key(2), OneTupleBuilder(2)).status());
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // Touch key(1) so key(2) is the LRU victim when key(3) arrives.
+  ASSERT_OK_AND_ASSIGN(BuildCache::Lookup touch,
+                       cache.GetOrBuild(key(1), OneTupleBuilder(1)));
+  EXPECT_TRUE(touch.hit);
+  ASSERT_OK(cache.GetOrBuild(key(3), OneTupleBuilder(3)).status());
+
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Peek(key(1)), nullptr);
+  EXPECT_EQ(cache.Peek(key(2)), nullptr);
+  EXPECT_NE(cache.Peek(key(3)), nullptr);
+  EXPECT_LE(cache.resident_bytes(), cache.byte_budget());
+}
+
+TEST(BuildCacheTest, EvictionDoesNotInvalidateBorrowedEntries) {
+  BuildCache cache(1);  // everything over budget: next insert evicts
+  BuildCache::Key key{TableId{1}, Csn{1}, {}, ""};
+  ASSERT_OK_AND_ASSIGN(BuildCache::Lookup held,
+                       cache.GetOrBuild(key, OneTupleBuilder(42)));
+  const Tuple* borrowed = &held.entry->tuples[0];
+
+  BuildCache::Key other{TableId{1}, Csn{2}, {}, ""};
+  ASSERT_OK(cache.GetOrBuild(other, OneTupleBuilder(43)).status());
+  EXPECT_EQ(cache.Peek(key), nullptr);  // evicted...
+  // ...but the held shared_ptr keeps the tuples alive and unchanged.
+  EXPECT_EQ((*borrowed)[0], Value(int64_t{42}));
+}
+
+TEST(BuildCacheTest, InvalidateBelowDropsOnlyOlderSnapshots) {
+  BuildCache cache(1 << 20);
+  auto key = [](uint64_t csn) {
+    return BuildCache::Key{TableId{1}, Csn{csn}, {}, ""};
+  };
+  for (uint64_t c : {5u, 10u, 15u}) {
+    ASSERT_OK(cache.GetOrBuild(key(c), OneTupleBuilder(c)).status());
+  }
+  cache.InvalidateBelow(Csn{10});
+  EXPECT_EQ(cache.Peek(key(5)), nullptr);
+  EXPECT_NE(cache.Peek(key(10)), nullptr);  // horizon itself survives
+  EXPECT_NE(cache.Peek(key(15)), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  cache.InvalidateTable(TableId{1});
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+class BuildCacheDbTest : public ::testing::Test {
+ protected:
+  // Tables deliberately have no hash index, so snapshot-keyed terms go
+  // through the cached-join path rather than per-row index probes.
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        r_, db_.CreateTable("R", Schema({Column{"a", ValueType::kInt64},
+                                         Column{"rv", ValueType::kInt64}})));
+    ASSERT_OK_AND_ASSIGN(
+        s_, db_.CreateTable("S", Schema({Column{"a", ValueType::kInt64},
+                                         Column{"sv", ValueType::kInt64}})));
+    auto txn = db_.Begin();
+    for (int64_t i = 0; i < 8; ++i) {
+      ASSERT_OK(db_.Insert(txn.get(), r_, T(i % 4, i)));
+      ASSERT_OK(db_.Insert(txn.get(), s_, T(i % 4, 100 + i)));
+    }
+    ASSERT_OK(db_.Commit(txn.get()));
+    load_csn_ = txn->commit_csn();
+  }
+
+  JoinQuery SnapshotJoin(Csn t) const {
+    JoinQuery q;
+    q.terms = {TermSource::BaseSnapshot(r_, t), TermSource::BaseSnapshot(s_, t)};
+    q.equi_joins = {EquiJoin{0, 0, 1, 0}};
+    return q;
+  }
+
+  Db db_;
+  TableId r_ = kInvalidTableId;
+  TableId s_ = kInvalidTableId;
+  Csn load_csn_ = kNullCsn;
+};
+
+TEST_F(BuildCacheDbTest, CachedSnapshotQueryBorrowsEverythingCopiesNothing) {
+  ASSERT_NE(db_.build_cache(), nullptr);
+  JoinExecutor cached(&db_);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(DeltaRows first,
+                       cached.Execute(SnapshotJoin(load_csn_), nullptr, &stats));
+  EXPECT_EQ(first.size(), 16u);  // 4 keys x 2 x 2
+  // Acceptance: zero tuple deep-copies on the snapshot-scan path when every
+  // base term is served by a cached build.
+  EXPECT_EQ(stats.rows_copied, 0u);
+  EXPECT_EQ(stats.bytes_copied, 0u);
+  EXPECT_GT(stats.rows_borrowed, 0u);
+  EXPECT_GT(stats.build_cache_misses, 0u);
+  EXPECT_EQ(stats.build_cache_hits, 0u);
+
+  // Same query again: every build is served from the cache.
+  ExecStats again;
+  ASSERT_OK_AND_ASSIGN(DeltaRows second,
+                       cached.Execute(SnapshotJoin(load_csn_), nullptr, &again));
+  EXPECT_EQ(again.build_cache_misses, 0u);
+  EXPECT_GT(again.build_cache_hits, 0u);
+  EXPECT_EQ(again.rows_copied, 0u);
+
+  // Cached and uncached execution are observationally identical.
+  JoinExecutor uncached(&db_, nullptr);
+  ExecStats raw;
+  ASSERT_OK_AND_ASSIGN(DeltaRows plain,
+                       uncached.Execute(SnapshotJoin(load_csn_), nullptr, &raw));
+  EXPECT_EQ(raw.build_cache_hits + raw.build_cache_misses, 0u);
+  EXPECT_GT(raw.rows_copied, 0u);  // the old copy-everything path
+  EXPECT_EQ(NetEffect(first), NetEffect(plain));
+  EXPECT_EQ(NetEffect(second), NetEffect(plain));
+}
+
+TEST_F(BuildCacheDbTest, PushedPredicatesKeySeparateEntries) {
+  JoinExecutor exec(&db_);
+  // Single-term predicate on S's payload column (global column 3) is pushed
+  // down into S's build; a different constant must not reuse the entry.
+  for (int64_t cut : {104, 106}) {
+    JoinQuery q = SnapshotJoin(load_csn_);
+    q.residual = Expr::Compare(Expr::CmpOp::kGe, Expr::Column(3),
+                               Expr::Literal(Value(cut)));
+    ExecStats stats;
+    ASSERT_OK_AND_ASSIGN(DeltaRows rows, exec.Execute(q, nullptr, &stats));
+    JoinExecutor uncached(&db_, nullptr);
+    ASSERT_OK_AND_ASSIGN(DeltaRows plain, uncached.Execute(q, nullptr));
+    EXPECT_EQ(NetEffect(rows), NetEffect(plain)) << "cut=" << cut;
+    for (const DeltaRow& row : rows) {
+      EXPECT_GE(row.tuple[3], Value(cut));
+    }
+  }
+  // The S builds were distinct keys (no cross-predicate aliasing): three
+  // entries total (predicate-free R scan + one S build per cut), and the
+  // only hit is the second query reusing the R scan.
+  EXPECT_EQ(db_.build_cache()->entry_count(), 3u);
+  EXPECT_EQ(db_.build_cache()->stats().hits, 1u);
+  EXPECT_EQ(db_.build_cache()->stats().misses, 3u);
+}
+
+TEST_F(BuildCacheDbTest, CurrentTermsWithHintServeFromCacheUnderSLock) {
+  JoinQuery q;
+  q.terms = {TermSource::BaseCurrent(r_), TermSource::BaseCurrent(s_)};
+  q.equi_joins = {EquiJoin{0, 0, 1, 0}};
+  q.current_snapshot_hint = db_.stable_csn();
+
+  JoinExecutor exec(&db_);
+  ExecStats stats;
+  for (int round = 0; round < 2; ++round) {
+    auto txn = db_.Begin();
+    ASSERT_OK_AND_ASSIGN(DeltaRows rows, exec.Execute(q, txn.get(), &stats));
+    ASSERT_OK(db_.Commit(txn.get()));
+    EXPECT_EQ(rows.size(), 16u);
+  }
+  // Both rounds used snapshot-keyed builds; the second round hit for both
+  // terms even though no snapshot CSN was spelled out in the query.
+  EXPECT_GT(stats.build_cache_misses, 0u);
+  EXPECT_GE(stats.build_cache_hits, 2u);
+  EXPECT_EQ(stats.rows_copied, 0u);
+}
+
+TEST_F(BuildCacheDbTest, HintIsIgnoredWhenTxnHasPendingWritesOnTheTable) {
+  auto txn = db_.Begin();
+  ASSERT_OK(db_.Insert(txn.get(), r_, T(0, 999)));  // uncommitted write on R
+
+  JoinQuery q;
+  q.terms = {TermSource::BaseCurrent(r_), TermSource::BaseCurrent(s_)};
+  q.equi_joins = {EquiJoin{0, 0, 1, 0}};
+  q.current_snapshot_hint = db_.stable_csn();
+  JoinExecutor exec(&db_);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(DeltaRows rows, exec.Execute(q, txn.get(), &stats));
+  ASSERT_OK(db_.Abort(txn.get()));
+
+  // The R term must read the transaction's own uncommitted row (current
+  // semantics), not a cached snapshot: the 2 S rows with key 0 join it.
+  EXPECT_EQ(rows.size(), 16u + 2u);
+}
+
+TEST_F(BuildCacheDbTest, GarbageCollectInvalidatesStaleSnapshots) {
+  JoinExecutor exec(&db_);
+  ASSERT_OK(exec.Execute(SnapshotJoin(load_csn_), nullptr).status());
+  ASSERT_GT(db_.build_cache()->entry_count(), 0u);
+
+  // Advance history past load_csn_, then GC above it: entries keyed at
+  // load_csn_ describe snapshots the version store can no longer rebuild,
+  // so they must be dropped.
+  auto txn = db_.Begin();
+  ASSERT_OK(db_.Insert(txn.get(), r_, T(0, 1000)));
+  ASSERT_OK(db_.Commit(txn.get()));
+  db_.GarbageCollect(db_.stable_csn());
+
+  EXPECT_EQ(db_.build_cache()->entry_count(), 0u);
+  EXPECT_GE(db_.build_cache()->stats().invalidations, 1u);
+
+  // Post-GC queries at the new snapshot rebuild and still agree with the
+  // uncached executor.
+  Csn now = db_.stable_csn();
+  ASSERT_OK_AND_ASSIGN(DeltaRows rows, exec.Execute(SnapshotJoin(now), nullptr));
+  JoinExecutor uncached(&db_, nullptr);
+  ASSERT_OK_AND_ASSIGN(DeltaRows plain,
+                       uncached.Execute(SnapshotJoin(now), nullptr));
+  EXPECT_EQ(NetEffect(rows), NetEffect(plain));
+}
+
+TEST_F(BuildCacheDbTest, LargeDeltaUpgradesIndexedProbeToCachedBuild) {
+  // An indexed table is normally probed per delta row; once the driving set
+  // reaches kCachedBuildThreshold the executor builds (and caches) a hash
+  // table instead, and later small queries reuse it via Peek.
+  TableOptions opts;
+  opts.indexed_columns = {0};
+  ASSERT_OK_AND_ASSIGN(
+      TableId big,
+      db_.CreateTable("Big", Schema({Column{"a", ValueType::kInt64},
+                                     Column{"bv", ValueType::kInt64}}),
+                      opts));
+  auto txn = db_.Begin();
+  for (int64_t i = 0; i < 32; ++i) {
+    ASSERT_OK(db_.Insert(txn.get(), big, T(i, i)));
+  }
+  ASSERT_OK(db_.Commit(txn.get()));
+  Csn t = txn->commit_csn();
+
+  DeltaRows delta;
+  const int64_t drive =
+      2 * static_cast<int64_t>(JoinExecutor::kCachedBuildThreshold);
+  for (int64_t i = 0; i < drive; ++i) {
+    delta.push_back(DeltaRow(T(i % 32, i), 1, Csn{5}));
+  }
+  JoinQuery q;
+  q.terms = {TermSource::Rows(big, &delta), TermSource::BaseSnapshot(big, t)};
+  q.equi_joins = {EquiJoin{0, 0, 1, 0}};
+
+  JoinExecutor exec(&db_);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(DeltaRows rows, exec.Execute(q, nullptr, &stats));
+  EXPECT_EQ(rows.size(), delta.size());
+  EXPECT_EQ(stats.index_probes, 0u);  // upgraded away from per-row probes
+  EXPECT_EQ(stats.build_cache_misses, 1u);
+  EXPECT_EQ(stats.rows_copied, 0u);
+
+  // A 1-row follow-up reuses the resident build instead of probing.
+  DeltaRows one{DeltaRow(T(3, 0), 1, Csn{6})};
+  JoinQuery q2 = q;
+  q2.terms[0] = TermSource::Rows(big, &one);
+  ExecStats small;
+  ASSERT_OK_AND_ASSIGN(DeltaRows rows2, exec.Execute(q2, nullptr, &small));
+  EXPECT_EQ(rows2.size(), 1u);
+  EXPECT_EQ(small.build_cache_hits, 1u);
+  EXPECT_EQ(small.index_probes, 0u);
+}
+
+}  // namespace
+}  // namespace rollview
