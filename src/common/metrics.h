@@ -26,6 +26,19 @@ class Counter {
   std::atomic<uint64_t> v_{0};
 };
 
+// A last-written-wins level metric: current staleness, the adaptive
+// controller's rows-per-query target, backlog depth. Unlike Counter it can
+// go down.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
 // Recorded in nanoseconds; reports percentiles. Mutex-guarded: recording
 // happens per transaction, orders of magnitude less often than lock/unlock.
 //

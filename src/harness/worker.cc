@@ -26,6 +26,13 @@ void Worker::Run() {
   auto next_due = Clock::now();
 
   while (running_.load(std::memory_order_relaxed)) {
+    if (options_.backpressure && options_.backpressure()) {
+      throttled_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(options_.backpressure_delay);
+      // Do not bank missed slots while throttled.
+      if (paced) next_due = Clock::now();
+      continue;
+    }
     if (paced) {
       auto now = Clock::now();
       if (now < next_due) {

@@ -29,6 +29,13 @@ class Worker {
     // the worker: it is counted in transient_errors() and the loop goes on.
     // Permanent errors always stop the worker and surface through Join().
     bool retry_transient_errors = false;
+    // Backpressure hook, polled before every iteration. While it returns
+    // true the worker sleeps backpressure_delay instead of running the
+    // body (counted in throttled_iterations). The shedding wiring point: a
+    // load generator passes [&svc] { return svc.shedding(); } so capture
+    // intake slows while maintenance digs out of its backlog.
+    std::function<bool()> backpressure;
+    std::chrono::microseconds backpressure_delay{1000};
   };
 
   // `body` runs once per iteration; a non-OK status stops the worker and is
@@ -53,6 +60,9 @@ class Worker {
   uint64_t transient_errors() const {
     return transient_errors_.load(std::memory_order_relaxed);
   }
+  uint64_t throttled_iterations() const {
+    return throttled_.load(std::memory_order_relaxed);
+  }
   const LatencyHistogram& latency() const { return latency_; }
   const std::string& name() const { return options_.name; }
 
@@ -66,6 +76,7 @@ class Worker {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> iterations_{0};
   std::atomic<uint64_t> transient_errors_{0};
+  std::atomic<uint64_t> throttled_{0};
   LatencyHistogram latency_;
   Status error_;
 };

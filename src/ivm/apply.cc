@@ -25,7 +25,7 @@ Status Applier::RollTo(Csn target) {
 
   // The transaction exists to serialize with MV readers through the lock
   // manager (X on the view resource); the MV itself is not an engine table.
-  std::unique_ptr<Txn> txn = views_->db()->Begin();
+  std::unique_ptr<Txn> txn = views_->db()->Begin(TxnClass::kMaintenance);
   Status s = views_->db()->LockNamedExclusive(txn.get(),
                                               view_->mv_lock_resource);
   if (!s.ok()) {

@@ -93,7 +93,7 @@ Result<Csn> SyncRefresher::RefreshEq1() {
   const size_t n = rv.num_terms();
   Csn t_old = view_->mv->csn();
 
-  std::unique_ptr<Txn> txn = db->Begin();
+  std::unique_ptr<Txn> txn = db->Begin(TxnClass::kMaintenance);
   auto fail = [&](Status s) -> Result<Csn> {
     db->Abort(txn.get()).ok();
     return s;
@@ -159,7 +159,7 @@ Result<Csn> SyncRefresher::RefreshFull() {
   Db* db = views_->db();
   const ResolvedView& rv = view_->resolved;
 
-  std::unique_ptr<Txn> txn = db->Begin();
+  std::unique_ptr<Txn> txn = db->Begin(TxnClass::kMaintenance);
   auto fail = [&](Status s) -> Result<Csn> {
     db->Abort(txn.get()).ok();
     return s;

@@ -125,6 +125,12 @@ class CheckpointManager {
   // Unconditional checkpoint (also resets the cadence counter).
   Status CheckpointNow();
 
+  // Adjusts the cadence; effective from the next OnStep. The shedding mode
+  // stretches it (checkpoints are safety net, not progress) and restores it
+  // on recovery. Same threading contract as OnStep.
+  void set_every_steps(uint64_t n) { options_.every_steps = n; }
+  uint64_t every_steps() const { return options_.every_steps; }
+
   uint64_t checkpoints_written() const { return written_; }
 
  private:

@@ -4,12 +4,27 @@
 // 5 and 10). The interval is the paper's tuning knob balancing per-query
 // cost against query count and contention (Sec. 3.3); RollingPropagate
 // allows one policy per base relation (Sec. 3.4).
+//
+// The paper leaves interval choice as an open tuning problem. The
+// IntervalController below closes the loop: it consumes a periodic
+// ContentionSnapshot (per-class lock-manager counters, driver step
+// outcomes, delta backlog, view staleness) and AIMD-adjusts a shared
+// rows-per-query target -- multiplicative shrink when foreground OLTP is
+// suffering (lock waits/timeouts) or maintenance keeps losing deadlocks,
+// additive grow when calm -- which AdaptiveContentionInterval translates
+// into per-relation CSN interval widths via DeltaTable::TsAfterRows. The
+// controller also runs the staleness-SLO hysteresis: sustained violation
+// under contention enters a shedding state (MaintenanceService reacts by
+// pausing non-critical work); recovery is hysteretic.
 
 #ifndef ROLLVIEW_IVM_INTERVAL_POLICY_H_
 #define ROLLVIEW_IVM_INTERVAL_POLICY_H_
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "capture/delta_table.h"
 #include "common/csn.h"
@@ -64,6 +79,138 @@ class DrainInterval : public IntervalPolicy {
   Csn NextBoundary(Csn from, Csn ready, const DeltaTable&) override {
     return std::max(from, ready);
   }
+};
+
+// One observation window of contention signals, assembled by
+// MaintenanceService after each propagation step from *deltas* of the
+// LockManager per-class counters, the driver's own step outcomes, and the
+// propagator's backlog. All fields are windowed counts except backlog_rows
+// and staleness, which are current levels. Staleness is measured in CSN
+// units (stable_csn - view high-water mark), keeping the controller free of
+// wall clocks and therefore deterministic under simulation.
+struct ContentionSnapshot {
+  // Foreground (OLTP-class) suffering: the signal the controller exists to
+  // minimize.
+  uint64_t oltp_waits = 0;
+  uint64_t oltp_timeouts = 0;
+  uint64_t oltp_deadlock_victims = 0;
+  uint64_t oltp_wait_nanos = 0;
+  // Maintenance-class suffering: mostly self-inflicted; victim aborts mean
+  // propagation transactions are repeatedly losing to OLTP.
+  uint64_t maintenance_waits = 0;
+  uint64_t maintenance_timeouts = 0;
+  uint64_t maintenance_deadlock_victims = 0;
+  // Driver-level outcomes in the window.
+  uint64_t steps = 0;
+  uint64_t step_transient_failures = 0;
+  uint64_t step_nanos = 0;
+  // Current levels.
+  uint64_t backlog_rows = 0;  // captured-but-unpropagated delta rows
+  Csn staleness = 0;          // stable_csn - view high-water mark
+};
+
+// Per-view AIMD controller over the rows-per-forward-query target, plus the
+// staleness-SLO shedding state machine. Purely reactive and clock-free: all
+// inputs arrive via Observe()/OnTransientStepFailure(), so unit tests drive
+// it with synthetic snapshot sequences. Thread-safe (the propagate driver
+// mutates it; policies and observers read it).
+class IntervalController {
+ public:
+  struct Options {
+    // AIMD bounds and steps for the rows-per-query target.
+    size_t initial_target_rows = 256;
+    size_t min_target_rows = 16;
+    size_t max_target_rows = 4096;
+    double shrink_factor = 0.5;  // multiplicative decrease when contended
+    size_t grow_rows = 32;       // additive increase when calm
+    // A window counts as contended when any of these thresholds is met.
+    uint64_t oltp_wait_threshold = 1;      // oltp waits + timeouts
+    uint64_t victim_threshold = 1;         // maintenance deadlock victims
+    // Time-domain AIMD: shrinking the row target alone cannot reduce the
+    // *rate* of lock-order collisions (smaller strips just run more
+    // often), so contended windows also escalate a recommended pause
+    // before the next strip -- multiplicative increase from pause_initial
+    // up to pause_max -- and calm windows decay it multiplicatively back
+    // to zero. The controller only recommends; MaintenanceService applies
+    // the pause between propagation steps. pause_initial == 0 disables
+    // pacing.
+    std::chrono::microseconds pause_initial{500};
+    std::chrono::microseconds pause_max{20000};
+    double pause_multiplier = 2.0;
+    double pause_decay = 0.5;
+    // Staleness SLO in CSN units; 0 disables the shedding state machine.
+    Csn staleness_slo = 0;
+    // Hysteresis: enter shedding after this many consecutive contended
+    // windows violating the SLO ...
+    int violations_to_shed = 3;
+    // ... and leave it after this many consecutive windows with staleness
+    // at or below slo * recover_fraction.
+    int ok_to_recover = 3;
+    double recover_fraction = 0.5;
+  };
+
+  struct Stats {
+    uint64_t observations = 0;
+    uint64_t shrinks = 0;            // multiplicative decreases (Observe)
+    uint64_t grows = 0;              // additive increases
+    uint64_t transient_shrinks = 0;  // OnTransientStepFailure decreases
+    uint64_t pace_escalations = 0;   // pause increases (either path)
+    uint64_t slo_violations = 0;     // contended windows over the SLO
+    uint64_t shed_entries = 0;
+    uint64_t shed_exits = 0;
+  };
+
+  IntervalController() : IntervalController(Options{}) {}
+  explicit IntervalController(Options options);
+
+  // Feeds one observation window; applies AIMD and advances the shedding
+  // state machine. Returns true if the shedding state changed.
+  bool Observe(const ContentionSnapshot& snapshot);
+
+  // Immediate multiplicative shrink on a transient step failure (deadlock
+  // victim or lock timeout), so the supervisor's retry of the step runs
+  // with the smaller interval rather than re-colliding at the old size.
+  void OnTransientStepFailure();
+
+  // Current rows-per-forward-query target, always within [min, max].
+  size_t target_rows() const;
+  // Recommended pause before the next propagation step; zero when calm.
+  std::chrono::microseconds recommended_pause() const;
+  // True while the SLO state machine is in its shedding state.
+  bool shedding() const;
+  Stats GetStats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  static bool Contended(const Options& opt, const ContentionSnapshot& s);
+  void ShrinkLocked();
+  void EscalatePauseLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  size_t target_rows_;
+  std::chrono::microseconds pause_{0};
+  bool shedding_ = false;
+  int consecutive_violations_ = 0;
+  int consecutive_ok_ = 0;
+  Stats stats_;
+};
+
+// Adaptive policy: sizes each relation's interval to the controller's
+// current rows-per-query target. One shared controller serves all of a
+// view's relations -- the per-relation delta densities (TsAfterRows) turn
+// the common row target into per-relation CSN widths, which is exactly the
+// paper's n-knob setup with the knobs coupled to one feedback signal.
+class AdaptiveContentionInterval : public IntervalPolicy {
+ public:
+  explicit AdaptiveContentionInterval(const IntervalController* controller)
+      : controller_(controller) {}
+
+  Csn NextBoundary(Csn from, Csn ready, const DeltaTable& delta) override;
+
+ private:
+  const IntervalController* controller_;
 };
 
 }  // namespace rollview

@@ -10,6 +10,8 @@ const char* DriverHealthName(DriverHealth health) {
       return "stopped";
     case DriverHealth::kRunning:
       return "running";
+    case DriverHealth::kShedding:
+      return "shedding";
     case DriverHealth::kDegraded:
       return "degraded";
     case DriverHealth::kFailed:
@@ -21,7 +23,14 @@ const char* DriverHealthName(DriverHealth health) {
 MaintenanceService::MaintenanceService(ViewManager* views, View* view,
                                        Options options)
     : views_(views), view_(view), options_(options) {
-  auto make_policy = [&] {
+  if (options_.interval_mode == Options::IntervalMode::kAdaptive) {
+    controller_ = std::make_unique<IntervalController>(options_.controller);
+    last_lock_stats_ = views_->db()->lock_manager()->GetStats();
+  }
+  auto make_policy = [&]() -> std::unique_ptr<IntervalPolicy> {
+    if (controller_ != nullptr) {
+      return std::make_unique<AdaptiveContentionInterval>(controller_.get());
+    }
     return std::make_unique<TargetRowsInterval>(
         options_.target_rows_per_query);
   };
@@ -63,26 +72,122 @@ const RunnerStats* MaintenanceService::runner_stats() const {
 }
 
 Status MaintenanceService::PropagateStep(bool* advanced) {
-  if (rolling_ != nullptr) {
-    Result<bool> r = rolling_->Step();
-    if (!r.ok()) return r.status();
-    *advanced = r.value();
-    if (!*advanced) {
-      // Settle the tail so the HWM can reach the frontier at quiescence.
-      Result<bool> settled = rolling_->TryFinish();
-      if (!settled.ok()) return settled.status();
+  Status s = [&]() -> Status {
+    if (rolling_ != nullptr) {
+      Result<bool> r = rolling_->Step();
+      if (!r.ok()) return r.status();
+      *advanced = r.value();
+      if (!*advanced) {
+        // Settle the tail so the HWM can reach the frontier at quiescence.
+        Result<bool> settled = rolling_->TryFinish();
+        if (!settled.ok()) return settled.status();
+      }
+    } else {
+      Result<bool> r = plain_->Step();
+      if (!r.ok()) return r.status();
+      *advanced = r.value();
     }
-  } else {
-    Result<bool> r = plain_->Step();
-    if (!r.ok()) return r.status();
-    *advanced = r.value();
+    if (*advanced && checkpointer_ != nullptr) {
+      // On the propagate driver thread, between steps: exactly the
+      // threading contract WriteViewCheckpoint requires.
+      ROLLVIEW_RETURN_NOT_OK(checkpointer_->OnStep());
+    }
+    return Status::OK();
+  }();
+
+  if (controller_ != nullptr) {
+    if (!s.ok() && s.IsTransient()) {
+      // Shrink *before* the supervisor's retry: the step re-runs with the
+      // smaller interval instead of re-colliding at the old size.
+      controller_->OnTransientStepFailure();
+    } else if (s.ok() && *advanced) {
+      ObserveContention();
+      // Contention pacing: space the next strip out in time. At the row
+      // floor this is the controller's only remaining lever against
+      // lock-order collisions with foreground transactions; it decays to
+      // zero within a few calm windows.
+      std::chrono::microseconds pause = controller_->recommended_pause();
+      if (pause.count() > 0) InterruptibleSleep(pause);
+    }
   }
-  if (*advanced && checkpointer_ != nullptr) {
-    // On the propagate driver thread, between steps: exactly the threading
-    // contract WriteViewCheckpoint requires.
-    ROLLVIEW_RETURN_NOT_OK(checkpointer_->OnStep());
+  return s;
+}
+
+void MaintenanceService::ObserveContention() {
+  // Saturating deltas: a concurrent ResetStats (benchmarks do this between
+  // phases) must not produce wrapped-around windows.
+  auto delta = [](uint64_t now, uint64_t then) {
+    return now >= then ? now - then : now;
+  };
+  LockManager::Stats now = views_->db()->lock_manager()->GetStats();
+  const LockManager::ClassStats& o = now.cls(TxnClass::kOltp);
+  const LockManager::ClassStats& m = now.cls(TxnClass::kMaintenance);
+  const LockManager::ClassStats& o0 = last_lock_stats_.cls(TxnClass::kOltp);
+  const LockManager::ClassStats& m0 =
+      last_lock_stats_.cls(TxnClass::kMaintenance);
+
+  ContentionSnapshot snap;
+  snap.oltp_waits = delta(o.waits, o0.waits);
+  snap.oltp_timeouts = delta(o.timeouts, o0.timeouts);
+  snap.oltp_deadlock_victims = delta(o.deadlock_victims, o0.deadlock_victims);
+  snap.oltp_wait_nanos = delta(o.wait_nanos, o0.wait_nanos);
+  snap.maintenance_waits = delta(m.waits, m0.waits);
+  snap.maintenance_timeouts = delta(m.timeouts, m0.timeouts);
+  snap.maintenance_deadlock_victims =
+      delta(m.deadlock_victims, m0.deadlock_victims);
+  last_lock_stats_ = now;
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    const DriverStats& ds = propagate_driver_.stats;
+    snap.steps = delta(ds.steps, last_window_steps_);
+    snap.step_transient_failures =
+        delta(ds.transient_errors, last_window_transient_errors_);
+    last_window_steps_ = ds.steps;
+    last_window_transient_errors_ = ds.transient_errors;
   }
-  return Status::OK();
+
+  if (rolling_ != nullptr) snap.backlog_rows = rolling_->BacklogRows();
+  Csn stable = views_->db()->stable_csn();
+  Csn hwm = view_->high_water_mark();
+  snap.staleness = stable > hwm ? stable - hwm : 0;
+
+  staleness_gauge_.Set(static_cast<int64_t>(snap.staleness));
+  backlog_gauge_.Set(static_cast<int64_t>(snap.backlog_rows));
+  if (controller_->Observe(snap)) ApplyShedding(controller_->shedding());
+  target_rows_gauge_.Set(static_cast<int64_t>(controller_->target_rows()));
+}
+
+void MaintenanceService::ApplyShedding(bool on) {
+  QueryRunner* runner =
+      rolling_ != nullptr ? rolling_->runner() : plain_->runner();
+  // Build-cache admission off while shedding (its memory and build CPU go
+  // back to foreground work); restore the *configured* value on recovery.
+  runner->set_use_build_cache(on ? false : options_.runner.use_build_cache);
+  if (checkpointer_ != nullptr && options_.checkpoint_every_steps > 0 &&
+      options_.shedding_checkpoint_stretch > 1) {
+    checkpointer_->set_every_steps(
+        on ? options_.checkpoint_every_steps *
+                 options_.shedding_checkpoint_stretch
+           : options_.checkpoint_every_steps);
+  }
+  // Reflect the mode in health immediately (the driver loop also refreshes
+  // after every successful step). Do not mask kDegraded/kFailed.
+  DriverHealth cur =
+      propagate_driver_.health.load(std::memory_order_acquire);
+  if (cur == DriverHealth::kRunning || cur == DriverHealth::kShedding) {
+    propagate_driver_.health.store(
+        on ? DriverHealth::kShedding : DriverHealth::kRunning,
+        std::memory_order_release);
+  }
+  if (options_.on_shedding) options_.on_shedding(on);
+}
+
+DriverHealth MaintenanceService::SteadyHealth(const Driver* driver) const {
+  if (driver == &propagate_driver_ && shedding()) {
+    return DriverHealth::kShedding;
+  }
+  return DriverHealth::kRunning;
 }
 
 Status MaintenanceService::ApplyStep(bool* advanced) {
@@ -142,7 +247,7 @@ void MaintenanceService::DriverLoop(Driver* driver,
       consecutive_failures = 0;
       backoff =
           std::chrono::duration_cast<std::chrono::nanoseconds>(policy.initial);
-      driver->health.store(DriverHealth::kRunning, std::memory_order_release);
+      driver->health.store(SteadyHealth(driver), std::memory_order_release);
       if (!advanced) InterruptibleSleep(options_.idle_sleep);
       continue;
     }
@@ -252,8 +357,10 @@ DriverHealth MaintenanceService::Health() const {
   auto rank = [](DriverHealth h) {
     switch (h) {
       case DriverHealth::kFailed:
-        return 3;
+        return 4;
       case DriverHealth::kDegraded:
+        return 3;
+      case DriverHealth::kShedding:
         return 2;
       case DriverHealth::kRunning:
         return 1;
@@ -349,8 +456,12 @@ void RetentionService::Start() {
   if (!running_.compare_exchange_strong(expected, true)) return;
   thread_ = std::thread([this] {
     while (running_.load(std::memory_order_relaxed)) {
-      manager_.PruneOnce();
-      passes_.fetch_add(1, std::memory_order_relaxed);
+      if (paused_.load(std::memory_order_relaxed)) {
+        skipped_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        manager_.PruneOnce();
+        passes_.fetch_add(1, std::memory_order_relaxed);
+      }
       auto deadline = std::chrono::steady_clock::now() + period_;
       while (running_.load(std::memory_order_relaxed) &&
              std::chrono::steady_clock::now() < deadline) {

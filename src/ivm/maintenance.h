@@ -31,18 +31,23 @@
 #include <memory>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "ivm/apply.h"
 #include "ivm/checkpoint.h"
+#include "ivm/interval_policy.h"
 #include "ivm/propagate.h"
 #include "ivm/retention.h"
 #include "ivm/rolling.h"
+#include "storage/lock_manager.h"
 
 namespace rollview {
 
 // Health of one background driver. kStopped: not started or cleanly
-// stopped. kFailed is terminal until the next Start().
-enum class DriverHealth { kStopped, kRunning, kDegraded, kFailed };
+// stopped. kShedding: making progress but the staleness SLO is violated
+// under contention, so non-critical work is paused (see
+// Options::controller). kFailed is terminal until the next Start().
+enum class DriverHealth { kStopped, kRunning, kShedding, kDegraded, kFailed };
 
 const char* DriverHealthName(DriverHealth health);
 
@@ -72,10 +77,20 @@ class MaintenanceService {
   struct Options {
     enum class Algorithm { kRolling, kPropagate };
     Algorithm algorithm = Algorithm::kRolling;
-    // Adaptive interval target (delta rows per forward query), applied to
-    // every relation. For custom per-relation policies construct a
-    // RollingPropagator directly.
+    // Interval sizing. kTargetRows is the open-loop policy (a fixed
+    // rows-per-query target); kAdaptive closes the loop with an
+    // IntervalController fed by post-step ContentionSnapshots -- AIMD on
+    // the row target plus the staleness-SLO shedding machine.
+    enum class IntervalMode { kTargetRows, kAdaptive };
+    IntervalMode interval_mode = IntervalMode::kTargetRows;
+    // Open-loop target (delta rows per forward query), applied to every
+    // relation. For custom per-relation policies construct a
+    // RollingPropagator directly. Ignored in kAdaptive mode: configure
+    // controller.initial_target_rows (and its bounds) instead.
     size_t target_rows_per_query = 256;
+    // kAdaptive configuration, including the staleness SLO
+    // (controller.staleness_slo, CSN units; 0 keeps shedding disabled).
+    IntervalController::Options controller;
     // Run the apply driver (roll the MV to the high-water mark as it
     // advances). Point-in-time users leave this off and roll manually.
     bool apply_continuously = true;
@@ -98,6 +113,17 @@ class MaintenanceService {
     // (bounding the WAL suffix recovery must replay). 0 disables periodic
     // checkpoints; the view still gets one at Materialize and Recover.
     uint64_t checkpoint_every_steps = 0;
+
+    // --- Shedding actions (kAdaptive with a staleness SLO only) ---
+    // While shedding: checkpoint cadence is multiplied by this factor
+    // (checkpoints are a safety net, not progress) and build-cache
+    // admission is turned off (memory/CPU for foreground work).
+    uint64_t shedding_checkpoint_stretch = 4;
+    // Invoked on every shedding transition (true = entered, false =
+    // recovered), from the propagate driver thread, outside internal
+    // locks. Harness wiring point for retention pause and UpdateStream
+    // worker backpressure.
+    std::function<void(bool)> on_shedding;
   };
 
   MaintenanceService(ViewManager* views, View* view)
@@ -153,6 +179,22 @@ class MaintenanceService {
   // Null unless checkpoint_every_steps > 0.
   CheckpointManager* checkpointer() { return checkpointer_.get(); }
 
+  // Overload control (null / false unless interval_mode == kAdaptive).
+  const IntervalController* interval_controller() const {
+    return controller_.get();
+  }
+  // True while the staleness-SLO machine is shedding load. Mirrored into
+  // propagate_health() as kShedding.
+  bool shedding() const {
+    return controller_ != nullptr && controller_->shedding();
+  }
+  // Level gauges sampled at each contention observation (kAdaptive only):
+  // view staleness in CSN units, the controller's current rows-per-query
+  // target, and the captured-but-unpropagated backlog.
+  const Gauge& staleness_gauge() const { return staleness_gauge_; }
+  const Gauge& target_rows_gauge() const { return target_rows_gauge_; }
+  const Gauge& backlog_gauge() const { return backlog_gauge_; }
+
  private:
   struct Driver {
     explicit Driver(const char* n) : name(n) {}
@@ -163,6 +205,14 @@ class MaintenanceService {
 
   Status PropagateStep(bool* advanced);
   Status ApplyStep(bool* advanced);
+  // Builds a ContentionSnapshot from windowed deltas of the lock-manager
+  // per-class stats and the driver counters, feeds the controller, and
+  // applies shedding transitions. Propagate driver thread only.
+  void ObserveContention();
+  void ApplyShedding(bool on);
+  // The health a healthy propagate step should report: kShedding while the
+  // controller is shedding, else kRunning.
+  DriverHealth SteadyHealth(const Driver* driver) const;
   // The supervised driver loop: runs `step` until stopped, absorbing
   // transient errors per the backoff policy and health state machine.
   void DriverLoop(Driver* driver, std::atomic<bool>* paused,
@@ -183,6 +233,17 @@ class MaintenanceService {
   std::unique_ptr<Propagator> plain_;
   std::unique_ptr<Applier> applier_;
   std::unique_ptr<CheckpointManager> checkpointer_;  // propagate-driver only
+
+  // Overload control (kAdaptive only). The windowed-delta baselines below
+  // are touched only on the thread driving PropagateStep (the propagate
+  // driver, or the caller of a synchronous Drain).
+  std::unique_ptr<IntervalController> controller_;
+  LockManager::Stats last_lock_stats_;
+  uint64_t last_window_transient_errors_ = 0;
+  uint64_t last_window_steps_ = 0;
+  Gauge staleness_gauge_;
+  Gauge target_rows_gauge_;
+  Gauge backlog_gauge_;
 
   std::thread propagate_thread_;
   std::thread apply_thread_;
@@ -216,14 +277,27 @@ class RetentionService {
   // One synchronous pass (also usable without Start).
   RetentionManager::PruneReport RunOnce() { return manager_.PruneOnce(); }
 
+  // Shedding hook: while paused, the periodic thread skips pruning passes
+  // (explicit RunOnce still works). Retention is the canonical
+  // "non-critical work" a shedding MaintenanceService turns off -- wire
+  // Options::on_shedding to these.
+  void Pause() { paused_.store(true, std::memory_order_relaxed); }
+  void Resume() { paused_.store(false, std::memory_order_relaxed); }
+  bool paused() const { return paused_.load(std::memory_order_relaxed); }
+
   uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+  uint64_t skipped_passes() const {
+    return skipped_.load(std::memory_order_relaxed);
+  }
 
  private:
   RetentionManager manager_;
   std::chrono::milliseconds period_;
   std::thread thread_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> paused_{false};
   std::atomic<uint64_t> passes_{0};
+  std::atomic<uint64_t> skipped_{0};
 };
 
 }  // namespace rollview

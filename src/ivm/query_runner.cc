@@ -64,7 +64,7 @@ Status QueryRunner::CancelFailedStep(StepUndoLog* log) {
   // transient conflicts still can, hence the bounded retry loop.
   Status last;
   for (int attempt = 0; attempt < 64; ++attempt) {
-    std::unique_ptr<Txn> txn = db->Begin();
+    std::unique_ptr<Txn> txn = db->Begin(TxnClass::kMaintenance);
     for (const DeltaRow& row : log->rows()) {
       DeltaRow neg = row;
       neg.count = -neg.count;
@@ -93,7 +93,7 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
   // Propagation transactions are the scoped fault-injection target: an
   // armed injector aborts/stalls maintenance here without touching updaters.
   FaultInjector::Scope fault_scope;
-  std::unique_ptr<Txn> txn = db->Begin();
+  std::unique_ptr<Txn> txn = db->Begin(TxnClass::kMaintenance);
 
   auto fail = [&](Status s) -> Result<Csn> {
     db->Abort(txn.get()).ok();

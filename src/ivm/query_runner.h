@@ -98,6 +98,12 @@ class QueryRunner {
   // Optional geometric instrumentation (Figs 6-9).
   void set_region_tracker(RegionTracker* tracker) { tracker_ = tracker; }
 
+  // Shedding control: toggles build-cache admission for subsequent queries.
+  // Must be called from the thread that calls Execute (the propagate
+  // driver), like the other setters here.
+  void set_use_build_cache(bool on) { options_.use_build_cache = on; }
+  bool use_build_cache() const { return options_.use_build_cache; }
+
   // While set, every successful Execute records its committed view-delta
   // rows into `log` (multi-query steps install one around their protocol).
   void set_undo_log(StepUndoLog* log) { undo_log_ = log; }

@@ -140,6 +140,17 @@ Csn RollingPropagator::high_water_mark() const {
   return hwm == kMaxCsn ? kNullCsn : hwm;
 }
 
+uint64_t RollingPropagator::BacklogRows() const {
+  Csn ready = views_->DeltaReadyCsn();
+  uint64_t total = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    if (tfwd_[i] >= ready) continue;
+    const DeltaTable* dt = views_->db()->delta(view_->resolved.table(i));
+    total += dt->CountInRange(CsnRange{tfwd_[i], ready});
+  }
+  return total;
+}
+
 Result<bool> RollingPropagator::Step() {
   // If a previous step failed AND its cancellation failed, the undo log
   // still holds the partial step's rows. Retry the cancellation before

@@ -105,6 +105,12 @@ class RollingPropagator {
   // min_i t_comp[i] (Theorem 4.3); also mirrored into the view control.
   Csn high_water_mark() const;
 
+  // Captured-but-unpropagated depth: total delta rows between each
+  // relation's forward frontier and the capture high-water mark. The
+  // backlog level the ContentionSnapshot reports to the interval
+  // controller. Call from the propagate driver thread.
+  uint64_t BacklogRows() const;
+
   Csn tfwd(size_t i) const { return tfwd_[i]; }
   Csn tcomp(size_t i) const { return tcomp_[i]; }
 

@@ -54,7 +54,7 @@ View* ViewManager::Find(const std::string& name) const {
 
 Status ViewManager::Materialize(View* view) {
   const ResolvedView& rv = view->resolved;
-  std::unique_ptr<Txn> txn = db_->Begin();
+  std::unique_ptr<Txn> txn = db_->Begin(TxnClass::kMaintenance);
 
   JoinQuery q;
   q.terms.reserve(rv.num_terms());

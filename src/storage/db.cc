@@ -92,8 +92,8 @@ std::vector<TableId> Db::AllTableIds() const {
   return out;
 }
 
-std::unique_ptr<Txn> Db::Begin() {
-  return std::make_unique<Txn>(next_txn_id_.fetch_add(1));
+std::unique_ptr<Txn> Db::Begin(TxnClass cls) {
+  return std::make_unique<Txn>(next_txn_id_.fetch_add(1), cls);
 }
 
 uint64_t Db::RowLockKey(const TableEntry& e, const Tuple& tuple) const {
@@ -115,7 +115,7 @@ Status Db::AcquireRowLock(Txn* txn, TableId table, const TableEntry& e,
     size_t& count = txn->row_lock_counts_[table];
     if (count + 1 >= options_.lock_escalation_threshold) {
       ROLLVIEW_RETURN_NOT_OK(lock_manager_.Acquire(
-          txn->id(), ResourceId::Table(table), LockMode::kX));
+          txn->id(), ResourceId::Table(table), LockMode::kX, txn->cls()));
       txn->escalated_tables_.insert(table);
       return Status::OK();
     }
@@ -123,7 +123,7 @@ Status Db::AcquireRowLock(Txn* txn, TableId table, const TableEntry& e,
   }
   return lock_manager_.Acquire(txn->id(),
                                ResourceId::Row(table, RowLockKey(e, tuple)),
-                               LockMode::kX);
+                               LockMode::kX, txn->cls());
 }
 
 Status Db::CaptureOnWrite(Txn* txn, TableId table, TableEntry* e,
@@ -133,7 +133,7 @@ Status Db::CaptureOnWrite(Txn* txn, TableId table, TableEntry* e,
   // delta-table resource and carries the delta row to commit, where it is
   // stamped with the commit CSN.
   ROLLVIEW_RETURN_NOT_OK(lock_manager_.Acquire(
-      txn->id(), ResourceId::Named(table), LockMode::kX));
+      txn->id(), ResourceId::Named(table), LockMode::kX, txn->cls()));
   txn->pending_delta_appends_.push_back(Txn::PendingDeltaAppend{
       e->delta.get(), DeltaRow(tuple, count, kNullCsn),
       /*stamp_with_commit_csn=*/true});
@@ -148,7 +148,7 @@ Status Db::Insert(Txn* txn, TableId table, Tuple tuple) {
   if (e == nullptr) return Status::NotFound("no such table");
   ROLLVIEW_RETURN_NOT_OK(e->table->schema().ValidateTuple(tuple));
   ROLLVIEW_RETURN_NOT_OK(lock_manager_.Acquire(
-      txn->id(), ResourceId::Table(table), LockMode::kIX));
+      txn->id(), ResourceId::Table(table), LockMode::kIX, txn->cls()));
   ROLLVIEW_RETURN_NOT_OK(AcquireRowLock(txn, table, *e, tuple));
   ROLLVIEW_RETURN_NOT_OK(CaptureOnWrite(txn, table, e, tuple, +1));
 
@@ -168,7 +168,7 @@ Result<int64_t> Db::DeleteWhere(Txn* txn, TableId table,
   TableEntry* e = entry(table);
   if (e == nullptr) return Status::NotFound("no such table");
   ROLLVIEW_RETURN_NOT_OK(lock_manager_.Acquire(
-      txn->id(), ResourceId::Table(table), LockMode::kIX));
+      txn->id(), ResourceId::Table(table), LockMode::kIX, txn->cls()));
   // Injected before any slot is marked so an abort fully undoes the txn.
   ROLLVIEW_RETURN_NOT_OK(wal_.MaybeInjectWriteError());
 
@@ -227,12 +227,13 @@ Result<std::vector<Tuple>> Db::ReadByKey(Txn* txn, TableId table, size_t col,
     return Status::InvalidArgument("ReadByKey on a non-indexed column");
   }
   ROLLVIEW_RETURN_NOT_OK(lock_manager_.Acquire(
-      txn->id(), ResourceId::Table(table), LockMode::kIS));
+      txn->id(), ResourceId::Table(table), LockMode::kIS, txn->cls()));
   // Row-lock resources hash the leading indexed column; for other indexed
   // columns this still blocks same-key writers of that hash, which is
   // conservative but safe.
   ROLLVIEW_RETURN_NOT_OK(lock_manager_.Acquire(
-      txn->id(), ResourceId::Row(table, key.Hash()), LockMode::kS));
+      txn->id(), ResourceId::Row(table, key.Hash()), LockMode::kS,
+      txn->cls()));
   return e->table->CurrentProbe(txn->id(), col, key);
 }
 
@@ -247,12 +248,12 @@ Result<std::vector<Tuple>> Db::SnapshotScan(TableId table, Csn csn) const {
 
 Status Db::LockTableShared(Txn* txn, TableId table) {
   return lock_manager_.Acquire(txn->id(), ResourceId::Table(table),
-                               LockMode::kS);
+                               LockMode::kS, txn->cls());
 }
 
 Status Db::LockTableExclusive(Txn* txn, TableId table) {
   return lock_manager_.Acquire(txn->id(), ResourceId::Table(table),
-                               LockMode::kX);
+                               LockMode::kX, txn->cls());
 }
 
 Status Db::LockDeltaShared(Txn* txn, TableId table) {
@@ -260,17 +261,17 @@ Status Db::LockDeltaShared(Txn* txn, TableId table) {
   if (e == nullptr) return Status::NotFound("no such table");
   if (e->capture_mode != CaptureMode::kTrigger) return Status::OK();
   return lock_manager_.Acquire(txn->id(), ResourceId::Named(table),
-                               LockMode::kS);
+                               LockMode::kS, txn->cls());
 }
 
 Status Db::LockNamedShared(Txn* txn, uint64_t resource) {
   return lock_manager_.Acquire(txn->id(), ResourceId::Named(resource),
-                               LockMode::kS);
+                               LockMode::kS, txn->cls());
 }
 
 Status Db::LockNamedExclusive(Txn* txn, uint64_t resource) {
   return lock_manager_.Acquire(txn->id(), ResourceId::Named(resource),
-                               LockMode::kX);
+                               LockMode::kX, txn->cls());
 }
 
 void Db::BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row,

@@ -106,7 +106,11 @@ class Db {
 
   // --- Transactions ---
 
-  std::unique_ptr<Txn> Begin();
+  // `cls` tags the transaction's contention class: every lock acquisition
+  // it makes is accounted per class, and maintenance-class transactions are
+  // the preferred deadlock victims (the IVM drivers retry them under the
+  // supervisor; see lock_manager.h).
+  std::unique_ptr<Txn> Begin(TxnClass cls = TxnClass::kOltp);
   // Assigns the commit CSN, stamps versions and buffered delta rows, writes
   // the WAL commit record, publishes the stable CSN, releases locks.
   Status Commit(Txn* txn);

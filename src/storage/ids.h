@@ -19,6 +19,22 @@ inline constexpr TableId kInvalidTableId = 0;
 // catalog records can carry it without depending on db.h.
 enum class CaptureMode : uint8_t { kLog = 0, kTrigger = 1 };
 
+// Transaction class, the contention-control axis of Sec. 3.3: foreground
+// OLTP work versus background view maintenance (propagation, apply,
+// refresh, cancellation). The lock manager uses it for per-class wait
+// accounting and for deterministic OLTP-first deadlock victim selection --
+// maintenance transactions volunteer as victims, since the supervised
+// drivers retry them cheaply while an aborted OLTP transaction is a
+// user-visible failure. Lives here so both txn.h and lock_manager.h can
+// carry it without depending on each other.
+enum class TxnClass : uint8_t { kOltp = 0, kMaintenance = 1 };
+
+inline constexpr size_t kNumTxnClasses = 2;
+
+inline const char* TxnClassName(TxnClass c) {
+  return c == TxnClass::kOltp ? "oltp" : "maintenance";
+}
+
 }  // namespace rollview
 
 #endif  // ROLLVIEW_STORAGE_IDS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <tuple>
 
 namespace rollview {
 
@@ -163,28 +164,73 @@ std::unordered_set<TxnId> LockManager::BlockersOf(TxnId txn,
   return out;
 }
 
-bool LockManager::DetectDeadlock(TxnId self) const {
-  // DFS over the waits-for graph starting from `self`, looking for a cycle
-  // back to `self`. The graph is derived on demand from queue state.
-  std::unordered_set<TxnId> visited;
-  std::vector<TxnId> stack{self};
-  bool first = true;
-  while (!stack.empty()) {
-    TxnId cur = stack.back();
-    stack.pop_back();
-    if (!first && cur == self) return true;
-    first = false;
-    if (!visited.insert(cur).second) continue;
-    auto wit = waiting_on_.find(cur);
-    if (wit == waiting_on_.end()) continue;
-    auto qit = queues_.find(wit->second);
-    if (qit == queues_.end()) continue;
-    for (TxnId blocker : BlockersOf(cur, *qit->second)) {
-      if (blocker == self) return true;
-      stack.push_back(blocker);
-    }
+bool LockManager::FindCycleDfs(TxnId cur, TxnId self,
+                               std::unordered_set<TxnId>* visited,
+                               std::vector<TxnId>* path) const {
+  auto wit = waiting_on_.find(cur);
+  if (wit == waiting_on_.end()) return false;
+  auto qit = queues_.find(wit->second);
+  if (qit == queues_.end()) return false;
+  for (TxnId blocker : BlockersOf(cur, *qit->second)) {
+    if (blocker == self) return true;
+    if (!visited->insert(blocker).second) continue;
+    path->push_back(blocker);
+    if (FindCycleDfs(blocker, self, visited, path)) return true;
+    path->pop_back();
   }
   return false;
+}
+
+std::vector<TxnId> LockManager::FindCycle(TxnId self) const {
+  // DFS over the waits-for graph (derived on demand from queue state)
+  // looking for a cycle back to `self`; on success the DFS path holds the
+  // cycle's members. Every member has an outgoing waits-for edge, i.e. is
+  // itself blocked in Acquire, so any member can be wounded.
+  std::unordered_set<TxnId> visited{self};
+  std::vector<TxnId> path{self};
+  if (FindCycleDfs(self, self, &visited, &path)) return path;
+  return {};
+}
+
+TxnClass LockManager::ClassOf(TxnId txn) const {
+  auto it = class_of_.find(txn);
+  return it == class_of_.end() ? TxnClass::kOltp : it->second;
+}
+
+TxnId LockManager::ChooseVictim(const std::vector<TxnId>& cycle) const {
+  // Deterministic: (class, cost, age). Maintenance members volunteer first;
+  // then the member holding the fewest locks (cheapest to redo under the
+  // supervisor's retry); ties break to the highest TxnId (youngest). The
+  // same cycle state always yields the same victim, so repeated detection
+  // passes wound the same transaction.
+  TxnId victim = cycle.front();
+  auto key = [this](TxnId t) {
+    auto hit = held_.find(t);
+    size_t cost = hit == held_.end() ? 0 : hit->second.size();
+    // Lower tuple wins: maintenance (0) before OLTP (1), then low cost,
+    // then high id.
+    int class_rank = ClassOf(t) == TxnClass::kMaintenance ? 0 : 1;
+    return std::make_tuple(class_rank, cost, ~t);
+  };
+  for (TxnId t : cycle) {
+    if (key(t) < key(victim)) victim = t;
+  }
+  return victim;
+}
+
+void LockManager::VictimizeWaiter(TxnId victim) {
+  auto wit = waiting_on_.find(victim);
+  if (wit == waiting_on_.end()) return;
+  auto qit = queues_.find(wit->second);
+  if (qit == queues_.end()) return;
+  Queue* q = qit->second.get();
+  for (Request& w : q->waiting) {
+    if (w.txn == victim) {
+      w.victimized = true;
+      break;
+    }
+  }
+  q->cv.notify_all();
 }
 
 void LockManager::RemoveWaiting(Queue* q, TxnId txn) {
@@ -197,11 +243,14 @@ void LockManager::RemoveWaiting(Queue* q, TxnId txn) {
   waiting_on_.erase(txn);
 }
 
-Status LockManager::Acquire(TxnId txn, const ResourceId& res, LockMode mode) {
+Status LockManager::Acquire(TxnId txn, const ResourceId& res, LockMode mode,
+                            TxnClass cls) {
   if (FaultInjector* fi = injector_.load(std::memory_order_acquire)) {
     ROLLVIEW_RETURN_NOT_OK(fi->MaybeLockBusy());
   }
+  const size_t ci = static_cast<size_t>(cls);
   std::unique_lock<std::mutex> lk(mu_);
+  class_of_[txn] = cls;
   Queue* q = GetQueue(res);
 
   const Request* mine = FindGranted(*q, txn);
@@ -218,66 +267,87 @@ Status LockManager::Acquire(TxnId txn, const ResourceId& res, LockMode mode) {
         if (g.txn == txn) g.mode = mode;
       }
       stats_.acquires++;
+      stats_.by_class[ci].acquires++;
       return Status::OK();
     }
   } else if (CanGrantFresh(*q, mode)) {
-    q->granted.push_back(Request{txn, mode, false, true});
+    q->granted.push_back(Request{txn, mode, false, true, cls, false});
     held_[txn].push_back(res);
     stats_.acquires++;
+    stats_.by_class[ci].acquires++;
     return Status::OK();
   }
 
   // Must wait.
-  q->waiting.push_back(Request{txn, mode, is_upgrade, false});
+  q->waiting.push_back(Request{txn, mode, is_upgrade, false, cls, false});
   waiting_on_[txn] = res;
   stats_.waits++;
+  stats_.by_class[ci].waits++;
   auto wait_start = std::chrono::steady_clock::now();
   auto deadline = wait_start + options_.wait_timeout;
 
   auto finish_wait = [&]() {
     auto now = std::chrono::steady_clock::now();
-    stats_.wait_nanos += static_cast<uint64_t>(
+    uint64_t nanos = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(now - wait_start)
             .count());
+    stats_.wait_nanos += nanos;
+    stats_.by_class[ci].wait_nanos += nanos;
+    wait_hist_[ci].Record(nanos);
   };
 
   while (true) {
     q->cv.wait_for(lk, options_.deadlock_check_interval);
 
-    // Were we granted by a releaser's PromoteWaiters?
-    if (is_upgrade) {
-      const Request* g = FindGranted(*q, txn);
-      if (g != nullptr && g->mode == mode) {
-        bool still_waiting = false;
-        for (const Request& w : q->waiting) {
-          if (w.txn == txn) still_waiting = true;
-        }
-        if (!still_waiting) {
-          finish_wait();
-          stats_.acquires++;
-          return Status::OK();
-        }
-      }
-    } else {
-      bool still_waiting = false;
-      for (const Request& w : q->waiting) {
-        if (w.txn == txn) still_waiting = true;
-      }
-      if (!still_waiting) {
-        finish_wait();
-        stats_.acquires++;
-        return Status::OK();
+    // Were we granted by a releaser's PromoteWaiters? (It removes the
+    // waiting entry and installs/updates the granted one atomically under
+    // mu_, so absence from the waiting deque means granted. ReleaseAll
+    // cannot race us out of the deque: a Txn is used by one thread at a
+    // time.)
+    Request* me = nullptr;
+    for (Request& w : q->waiting) {
+      if (w.txn == txn) {
+        me = &w;
+        break;
       }
     }
+    if (me == nullptr) {
+      finish_wait();
+      stats_.acquires++;
+      stats_.by_class[ci].acquires++;
+      return Status::OK();
+    }
 
-    if (DetectDeadlock(txn)) {
+    // Did another waiter's deadlock detection wound us?
+    if (me->victimized) {
       RemoveWaiting(q, txn);
       PromoteWaiters(res, q);
       finish_wait();
       stats_.deadlocks++;
+      stats_.by_class[ci].deadlock_victims++;
       return Status::TxnAborted("deadlock victim on resource " +
                                 std::to_string(res.hi) + "/" +
                                 std::to_string(res.lo));
+    }
+
+    std::vector<TxnId> cycle = FindCycle(txn);
+    if (!cycle.empty()) {
+      TxnId victim = ChooseVictim(cycle);
+      if (victim == txn) {
+        RemoveWaiting(q, txn);
+        PromoteWaiters(res, q);
+        finish_wait();
+        stats_.deadlocks++;
+        stats_.by_class[ci].deadlock_victims++;
+        return Status::TxnAborted("deadlock victim on resource " +
+                                  std::to_string(res.hi) + "/" +
+                                  std::to_string(res.lo));
+      }
+      // Wound the chosen victim and keep waiting: its abort releases the
+      // locks that complete the cycle. Idempotent if already flagged; the
+      // timeout check below still applies in case the victim's release does
+      // not unblock us.
+      VictimizeWaiter(victim);
     }
 
     if (std::chrono::steady_clock::now() >= deadline) {
@@ -285,6 +355,7 @@ Status LockManager::Acquire(TxnId txn, const ResourceId& res, LockMode mode) {
       PromoteWaiters(res, q);
       finish_wait();
       stats_.timeouts++;
+      stats_.by_class[ci].timeouts++;
       return Status::Busy("lock wait timeout");
     }
   }
@@ -292,6 +363,7 @@ Status LockManager::Acquire(TxnId txn, const ResourceId& res, LockMode mode) {
 
 void LockManager::ReleaseAll(TxnId txn) {
   std::lock_guard<std::mutex> lk(mu_);
+  class_of_.erase(txn);
 
   // Remove any still-waiting request (aborted transaction mid-wait).
   auto wit = waiting_on_.find(txn);
@@ -337,6 +409,7 @@ LockManager::Stats LockManager::GetStats() const {
 void LockManager::ResetStats() {
   std::lock_guard<std::mutex> lk(mu_);
   stats_ = Stats{};
+  for (LatencyHistogram& h : wait_hist_) h.Reset();
 }
 
 }  // namespace rollview

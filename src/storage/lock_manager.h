@@ -13,13 +13,19 @@
 //   * row-level locks:   updaters take X on a hash of the row's key
 //
 // Deadlocks are detected by an on-demand waits-for-graph cycle search run by
-// each waiter; the requester that discovers a cycle through itself aborts
-// (returns Status::TxnAborted). Waits also carry an overall timeout
-// (Status::Busy) as a backstop.
+// each waiter. Victim selection is deterministic and OLTP-first: among the
+// cycle's members, maintenance-class transactions are preferred victims
+// (they volunteer -- the supervised drivers retry them cheaply), then the
+// member holding the fewest locks, then the youngest TxnId. The detector
+// wounds the chosen victim by flagging its waiting request; the victim's own
+// Acquire returns Status::TxnAborted. Waits also carry an overall timeout
+// (Status::Busy) as a backstop; both land in the transient Status taxonomy
+// the maintenance supervisor retries.
 
 #ifndef ROLLVIEW_STORAGE_LOCK_MANAGER_H_
 #define ROLLVIEW_STORAGE_LOCK_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -93,12 +99,29 @@ class LockManager {
     std::chrono::milliseconds deadlock_check_interval{5};
   };
 
+  // Per-txn-class slice of the aggregate counters: the ContentionSnapshot
+  // the adaptive interval controller consumes needs to distinguish OLTP
+  // suffering (shrink the interval) from maintenance suffering (mostly
+  // self-inflicted, retried by the supervisor).
+  struct ClassStats {
+    uint64_t acquires = 0;
+    uint64_t waits = 0;
+    uint64_t wait_nanos = 0;
+    uint64_t deadlock_victims = 0;
+    uint64_t timeouts = 0;
+  };
+
   struct Stats {
     uint64_t acquires = 0;        // successful acquisitions (incl. upgrades)
     uint64_t waits = 0;           // acquisitions that had to block
     uint64_t wait_nanos = 0;      // total time spent blocked
     uint64_t deadlocks = 0;       // requests aborted as deadlock victims
     uint64_t timeouts = 0;        // requests that hit wait_timeout
+    std::array<ClassStats, kNumTxnClasses> by_class{};
+
+    const ClassStats& cls(TxnClass c) const {
+      return by_class[static_cast<size_t>(c)];
+    }
   };
 
   LockManager() : LockManager(Options{}) {}
@@ -109,8 +132,10 @@ class LockManager {
 
   // Acquires (or upgrades to) `mode` on `res` for `txn`. Blocks until
   // granted, deadlock (TxnAborted), or timeout (Busy). Re-acquiring an
-  // already-held equal-or-weaker mode is a no-op.
-  Status Acquire(TxnId txn, const ResourceId& res, LockMode mode);
+  // already-held equal-or-weaker mode is a no-op. `cls` feeds per-class
+  // accounting and OLTP-first victim selection.
+  Status Acquire(TxnId txn, const ResourceId& res, LockMode mode,
+                 TxnClass cls = TxnClass::kOltp);
 
   // Releases every lock held by `txn` and wakes eligible waiters. Also
   // removes any waiting request `txn` may still have enqueued (used when a
@@ -123,6 +148,12 @@ class LockManager {
 
   Stats GetStats() const;
   void ResetStats();
+
+  // Per-class lock-wait latency histogram (nanoseconds per blocking
+  // Acquire). Thread-safe; reset alongside ResetStats.
+  const LatencyHistogram& WaitHistogram(TxnClass cls) const {
+    return wait_hist_[static_cast<size_t>(cls)];
+  }
 
   // Deterministic fault injection: Acquire may return an injected Busy
   // before touching the queues (a simulated lock-wait timeout). Wire up
@@ -137,6 +168,10 @@ class LockManager {
     LockMode mode;
     bool is_upgrade = false;
     bool granted = false;
+    TxnClass cls = TxnClass::kOltp;
+    // Set by another waiter's deadlock detector (wound); the owning waiter
+    // observes it on its next wakeup and aborts with TxnAborted.
+    bool victimized = false;
   };
 
   struct Queue {
@@ -153,7 +188,17 @@ class LockManager {
   void PromoteWaiters(const ResourceId& res, Queue* q);
   // Set of transactions `txn` (waiting on `res`) is blocked behind.
   std::unordered_set<TxnId> BlockersOf(TxnId txn, const Queue& q) const;
-  bool DetectDeadlock(TxnId self) const;
+  // Members of one waits-for cycle through `self` (empty if none). Every
+  // member is a waiting transaction, so any of them can be wounded.
+  std::vector<TxnId> FindCycle(TxnId self) const;
+  bool FindCycleDfs(TxnId cur, TxnId self, std::unordered_set<TxnId>* visited,
+                    std::vector<TxnId>* path) const;
+  // Deterministic OLTP-first victim: prefer maintenance-class members, then
+  // fewest held locks (cheapest to redo), then highest TxnId (youngest).
+  TxnId ChooseVictim(const std::vector<TxnId>& cycle) const;
+  TxnClass ClassOf(TxnId txn) const;
+  // Flags `victim`'s waiting request and wakes its queue.
+  void VictimizeWaiter(TxnId victim);
   void RemoveWaiting(Queue* q, TxnId txn);
 
   Options options_;
@@ -165,8 +210,12 @@ class LockManager {
   std::unordered_map<TxnId, std::vector<ResourceId>> held_;
   // txn -> resource it is currently waiting on (at most one).
   std::unordered_map<TxnId, ResourceId> waiting_on_;
+  // txn -> class, recorded on first Acquire, dropped by ReleaseAll. Victim
+  // selection consults it for cycle members other than the detector.
+  std::unordered_map<TxnId, TxnClass> class_of_;
 
   Stats stats_;
+  std::array<LatencyHistogram, kNumTxnClasses> wait_hist_;
 };
 
 }  // namespace rollview

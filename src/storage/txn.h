@@ -24,12 +24,17 @@ enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
 
 class Txn {
  public:
-  explicit Txn(TxnId id) : id_(id) {}
+  explicit Txn(TxnId id, TxnClass cls = TxnClass::kOltp)
+      : id_(id), cls_(cls) {}
 
   Txn(const Txn&) = delete;
   Txn& operator=(const Txn&) = delete;
 
   TxnId id() const { return id_; }
+  // Contention class (Sec. 3.3): the Db layer threads it into every lock
+  // acquisition so the lock manager can account waits per class and prefer
+  // maintenance transactions as deadlock victims.
+  TxnClass cls() const { return cls_; }
   TxnState state() const { return state_; }
   // Commit CSN; kNullCsn until committed.
   Csn commit_csn() const { return commit_csn_; }
@@ -72,6 +77,7 @@ class Txn {
   };
 
   TxnId id_;
+  TxnClass cls_ = TxnClass::kOltp;
   TxnState state_ = TxnState::kActive;
   Csn commit_csn_ = kNullCsn;
   std::vector<WriteOp> write_ops_;

@@ -282,6 +282,148 @@ TEST_F(MaintenanceTest, RestartAfterPermanentFailureResumesFromCursors) {
   env_.db()->SetFaultInjector(nullptr);
 }
 
+TEST_F(MaintenanceTest, AdaptiveIntervalModeConverges) {
+  MaintenanceService::Options opts;
+  opts.interval_mode = MaintenanceService::Options::IntervalMode::kAdaptive;
+  opts.controller.initial_target_rows = 8;
+  MaintenanceService service(env_.views(), view_, opts);
+  ASSERT_NE(service.interval_controller(), nullptr);
+  EXPECT_FALSE(service.shedding());  // SLO disabled by default
+  service.Start();
+  RunUpdates(30, 13);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+  IntervalController::Stats cs = service.interval_controller()->GetStats();
+  EXPECT_GT(cs.observations, 0u);
+  EXPECT_GE(service.interval_controller()->target_rows(),
+            opts.controller.min_target_rows);
+  EXPECT_GT(service.target_rows_gauge().value(), 0);
+}
+
+TEST_F(MaintenanceTest, AdaptiveSheddingPausesRetentionAndRecovers) {
+  // Deterministic end-to-end shedding: a manufactured OLTP lock wait plus a
+  // large backlog makes the first observed window a contended SLO
+  // violation (shed); draining the backlog brings staleness back under the
+  // SLO (recover). Synchronous Drain keeps it single-threaded.
+  MaintenanceService::Options opts;
+  opts.interval_mode = MaintenanceService::Options::IntervalMode::kAdaptive;
+  opts.controller.initial_target_rows = 4;
+  opts.controller.min_target_rows = 2;
+  opts.controller.staleness_slo = 8;
+  opts.controller.violations_to_shed = 1;
+  opts.controller.ok_to_recover = 1;
+  opts.controller.recover_fraction = 1.0;  // recover anywhere under the SLO
+  RetentionService retention(env_.views(), RetentionOptions{},
+                             std::chrono::milliseconds(100000));
+  std::vector<bool> transitions;
+  opts.on_shedding = [&](bool on) {
+    if (on) {
+      retention.Pause();
+    } else {
+      retention.Resume();
+    }
+    transitions.push_back(on);
+  };
+  MaintenanceService service(env_.views(), view_, opts);
+
+  RunUpdates(30, 11);
+  ASSERT_OK(env_.capture()->WaitForCsn(env_.db()->stable_csn()));
+
+  // One real OLTP lock wait inside the controller's observation window.
+  LockManager* lm = env_.db()->lock_manager();
+  ResourceId contended = ResourceId::Named(777);
+  ASSERT_OK(lm->Acquire(990001, contended, LockMode::kX));
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm->Acquire(990002, contended, LockMode::kX).ok());
+    lm->ReleaseAll(990002);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  lm->ReleaseAll(990001);
+  waiter.join();
+
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  // If the tail observation was still over the SLO, trickle a little more
+  // work through: with the backlog gone, the next windows must recover.
+  for (int i = 0; i < 5 && service.shedding(); ++i) {
+    RunUpdates(2, 100 + i);
+    ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  }
+
+  ASSERT_GE(transitions.size(), 2u);
+  EXPECT_TRUE(transitions.front());   // entered shedding...
+  EXPECT_FALSE(transitions.back());   // ...and recovered
+  EXPECT_FALSE(service.shedding());
+  EXPECT_FALSE(retention.paused());
+  IntervalController::Stats cs = service.interval_controller()->GetStats();
+  EXPECT_GE(cs.slo_violations, 1u);
+  EXPECT_EQ(cs.shed_entries, cs.shed_exits);
+  EXPECT_GE(cs.shrinks, 1u);  // the contended window also shrank the target
+  // The gauges tracked the observations (values are workload-dependent).
+  EXPECT_GE(service.target_rows_gauge().value(),
+            static_cast<int64_t>(opts.controller.min_target_rows));
+  EXPECT_GE(service.staleness_gauge().value(), 0);
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
+// Standalone (short lock-wait timeout needs its own Db): a propagation step
+// that times out waiting on an OLTP table lock surfaces as transient Busy,
+// is counted, and is retried by the supervisor -- never kFailed, and the
+// cancelled step leaves no partial rows behind (MV still matches oracle).
+TEST(MaintenanceOverloadTest, LockWaitTimeoutIsRetriedNotFatal) {
+  DbOptions dopts;
+  dopts.lock_options.wait_timeout = std::chrono::milliseconds(40);
+  Db db(dopts);
+  LogCapture capture(&db, CaptureOptions{});
+  ViewManager views(&db, &capture);
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(&db, 40, 25, 6, 33));
+  capture.CatchUp();
+  ASSERT_OK_AND_ASSIGN(View* view, views.CreateView("V", workload.ViewDef()));
+  ASSERT_OK(views.Materialize(view));
+  capture.Start();
+
+  {
+    UpdateStream stream(&db, workload.RStream(33, 34), 34);
+    for (int i = 0; i < 12; ++i) ASSERT_OK(stream.RunTransaction());
+  }
+  ASSERT_OK(capture.WaitForCsn(db.stable_csn()));
+
+  // An OLTP transaction parks X locks on both base tables, so whichever
+  // relation the next strip's forward query reads, it blocks and times out.
+  std::unique_ptr<Txn> blocker = db.Begin();
+  ASSERT_OK(db.LockTableExclusive(blocker.get(), workload.r));
+  ASSERT_OK(db.LockTableExclusive(blocker.get(), workload.s));
+
+  MaintenanceService::Options mopts;
+  mopts.runner.max_retries = 0;  // every timeout reaches the supervisor
+  mopts.backoff.initial = std::chrono::microseconds(50);
+  mopts.backoff.max = std::chrono::microseconds(2000);
+  MaintenanceService service(&views, view, mopts);
+  service.Start();
+
+  while (service.propagate_driver_stats().errors_busy < 2) {
+    ASSERT_NE(service.propagate_health(), DriverHealth::kFailed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(service.last_error().IsBusy()) <<
+      service.last_error().ToString();
+
+  ASSERT_OK(db.Abort(blocker.get()));  // release; the retry goes through
+  ASSERT_OK(service.Drain(db.stable_csn()));
+  EXPECT_EQ(service.propagate_health(), DriverHealth::kRunning);
+  ASSERT_OK(service.Stop());  // no terminal error from the timeout burst
+
+  DriverStats ps = service.propagate_driver_stats();
+  EXPECT_GE(ps.errors_busy, 2u);
+  EXPECT_GE(ps.recoveries, 1u);
+  EXPECT_GE(db.lock_manager()->GetStats().cls(TxnClass::kMaintenance).timeouts,
+            2u);
+  DeltaRows oracle = OracleViewState(&db, view, view->mv->csn());
+  EXPECT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()))
+      << "cancelled timed-out steps left partial rows behind";
+}
+
 TEST_F(MaintenanceTest, RetentionServicePrunesInBackground) {
   MaintenanceService service(env_.views(), view_);
   RetentionService retention(env_.views(), RetentionOptions{},

@@ -207,6 +207,110 @@ TEST(LockManagerTest, RowAndTableResourcesAreIndependent) {
   ASSERT_TRUE(lm.Acquire(4, ResourceId::Named(1), LockMode::kX).ok());
 }
 
+// Builds a two-member deadlock (txn `first` holds a and wants b, txn
+// `second` holds b and wants a) and returns which transaction was aborted
+// as the victim. Extra resources in `first_extra`/`second_extra` are
+// acquired up front to manipulate the cost (held-lock count) tie-breaker.
+TxnId RunTwoTxnDeadlock(LockManager* lm, TxnId first, TxnClass first_cls,
+                        TxnId second, TxnClass second_cls,
+                        int first_extra = 0, int second_extra = 0) {
+  ResourceId a = ResourceId::Table(1);
+  ResourceId b = ResourceId::Table(2);
+  EXPECT_TRUE(lm->Acquire(first, a, LockMode::kX, first_cls).ok());
+  EXPECT_TRUE(lm->Acquire(second, b, LockMode::kX, second_cls).ok());
+  for (int i = 0; i < first_extra; ++i) {
+    EXPECT_TRUE(lm->Acquire(first, ResourceId::Table(100 + i), LockMode::kX,
+                            first_cls)
+                    .ok());
+  }
+  for (int i = 0; i < second_extra; ++i) {
+    EXPECT_TRUE(lm->Acquire(second, ResourceId::Table(200 + i), LockMode::kX,
+                            second_cls)
+                    .ok());
+  }
+
+  std::atomic<TxnId> victim{0};
+  std::thread t1([&] {
+    Status s = lm->Acquire(first, b, LockMode::kX, first_cls);
+    if (s.IsTxnAborted()) victim.store(first);
+    lm->ReleaseAll(first);
+  });
+  std::thread t2([&] {
+    Status s = lm->Acquire(second, a, LockMode::kX, second_cls);
+    if (s.IsTxnAborted()) victim.store(second);
+    lm->ReleaseAll(second);
+  });
+  t1.join();
+  t2.join();
+  return victim.load();
+}
+
+TEST(LockManagerTest, MaintenanceTxnIsTheDeadlockVictim) {
+  // OLTP vs maintenance: the maintenance member volunteers, whichever
+  // waiter runs the detection.
+  LockManager lm;
+  EXPECT_EQ(RunTwoTxnDeadlock(&lm, 1, TxnClass::kOltp, 2,
+                              TxnClass::kMaintenance),
+            2u);
+  LockManager::Stats st = lm.GetStats();
+  EXPECT_EQ(st.cls(TxnClass::kMaintenance).deadlock_victims, 1u);
+  EXPECT_EQ(st.cls(TxnClass::kOltp).deadlock_victims, 0u);
+  EXPECT_GE(st.deadlocks, 1u);
+}
+
+TEST(LockManagerTest, MaintenanceVolunteersEvenWithHigherCost) {
+  // Class dominates cost: the maintenance txn holds MORE locks (more work
+  // to redo) and a lower id (older), yet still loses to the OLTP member.
+  LockManager lm;
+  EXPECT_EQ(RunTwoTxnDeadlock(&lm, 1, TxnClass::kMaintenance, 2,
+                              TxnClass::kOltp, /*first_extra=*/3),
+            1u);
+  EXPECT_EQ(lm.GetStats().cls(TxnClass::kOltp).deadlock_victims, 0u);
+}
+
+TEST(LockManagerTest, CheaperTxnLosesAllMaintenanceCycle) {
+  // Both maintenance: the member holding fewer locks is cheapest to redo
+  // and is chosen, even though it is the older (lower) id.
+  LockManager lm;
+  EXPECT_EQ(RunTwoTxnDeadlock(&lm, 1, TxnClass::kMaintenance, 2,
+                              TxnClass::kMaintenance,
+                              /*first_extra=*/0, /*second_extra=*/2),
+            1u);
+}
+
+TEST(LockManagerTest, VictimTieBreaksToYoungestTxn) {
+  // Same class, same cost: the higher (younger) TxnId is the victim, so
+  // repeated detection passes always agree on one victim.
+  LockManager lm;
+  EXPECT_EQ(
+      RunTwoTxnDeadlock(&lm, 5, TxnClass::kOltp, 9, TxnClass::kOltp), 9u);
+}
+
+TEST(LockManagerTest, PerClassWaitAndTimeoutAccounting) {
+  LockManager::Options opts;
+  opts.wait_timeout = std::chrono::milliseconds(30);
+  LockManager lm(opts);
+  ResourceId r = ResourceId::Table(1);
+  ASSERT_TRUE(lm.Acquire(1, r, LockMode::kX).ok());  // OLTP holder
+  Status s = lm.Acquire(2, r, LockMode::kX, TxnClass::kMaintenance);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+
+  LockManager::Stats st = lm.GetStats();
+  EXPECT_EQ(st.cls(TxnClass::kOltp).acquires, 1u);
+  EXPECT_EQ(st.cls(TxnClass::kOltp).waits, 0u);
+  EXPECT_EQ(st.cls(TxnClass::kMaintenance).waits, 1u);
+  EXPECT_EQ(st.cls(TxnClass::kMaintenance).timeouts, 1u);
+  EXPECT_GT(st.cls(TxnClass::kMaintenance).wait_nanos, 0u);
+  // The per-class histogram recorded exactly the blocking acquire.
+  EXPECT_EQ(lm.WaitHistogram(TxnClass::kMaintenance).count(), 1u);
+  EXPECT_EQ(lm.WaitHistogram(TxnClass::kOltp).count(), 0u);
+  lm.ReleaseAll(1);
+
+  lm.ResetStats();
+  EXPECT_EQ(lm.GetStats().cls(TxnClass::kMaintenance).timeouts, 0u);
+  EXPECT_EQ(lm.WaitHistogram(TxnClass::kMaintenance).count(), 0u);
+}
+
 TEST(LockManagerTest, ManyThreadsRowLockStress) {
   LockManager lm;
   constexpr int kThreads = 8;
