@@ -78,17 +78,15 @@ RowResult RunMode(CaptureMode mode) {
 
   RowResult out;
   out.updater_txns = w1.iterations() + w2.iterations() + w3.iterations();
-  out.p50_us = std::max({w1.latency().Percentile(0.5),
-                         w2.latency().Percentile(0.5),
-                         w3.latency().Percentile(0.5)}) /
-               1000;
-  out.p99_us = std::max({w1.latency().Percentile(0.99),
-                         w2.latency().Percentile(0.99),
-                         w3.latency().Percentile(0.99)}) /
-               1000;
-  out.max_us = std::max({w1.latency().max_nanos(), w2.latency().max_nanos(),
-                         w3.latency().max_nanos()}) /
-               1000;
+  // Merge the three updaters' reservoirs and report percentiles over the
+  // pooled population (the old max-of-percentiles was only an upper bound).
+  LatencyHistogram merged;
+  merged.MergeFrom(w1.latency());
+  merged.MergeFrom(w2.latency());
+  merged.MergeFrom(w3.latency());
+  out.p50_us = merged.Percentile(0.5) / 1000;
+  out.p99_us = merged.Percentile(0.99) / 1000;
+  out.max_us = merged.max_nanos() / 1000;
   LockManager::Stats ls = env.db.lock_manager()->GetStats();
   out.lock_wait_ms = ls.wait_nanos / 1000000;
   out.lock_waits = ls.waits;

@@ -57,10 +57,12 @@ struct RowResult {
   uint64_t updater_txns = 0;
   uint64_t p50_us = 0, p99_us = 0, max_us = 0;
   uint64_t lock_wait_ms = 0;
-  uint64_t deadlocks = 0;
   uint64_t reader_p99_us = 0;
   uint64_t staleness = 0;
   uint64_t maint_queries = 0;
+  // Lock-manager counters scraped at quiescence; JSON rows flow through
+  // the shared RegistryRowEmitter.
+  obs::MetricsSnapshot snapshot;
 };
 
 RowResult RunMode(const std::string& mode) {
@@ -192,19 +194,22 @@ RowResult RunMode(const std::string& mode) {
 
   RowResult out;
   out.mode = mode;
-  uint64_t p50 = 0, p99 = 0, max_ns = 0;
+  // Pool the updaters' reservoirs and take real percentiles over the merged
+  // population, instead of the old max-of-per-worker-percentiles upper
+  // bound.
+  LatencyHistogram updater_lat;
   for (auto& u : updaters) {
     out.updater_txns += u->iterations();
-    p50 = std::max(p50, u->latency().Percentile(0.50));
-    p99 = std::max(p99, u->latency().Percentile(0.99));
-    max_ns = std::max(max_ns, u->latency().max_nanos());
+    updater_lat.MergeFrom(u->latency());
   }
-  out.p50_us = p50 / 1000;
-  out.p99_us = p99 / 1000;
-  out.max_us = max_ns / 1000;
-  LockManager::Stats ls = env.db.lock_manager()->GetStats();
-  out.lock_wait_ms = ls.wait_nanos / 1000000;
-  out.deadlocks = ls.deadlocks;
+  out.p50_us = updater_lat.Percentile(0.50) / 1000;
+  out.p99_us = updater_lat.Percentile(0.99) / 1000;
+  out.max_us = updater_lat.max_nanos() / 1000;
+  obs::MetricsRegistry registry;
+  env.db.lock_manager()->RegisterMetrics(&registry, &registry);
+  out.snapshot = registry.Snapshot();
+  out.lock_wait_ms =
+      out.snapshot.CounterTotal("rollview_lock_wait_nanos_total") / 1000000;
   out.reader_p99_us = read_worker.latency().Percentile(0.99) / 1000;
   out.staleness = staleness_samples.value() == 0
                       ? 0
@@ -226,18 +231,18 @@ struct SvcResult {
   uint64_t updater_txns = 0;
   uint64_t updater_retries = 0;   // OLTP aborts absorbed by stream retry
   uint64_t oltp_p99_wait_us = 0;  // per-class lock-wait histogram p99
-  uint64_t oltp_waits = 0;
   uint64_t maint_victims = 0;     // maintenance deadlock-victim aborts
   uint64_t maint_timeouts = 0;
   uint64_t transients = 0;        // supervisor-absorbed step failures
   uint64_t queries = 0;
   uint64_t avg_stale = 0;
   uint64_t target_end = 0;
-  uint64_t shrinks = 0;
-  uint64_t grows = 0;
   uint64_t sheds = 0;
   double drain_ms = 0;
   std::string outcome;
+  // Everything the service and lock manager export, scraped after the
+  // drain; the JSON row reads straight from here via RegistryRowEmitter.
+  obs::MetricsSnapshot snapshot;
 };
 
 SvcResult RunServiceArm(bool adaptive, int run_millis) {
@@ -280,7 +285,12 @@ SvcResult RunServiceArm(bool adaptive, int run_millis) {
   } else {
     mopts.target_rows_per_query = kFixedTargetRows;
   }
+  // One registry carries both the service's and the lock manager's metrics;
+  // it precedes the service so it survives the service's deregistration.
+  obs::MetricsRegistry registry;
   MaintenanceService service(&env.views, view, mopts);
+  service.RegisterMetrics(&registry);
+  env.db.lock_manager()->RegisterMetrics(&registry, &registry);
   MaintenanceService* svc = &service;
 
   // Antagonists: the paced single-table updaters of E3, plus cross-table
@@ -396,29 +406,35 @@ SvcResult RunServiceArm(bool adaptive, int run_millis) {
   }
   for (auto& s : streams) out.updater_retries += s->stats().aborts_retried;
   out.updater_retries += cross_retries.load();
-  LockManager::Stats ls = env.db.lock_manager()->GetStats();
-  out.oltp_p99_wait_us =
-      env.db.lock_manager()->WaitHistogram(TxnClass::kOltp).Percentile(0.99) /
-      1000;
-  out.oltp_waits = ls.cls(TxnClass::kOltp).waits;
-  out.maint_victims = ls.cls(TxnClass::kMaintenance).deadlock_victims;
-  out.maint_timeouts = ls.cls(TxnClass::kMaintenance).timeouts;
-  DriverStats ps = service.propagate_driver_stats();
-  DriverStats as = service.apply_driver_stats();
-  out.transients = ps.transient_errors + as.transient_errors;
-  out.queries = service.runner_stats()->queries;
+  out.snapshot = registry.Snapshot();
+  const obs::MetricsSnapshot& snap = out.snapshot;
+  const obs::HistogramSummary* oltp_wait =
+      snap.Histogram("rollview_lock_wait_latency", {{"class", "oltp"}});
+  out.oltp_p99_wait_us = oltp_wait == nullptr ? 0 : oltp_wait->p99 / 1000;
+  out.maint_victims = snap.CounterValue("rollview_lock_deadlock_victims_total",
+                                        {{"class", "maintenance"}});
+  out.maint_timeouts = snap.CounterValue("rollview_lock_timeouts_total",
+                                         {{"class", "maintenance"}});
+  out.transients =
+      snap.CounterValue(
+          "rollview_step_total",
+          {{"view", "V"}, {"driver", "propagate"},
+           {"outcome", "transient_error"}}) +
+      snap.CounterValue("rollview_step_total",
+                        {{"view", "V"}, {"driver", "apply"},
+                         {"outcome", "transient_error"}});
+  out.queries = snap.CounterTotal("rollview_queries_total");
   out.avg_stale = staleness_samples.value() == 0
                       ? 0
                       : staleness_sum.value() / staleness_samples.value();
-  if (const IntervalController* ctl = service.interval_controller()) {
-    IntervalController::Stats cs = ctl->GetStats();
-    out.target_end = ctl->target_rows();
-    out.shrinks = cs.shrinks + cs.transient_shrinks;
-    out.grows = cs.grows;
-    out.sheds = cs.shed_entries;
-  } else {
-    out.target_end = kFixedTargetRows;
-  }
+  out.target_end =
+      static_cast<uint64_t>(snap.GaugeValue("rollview_view_target_rows",
+                                            {{"view", "V"}}));
+  // Fixed arm: the interval-event counters are simply absent, so these
+  // lookups come back 0 -- same zeros the IntervalController-less arm
+  // always reported.
+  out.sheds = snap.CounterValue("rollview_interval_events_total",
+                                {{"view", "V"}, {"event", "shed_entry"}});
   out.outcome = "clean";
   if (!service.last_error().ok()) out.outcome = "recovered";
   if (service.propagate_health() == DriverHealth::kFailed ||
@@ -470,23 +486,37 @@ int RunE12(JsonReport* report, bool smoke) {
                     FmtInt(r.target_end), FmtInt(r.sheds), r.outcome});
     if (report != nullptr) {
       report->BeginRow();
-      report->Str("mode", r.arm);
-      report->Int("updater_txns", r.updater_txns);
-      report->Int("updater_retries", r.updater_retries);
-      report->Int("oltp_p99_wait_us", r.oltp_p99_wait_us);
-      report->Int("oltp_waits", r.oltp_waits);
-      report->Int("maint_victims", r.maint_victims);
-      report->Int("maint_timeouts", r.maint_timeouts);
-      report->Int("transients", r.transients);
-      report->Int("queries", r.queries);
-      report->Int("avg_stale", r.avg_stale);
-      report->Int("staleness_slo", kStalenessSlo);
-      report->Int("target_end", r.target_end);
-      report->Int("shrinks", r.shrinks);
-      report->Int("grows", r.grows);
-      report->Int("sheds", r.sheds);
-      report->Num("drain_ms", r.drain_ms, 3);
-      report->Str("outcome", r.outcome);
+      RegistryRowEmitter emit(report, &r.snapshot);
+      emit.Str("mode", r.arm);
+      emit.Int("updater_txns", r.updater_txns);
+      emit.Int("updater_retries", r.updater_retries);
+      emit.PercentileMicros("oltp_p99_wait_us", "rollview_lock_wait_latency",
+                            {{"class", "oltp"}}, 0.99);
+      emit.Counter("oltp_waits", "rollview_lock_waits_total",
+                   {{"class", "oltp"}});
+      emit.Counter("maint_victims", "rollview_lock_deadlock_victims_total",
+                   {{"class", "maintenance"}});
+      emit.Counter("maint_timeouts", "rollview_lock_timeouts_total",
+                   {{"class", "maintenance"}});
+      emit.CounterSum(
+          "transients", "rollview_step_total",
+          {{{"view", "V"}, {"driver", "propagate"},
+            {"outcome", "transient_error"}},
+           {{"view", "V"}, {"driver", "apply"},
+            {"outcome", "transient_error"}}});
+      emit.CounterTotal("queries", "rollview_queries_total");
+      emit.Int("avg_stale", r.avg_stale);
+      emit.Int("staleness_slo", kStalenessSlo);
+      emit.Gauge("target_end", "rollview_view_target_rows", {{"view", "V"}});
+      emit.CounterSum("shrinks", "rollview_interval_events_total",
+                      {{{"view", "V"}, {"event", "shrink"}},
+                       {{"view", "V"}, {"event", "transient_shrink"}}});
+      emit.Counter("grows", "rollview_interval_events_total",
+                   {{"view", "V"}, {"event", "grow"}});
+      emit.Counter("sheds", "rollview_interval_events_total",
+                   {{"view", "V"}, {"event", "shed_entry"}});
+      emit.Num("drain_ms", r.drain_ms, 3);
+      emit.Str("outcome", r.outcome);
     }
     rows[arm] = std::move(r);
   }
@@ -549,22 +579,25 @@ void RunE3(JsonReport* report) {
   for (const std::string mode :
        {"none", "full", "sync-eq1", "propagate", "rolling", "mvcc-snap"}) {
     RowResult r = RunMode(mode);
+    uint64_t deadlocks =
+        r.snapshot.CounterTotal("rollview_lock_deadlock_victims_total");
     table.PrintRow({r.mode, FmtInt(r.updater_txns), FmtInt(r.p50_us),
                     FmtInt(r.p99_us), Fmt(r.max_us / 1000.0, 1),
-                    FmtInt(r.lock_wait_ms), FmtInt(r.deadlocks),
+                    FmtInt(r.lock_wait_ms), FmtInt(deadlocks),
                     FmtInt(r.reader_p99_us), FmtInt(r.staleness),
                     FmtInt(r.maint_queries)});
     report->BeginRow();
-    report->Str("mode", r.mode);
-    report->Int("updater_txns", r.updater_txns);
-    report->Int("p50_us", r.p50_us);
-    report->Int("p99_us", r.p99_us);
-    report->Int("max_us", r.max_us);
-    report->Int("lock_wait_ms", r.lock_wait_ms);
-    report->Int("deadlocks", r.deadlocks);
-    report->Int("reader_p99_us", r.reader_p99_us);
-    report->Int("avg_stale", r.staleness);
-    report->Int("queries", r.maint_queries);
+    RegistryRowEmitter emit(report, &r.snapshot);
+    emit.Str("mode", r.mode);
+    emit.Int("updater_txns", r.updater_txns);
+    emit.Int("p50_us", r.p50_us);
+    emit.Int("p99_us", r.p99_us);
+    emit.Int("max_us", r.max_us);
+    emit.Int("lock_wait_ms", r.lock_wait_ms);
+    emit.CounterTotal("deadlocks", "rollview_lock_deadlock_victims_total");
+    emit.Int("reader_p99_us", r.reader_p99_us);
+    emit.Int("avg_stale", r.staleness);
+    emit.Int("queries", r.maint_queries);
   }
   std::printf(
       "\nShape: 'full'/'sync-eq1' hold S locks on all base tables per\n"

@@ -65,6 +65,12 @@ SpjViewDef SelectiveViewDef(const TwoTableWorkload& workload) {
 struct PointResult {
   std::string arm;  // "off" | "on"
   Csn interval = 0;
+  // Every counter below is read back out of the registry snapshot -- the
+  // one serializer path shared by all benches -- not from bespoke stats
+  // plumbing. The scalar copies exist for the table printer, the
+  // cross-repetition determinism check, and the smoke baseline diff.
+  std::string view_name;
+  obs::MetricsSnapshot snapshot;
   uint64_t queries = 0;
   double total_ms = 0;
   double mean_q_us = 0;
@@ -72,8 +78,6 @@ struct PointResult {
   uint64_t rows_out = 0;
   uint64_t rows_copied = 0;
   uint64_t rows_borrowed = 0;
-  uint64_t bytes_copied = 0;
-  uint64_t bytes_borrowed = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   double build_ms = 0;
@@ -106,23 +110,51 @@ PointResult RunPoint(Env* env, const TwoTableWorkload& workload, Csn t0,
   res.arm = cache_on ? "on" : "off";
   res.interval = interval;
   res.total_ms = total.ElapsedMillis();
-  const RunnerStats& rs = prop.runner()->stats();
-  res.queries = rs.queries;
-  res.mean_q_us = rs.queries == 0
-                      ? 0.0
-                      : res.total_ms * 1000.0 / static_cast<double>(rs.queries);
-  res.rows_in = rs.exec.input_rows;
-  res.rows_out = rs.rows_appended;
-  res.rows_copied = rs.exec.rows_copied;
-  res.rows_borrowed = rs.exec.rows_borrowed;
-  res.bytes_copied = rs.exec.bytes_copied;
-  res.bytes_borrowed = rs.exec.bytes_borrowed;
-  res.cache_hits = rs.exec.build_cache_hits;
-  res.cache_misses = rs.exec.build_cache_misses;
-  res.build_ms = static_cast<double>(rs.exec.build_nanos) / 1e6;
-  res.exec_q_us = rs.queries == 0 ? 0.0
-                                  : static_cast<double>(rs.exec.exec_nanos) /
-                                        1e3 / static_cast<double>(rs.queries);
+  res.view_name = view->name;
+
+  // The runner is quiescent now, which is exactly the contract
+  // QueryRunner::RegisterMetrics documents; the snapshot is value-typed and
+  // outlives the registry, runner and view.
+  obs::MetricsRegistry registry;
+  prop.runner()->RegisterMetrics(&registry, &registry);
+  res.snapshot = registry.Snapshot();
+
+  const obs::MetricsSnapshot& snap = res.snapshot;
+  const obs::Labels v{{"view", res.view_name}};
+  auto with = [&](std::initializer_list<std::pair<std::string, std::string>>
+                      extra) {
+    obs::Labels labels = v;
+    for (const auto& kv : extra) labels.push_back(kv);
+    return labels;
+  };
+  res.queries = snap.CounterValue("rollview_queries_total",
+                                  with({{"kind", "forward"}})) +
+                snap.CounterValue("rollview_queries_total",
+                                  with({{"kind", "compensation"}}));
+  res.mean_q_us =
+      res.queries == 0
+          ? 0.0
+          : res.total_ms * 1000.0 / static_cast<double>(res.queries);
+  res.rows_in =
+      snap.CounterValue("rollview_exec_rows_total", with({{"dir", "in"}}));
+  res.rows_out = snap.CounterValue("rollview_view_delta_rows_total", v);
+  res.rows_copied = snap.CounterValue("rollview_exec_rows_moved_total",
+                                      with({{"path", "copied"}}));
+  res.rows_borrowed = snap.CounterValue("rollview_exec_rows_moved_total",
+                                        with({{"path", "borrowed"}}));
+  res.cache_hits = snap.CounterValue("rollview_build_cache_queries_total",
+                                     with({{"outcome", "hit"}}));
+  res.cache_misses = snap.CounterValue("rollview_build_cache_queries_total",
+                                       with({{"outcome", "miss"}}));
+  res.build_ms =
+      static_cast<double>(snap.CounterValue("rollview_build_nanos_total", v)) /
+      1e6;
+  res.exec_q_us =
+      res.queries == 0
+          ? 0.0
+          : static_cast<double>(
+                snap.CounterValue("rollview_exec_nanos_total", v)) /
+                1e3 / static_cast<double>(res.queries);
   return res;
 }
 
@@ -316,21 +348,32 @@ int Main(int argc, char** argv) {
                       FmtInt(res.cache_hits), FmtInt(res.cache_misses),
                       Fmt(res.build_ms), Fmt(res.total_ms)});
       report.BeginRow();
-      report.Str("arm", res.arm);
-      report.Int("interval", res.interval);
-      report.Int("queries", res.queries);
-      report.Num("total_ms", res.total_ms);
-      report.Num("mean_q_us", res.mean_q_us, 1);
-      report.Num("exec_q_us", res.exec_q_us, 1);
-      report.Int("rows_in", res.rows_in);
-      report.Int("rows_out", res.rows_out);
-      report.Int("rows_copied", res.rows_copied);
-      report.Int("rows_borrowed", res.rows_borrowed);
-      report.Int("bytes_copied", res.bytes_copied);
-      report.Int("bytes_borrowed", res.bytes_borrowed);
-      report.Int("cache_hits", res.cache_hits);
-      report.Int("cache_misses", res.cache_misses);
-      report.Num("build_ms", res.build_ms);
+      RegistryRowEmitter emit(&report, &res.snapshot);
+      const obs::Labels v{{"view", res.view_name}};
+      emit.Str("arm", res.arm);
+      emit.Int("interval", res.interval);
+      emit.CounterSum("queries", "rollview_queries_total",
+                      {{{"view", res.view_name}, {"kind", "forward"}},
+                       {{"view", res.view_name}, {"kind", "compensation"}}});
+      emit.Num("total_ms", res.total_ms);
+      emit.Num("mean_q_us", res.mean_q_us, 1);
+      emit.Num("exec_q_us", res.exec_q_us, 1);
+      emit.Counter("rows_in", "rollview_exec_rows_total",
+                   {{"view", res.view_name}, {"dir", "in"}});
+      emit.Counter("rows_out", "rollview_view_delta_rows_total", v);
+      emit.Counter("rows_copied", "rollview_exec_rows_moved_total",
+                   {{"view", res.view_name}, {"path", "copied"}});
+      emit.Counter("rows_borrowed", "rollview_exec_rows_moved_total",
+                   {{"view", res.view_name}, {"path", "borrowed"}});
+      emit.Counter("bytes_copied", "rollview_exec_bytes_moved_total",
+                   {{"view", res.view_name}, {"path", "copied"}});
+      emit.Counter("bytes_borrowed", "rollview_exec_bytes_moved_total",
+                   {{"view", res.view_name}, {"path", "borrowed"}});
+      emit.Counter("cache_hits", "rollview_build_cache_queries_total",
+                   {{"view", res.view_name}, {"outcome", "hit"}});
+      emit.Counter("cache_misses", "rollview_build_cache_queries_total",
+                   {{"view", res.view_name}, {"outcome", "miss"}});
+      emit.Num("build_ms", res.build_ms);
       results.push_back(std::move(res));
     }
   }

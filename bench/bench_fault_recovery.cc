@@ -27,15 +27,37 @@ constexpr int kUpdaters = 2;
 
 struct RowResult {
   double abort_pct = 0;
-  uint64_t injected = 0;         // faults fired (all kinds)
-  uint64_t queries = 0;          // committed propagation queries
-  uint64_t transient_errors = 0; // absorbed by the supervisors
+  uint64_t injected = 0;  // faults fired (all kinds)
+  // Maintenance-side counters come back as a registry snapshot (scraped at
+  // quiescence, after Stop) and flow to JSON through the shared
+  // RegistryRowEmitter; the scalar fields cover only bench-local values and
+  // the printed table.
+  obs::MetricsSnapshot snapshot;
+  uint64_t queries = 0;
+  uint64_t transient_errors = 0;
   uint64_t recoveries = 0;
   uint64_t degraded_entries = 0;
   double backoff_ms = 0;
-  double drain_ms = 0;           // quiescence time with faults still armed
+  double drain_ms = 0;  // quiescence time with faults still armed
   std::string health;
 };
+
+// Both drivers' label sets for one metric, so totals sum in one call.
+std::vector<obs::Labels> BothDrivers() {
+  return {{{"view", "V"}, {"driver", "propagate"}},
+          {{"view", "V"}, {"driver", "apply"}}};
+}
+
+uint64_t SumDrivers(const obs::MetricsSnapshot& snap, const std::string& name,
+                    const char* extra_key = nullptr,
+                    const char* extra_value = nullptr) {
+  uint64_t sum = 0;
+  for (obs::Labels labels : BothDrivers()) {
+    if (extra_key != nullptr) labels.emplace_back(extra_key, extra_value);
+    sum += snap.CounterValue(name, labels);
+  }
+  return sum;
+}
 
 RowResult RunStorm(double abort_probability) {
   Env env;
@@ -65,7 +87,11 @@ RowResult RunStorm(double abort_probability) {
   mopts.target_rows_per_query = 64;
   mopts.backoff.initial = std::chrono::microseconds(100);
   mopts.backoff.max = std::chrono::microseconds(5000);
+  // Declared before the service: the service's destructor deregisters its
+  // callbacks, so the registry must outlive it.
+  obs::MetricsRegistry registry;
   MaintenanceService service(&env.views, view, mopts);
+  service.RegisterMetrics(&registry);
   service.Start();
 
   std::vector<std::unique_ptr<UpdateStream>> streams;
@@ -100,14 +126,17 @@ RowResult RunStorm(double abort_probability) {
   FaultInjector::Stats fs = fi.GetStats();
   out.injected = fs.injected_aborts + fs.injected_busy +
                  fs.injected_wal_errors + fs.lag_polls;
-  out.queries = service.runner_stats()->queries;
-  DriverStats ps = service.propagate_driver_stats();
-  DriverStats as = service.apply_driver_stats();
-  out.transient_errors = ps.transient_errors + as.transient_errors;
-  out.recoveries = ps.recoveries + as.recoveries;
-  out.degraded_entries = ps.degraded_entries + as.degraded_entries;
-  out.backoff_ms =
-      static_cast<double>(ps.backoff_nanos + as.backoff_nanos) / 1e6;
+  out.snapshot = registry.Snapshot();
+  out.queries = out.snapshot.CounterTotal("rollview_queries_total");
+  out.transient_errors = SumDrivers(out.snapshot, "rollview_step_total",
+                                    "outcome", "transient_error");
+  out.recoveries =
+      SumDrivers(out.snapshot, "rollview_driver_recoveries_total");
+  out.degraded_entries =
+      SumDrivers(out.snapshot, "rollview_driver_degraded_total");
+  out.backoff_ms = static_cast<double>(SumDrivers(
+                       out.snapshot, "rollview_driver_backoff_nanos_total")) /
+                   1e6;
   out.drain_ms = drain_ms;
   // Worst health observed at the end; Stop() left both drivers kStopped,
   // so report what Stop() returned instead: OK means neither died.
@@ -139,15 +168,21 @@ void Main() {
                     FmtInt(r.recoveries), FmtInt(r.degraded_entries),
                     Fmt(r.backoff_ms, 2), Fmt(r.drain_ms, 1), r.health});
     report.BeginRow();
-    report.Num("abort_pct", r.abort_pct, 0);
-    report.Int("injected", r.injected);
-    report.Int("queries", r.queries);
-    report.Int("transient_errors", r.transient_errors);
-    report.Int("recoveries", r.recoveries);
-    report.Int("degraded_entries", r.degraded_entries);
-    report.Num("backoff_ms", r.backoff_ms, 3);
-    report.Num("drain_ms", r.drain_ms, 3);
-    report.Str("outcome", r.health);
+    RegistryRowEmitter emit(&report, &r.snapshot);
+    emit.Num("abort_pct", r.abort_pct, 0);
+    emit.Int("injected", r.injected);
+    emit.CounterTotal("queries", "rollview_queries_total");
+    emit.CounterSum(
+        "transient_errors", "rollview_step_total",
+        {{{"view", "V"}, {"driver", "propagate"}, {"outcome", "transient_error"}},
+         {{"view", "V"}, {"driver", "apply"}, {"outcome", "transient_error"}}});
+    emit.CounterSum("recoveries", "rollview_driver_recoveries_total",
+                    BothDrivers());
+    emit.CounterSum("degraded_entries", "rollview_driver_degraded_total",
+                    BothDrivers());
+    emit.Num("backoff_ms", r.backoff_ms, 3);
+    emit.Num("drain_ms", r.drain_ms, 3);
+    emit.Str("outcome", r.health);
   }
   report.Write();
   std::printf(

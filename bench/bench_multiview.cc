@@ -141,11 +141,13 @@ RowResult RunMode(const std::string& mode, size_t num_views) {
 
   RowResult out;
   out.upd_txns = w1.iterations() + w2.iterations();
-  out.p99_us =
-      std::max(w1.latency().Percentile(0.99), w2.latency().Percentile(0.99)) /
-      1000;
-  out.max_us =
-      std::max(w1.latency().max_nanos(), w2.latency().max_nanos()) / 1000;
+  // Pooled-population percentiles via reservoir merge, not the old
+  // max-of-per-worker-percentiles upper bound.
+  LatencyHistogram merged;
+  merged.MergeFrom(w1.latency());
+  merged.MergeFrom(w2.latency());
+  out.p99_us = merged.Percentile(0.99) / 1000;
+  out.max_us = merged.max_nanos() / 1000;
   out.lockwait_ms = env.db.lock_manager()->GetStats().wait_nanos / 1000000;
   out.total_queries = total_queries;
   return out;

@@ -35,6 +35,9 @@ struct RowResult {
   uint64_t rows_discarded = 0;// mid-flight rows cancelled by omission (torn)
   uint64_t resume_steps = 0;  // steps to re-reach the frontier after the cut
   double resume_ms = 0;
+  // Scraped from the resumed service at quiescence; JSON rows flow through
+  // the shared RegistryRowEmitter.
+  obs::MetricsSnapshot snapshot;
 };
 
 RowResult RunCadence(uint64_t cadence) {
@@ -127,11 +130,18 @@ RowResult RunCadence(uint64_t cadence) {
     ropts.target_rows_per_query = 16;
     ropts.apply_continuously = true;
     ropts.prune_view_delta = false;
+    // Registry before the service so it outlives the service's
+    // deregistration in ~MaintenanceService.
+    obs::MetricsRegistry registry;
     MaintenanceService resumed(sys.views.get(), rv, ropts);
+    resumed.RegisterMetrics(&registry);
     Stopwatch resume_timer;
     CheckOk(resumed.Drain(sys.db->stable_csn()), "resume drain");
     out.resume_ms = resume_timer.ElapsedMillis();
-    out.resume_steps = resumed.propagate_driver_stats().steps;
+    out.snapshot = registry.Snapshot();
+    out.resume_steps = out.snapshot.CounterValue(
+        "rollview_step_total",
+        {{"view", "V"}, {"driver", "propagate"}, {"outcome", "ok"}});
   }
   return out;
 }
@@ -157,16 +167,19 @@ void Main() {
                     Fmt(r.recover_torn_ms, 1), FmtInt(r.rows_discarded),
                     FmtInt(r.resume_steps), Fmt(r.resume_ms, 1)});
     report.BeginRow();
-    report.Int("checkpoint_every_steps", r.cadence);
-    report.Num("wal_mb", r.wal_mb, 4);
-    report.Int("checkpoints", r.checkpoints);
-    report.Num("checkpoint_mb", r.ckpt_mb, 4);
-    report.Num("recover_full_ms", r.recover_ms, 3);
-    report.Int("delta_rows_restored", r.rows_restored);
-    report.Num("recover_torn_ms", r.recover_torn_ms, 3);
-    report.Int("rows_discarded", r.rows_discarded);
-    report.Int("resume_steps", r.resume_steps);
-    report.Num("resume_ms", r.resume_ms, 3);
+    RegistryRowEmitter emit(&report, &r.snapshot);
+    emit.Int("checkpoint_every_steps", r.cadence);
+    emit.Num("wal_mb", r.wal_mb, 4);
+    emit.Int("checkpoints", r.checkpoints);
+    emit.Num("checkpoint_mb", r.ckpt_mb, 4);
+    emit.Num("recover_full_ms", r.recover_ms, 3);
+    emit.Int("delta_rows_restored", r.rows_restored);
+    emit.Num("recover_torn_ms", r.recover_torn_ms, 3);
+    emit.Int("rows_discarded", r.rows_discarded);
+    emit.Counter(
+        "resume_steps", "rollview_step_total",
+        {{"view", "V"}, {"driver", "propagate"}, {"outcome", "ok"}});
+    emit.Num("resume_ms", r.resume_ms, 3);
   }
   report.Write();
   std::printf(

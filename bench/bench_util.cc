@@ -88,8 +88,13 @@ bool JsonReport::Write() const {
     std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"rows\": [\n",
-               name_.c_str());
+  std::fprintf(f, "{\n  \"experiment\": \"%s\",\n", name_.c_str());
+  if (registry_serializer_) {
+    // Baseline readers skip this line (no row brace, mentions no row keys);
+    // regen_benches.sh greps for it to prove the shared serializer ran.
+    std::fprintf(f, "  \"serializer\": \"registry-snapshot-v1\",\n");
+  }
+  std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows_.size(); ++i) {
     std::fprintf(f, "    {");
     for (size_t j = 0; j < rows_[i].size(); ++j) {
@@ -102,6 +107,45 @@ bool JsonReport::Write() const {
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
   return true;
+}
+
+void RegistryRowEmitter::Counter(const std::string& json_key,
+                                 const std::string& metric,
+                                 const obs::Labels& labels) {
+  report_->Int(json_key, snapshot_->CounterValue(metric, labels));
+}
+
+void RegistryRowEmitter::CounterTotal(const std::string& json_key,
+                                      const std::string& metric) {
+  report_->Int(json_key, snapshot_->CounterTotal(metric));
+}
+
+void RegistryRowEmitter::CounterSum(
+    const std::string& json_key, const std::string& metric,
+    const std::vector<obs::Labels>& label_sets) {
+  uint64_t sum = 0;
+  for (const obs::Labels& labels : label_sets) {
+    sum += snapshot_->CounterValue(metric, labels);
+  }
+  report_->Int(json_key, sum);
+}
+
+void RegistryRowEmitter::Gauge(const std::string& json_key,
+                               const std::string& metric,
+                               const obs::Labels& labels) {
+  report_->Int(json_key,
+               static_cast<uint64_t>(snapshot_->GaugeValue(metric, labels)));
+}
+
+void RegistryRowEmitter::PercentileMicros(const std::string& json_key,
+                                          const std::string& metric,
+                                          const obs::Labels& labels, double q) {
+  const obs::HistogramSummary* h = snapshot_->Histogram(metric, labels);
+  uint64_t nanos = 0;
+  if (h != nullptr) {
+    nanos = q <= 0.5 ? h->p50 : (q <= 0.95 ? h->p95 : h->p99);
+  }
+  report_->Int(json_key, nanos / 1000);
 }
 
 void Banner(const char* experiment_id, const char* claim) {

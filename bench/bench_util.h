@@ -20,6 +20,7 @@
 #include "ivm/propagate.h"
 #include "ivm/rolling.h"
 #include "ivm/view_manager.h"
+#include "obs/registry.h"
 #include "workload/schemas.h"
 
 namespace rollview {
@@ -97,9 +98,68 @@ class JsonReport {
   // printing a warning) if the file cannot be written.
   bool Write() const;
 
+  // Stamps a "serializer": "registry-snapshot-v1" line into the written
+  // JSON, declaring that the rows were produced through RegistryRowEmitter
+  // (i.e. sourced from a MetricsRegistry snapshot, not bespoke counters).
+  // scripts/regen_benches.sh refuses baselines that lack the marker.
+  void MarkRegistrySerializer() { registry_serializer_ = true; }
+
  private:
   std::string name_;
+  bool registry_serializer_ = false;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+// The one row serializer every bench shares: emits row fields into a
+// JsonReport sourced from an obs::MetricsSnapshot, mapping each JSON key to
+// a (metric name, label set) pair from the unified telemetry schema
+// (ALGORITHMS.md section 10). Constructing one marks the report as
+// registry-serialized. Plain Int/Num/Str passthroughs let bench-local
+// values (wall-clock times, sweep parameters) interleave with
+// registry-sourced counters in a single stable key order.
+class RegistryRowEmitter {
+ public:
+  RegistryRowEmitter(JsonReport* report, const obs::MetricsSnapshot* snapshot)
+      : report_(report), snapshot_(snapshot) {
+    report_->MarkRegistrySerializer();
+  }
+
+  // Swaps the snapshot rows are sourced from (one emitter, many arms).
+  void set_snapshot(const obs::MetricsSnapshot* snapshot) {
+    snapshot_ = snapshot;
+  }
+
+  // Counter value for an exact label set; missing samples emit 0.
+  void Counter(const std::string& json_key, const std::string& metric,
+               const obs::Labels& labels = {});
+  // Sum of a counter across all of its label sets.
+  void CounterTotal(const std::string& json_key, const std::string& metric);
+  // Sum of a counter over an explicit list of label sets (e.g. the
+  // transient outcomes of both maintenance drivers).
+  void CounterSum(const std::string& json_key, const std::string& metric,
+                  const std::vector<obs::Labels>& label_sets);
+  void Gauge(const std::string& json_key, const std::string& metric,
+             const obs::Labels& labels = {});
+  // Histogram percentile as integer microseconds (summaries store
+  // nanoseconds); emits 0 when the metric is absent. `q` must be one of
+  // the stored summary quantiles: 0.5, 0.95 or 0.99.
+  void PercentileMicros(const std::string& json_key, const std::string& metric,
+                        const obs::Labels& labels, double q);
+
+  // Bench-local passthroughs.
+  void Int(const std::string& json_key, uint64_t value) {
+    report_->Int(json_key, value);
+  }
+  void Num(const std::string& json_key, double value, int precision = 4) {
+    report_->Num(json_key, value, precision);
+  }
+  void Str(const std::string& json_key, const std::string& value) {
+    report_->Str(json_key, value);
+  }
+
+ private:
+  JsonReport* report_;
+  const obs::MetricsSnapshot* snapshot_;
 };
 
 }  // namespace bench

@@ -34,6 +34,15 @@ for bench in bench_executor bench_fault_recovery bench_recovery \
 done
 
 for json in BENCH_*.json; do
+  # Every baseline must have been produced by the shared registry-snapshot
+  # serializer (bench_util RegistryRowEmitter); a missing marker means a
+  # bench regressed to a bespoke emitter and its schema is no longer
+  # governed by the unified telemetry layer.
+  if ! grep -q '"serializer": "registry-snapshot-v1"' "${json}"; then
+    echo "FATAL: ${json} lacks the registry-snapshot-v1 serializer marker" >&2
+    echo "       (did a bench stop emitting rows through RegistryRowEmitter?)" >&2
+    exit 1
+  fi
   cp "${json}" "${repo_root}/${json}"
   echo "updated ${repo_root}/${json}"
 done

@@ -16,4 +16,36 @@ uint64_t LatencyHistogram::Percentile(double q) const {
   return sorted[idx];
 }
 
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (&other == this) return;
+  // Snapshot the source under its own mutex first, then fold under ours:
+  // never hold both mutexes, so concurrent A.MergeFrom(B) / B.MergeFrom(A)
+  // cannot deadlock.
+  uint64_t o_count, o_sum, o_max;
+  std::vector<uint64_t> o_samples;
+  {
+    std::lock_guard<std::mutex> g(other.mu_);
+    o_count = other.count_;
+    o_sum = other.sum_;
+    o_max = other.max_;
+    o_samples = other.samples_;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  // Replay the retained samples through this reservoir's algorithm-R
+  // stream; then account for the source's unretained remainder in the
+  // exact aggregates only.
+  for (uint64_t s : o_samples) {
+    ++count_;
+    if (samples_.size() < kReservoirCapacity) {
+      samples_.push_back(s);
+    } else {
+      uint64_t j = NextRandom() % count_;
+      if (j < kReservoirCapacity) samples_[static_cast<size_t>(j)] = s;
+    }
+  }
+  count_ += o_count - o_samples.size();
+  sum_ += o_sum;
+  if (o_max > max_) max_ = o_max;
+}
+
 }  // namespace rollview

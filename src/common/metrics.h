@@ -32,6 +32,9 @@ class Counter {
 class Gauge {
  public:
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  // Atomic delta, so concurrent adjusters (pin counts, backlog) need no
+  // read-modify-Set round trip.
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
   int64_t value() const { return v_.load(std::memory_order_relaxed); }
   void Reset() { v_.store(0, std::memory_order_relaxed); }
 
@@ -87,15 +90,31 @@ class LatencyHistogram {
   // report time only. Approximate once count() exceeds the capacity.
   uint64_t Percentile(double q) const;
 
+  // Folds `other` into this histogram: count/sum/max combine exactly and
+  // the other reservoir's samples replay through this reservoir's
+  // replacement stream (so the merge stays bounded and deterministic).
+  // Lets per-thread histograms aggregate at report time instead of sharing
+  // one mutex across updater/propagate/apply threads. Self-merge is a
+  // no-op. Approximate in the same sense as Record once over capacity:
+  // when other.count() exceeds its retained samples, the unretained
+  // remainder contributes to count/sum/max but not to percentiles.
+  void MergeFrom(const LatencyHistogram& other);
+
   void Reset() {
     std::lock_guard<std::mutex> g(mu_);
     samples_.clear();
     count_ = 0;
     sum_ = 0;
     max_ = 0;
+    // Restore the seed so a reset histogram replays the identical
+    // replacement stream as a freshly constructed one (reservoir
+    // determinism across Reset()).
+    rand_state_ = kRandSeed;
   }
 
  private:
+  static constexpr uint64_t kRandSeed = 0x9E3779B97F4A7C15ULL;
+
   // xorshift64*: cheap, deterministic, and private to this histogram so
   // reservoir replacement never perturbs workload RNG streams.
   uint64_t NextRandom() {
@@ -109,7 +128,7 @@ class LatencyHistogram {
 
   mutable std::mutex mu_;
   std::vector<uint64_t> samples_;
-  uint64_t rand_state_ = 0x9E3779B97F4A7C15ULL;
+  uint64_t rand_state_ = kRandSeed;
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t max_ = 0;

@@ -221,7 +221,7 @@ Status CheckpointManager::OnStep() {
 Status CheckpointManager::CheckpointNow() {
   steps_since_checkpoint_ = 0;
   ROLLVIEW_RETURN_NOT_OK(WriteViewCheckpoint(db_, view_));
-  ++written_;
+  written_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -31,6 +31,7 @@
 #ifndef ROLLVIEW_IVM_CHECKPOINT_H_
 #define ROLLVIEW_IVM_CHECKPOINT_H_
 
+#include <atomic>
 #include <string>
 #include <utility>
 #include <vector>
@@ -131,14 +132,17 @@ class CheckpointManager {
   void set_every_steps(uint64_t n) { options_.every_steps = n; }
   uint64_t every_steps() const { return options_.every_steps; }
 
-  uint64_t checkpoints_written() const { return written_; }
+  // Readable from any thread (metrics scrapes race the driver).
+  uint64_t checkpoints_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
 
  private:
   Db* db_;
   View* view_;
   Options options_;
   uint64_t steps_since_checkpoint_ = 0;
-  uint64_t written_ = 0;
+  std::atomic<uint64_t> written_{0};
 };
 
 }  // namespace rollview

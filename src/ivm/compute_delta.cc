@@ -44,7 +44,21 @@ Status ComputeDeltaOp::RunAtDepth(const PropQuery& q,
       }
     }
 
-    ROLLVIEW_ASSIGN_OR_RETURN(Csn t_exec, runner_->Execute(fwd));
+    // The query's compensation subtree nests inside its span, so the trace
+    // mirrors the Figure 4 recursion. Depth counts compensation nesting:
+    // the forward query of a plain propagation step is depth 1, each
+    // recursive compensation level adds one.
+    obs::ScopedSpan span(tracer_, fwd.NumDeltaTerms() == 1
+                                      ? obs::SpanKind::kForward
+                                      : obs::SpanKind::kCompensation);
+    span.Attr("relation", static_cast<int64_t>(i));
+    span.Attr("depth", static_cast<int64_t>(depth));
+    Result<Csn> exec = runner_->Execute(fwd);
+    if (!exec.ok()) {
+      span.set_ok(false);
+      return exec.status();
+    }
+    Csn t_exec = exec.value();
     stats_.queries_issued++;
 
     if (fwd.HasBaseTerm()) {
@@ -55,8 +69,11 @@ Status ComputeDeltaOp::RunAtDepth(const PropQuery& q,
       for (size_t j = 0; j < q.num_terms(); ++j) {
         tau_intended[j] = (j < i) ? tau_old[j] : t_new;
       }
-      ROLLVIEW_RETURN_NOT_OK(
-          RunAtDepth(fwd.Negated(), tau_intended, t_exec, depth + 1));
+      Status s = RunAtDepth(fwd.Negated(), tau_intended, t_exec, depth + 1);
+      if (!s.ok()) {
+        span.set_ok(false);
+        return s;
+      }
     }
   }
   return Status::OK();

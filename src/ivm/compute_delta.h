@@ -59,6 +59,11 @@ class ComputeDeltaOp {
   const ComputeDeltaStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ComputeDeltaStats{}; }
 
+  // Step tracing: each issued query opens a span (forward when it has one
+  // delta term, compensation otherwise) tagged with its relation and
+  // recursion depth; the compensation subtree nests inside it.
+  void set_tracer(obs::StepTracer* tracer) { tracer_ = tracer; }
+
  private:
   Status RunAtDepth(const PropQuery& q, const std::vector<Csn>& tau_old,
                     Csn t_new, uint64_t depth);
@@ -66,6 +71,7 @@ class ComputeDeltaOp {
   QueryRunner* runner_;
   ComputeDeltaOptions options_;
   ComputeDeltaStats stats_;
+  obs::StepTracer* tracer_ = nullptr;
 };
 
 }  // namespace rollview

@@ -58,12 +58,24 @@ MaintenanceService::MaintenanceService(ViewManager* views, View* view,
     checkpointer_ = std::make_unique<CheckpointManager>(views->db(), view,
                                                         copts);
   }
+  if (options_.trace_journal_capacity > 0) {
+    journal_ =
+        std::make_unique<obs::TraceJournal>(options_.trace_journal_capacity);
+    propagate_tracer_.set_journal(journal_.get());
+    apply_tracer_.set_journal(journal_.get());
+    if (rolling_ != nullptr) {
+      rolling_->set_tracer(&propagate_tracer_);
+    } else {
+      plain_->set_tracer(&propagate_tracer_);
+    }
+  }
 }
 
 MaintenanceService::~MaintenanceService() {
   // The final error (if any) stays readable through last_error() until
   // destruction; Stop()'s return value here has nowhere to go.
   Stop().ok();
+  if (registry_ != nullptr) registry_->DropOwner(this);
 }
 
 const RunnerStats* MaintenanceService::runner_stats() const {
@@ -72,6 +84,18 @@ const RunnerStats* MaintenanceService::runner_stats() const {
 }
 
 Status MaintenanceService::PropagateStep(bool* advanced) {
+  if (journal_ != nullptr) {
+    // Supervision context for the trace the propagator is about to open: a
+    // retried step carries its position in the failure streak and the
+    // health the supervisor reported when scheduling it.
+    propagate_tracer_.SetNextStepContext(
+        static_cast<uint64_t>(
+            propagate_driver_.consecutive.load(std::memory_order_relaxed)),
+        DriverHealthName(propagate_health()),
+        controller_ != nullptr
+            ? static_cast<int64_t>(controller_->target_rows())
+            : static_cast<int64_t>(options_.target_rows_per_query));
+  }
   Status s = [&]() -> Status {
     if (rolling_ != nullptr) {
       Result<bool> r = rolling_->Step();
@@ -90,10 +114,38 @@ Status MaintenanceService::PropagateStep(bool* advanced) {
     if (*advanced && checkpointer_ != nullptr) {
       // On the propagate driver thread, between steps: exactly the
       // threading contract WriteViewCheckpoint requires.
-      ROLLVIEW_RETURN_NOT_OK(checkpointer_->OnStep());
+      uint64_t before = checkpointer_->checkpoints_written();
+      Status cs = checkpointer_->OnStep();
+      if (journal_ != nullptr &&
+          (!cs.ok() || checkpointer_->checkpoints_written() != before)) {
+        // Cadence checkpoints run between step traces, not inside them, so
+        // a fired (or failed) checkpoint gets its own root-level trace.
+        propagate_tracer_.BeginStep(obs::SpanKind::kCheckpoint, view_->id,
+                                    view_->name,
+                                    checkpointer_->checkpoints_written());
+        propagate_tracer_.EndStep(
+            cs.ok() ? obs::StepOutcome::kOk
+                    : (cs.IsTransient() ? obs::StepOutcome::kTransientError
+                                        : obs::StepOutcome::kPermanentError),
+            cs.ok() ? std::string() : cs.ToString());
+      }
+      ROLLVIEW_RETURN_NOT_OK(cs);
     }
     return Status::OK();
   }();
+
+  {
+    // Mirror the driver-thread-local propagation stats for cross-thread
+    // metric scrapes (the hot structs are unsynchronized by design).
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    runner_mirror_ = *runner_stats();
+    if (rolling_ != nullptr) {
+      compute_delta_mirror_ = rolling_->compute_delta_stats();
+      rolling_mirror_ = rolling_->rolling_stats();
+    } else {
+      compute_delta_mirror_ = plain_->compute_delta_stats();
+    }
+  }
 
   if (controller_ != nullptr) {
     if (!s.ok() && s.IsTransient()) {
@@ -192,12 +244,37 @@ DriverHealth MaintenanceService::SteadyHealth(const Driver* driver) const {
 
 Status MaintenanceService::ApplyStep(bool* advanced) {
   Csn hwm = view_->high_water_mark();
-  if (hwm > view_->mv->csn()) {
-    *advanced = true;
-    return applier_->RollTo(hwm);
+  if (hwm <= view_->mv->csn()) {
+    *advanced = false;
+    return Status::OK();
   }
-  *advanced = false;
-  return Status::OK();
+  *advanced = true;
+  const Applier::Stats& astats = applier_->stats();
+  if (journal_ != nullptr) {
+    uint64_t rows_before = astats.rows_selected;
+    apply_tracer_.SetNextStepContext(
+        static_cast<uint64_t>(
+            apply_driver_.consecutive.load(std::memory_order_relaxed)),
+        DriverHealthName(apply_health()), /*target_rows=*/0);
+    apply_tracer_.BeginStep(obs::SpanKind::kApply, view_->id, view_->name,
+                            astats.rolls + 1);
+    apply_tracer_.Attr(1, "t_a", static_cast<int64_t>(view_->mv->csn()));
+    apply_tracer_.Attr(1, "t_b", static_cast<int64_t>(hwm));
+    Status s = applier_->RollTo(hwm);
+    apply_tracer_.AddStepRows(astats.rows_selected - rows_before);
+    apply_tracer_.EndStep(
+        s.ok() ? obs::StepOutcome::kOk
+               : (s.IsTransient() ? obs::StepOutcome::kTransientError
+                                  : obs::StepOutcome::kPermanentError),
+        s.ok() ? std::string() : s.ToString());
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    apply_mirror_ = astats;
+    return s;
+  }
+  Status s = applier_->RollTo(hwm);
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  apply_mirror_ = astats;
+  return s;
 }
 
 void MaintenanceService::RecordError(const Status& s, bool terminal) {
@@ -224,6 +301,7 @@ void MaintenanceService::DriverLoop(Driver* driver,
   const std::chrono::nanoseconds backoff_cap =
       std::chrono::duration_cast<std::chrono::nanoseconds>(policy.max);
   int consecutive_failures = 0;
+  driver->consecutive.store(0, std::memory_order_relaxed);
 
   while (running_.load(std::memory_order_relaxed)) {
     if (paused->load(std::memory_order_relaxed)) {
@@ -245,6 +323,7 @@ void MaintenanceService::DriverLoop(Driver* driver,
         if (consecutive_failures > 0) driver->stats.recoveries++;
       }
       consecutive_failures = 0;
+      driver->consecutive.store(0, std::memory_order_relaxed);
       backoff =
           std::chrono::duration_cast<std::chrono::nanoseconds>(policy.initial);
       driver->health.store(SteadyHealth(driver), std::memory_order_release);
@@ -253,6 +332,8 @@ void MaintenanceService::DriverLoop(Driver* driver,
     }
 
     ++consecutive_failures;
+    driver->consecutive.store(consecutive_failures,
+                              std::memory_order_relaxed);
     bool terminal =
         !s.IsTransient() || (options_.failed_after > 0 &&
                              consecutive_failures >= options_.failed_after);
@@ -387,6 +468,237 @@ DriverStats MaintenanceService::propagate_driver_stats() const {
 DriverStats MaintenanceService::apply_driver_stats() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   return apply_driver_.stats;
+}
+
+void MaintenanceService::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  const std::string& v = view_->name;
+  const void* owner = this;
+
+  // Supervision: per-driver step outcomes and recovery bookkeeping. The
+  // DriverStats accessors copy under stats_mu_, so every callback here is
+  // safe from any scraping thread.
+  struct DriverSource {
+    const char* name;
+    std::function<DriverStats()> stats;
+    const Driver* driver;
+  };
+  const DriverSource drivers[] = {
+      {"propagate", [this] { return propagate_driver_stats(); },
+       &propagate_driver_},
+      {"apply", [this] { return apply_driver_stats(); }, &apply_driver_},
+  };
+  for (const DriverSource& d : drivers) {
+    const std::string dn = d.name;
+    auto get = d.stats;
+    registry->RegisterCounterFn(
+        "rollview_step_total", {{"view", v}, {"driver", dn}, {"outcome", "ok"}},
+        [get] { return get().steps; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_step_total",
+        {{"view", v}, {"driver", dn}, {"outcome", "transient_error"}},
+        [get] { return get().transient_errors; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_driver_errors_total",
+        {{"view", v}, {"driver", dn}, {"cause", "aborted"}},
+        [get] { return get().errors_aborted; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_driver_errors_total",
+        {{"view", v}, {"driver", dn}, {"cause", "busy"}},
+        [get] { return get().errors_busy; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_driver_recoveries_total", {{"view", v}, {"driver", dn}},
+        [get] { return get().recoveries; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_driver_degraded_total", {{"view", v}, {"driver", dn}},
+        [get] { return get().degraded_entries; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_driver_backoff_nanos_total", {{"view", v}, {"driver", dn}},
+        [get] { return get().backoff_nanos; }, owner);
+    const Driver* drv = d.driver;
+    registry->RegisterGaugeFn(
+        "rollview_driver_health", {{"view", v}, {"driver", dn}},
+        [drv] {
+          return static_cast<int64_t>(
+              drv->health.load(std::memory_order_acquire));
+        },
+        owner);
+  }
+
+  // Derived per-view gauges: how stale the view is and why.
+  const obs::Labels lv{{"view", v}};
+  registry->RegisterGaugeFn(
+      "rollview_view_staleness_csn", lv,
+      [this] {
+        Csn stable = views_->db()->stable_csn();
+        Csn hwm = view_->high_water_mark();
+        return static_cast<int64_t>(stable > hwm ? stable - hwm : 0);
+      },
+      owner);
+  registry->RegisterGaugeFn(
+      "rollview_view_hwm_csn", lv,
+      [this] { return static_cast<int64_t>(view_->high_water_mark()); },
+      owner);
+  registry->RegisterGaugeFn(
+      "rollview_view_mv_csn", lv,
+      [this] { return static_cast<int64_t>(view_->mv->csn()); }, owner);
+  registry->RegisterGaugeFn(
+      "rollview_view_target_rows", lv,
+      [this] {
+        return controller_ != nullptr
+                   ? static_cast<int64_t>(controller_->target_rows())
+                   : static_cast<int64_t>(options_.target_rows_per_query);
+      },
+      owner);
+  // Sampled at contention observations (kAdaptive only); stays 0 otherwise.
+  registry->RegisterGauge("rollview_view_backlog_rows", lv, &backlog_gauge_,
+                          owner);
+  registry->RegisterGaugeFn(
+      "rollview_view_shedding", lv,
+      [this] { return static_cast<int64_t>(shedding() ? 1 : 0); }, owner);
+
+  // Propagation-side counters, read from the post-step mirrors.
+  auto runner = [this] {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return runner_mirror_;
+  };
+  registry->RegisterCounterFn(
+      "rollview_queries_total", {{"view", v}, {"kind", "forward"}},
+      [runner] { return runner().forward_queries; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_queries_total", {{"view", v}, {"kind", "compensation"}},
+      [runner] { return runner().comp_queries; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_query_retries_total", {{"view", v}, {"cause", "aborted"}},
+      [runner] { return runner().retries_aborted; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_query_retries_total", {{"view", v}, {"cause", "busy"}},
+      [runner] { return runner().retries_busy; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_view_delta_rows_total", lv,
+      [runner] { return runner().rows_appended; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_rows_total", {{"view", v}, {"dir", "in"}},
+      [runner] { return runner().exec.input_rows; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_rows_total", {{"view", v}, {"dir", "out"}},
+      [runner] { return runner().exec.output_rows; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_index_probes_total", lv,
+      [runner] { return runner().exec.index_probes; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_pushdown_filtered_total", lv,
+      [runner] { return runner().exec.pushdown_filtered; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_rows_moved_total", {{"view", v}, {"path", "copied"}},
+      [runner] { return runner().exec.rows_copied; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_rows_moved_total", {{"view", v}, {"path", "borrowed"}},
+      [runner] { return runner().exec.rows_borrowed; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_bytes_moved_total", {{"view", v}, {"path", "copied"}},
+      [runner] { return runner().exec.bytes_copied; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_bytes_moved_total", {{"view", v}, {"path", "borrowed"}},
+      [runner] { return runner().exec.bytes_borrowed; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_nanos_total", lv,
+      [runner] { return runner().exec.exec_nanos; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_build_cache_queries_total", {{"view", v}, {"outcome", "hit"}},
+      [runner] { return runner().exec.build_cache_hits; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_build_cache_queries_total", {{"view", v}, {"outcome", "miss"}},
+      [runner] { return runner().exec.build_cache_misses; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_build_nanos_total", lv,
+      [runner] { return runner().exec.build_nanos; }, owner);
+
+  auto compute = [this] {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return compute_delta_mirror_;
+  };
+  registry->RegisterCounterFn(
+      "rollview_compute_delta_total", {{"view", v}, {"event", "invocation"}},
+      [compute] { return compute().invocations; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_compute_delta_total", {{"view", v}, {"event", "query_issued"}},
+      [compute] { return compute().queries_issued; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_compute_delta_total", {{"view", v}, {"event", "query_skipped"}},
+      [compute] { return compute().queries_skipped; }, owner);
+  registry->RegisterGaugeFn(
+      "rollview_compute_delta_max_depth", lv,
+      [compute] { return static_cast<int64_t>(compute().max_depth); }, owner);
+
+  if (rolling_ != nullptr) {
+    auto roll = [this] {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      return rolling_mirror_;
+    };
+    registry->RegisterCounterFn(
+        "rollview_rolling_forward_total",
+        {{"view", v}, {"outcome", "executed"}},
+        [roll] { return roll().forward_queries; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_rolling_forward_total", {{"view", v}, {"outcome", "skipped"}},
+        [roll] { return roll().forward_skipped; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_rolling_compensation_segments_total", lv,
+        [roll] { return roll().compensation_segments; }, owner);
+  }
+
+  auto apply = [this] {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return apply_mirror_;
+  };
+  registry->RegisterCounterFn(
+      "rollview_apply_rolls_total", lv, [apply] { return apply().rolls; },
+      owner);
+  registry->RegisterCounterFn(
+      "rollview_apply_rows_total", {{"view", v}, {"event", "selected"}},
+      [apply] { return apply().rows_selected; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_apply_rows_total", {{"view", v}, {"event", "pruned"}},
+      [apply] { return apply().rows_pruned; }, owner);
+
+  if (checkpointer_ != nullptr) {
+    CheckpointManager* cp = checkpointer_.get();
+    registry->RegisterCounterFn(
+        "rollview_checkpoints_total", lv,
+        [cp] { return cp->checkpoints_written(); }, owner);
+  }
+  if (journal_ != nullptr) {
+    obs::TraceJournal* j = journal_.get();
+    registry->RegisterCounterFn(
+        "rollview_trace_steps_total", lv, [j] { return j->recorded(); },
+        owner);
+  }
+  if (controller_ != nullptr) {
+    // AIMD / shedding state machine events (GetStats copies under the
+    // controller's own mutex).
+    const IntervalController* ic = controller_.get();
+    struct IcEvent {
+      const char* name;
+      uint64_t IntervalController::Stats::* field;
+    };
+    const IcEvent events[] = {
+        {"observation", &IntervalController::Stats::observations},
+        {"shrink", &IntervalController::Stats::shrinks},
+        {"grow", &IntervalController::Stats::grows},
+        {"transient_shrink", &IntervalController::Stats::transient_shrinks},
+        {"pace_escalation", &IntervalController::Stats::pace_escalations},
+        {"slo_violation", &IntervalController::Stats::slo_violations},
+        {"shed_entry", &IntervalController::Stats::shed_entries},
+        {"shed_exit", &IntervalController::Stats::shed_exits},
+    };
+    for (const IcEvent& e : events) {
+      auto field = e.field;
+      registry->RegisterCounterFn(
+          "rollview_interval_events_total", {{"view", v}, {"event", e.name}},
+          [ic, field] { return ic->GetStats().*field; }, owner);
+    }
+  }
 }
 
 Status MaintenanceService::CheckDrainProgress(

@@ -39,6 +39,8 @@
 #include "ivm/propagate.h"
 #include "ivm/retention.h"
 #include "ivm/rolling.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "storage/lock_manager.h"
 
 namespace rollview {
@@ -124,6 +126,13 @@ class MaintenanceService {
     // locks. Harness wiring point for retention pause and UpdateStream
     // worker backpressure.
     std::function<void(bool)> on_shedding;
+
+    // --- Telemetry ---
+    // Capacity of the step-trace journal: how many finished step / apply /
+    // checkpoint traces are retained (ring buffer, O(1) memory). 0 keeps
+    // tracing compiled in but disabled -- no journal is allocated and the
+    // propagators run with a null tracer, so the hot path pays one branch.
+    size_t trace_journal_capacity = 0;
   };
 
   MaintenanceService(ViewManager* views, View* view)
@@ -195,12 +204,30 @@ class MaintenanceService {
   const Gauge& target_rows_gauge() const { return target_rows_gauge_; }
   const Gauge& backlog_gauge() const { return backlog_gauge_; }
 
+  // The step-trace journal; null unless Options::trace_journal_capacity
+  // > 0. Thread-safe (see obs::TraceJournal).
+  obs::TraceJournal* trace_journal() const { return journal_.get(); }
+
+  // Registers this view's maintenance telemetry on `registry` under
+  // rollview_* names labeled {view="<name>"} (see docs/ALGORITHMS.md §10):
+  // per-driver step outcomes and supervision counters, derived per-view
+  // gauges (staleness in CSNs, hwm, backlog, shedding state), propagation
+  // query/exec/compute-delta counters, apply and checkpoint counters, and
+  // the interval-controller events. Safe to call before or after Start();
+  // snapshots may be taken while the drivers run (driver-local stats are
+  // scraped from post-step mirrors, never the hot structs). The registry
+  // must outlive this service; the destructor deregisters via DropOwner.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Driver {
     explicit Driver(const char* n) : name(n) {}
     const char* name;
     std::atomic<DriverHealth> health{DriverHealth::kStopped};
     DriverStats stats;  // guarded by stats_mu_
+    // Current consecutive transient-failure streak, mirrored out of the
+    // driver loop so step traces can carry the retry count.
+    std::atomic<int> consecutive{0};
   };
 
   Status PropagateStep(bool* advanced);
@@ -244,6 +271,20 @@ class MaintenanceService {
   Gauge staleness_gauge_;
   Gauge target_rows_gauge_;
   Gauge backlog_gauge_;
+
+  // Telemetry. The tracers are single-threaded builders, one per driver
+  // (the journal they feed is shared and thread-safe). The mirrors are
+  // post-step copies of driver-thread-local component stats, updated under
+  // stats_mu_ so registry callbacks can read them from any thread without
+  // racing the hot structs.
+  std::unique_ptr<obs::TraceJournal> journal_;
+  obs::StepTracer propagate_tracer_;
+  obs::StepTracer apply_tracer_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  RunnerStats runner_mirror_;                // guarded by stats_mu_
+  ComputeDeltaStats compute_delta_mirror_;   // guarded by stats_mu_
+  RollingPropagator::Stats rolling_mirror_;  // guarded by stats_mu_
+  Applier::Stats apply_mirror_;              // guarded by stats_mu_
 
   std::thread propagate_thread_;
   std::thread apply_thread_;

@@ -44,6 +44,12 @@ void Propagator::PublishCursors(uint64_t completed_seq) {
   view_->AdvanceHwm(t_cur_);
 }
 
+void Propagator::set_tracer(obs::StepTracer* tracer) {
+  tracer_ = tracer;
+  runner_.set_tracer(tracer);
+  compute_delta_.set_tracer(tracer);
+}
+
 Result<bool> Propagator::Step() {
   // Retry a pending cancellation left by a failed previous step (see
   // RollingPropagator::Step for the rationale).
@@ -66,6 +72,13 @@ Result<bool> Propagator::Step() {
   }
   if (t_next <= t_cur_) return false;
 
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->BeginStep(obs::SpanKind::kStep, view_->id, view_->name,
+                       step_seq_);
+    tracer_->Attr(1, "t_a", static_cast<int64_t>(t_cur_));
+    tracer_->Attr(1, "t_b", static_cast<int64_t>(t_next));
+  }
+
   // PropagateInterval commits one transaction per query in the interval's
   // delta expansion; if a later one fails the earlier commits must be
   // cancelled before the supervisor may retry the step, or the retry
@@ -77,14 +90,21 @@ Result<bool> Propagator::Step() {
   Status s = compute_delta_.PropagateInterval(view_, t_cur_, t_next);
   runner_.set_undo_log(nullptr);
   if (!s.ok()) {
-    ROLLVIEW_RETURN_NOT_OK(runner_.CancelFailedStep(&undo_log_));
-    return s;
+    Status cancel = runner_.CancelFailedStep(&undo_log_);
+    Status out = cancel.ok() ? s : cancel;
+    if (tracer_ != nullptr) {
+      tracer_->EndStep(out.IsTransient() ? obs::StepOutcome::kTransientError
+                                         : obs::StepOutcome::kPermanentError,
+                       out.ToString());
+    }
+    return out;
   }
   // Success: clear the log so the next Step's entry check does not cancel
   // (negate) this step's committed rows.
   undo_log_.Clear();
   t_cur_ = t_next;
   PublishCursors(seq);
+  if (tracer_ != nullptr) tracer_->EndStep(obs::StepOutcome::kOk);
   return true;
 }
 

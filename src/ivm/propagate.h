@@ -43,6 +43,11 @@ class Propagator {
     return compute_delta_.stats();
   }
 
+  // Step tracing: each Step() that does work becomes one root span with
+  // the interval (t_a, t_b]; ComputeDelta's query tree nests under it. See
+  // RollingPropagator::set_tracer.
+  void set_tracer(obs::StepTracer* tracer);
+
  private:
   // Durable cursor publication after a completed step (uniform frontiers:
   // n copies of t_cur_). See RollingPropagator::PublishCursors.
@@ -56,6 +61,7 @@ class Propagator {
   StepUndoLog undo_log_;
   uint64_t step_seq_ = 1;
   Csn t_cur_;
+  obs::StepTracer* tracer_ = nullptr;
 };
 
 }  // namespace rollview

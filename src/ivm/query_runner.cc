@@ -4,12 +4,70 @@
 #include <thread>
 
 #include "common/fault_injector.h"
+#include "obs/registry.h"
 
 namespace rollview {
 
 QueryRunner::QueryRunner(ViewManager* views, View* view,
                          RunnerOptions options)
     : views_(views), view_(view), options_(options) {}
+
+void QueryRunner::RegisterMetrics(obs::MetricsRegistry* registry,
+                                  const void* owner) const {
+  // Same metric schema MaintenanceService::RegisterMetrics exports from its
+  // post-step mirrors, sourced straight from the (unsynchronized) stats
+  // struct -- quiescent-scrape only.
+  const std::string& v = view_->name;
+  const RunnerStats* s = &stats_;
+  registry->RegisterCounterFn(
+      "rollview_queries_total", {{"view", v}, {"kind", "forward"}},
+      [s] { return s->forward_queries; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_queries_total", {{"view", v}, {"kind", "compensation"}},
+      [s] { return s->comp_queries; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_query_retries_total", {{"view", v}, {"cause", "aborted"}},
+      [s] { return s->retries_aborted; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_query_retries_total", {{"view", v}, {"cause", "busy"}},
+      [s] { return s->retries_busy; }, owner);
+  registry->RegisterCounterFn("rollview_view_delta_rows_total", {{"view", v}},
+                              [s] { return s->rows_appended; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_rows_total", {{"view", v}, {"dir", "in"}},
+      [s] { return s->exec.input_rows; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_rows_total", {{"view", v}, {"dir", "out"}},
+      [s] { return s->exec.output_rows; }, owner);
+  registry->RegisterCounterFn("rollview_exec_index_probes_total",
+                              {{"view", v}},
+                              [s] { return s->exec.index_probes; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_pushdown_filtered_total", {{"view", v}},
+      [s] { return s->exec.pushdown_filtered; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_rows_moved_total", {{"view", v}, {"path", "copied"}},
+      [s] { return s->exec.rows_copied; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_rows_moved_total", {{"view", v}, {"path", "borrowed"}},
+      [s] { return s->exec.rows_borrowed; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_bytes_moved_total", {{"view", v}, {"path", "copied"}},
+      [s] { return s->exec.bytes_copied; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_exec_bytes_moved_total", {{"view", v}, {"path", "borrowed"}},
+      [s] { return s->exec.bytes_borrowed; }, owner);
+  registry->RegisterCounterFn("rollview_exec_nanos_total", {{"view", v}},
+                              [s] { return s->exec.exec_nanos; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_build_cache_queries_total", {{"view", v}, {"outcome", "hit"}},
+      [s] { return s->exec.build_cache_hits; }, owner);
+  registry->RegisterCounterFn(
+      "rollview_build_cache_queries_total", {{"view", v}, {"outcome", "miss"}},
+      [s] { return s->exec.build_cache_misses; }, owner);
+  registry->RegisterCounterFn("rollview_build_nanos_total", {{"view", v}},
+                              [s] { return s->exec.build_nanos; }, owner);
+}
 
 Status QueryRunner::EnsureSpecialTable() {
   if (special_table_ != kInvalidTableId) return Status::OK();
@@ -42,7 +100,12 @@ Result<Csn> QueryRunner::Execute(const PropQuery& q) {
   int attempts = 0;
   while (true) {
     Result<Csn> r = ExecuteOnce(q);
-    if (r.ok()) return r;
+    if (r.ok()) {
+      if (tracer_ != nullptr && attempts > 0) {
+        tracer_->AttrCurrent("query_retries", attempts);
+      }
+      return r;
+    }
     if (!r.status().IsTransient() || ++attempts > options_.max_retries) {
       return r;
     }
@@ -59,6 +122,9 @@ Result<Csn> QueryRunner::Execute(const PropQuery& q) {
 Status QueryRunner::CancelFailedStep(StepUndoLog* log) {
   if (log->empty()) return Status::OK();
   Db* db = views_->db();
+  obs::ScopedSpan undo_span(tracer_, obs::SpanKind::kUndo);
+  undo_span.Attr("rows", static_cast<int64_t>(log->rows().size()));
+  if (tracer_ != nullptr) tracer_->MarkUndone();
   // Deliberately NOT inside a FaultInjector::Scope: the cancellation is the
   // recovery path, so injected maintenance faults do not apply to it. Real
   // transient conflicts still can, hence the bounded retry loop.
@@ -76,12 +142,14 @@ Status QueryRunner::CancelFailedStep(StepUndoLog* log) {
     last = db->Commit(txn.get());
     if (last.ok()) {
       log->Clear();
+      undo_span.Attr("attempts", attempt + 1);
       return Status::OK();
     }
     db->Abort(txn.get()).ok();
     if (!last.IsTransient()) break;
     std::this_thread::sleep_for(options_.retry_backoff * (attempt + 1));
   }
+  undo_span.set_ok(false);
   return Status::Internal(
       "could not cancel a partially committed propagation step: " +
       last.ToString());
@@ -143,23 +211,47 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
   // publishes so a later query's failure can cancel it (see StepUndoLog).
   DeltaRows undo_copy;
   if (undo_log_ != nullptr) undo_copy = rows.value();
-  for (DeltaRow& row : rows.value()) {
-    db->BufferDeltaAppend(txn.get(), view_->view_delta.get(), std::move(row),
-                          view_->id, step_seq_);
-  }
   size_t appended = rows.value().size();
+  Csn csn;
+  {
+    // The append + commit is where this query's rows become durable
+    // (Db::Commit WAL-logs the buffered view-delta appends just before the
+    // commit record); the span covers exactly that window.
+    obs::ScopedSpan wal_span(tracer_, obs::SpanKind::kWalAppend);
+    wal_span.Attr("rows", static_cast<int64_t>(appended));
+    for (DeltaRow& row : rows.value()) {
+      db->BufferDeltaAppend(txn.get(), view_->view_delta.get(),
+                            std::move(row), view_->id, step_seq_);
+    }
 
-  if (options_.use_special_table_csn_resolution) {
-    Status s = EnsureSpecialTable();
-    if (!s.ok()) return fail(s);
-    s = db->Insert(txn.get(), special_table_, Tuple{Value(++special_seq_)});
-    if (!s.ok()) return fail(s);
+    if (options_.use_special_table_csn_resolution) {
+      Status es = EnsureSpecialTable();
+      if (!es.ok()) {
+        wal_span.set_ok(false);
+        return fail(es);
+      }
+      es = db->Insert(txn.get(), special_table_, Tuple{Value(++special_seq_)});
+      if (!es.ok()) {
+        wal_span.set_ok(false);
+        return fail(es);
+      }
+    }
+
+    Status s = db->Commit(txn.get());
+    if (!s.ok()) {
+      wal_span.set_ok(false);
+      return fail(s);
+    }
+    csn = txn->commit_csn();
   }
-
-  Status s = db->Commit(txn.get());
-  if (!s.ok()) return fail(s);
-  Csn csn = txn->commit_csn();
   if (undo_log_ != nullptr) undo_log_->Record(std::move(undo_copy));
+  if (tracer_ != nullptr) {
+    // Annotate the caller's query span (forward/compensation) and roll the
+    // rows into the step's root count.
+    tracer_->AttrCurrent("rows", static_cast<int64_t>(appended));
+    tracer_->AttrCurrent("csn", static_cast<int64_t>(csn));
+    tracer_->AddStepRows(appended);
+  }
 
   if (options_.use_special_table_csn_resolution &&
       views_->capture() != nullptr) {

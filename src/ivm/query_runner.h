@@ -21,9 +21,14 @@
 #include "ivm/prop_query.h"
 #include "ivm/region_tracker.h"
 #include "ivm/view_manager.h"
+#include "obs/trace.h"
 #include "ra/executor.h"
 
 namespace rollview {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 struct RunnerOptions {
   // Retries on transient errors (deadlock-victim aborts / lock timeouts).
@@ -95,8 +100,22 @@ class QueryRunner {
   const RunnerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = RunnerStats{}; }
 
+  // Registers this runner's RunnerStats counters directly (no mirroring):
+  // the stats struct is unsynchronized, so snapshots are only meaningful
+  // while the runner is quiescent. Benchmarks driving a raw propagator use
+  // this; live scraping goes through MaintenanceService::RegisterMetrics.
+  // The caller must DropOwner(owner) before this runner dies.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const void* owner) const;
+
   // Optional geometric instrumentation (Figs 6-9).
   void set_region_tracker(RegionTracker* tracker) { tracker_ = tracker; }
+
+  // Optional step tracing: annotates the caller's open query span with row
+  // counts / commit CSN / retry counts, nests a wal_append child span
+  // around the view-delta append + commit, and records undo-log
+  // cancellation spans. Same single-thread contract as the other setters.
+  void set_tracer(obs::StepTracer* tracer) { tracer_ = tracer; }
 
   // Shedding control: toggles build-cache admission for subsequent queries.
   // Must be called from the thread that calls Execute (the propagate
@@ -128,6 +147,7 @@ class QueryRunner {
   RunnerOptions options_;
   RunnerStats stats_;
   RegionTracker* tracker_ = nullptr;
+  obs::StepTracer* tracer_ = nullptr;
   StepUndoLog* undo_log_ = nullptr;
   uint64_t step_seq_ = 0;
   TableId special_table_ = kInvalidTableId;

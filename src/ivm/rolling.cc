@@ -140,6 +140,12 @@ Csn RollingPropagator::high_water_mark() const {
   return hwm == kMaxCsn ? kNullCsn : hwm;
 }
 
+void RollingPropagator::set_tracer(obs::StepTracer* tracer) {
+  tracer_ = tracer;
+  runner_.set_tracer(tracer);
+  compute_delta_.set_tracer(tracer);
+}
+
 uint64_t RollingPropagator::BacklogRows() const {
   Csn ready = views_->DeltaReadyCsn();
   uint64_t total = 0;
@@ -177,6 +183,16 @@ Result<bool> RollingPropagator::Step() {
   if (y2 <= y1) return false;
   stats_.steps++;
 
+  // From here on the step does work, so it gets a trace: root span with
+  // the chosen relation and interval, ended on every exit path below.
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->BeginStep(obs::SpanKind::kStep, view_->id, view_->name,
+                       step_seq_);
+    tracer_->Attr(1, "relation", static_cast<int64_t>(i));
+    tracer_->Attr(1, "t_a", static_cast<int64_t>(y1));
+    tracer_->Attr(1, "t_b", static_cast<int64_t>(y2));
+  }
+
   // Exact skip: an empty delta range makes the forward query (and every
   // compensation involving this strip) identically empty. The frontier
   // still advances. DeltaReadyCsn() >= y2 makes the emptiness final.
@@ -187,6 +203,9 @@ Result<bool> RollingPropagator::Step() {
     // An empty step publishes no rows but still consumes a sequence number
     // and logs its frontier advance -- the advance must survive a crash.
     PublishCursors(step_seq_++);
+    if (tracer_ != nullptr) {
+      tracer_->EndStep(obs::StepOutcome::kSkippedEmpty);
+    }
     return true;
   }
 
@@ -205,8 +224,16 @@ Result<bool> RollingPropagator::Step() {
   runner_.set_undo_log(nullptr);
   if (!s.ok()) {
     querylist_[i].resize(pre_step_records);  // drop this step's ForwardRecord
-    ROLLVIEW_RETURN_NOT_OK(runner_.CancelFailedStep(&undo_log_));
-    return s;
+    // The undo span (and the trace's undone flag) is recorded by
+    // CancelFailedStep while this step's trace is still active.
+    Status cancel = runner_.CancelFailedStep(&undo_log_);
+    Status out = cancel.ok() ? s : cancel;
+    if (tracer_ != nullptr) {
+      tracer_->EndStep(out.IsTransient() ? obs::StepOutcome::kTransientError
+                                         : obs::StepOutcome::kPermanentError,
+                       out.ToString());
+    }
+    return out;
   }
   // Success: the log's contents are committed view rows, not pending undo
   // work. A populated log past this point would be cancelled (negated) at
@@ -216,6 +243,7 @@ Result<bool> RollingPropagator::Step() {
   tfwd_[i] = y2;
   RecomputeTcomp();
   PublishCursors(seq);
+  if (tracer_ != nullptr) tracer_->EndStep(obs::StepOutcome::kOk);
   return true;
 }
 
@@ -223,7 +251,17 @@ Status RollingPropagator::ForwardAndCompensate(size_t i, Csn y1, Csn y2) {
   // Forward query for R^i over (y1, y2].
   PropQuery fwd = PropQuery::AllBase(view_);
   fwd.terms[i] = PropTerm::Delta(y1, y2);
-  ROLLVIEW_ASSIGN_OR_RETURN(Csn t_exec, runner_.Execute(fwd));
+  Csn t_exec;
+  {
+    obs::ScopedSpan fwd_span(tracer_, obs::SpanKind::kForward);
+    fwd_span.Attr("relation", static_cast<int64_t>(i));
+    Result<Csn> exec = runner_.Execute(fwd);
+    if (!exec.ok()) {
+      fwd_span.set_ok(false);
+      return exec.status();
+    }
+    t_exec = exec.value();
+  }
   stats_.forward_queries++;
 
   if (mode_ == CompensationMode::kFrontier) {

@@ -126,6 +126,13 @@ class RollingPropagator {
   }
   QueryRunner* runner() { return &runner_; }
 
+  // Step tracing: each Step() that does work (including empty-skip frontier
+  // advances) becomes one root span carrying the chosen relation and
+  // interval (t_a, t_b]; the forward query, compensation recursion, WAL
+  // appends and undo activity nest under it. Call from the driving thread
+  // before stepping; null detaches.
+  void set_tracer(obs::StepTracer* tracer);
+
  private:
   // ivm/view.h's ForwardStrip: {lo, hi, exec} = delta interval start/end and
   // execution time (commit CSN). Shared with CursorState so querylists are
@@ -168,6 +175,7 @@ class RollingPropagator {
   StepUndoLog undo_log_;
   uint64_t step_seq_ = 1;  // next step-attempt sequence number
   Stats stats_;
+  obs::StepTracer* tracer_ = nullptr;
 };
 
 }  // namespace rollview

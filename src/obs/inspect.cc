@@ -1,0 +1,118 @@
+#include "obs/inspect.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+namespace rollview {
+namespace obs {
+
+namespace {
+
+std::string LabelsText(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RenderSnapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const std::string* current = nullptr;
+  for (const Sample& s : snapshot.samples()) {
+    if (current == nullptr || *current != s.name) {
+      if (current != nullptr) out += "\n";
+      const char* kind = s.kind == MetricKind::kCounter   ? "counter"
+                         : s.kind == MetricKind::kGauge   ? "gauge"
+                                                          : "histogram";
+      Append(&out, "%s (%s)\n", s.name.c_str(), kind);
+      current = &s.name;
+    }
+    std::string labels = LabelsText(s.labels);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        Append(&out, "  %-56s %" PRIu64 "\n", labels.c_str(), s.counter);
+        break;
+      case MetricKind::kGauge:
+        Append(&out, "  %-56s %" PRId64 "\n", labels.c_str(), s.gauge);
+        break;
+      case MetricKind::kHistogram:
+        Append(&out,
+               "  %-56s count=%" PRIu64 " p50=%.1fus p95=%.1fus p99=%.1fus"
+               " max=%.1fus\n",
+               labels.c_str(), s.hist.count,
+               static_cast<double>(s.hist.p50) / 1e3,
+               static_cast<double>(s.hist.p95) / 1e3,
+               static_cast<double>(s.hist.p99) / 1e3,
+               static_cast<double>(s.hist.max_nanos) / 1e3);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RenderViewDigest(const MetricsSnapshot& snapshot) {
+  // The views present are exactly the label values of the hwm gauge every
+  // maintained view registers.
+  std::set<std::string> views;
+  for (const Sample& s : snapshot.samples()) {
+    if (s.name != "rollview_view_hwm_csn") continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "view") views.insert(v);
+    }
+  }
+  if (views.empty()) return "";
+
+  std::string out = "views:\n";
+  for (const std::string& view : views) {
+    const Labels lv{{"view", view}};
+    Append(&out,
+           "  %-12s hwm=%" PRId64 " mv=%" PRId64 " staleness=%" PRId64
+           " target_rows=%" PRId64 " backlog=%" PRId64 " shedding=%s\n",
+           view.c_str(), snapshot.GaugeValue("rollview_view_hwm_csn", lv),
+           snapshot.GaugeValue("rollview_view_mv_csn", lv),
+           snapshot.GaugeValue("rollview_view_staleness_csn", lv),
+           snapshot.GaugeValue("rollview_view_target_rows", lv),
+           snapshot.GaugeValue("rollview_view_backlog_rows", lv),
+           snapshot.GaugeValue("rollview_view_shedding", lv) != 0 ? "yes"
+                                                                  : "no");
+  }
+  return out;
+}
+
+std::string RenderInspectReport(const MetricsSnapshot& snapshot,
+                                const TraceJournal* journal, size_t last_n) {
+  std::string out;
+  std::string digest = RenderViewDigest(snapshot);
+  if (!digest.empty()) {
+    out += digest;
+    out += "\n";
+  }
+  out += RenderSnapshot(snapshot);
+  if (journal != nullptr && last_n > 0) {
+    Append(&out, "\nlast %zu step traces (%" PRIu64 " recorded, %zu retained):\n",
+           last_n, journal->recorded(), journal->Snapshot().size());
+    out += journal->DumpTrace(last_n);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rollview

@@ -1,0 +1,395 @@
+// Copyright 2026 The rollview Authors.
+
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rollview {
+namespace obs {
+
+namespace {
+
+Labels Canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// Prometheus label block: {k1="v1",k2="v2"}, empty string for no labels.
+// `extra` appends one more pair (used for quantile labels).
+std::string LabelBlock(const Labels& labels,
+                       const std::pair<std::string, std::string>* extra =
+                           nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscaped(&out, v);
+    out += "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra->first;
+    out += "=\"";
+    AppendEscaped(&out, extra->second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, k);
+    out += ":";
+    AppendJsonString(&out, v);
+  }
+  out += "}";
+  return out;
+}
+
+HistogramSummary Summarize(const LatencyHistogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.sum_nanos = h.sum_nanos();
+  s.max_nanos = h.max_nanos();
+  s.p50 = h.Percentile(0.50);
+  s.p95 = h.Percentile(0.95);
+  s.p99 = h.Percentile(0.99);
+  return s;
+}
+
+}  // namespace
+
+const Sample* MetricsSnapshot::Find(const std::string& name,
+                                    const Labels& labels) const {
+  Labels canon = Canonical(labels);
+  for (const Sample& s : samples_) {
+    if (s.name == name && s.labels == canon) return &s;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                       const Labels& labels) const {
+  const Sample* s = Find(name, labels);
+  return (s != nullptr && s->kind == MetricKind::kCounter) ? s->counter : 0;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(const std::string& name) const {
+  uint64_t total = 0;
+  for (const Sample& s : samples_) {
+    if (s.name == name && s.kind == MetricKind::kCounter) total += s.counter;
+  }
+  return total;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name,
+                                    const Labels& labels) const {
+  const Sample* s = Find(name, labels);
+  return (s != nullptr && s->kind == MetricKind::kGauge) ? s->gauge : 0;
+}
+
+const HistogramSummary* MetricsSnapshot::Histogram(const std::string& name,
+                                                   const Labels& labels) const {
+  const Sample* s = Find(name, labels);
+  return (s != nullptr && s->kind == MetricKind::kHistogram) ? &s->hist
+                                                             : nullptr;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  const std::string* last_name = nullptr;
+  for (const Sample& s : samples_) {
+    if (last_name == nullptr || *last_name != s.name) {
+      out += "# TYPE ";
+      out += s.name;
+      switch (s.kind) {
+        case MetricKind::kCounter:
+          out += " counter\n";
+          break;
+        case MetricKind::kGauge:
+          out += " gauge\n";
+          break;
+        case MetricKind::kHistogram:
+          out += " summary\n";
+          break;
+      }
+      last_name = &s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += s.name + LabelBlock(s.labels) + " " + std::to_string(s.counter) +
+               "\n";
+        break;
+      case MetricKind::kGauge:
+        out += s.name + LabelBlock(s.labels) + " " + std::to_string(s.gauge) +
+               "\n";
+        break;
+      case MetricKind::kHistogram: {
+        static const std::pair<double, const char*> kQuantiles[] = {
+            {0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}};
+        const uint64_t qv[] = {s.hist.p50, s.hist.p95, s.hist.p99};
+        for (size_t i = 0; i < 3; ++i) {
+          std::pair<std::string, std::string> q{"quantile",
+                                                kQuantiles[i].second};
+          out += s.name + LabelBlock(s.labels, &q) + " " +
+                 std::to_string(qv[i]) + "\n";
+        }
+        out += s.name + "_sum" + LabelBlock(s.labels) + " " +
+               std::to_string(s.hist.sum_nanos) + "\n";
+        out += s.name + "_count" + LabelBlock(s.labels) + " " +
+               std::to_string(s.hist.count) + "\n";
+        out += s.name + "_max" + LabelBlock(s.labels) + " " +
+               std::to_string(s.hist.max_nanos) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"metrics\": [\n";
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[i];
+    out += "    {\"name\": ";
+    AppendJsonString(&out, s.name);
+    out += ", \"labels\": " + JsonLabels(s.labels);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += ", \"kind\": \"counter\", \"value\": " +
+               std::to_string(s.counter);
+        break;
+      case MetricKind::kGauge:
+        out += ", \"kind\": \"gauge\", \"value\": " + std::to_string(s.gauge);
+        break;
+      case MetricKind::kHistogram:
+        out += ", \"kind\": \"histogram\", \"count\": " +
+               std::to_string(s.hist.count) +
+               ", \"sum_nanos\": " + std::to_string(s.hist.sum_nanos) +
+               ", \"max_nanos\": " + std::to_string(s.hist.max_nanos) +
+               ", \"p50\": " + std::to_string(s.hist.p50) +
+               ", \"p95\": " + std::to_string(s.hist.p95) +
+               ", \"p99\": " + std::to_string(s.hist.p99);
+        break;
+    }
+    out += "}";
+    if (i + 1 < samples_.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const Labels& labels) {
+  std::string key = name;
+  key += '\x01';
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x02';
+    key += v;
+    key += '\x03';
+  }
+  return key;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::Upsert(const std::string& name,
+                                                Labels labels, MetricKind kind,
+                                                const void* owner) {
+  labels = Canonical(std::move(labels));
+  std::string key = Key(name, labels);
+  Entry& e = entries_[key];
+  // Re-registration replaces the previous source wholesale (a component
+  // restarting re-points the registry at its new instruments).
+  e = Entry{};
+  e.name = name;
+  e.labels = std::move(labels);
+  e.kind = kind;
+  e.owner = owner;
+  return e;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> g(mu_);
+  labels = Canonical(std::move(labels));
+  std::string key = Key(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.owned_counter != nullptr) {
+    return it->second.owned_counter.get();
+  }
+  Entry& e = Upsert(name, std::move(labels), MetricKind::kCounter, nullptr);
+  e.owned_counter = std::make_unique<Counter>();
+  e.counter = e.owned_counter.get();
+  return e.owned_counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> g(mu_);
+  labels = Canonical(std::move(labels));
+  std::string key = Key(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.owned_gauge != nullptr) {
+    return it->second.owned_gauge.get();
+  }
+  Entry& e = Upsert(name, std::move(labels), MetricKind::kGauge, nullptr);
+  e.owned_gauge = std::make_unique<Gauge>();
+  e.gauge = e.owned_gauge.get();
+  return e.owned_gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                Labels labels) {
+  std::lock_guard<std::mutex> g(mu_);
+  labels = Canonical(std::move(labels));
+  std::string key = Key(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.owned_hist != nullptr) {
+    return it->second.owned_hist.get();
+  }
+  Entry& e = Upsert(name, std::move(labels), MetricKind::kHistogram, nullptr);
+  e.owned_hist = std::make_unique<LatencyHistogram>();
+  e.hist = e.owned_hist.get();
+  return e.owned_hist.get();
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name, Labels labels,
+                                      const Counter* counter,
+                                      const void* owner) {
+  std::lock_guard<std::mutex> g(mu_);
+  Upsert(name, std::move(labels), MetricKind::kCounter, owner).counter =
+      counter;
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name, Labels labels,
+                                    const Gauge* gauge, const void* owner) {
+  std::lock_guard<std::mutex> g(mu_);
+  Upsert(name, std::move(labels), MetricKind::kGauge, owner).gauge = gauge;
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name, Labels labels,
+                                        const LatencyHistogram* hist,
+                                        const void* owner) {
+  std::lock_guard<std::mutex> g(mu_);
+  Upsert(name, std::move(labels), MetricKind::kHistogram, owner).hist = hist;
+}
+
+void MetricsRegistry::RegisterCounterFn(const std::string& name, Labels labels,
+                                        std::function<uint64_t()> fn,
+                                        const void* owner) {
+  std::lock_guard<std::mutex> g(mu_);
+  Upsert(name, std::move(labels), MetricKind::kCounter, owner).counter_fn =
+      std::move(fn);
+}
+
+void MetricsRegistry::RegisterGaugeFn(const std::string& name, Labels labels,
+                                      std::function<int64_t()> fn,
+                                      const void* owner) {
+  std::lock_guard<std::mutex> g(mu_);
+  Upsert(name, std::move(labels), MetricKind::kGauge, owner).gauge_fn =
+      std::move(fn);
+}
+
+void MetricsRegistry::DropOwner(const void* owner) {
+  if (owner == nullptr) return;
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.owner == owner) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> g(mu_);
+  snap.samples_.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    Sample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.counter = e.counter_fn ? e.counter_fn()
+                                 : (e.counter != nullptr ? e.counter->value()
+                                                         : 0);
+        break;
+      case MetricKind::kGauge:
+        s.gauge = e.gauge_fn ? e.gauge_fn()
+                             : (e.gauge != nullptr ? e.gauge->value() : 0);
+        break;
+      case MetricKind::kHistogram:
+        if (e.hist != nullptr) s.hist = Summarize(*e.hist);
+        break;
+    }
+    snap.samples_.push_back(std::move(s));
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return entries_.size();
+}
+
+}  // namespace obs
+}  // namespace rollview

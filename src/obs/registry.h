@@ -1,0 +1,170 @@
+// Copyright 2026 The rollview Authors.
+//
+// MetricsRegistry: one named, labeled home for the Counter/Gauge/
+// LatencyHistogram primitives scattered across the maintenance stack, so a
+// single Snapshot() answers "why is this view stale right now?" instead of
+// five bespoke per-bench serializers.
+//
+// Three registration styles:
+//  - Owned:   GetCounter/GetGauge/GetHistogram create (or return) an
+//             instrument owned by the registry. The returned pointer is
+//             stable for the registry's lifetime and updates are plain
+//             relaxed atomics -- the hot path never touches the registry
+//             mutex.
+//  - Borrowed: Register{Counter,Gauge,Histogram} point the registry at an
+//             instrument a component already owns (e.g. LockManager's
+//             per-class WaitHistogram). The component passes an `owner`
+//             cookie and must call DropOwner(owner) before the instrument
+//             dies.
+//  - Callback: Register{Counter,Gauge}Fn sample a value at Snapshot()
+//             time (e.g. Wal::next_lsn). Callbacks run under the registry
+//             mutex: they must be cheap and must not call back into the
+//             registry. Same owner/DropOwner lifetime contract.
+//
+// Snapshot() renders both Prometheus-style text and structured JSON, with
+// samples sorted by (name, labels) so exporters are byte-stable and
+// golden-testable. Histograms export as summaries (p50/p95/p99 quantiles
+// plus _sum/_count/_max).
+
+#ifndef ROLLVIEW_OBS_REGISTRY_H_
+#define ROLLVIEW_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace rollview {
+namespace obs {
+
+// A label set as (key, value) pairs; canonicalized (sorted by key) at
+// registration, so callers may list labels in any order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// Report-time summary of one LatencyHistogram.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum_nanos = 0;
+  uint64_t max_nanos = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+// One (metric, label set) observation inside a snapshot.
+struct Sample {
+  std::string name;
+  Labels labels;  // canonical (sorted by key)
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t counter = 0;     // kind == kCounter
+  int64_t gauge = 0;        // kind == kGauge
+  HistogramSummary hist;    // kind == kHistogram
+};
+
+// An immutable point-in-time view of every registered instrument, sorted
+// by (name, labels). Safe to use after the registry (or the instruments)
+// are gone.
+class MetricsSnapshot {
+ public:
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // Lookups. `labels` may be in any order; missing entries return
+  // 0 / nullptr.
+  const Sample* Find(const std::string& name, const Labels& labels) const;
+  uint64_t CounterValue(const std::string& name, const Labels& labels) const;
+  // Sum of a counter across all label sets (e.g. total transient errors
+  // over both drivers).
+  uint64_t CounterTotal(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name, const Labels& labels) const;
+  const HistogramSummary* Histogram(const std::string& name,
+                                    const Labels& labels) const;
+
+  // Prometheus exposition-style text: `# TYPE` header per metric name,
+  // one `name{labels} value` line per sample, histograms as summaries.
+  std::string ToPrometheusText() const;
+  // Structured JSON: {"metrics": [{name, labels, kind, ...}, ...]}, one
+  // metric per line, stable ordering.
+  std::string ToJson() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<Sample> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Owned instruments. Repeated calls with the same (name, labels) return
+  // the same pointer; pointers stay valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  LatencyHistogram* GetHistogram(const std::string& name, Labels labels = {});
+
+  // Borrowed instruments (component-owned). Re-registering the same
+  // (name, labels) replaces the previous source.
+  void RegisterCounter(const std::string& name, Labels labels,
+                       const Counter* counter, const void* owner);
+  void RegisterGauge(const std::string& name, Labels labels,
+                     const Gauge* gauge, const void* owner);
+  void RegisterHistogram(const std::string& name, Labels labels,
+                         const LatencyHistogram* hist, const void* owner);
+
+  // Callback instruments, sampled at Snapshot() time.
+  void RegisterCounterFn(const std::string& name, Labels labels,
+                         std::function<uint64_t()> fn, const void* owner);
+  void RegisterGaugeFn(const std::string& name, Labels labels,
+                       std::function<int64_t()> fn, const void* owner);
+
+  // Drops every borrowed/callback instrument registered with `owner`.
+  // Components call this from their destructor (or unregistration hook)
+  // so a later Snapshot() never dereferences a dead instrument.
+  void DropOwner(const void* owner);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Number of registered instruments; for tests.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    const void* owner = nullptr;  // nullptr => registry-owned
+    // Owned storage (at most one set, matching `kind`).
+    std::unique_ptr<Counter> owned_counter;
+    std::unique_ptr<Gauge> owned_gauge;
+    std::unique_ptr<LatencyHistogram> owned_hist;
+    // Live sources (point at owned storage or a borrowed instrument).
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const LatencyHistogram* hist = nullptr;
+    std::function<uint64_t()> counter_fn;
+    std::function<int64_t()> gauge_fn;
+  };
+
+  static std::string Key(const std::string& name, const Labels& labels);
+  Entry& Upsert(const std::string& name, Labels labels, MetricKind kind,
+                const void* owner);  // requires mu_ held
+
+  mutable std::mutex mu_;
+  // Ordered by key = name + '\x01' + canonical labels, so Snapshot() comes
+  // out sorted without re-sorting.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace obs
+}  // namespace rollview
+
+#endif  // ROLLVIEW_OBS_REGISTRY_H_

@@ -1,0 +1,273 @@
+// Copyright 2026 The rollview Authors.
+
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace rollview {
+namespace obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kStep:
+      return "step";
+    case SpanKind::kForward:
+      return "forward";
+    case SpanKind::kCompensation:
+      return "compensation";
+    case SpanKind::kUndo:
+      return "undo";
+    case SpanKind::kWalAppend:
+      return "wal_append";
+    case SpanKind::kCheckpoint:
+      return "checkpoint";
+    case SpanKind::kApply:
+      return "apply";
+  }
+  return "unknown";
+}
+
+const char* StepOutcomeName(StepOutcome outcome) {
+  switch (outcome) {
+    case StepOutcome::kOk:
+      return "ok";
+    case StepOutcome::kSkippedEmpty:
+      return "skipped_empty";
+    case StepOutcome::kTransientError:
+      return "transient_error";
+    case StepOutcome::kPermanentError:
+      return "permanent_error";
+  }
+  return "unknown";
+}
+
+int64_t Span::Attr(const char* key, int64_t missing) const {
+  for (const auto& [k, v] : attrs) {
+    // Attribute keys are string literals, but compare by content so tests
+    // and exporters can probe with their own strings.
+    if (std::string_view(k) == key) return v;
+  }
+  return missing;
+}
+
+void TraceJournal::Record(StepTrace&& trace) {
+  std::lock_guard<std::mutex> g(mu_);
+  trace.trace_id = next_trace_id_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else if (capacity_ > 0) {
+    ring_[next_] = std::move(trace);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<StepTrace> TraceJournal::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<StepTrace> out;
+  out.reserve(ring_.size());
+  // `next_` is the oldest entry once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<StepTrace> TraceJournal::Last(size_t n) const {
+  std::vector<StepTrace> all = Snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - n);
+  return all;
+}
+
+uint64_t TraceJournal::recorded() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_trace_id_ - 1;
+}
+
+std::string RenderTrace(const StepTrace& trace) {
+  std::string out;
+  out += "trace #" + std::to_string(trace.trace_id) + " view=" + trace.view +
+         " seq=" + std::to_string(trace.seq) +
+         " outcome=" + StepOutcomeName(trace.outcome);
+  if (trace.retries > 0) out += " retries=" + std::to_string(trace.retries);
+  if (trace.health[0] != '\0') out += " health=" + std::string(trace.health);
+  if (trace.target_rows > 0) {
+    out += " target_rows=" + std::to_string(trace.target_rows);
+  }
+  out += " rows=" + std::to_string(trace.rows);
+  if (trace.undone) out += " undone=true";
+  if (!trace.error.empty()) out += " error=\"" + trace.error + "\"";
+  if (trace.dropped_spans > 0) {
+    out += " dropped_spans=" + std::to_string(trace.dropped_spans);
+  }
+  out += "\n";
+  // Depth-first render; children appear after their parent in id order, so
+  // one pass with a depth lookup suffices.
+  std::vector<int> depth(trace.spans.size(), 0);
+  for (const Span& s : trace.spans) {
+    int d = 0;
+    if (s.parent != 0) d = depth[s.parent - 1] + 1;
+    depth[s.id - 1] = d;
+    out.append(static_cast<size_t>(2 * (d + 1)), ' ');
+    out += SpanKindName(s.kind);
+    if (!s.ok) out += " FAILED";
+    out += " [" + std::to_string((s.end_nanos - s.start_nanos) / 1000) + "us]";
+    for (const auto& [k, v] : s.attrs) {
+      out += " ";
+      out += k;
+      out += "=" + std::to_string(v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TraceJournal::DumpTrace(size_t n) const {
+  std::string out;
+  for (const StepTrace& t : Last(n)) out += RenderTrace(t);
+  return out;
+}
+
+std::string TraceJournal::ToJson(size_t n) const {
+  std::vector<StepTrace> traces = Last(n);
+  std::string out = "{\n  \"traces\": [\n";
+  for (size_t ti = 0; ti < traces.size(); ++ti) {
+    const StepTrace& t = traces[ti];
+    out += "    {\"trace_id\": " + std::to_string(t.trace_id) +
+           ", \"kind\": \"" + SpanKindName(t.root_kind) + "\", \"view\": \"" +
+           t.view + "\", \"seq\": " + std::to_string(t.seq) +
+           ", \"outcome\": \"" + StepOutcomeName(t.outcome) + "\"" +
+           ", \"retries\": " + std::to_string(t.retries) + ", \"health\": \"" +
+           t.health + "\", \"target_rows\": " + std::to_string(t.target_rows) +
+           ", \"rows\": " + std::to_string(t.rows) +
+           ", \"undone\": " + (t.undone ? "true" : "false") +
+           ", \"dropped_spans\": " + std::to_string(t.dropped_spans) +
+           ", \"spans\": [\n";
+    for (size_t si = 0; si < t.spans.size(); ++si) {
+      const Span& s = t.spans[si];
+      out += "      {\"id\": " + std::to_string(s.id) +
+             ", \"parent\": " + std::to_string(s.parent) + ", \"kind\": \"" +
+             SpanKindName(s.kind) + "\", \"ok\": " + (s.ok ? "true" : "false") +
+             ", \"nanos\": " + std::to_string(s.end_nanos - s.start_nanos);
+      for (const auto& [k, v] : s.attrs) {
+        out += ", \"";
+        out += k;
+        out += "\": " + std::to_string(v);
+      }
+      out += "}";
+      if (si + 1 < t.spans.size()) out += ",";
+      out += "\n";
+    }
+    out += "    ]}";
+    if (ti + 1 < traces.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+uint64_t StepTracer::NowNanos() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - begin_)
+                                   .count());
+}
+
+void StepTracer::SetNextStepContext(uint64_t retries, const char* health,
+                                    int64_t target_rows) {
+  if (!enabled()) return;
+  next_retries_ = retries;
+  next_health_ = health != nullptr ? health : "";
+  next_target_rows_ = target_rows;
+}
+
+void StepTracer::BeginStep(SpanKind root_kind, uint32_t view_id,
+                           const std::string& view_name, uint64_t seq) {
+  if (!enabled()) return;
+  cur_ = StepTrace{};
+  open_.clear();
+  cur_.root_kind = root_kind;
+  cur_.view_id = view_id;
+  cur_.view = view_name;
+  cur_.seq = seq;
+  cur_.retries = next_retries_;
+  cur_.health = next_health_;
+  cur_.target_rows = next_target_rows_;
+  begin_ = std::chrono::steady_clock::now();
+  Span root;
+  root.id = 1;
+  root.parent = 0;
+  root.kind = root_kind;
+  root.start_nanos = 0;
+  cur_.spans.push_back(std::move(root));
+  open_.push_back(1);
+  active_ = true;
+}
+
+uint32_t StepTracer::OpenSpan(SpanKind kind) {
+  if (!active_) return 0;
+  if (cur_.spans.size() >= kMaxSpansPerStep) {
+    ++cur_.dropped_spans;
+    return 0;
+  }
+  Span s;
+  s.id = static_cast<uint32_t>(cur_.spans.size() + 1);
+  s.parent = open_.empty() ? 1 : open_.back();
+  s.kind = kind;
+  s.start_nanos = NowNanos();
+  cur_.spans.push_back(std::move(s));
+  open_.push_back(cur_.spans.back().id);
+  return cur_.spans.back().id;
+}
+
+void StepTracer::CloseSpan(uint32_t id, bool ok) {
+  if (!active_ || id == 0 || id > cur_.spans.size()) return;
+  Span& s = cur_.spans[id - 1];
+  s.ok = ok;
+  s.end_nanos = NowNanos();
+  // Pop through the stack down to (and including) this span, closing any
+  // abandoned children left open by error paths.
+  while (!open_.empty()) {
+    uint32_t top = open_.back();
+    open_.pop_back();
+    if (top == id) break;
+    Span& child = cur_.spans[top - 1];
+    if (child.end_nanos == 0) child.end_nanos = s.end_nanos;
+  }
+}
+
+void StepTracer::Attr(uint32_t id, const char* key, int64_t value) {
+  if (!active_ || id == 0 || id > cur_.spans.size()) return;
+  cur_.spans[id - 1].attrs.emplace_back(key, value);
+}
+
+void StepTracer::AttrCurrent(const char* key, int64_t value) {
+  if (!active_ || open_.empty()) return;
+  Attr(open_.back(), key, value);
+}
+
+void StepTracer::AddStepRows(uint64_t n) {
+  if (!active_) return;
+  cur_.rows += n;
+}
+
+void StepTracer::MarkUndone() {
+  if (!active_) return;
+  cur_.undone = true;
+}
+
+void StepTracer::EndStep(StepOutcome outcome, const std::string& error) {
+  if (!active_) return;
+  cur_.outcome = outcome;
+  cur_.error = error;
+  bool root_ok = outcome == StepOutcome::kOk ||
+                 outcome == StepOutcome::kSkippedEmpty;
+  CloseSpan(1, root_ok);
+  active_ = false;
+  if (journal_ != nullptr) journal_->Record(std::move(cur_));
+  cur_ = StepTrace{};
+  open_.clear();
+}
+
+}  // namespace obs
+}  // namespace rollview

@@ -1,0 +1,213 @@
+// Copyright 2026 The rollview Authors.
+//
+// Step tracing: every propagation step emits a span tree recording how the
+// paper's decomposed machinery actually executed -- the forward query over
+// one relation's delta strip, each recursively generated compensation
+// query (tagged with its relation and ComputeDelta depth), undo-log
+// cancellation, the WAL append, and cadence checkpoints -- plus root-level
+// context from the supervisor (retry count, driver health, the adaptive
+// rows-per-query target).
+//
+// Two pieces:
+//  - StepTracer: a single-threaded builder owned by one driver loop. All
+//    calls are no-ops while no journal is attached or no step is active,
+//    so instrumentation compiled into the hot path costs one branch when
+//    tracing is off.
+//  - TraceJournal: a bounded, mutex-guarded ring buffer of finished step
+//    traces -- O(capacity * kMaxSpansPerStep) memory no matter how long a
+//    maintenance process runs -- with DumpTrace()/ToJson() exporters.
+//
+// Failed step attempts end their trace with an error outcome (and, once
+// the undo log cancels their partial rows, the undo activity appears in
+// the *retrying* attempt's trace, which is when cancellation actually
+// runs). Each retry is its own trace carrying `retries` from the
+// supervisor, so a fault-injected run yields one trace per attempt.
+
+#ifndef ROLLVIEW_OBS_TRACE_H_
+#define ROLLVIEW_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rollview {
+namespace obs {
+
+enum class SpanKind : uint8_t {
+  kStep,          // root: one propagation step attempt
+  kForward,       // a forward query (single delta term)
+  kCompensation,  // a ComputeDelta-generated compensation query (>= 2 terms)
+  kUndo,          // undo-log cancellation of a failed step's rows
+  kWalAppend,     // view-delta buffer append + commit inside a query txn
+  kCheckpoint,    // root: a cadence checkpoint after a step
+  kApply,         // root: the apply driver rolling the MV forward
+};
+
+const char* SpanKindName(SpanKind kind);
+
+enum class StepOutcome : uint8_t {
+  kOk,            // frontier advanced, rows published
+  kSkippedEmpty,  // empty delta strip: cursors advanced without queries
+  kTransientError,
+  kPermanentError,
+};
+
+const char* StepOutcomeName(StepOutcome outcome);
+
+// One node of a step's span tree. Attribute keys are string literals
+// (static storage), values are int64 -- enough for relations, depths, CSNs
+// and row counts without allocation on the hot path.
+struct Span {
+  uint32_t id = 0;      // 1-based; spans[id - 1]
+  uint32_t parent = 0;  // 0 = no parent (root)
+  SpanKind kind = SpanKind::kStep;
+  bool ok = true;
+  uint64_t start_nanos = 0;  // relative to the trace's first span
+  uint64_t end_nanos = 0;
+  std::vector<std::pair<const char*, int64_t>> attrs;
+
+  int64_t Attr(const char* key, int64_t missing = -1) const;
+};
+
+// One finished step attempt: root context plus the span tree.
+struct StepTrace {
+  uint64_t trace_id = 0;  // journal-assigned, monotonic
+  SpanKind root_kind = SpanKind::kStep;
+  uint32_t view_id = 0;
+  std::string view;
+  uint64_t seq = 0;  // undo-log step sequence (kStep) or driver step count
+  StepOutcome outcome = StepOutcome::kOk;
+  // Supervisor context at attempt start.
+  uint64_t retries = 0;        // consecutive transient failures so far
+  const char* health = "";     // DriverHealthName at attempt start
+  int64_t target_rows = 0;     // adaptive rows-per-query target (0 = n/a)
+  uint64_t rows = 0;           // delta rows appended / MV rows applied
+  bool undone = false;         // this attempt's rows were cancelled
+  std::string error;           // status message when outcome is an error
+  uint64_t dropped_spans = 0;  // spans beyond kMaxSpansPerStep
+  std::vector<Span> spans;     // spans[0] is the root
+
+  const Span& root() const { return spans.front(); }
+};
+
+// Bounded ring buffer of finished traces. Thread-safe; O(1) memory.
+class TraceJournal {
+ public:
+  explicit TraceJournal(size_t capacity) : capacity_(capacity) {}
+
+  void Record(StepTrace&& trace);
+
+  // Oldest-to-newest copy of the retained traces.
+  std::vector<StepTrace> Snapshot() const;
+  // The most recent `n` traces, oldest first.
+  std::vector<StepTrace> Last(size_t n) const;
+
+  size_t capacity() const { return capacity_; }
+  // Total traces ever recorded (retained + overwritten).
+  uint64_t recorded() const;
+
+  // Human-readable tree rendering of the last `n` traces.
+  std::string DumpTrace(size_t n) const;
+  // Structured JSON array of the last `n` traces.
+  std::string ToJson(size_t n) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<StepTrace> ring_;
+  size_t next_ = 0;          // ring insertion point once full
+  uint64_t next_trace_id_ = 1;
+};
+
+// Renders one trace as an indented span tree (shared by DumpTrace and the
+// rollview_inspect CLI).
+std::string RenderTrace(const StepTrace& trace);
+
+// Single-threaded span-tree builder for one driver loop. Instrumentation
+// sites call OpenSpan/CloseSpan (or ScopedSpan); the innermost open span
+// is the implicit parent. Every method is a no-op when no journal is
+// attached (tracing disabled) or, for span calls, when no step is active.
+class StepTracer {
+ public:
+  // Spans beyond this many per step are counted in dropped_spans instead
+  // of recorded, bounding per-trace memory.
+  static constexpr size_t kMaxSpansPerStep = 256;
+
+  void set_journal(TraceJournal* journal) { journal_ = journal; }
+  TraceJournal* journal() const { return journal_; }
+  bool enabled() const { return journal_ != nullptr; }
+  bool active() const { return active_; }
+
+  // Supervisor context stamped onto the next BeginStep (the supervisor
+  // sits above the propagator, which is who begins the step).
+  void SetNextStepContext(uint64_t retries, const char* health,
+                          int64_t target_rows);
+
+  // Starts a trace with a root span of `root_kind`. Drops any trace left
+  // active by an abandoned step.
+  void BeginStep(SpanKind root_kind, uint32_t view_id,
+                 const std::string& view_name, uint64_t seq);
+
+  // Opens a child of the innermost open span. Returns 0 (a no-op handle)
+  // when inactive or over the span budget.
+  uint32_t OpenSpan(SpanKind kind);
+  void CloseSpan(uint32_t id, bool ok);
+  // Attaches an attribute to span `id` (no-op for id 0).
+  void Attr(uint32_t id, const char* key, int64_t value);
+  // Attaches an attribute to the innermost open span.
+  void AttrCurrent(const char* key, int64_t value);
+  // Accumulates rows into the step's root row count.
+  void AddStepRows(uint64_t n);
+  // Marks the active step as having had its rows cancelled by the undo
+  // log.
+  void MarkUndone();
+
+  // Closes the root span and commits the trace to the journal.
+  void EndStep(StepOutcome outcome, const std::string& error = "");
+
+ private:
+  uint64_t NowNanos() const;
+
+  TraceJournal* journal_ = nullptr;
+  bool active_ = false;
+  StepTrace cur_;
+  std::vector<uint32_t> open_;  // stack of open span ids
+  std::chrono::steady_clock::time_point begin_;
+  // Pending supervisor context for the next BeginStep.
+  uint64_t next_retries_ = 0;
+  const char* next_health_ = "";
+  int64_t next_target_rows_ = 0;
+};
+
+// RAII child span: opens on construction (if a step is active), closes on
+// destruction with the last set_ok value.
+class ScopedSpan {
+ public:
+  ScopedSpan(StepTracer* tracer, SpanKind kind) : tracer_(tracer) {
+    if (tracer_ != nullptr && tracer_->active()) id_ = tracer_->OpenSpan(kind);
+  }
+  ~ScopedSpan() {
+    if (id_ != 0) tracer_->CloseSpan(id_, ok_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Attr(const char* key, int64_t value) {
+    if (id_ != 0) tracer_->Attr(id_, key, value);
+  }
+  void set_ok(bool ok) { ok_ = ok; }
+  uint32_t id() const { return id_; }
+
+ private:
+  StepTracer* tracer_;
+  uint32_t id_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace obs
+}  // namespace rollview
+
+#endif  // ROLLVIEW_OBS_TRACE_H_

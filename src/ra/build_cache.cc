@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/registry.h"
+
 namespace rollview {
 
 size_t TupleApproxBytes(const Tuple& t) {
@@ -158,6 +160,36 @@ size_t BuildCache::entry_count() const {
 BuildCache::Stats BuildCache::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+void BuildCache::RegisterMetrics(obs::MetricsRegistry* registry,
+                                 const void* owner) const {
+  struct Event {
+    const char* name;
+    uint64_t Stats::* field;
+  };
+  const Event events[] = {
+      {"hit", &Stats::hits},
+      {"miss", &Stats::misses},
+      {"build", &Stats::builds},
+      {"eviction", &Stats::evictions},
+      {"invalidation", &Stats::invalidations},
+  };
+  for (const Event& e : events) {
+    auto field = e.field;
+    registry->RegisterCounterFn(
+        "rollview_build_cache_events_total", {{"event", e.name}},
+        [this, field] { return stats().*field; }, owner);
+  }
+  registry->RegisterCounterFn(
+      "rollview_build_cache_build_nanos_total", {},
+      [this] { return stats().build_nanos; }, owner);
+  registry->RegisterGaugeFn(
+      "rollview_build_cache_resident_bytes", {},
+      [this] { return static_cast<int64_t>(resident_bytes()); }, owner);
+  registry->RegisterGaugeFn(
+      "rollview_build_cache_entries", {},
+      [this] { return static_cast<int64_t>(entry_count()); }, owner);
 }
 
 }  // namespace rollview

@@ -48,6 +48,10 @@
 
 namespace rollview {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 // Composite equi-join key: the values of several columns hashed together.
 // Shared by the executor's ad-hoc hash joins and cached build indexes.
 struct JoinKey {
@@ -159,6 +163,12 @@ class BuildCache {
 
   size_t resident_bytes() const;
   size_t entry_count() const;
+
+  // Registers the cache-wide counters (rollview_build_cache_events_total
+  // by event, build nanos) and residency gauges. The caller must
+  // DropOwner(owner) on the registry before this cache dies.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const void* owner) const;
   size_t byte_budget() const { return byte_budget_; }
   Stats stats() const;
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <tuple>
 
+#include "obs/registry.h"
+
 namespace rollview {
 
 const char* LockModeName(LockMode mode) {
@@ -410,6 +412,32 @@ void LockManager::ResetStats() {
   std::lock_guard<std::mutex> lk(mu_);
   stats_ = Stats{};
   for (LatencyHistogram& h : wait_hist_) h.Reset();
+}
+
+void LockManager::RegisterMetrics(obs::MetricsRegistry* registry,
+                                  const void* owner) const {
+  for (size_t i = 0; i < kNumTxnClasses; ++i) {
+    TxnClass cls = static_cast<TxnClass>(i);
+    const obs::Labels lc{{"class", TxnClassName(cls)}};
+    // GetStats copies under mu_, so these callbacks scrape live safely.
+    registry->RegisterCounterFn(
+        "rollview_lock_acquires_total", lc,
+        [this, cls] { return GetStats().cls(cls).acquires; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_lock_waits_total", lc,
+        [this, cls] { return GetStats().cls(cls).waits; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_lock_wait_nanos_total", lc,
+        [this, cls] { return GetStats().cls(cls).wait_nanos; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_lock_deadlock_victims_total", lc,
+        [this, cls] { return GetStats().cls(cls).deadlock_victims; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_lock_timeouts_total", lc,
+        [this, cls] { return GetStats().cls(cls).timeouts; }, owner);
+    registry->RegisterHistogram("rollview_lock_wait_latency", lc,
+                                &wait_hist_[i], owner);
+  }
 }
 
 }  // namespace rollview

@@ -45,6 +45,10 @@
 
 namespace rollview {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 enum class LockMode : uint8_t { kIS = 0, kIX = 1, kS = 2, kSIX = 3, kX = 4 };
 
 const char* LockModeName(LockMode mode);
@@ -148,6 +152,12 @@ class LockManager {
 
   Stats GetStats() const;
   void ResetStats();
+
+  // Registers the per-class lock counters and wait histograms under
+  // rollview_lock_* with labels {class="oltp"|"maintenance"}. The caller
+  // must DropOwner(owner) on the registry before this manager dies.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const void* owner) const;
 
   // Per-class lock-wait latency histogram (nanoseconds per blocking
   // Acquire). Thread-safe; reset alongside ResetStats.

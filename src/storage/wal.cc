@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/registry.h"
+
 namespace rollview {
 
 Lsn Wal::Append(WalRecord record) {
@@ -38,6 +40,16 @@ Lsn Wal::next_lsn() const {
 size_t Wal::size() const {
   std::lock_guard<std::mutex> lk(mu_);
   return records_.size();
+}
+
+void Wal::RegisterMetrics(obs::MetricsRegistry* registry,
+                          const void* owner) const {
+  registry->RegisterGaugeFn(
+      "rollview_wal_next_lsn", {},
+      [this] { return static_cast<int64_t>(next_lsn()); }, owner);
+  registry->RegisterGaugeFn(
+      "rollview_wal_records", {},
+      [this] { return static_cast<int64_t>(size()); }, owner);
 }
 
 }  // namespace rollview

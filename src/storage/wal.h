@@ -31,6 +31,10 @@
 
 namespace rollview {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 using Lsn = uint64_t;
 
 // Catalog payload of a kCreateTable record: enough to recreate the table
@@ -117,6 +121,11 @@ class Wal {
 
   Lsn next_lsn() const;
   size_t size() const;
+
+  // Registers rollview_wal_next_lsn and rollview_wal_records gauges. The
+  // caller must DropOwner(owner) on the registry before the WAL dies.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const void* owner) const;
 
  private:
   std::atomic<FaultInjector*> injector_{nullptr};

@@ -65,6 +65,101 @@ TEST(LatencyHistogramTest, ReservoirBoundsMemoryWithExactAggregates) {
   EXPECT_EQ(h.reservoir_size(), 0u);
 }
 
+TEST(LatencyHistogramTest, ReservoirIsDeterministicAcrossReset) {
+  // Reset() restores the reservoir's seeded RNG, so replaying the same
+  // sample stream retains the identical sample set -- the property that
+  // keeps bench percentiles reproducible run to run.
+  LatencyHistogram h;
+  constexpr uint64_t kSamples = 2 * LatencyHistogram::kReservoirCapacity;
+  for (uint64_t v = 1; v <= kSamples; ++v) h.Record(v * 3);
+  uint64_t p50 = h.Percentile(0.5);
+  uint64_t p95 = h.Percentile(0.95);
+  uint64_t p99 = h.Percentile(0.99);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  for (uint64_t v = 1; v <= kSamples; ++v) h.Record(v * 3);
+  EXPECT_EQ(h.Percentile(0.5), p50);
+  EXPECT_EQ(h.Percentile(0.95), p95);
+  EXPECT_EQ(h.Percentile(0.99), p99);
+}
+
+TEST(LatencyHistogramTest, MergeFromPoolsAggregatesAndSamples) {
+  LatencyHistogram a, b;
+  a.Record(1000);
+  a.Record(2000);
+  b.Record(3000);
+  b.Record(9000);
+  a.MergeFrom(b);
+  // Aggregates are exact after a merge...
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.max_nanos(), 9000u);
+  EXPECT_DOUBLE_EQ(a.mean_nanos(), 3750.0);
+  // ...and below reservoir capacity the pooled percentiles are too.
+  EXPECT_EQ(a.Percentile(0.0), 1000u);
+  EXPECT_EQ(a.Percentile(1.0), 9000u);
+  // rank = 0.5 * (4 - 1) = 1.5, rounded half-away-from-zero to index 2.
+  EXPECT_EQ(a.Percentile(0.5), 3000u);
+  // The source is unchanged.
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.max_nanos(), 9000u);
+}
+
+TEST(LatencyHistogramTest, MergeFromEmptyAndIntoEmpty) {
+  LatencyHistogram a, b;
+  a.Record(5000);
+  a.MergeFrom(b);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.Percentile(0.5), 5000u);
+  b.MergeFrom(a);  // merging into an empty histogram copies it
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.max_nanos(), 5000u);
+  EXPECT_DOUBLE_EQ(b.mean_nanos(), 5000.0);
+}
+
+TEST(LatencyHistogramTest, MergeFromSelfIsANoOp) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(2000);
+  h.MergeFrom(h);  // must not deadlock or double-count
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean_nanos(), 1500.0);
+}
+
+TEST(LatencyHistogramTest, MergeFromKeepsExactAggregatesPastCapacity) {
+  LatencyHistogram a, b;
+  constexpr uint64_t kSamples = 2 * LatencyHistogram::kReservoirCapacity;
+  uint64_t expected_sum = 0;
+  for (uint64_t v = 1; v <= kSamples; ++v) {
+    (v % 2 == 0 ? a : b).Record(v);
+    expected_sum += v;
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), kSamples);
+  EXPECT_EQ(a.max_nanos(), kSamples);
+  EXPECT_DOUBLE_EQ(a.mean_nanos(),
+                   static_cast<double>(expected_sum) / kSamples);
+  EXPECT_EQ(a.reservoir_size(), LatencyHistogram::kReservoirCapacity);
+}
+
+TEST(GaugeTest, SetAddAndConcurrentAdds) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  g.Add(-3);
+  g.Add(5);
+  EXPECT_EQ(g.value(), 12);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 1000; ++i) g.Add(1);
+      for (int i = 0; i < 1000; ++i) g.Add(-1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(g.value(), 12);
+}
+
 TEST(ScopedTimerTest, RecordsElapsed) {
   LatencyHistogram h;
   {
@@ -73,6 +168,12 @@ TEST(ScopedTimerTest, RecordsElapsed) {
   }
   EXPECT_EQ(h.count(), 1u);
   EXPECT_GE(h.max_nanos(), 1000000u);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsANoOp) {
+  // Instrumentation sites pass a null histogram when a metric is disabled;
+  // the timer must tolerate it on both construction and destruction.
+  ScopedTimer t(nullptr);
 }
 
 TEST(StatusTest, CodesAndMessages) {

@@ -1,0 +1,239 @@
+// Copyright 2026 The rollview Authors.
+//
+// MetricsRegistry: owned/borrowed/callback registration, label
+// canonicalization, owner-scoped deregistration, snapshot value semantics,
+// and golden renderings of the two stable export formats. The concurrency
+// case runs under TSan via the `concurrency` ctest label.
+
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rollview {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, OwnedInstrumentsAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("rollview_step_total", {{"view", "V1"}});
+  Counter* c2 = registry.GetCounter("rollview_step_total", {{"view", "V1"}});
+  EXPECT_EQ(c1, c2);  // same (name, labels) => same instrument
+  Counter* other = registry.GetCounter("rollview_step_total", {{"view", "V2"}});
+  EXPECT_NE(c1, other);
+  c1->Add(5);
+  EXPECT_EQ(registry.Snapshot().CounterValue("rollview_step_total",
+                                             {{"view", "V1"}}),
+            5u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelsCanonicalizeAcrossOrderings) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("rollview_step_total",
+                                   {{"view", "V1"}, {"outcome", "ok"}});
+  c->Add(3);
+  // Reversed label order resolves to the same instrument and sample.
+  EXPECT_EQ(registry.GetCounter("rollview_step_total",
+                                {{"outcome", "ok"}, {"view", "V1"}}),
+            c);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("rollview_step_total",
+                              {{"outcome", "ok"}, {"view", "V1"}}),
+            3u);
+  EXPECT_EQ(snap.CounterValue("rollview_step_total",
+                              {{"view", "V1"}, {"outcome", "ok"}}),
+            3u);
+}
+
+TEST(MetricsRegistryTest, BorrowedInstrumentsAndDropOwner) {
+  MetricsRegistry registry;
+  Counter component_counter;
+  Gauge component_gauge;
+  int owner_cookie = 0;
+  registry.RegisterCounter("rollview_wal_appends_total", {},
+                           &component_counter, &owner_cookie);
+  registry.RegisterGauge("rollview_wal_records", {}, &component_gauge,
+                         &owner_cookie);
+  component_counter.Add(7);
+  component_gauge.Set(-4);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("rollview_wal_appends_total", {}), 7u);
+  EXPECT_EQ(snap.GaugeValue("rollview_wal_records", {}), -4);
+
+  // DropOwner removes exactly this owner's instruments; a later snapshot
+  // must not dereference the (about-to-die) component instruments.
+  registry.DropOwner(&owner_cookie);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Snapshot().CounterValue("rollview_wal_appends_total", {}),
+            0u);
+}
+
+TEST(MetricsRegistryTest, DropOwnerLeavesOtherOwnersAlone) {
+  MetricsRegistry registry;
+  Counter a, b;
+  int owner_a = 0, owner_b = 0;
+  registry.RegisterCounter("m_a", {}, &a, &owner_a);
+  registry.RegisterCounter("m_b", {}, &b, &owner_b);
+  registry.GetCounter("m_owned")->Add(1);
+  registry.DropOwner(&owner_a);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Snapshot().CounterTotal("m_b"), 0u);
+  EXPECT_EQ(registry.Snapshot().CounterTotal("m_owned"), 1u);
+}
+
+TEST(MetricsRegistryTest, CallbacksSampleAtSnapshotTime) {
+  MetricsRegistry registry;
+  uint64_t steps = 0;
+  int64_t level = 0;
+  int owner = 0;
+  registry.RegisterCounterFn("cb_counter", {}, [&steps] { return steps; },
+                             &owner);
+  registry.RegisterGaugeFn("cb_gauge", {}, [&level] { return level; }, &owner);
+  steps = 41;
+  level = -9;
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("cb_counter", {}), 41u);
+  EXPECT_EQ(snap.GaugeValue("cb_gauge", {}), -9);
+  steps = 42;  // snapshots are point-in-time copies
+  EXPECT_EQ(snap.CounterValue("cb_counter", {}), 41u);
+}
+
+TEST(MetricsRegistryTest, CounterTotalSumsAcrossLabelSets) {
+  MetricsRegistry registry;
+  registry.GetCounter("rollview_queries_total", {{"kind", "forward"}})->Add(10);
+  registry.GetCounter("rollview_queries_total", {{"kind", "compensation"}})
+      ->Add(4);
+  registry.GetCounter("unrelated", {})->Add(100);
+  EXPECT_EQ(registry.Snapshot().CounterTotal("rollview_queries_total"), 14u);
+}
+
+TEST(MetricsRegistryTest, SnapshotOutlivesRegistry) {
+  MetricsSnapshot snap;
+  {
+    MetricsRegistry registry;
+    registry.GetCounter("c", {{"l", "v"}})->Add(2);
+    registry.GetHistogram("h")->Record(1000);
+    snap = registry.Snapshot();
+  }
+  EXPECT_EQ(snap.CounterValue("c", {{"l", "v"}}), 2u);
+  ASSERT_NE(snap.Histogram("h", {}), nullptr);
+  EXPECT_EQ(snap.Histogram("h", {})->count, 1u);
+}
+
+// Golden rendering of the Prometheus exposition format: sorted by
+// (name, labels), one `# TYPE` header per metric, histograms as summaries.
+// This string is the stable scrape contract; update it deliberately.
+TEST(MetricsRegistryTest, GoldenPrometheusText) {
+  MetricsRegistry registry;
+  LatencyHistogram* h =
+      registry.GetHistogram("rollview_lock_wait_latency", {{"class", "oltp"}});
+  h->Record(1000);
+  h->Record(2000);
+  h->Record(3000);
+  registry.GetCounter("rollview_step_total", {{"view", "V1"}, {"outcome", "ok"}})
+      ->Add(3);
+  registry
+      .GetCounter("rollview_step_total",
+                  {{"view", "V1"}, {"outcome", "transient_error"}})
+      ->Add(1);
+  registry.GetGauge("rollview_view_staleness_csn", {{"view", "V1"}})->Set(7);
+
+  const std::string expected =
+      "# TYPE rollview_lock_wait_latency summary\n"
+      "rollview_lock_wait_latency{class=\"oltp\",quantile=\"0.5\"} 2000\n"
+      "rollview_lock_wait_latency{class=\"oltp\",quantile=\"0.95\"} 3000\n"
+      "rollview_lock_wait_latency{class=\"oltp\",quantile=\"0.99\"} 3000\n"
+      "rollview_lock_wait_latency_sum{class=\"oltp\"} 6000\n"
+      "rollview_lock_wait_latency_count{class=\"oltp\"} 3\n"
+      "rollview_lock_wait_latency_max{class=\"oltp\"} 3000\n"
+      "# TYPE rollview_step_total counter\n"
+      "rollview_step_total{outcome=\"ok\",view=\"V1\"} 3\n"
+      "rollview_step_total{outcome=\"transient_error\",view=\"V1\"} 1\n"
+      "# TYPE rollview_view_staleness_csn gauge\n"
+      "rollview_view_staleness_csn{view=\"V1\"} 7\n";
+  EXPECT_EQ(registry.Snapshot().ToPrometheusText(), expected);
+}
+
+// Golden rendering of the structured JSON export (one metric per line,
+// stable ordering) -- the other half of the exporter contract.
+TEST(MetricsRegistryTest, GoldenJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("rollview_step_total", {{"view", "V1"}})->Add(2);
+  registry.GetGauge("rollview_view_hwm_csn", {{"view", "V1"}})->Set(12);
+  LatencyHistogram* h = registry.GetHistogram("rollview_lock_wait_latency");
+  h->Record(5000);
+
+  const std::string expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"rollview_lock_wait_latency\", \"labels\": {}, "
+      "\"kind\": \"histogram\", \"count\": 1, \"sum_nanos\": 5000, "
+      "\"max_nanos\": 5000, \"p50\": 5000, \"p95\": 5000, \"p99\": 5000},\n"
+      "    {\"name\": \"rollview_step_total\", \"labels\": "
+      "{\"view\":\"V1\"}, \"kind\": \"counter\", \"value\": 2},\n"
+      "    {\"name\": \"rollview_view_hwm_csn\", \"labels\": "
+      "{\"view\":\"V1\"}, \"kind\": \"gauge\", \"value\": 12}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(registry.Snapshot().ToJson(), expected);
+}
+
+TEST(MetricsRegistryTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"view", "a\"b\\c"}})->Add(1);
+  std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("view=\"a\\\"b\\\\c\""), std::string::npos);
+}
+
+// Hot-path counters keep counting while other threads register, scrape and
+// deregister; run under TSan via the `concurrency` label. The assertions
+// are deliberately loose -- the point is the interleaving, not the values.
+TEST(MetricsRegistryTest, ConcurrentRegistrationScrapeAndCounting) {
+  MetricsRegistry registry;
+  Counter* hot = registry.GetCounter("hot_total");
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([hot, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) hot->Add();
+    });
+  }
+  threads.emplace_back([&registry, &stop] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snap = registry.Snapshot();
+      uint64_t v = snap.CounterValue("hot_total", {});
+      EXPECT_GE(v, last);  // counters are monotonic
+      last = v;
+    }
+  });
+  threads.emplace_back([&registry, &stop] {
+    // A component that keeps re-registering and dropping its instruments
+    // while scrapes run.
+    Counter borrowed;
+    int owner = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.RegisterCounter("churn_total", {}, &borrowed, &owner);
+      registry.RegisterCounterFn("churn_fn_total", {},
+                                 [&borrowed] { return borrowed.value(); },
+                                 &owner);
+      registry.Snapshot();
+      registry.DropOwner(&owner);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_GT(registry.Snapshot().CounterValue("hot_total", {}), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rollview

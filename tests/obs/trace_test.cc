@@ -1,0 +1,269 @@
+// Copyright 2026 The rollview Authors.
+//
+// StepTracer / TraceJournal mechanics: span-tree construction, the
+// disabled-tracing no-op contract, the per-step span budget, ring-buffer
+// retention, and the rendered/JSON exporters.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rollview {
+namespace obs {
+namespace {
+
+TEST(StepTracerTest, DisabledTracerIsANoOp) {
+  StepTracer tracer;  // no journal attached
+  EXPECT_FALSE(tracer.enabled());
+  tracer.SetNextStepContext(3, "degraded", 500);
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 7);
+  EXPECT_FALSE(tracer.active());
+  EXPECT_EQ(tracer.OpenSpan(SpanKind::kForward), 0u);
+  tracer.AttrCurrent("rows", 10);
+  tracer.AddStepRows(10);
+  tracer.MarkUndone();
+  tracer.EndStep(StepOutcome::kOk);  // must not crash or record anything
+}
+
+TEST(StepTracerTest, BuildsSpanTreeWithParentsAndAttrs) {
+  TraceJournal journal(8);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+
+  tracer.SetNextStepContext(/*retries=*/2, "degraded", /*target_rows=*/512);
+  tracer.BeginStep(SpanKind::kStep, /*view_id=*/4, "V", /*seq=*/11);
+  ASSERT_TRUE(tracer.active());
+
+  uint32_t fwd = tracer.OpenSpan(SpanKind::kForward);
+  tracer.Attr(fwd, "relation", 0);
+  uint32_t wal = tracer.OpenSpan(SpanKind::kWalAppend);  // child of forward
+  tracer.AttrCurrent("rows", 42);
+  tracer.CloseSpan(wal, true);
+  tracer.CloseSpan(fwd, true);
+
+  uint32_t comp = tracer.OpenSpan(SpanKind::kCompensation);
+  tracer.Attr(comp, "relation", 1);
+  tracer.Attr(comp, "depth", 2);
+  tracer.CloseSpan(comp, true);
+
+  tracer.AddStepRows(42);
+  tracer.EndStep(StepOutcome::kOk);
+  EXPECT_FALSE(tracer.active());
+
+  std::vector<StepTrace> traces = journal.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const StepTrace& t = traces[0];
+  EXPECT_EQ(t.trace_id, 1u);
+  EXPECT_EQ(t.root_kind, SpanKind::kStep);
+  EXPECT_EQ(t.view_id, 4u);
+  EXPECT_EQ(t.view, "V");
+  EXPECT_EQ(t.seq, 11u);
+  EXPECT_EQ(t.outcome, StepOutcome::kOk);
+  EXPECT_EQ(t.retries, 2u);
+  EXPECT_STREQ(t.health, "degraded");
+  EXPECT_EQ(t.target_rows, 512);
+  EXPECT_EQ(t.rows, 42u);
+  EXPECT_FALSE(t.undone);
+  EXPECT_EQ(t.dropped_spans, 0u);
+
+  ASSERT_EQ(t.spans.size(), 4u);
+  EXPECT_EQ(t.root().kind, SpanKind::kStep);
+  EXPECT_EQ(t.root().parent, 0u);
+  EXPECT_TRUE(t.root().ok);
+  const Span& s_fwd = t.spans[1];
+  const Span& s_wal = t.spans[2];
+  const Span& s_comp = t.spans[3];
+  EXPECT_EQ(s_fwd.kind, SpanKind::kForward);
+  EXPECT_EQ(s_fwd.parent, t.root().id);
+  EXPECT_EQ(s_wal.kind, SpanKind::kWalAppend);
+  EXPECT_EQ(s_wal.parent, s_fwd.id);  // nested under the open forward span
+  EXPECT_EQ(s_wal.Attr("rows"), 42);
+  EXPECT_EQ(s_comp.kind, SpanKind::kCompensation);
+  EXPECT_EQ(s_comp.parent, t.root().id);
+  EXPECT_EQ(s_comp.Attr("relation"), 1);
+  EXPECT_EQ(s_comp.Attr("depth"), 2);
+  EXPECT_EQ(s_comp.Attr("absent"), -1);
+  EXPECT_EQ(s_comp.Attr("absent", 99), 99);
+}
+
+TEST(StepTracerTest, ErrorOutcomeMarksRootFailedAndKeepsError) {
+  TraceJournal journal(8);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 1);
+  uint32_t fwd = tracer.OpenSpan(SpanKind::kForward);
+  tracer.CloseSpan(fwd, false);
+  tracer.EndStep(StepOutcome::kTransientError, "txn aborted by deadlock");
+
+  // The retrying attempt carries the undo activity.
+  tracer.SetNextStepContext(1, "recovering", 0);
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 1);
+  uint32_t undo = tracer.OpenSpan(SpanKind::kUndo);
+  tracer.CloseSpan(undo, true);
+  tracer.MarkUndone();
+  tracer.EndStep(StepOutcome::kOk);
+
+  std::vector<StepTrace> traces = journal.Snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].outcome, StepOutcome::kTransientError);
+  EXPECT_EQ(traces[0].error, "txn aborted by deadlock");
+  EXPECT_FALSE(traces[0].root().ok);
+  EXPECT_FALSE(traces[0].spans[1].ok);
+  EXPECT_EQ(traces[1].retries, 1u);
+  EXPECT_TRUE(traces[1].undone);
+  EXPECT_EQ(traces[1].spans[1].kind, SpanKind::kUndo);
+}
+
+TEST(StepTracerTest, CloseSpanClosesAbandonedChildren) {
+  TraceJournal journal(4);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 1);
+  uint32_t outer = tracer.OpenSpan(SpanKind::kForward);
+  tracer.OpenSpan(SpanKind::kWalAppend);  // left open by an error path
+  tracer.CloseSpan(outer, false);
+  tracer.EndStep(StepOutcome::kTransientError, "boom");
+
+  const StepTrace t = journal.Snapshot()[0];
+  ASSERT_EQ(t.spans.size(), 3u);
+  // The abandoned child was closed at its parent's end time.
+  EXPECT_EQ(t.spans[2].end_nanos, t.spans[1].end_nanos);
+  // A new span after the close parents onto the root, not the dead child.
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 2);
+  tracer.OpenSpan(SpanKind::kForward);
+  tracer.CloseSpan(2, true);
+  uint32_t next = tracer.OpenSpan(SpanKind::kCompensation);
+  tracer.CloseSpan(next, true);
+  tracer.EndStep(StepOutcome::kOk);
+  const StepTrace t2 = journal.Snapshot()[1];
+  EXPECT_EQ(t2.spans[2].parent, 1u);
+}
+
+TEST(StepTracerTest, SpanBudgetCountsDrops) {
+  TraceJournal journal(2);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 1);
+  for (size_t i = 0; i < StepTracer::kMaxSpansPerStep + 10; ++i) {
+    uint32_t id = tracer.OpenSpan(SpanKind::kCompensation);
+    tracer.CloseSpan(id, true);  // id 0 past the budget: no-op
+  }
+  tracer.EndStep(StepOutcome::kOk);
+
+  const StepTrace t = journal.Snapshot()[0];
+  EXPECT_EQ(t.spans.size(), StepTracer::kMaxSpansPerStep);
+  // Root occupies one slot, so 10 + 1 opens were over budget.
+  EXPECT_EQ(t.dropped_spans, 11u);
+}
+
+TEST(StepTracerTest, BeginStepDropsAbandonedTrace) {
+  TraceJournal journal(4);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 1);
+  tracer.OpenSpan(SpanKind::kForward);
+  // Abandoned (driver bailed without EndStep); the next step must start
+  // clean and the abandoned trace must not reach the journal.
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 2);
+  tracer.EndStep(StepOutcome::kSkippedEmpty);
+
+  std::vector<StepTrace> traces = journal.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].seq, 2u);
+  EXPECT_EQ(traces[0].outcome, StepOutcome::kSkippedEmpty);
+  EXPECT_TRUE(traces[0].root().ok);  // skipped-empty is a healthy outcome
+  EXPECT_EQ(traces[0].spans.size(), 1u);
+}
+
+TEST(TraceJournalTest, RingRetainsNewestInOrder) {
+  TraceJournal journal(3);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+  for (uint64_t seq = 1; seq <= 7; ++seq) {
+    tracer.BeginStep(SpanKind::kStep, 1, "V", seq);
+    tracer.EndStep(StepOutcome::kOk);
+  }
+  EXPECT_EQ(journal.recorded(), 7u);
+  EXPECT_EQ(journal.capacity(), 3u);
+
+  std::vector<StepTrace> all = journal.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].trace_id, 5u);  // oldest retained first
+  EXPECT_EQ(all[1].trace_id, 6u);
+  EXPECT_EQ(all[2].trace_id, 7u);
+
+  std::vector<StepTrace> last = journal.Last(2);
+  ASSERT_EQ(last.size(), 2u);
+  EXPECT_EQ(last[0].trace_id, 6u);
+  EXPECT_EQ(last[1].trace_id, 7u);
+  EXPECT_EQ(journal.Last(99).size(), 3u);
+}
+
+TEST(TraceJournalTest, DumpTraceRendersTreeAndContext) {
+  TraceJournal journal(4);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+
+  tracer.SetNextStepContext(1, "degraded", 256);
+  tracer.BeginStep(SpanKind::kStep, 1, "orders_by_day", 9);
+  uint32_t fwd = tracer.OpenSpan(SpanKind::kForward);
+  tracer.Attr(fwd, "relation", 0);
+  uint32_t wal = tracer.OpenSpan(SpanKind::kWalAppend);
+  tracer.CloseSpan(wal, true);
+  tracer.CloseSpan(fwd, true);
+  tracer.AddStepRows(17);
+  tracer.EndStep(StepOutcome::kOk);
+
+  std::string dump = journal.DumpTrace(4);
+  EXPECT_NE(dump.find("view=orders_by_day"), std::string::npos);
+  EXPECT_NE(dump.find("seq=9"), std::string::npos);
+  EXPECT_NE(dump.find("outcome=ok"), std::string::npos);
+  EXPECT_NE(dump.find("retries=1"), std::string::npos);
+  EXPECT_NE(dump.find("health=degraded"), std::string::npos);
+  EXPECT_NE(dump.find("target_rows=256"), std::string::npos);
+  EXPECT_NE(dump.find("rows=17"), std::string::npos);
+  EXPECT_NE(dump.find("\n  step"), std::string::npos);
+  EXPECT_NE(dump.find("\n    forward"), std::string::npos);  // depth 1
+  EXPECT_NE(dump.find("relation=0"), std::string::npos);
+  EXPECT_NE(dump.find("\n      wal_append"), std::string::npos);  // depth 2
+}
+
+TEST(TraceJournalTest, ToJsonEmitsSpansWithAttrs) {
+  TraceJournal journal(4);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 3);
+  uint32_t comp = tracer.OpenSpan(SpanKind::kCompensation);
+  tracer.Attr(comp, "depth", 2);
+  tracer.CloseSpan(comp, true);
+  tracer.EndStep(StepOutcome::kTransientError, "boom");
+
+  std::string json = journal.ToJson(4);
+  EXPECT_NE(json.find("\"traces\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"view\": \"V\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\": \"transient_error\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"compensation\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);  // failed root
+}
+
+TEST(TraceJournalTest, ZeroCapacityRecordsButRetainsNothing) {
+  TraceJournal journal(0);
+  StepTracer tracer;
+  tracer.set_journal(&journal);
+  tracer.BeginStep(SpanKind::kStep, 1, "V", 1);
+  tracer.EndStep(StepOutcome::kOk);
+  EXPECT_EQ(journal.recorded(), 1u);
+  EXPECT_TRUE(journal.Snapshot().empty());
+  EXPECT_EQ(journal.DumpTrace(5), "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rollview
