@@ -52,6 +52,8 @@ class Stopwatch {
 // Engine + capture + views bundle.
 struct Env {
   Env() : capture(&db), views(&db, &capture) {}
+  explicit Env(const DbOptions& options)
+      : db(options), capture(&db), views(&db, &capture) {}
   Db db;
   LogCapture capture;
   ViewManager views;

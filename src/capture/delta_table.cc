@@ -58,47 +58,88 @@ DeltaRows DeltaTable::ScanAll() const {
 }
 
 DeltaRowRefs DeltaTable::ScanRefs(const CsnRange& range, Pin* pin) const {
+  return ScanRefs(range, nullptr, pin);
+}
+
+DeltaRowRefs DeltaTable::ScanRefs(const CsnRange& range,
+                                  const DeltaPartitionFilter* filter,
+                                  Pin* pin) const {
   // Pin before latching: once Prune (which holds the exclusive latch while
   // it checks pins) lets us through, the store can only grow.
   *pin = Pin(this);
   std::shared_lock<std::shared_mutex> lk(latch_);
   DeltaRowRefs out;
   if (range.empty()) return out;
+  const bool filtered = filter != nullptr && filter->count > 1;
   if (ts_sorted_) {
     size_t begin = LowerBound(range.lo);
     size_t end = LowerBound(range.hi);
     out.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) out.push_back(&rows_[i]);
+    for (size_t i = begin; i < end; ++i) {
+      if (!filtered || filter->Matches(rows_[i])) out.push_back(&rows_[i]);
+    }
   } else {
     for (const DeltaRow& r : rows_) {
-      if (range.Contains(r.ts)) out.push_back(&r);
+      if (range.Contains(r.ts) && (!filtered || filter->Matches(r))) {
+        out.push_back(&r);
+      }
     }
   }
   return out;
 }
 
 size_t DeltaTable::CountInRange(const CsnRange& range) const {
+  return CountInRange(range, nullptr);
+}
+
+size_t DeltaTable::CountInRange(const CsnRange& range,
+                                const DeltaPartitionFilter* filter) const {
   std::shared_lock<std::shared_mutex> lk(latch_);
   if (range.empty()) return 0;
-  if (ts_sorted_) {
+  const bool filtered = filter != nullptr && filter->count > 1;
+  if (ts_sorted_ && !filtered) {
     return LowerBound(range.hi) - LowerBound(range.lo);
   }
   size_t n = 0;
+  if (ts_sorted_) {
+    size_t begin = LowerBound(range.lo);
+    size_t end = LowerBound(range.hi);
+    for (size_t i = begin; i < end; ++i) {
+      if (filter->Matches(rows_[i])) ++n;
+    }
+    return n;
+  }
   for (const DeltaRow& r : rows_) {
-    if (range.Contains(r.ts)) ++n;
+    if (range.Contains(r.ts) && (!filtered || filter->Matches(r))) ++n;
   }
   return n;
 }
 
 Csn DeltaTable::TsAfterRows(Csn from, size_t rows, Csn cap) const {
+  return TsAfterRows(from, rows, cap, nullptr);
+}
+
+Csn DeltaTable::TsAfterRows(Csn from, size_t rows, Csn cap,
+                            const DeltaPartitionFilter* filter) const {
   std::shared_lock<std::shared_mutex> lk(latch_);
   assert(ts_sorted_);
   if (rows == 0) return from >= cap ? cap : from;
+  const bool filtered = filter != nullptr && filter->count > 1;
   size_t begin = LowerBound(from);
-  size_t target = begin + rows - 1;
-  if (target >= rows_.size()) return cap;
-  Csn ts = rows_[target].ts;
-  return ts > cap ? cap : ts;
+  if (!filtered) {
+    size_t target = begin + rows - 1;
+    if (target >= rows_.size()) return cap;
+    Csn ts = rows_[target].ts;
+    return ts > cap ? cap : ts;
+  }
+  size_t seen = 0;
+  for (size_t i = begin; i < rows_.size(); ++i) {
+    if (rows_[i].ts > cap) return cap;
+    if (filter->Matches(rows_[i]) && ++seen == rows) {
+      return rows_[i].ts;
+    }
+  }
+  return cap;
 }
 
 size_t DeltaTable::size() const {

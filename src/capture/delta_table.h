@@ -34,6 +34,25 @@
 
 namespace rollview {
 
+// Hash-partition selector over delta rows: a row belongs to partition
+// hash(tuple[column]) % count. Partitioned propagation (ivm layer) gives
+// each concurrent strip one filter so disjoint strips read disjoint row
+// sets of the same delta table. count <= 1 matches everything (the
+// unpartitioned single-driver case).
+//
+// The hash is Value::Hash, which is deterministic for a build of the
+// engine; per-partition cursors are only durable relative to the same
+// binary, which is the crash-recovery contract everywhere else too.
+struct DeltaPartitionFilter {
+  size_t column = 0;   // column of the row's tuple that carries the join key
+  uint32_t count = 1;  // total partitions
+  uint32_t index = 0;  // this strip's partition
+  bool Matches(const DeltaRow& r) const {
+    return count <= 1 ||
+           static_cast<uint32_t>(r.tuple[column].Hash() % count) == index;
+  }
+};
+
 class DeltaTable {
  public:
   DeltaTable(std::string name, Schema schema, bool ts_sorted)
@@ -87,14 +106,24 @@ class DeltaTable {
   // concurrent Prune either ran first (the refs see the pruned store) or
   // observes the pin and defers.
   DeltaRowRefs ScanRefs(const CsnRange& range, Pin* pin) const;
+  // Partition-restricted variant: only rows `filter` matches. A null filter
+  // (or count <= 1) is the unfiltered scan.
+  DeltaRowRefs ScanRefs(const CsnRange& range,
+                        const DeltaPartitionFilter* filter, Pin* pin) const;
   // Number of rows a Scan(range) would return, without materializing.
   size_t CountInRange(const CsnRange& range) const;
+  size_t CountInRange(const CsnRange& range,
+                      const DeltaPartitionFilter* filter) const;
 
   // Adaptive-interval helper (ts_sorted only): the smallest ts T <= cap such
   // that (from, T] contains at least `rows` rows -- i.e. the end of a
   // propagation interval sized to roughly `rows` delta rows. Returns `cap`
-  // when fewer than `rows` rows exist in (from, cap].
+  // when fewer than `rows` rows exist in (from, cap]. The filtered variant
+  // counts only rows the partition filter matches, so each strip's interval
+  // is sized to *its* work rather than the whole table's.
   Csn TsAfterRows(Csn from, size_t rows, Csn cap) const;
+  Csn TsAfterRows(Csn from, size_t rows, Csn cap,
+                  const DeltaPartitionFilter* filter) const;
 
   size_t size() const;
   Csn max_ts() const;

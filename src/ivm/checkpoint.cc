@@ -1,5 +1,8 @@
 #include "ivm/checkpoint.h"
 
+#include <algorithm>
+#include <map>
+
 #include "storage/wal_codec.h"
 
 namespace rollview {
@@ -76,6 +79,8 @@ std::string EncodeViewCursorBlob(const ViewCursorBlob& b) {
   PutCsnVector(&out, b.tfwd);
   PutCsnVector(&out, b.tcomp);
   PutStrips(&out, b.strips);
+  PutU32(&out, b.partition);
+  PutU32(&out, b.num_partitions);
   return out;
 }
 
@@ -86,6 +91,11 @@ bool DecodeViewCursorBlob(const std::string& data, ViewCursorBlob* b) {
   if (!GetCsnVector(data, &pos, &b->tfwd)) return false;
   if (!GetCsnVector(data, &pos, &b->tcomp)) return false;
   if (!GetStrips(data, &pos, &b->strips)) return false;
+  b->partition = 0;
+  b->num_partitions = 1;
+  if (pos == data.size()) return true;  // pre-partition framing
+  if (!GetU32(data, &pos, &b->partition)) return false;
+  if (!GetU32(data, &pos, &b->num_partitions)) return false;
   return pos == data.size();
 }
 
@@ -120,6 +130,15 @@ std::string EncodeViewCheckpointBlob(const ViewCheckpointBlob& b) {
   PutCsnVector(&out, b.tcomp);
   PutU64(&out, b.next_step_seq);
   PutStrips(&out, b.strips);
+  PutU32(&out, b.num_partitions);
+  PutU32(&out, static_cast<uint32_t>(b.extra_partitions.size()));
+  for (const PartitionCursorBlob& p : b.extra_partitions) {
+    PutU32(&out, p.partition);
+    PutCsnVector(&out, p.tfwd);
+    PutCsnVector(&out, p.tcomp);
+    PutU64(&out, p.next_step_seq);
+    PutStrips(&out, p.strips);
+  }
   return out;
 }
 
@@ -152,6 +171,21 @@ bool DecodeViewCheckpointBlob(const std::string& data, ViewCheckpointBlob* b) {
   if (!GetCsnVector(data, &pos, &b->tcomp)) return false;
   if (!GetU64(data, &pos, &b->next_step_seq)) return false;
   if (!GetStrips(data, &pos, &b->strips)) return false;
+  b->num_partitions = 1;
+  b->extra_partitions.clear();
+  if (pos == data.size()) return true;  // pre-partition framing
+  if (!GetU32(data, &pos, &b->num_partitions)) return false;
+  uint32_t extras = 0;
+  if (!GetU32(data, &pos, &extras)) return false;
+  b->extra_partitions.resize(extras);
+  for (uint32_t i = 0; i < extras; ++i) {
+    PartitionCursorBlob& p = b->extra_partitions[i];
+    if (!GetU32(data, &pos, &p.partition)) return false;
+    if (!GetCsnVector(data, &pos, &p.tfwd)) return false;
+    if (!GetCsnVector(data, &pos, &p.tcomp)) return false;
+    if (!GetU64(data, &pos, &p.next_step_seq)) return false;
+    if (!GetStrips(data, &pos, &p.strips)) return false;
+  }
   return pos == data.size();
 }
 
@@ -160,13 +194,16 @@ WalRecord MakeCreateViewRecord(const View& view) {
 }
 
 WalRecord MakeViewCursorRecord(const View& view, uint64_t completed_step_seq,
-                               const CursorState& cursors) {
+                               const CursorState& cursors,
+                               uint32_t partition) {
   ViewCursorBlob blob;
   blob.view_name = view.name;
   blob.completed_step_seq = completed_step_seq;
   blob.tfwd = cursors.tfwd;
   blob.tcomp = cursors.tcomp;
   blob.strips = cursors.strips;
+  blob.partition = partition;
+  blob.num_partitions = cursors.num_partitions;
   return MakeViewRecord(WalRecord::Kind::kViewCursor, view.id,
                         EncodeViewCursorBlob(blob));
 }
@@ -194,18 +231,33 @@ Status WriteViewCheckpoint(Db* db, View* view) {
   blob.mv_rows.assign(contents.begin(), contents.end());
   blob.delta_hwm = view->high_water_mark();
   blob.propagate_from = view->propagate_from.load(std::memory_order_acquire);
-  CursorState cursors = view->LoadCursors();
-  if (cursors.valid) {
+  std::map<uint32_t, CursorState> all = view->LoadAllCursors();
+  auto p0 = all.find(0);
+  if (p0 != all.end() && p0->second.valid) {
+    CursorState& cursors = p0->second;
     blob.tfwd = std::move(cursors.tfwd);
     blob.tcomp = std::move(cursors.tcomp);
     blob.next_step_seq = cursors.next_step_seq;
     blob.strips = std::move(cursors.strips);
+    blob.num_partitions = cursors.num_partitions;
   } else {
     // Freshly materialized: propagation starts everywhere at once.
     size_t n = view->resolved.num_terms();
     blob.tfwd.assign(n, blob.propagate_from);
     blob.tcomp.assign(n, blob.propagate_from);
     blob.next_step_seq = 1;
+  }
+  for (auto& [partition, cursors] : all) {
+    if (partition == 0 || !cursors.valid) continue;
+    PartitionCursorBlob p;
+    p.partition = partition;
+    p.tfwd = std::move(cursors.tfwd);
+    p.tcomp = std::move(cursors.tcomp);
+    p.next_step_seq = cursors.next_step_seq;
+    p.strips = std::move(cursors.strips);
+    blob.extra_partitions.push_back(std::move(p));
+    blob.num_partitions =
+        std::max(blob.num_partitions, cursors.num_partitions);
   }
   db->wal()->Append(MakeViewRecord(WalRecord::Kind::kViewCheckpoint, view->id,
                                    EncodeViewCheckpointBlob(blob)));

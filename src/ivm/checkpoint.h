@@ -58,6 +58,13 @@ struct ViewCursorBlob {
   // Rolling deferred mode: the querylists after this step. Frontier-mode
   // steps log n empty lists.
   std::vector<std::vector<ForwardStrip>> strips;
+  // Which partition strip this cursor chain belongs to, and how many strips
+  // the writer was running. Appended after the legacy fields on the wire;
+  // pre-partition records decode as partition 0 of 1. Recovery keys replay
+  // by (view, partition, completed_step_seq) -- partitioned drivers restart
+  // step sequences per partition.
+  uint32_t partition = 0;
+  uint32_t num_partitions = 1;
 };
 std::string EncodeViewCursorBlob(const ViewCursorBlob& b);
 bool DecodeViewCursorBlob(const std::string& data, ViewCursorBlob* b);
@@ -69,6 +76,16 @@ struct ViewAppliedBlob {
 std::string EncodeViewAppliedBlob(const ViewAppliedBlob& b);
 bool DecodeViewAppliedBlob(const std::string& data, ViewAppliedBlob* b);
 
+// Cursor chain of one non-zero partition inside a checkpoint (partition 0
+// rides in the checkpoint's legacy top-level cursor fields).
+struct PartitionCursorBlob {
+  uint32_t partition = 0;
+  std::vector<Csn> tfwd;
+  std::vector<Csn> tcomp;
+  uint64_t next_step_seq = 1;
+  std::vector<std::vector<ForwardStrip>> strips;
+};
+
 struct ViewCheckpointBlob {
   std::string view_name;
   // MV contents and materialization time, read atomically.
@@ -78,11 +95,17 @@ struct ViewCheckpointBlob {
   DeltaRows view_delta;
   Csn delta_hwm = kNullCsn;
   Csn propagate_from = kNullCsn;
-  // Propagation cursors at snapshot time.
+  // Propagation cursors at snapshot time (partition 0's chain; the only
+  // chain in the single-driver case).
   std::vector<Csn> tfwd;
   std::vector<Csn> tcomp;
   uint64_t next_step_seq = 1;
   std::vector<std::vector<ForwardStrip>> strips;
+  // Partitioned propagation: the strip count and the cursor chains of
+  // partitions >= 1, appended after the legacy fields on the wire.
+  // Pre-partition checkpoints decode as num_partitions 1, no extras.
+  uint32_t num_partitions = 1;
+  std::vector<PartitionCursorBlob> extra_partitions;
 };
 std::string EncodeViewCheckpointBlob(const ViewCheckpointBlob& b);
 bool DecodeViewCheckpointBlob(const std::string& data, ViewCheckpointBlob* b);
@@ -90,8 +113,11 @@ bool DecodeViewCheckpointBlob(const std::string& data, ViewCheckpointBlob* b);
 // --- Record builders -----------------------------------------------------
 
 WalRecord MakeCreateViewRecord(const View& view);
+// `partition` tags which strip completed the step; the strip count is taken
+// from cursors.num_partitions.
 WalRecord MakeViewCursorRecord(const View& view, uint64_t completed_step_seq,
-                               const CursorState& cursors);
+                               const CursorState& cursors,
+                               uint32_t partition = 0);
 WalRecord MakeViewAppliedRecord(const View& view, Csn applied_csn);
 
 // Snapshots the view's live state into a kViewCheckpoint record and appends

@@ -108,6 +108,17 @@ bool IntervalController::Observe(const ContentionSnapshot& snapshot) {
   return shedding_ != was_shedding;
 }
 
+void IntervalController::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  target_rows_ = std::clamp(options_.initial_target_rows,
+                            options_.min_target_rows,
+                            options_.max_target_rows);
+  pause_ = std::chrono::microseconds(0);
+  shedding_ = false;
+  consecutive_violations_ = 0;
+  consecutive_ok_ = 0;
+}
+
 void IntervalController::OnTransientStepFailure() {
   std::lock_guard<std::mutex> lk(mu_);
   if (target_rows_ > options_.min_target_rows) {
@@ -141,6 +152,13 @@ Csn AdaptiveContentionInterval::NextBoundary(Csn from, Csn ready,
                                              const DeltaTable& delta) {
   if (from >= ready) return from;
   return delta.TsAfterRows(from, controller_->target_rows(), ready);
+}
+
+Csn AdaptiveContentionInterval::NextBoundaryFiltered(
+    Csn from, Csn ready, const DeltaTable& delta,
+    const DeltaPartitionFilter* filter) {
+  if (from >= ready) return from;
+  return delta.TsAfterRows(from, controller_->target_rows(), ready, filter);
 }
 
 }  // namespace rollview

@@ -40,6 +40,18 @@ class IntervalPolicy {
   // Must return a value in [from, ready]; returning `from` means "cannot
   // advance yet".
   virtual Csn NextBoundary(Csn from, Csn ready, const DeltaTable& delta) = 0;
+
+  // Partition-aware variant: a strip that only processes `filter`'s slice
+  // of the delta should size its interval to the rows *it* will read, not
+  // the full stream (at P partitions a density-based policy would otherwise
+  // cut intervals P times too short). Policies that size by row counts
+  // override this; others inherit the filter-blind default. A null filter
+  // means unpartitioned.
+  virtual Csn NextBoundaryFiltered(Csn from, Csn ready,
+                                   const DeltaTable& delta,
+                                   const DeltaPartitionFilter* /*filter*/) {
+    return NextBoundary(from, ready, delta);
+  }
 };
 
 // Fixed interval length in commit-sequence units.
@@ -67,6 +79,12 @@ class TargetRowsInterval : public IntervalPolicy {
   Csn NextBoundary(Csn from, Csn ready, const DeltaTable& delta) override {
     if (from >= ready) return from;
     return delta.TsAfterRows(from, target_rows_, ready);
+  }
+
+  Csn NextBoundaryFiltered(Csn from, Csn ready, const DeltaTable& delta,
+                           const DeltaPartitionFilter* filter) override {
+    if (from >= ready) return from;
+    return delta.TsAfterRows(from, target_rows_, ready, filter);
   }
 
  private:
@@ -172,6 +190,13 @@ class IntervalController {
   // with the smaller interval rather than re-colliding at the old size.
   void OnTransientStepFailure();
 
+  // Restores the AIMD state (row target, pause, SLO streak counters,
+  // shedding flag) to a fresh controller's. Called when the maintenance
+  // driver restarts after kFailed: the contention regime that drove the
+  // target down died with the old driver, and resuming from a stale
+  // minimum would cripple the restarted one. Cumulative stats survive.
+  void Reset();
+
   // Current rows-per-forward-query target, always within [min, max].
   size_t target_rows() const;
   // Recommended pause before the next propagation step; zero when calm.
@@ -208,6 +233,8 @@ class AdaptiveContentionInterval : public IntervalPolicy {
       : controller_(controller) {}
 
   Csn NextBoundary(Csn from, Csn ready, const DeltaTable& delta) override;
+  Csn NextBoundaryFiltered(Csn from, Csn ready, const DeltaTable& delta,
+                           const DeltaPartitionFilter* filter) override;
 
  private:
   const IntervalController* controller_;

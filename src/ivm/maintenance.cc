@@ -1,6 +1,10 @@
 #include "ivm/maintenance.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+
+#include "ivm/partition.h"
 
 namespace rollview {
 
@@ -35,15 +39,43 @@ MaintenanceService::MaintenanceService(ViewManager* views, View* view,
         options_.target_rows_per_query);
   };
   if (options_.algorithm == Options::Algorithm::kRolling) {
-    std::vector<std::unique_ptr<IntervalPolicy>> policies;
-    for (size_t i = 0; i < view->resolved.num_terms(); ++i) {
-      policies.push_back(make_policy());
-    }
+    auto make_policies = [&]() {
+      std::vector<std::unique_ptr<IntervalPolicy>> policies;
+      for (size_t i = 0; i < view->resolved.num_terms(); ++i) {
+        policies.push_back(make_policy());
+      }
+      return policies;
+    };
     RollingOptions ropts;
     ropts.runner = options_.runner;
-    rolling_ = std::make_unique<RollingPropagator>(views, view,
-                                                   std::move(policies),
-                                                   std::move(ropts));
+    if (options_.propagate_partitions > 1) {
+      // Partitionability is a property of the view's join shape; check it
+      // separately so a non-partitionable view degrades to the serial
+      // driver, while a partitionable view whose durable cursors conflict
+      // with the requested count refuses to run (resuming mismatched
+      // chains could double-propagate; see partition_error_).
+      Result<std::vector<size_t>> cols =
+          ResolvePartitionColumns(view->resolved);
+      if (!cols.ok()) {
+        partition_fallback_ = cols.status();
+      } else {
+        ParallelRollingOptions popts;
+        popts.rolling = ropts;
+        popts.partitions = options_.propagate_partitions;
+        Result<std::unique_ptr<PartitionedRollingPropagator>> built =
+            PartitionedRollingPropagator::Create(views, view, make_policies,
+                                                 std::move(popts));
+        if (built.ok()) {
+          parallel_ = std::move(built).value();
+        } else {
+          partition_error_ = built.status();
+        }
+      }
+    }
+    if (parallel_ == nullptr) {
+      rolling_ = std::make_unique<RollingPropagator>(
+          views, view, make_policies(), std::move(ropts));
+    }
   } else {
     PropagatorOptions popts;
     popts.runner = options_.runner;
@@ -63,7 +95,15 @@ MaintenanceService::MaintenanceService(ViewManager* views, View* view,
         std::make_unique<obs::TraceJournal>(options_.trace_journal_capacity);
     propagate_tracer_.set_journal(journal_.get());
     apply_tracer_.set_journal(journal_.get());
-    if (rolling_ != nullptr) {
+    if (parallel_ != nullptr) {
+      std::vector<obs::StepTracer*> tracers;
+      for (uint32_t p = 0; p < parallel_->partitions(); ++p) {
+        strip_tracers_.push_back(std::make_unique<obs::StepTracer>());
+        strip_tracers_.back()->set_journal(journal_.get());
+        tracers.push_back(strip_tracers_.back().get());
+      }
+      parallel_->SetTracers(tracers);
+    } else if (rolling_ != nullptr) {
       rolling_->set_tracer(&propagate_tracer_);
     } else {
       plain_->set_tracer(&propagate_tracer_);
@@ -79,25 +119,51 @@ MaintenanceService::~MaintenanceService() {
 }
 
 const RunnerStats* MaintenanceService::runner_stats() const {
+  if (parallel_ != nullptr) {
+    // Aggregate over the strips into a stable snapshot; same threading
+    // contract as the strips' own stats (read between rounds -- for
+    // cross-thread scrapes use the mirrors via RegisterMetrics).
+    parallel_runner_stats_ = parallel_->runner_stats();
+    return &parallel_runner_stats_;
+  }
   return rolling_ != nullptr ? &rolling_->runner()->stats()
                              : &plain_->runner()->stats();
 }
 
 Status MaintenanceService::PropagateStep(bool* advanced) {
+  // A requested partitioning that conflicts with durable state never runs:
+  // permanent error, so the supervisor fails the driver on the first step.
+  ROLLVIEW_RETURN_NOT_OK(partition_error_);
   if (journal_ != nullptr) {
     // Supervision context for the trace the propagator is about to open: a
     // retried step carries its position in the failure streak and the
-    // health the supervisor reported when scheduling it.
-    propagate_tracer_.SetNextStepContext(
-        static_cast<uint64_t>(
-            propagate_driver_.consecutive.load(std::memory_order_relaxed)),
-        DriverHealthName(propagate_health()),
+    // health the supervisor reported when scheduling it. In parallel mode
+    // every strip of the round runs under the same supervision context.
+    const uint64_t streak = static_cast<uint64_t>(
+        propagate_driver_.consecutive.load(std::memory_order_relaxed));
+    const char* health = DriverHealthName(propagate_health());
+    const int64_t target =
         controller_ != nullptr
             ? static_cast<int64_t>(controller_->target_rows())
-            : static_cast<int64_t>(options_.target_rows_per_query));
+            : static_cast<int64_t>(options_.target_rows_per_query);
+    if (parallel_ != nullptr) {
+      for (const auto& tracer : strip_tracers_) {
+        tracer->SetNextStepContext(streak, health, target);
+      }
+    } else {
+      propagate_tracer_.SetNextStepContext(streak, health, target);
+    }
   }
   Status s = [&]() -> Status {
-    if (rolling_ != nullptr) {
+    if (parallel_ != nullptr) {
+      Result<bool> r = parallel_->Step();
+      if (!r.ok()) return r.status();
+      *advanced = r.value();
+      if (!*advanced) {
+        Result<bool> settled = parallel_->TryFinish();
+        if (!settled.ok()) return settled.status();
+      }
+    } else if (rolling_ != nullptr) {
       Result<bool> r = rolling_->Step();
       if (!r.ok()) return r.status();
       *advanced = r.value();
@@ -138,12 +204,20 @@ Status MaintenanceService::PropagateStep(bool* advanced) {
     // Mirror the driver-thread-local propagation stats for cross-thread
     // metric scrapes (the hot structs are unsynchronized by design).
     std::lock_guard<std::mutex> lk(stats_mu_);
-    runner_mirror_ = *runner_stats();
-    if (rolling_ != nullptr) {
-      compute_delta_mirror_ = rolling_->compute_delta_stats();
-      rolling_mirror_ = rolling_->rolling_stats();
+    if (parallel_ != nullptr) {
+      // Round barrier has passed: the strips are quiescent, so their
+      // thread-local stats are safe to aggregate here.
+      runner_mirror_ = parallel_->runner_stats();
+      compute_delta_mirror_ = parallel_->compute_delta_stats();
+      rolling_mirror_ = parallel_->rolling_stats();
     } else {
-      compute_delta_mirror_ = plain_->compute_delta_stats();
+      runner_mirror_ = *runner_stats();
+      if (rolling_ != nullptr) {
+        compute_delta_mirror_ = rolling_->compute_delta_stats();
+        rolling_mirror_ = rolling_->rolling_stats();
+      } else {
+        compute_delta_mirror_ = plain_->compute_delta_stats();
+      }
     }
   }
 
@@ -199,7 +273,11 @@ void MaintenanceService::ObserveContention() {
     last_window_transient_errors_ = ds.transient_errors;
   }
 
-  if (rolling_ != nullptr) snap.backlog_rows = rolling_->BacklogRows();
+  if (parallel_ != nullptr) {
+    snap.backlog_rows = parallel_->BacklogRows();
+  } else if (rolling_ != nullptr) {
+    snap.backlog_rows = rolling_->BacklogRows();
+  }
   Csn stable = views_->db()->stable_csn();
   Csn hwm = view_->high_water_mark();
   snap.staleness = stable > hwm ? stable - hwm : 0;
@@ -211,11 +289,21 @@ void MaintenanceService::ObserveContention() {
 }
 
 void MaintenanceService::ApplyShedding(bool on) {
-  QueryRunner* runner =
-      rolling_ != nullptr ? rolling_->runner() : plain_->runner();
   // Build-cache admission off while shedding (its memory and build CPU go
   // back to foreground work); restore the *configured* value on recovery.
-  runner->set_use_build_cache(on ? false : options_.runner.use_build_cache);
+  // In parallel mode the strips are quiescent here (shedding transitions
+  // fire from ObserveContention, between rounds), so flipping each strip's
+  // runner is race-free.
+  const bool use_cache = on ? false : options_.runner.use_build_cache;
+  if (parallel_ != nullptr) {
+    for (uint32_t p = 0; p < parallel_->partitions(); ++p) {
+      parallel_->strip(p)->runner()->set_use_build_cache(use_cache);
+    }
+  } else {
+    QueryRunner* runner =
+        rolling_ != nullptr ? rolling_->runner() : plain_->runner();
+    runner->set_use_build_cache(use_cache);
+  }
   if (checkpointer_ != nullptr && options_.checkpoint_every_steps > 0 &&
       options_.shedding_checkpoint_stretch > 1) {
     checkpointer_->set_every_steps(
@@ -382,6 +470,17 @@ void MaintenanceService::DriverLoop(Driver* driver,
 void MaintenanceService::Start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
+  if (controller_ != nullptr &&
+      propagate_driver_.health.load(std::memory_order_acquire) ==
+          DriverHealth::kFailed) {
+    // Restart after a terminal failure: the backoff streak resets below,
+    // and the AIMD controller must reset with it -- its row target, pacing
+    // and shedding posture were tuned for (or collapsed by) the regime
+    // that killed the driver, and resuming them would start the new run
+    // throttled for no observed reason. Cumulative controller stats
+    // survive, so the restart stays visible in telemetry.
+    controller_->Reset();
+  }
   {
     // A restarted service must not report a previous run's error.
     std::lock_guard<std::mutex> lk(error_mu_);
@@ -631,7 +730,7 @@ void MaintenanceService::RegisterMetrics(obs::MetricsRegistry* registry) {
       "rollview_compute_delta_max_depth", lv,
       [compute] { return static_cast<int64_t>(compute().max_depth); }, owner);
 
-  if (rolling_ != nullptr) {
+  if (rolling_ != nullptr || parallel_ != nullptr) {
     auto roll = [this] {
       std::lock_guard<std::mutex> lk(stats_mu_);
       return rolling_mirror_;
@@ -646,6 +745,23 @@ void MaintenanceService::RegisterMetrics(obs::MetricsRegistry* registry) {
     registry->RegisterCounterFn(
         "rollview_rolling_compensation_segments_total", lv,
         [roll] { return roll().compensation_segments; }, owner);
+  }
+
+  if (parallel_ != nullptr) {
+    // Partitioned propagation: strip count and each strip's published local
+    // mark. The view-level hwm gauge above is the minimum over these; a
+    // straggler partition shows up as the slot pinning that minimum.
+    PartitionedRollingPropagator* par = parallel_.get();
+    registry->RegisterGaugeFn(
+        "rollview_view_partitions", lv,
+        [par] { return static_cast<int64_t>(par->partitions()); }, owner);
+    for (uint32_t p = 0; p < par->partitions(); ++p) {
+      registry->RegisterGaugeFn(
+          "rollview_view_partition_hwm_csn",
+          {{"view", v}, {"partition", std::to_string(p)}},
+          [par, p] { return static_cast<int64_t>(par->partition_hwm(p)); },
+          owner);
+    }
   }
 
   auto apply = [this] {

@@ -30,12 +30,14 @@
 #include <functional>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "ivm/apply.h"
 #include "ivm/checkpoint.h"
 #include "ivm/interval_policy.h"
+#include "ivm/parallel_rolling.h"
 #include "ivm/propagate.h"
 #include "ivm/retention.h"
 #include "ivm/rolling.h"
@@ -90,6 +92,15 @@ class MaintenanceService {
     // RollingPropagator directly. Ignored in kAdaptive mode: configure
     // controller.initial_target_rows (and its bounds) instead.
     size_t target_rows_per_query = 256;
+    // Number of hash partitions for rolling propagation (kRolling only).
+    // > 1 splits the view's delta streams into that many disjoint slices by
+    // join key and runs one propagation strip per slice concurrently on a
+    // worker pool (ivm/parallel_rolling.h); the view-level high-water mark
+    // is the minimum over the strips. Views without a join-equivalence
+    // class covering every term cannot be partitioned; the service then
+    // falls back to the serial propagator and records the reason (see
+    // partition_fallback()).
+    uint32_t propagate_partitions = 1;
     // kAdaptive configuration, including the staleness SLO
     // (controller.staleness_slo, CSN units; 0 keeps shedding disabled).
     IntervalController::Options controller;
@@ -184,6 +195,16 @@ class MaintenanceService {
 
   View* view() const { return view_; }
   const RunnerStats* runner_stats() const;
+  // Actual number of concurrent propagation strips (1 when serial).
+  uint32_t propagate_partitions() const {
+    return parallel_ != nullptr ? parallel_->partitions() : 1;
+  }
+  // The partitioned propagator; null when propagation runs serial.
+  PartitionedRollingPropagator* parallel() const { return parallel_.get(); }
+  // Non-OK when Options::propagate_partitions > 1 was requested but the
+  // view has no join-equivalence class covering every term, so the service
+  // fell back to the serial propagator. Purely informational.
+  const Status& partition_fallback() const { return partition_fallback_; }
   const Applier::Stats& apply_stats() const { return applier_->stats(); }
   // Null unless checkpoint_every_steps > 0.
   CheckpointManager* checkpointer() { return checkpointer_.get(); }
@@ -257,7 +278,17 @@ class MaintenanceService {
   Options options_;
 
   std::unique_ptr<RollingPropagator> rolling_;
+  std::unique_ptr<PartitionedRollingPropagator> parallel_;
   std::unique_ptr<Propagator> plain_;
+  // Why partitioned propagation degraded to serial (view not
+  // partitionable); OK when partitioning was not requested or succeeded.
+  Status partition_fallback_;
+  // Set when the view IS partitionable but the partitioned propagator
+  // could not be constructed (durable cursors from a different partition
+  // count that have not settled -- see PartitionedRollingPropagator::
+  // Create). Resuming those chains serially could double-propagate, so
+  // PropagateStep surfaces this as a permanent error instead of running.
+  Status partition_error_;
   std::unique_ptr<Applier> applier_;
   std::unique_ptr<CheckpointManager> checkpointer_;  // propagate-driver only
 
@@ -280,7 +311,14 @@ class MaintenanceService {
   std::unique_ptr<obs::TraceJournal> journal_;
   obs::StepTracer propagate_tracer_;
   obs::StepTracer apply_tracer_;
+  // One tracer per partition strip (parallel propagation only): a
+  // StepTracer is a single-threaded builder, so concurrent strips cannot
+  // share propagate_tracer_ (which keeps owning root-level checkpoint
+  // traces). All feed the shared, thread-safe journal.
+  std::vector<std::unique_ptr<obs::StepTracer>> strip_tracers_;
   obs::MetricsRegistry* registry_ = nullptr;
+  // Aggregate-over-strips snapshot backing runner_stats() in parallel mode.
+  mutable RunnerStats parallel_runner_stats_;
   RunnerStats runner_mirror_;                // guarded by stats_mu_
   ComputeDeltaStats compute_delta_mirror_;   // guarded by stats_mu_
   RollingPropagator::Stats rolling_mirror_;  // guarded by stats_mu_

@@ -1,0 +1,80 @@
+#include "ivm/partition.h"
+
+#include <numeric>
+
+namespace rollview {
+
+Result<std::vector<size_t>> ResolvePartitionColumns(const ResolvedView& view) {
+  const size_t n = view.num_terms();
+  if (n == 0) return Status::InvalidArgument("view has no terms");
+  // Union-find over concatenated-tuple column positions; only positions
+  // named by some EquiJoin participate.
+  const SpjViewDef& def = view.def();
+  size_t total = view.term_offset(n - 1) + view.term_width(n - 1);
+  std::vector<size_t> parent(total);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const EquiJoin& j : def.joins) {
+    size_t a = find(view.ConcatIndex(j.left_term, j.left_col));
+    size_t b = find(view.ConcatIndex(j.right_term, j.right_col));
+    if (a != b) parent[a] = b;
+  }
+  // For each class root, the per-term column it reaches (or npos).
+  // Iterate the join endpoints only -- other columns are never join keys.
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  struct ClassCover {
+    std::vector<size_t> per_term;
+  };
+  std::vector<std::pair<size_t, ClassCover>> classes;  // root -> cover
+  auto cover_of = [&](size_t root) -> ClassCover* {
+    for (auto& [r, c] : classes) {
+      if (r == root) return &c;
+    }
+    classes.push_back({root, ClassCover{std::vector<size_t>(n, kNone)}});
+    return &classes.back().second;
+  };
+  auto note = [&](size_t term, size_t col) {
+    size_t root = find(view.ConcatIndex(term, col));
+    ClassCover* c = cover_of(root);
+    if (c->per_term[term] == kNone) c->per_term[term] = col;
+  };
+  for (const EquiJoin& j : def.joins) {
+    note(j.left_term, j.left_col);
+    note(j.right_term, j.right_col);
+  }
+  for (const auto& [root, cover] : classes) {
+    bool covers_all = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (cover.per_term[i] == kNone) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (covers_all) return cover.per_term;
+  }
+  return Status::InvalidArgument(
+      "no join-equivalence class touches every term; the view cannot be "
+      "hash-partitioned by join key");
+}
+
+Result<PartitionSlice> ResolvePartitionSlice(const ResolvedView& view,
+                                             uint32_t index, uint32_t count) {
+  if (count == 0 || index >= count) {
+    return Status::InvalidArgument("partition index out of range");
+  }
+  PartitionSlice slice;
+  slice.index = index;
+  slice.count = count;
+  if (count > 1) {
+    ROLLVIEW_ASSIGN_OR_RETURN(slice.columns, ResolvePartitionColumns(view));
+  }
+  return slice;
+}
+
+}  // namespace rollview

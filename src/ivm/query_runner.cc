@@ -129,6 +129,7 @@ Status QueryRunner::CancelFailedStep(StepUndoLog* log) {
   // recovery path, so injected maintenance faults do not apply to it. Real
   // transient conflicts still can, hence the bounded retry loop.
   Status last;
+  const uint32_t part = partition_ != nullptr ? partition_->index : 0;
   for (int attempt = 0; attempt < 64; ++attempt) {
     std::unique_ptr<Txn> txn = db->Begin(TxnClass::kMaintenance);
     for (const DeltaRow& row : log->rows()) {
@@ -137,7 +138,7 @@ Status QueryRunner::CancelFailedStep(StepUndoLog* log) {
       // Same step sequence as the rows being cancelled: at recovery the pair
       // is included or excluded together, net zero either way.
       db->BufferDeltaAppend(txn.get(), view_->view_delta.get(),
-                            std::move(neg), view_->id, step_seq_);
+                            std::move(neg), view_->id, step_seq_, part);
     }
     last = db->Commit(txn.get());
     if (last.ok()) {
@@ -183,7 +184,13 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
     if (q.terms[i].is_delta) {
       Status s = db->LockDeltaShared(txn.get(), tid);
       if (!s.ok()) return fail(s);
-      materialized[i] = db->delta(tid)->ScanRefs(q.terms[i].range, &pins[i]);
+      if (partition_ != nullptr && partition_->enabled()) {
+        DeltaPartitionFilter f = partition_->FilterFor(i);
+        materialized[i] =
+            db->delta(tid)->ScanRefs(q.terms[i].range, &f, &pins[i]);
+      } else {
+        materialized[i] = db->delta(tid)->ScanRefs(q.terms[i].range, &pins[i]);
+      }
       jq.terms.push_back(TermSource::RowRefs(tid, &materialized[i]));
     } else {
       // Lock before evaluation so every base term is seen at one time (the
@@ -219,9 +226,10 @@ Result<Csn> QueryRunner::ExecuteOnce(const PropQuery& q) {
     // commit record); the span covers exactly that window.
     obs::ScopedSpan wal_span(tracer_, obs::SpanKind::kWalAppend);
     wal_span.Attr("rows", static_cast<int64_t>(appended));
+    const uint32_t part = partition_ != nullptr ? partition_->index : 0;
     for (DeltaRow& row : rows.value()) {
       db->BufferDeltaAppend(txn.get(), view_->view_delta.get(),
-                            std::move(row), view_->id, step_seq_);
+                            std::move(row), view_->id, step_seq_, part);
     }
 
     if (options_.use_special_table_csn_resolution) {

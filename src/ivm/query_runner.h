@@ -18,6 +18,7 @@
 #include <chrono>
 
 #include "common/result.h"
+#include "ivm/partition.h"
 #include "ivm/prop_query.h"
 #include "ivm/region_tracker.h"
 #include "ivm/view_manager.h"
@@ -123,6 +124,14 @@ class QueryRunner {
   void set_use_build_cache(bool on) { options_.use_build_cache = on; }
   bool use_build_cache() const { return options_.use_build_cache; }
 
+  // Partitioned propagation: while set (and enabled), every delta term of
+  // every query is filtered to the slice's partition, and committed
+  // view-delta rows are stamped with the slice's partition index so crash
+  // recovery attributes them to this strip's (partition, step_seq) chain.
+  // The slice must outlive the runner. Same single-thread contract as the
+  // other setters.
+  void set_partition(const PartitionSlice* slice) { partition_ = slice; }
+
   // While set, every successful Execute records its committed view-delta
   // rows into `log` (multi-query steps install one around their protocol).
   void set_undo_log(StepUndoLog* log) { undo_log_ = log; }
@@ -148,6 +157,7 @@ class QueryRunner {
   RunnerStats stats_;
   RegionTracker* tracker_ = nullptr;
   obs::StepTracer* tracer_ = nullptr;
+  const PartitionSlice* partition_ = nullptr;
   StepUndoLog* undo_log_ = nullptr;
   uint64_t step_seq_ = 0;
   TableId special_table_ = kInvalidTableId;

@@ -19,14 +19,24 @@ RollingPropagator::RollingPropagator(
       compute_delta_(&runner_, options.compute_delta),
       skip_empty_(options.compute_delta.skip_empty_ranges),
       mode_(options.compensation),
+      partition_(std::move(options.partition)),
       n_(view->resolved.num_terms()) {
   assert(policies_.size() == n_ && "one interval policy per base relation");
+  if (partition_.enabled()) {
+    assert(partition_.columns.size() == n_ &&
+           "partition slice must cover every term");
+    filters_.reserve(n_);
+    for (size_t i = 0; i < n_; ++i) {
+      filters_.push_back(partition_.FilterFor(i));
+    }
+    runner_.set_partition(&partition_);
+  }
   querylist_.resize(n_);
   // Resume from the view's cursor control state when it exists (a previous
   // propagator over this view, or crash recovery, left it there); otherwise
   // start fresh at the materialization point. Without this, a second
   // propagator would re-propagate strips already covered by the first one.
-  CursorState resume = view->LoadCursors();
+  CursorState resume = view->LoadCursors(partition_.index);
   if (resume.valid && resume.tfwd.size() == n_ && resume.tcomp.size() == n_) {
     tfwd_ = resume.tfwd;
     tcomp_ = resume.tcomp;
@@ -47,7 +57,8 @@ RollingPropagator::RollingPropagator(
   init.tcomp = tcomp_;
   init.next_step_seq = step_seq_;
   init.strips = SnapshotStrips();
-  view->StoreCursors(std::move(init));
+  init.num_partitions = partition_.count;
+  view->StoreCursors(std::move(init), partition_.index);
 }
 
 std::vector<std::vector<ForwardStrip>> RollingPropagator::SnapshotStrips()
@@ -59,18 +70,28 @@ std::vector<std::vector<ForwardStrip>> RollingPropagator::SnapshotStrips()
   return out;
 }
 
+void RollingPropagator::PublishHwm() {
+  if (hwm_hook_) {
+    hwm_hook_(high_water_mark());
+  } else {
+    view_->AdvanceHwm(high_water_mark());
+  }
+}
+
 void RollingPropagator::PublishCursors(uint64_t completed_seq) {
   CursorState state;
   state.tfwd = tfwd_;
   state.tcomp = tcomp_;
   state.next_step_seq = step_seq_;
   state.strips = SnapshotStrips();
-  WalRecord rec = MakeViewCursorRecord(*view_, completed_seq, state);
-  view_->StoreCursors(std::move(state));
+  state.num_partitions = partition_.count;
+  WalRecord rec =
+      MakeViewCursorRecord(*view_, completed_seq, state, partition_.index);
+  view_->StoreCursors(std::move(state), partition_.index);
   // Record first, hwm second: recovery recomputes the mark from durable
   // cursors, so an advance must never be observable without its cursor.
   views_->db()->wal()->Append(std::move(rec));
-  view_->AdvanceHwm(high_water_mark());
+  PublishHwm();
 }
 
 RollingPropagator::RollingPropagator(ViewManager* views, View* view,
@@ -152,7 +173,7 @@ uint64_t RollingPropagator::BacklogRows() const {
   for (size_t i = 0; i < n_; ++i) {
     if (tfwd_[i] >= ready) continue;
     const DeltaTable* dt = views_->db()->delta(view_->resolved.table(i));
-    total += dt->CountInRange(CsnRange{tfwd_[i], ready});
+    total += dt->CountInRange(CsnRange{tfwd_[i], ready}, FilterFor(i));
   }
   return total;
 }
@@ -179,7 +200,7 @@ Result<bool> RollingPropagator::Step() {
 
   DeltaTable* dt = views_->db()->delta(view_->resolved.table(i));
   Csn y1 = tfwd_[i];
-  Csn y2 = policies_[i]->NextBoundary(y1, ready, *dt);
+  Csn y2 = policies_[i]->NextBoundaryFiltered(y1, ready, *dt, FilterFor(i));
   if (y2 <= y1) return false;
   stats_.steps++;
 
@@ -191,12 +212,15 @@ Result<bool> RollingPropagator::Step() {
     tracer_->Attr(1, "relation", static_cast<int64_t>(i));
     tracer_->Attr(1, "t_a", static_cast<int64_t>(y1));
     tracer_->Attr(1, "t_b", static_cast<int64_t>(y2));
+    if (partition_.enabled()) {
+      tracer_->Attr(1, "partition", static_cast<int64_t>(partition_.index));
+    }
   }
 
   // Exact skip: an empty delta range makes the forward query (and every
   // compensation involving this strip) identically empty. The frontier
   // still advances. DeltaReadyCsn() >= y2 makes the emptiness final.
-  if (skip_empty_ && dt->CountInRange(CsnRange{y1, y2}) == 0) {
+  if (skip_empty_ && dt->CountInRange(CsnRange{y1, y2}, FilterFor(i)) == 0) {
     tfwd_[i] = y2;
     stats_.forward_skipped++;
     RecomputeTcomp();
@@ -317,7 +341,8 @@ Result<bool> RollingPropagator::TryFinish() {
     for (const ForwardRecord& strip : querylist_[j]) {
       for (size_t k = j + 1; k < n_; ++k) {
         DeltaTable* dk = views_->db()->delta(view_->resolved.table(k));
-        if (dk->CountInRange(CsnRange{tfwd_[k], strip.exec}) > 0) {
+        if (dk->CountInRange(CsnRange{tfwd_[k], strip.exec}, FilterFor(k)) >
+            0) {
           return false;  // real overlap remains; keep stepping
         }
       }
@@ -334,7 +359,7 @@ Result<bool> RollingPropagator::TryFinish() {
     // cursor state durable like any step would.
     PublishCursors(step_seq_ - 1);
   } else {
-    view_->AdvanceHwm(high_water_mark());
+    PublishHwm();
   }
   return true;
 }

@@ -31,11 +31,13 @@
 #define ROLLVIEW_IVM_ROLLING_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "ivm/compute_delta.h"
 #include "ivm/interval_policy.h"
+#include "ivm/partition.h"
 #include "ivm/query_runner.h"
 
 namespace rollview {
@@ -67,6 +69,13 @@ struct RollingOptions {
   RunnerOptions runner;
   ComputeDeltaOptions compute_delta;
   CompensationMode compensation = CompensationMode::kFrontier;
+  // Partitioned propagation: when partition.enabled(), this propagator is
+  // one strip of a partitioned driver -- every delta term it reads is
+  // filtered to the slice, interval policies size by the slice's row
+  // counts, its cursor chain lives at View cursor slot partition.index,
+  // and its view-delta rows are stamped with the partition. The default
+  // slice (count 1) is the classic single-driver propagator at slot 0.
+  PartitionSlice partition;
 };
 
 class RollingPropagator {
@@ -133,6 +142,19 @@ class RollingPropagator {
   // before stepping; null detaches.
   void set_tracer(obs::StepTracer* tracer);
 
+  // Partitioned propagation: diverts the view hwm advances this strip would
+  // make (after publishing cursors, and on TryFinish settles) into `hook`
+  // instead of View::AdvanceHwm. The coordinator folds each strip's local
+  // mark into a per-partition slot and advances the view to the minimum
+  // over slots -- one strip racing ahead must not publish a mark the
+  // laggard strips cannot yet justify. Set before stepping; null restores
+  // the direct advance.
+  void set_hwm_hook(std::function<void(Csn)> hook) {
+    hwm_hook_ = std::move(hook);
+  }
+
+  const PartitionSlice& partition() const { return partition_; }
+
  private:
   // ivm/view.h's ForwardStrip: {lo, hi, exec} = delta interval start/end and
   // execution time (commit CSN). Shared with CursorState so querylists are
@@ -149,6 +171,13 @@ class RollingPropagator {
   // durable hwm advance always has a durable cursor justifying it.
   void PublishCursors(uint64_t completed_seq);
   std::vector<std::vector<ForwardStrip>> SnapshotStrips() const;
+  // The delta filter for term i, or null when unpartitioned.
+  const DeltaPartitionFilter* FilterFor(size_t i) const {
+    return partition_.enabled() ? &filters_[i] : nullptr;
+  }
+  // Routes this strip's local hwm through the coordinator hook when one is
+  // installed, else advances the view directly.
+  void PublishHwm();
   // Removes fully-compensated queries (execution time <= t) from every
   // query list and recomputes t_comp (paper's PruneQueryLists).
   void PruneQueryLists(Csn t);
@@ -167,6 +196,9 @@ class RollingPropagator {
   ComputeDeltaOp compute_delta_;
   bool skip_empty_ = true;
   CompensationMode mode_ = CompensationMode::kFrontier;
+  PartitionSlice partition_;
+  std::vector<DeltaPartitionFilter> filters_;  // per-term; empty if serial
+  std::function<void(Csn)> hwm_hook_;
 
   size_t n_;
   std::vector<Csn> tfwd_;

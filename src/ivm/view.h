@@ -11,6 +11,7 @@
 #define ROLLVIEW_IVM_VIEW_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,6 +47,10 @@ struct CursorState {
   std::vector<Csn> tcomp;
   uint64_t next_step_seq = 1;
   std::vector<std::vector<ForwardStrip>> strips;  // empty in frontier mode
+  // How many partition strips the writer was running (1 = the serial
+  // driver). Stored so a restarted driver can tell whether the durable
+  // per-partition cursor set matches its own partition count.
+  uint32_t num_partitions = 1;
 };
 
 struct View {
@@ -72,19 +77,34 @@ struct View {
   uint64_t mv_lock_resource = 0;
 
   mutable std::mutex cursor_mu;
-  CursorState cursors;  // guarded by cursor_mu
+  // One cursor chain per partition strip, keyed by partition index; the
+  // serial driver lives at partition 0. Guarded by cursor_mu.
+  std::map<uint32_t, CursorState> cursors_by_partition;
 
   // Cursor control state (see CursorState). Written by the propagation
-  // driver after every frontier advance and by ViewManager::Recover; read
-  // by propagator constructors and the checkpointer.
-  void StoreCursors(CursorState state) {
+  // drivers after every frontier advance and by ViewManager::Recover; read
+  // by propagator constructors and the checkpointer. Partition strips run
+  // concurrently, hence the lock even though each partition has one writer.
+  void StoreCursors(CursorState state, uint32_t partition = 0) {
     std::lock_guard<std::mutex> lk(cursor_mu);
-    cursors = std::move(state);
-    cursors.valid = true;
+    CursorState& slot = cursors_by_partition[partition];
+    slot = std::move(state);
+    slot.valid = true;
   }
-  CursorState LoadCursors() const {
+  CursorState LoadCursors(uint32_t partition = 0) const {
     std::lock_guard<std::mutex> lk(cursor_mu);
-    return cursors;
+    auto it = cursors_by_partition.find(partition);
+    return it == cursors_by_partition.end() ? CursorState{} : it->second;
+  }
+  std::map<uint32_t, CursorState> LoadAllCursors() const {
+    std::lock_guard<std::mutex> lk(cursor_mu);
+    return cursors_by_partition;
+  }
+  // Drops every partition's cursor chain (repartitioning from a settled
+  // uniform frontier re-seeds them).
+  void ClearCursors() {
+    std::lock_guard<std::mutex> lk(cursor_mu);
+    cursors_by_partition.clear();
   }
 
   Csn high_water_mark() const {

@@ -88,6 +88,7 @@ Status ViewManager::Materialize(View* view) {
   cursors.tfwd.assign(view->resolved.num_terms(), csn);
   cursors.tcomp.assign(view->resolved.num_terms(), csn);
   cursors.next_step_seq = 1;
+  view->ClearCursors();  // including any stale partition chains
   view->StoreCursors(std::move(cursors));
   return WriteViewCheckpoint(db_, view);
 }
@@ -103,6 +104,7 @@ Status ViewManager::Recover(const std::vector<WalRecord>& records,
     size_t idx = 0;  // position in `records`
     DeltaRow row;
     uint64_t step_seq = 0;
+    uint32_t partition = 0;
   };
   struct ReplayedCursor {
     size_t idx = 0;
@@ -144,8 +146,8 @@ Status ViewManager::Recover(const std::vector<WalRecord>& records,
         p.view_name = name_it->second;
         p.append.idx = i;
         if (rec.blob == nullptr ||
-            !DecodeViewDeltaBlob(*rec.blob, &p.append.row,
-                                 &p.append.step_seq)) {
+            !DecodeViewDeltaBlob(*rec.blob, &p.append.row, &p.append.step_seq,
+                                 &p.append.partition)) {
           return Status::Internal("corrupt view-delta append payload");
         }
         pending[rec.txn].push_back(std::move(p));
@@ -227,28 +229,100 @@ Status ViewManager::Recover(const std::vector<WalRecord>& records,
       continue;
     }
 
-    // Cursor state: checkpoint baseline, then every durable advance after
-    // it, in log order. last_completed_seq decides which replayed rows are
-    // kept: a step's rows are included iff a cursor record covering its
-    // sequence number is durable. (A step that failed and was cancelled
-    // in-process contributes rows AND their exact negations under the same
-    // sequence number, so including or excluding the pair is net-zero
-    // either way.)
-    std::vector<Csn> tfwd = cp.tfwd;
-    std::vector<Csn> tcomp = cp.tcomp;
-    std::vector<std::vector<ForwardStrip>> strips = cp.strips;
-    uint64_t last_completed_seq = cp.next_step_seq - 1;
+    // Cursor state: checkpoint baselines, then every durable advance after
+    // them, replayed keyed by (view, partition, sequence) -- partitioned
+    // strips log independent cursor chains that restart sequence numbering
+    // per partition, so a single last-cursor-wins fold across partitions
+    // would interleave unrelated chains. Each partition's last completed
+    // sequence decides which of its replayed rows are kept: a step's rows
+    // are included iff a cursor record of the SAME partition covering the
+    // step's sequence number is durable. (A step that failed and was
+    // cancelled in-process contributes rows AND their exact negations under
+    // the same sequence number, so including or excluding the pair is
+    // net-zero either way.)
+    struct Chain {
+      std::vector<Csn> tfwd;
+      std::vector<Csn> tcomp;
+      std::vector<std::vector<ForwardStrip>> strips;
+      uint64_t last_completed_seq = 0;
+    };
+    std::map<uint32_t, Chain> chains;
+    uint32_t num_partitions = std::max<uint32_t>(cp.num_partitions, 1);
+    {
+      Chain& c0 = chains[0];
+      c0.tfwd = cp.tfwd;
+      c0.tcomp = cp.tcomp;
+      c0.strips = cp.strips;
+      c0.last_completed_seq = cp.next_step_seq - 1;
+    }
+    bool extras_ok = true;
+    for (const PartitionCursorBlob& pcb : cp.extra_partitions) {
+      if (pcb.tfwd.size() != n || pcb.tcomp.size() != n) {
+        extras_ok = false;
+        break;
+      }
+      Chain& c = chains[pcb.partition];
+      c.tfwd = pcb.tfwd;
+      c.tcomp = pcb.tcomp;
+      c.strips = pcb.strips;
+      c.last_completed_seq = pcb.next_step_seq - 1;
+    }
+    if (!extras_ok) {
+      report->views_unrecovered++;
+      continue;
+    }
     for (const ReplayedCursor& c : pv.cursors) {
       if (c.idx <= pv.checkpoint_idx) continue;
       if (c.blob.tfwd.size() != n || c.blob.tcomp.size() != n) {
         return Status::Internal("cursor record arity mismatch for view '" +
                                 view->name + "'");
       }
-      tfwd = c.blob.tfwd;
-      tcomp = c.blob.tcomp;
-      strips = c.blob.strips;
-      last_completed_seq =
-          std::max(last_completed_seq, c.blob.completed_step_seq);
+      num_partitions = c.blob.num_partitions;
+      auto chain_it = chains.find(c.blob.partition);
+      if (chain_it != chains.end()) {
+        Chain& chain = chain_it->second;
+        // Fail loudly on ambiguity instead of silently taking the last
+        // record: within one partition's chain the completed sequence
+        // number never regresses (TryFinish may legitimately republish the
+        // SAME sequence with lifted compensation frontiers), and forward
+        // frontiers are monotone.
+        if (c.blob.completed_step_seq < chain.last_completed_seq) {
+          return Status::Internal(
+              "duplicate/ambiguous cursor for view '" + view->name +
+              "' partition " + std::to_string(c.blob.partition) +
+              ": completed step " +
+              std::to_string(c.blob.completed_step_seq) +
+              " after durable step " +
+              std::to_string(chain.last_completed_seq));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (c.blob.tfwd[i] < chain.tfwd[i]) {
+            return Status::Internal(
+                "cursor frontier regression for view '" + view->name +
+                "' partition " + std::to_string(c.blob.partition) +
+                " at step " + std::to_string(c.blob.completed_step_seq));
+          }
+        }
+      }
+      Chain& chain = chains[c.blob.partition];
+      chain.tfwd = c.blob.tfwd;
+      chain.tcomp = c.blob.tcomp;
+      chain.strips = c.blob.strips;
+      chain.last_completed_seq =
+          std::max(chain.last_completed_seq, c.blob.completed_step_seq);
+    }
+    // Partitions of the final generation that never published a durable
+    // cursor resume from the checkpoint baseline when it is settled (the
+    // only state a partitioned driver may start strips from); their rows,
+    // if any, are discarded below, so the baseline start is exact.
+    if (num_partitions > 1 && cp.tfwd == cp.tcomp) {
+      for (uint32_t p = 0; p < num_partitions; ++p) {
+        if (chains.count(p) != 0) continue;
+        Chain& c = chains[p];
+        c.tfwd = cp.tfwd;
+        c.tcomp = cp.tcomp;
+        c.last_completed_seq = cp.next_step_seq - 1;
+      }
     }
 
     // Restore the MV and the timed view delta.
@@ -262,10 +336,15 @@ Status ViewManager::Recover(const std::vector<WalRecord>& records,
     report->delta_rows_restored += cp.view_delta.size();
     for (ReplayedAppend& a : pv.appends) {
       if (a.idx <= pv.checkpoint_idx) continue;  // inside the snapshot
-      if (a.step_seq > last_completed_seq) {
+      auto chain_it = chains.find(a.partition);
+      if (chain_it == chains.end() ||
+          a.step_seq > chain_it->second.last_completed_seq) {
         // Mid-flight strip at the crash: its cursor advance never became
         // durable, so the strip will re-run from the recovered cursors --
         // dropping its rows here is the StepUndoLog cancellation, replayed.
+        // With partitioned strips this is a PER-PARTITION decision: one
+        // partition's durable cursor must not vouch for another
+        // partition's mid-flight rows.
         report->rows_discarded++;
         continue;
       }
@@ -274,11 +353,23 @@ Status ViewManager::Recover(const std::vector<WalRecord>& records,
     }
 
     view->propagate_from.store(cp.propagate_from, std::memory_order_release);
-    // Theorem 4.3: the view delta is complete through min_i t_comp[i]. The
-    // checkpointed hwm and the MV time are durable lower bounds (the mark
-    // is monotone; both were valid when logged).
+    // Theorem 4.3 per slice: partition p's slice of the view delta is
+    // complete through min_i tcomp[p][i], so the view-level mark is the
+    // minimum over the final generation's partitions. A partition with no
+    // durable state contributes nothing (the mark then falls back to the
+    // checkpointed floors below -- conservative, never overstated).
     Csn min_tcomp = kMaxCsn;
-    for (size_t i = 0; i < n; ++i) min_tcomp = std::min(min_tcomp, tcomp[i]);
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      auto chain_it = chains.find(p);
+      if (chain_it == chains.end()) {
+        min_tcomp = kNullCsn;
+        break;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        min_tcomp = std::min(min_tcomp, chain_it->second.tcomp[i]);
+      }
+    }
+    if (min_tcomp == kMaxCsn) min_tcomp = kNullCsn;
     Csn hwm = std::max({min_tcomp, cp.delta_hwm, cp.mv_csn});
     view->delta_hwm.store(hwm, std::memory_order_release);
 
@@ -292,16 +383,22 @@ Status ViewManager::Recover(const std::vector<WalRecord>& records,
       ROLLVIEW_RETURN_NOT_OK(view->mv->Merge(window, target));
     }
 
-    // Seed the next propagator. Sequence numbers continue above everything
-    // ever logged for this view so replayed rows can never collide with
-    // rows of a future step.
-    CursorState cursors;
-    cursors.tfwd = std::move(tfwd);
-    cursors.tcomp = std::move(tcomp);
-    cursors.strips = std::move(strips);
-    cursors.next_step_seq =
-        std::max(cp.next_step_seq, pv.max_step_seq + 1);
-    view->StoreCursors(std::move(cursors));
+    // Seed the next propagators: one cursor chain per surviving partition
+    // of the final generation. Sequence numbers continue above everything
+    // ever logged for this view (any partition) so replayed rows can never
+    // collide with rows of a future step.
+    const uint64_t next_seq = std::max(cp.next_step_seq, pv.max_step_seq + 1);
+    view->ClearCursors();
+    for (auto& [p, chain] : chains) {
+      if (p >= num_partitions) continue;  // retired generation's strip
+      CursorState cursors;
+      cursors.tfwd = std::move(chain.tfwd);
+      cursors.tcomp = std::move(chain.tcomp);
+      cursors.strips = std::move(chain.strips);
+      cursors.next_step_seq = next_seq;
+      cursors.num_partitions = num_partitions;
+      view->StoreCursors(std::move(cursors), p);
+    }
     report->views_recovered++;
 
     // Recovery checkpoint: shadows the discarded mid-flight rows still

@@ -1,5 +1,6 @@
 #include "ra/build_cache.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/registry.h"
@@ -65,6 +66,15 @@ Result<BuildCache::Lookup> BuildCache::GetOrBuild(const Key& key,
   std::lock_guard<std::mutex> lk(mu_);
   stats_.builds++;
   stats_.build_nanos += entry->build_nanos;
+  if (key.snapshot_csn < invalid_below_) {
+    // InvalidateBelow ran while this build was in flight outside the lock:
+    // the snapshot is no longer rebuildable, so admitting the entry would
+    // let LATER lookups hit a build whose source history GC already
+    // collected. This build itself is still correct (it read the version
+    // store before the horizon moved -- GC waits out pinned snapshots), so
+    // serve it to the caller once, unshared.
+    return Lookup{std::move(entry), /*hit=*/false};
+  }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Lost the build race; serve the resident entry.
@@ -112,6 +122,7 @@ void BuildCache::EraseLocked(
 
 void BuildCache::InvalidateBelow(Csn horizon) {
   std::lock_guard<std::mutex> lk(mu_);
+  invalid_below_ = std::max(invalid_below_, horizon);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.snapshot_csn < horizon) {
       stats_.invalidations++;

@@ -155,7 +155,12 @@ class BuildCache {
   bool ShouldBuildForProbe(const Key& key);
 
   // Drops entries whose snapshot is strictly below `horizon` (the GC hook:
-  // those snapshots are no longer rebuildable from the version store).
+  // those snapshots are no longer rebuildable from the version store), and
+  // raises the admission floor so a build already in flight OUTSIDE the
+  // lock (GetOrBuild builds unlocked) cannot re-insert an entry keyed at a
+  // collected snapshot after this call returns. Without the floor, a
+  // concurrent partition strip racing GC can admit an entry the version
+  // store can no longer reproduce, which later lookups would trust.
   void InvalidateBelow(Csn horizon);
   // Drops every entry of `table`.
   void InvalidateTable(TableId table);
@@ -191,6 +196,9 @@ class BuildCache {
   // Request counts for keys not (yet) resident; see ShouldBuildForProbe.
   std::unordered_map<Key, uint32_t, KeyHasher> touches_;
   size_t resident_bytes_ = 0;
+  // Snapshots below this are not servable or admittable (see
+  // InvalidateBelow); monotone.
+  Csn invalid_below_ = kNullCsn;
   Stats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "storage/db.h"
 
 #include <cassert>
+#include <thread>
 
 #include "ra/build_cache.h"
 #include "storage/wal_codec.h"
@@ -275,9 +276,10 @@ Status Db::LockNamedExclusive(Txn* txn, uint64_t resource) {
 }
 
 void Db::BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row,
-                           uint32_t wal_view, uint64_t step_seq) {
+                           uint32_t wal_view, uint64_t step_seq,
+                           uint32_t partition) {
   txn->pending_delta_appends_.push_back(Txn::PendingDeltaAppend{
-      delta, std::move(row), false, wal_view, step_seq});
+      delta, std::move(row), false, wal_view, step_seq, partition});
 }
 
 Status Db::Commit(Txn* txn) {
@@ -322,7 +324,7 @@ Status Db::Commit(Txn* txn) {
         rec.txn = txn->id();
         rec.view = p.wal_view;
         rec.blob = std::make_shared<std::string>(
-            EncodeViewDeltaBlob(p.row, p.step_seq));
+            EncodeViewDeltaBlob(p.row, p.step_seq, p.partition));
         wal_.Append(std::move(rec));
       }
       p.delta->Append(std::move(p.row));
@@ -333,6 +335,11 @@ Status Db::Commit(Txn* txn) {
   }
   txn->state_ = TxnState::kCommitted;
   lock_manager_.ReleaseAll(txn->id());
+  if (options_.commit_latency.count() > 0) {
+    // Simulated log-force wait, outside commit_mu_ and after lock release:
+    // concurrent committers overlap it, group-commit style.
+    std::this_thread::sleep_for(options_.commit_latency);
+  }
   return Status::OK();
 }
 

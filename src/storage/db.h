@@ -26,6 +26,7 @@
 #define ROLLVIEW_STORAGE_DB_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -66,6 +67,12 @@ struct DbOptions {
   // JoinExecutor running against this engine (src/ra/build_cache.h).
   // 0 disables the cache entirely (build_cache() returns nullptr).
   size_t build_cache_bytes = 64u << 20;
+  // Simulated durability wait per commit (group-commit / fsync stand-in for
+  // an in-memory WAL). Charged AFTER the commit critical section, so
+  // concurrent committers overlap their waits exactly as group commit
+  // overlaps log-force latency. Zero (the default) disables it; benches use
+  // it to model log-force-bound propagation (EXPERIMENTS.md E13).
+  std::chrono::microseconds commit_latency{0};
 };
 
 using TuplePredicate = std::function<bool(const Tuple&)>;
@@ -165,7 +172,8 @@ class Db {
   // with the view id and the propagation step sequence number) immediately
   // before the commit record, making the timed view delta recoverable.
   void BufferDeltaAppend(Txn* txn, DeltaTable* delta, DeltaRow row,
-                         uint32_t wal_view = 0, uint64_t step_seq = 0);
+                         uint32_t wal_view = 0, uint64_t step_seq = 0,
+                         uint32_t partition = 0);
 
   // --- Infrastructure access ---
 

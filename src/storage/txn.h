@@ -74,6 +74,9 @@ class Txn {
     // it to the log (the durable analogue of StepUndoLog).
     uint32_t wal_view = 0;
     uint64_t step_seq = 0;
+    // Partition of the producing strip (0 = unpartitioned); logged with the
+    // row so recovery attributes it to the right per-partition cursor chain.
+    uint32_t partition = 0;
   };
 
   TxnId id_;

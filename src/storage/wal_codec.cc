@@ -379,18 +379,24 @@ WalPrefix DecodeWalPrefix(const std::string& data) {
   return out;
 }
 
-std::string EncodeViewDeltaBlob(const DeltaRow& row, uint64_t step_seq) {
+std::string EncodeViewDeltaBlob(const DeltaRow& row, uint64_t step_seq,
+                                uint32_t partition) {
   std::string out;
   wal_io::PutDeltaRow(&out, row);
   wal_io::PutU64(&out, step_seq);
+  wal_io::PutU32(&out, partition);
   return out;
 }
 
 bool DecodeViewDeltaBlob(const std::string& blob, DeltaRow* row,
-                         uint64_t* step_seq) {
+                         uint64_t* step_seq, uint32_t* partition) {
   size_t pos = 0;
   if (!wal_io::GetDeltaRow(blob, &pos, row)) return false;
   if (!wal_io::GetU64(blob, &pos, step_seq)) return false;
+  uint32_t part = 0;
+  // Pre-partition logs end here; treat them as partition 0.
+  if (pos != blob.size() && !wal_io::GetU32(blob, &pos, &part)) return false;
+  if (partition != nullptr) *partition = part;
   return pos == blob.size();
 }
 

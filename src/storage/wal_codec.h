@@ -68,12 +68,17 @@ struct WalPrefix {
 WalPrefix DecodeWalPrefix(const std::string& data);
 
 // kViewDeltaAppend payload: one timed view-delta row plus the propagation
-// step sequence number that produced it. Lives here (not in the ivm layer)
-// because Db::Commit emits these records itself when a buffered view-delta
-// append carries a view tag.
-std::string EncodeViewDeltaBlob(const DeltaRow& row, uint64_t step_seq);
+// step sequence number that produced it and the partition the producing
+// strip ran for (0 in the single-driver case; partitioned drivers restart
+// step sequences per partition, so recovery keys row attribution by the
+// (partition, step_seq) pair). Lives here (not in the ivm layer) because
+// Db::Commit emits these records itself when a buffered view-delta append
+// carries a view tag. Decoding accepts the pre-partition framing (no
+// trailing partition field) as partition 0.
+std::string EncodeViewDeltaBlob(const DeltaRow& row, uint64_t step_seq,
+                                uint32_t partition = 0);
 bool DecodeViewDeltaBlob(const std::string& blob, DeltaRow* row,
-                         uint64_t* step_seq);
+                         uint64_t* step_seq, uint32_t* partition = nullptr);
 
 // File I/O (binary).
 Status WriteWalFile(const std::string& path,

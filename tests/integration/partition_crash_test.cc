@@ -1,0 +1,494 @@
+// Crash-injection over PARTITIONED propagation: a history driven by two
+// concurrent partition strips is cut at cursor-record boundaries chosen so
+// that one partition's cursor is durable while the other partition's step is
+// mid-flight (its rows logged, its covering cursor lost). Recovery must
+// resume the durable partition idempotently (no re-propagated strip), roll
+// the mid-flight partition back exactly (its uncovered rows discarded), and
+// land the view high-water mark at the minimum over partition compensation
+// frontiers. A forged-log arm checks that replay keyed by (view, partition,
+// seq) fails loudly on duplicate/ambiguous and regressing cursor chains
+// instead of silently taking the last record.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/crash_harness.h"
+#include "ivm/checkpoint.h"
+#include "ivm/maintenance.h"
+#include "storage/wal_codec.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+constexpr uint32_t kPartitions = 2;
+
+struct PartitionHistory {
+  std::unique_ptr<TestEnv> env;
+  TwoTableWorkload workload;
+  View* view = nullptr;
+  std::string encoded_wal;  // the full log at quiescence
+  Csn frontier = kNullCsn;
+};
+
+// Like crash_recovery_test's BuildHistory, but the drains run two partition
+// strips concurrently, so the log braids two independent cursor chains
+// (restarting step sequences per partition) through the same suffix.
+PartitionHistory BuildPartitionHistory(uint64_t seed) {
+  PartitionHistory h;
+  CaptureOptions copts;
+  copts.truncate_wal = false;  // the log IS the durable state
+  h.env = std::make_unique<TestEnv>(copts);
+  Db* db = h.env->db();
+
+  auto workload = TwoTableWorkload::Create(db, 60, 40, 8, seed);
+  EXPECT_TRUE(workload.ok());
+  h.workload = workload.value();
+  h.env->CatchUpCapture();
+  auto view = h.env->views()->CreateView("V", h.workload.ViewDef());
+  EXPECT_TRUE(view.ok());
+  h.view = view.value();
+  EXPECT_TRUE(h.env->views()->Materialize(h.view).ok());
+
+  MaintenanceService::Options mopts;
+  mopts.checkpoint_every_steps = 5;
+  mopts.target_rows_per_query = 8;  // several strips per partition per round
+  mopts.apply_continuously = true;
+  mopts.prune_view_delta = false;
+  mopts.propagate_partitions = kPartitions;
+  MaintenanceService service(h.env->views(), h.view, mopts);
+  EXPECT_EQ(service.propagate_partitions(), kPartitions);
+
+  UpdateStream r_updates(db, h.workload.RStream(1, seed + 1), seed + 1);
+  UpdateStream s_updates(db, h.workload.SStream(2, seed + 2), seed + 2);
+  for (int round = 0; round < 6; ++round) {
+    EXPECT_TRUE(r_updates.RunTransactions(3).ok());
+    EXPECT_TRUE(s_updates.RunTransactions(2).ok());
+    h.env->CatchUpCapture();
+    EXPECT_TRUE(service.Drain(db->stable_csn()).ok());
+  }
+  h.frontier = h.view->high_water_mark();
+  h.encoded_wal = SnapshotEncodedWal(db);
+  return h;
+}
+
+// One decoded record plus where its encoding ends: cutting the log at `end`
+// keeps this record and loses everything after it.
+struct LoggedRecord {
+  WalRecord rec;
+  size_t end = 0;
+  // kViewCursor / kViewDeltaAppend payloads, pre-decoded.
+  uint32_t partition = 0;
+  uint64_t step_seq = 0;
+};
+
+std::vector<LoggedRecord> WalkWal(const std::string& encoded) {
+  std::vector<LoggedRecord> out;
+  size_t offset = 0;
+  while (offset < encoded.size()) {
+    size_t consumed = 0;
+    auto rec = DecodeWalRecord(encoded, offset, &consumed);
+    if (!rec.ok()) break;  // quiescent snapshot: should not happen
+    LoggedRecord lr;
+    lr.rec = std::move(rec).value();
+    lr.end = offset + consumed;
+    if (lr.rec.kind == WalRecord::Kind::kViewCursor && lr.rec.blob != nullptr) {
+      ViewCursorBlob blob;
+      if (DecodeViewCursorBlob(*lr.rec.blob, &blob)) {
+        lr.partition = blob.partition;
+        lr.step_seq = blob.completed_step_seq;
+      }
+    } else if (lr.rec.kind == WalRecord::Kind::kViewDeltaAppend &&
+               lr.rec.blob != nullptr) {
+      DeltaRow row;
+      DecodeViewDeltaBlob(*lr.rec.blob, &row, &lr.step_seq, &lr.partition);
+    }
+    offset = lr.end;
+    out.push_back(std::move(lr));
+  }
+  return out;
+}
+
+// Recovers from `damaged`, checks the recovered (pre-resume) partition
+// invariants, then resumes PARTITIONED maintenance and verifies against
+// recomputation. Returns rows_discarded so callers can assert the mid-flight
+// partition was actually rolled back somewhere in the schedule.
+uint64_t RecoverVerifyPartitioned(const PartitionHistory& h,
+                                  const std::string& damaged, bool deep,
+                                  uint64_t seed) {
+  auto recovered = CrashAndRecover(damaged, {{"V", h.workload.ViewDef()}});
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+  if (!recovered.ok()) return 0;
+  RecoveredSystem sys = std::move(recovered).value();
+
+  View* view = sys.views->Find("V");
+  if (view == nullptr) {
+    EXPECT_FALSE(sys.unregistered_views.empty());
+    return 0;
+  }
+  if (sys.report.views_recovered == 0) {
+    EXPECT_TRUE(sys.views->Materialize(view).ok());
+  } else {
+    // Acceptance invariant, checked BEFORE any resumed propagation: when
+    // every final-generation partition recovered a cursor chain, the view
+    // hwm is exactly min over partitions of min_i tcomp[i] (Theorem 4.3
+    // folded across slices). With a chainless partition the mark falls back
+    // to checkpointed floors, which only understate it.
+    std::map<uint32_t, CursorState> states = view->LoadAllCursors();
+    Csn min_tcomp = kMaxCsn;
+    bool all_valid = !states.empty();
+    uint32_t num_partitions = 1;
+    for (const auto& [p, state] : states) {
+      if (!state.valid) {
+        all_valid = false;
+        break;
+      }
+      num_partitions = std::max(num_partitions, state.num_partitions);
+      for (Csn t : state.tcomp) min_tcomp = std::min(min_tcomp, t);
+    }
+    if (all_valid && states.size() == static_cast<size_t>(num_partitions) &&
+        min_tcomp != kMaxCsn && min_tcomp >= view->mv->csn()) {
+      EXPECT_EQ(view->high_water_mark(), min_tcomp)
+          << "recovered hwm is not the min over partition t_comp";
+    }
+    EXPECT_LE(view->high_water_mark(), h.frontier)
+        << "recovery overstated the frontier past the live engine's";
+    // The recovered window is already a complete timed delta: rolling the
+    // oracle across [propagate_from, hwm] must succeed before resume.
+    Csn from = view->propagate_from.load(std::memory_order_acquire);
+    Csn to = view->high_water_mark();
+    if (to > from) {
+      EXPECT_TRUE(CheckTimedDeltaWindow(sys.db.get(), view, from, to))
+          << "pre-resume recovered window [" << from << ", " << to
+          << "] is not a complete timed delta";
+    }
+  }
+
+  MaintenanceService::Options mopts;
+  mopts.checkpoint_every_steps = 3;
+  mopts.apply_continuously = true;
+  mopts.prune_view_delta = false;
+  mopts.propagate_partitions = kPartitions;
+  MaintenanceService service(sys.views.get(), view, mopts);
+  Csn frontier = sys.db->stable_csn();
+  EXPECT_TRUE(service.Drain(frontier).ok());
+  EXPECT_GE(view->high_water_mark(), frontier);
+
+  // A re-propagated strip from the durable partition would double-count
+  // here; a leftover row from the rolled-back partition would too.
+  DeltaRows oracle = OracleViewState(sys.db.get(), view, view->mv->csn());
+  EXPECT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()))
+      << "recovered+resumed MV diverges from recomputation";
+
+  if (deep) {
+    // Strongest duplicate/leftover detector: every sub-window of the
+    // resumed delta rolls the oracle correctly (Definition 4.2).
+    Csn from = view->propagate_from.load(std::memory_order_acquire);
+    Csn to = view->high_water_mark();
+    if (to > from) {
+      EXPECT_TRUE(CheckTimedDeltaSweep(sys.db.get(), view, from, to,
+                                       std::max<Csn>(1, (to - from) / 7)));
+    }
+    UpdateStream fresh(sys.db.get(), h.workload.RStream(9, seed), seed);
+    EXPECT_TRUE(fresh.RunTransactions(4).ok());
+    sys.capture->CatchUp();
+    Csn frontier2 = sys.db->stable_csn();
+    EXPECT_TRUE(service.Drain(frontier2).ok());
+    DeltaRows oracle2 = OracleViewState(sys.db.get(), view, view->mv->csn());
+    EXPECT_TRUE(NetEquivalent(oracle2, view->mv->AsDeltaRows()))
+        << "post-recovery updates diverge from recomputation";
+  }
+  return sys.report.rows_discarded;
+}
+
+class PartitionCrashTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    history_ = new PartitionHistory(BuildPartitionHistory(0x5EED2));
+  }
+  static void TearDownTestSuite() {
+    delete history_;
+    history_ = nullptr;
+  }
+  static PartitionHistory* history_;
+};
+
+PartitionHistory* PartitionCrashTest::history_ = nullptr;
+
+// The satellite schedule: a propagation step is durable only once its
+// kViewCursor record lands, and the step's view-delta rows become visible at
+// its kCommit record -- so every byte position between B's step-commit and
+// B's cursor is a window where B is mid-undo. Cut right after such a commit,
+// at points where partition A's cursor IS durable in the prefix: partition A
+// durable, partition B's step mid-undo. Recovery must resume A from its
+// durable cursors (no duplicate strip) and cancel B's step by discarding
+// its uncovered rows.
+TEST_F(PartitionCrashTest, DurableAMidFlightBCutsRecoverExactly) {
+  const PartitionHistory& h = *history_;
+  std::vector<LoggedRecord> records = WalkWal(h.encoded_wal);
+  ASSERT_GT(records.size(), 50u);
+  // Whole log decoded: the quiescent snapshot has no torn tail.
+  ASSERT_EQ(records.back().end, h.encoded_wal.size());
+
+  // A cut at records[i].end keeps records [0, i]. Walk once, maintaining
+  // per-partition covered sequences and per-txn pending appends exactly as
+  // replay does; a kCommit that lands appends of partition b beyond b's
+  // covered sequence -- while some other partition a has a durable cursor --
+  // is a skewed cut (A durable, B mid-undo). Cursor-record boundaries (the
+  // step fully durable) are kept as the control sample.
+  std::vector<size_t> skewed_cuts;
+  std::vector<size_t> cursor_cuts;
+  std::map<uint32_t, uint64_t> covered;     // partition -> last durable seq
+  std::map<uint32_t, size_t> cursor_count;  // partition -> cursors seen
+  std::map<TxnId, std::vector<std::pair<uint32_t, uint64_t>>> pending;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const LoggedRecord& lr = records[i];
+    switch (lr.rec.kind) {
+      case WalRecord::Kind::kViewDeltaAppend:
+        pending[lr.rec.txn].emplace_back(lr.partition, lr.step_seq);
+        break;
+      case WalRecord::Kind::kAbort:
+        pending.erase(lr.rec.txn);
+        break;
+      case WalRecord::Kind::kViewCursor: {
+        uint64_t& cov = covered[lr.partition];
+        cov = std::max(cov, lr.step_seq);
+        cursor_count[lr.partition]++;
+        cursor_cuts.push_back(i);
+        break;
+      }
+      case WalRecord::Kind::kCommit: {
+        auto it = pending.find(lr.rec.txn);
+        if (it == pending.end()) break;
+        bool mid_flight_b = false;
+        for (const auto& [b, seq] : it->second) {
+          auto cov = covered.find(b);
+          bool uncovered = cov == covered.end() || seq > cov->second;
+          if (!uncovered) continue;
+          // Some OTHER partition must already be durable in the prefix.
+          for (const auto& [a, count] : cursor_count) {
+            if (a != b && count > 0) mid_flight_b = true;
+          }
+        }
+        if (mid_flight_b) skewed_cuts.push_back(i);
+        pending.erase(it);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  ASSERT_FALSE(cursor_cuts.empty()) << "history logged no cursor records";
+  ASSERT_FALSE(skewed_cuts.empty())
+      << "no commit landed one partition's uncovered rows while another "
+         "partition was durable; widen the history";
+
+  // Exercise skewed cuts spread across the history, plus an even sample of
+  // fully-durable cursor boundaries as the control arm.
+  std::vector<size_t> selected;
+  for (size_t i = 0; i < skewed_cuts.size() && selected.size() < 8;
+       i += std::max<size_t>(1, skewed_cuts.size() / 8)) {
+    selected.push_back(skewed_cuts[i]);
+  }
+  for (size_t i = 0; i < cursor_cuts.size() && selected.size() < 12;
+       i += std::max<size_t>(1, cursor_cuts.size() / 4)) {
+    selected.push_back(cursor_cuts[i]);
+  }
+
+  uint64_t total_discarded = 0;
+  bool did_deep = false;
+  for (size_t idx : selected) {
+    CrashSpec spec;
+    spec.keep_bytes = records[idx].end;
+    std::string damaged = ApplyCrashSpec(h.encoded_wal, spec);
+    SCOPED_TRACE("cut after cursor record " + std::to_string(idx) +
+                 " (partition " + std::to_string(records[idx].partition) +
+                 ", seq " + std::to_string(records[idx].step_seq) + ")");
+    bool deep = !did_deep;  // full sweep once; endpoint checks everywhere
+    did_deep = true;
+    total_discarded +=
+        RecoverVerifyPartitioned(h, damaged, deep, 0xAB5EED + idx);
+    if (HasFatalFailure()) return;
+  }
+  // At least one cut rolled the mid-flight partition back by discarding its
+  // uncovered rows (the durable-by-omission StepUndoLog replay).
+  EXPECT_GT(total_discarded, 0u)
+      << "no cut discarded mid-flight partition rows";
+}
+
+// Random byte cuts over the partitioned history: torn tails and interior
+// boundaries, all recover to recomputation just like the serial harness.
+TEST_F(PartitionCrashTest, RandomCutsOverPartitionedHistoryRecover) {
+  const PartitionHistory& h = *history_;
+  ASSERT_GT(h.encoded_wal.size(), 1000u);
+  Rng rng(0x70637261);  // "pcra"
+  for (int trial = 0; trial < 12; ++trial) {
+    CrashSpec spec;
+    spec.keep_bytes = rng.Uniform(0, h.encoded_wal.size());
+    std::string damaged = ApplyCrashSpec(h.encoded_wal, spec);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": keep " +
+                 std::to_string(spec.keep_bytes) + "/" +
+                 std::to_string(h.encoded_wal.size()));
+    RecoverVerifyPartitioned(h, damaged, /*deep=*/trial == 5,
+                             /*seed=*/0xFACE + trial);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// A clean recovery of the full partitioned log reconstructs both cursor
+// chains and the frontier without re-running a single strip.
+TEST_F(PartitionCrashTest, CleanPartitionedShutdownRecoversBothChains) {
+  const PartitionHistory& h = *history_;
+  auto recovered = CrashAndRecover(h.encoded_wal, {{"V", h.workload.ViewDef()}});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  RecoveredSystem sys = std::move(recovered).value();
+  EXPECT_FALSE(sys.torn_tail);
+  EXPECT_EQ(sys.report.views_recovered, 1u);
+  EXPECT_GT(sys.report.cursor_records, 0u);
+
+  View* view = sys.views->Find("V");
+  ASSERT_NE(view, nullptr);
+  EXPECT_GE(view->high_water_mark(), h.frontier);
+  std::map<uint32_t, CursorState> states = view->LoadAllCursors();
+  ASSERT_EQ(states.size(), static_cast<size_t>(kPartitions));
+  uint64_t next_seq = 0;
+  for (const auto& [p, state] : states) {
+    EXPECT_TRUE(state.valid);
+    EXPECT_EQ(state.num_partitions, kPartitions);
+    if (next_seq == 0) next_seq = state.next_step_seq;
+    // Recovery reseeds one GLOBAL continuation sequence across partitions
+    // so replayed rows can never collide with a future step's.
+    EXPECT_EQ(state.next_step_seq, next_seq);
+  }
+}
+
+// Locates the state recovery would fold for `partition` from the full log:
+// the last checkpoint's baseline advanced by every later cursor record of
+// that partition. The forged-record tests construct contradictions of
+// exactly this state.
+struct ChainTail {
+  bool found = false;
+  uint64_t last_completed_seq = 0;
+  ViewCursorBlob blob;       // template for forging (from a real record)
+  uint32_t view_id = 0;
+  Lsn last_lsn = 0;
+};
+
+ChainTail TailOf(const std::vector<LoggedRecord>& records, uint32_t partition) {
+  ChainTail tail;
+  size_t cp_idx = 0;
+  ViewCheckpointBlob cp;
+  bool has_cp = false;
+  for (size_t i = 0; i < records.size(); ++i) {
+    tail.last_lsn = std::max(tail.last_lsn, records[i].rec.lsn);
+    if (records[i].rec.kind == WalRecord::Kind::kViewCheckpoint &&
+        records[i].rec.blob != nullptr) {
+      ViewCheckpointBlob blob;
+      if (DecodeViewCheckpointBlob(*records[i].rec.blob, &blob)) {
+        cp = std::move(blob);
+        has_cp = true;
+        cp_idx = i;
+      }
+    }
+  }
+  if (has_cp) {
+    if (partition == 0) {
+      tail.found = true;
+      tail.last_completed_seq = cp.next_step_seq - 1;
+      tail.blob.view_name = cp.view_name;
+      tail.blob.tfwd = cp.tfwd;
+      tail.blob.tcomp = cp.tcomp;
+    } else {
+      for (const PartitionCursorBlob& pcb : cp.extra_partitions) {
+        if (pcb.partition != partition) continue;
+        tail.found = true;
+        tail.last_completed_seq = pcb.next_step_seq - 1;
+        tail.blob.view_name = cp.view_name;
+        tail.blob.tfwd = pcb.tfwd;
+        tail.blob.tcomp = pcb.tcomp;
+      }
+    }
+  }
+  for (size_t i = has_cp ? cp_idx + 1 : 0; i < records.size(); ++i) {
+    if (records[i].rec.kind != WalRecord::Kind::kViewCursor) continue;
+    if (records[i].partition != partition) continue;
+    ViewCursorBlob blob;
+    if (!DecodeViewCursorBlob(*records[i].rec.blob, &blob)) continue;
+    tail.found = true;
+    tail.view_id = records[i].rec.view;
+    tail.last_completed_seq =
+        std::max(tail.last_completed_seq, blob.completed_step_seq);
+    tail.blob = std::move(blob);
+  }
+  tail.blob.partition = partition;
+  tail.blob.num_partitions = kPartitions;
+  return tail;
+}
+
+std::string AppendForgedCursor(const std::string& encoded,
+                               const ChainTail& tail,
+                               const ViewCursorBlob& forged) {
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kViewCursor;
+  rec.lsn = tail.last_lsn + 1;
+  rec.view = tail.view_id;
+  rec.blob = std::make_shared<std::string>(EncodeViewCursorBlob(forged));
+  std::string out = encoded;
+  EncodeWalRecord(rec, &out);
+  return out;
+}
+
+// Satellite fail-loud arm #1: a second cursor record for a (view, partition)
+// chain claiming an EARLIER completed step than the durable one is
+// ambiguous -- replay must refuse the log, not fold last-record-wins.
+TEST_F(PartitionCrashTest, ForgedDuplicateCursorFailsLoudly) {
+  const PartitionHistory& h = *history_;
+  std::vector<LoggedRecord> records = WalkWal(h.encoded_wal);
+  ChainTail tail = TailOf(records, 0);
+  ASSERT_TRUE(tail.found);
+  ASSERT_GE(tail.last_completed_seq, 1u);
+
+  ViewCursorBlob forged = tail.blob;
+  forged.completed_step_seq = tail.last_completed_seq - 1;
+  std::string damaged = AppendForgedCursor(h.encoded_wal, tail, forged);
+
+  auto recovered = CrashAndRecover(damaged, {{"V", h.workload.ViewDef()}});
+  ASSERT_FALSE(recovered.ok())
+      << "recovery accepted a duplicate/regressing cursor record";
+  EXPECT_NE(recovered.status().ToString().find("duplicate/ambiguous cursor"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+// Satellite fail-loud arm #2: a cursor record whose forward frontier moves
+// BACKWARD within its partition's chain (same completed step, regressed
+// tfwd) contradicts frontier monotonicity and must also fail loudly.
+TEST_F(PartitionCrashTest, ForgedFrontierRegressionFailsLoudly) {
+  const PartitionHistory& h = *history_;
+  std::vector<LoggedRecord> records = WalkWal(h.encoded_wal);
+  ChainTail tail = TailOf(records, 1);
+  ASSERT_TRUE(tail.found);
+  ASSERT_FALSE(tail.blob.tfwd.empty());
+  ASSERT_GT(tail.blob.tfwd[0], 0u);
+
+  ViewCursorBlob forged = tail.blob;
+  forged.completed_step_seq = tail.last_completed_seq;  // passes the dup gate
+  forged.tfwd[0] -= 1;                                  // frontier regression
+  std::string damaged = AppendForgedCursor(h.encoded_wal, tail, forged);
+
+  auto recovered = CrashAndRecover(damaged, {{"V", h.workload.ViewDef()}});
+  ASSERT_FALSE(recovered.ok())
+      << "recovery accepted a regressing cursor frontier";
+  EXPECT_NE(recovered.status().ToString().find("cursor frontier regression"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+}  // namespace
+}  // namespace rollview

@@ -282,6 +282,55 @@ TEST_F(MaintenanceTest, RestartAfterPermanentFailureResumesFromCursors) {
   env_.db()->SetFaultInjector(nullptr);
 }
 
+TEST_F(MaintenanceTest, RestartAfterFailureResetsControllerState) {
+  // An abort storm drives the AIMD row target to its floor before the
+  // driver gives up (kFailed). Restarting the service resets backoff -- and
+  // must reset the controller too: resuming with the collapsed target (or a
+  // stale shedding posture) would start the new run throttled by a regime
+  // that no longer exists.
+  FaultInjector::Options fopts;
+  fopts.seed = 0xabcd;
+  fopts.commit_abort_probability = 1.0;
+  FaultInjector fi(fopts);
+  env_.db()->SetFaultInjector(&fi);
+
+  MaintenanceService::Options opts;
+  opts.interval_mode = MaintenanceService::Options::IntervalMode::kAdaptive;
+  opts.controller.initial_target_rows = 64;
+  opts.controller.min_target_rows = 2;
+  opts.runner.max_retries = 0;
+  opts.failed_after = 8;
+  opts.backoff.initial = std::chrono::microseconds(20);
+  opts.backoff.max = std::chrono::microseconds(200);
+  MaintenanceService service(env_.views(), view_, opts);
+  RunUpdates(5, 30);
+  service.Start();
+  while (service.propagate_health() != DriverHealth::kFailed) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_OK(env_.capture()->WaitForCsn(env_.db()->stable_csn()));
+  // Each transient failure shrank the target multiplicatively; by kFailed
+  // it has collapsed below the configured initial.
+  const size_t collapsed = service.interval_controller()->target_rows();
+  EXPECT_LT(collapsed, opts.controller.initial_target_rows);
+  Status stop = service.Stop();
+  EXPECT_FALSE(stop.ok());
+
+  fi.set_armed(false);
+  service.Start();
+  // Health transitioned kFailed -> kRunning: the controller restarted from
+  // its configured initial target, not the collapsed one.
+  EXPECT_EQ(service.interval_controller()->target_rows(),
+            opts.controller.initial_target_rows);
+  EXPECT_EQ(service.propagate_health(), DriverHealth::kRunning);
+  ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+  EXPECT_TRUE(MvMatchesOracle());
+  // Cumulative controller history survived the reset.
+  EXPECT_GT(service.interval_controller()->GetStats().transient_shrinks, 0u);
+  env_.db()->SetFaultInjector(nullptr);
+}
+
 TEST_F(MaintenanceTest, AdaptiveIntervalModeConverges) {
   MaintenanceService::Options opts;
   opts.interval_mode = MaintenanceService::Options::IntervalMode::kAdaptive;

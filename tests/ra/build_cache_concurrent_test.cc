@@ -94,6 +94,64 @@ TEST(BuildCacheConcurrentTest, ReadersSurviveEvictionAndInvalidationChurn) {
   invalidator.join();
 }
 
+TEST(BuildCacheConcurrentTest, GcNeverResurrectsCollectedSnapshots) {
+  // Regression for the GC admission race: GetOrBuild builds outside the
+  // cache lock, so an InvalidateBelow (Db::GarbageCollect) can run between
+  // the build and its insert. Pre-fix, the late insert admitted an entry
+  // keyed at a collected snapshot, which later lookups would trust even
+  // though the version store can no longer rebuild it. The fix raises an
+  // admission floor under the lock; this hammers builds across a moving
+  // floor and then proves nothing below it stayed resident.
+  BuildCache cache(1 << 20);
+  std::atomic<uint64_t> floor{1};
+  std::atomic<bool> stop{false};
+
+  std::thread gc([&] {
+    for (uint64_t h = 2; h <= 4096 && !stop.load(std::memory_order_relaxed);
+         ++h) {
+      cache.InvalidateBelow(Csn{h});
+      floor.store(h, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> builders;
+  for (int t = 0; t < 4; ++t) {
+    builders.emplace_back([&cache, &floor, t] {
+      for (int i = 0; i < 400; ++i) {
+        // Aim at the moving floor -- keys at and just above it -- so builds
+        // routinely overlap the InvalidateBelow that collects them.
+        uint64_t csn =
+            floor.load(std::memory_order_relaxed) +
+            static_cast<uint64_t>((t + i) % 3);
+        BuildCache::Key key{TableId{3}, Csn{csn}, {}, ""};
+        auto lookup = cache.GetOrBuild(key, [csn](BuildCache::Entry* e) {
+          // Dawdle so the floor can pass this snapshot mid-build.
+          std::this_thread::yield();
+          e->tuples.push_back(Tuple{Value(static_cast<int64_t>(csn))});
+          return Status::OK();
+        });
+        ASSERT_TRUE(lookup.ok());
+        // A below-floor build is still served to its own caller (it read
+        // the version store before the horizon moved); it just must never
+        // be admitted for later lookups.
+        ASSERT_EQ(lookup.value().entry->tuples[0][0].AsInt64(),
+                  static_cast<int64_t>(csn));
+      }
+    });
+  }
+  for (std::thread& th : builders) th.join();
+  stop.store(true);
+  gc.join();
+
+  uint64_t final_floor = floor.load();
+  for (uint64_t csn = 1; csn < final_floor; ++csn) {
+    BuildCache::Key key{TableId{3}, Csn{csn}, {}, ""};
+    EXPECT_EQ(cache.Peek(key), nullptr)
+        << "entry below the GC floor stayed resident at csn " << csn;
+  }
+}
+
 TEST(BuildCacheConcurrentTest, CachedQueriesRaceGarbageCollection) {
   Db db;
   auto created = db.CreateTable("R", Schema({Column{"a", ValueType::kInt64},
