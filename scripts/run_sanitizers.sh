@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Drive the sanitizer presets over the robustness-critical ctest labels:
+#
+#   tsan   -> scrub + concurrency + parallel   (races in scrub-vs-apply
+#             locking, scrape-vs-drop teardown, partition strip barriers)
+#   asan   -> scrub + recovery                 (WAL replay, checkpoint
+#             decode, repair escalation memory safety)
+#   ubsan  -> scrub + recovery + parallel      (digest mixing arithmetic,
+#             cursor folding, partition math)
+#
+#   scripts/run_sanitizers.sh [tsan|asan|ubsan]...
+#
+# With no arguments all three run. Each sanitizer configures/builds its own
+# CMake preset tree (build-tsan/, build-asan/, build-ubsan/) so a plain
+# `cmake --preset default` build is never polluted. Exits nonzero on the
+# first failing sanitizer arm.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(tsan asan ubsan)
+fi
+
+labels_for() {
+  case "$1" in
+    tsan)  echo "scrub|concurrency|parallel" ;;
+    asan)  echo "scrub|recovery" ;;
+    ubsan) echo "scrub|recovery|parallel" ;;
+    *)
+      echo "unknown sanitizer '$1' (expected tsan, asan or ubsan)" >&2
+      return 1
+      ;;
+  esac
+}
+
+for san in "${sanitizers[@]}"; do
+  labels="$(labels_for "${san}")"
+  echo "== ${san}: ctest -L '${labels}'"
+  cmake --preset "${san}" >/dev/null
+  cmake --build --preset "${san}" -j "$(nproc)" >/dev/null
+  ctest --test-dir "${repo_root}/build-${san}" -L "${labels}" \
+        --output-on-failure -j "$(nproc)"
+done
+
+echo "sanitizers clean: ${sanitizers[*]}"

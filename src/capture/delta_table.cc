@@ -173,4 +173,14 @@ size_t DeltaTable::Prune(Csn up_to) {
   return before - rows_.size();
 }
 
+size_t DeltaTable::Clear() {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  assert(pins_.load(std::memory_order_acquire) == 0 &&
+         "Clear with live Pins would dangle borrowed rows");
+  size_t before = rows_.size();
+  rows_.clear();
+  max_ts_ = kNullCsn;
+  return before;
+}
+
 }  // namespace rollview

@@ -134,6 +134,13 @@ class DeltaTable {
   // is live, so borrowed ScanRefs rows can never dangle.
   size_t Prune(Csn up_to);
 
+  // Drops ALL rows and resets max_ts, returning the number dropped. Used by
+  // view repair (ViewManager::RecoverView on a live view) before reloading
+  // the delta from a checkpoint + log suffix. The caller must guarantee
+  // exclusivity -- no concurrent appenders, no live Pins (unlike Prune,
+  // Clear does not defer; borrowed ScanRefs rows would dangle).
+  size_t Clear();
+
  private:
   // Index of the first row with ts > bound (requires ts_sorted_, latch held).
   size_t LowerBound(Csn bound) const;

@@ -16,6 +16,17 @@ bool FaultInjector::Fire(double p, uint64_t Stats::*counter) {
   return true;
 }
 
+bool FaultInjector::FireWithSeed(double p, uint64_t Stats::*counter,
+                                 uint64_t* seed) {
+  if (p <= 0.0 || !armed()) return false;
+  if (options_.scoped_only && Scope::depth() == 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!rng_.Bernoulli(p)) return false;
+  stats_.*counter += 1;
+  *seed = rng_.Fork();
+  return true;
+}
+
 Status FaultInjector::MaybeCommitAbort() {
   if (Fire(options_.commit_abort_probability, &Stats::injected_aborts)) {
     return Status::TxnAborted("injected commit abort");
@@ -35,6 +46,36 @@ Status FaultInjector::MaybeWalError() {
     return Status::Busy("injected WAL write error");
   }
   return Status::OK();
+}
+
+Status FaultInjector::MaybeStorageFault() {
+  if (Fire(options_.storage_eio_probability, &Stats::injected_eio)) {
+    return Status::Busy("injected EIO on log write");
+  }
+  if (Fire(options_.storage_short_write_probability,
+           &Stats::injected_short_writes)) {
+    return Status::Busy("injected short write on log append (torn record "
+                        "discarded)");
+  }
+  if (Fire(options_.storage_enospc_probability, &Stats::injected_enospc)) {
+    return Status::Busy("injected ENOSPC on log write");
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::MaybeCorruptMvRow(uint64_t* seed) {
+  return FireWithSeed(options_.mv_corrupt_probability,
+                      &Stats::injected_mv_corruptions, seed);
+}
+
+bool FaultInjector::MaybeTamperDigest(uint64_t* seed) {
+  return FireWithSeed(options_.digest_tamper_probability,
+                      &Stats::injected_digest_tampers, seed);
+}
+
+bool FaultInjector::MaybeCorruptCheckpoint(uint64_t* seed) {
+  return FireWithSeed(options_.checkpoint_corrupt_probability,
+                      &Stats::injected_checkpoint_corruptions, seed);
 }
 
 bool FaultInjector::MaybeCaptureLag() {

@@ -8,7 +8,15 @@
 //   * injected transaction aborts at commit (deadlock-victim stand-ins),
 //   * injected lock-timeout Busy results from LockManager::Acquire,
 //   * injected WAL write errors on the append path,
-//   * capture-lag spikes (LogCapture::Poll stalls for a run of polls).
+//   * capture-lag spikes (LogCapture::Poll stalls for a run of polls),
+//   * storage-fault classes on the WAL append and checkpoint write paths
+//     (EIO, short write, ENOSPC) -- all surfaced as transient so the
+//     supervised drivers degrade and recover instead of dying,
+//   * corruption classes for the online scrubber's drills: MV row bit
+//     flips, digest tampering, checkpoint payload flips. The injector only
+//     decides *whether* (and with what deterministic seed) to corrupt; the
+//     call sites (ivm/apply.cc, ivm/checkpoint.cc) do the flipping, so this
+//     layer stays ignorant of view internals.
 //
 // Faults fire from a single seeded RNG, so a fixed seed gives a fixed fault
 // sequence per fault point. By default faults are scoped: they only fire on
@@ -42,6 +50,18 @@ class FaultInjector {
     // the next `capture_lag_polls` Poll calls process nothing.
     double capture_lag_probability = 0.0;
     int capture_lag_polls = 20;
+    // Storage-fault classes fired from Wal::MaybeInjectWriteError (the WAL
+    // append sites and the checkpoint write path). Each models a distinct
+    // I/O failure; all surface as transient Busy so maintenance retries.
+    double storage_eio_probability = 0.0;
+    double storage_short_write_probability = 0.0;
+    double storage_enospc_probability = 0.0;
+    // Corruption classes (scrub drills). MV-row and digest corruptions fire
+    // from the apply driver after a successful roll; checkpoint corruptions
+    // fire from WriteViewCheckpoint on the encoded payload.
+    double mv_corrupt_probability = 0.0;
+    double digest_tamper_probability = 0.0;
+    double checkpoint_corrupt_probability = 0.0;
     // Probability that MaybeCrashPoint() reports "crash here". Nothing is
     // killed by the injector itself: the crash harness polls crash points
     // from its driver loop and performs the actual teardown (snapshot the
@@ -60,6 +80,12 @@ class FaultInjector {
     uint64_t lag_spikes = 0;
     uint64_t lag_polls = 0;  // Poll calls swallowed by spikes
     uint64_t crash_points = 0;
+    uint64_t injected_eio = 0;
+    uint64_t injected_short_writes = 0;
+    uint64_t injected_enospc = 0;
+    uint64_t injected_mv_corruptions = 0;
+    uint64_t injected_digest_tampers = 0;
+    uint64_t injected_checkpoint_corruptions = 0;
   };
 
   explicit FaultInjector(Options options)
@@ -93,17 +119,30 @@ class FaultInjector {
   Status MaybeCommitAbort();
   Status MaybeLockBusy();
   Status MaybeWalError();
+  // Storage-fault classes for log/checkpoint writes: EIO, short write,
+  // ENOSPC, checked in that order. All transient (Busy) with the class
+  // named in the message.
+  Status MaybeStorageFault();
   // True when this Poll call should stall (process nothing).
   bool MaybeCaptureLag();
   // True when the harness should crash the process image here (see
   // Options::crash_probability; not gated on Scope).
   bool MaybeCrashPoint();
 
+  // Corruption points. On fire, `*seed` receives a deterministic value the
+  // call site uses to choose what to flip, so a fixed injector seed yields
+  // a fixed corruption.
+  bool MaybeCorruptMvRow(uint64_t* seed);
+  bool MaybeTamperDigest(uint64_t* seed);
+  bool MaybeCorruptCheckpoint(uint64_t* seed);
+
   Stats GetStats() const;
 
  private:
   // Scoped gate + seeded Bernoulli draw; counts into `counter` on fire.
   bool Fire(double p, uint64_t Stats::*counter);
+  // Fire variant that also draws a deterministic seed for the call site.
+  bool FireWithSeed(double p, uint64_t Stats::*counter, uint64_t* seed);
 
   Options options_;
   std::atomic<bool> armed_{true};

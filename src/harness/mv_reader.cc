@@ -3,6 +3,17 @@
 namespace rollview {
 
 Status MvReader::ReadOnce(int64_t* out_total_count) {
+  // Quarantine gate: a view the scrubber has marked damaged either rejects
+  // the read with a transient error (the default -- readers retry and
+  // succeed once repair clears it) or knowingly serves the damaged extent,
+  // per the engine-wide policy.
+  if (view_->quarantined() &&
+      views_->db()->options().quarantine_read_policy ==
+          QuarantineReadPolicy::kFailFast) {
+    ++quarantine_rejects_;
+    return Status::Busy("view '" + view_->name +
+                        "' is quarantined pending scrub repair");
+  }
   std::unique_ptr<Txn> txn = views_->db()->Begin();
   Status s = views_->db()->LockNamedShared(txn.get(), view_->mv_lock_resource);
   if (!s.ok()) {

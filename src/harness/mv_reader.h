@@ -4,6 +4,11 @@
 // an S lock on the view's resource (serializing with the apply driver's X
 // lock) and scans the MV contents -- the reader side of the paper's
 // refresh-vs-read contention story.
+//
+// Reads against a quarantined view (scrub detected corruption, repair
+// pending) obey DbOptions::quarantine_read_policy: fail-fast returns a
+// transient Busy so callers retry past the repair; serve-stale reads the
+// damaged extent anyway.
 
 #ifndef ROLLVIEW_HARNESS_MV_READER_H_
 #define ROLLVIEW_HARNESS_MV_READER_H_
@@ -22,11 +27,14 @@ class MvReader {
   Status ReadOnce(int64_t* out_total_count = nullptr);
 
   uint64_t reads() const { return reads_; }
+  // Reads rejected by the fail-fast quarantine gate.
+  uint64_t quarantine_rejects() const { return quarantine_rejects_; }
 
  private:
   ViewManager* views_;
   View* view_;
   uint64_t reads_ = 0;
+  uint64_t quarantine_rejects_ = 0;
 };
 
 }  // namespace rollview

@@ -59,6 +59,15 @@ Status Applier::RollTo(Csn target) {
   if (options_.prune_view_delta) {
     stats_.rows_pruned += view_->view_delta->Prune(target);
   }
+
+  // Corruption drills (scrub tests): a latent bit flip lands in the freshly
+  // rolled extent -- after the commit, so it models silent storage damage
+  // the transaction machinery cannot see, only the scrubber can.
+  if (FaultInjector* fi = views_->db()->fault_injector()) {
+    uint64_t seed = 0;
+    if (fi->MaybeCorruptMvRow(&seed)) view_->mv->CorruptRowBit(seed);
+    if (fi->MaybeTamperDigest(&seed)) view_->mv->TamperDigest(seed);
+  }
   return Status::OK();
 }
 

@@ -70,6 +70,30 @@ WalRecord MakeViewRecord(WalRecord::Kind kind, ViewId id, std::string blob) {
   return rec;
 }
 
+void PutDigest(std::string* out, const ViewDigest& d) {
+  PutU32(out, ViewDigest::kBuckets);
+  for (uint32_t i = 0; i < ViewDigest::kBuckets; ++i) {
+    const ViewDigest::Bucket& b = d.bucket(i);
+    PutU64(out, b.sum);
+    PutU64(out, b.alt);
+    PutI64(out, b.rows);
+  }
+}
+
+bool GetDigest(const std::string& data, size_t* pos, ViewDigest* d) {
+  uint32_t n = 0;
+  if (!GetU32(data, pos, &n)) return false;
+  if (n != ViewDigest::kBuckets) return false;  // bucket count is fixed
+  d->Clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    ViewDigest::Bucket& b = d->mutable_bucket(i);
+    if (!GetU64(data, pos, &b.sum)) return false;
+    if (!GetU64(data, pos, &b.alt)) return false;
+    if (!GetI64(data, pos, &b.rows)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string EncodeViewCursorBlob(const ViewCursorBlob& b) {
@@ -139,6 +163,14 @@ std::string EncodeViewCheckpointBlob(const ViewCheckpointBlob& b) {
     PutU64(&out, p.next_step_seq);
     PutStrips(&out, p.strips);
   }
+  if (b.has_digest) {
+    PutDigest(&out, b.digest);
+    // Whole-payload checksum (covers everything above, digest included):
+    // the record-level CRC in the WAL framing is computed over the blob
+    // *after* any injected corruption, so the blob needs its own integrity
+    // check for recovery to reject a damaged checkpoint.
+    PutU32(&out, Crc32(out.data(), out.size()));
+  }
   return out;
 }
 
@@ -173,6 +205,8 @@ bool DecodeViewCheckpointBlob(const std::string& data, ViewCheckpointBlob* b) {
   if (!GetStrips(data, &pos, &b->strips)) return false;
   b->num_partitions = 1;
   b->extra_partitions.clear();
+  b->has_digest = false;
+  b->digest.Clear();
   if (pos == data.size()) return true;  // pre-partition framing
   if (!GetU32(data, &pos, &b->num_partitions)) return false;
   uint32_t extras = 0;
@@ -186,6 +220,53 @@ bool DecodeViewCheckpointBlob(const std::string& data, ViewCheckpointBlob* b) {
     if (!GetU64(data, &pos, &p.next_step_seq)) return false;
     if (!GetStrips(data, &pos, &p.strips)) return false;
   }
+  if (pos == data.size()) return true;  // pre-digest framing
+  if (!GetDigest(data, &pos, &b->digest)) return false;
+  const size_t crc_pos = pos;
+  uint32_t stored_crc = 0;
+  if (!GetU32(data, &pos, &stored_crc)) return false;
+  if (Crc32(data.data(), crc_pos) != stored_crc) return false;
+  b->has_digest = true;
+  return pos == data.size();
+}
+
+std::string EncodeViewScrubBlob(const ViewScrubBlob& b) {
+  std::string out;
+  PutString(&out, b.view_name);
+  PutString(&out, b.outcome);
+  PutU32(&out, b.bucket);
+  PutU64(&out, b.mv_csn);
+  PutString(&out, b.detail);
+  return out;
+}
+
+bool DecodeViewScrubBlob(const std::string& data, ViewScrubBlob* b) {
+  size_t pos = 0;
+  if (!GetString(data, &pos, &b->view_name)) return false;
+  if (!GetString(data, &pos, &b->outcome)) return false;
+  if (!GetU32(data, &pos, &b->bucket)) return false;
+  if (!GetU64(data, &pos, &b->mv_csn)) return false;
+  if (!GetString(data, &pos, &b->detail)) return false;
+  return pos == data.size();
+}
+
+std::string EncodeViewQuarantineBlob(const ViewQuarantineBlob& b) {
+  std::string out;
+  PutString(&out, b.view_name);
+  PutU32(&out, b.entered ? 1 : 0);
+  PutU32(&out, b.bucket);
+  PutString(&out, b.reason);
+  return out;
+}
+
+bool DecodeViewQuarantineBlob(const std::string& data, ViewQuarantineBlob* b) {
+  size_t pos = 0;
+  uint32_t entered = 0;
+  if (!GetString(data, &pos, &b->view_name)) return false;
+  if (!GetU32(data, &pos, &entered)) return false;
+  b->entered = entered != 0;
+  if (!GetU32(data, &pos, &b->bucket)) return false;
+  if (!GetString(data, &pos, &b->reason)) return false;
   return pos == data.size();
 }
 
@@ -216,7 +297,29 @@ WalRecord MakeViewAppliedRecord(const View& view, Csn applied_csn) {
                         EncodeViewAppliedBlob(blob));
 }
 
+WalRecord MakeViewScrubRecord(const View& view, const ViewScrubBlob& blob) {
+  return MakeViewRecord(WalRecord::Kind::kViewScrub, view.id,
+                        EncodeViewScrubBlob(blob));
+}
+
+WalRecord MakeViewQuarantineRecord(const View& view, bool entered,
+                                   uint32_t bucket,
+                                   const std::string& reason) {
+  ViewQuarantineBlob blob;
+  blob.view_name = view.name;
+  blob.entered = entered;
+  blob.bucket = bucket;
+  blob.reason = reason;
+  return MakeViewRecord(WalRecord::Kind::kViewQuarantine, view.id,
+                        EncodeViewQuarantineBlob(blob));
+}
+
 Status WriteViewCheckpoint(Db* db, View* view) {
+  // Checkpoint writes are maintenance work: run them inside an injection
+  // scope so storage-fault drills hit this path, and fail *before* encoding
+  // so a surfaced fault leaves nothing half-written.
+  FaultInjector::Scope fault_scope;
+  ROLLVIEW_RETURN_NOT_OK(db->wal()->MaybeInjectWriteError());
   ViewCheckpointBlob blob;
   blob.view_name = view->name;
   // Order matters against a concurrent apply driver: scan the view delta
@@ -227,7 +330,8 @@ Status WriteViewCheckpoint(Db* db, View* view) {
   // window entirely.
   blob.view_delta = view->view_delta->ScanAll();
   CountMap contents;
-  view->mv->Snapshot(&contents, &blob.mv_csn);
+  view->mv->SnapshotWithDigest(&contents, &blob.mv_csn, &blob.digest);
+  blob.has_digest = true;
   blob.mv_rows.assign(contents.begin(), contents.end());
   blob.delta_hwm = view->high_water_mark();
   blob.propagate_from = view->propagate_from.load(std::memory_order_acquire);
@@ -259,8 +363,21 @@ Status WriteViewCheckpoint(Db* db, View* view) {
     blob.num_partitions =
         std::max(blob.num_partitions, cursors.num_partitions);
   }
+  std::string encoded = EncodeViewCheckpointBlob(blob);
+  // Corruption drill: flip one bit of the encoded payload after the CRC-free
+  // blob is built, exactly like a torn sector under the record framing. The
+  // decoder either fails outright or the recomputed row digest disagrees
+  // with the stored one; recovery counts the checkpoint corrupt and falls
+  // back to the previous good snapshot.
+  if (FaultInjector* fi = db->fault_injector()) {
+    uint64_t seed = 0;
+    if (fi->MaybeCorruptCheckpoint(&seed) && !encoded.empty()) {
+      encoded[seed % encoded.size()] ^=
+          static_cast<char>(1u << ((seed / 13) % 8));
+    }
+  }
   db->wal()->Append(MakeViewRecord(WalRecord::Kind::kViewCheckpoint, view->id,
-                                   EncodeViewCheckpointBlob(blob)));
+                                   std::move(encoded)));
   return Status::OK();
 }
 

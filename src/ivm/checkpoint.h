@@ -38,6 +38,7 @@
 
 #include "common/csn.h"
 #include "common/status.h"
+#include "ivm/digest.h"
 #include "ivm/view.h"
 #include "schema/tuple.h"
 #include "storage/db.h"
@@ -106,9 +107,42 @@ struct ViewCheckpointBlob {
   // Pre-partition checkpoints decode as num_partitions 1, no extras.
   uint32_t num_partitions = 1;
   std::vector<PartitionCursorBlob> extra_partitions;
+  // Content digest of mv_rows at snapshot time, appended after the
+  // partition fields on the wire. Recovery recomputes a digest over the
+  // decoded rows and rejects the checkpoint on mismatch (falling back to an
+  // earlier good one); pre-digest checkpoints decode as has_digest false
+  // and are trusted as before. The scrub repair path additionally requires
+  // has_digest, so it never rebuilds from an unverifiable snapshot.
+  bool has_digest = false;
+  ViewDigest digest;
 };
 std::string EncodeViewCheckpointBlob(const ViewCheckpointBlob& b);
 bool DecodeViewCheckpointBlob(const std::string& data, ViewCheckpointBlob* b);
+
+// Audit record of one scrub finding or repair action. Informational:
+// recovery replays state, not scrub history, but the durable trail lets an
+// operator (and the drill tests) reconstruct what the scrubber saw.
+struct ViewScrubBlob {
+  std::string view_name;
+  // "mismatch" | "digest_reset" | "repaired" | "rebuilt" | "repair_failed"
+  std::string outcome;
+  uint32_t bucket = 0;       // bucket the finding localized to
+  Csn mv_csn = kNullCsn;     // MV materialization time at the check
+  std::string detail;        // human-readable specifics
+};
+std::string EncodeViewScrubBlob(const ViewScrubBlob& b);
+bool DecodeViewScrubBlob(const std::string& data, ViewScrubBlob* b);
+
+// Quarantine transition: a view (bucket-localized when known) entered or
+// left the quarantined state.
+struct ViewQuarantineBlob {
+  std::string view_name;
+  bool entered = true;  // true = quarantine set, false = cleared
+  uint32_t bucket = 0;
+  std::string reason;
+};
+std::string EncodeViewQuarantineBlob(const ViewQuarantineBlob& b);
+bool DecodeViewQuarantineBlob(const std::string& data, ViewQuarantineBlob* b);
 
 // --- Record builders -----------------------------------------------------
 
@@ -119,6 +153,9 @@ WalRecord MakeViewCursorRecord(const View& view, uint64_t completed_step_seq,
                                const CursorState& cursors,
                                uint32_t partition = 0);
 WalRecord MakeViewAppliedRecord(const View& view, Csn applied_csn);
+WalRecord MakeViewScrubRecord(const View& view, const ViewScrubBlob& blob);
+WalRecord MakeViewQuarantineRecord(const View& view, bool entered,
+                                   uint32_t bucket, const std::string& reason);
 
 // Snapshots the view's live state into a kViewCheckpoint record and appends
 // it to the WAL. The cursor vectors come from the view's control state
@@ -130,6 +167,11 @@ WalRecord MakeViewAppliedRecord(const View& view, Csn applied_csn);
 // apply+prune cannot open a gap between them), but a concurrent propagation
 // commit could slip rows between the delta scan and the record append,
 // which would double-count them against the log suffix at recovery.
+//
+// Runs inside a FaultInjector::Scope: storage faults on the checkpoint
+// write path (Wal::MaybeInjectWriteError) surface here as transient errors
+// before any state is mutated, and MaybeCorruptCheckpoint may flip one bit
+// of the encoded payload (the scrubber's checkpoint-damage drill).
 Status WriteViewCheckpoint(Db* db, View* view);
 
 // Cadence driver: owns "when to checkpoint". The propagate driver calls

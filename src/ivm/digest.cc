@@ -1,0 +1,98 @@
+#include "ivm/digest.h"
+
+namespace rollview {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates the raw tuple hash so adjacent hashes
+// spread across the full 64-bit lane, and a second independently-seeded lane
+// makes coincidental collisions across both lanes (plus the row tally)
+// vanishingly unlikely.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Mix1(uint64_t h) { return Mix(h); }
+uint64_t Mix2(uint64_t h) { return Mix(h ^ 0xa5a5a5a5a5a5a5a5ull); }
+
+char HexDigit(uint64_t v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+void AppendHex(std::string* out, uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(HexDigit((v >> shift) & 0xf));
+  }
+}
+
+}  // namespace
+
+uint32_t ViewDigest::BucketOf(const Tuple& tuple) {
+  return static_cast<uint32_t>(HashTuple(tuple) % kBuckets);
+}
+
+void ViewDigest::Update(const Tuple& tuple, int64_t old_count,
+                        int64_t new_count) {
+  if (old_count == new_count) return;
+  const uint64_t h = HashTuple(tuple);
+  const uint64_t delta =
+      static_cast<uint64_t>(new_count) - static_cast<uint64_t>(old_count);
+  Bucket& b = buckets_[h % kBuckets];
+  b.sum += Mix1(h) * delta;
+  b.alt += Mix2(h) * delta;
+  b.rows += new_count - old_count;
+}
+
+ViewDigest ViewDigest::Compute(const CountMap& contents) {
+  ViewDigest d;
+  for (const auto& [tuple, count] : contents) {
+    d.Update(tuple, 0, count);
+  }
+  return d;
+}
+
+ViewDigest::Bucket ViewDigest::ComputeBucket(const CountMap& contents,
+                                             uint32_t b) {
+  b %= kBuckets;
+  Bucket out;
+  for (const auto& [tuple, count] : contents) {
+    const uint64_t h = HashTuple(tuple);
+    if (h % kBuckets != b) continue;
+    const uint64_t c = static_cast<uint64_t>(count);
+    out.sum += Mix1(h) * c;
+    out.alt += Mix2(h) * c;
+    out.rows += count;
+  }
+  return out;
+}
+
+int64_t ViewDigest::total_rows() const {
+  int64_t n = 0;
+  for (const Bucket& b : buckets_) n += b.rows;
+  return n;
+}
+
+void ViewDigest::FlipBitForTest(uint64_t seed) {
+  Bucket& b = buckets_[seed % kBuckets];
+  b.sum ^= 1ull << ((seed / kBuckets) % 64);
+}
+
+std::string ViewDigest::ToString() const {
+  std::string out;
+  for (uint32_t i = 0; i < kBuckets; ++i) {
+    const Bucket& b = buckets_[i];
+    if (b.sum == 0 && b.alt == 0 && b.rows == 0) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += "b" + std::to_string(i) + ":";
+    AppendHex(&out, b.sum);
+    out.push_back('/');
+    AppendHex(&out, b.alt);
+    out += "/" + std::to_string(b.rows);
+  }
+  return out.empty() ? "empty" : out;
+}
+
+}  // namespace rollview

@@ -1,0 +1,94 @@
+// Copyright 2026 The rollview Authors.
+//
+// ViewDigest: a cheap, order-independent content digest of a materialized
+// view extent, maintained incrementally alongside the MV and verified by the
+// online scrubber (ivm/scrub.h).
+//
+// The digest is bucketed: every tuple hashes to one of kBuckets buckets
+// (HashTuple modulo kBuckets), and each bucket keeps two independent
+// add-mod-2^64 lanes plus a row-count tally. A tuple with multiplicity c
+// contributes Mix(h) * c to the bucket's lanes, which makes the digest
+// *count-linear*: changing a tuple's multiplicity from c1 to c2 updates the
+// digest with the single term Mix(h) * (c2 - c1), independent of every other
+// row and of application order -- exactly the phi-multiset algebra of the
+// paper's delta tables (a digest of V_b equals the digest of V_a updated by
+// any legal sigma_{a,b} delta, per Def. 4.2). Tuples at multiplicity zero
+// contribute nothing, so erasing a zeroed tuple needs no special casing.
+//
+// Bucketing localizes damage: a scrub pass can verify a sampled subset of
+// buckets, and a mismatch quarantines only the damaged bucket's key range
+// rather than the whole view.
+
+#ifndef ROLLVIEW_IVM_DIGEST_H_
+#define ROLLVIEW_IVM_DIGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ra/net_effect.h"
+#include "schema/tuple.h"
+
+namespace rollview {
+
+class ViewDigest {
+ public:
+  static constexpr uint32_t kBuckets = 16;
+
+  struct Bucket {
+    uint64_t sum = 0;  // sum of Mix1(HashTuple(t)) * count(t), mod 2^64
+    uint64_t alt = 0;  // sum of Mix2(HashTuple(t)) * count(t), mod 2^64
+    int64_t rows = 0;  // sum of count(t): the bucket's multiset size
+
+    friend bool operator==(const Bucket& a, const Bucket& b) {
+      return a.sum == b.sum && a.alt == b.alt && a.rows == b.rows;
+    }
+    friend bool operator!=(const Bucket& a, const Bucket& b) {
+      return !(a == b);
+    }
+  };
+
+  // The bucket a tuple's content belongs to.
+  static uint32_t BucketOf(const Tuple& tuple);
+
+  // Incremental update: tuple's multiplicity changed old_count -> new_count.
+  void Update(const Tuple& tuple, int64_t old_count, int64_t new_count);
+
+  // Full recomputation from a phi contents map.
+  static ViewDigest Compute(const CountMap& contents);
+  // Recomputes only bucket `b` of `contents` (the scrub pass verifies a
+  // sampled bucket without touching the others).
+  static Bucket ComputeBucket(const CountMap& contents, uint32_t b);
+
+  const Bucket& bucket(uint32_t b) const { return buckets_[b % kBuckets]; }
+  // Mutable access for codecs (ivm/checkpoint.cc) reconstituting a digest
+  // from the wire.
+  Bucket& mutable_bucket(uint32_t b) { return buckets_[b % kBuckets]; }
+  // Multiset size summed across buckets (equals the MV's TotalCount when
+  // the digest is intact).
+  int64_t total_rows() const;
+
+  void Clear() { buckets_ = {}; }
+
+  // Corruption drill hook: flips one bit of one bucket's primary lane,
+  // chosen deterministically from `seed`. The scrubber must detect the
+  // tamper and rebuild the digest from verified contents.
+  void FlipBitForTest(uint64_t seed);
+
+  // Short hex rendering ("b3:sum/alt/rows ..."), for logs and errors.
+  std::string ToString() const;
+
+  friend bool operator==(const ViewDigest& a, const ViewDigest& b) {
+    return a.buckets_ == b.buckets_;
+  }
+  friend bool operator!=(const ViewDigest& a, const ViewDigest& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::array<Bucket, kBuckets> buckets_{};
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_DIGEST_H_

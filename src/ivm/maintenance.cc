@@ -90,6 +90,9 @@ MaintenanceService::MaintenanceService(ViewManager* views, View* view,
     checkpointer_ = std::make_unique<CheckpointManager>(views->db(), view,
                                                         copts);
   }
+  if (options_.scrub_every_steps > 0) {
+    scrubber_ = std::make_unique<Scrubber>(views, view, options_.scrub);
+  }
   if (options_.trace_journal_capacity > 0) {
     journal_ =
         std::make_unique<obs::TraceJournal>(options_.trace_journal_capacity);
@@ -199,6 +202,36 @@ Status MaintenanceService::PropagateStep(bool* advanced) {
     }
     return Status::OK();
   }();
+
+  // Scrub cadence: counted over every successful iteration -- advanced or
+  // idle -- so a quiescent system still gets scrubbed. Runs here, on the
+  // thread driving PropagateStep between steps (the WriteViewCheckpoint /
+  // RecoverView threading contract). Scrub errors are recorded for
+  // last_error() and telemetry but never returned as the step's status: a
+  // broken scrub must not take down propagation.
+  if (s.ok() && scrubber_ != nullptr &&
+      ++steps_since_scrub_ >= options_.scrub_every_steps) {
+    steps_since_scrub_ = 0;
+    ScrubOutcome outcome = ScrubOutcome::kClean;
+    Status sc = scrubber_->Pass(&outcome);
+    if (journal_ != nullptr) {
+      // Like cadence checkpoints, a scrub pass gets its own root-level
+      // trace between step traces.
+      propagate_tracer_.BeginStep(obs::SpanKind::kScrub, view_->id,
+                                  view_->name,
+                                  scrubber_->GetStats().passes);
+      propagate_tracer_.Attr(1, "outcome", static_cast<int64_t>(outcome));
+      propagate_tracer_.EndStep(
+          sc.ok() ? obs::StepOutcome::kOk
+                  : (sc.IsTransient() ? obs::StepOutcome::kTransientError
+                                      : obs::StepOutcome::kPermanentError),
+          sc.ok() ? std::string() : sc.ToString());
+    }
+    if (!sc.ok()) {
+      scrub_errors_.fetch_add(1, std::memory_order_relaxed);
+      RecordError(sc, /*terminal=*/false);
+    }
+  }
 
   {
     // Mirror the driver-thread-local propagation stats for cross-thread
@@ -783,6 +816,47 @@ void MaintenanceService::RegisterMetrics(obs::MetricsRegistry* registry) {
     registry->RegisterCounterFn(
         "rollview_checkpoints_total", lv,
         [cp] { return cp->checkpoints_written(); }, owner);
+  }
+
+  // Scrub / quarantine health. The gauge registers regardless of the scrub
+  // cadence: a view can also be quarantined by an out-of-band Scrubber.
+  registry->RegisterGaugeFn(
+      "rollview_view_quarantined", lv,
+      [this] { return static_cast<int64_t>(view_->quarantined() ? 1 : 0); },
+      owner);
+  if (scrubber_ != nullptr) {
+    Scrubber* sc = scrubber_.get();
+    registry->RegisterCounterFn(
+        "rollview_scrub_passes_total", lv,
+        [sc] { return sc->GetStats().passes; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_buckets_checked_total", lv,
+        [sc] { return sc->GetStats().buckets_checked; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_mismatches_total", lv,
+        [sc] { return sc->GetStats().mismatches; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_deep_checks_total", lv,
+        [sc] { return sc->GetStats().deep_checks; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_quarantines_total", lv,
+        [sc] { return sc->GetStats().quarantines; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_repairs_total", {{"view", v}, {"kind", "digest_reset"}},
+        [sc] { return sc->GetStats().digest_resets; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_repairs_total", {{"view", v}, {"kind", "replay"}},
+        [sc] { return sc->GetStats().repairs; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_repairs_total", {{"view", v}, {"kind", "rebuild"}},
+        [sc] { return sc->GetStats().rebuilds; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_repairs_total", {{"view", v}, {"kind", "failed"}},
+        [sc] { return sc->GetStats().repair_failures; }, owner);
+    registry->RegisterCounterFn(
+        "rollview_scrub_errors_total", lv,
+        [this] { return scrub_errors_.load(std::memory_order_relaxed); },
+        owner);
   }
   if (journal_ != nullptr) {
     obs::TraceJournal* j = journal_.get();

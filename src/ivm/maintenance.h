@@ -41,6 +41,7 @@
 #include "ivm/propagate.h"
 #include "ivm/retention.h"
 #include "ivm/rolling.h"
+#include "ivm/scrub.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "storage/lock_manager.h"
@@ -127,6 +128,16 @@ class MaintenanceService {
     // checkpoints; the view still gets one at Materialize and Recover.
     uint64_t checkpoint_every_steps = 0;
 
+    // --- Consistency scrubbing ---
+    // Run one scrub pass (ivm/scrub.h) every N propagate-driver step
+    // iterations -- counted over every iteration, advanced or idle, so an
+    // idle system still gets scrubbed. 0 disables scrubbing. Scrub errors
+    // are recorded (last_error(), metrics, the kScrub trace) but never
+    // propagated as step failures: a broken scrub must not take down
+    // propagation.
+    uint64_t scrub_every_steps = 0;
+    ScrubOptions scrub;
+
     // --- Shedding actions (kAdaptive with a staleness SLO only) ---
     // While shedding: checkpoint cadence is multiplied by this factor
     // (checkpoints are a safety net, not progress) and build-cache
@@ -208,6 +219,8 @@ class MaintenanceService {
   const Applier::Stats& apply_stats() const { return applier_->stats(); }
   // Null unless checkpoint_every_steps > 0.
   CheckpointManager* checkpointer() { return checkpointer_.get(); }
+  // Null unless scrub_every_steps > 0.
+  Scrubber* scrubber() { return scrubber_.get(); }
 
   // Overload control (null / false unless interval_mode == kAdaptive).
   const IntervalController* interval_controller() const {
@@ -291,6 +304,12 @@ class MaintenanceService {
   Status partition_error_;
   std::unique_ptr<Applier> applier_;
   std::unique_ptr<CheckpointManager> checkpointer_;  // propagate-driver only
+  // Online consistency scrubbing (null unless scrub_every_steps > 0).
+  // Driven from PropagateStep on the propagate-driver thread, like the
+  // checkpointer.
+  std::unique_ptr<Scrubber> scrubber_;
+  uint64_t steps_since_scrub_ = 0;        // propagate-driver thread only
+  std::atomic<uint64_t> scrub_errors_{0};
 
   // Overload control (kAdaptive only). The windowed-delta baselines below
   // are touched only on the thread driving PropagateStep (the propagate

@@ -1,12 +1,15 @@
 #include "ivm/materialized_view.h"
 
+#include <iterator>
 #include <mutex>
+#include <utility>
 
 namespace rollview {
 
 void MaterializedView::Replace(CountMap contents, Csn csn) {
   std::unique_lock<std::shared_mutex> lk(latch_);
   map_ = std::move(contents);
+  digest_ = ViewDigest::Compute(map_);
   csn_ = csn;
 }
 
@@ -27,12 +30,17 @@ Status MaterializedView::Merge(const DeltaRows& delta, Csn new_csn) {
     }
   }
   for (const auto& [tuple, count] : net) {
-    auto [it, inserted] = map_.try_emplace(tuple, count);
-    if (!inserted) {
-      it->second += count;
-      if (it->second == 0) map_.erase(it);
-    } else if (count == 0) {
+    if (count == 0) continue;
+    auto it = map_.find(tuple);
+    const int64_t old_count = (it == map_.end()) ? 0 : it->second;
+    const int64_t new_count = old_count + count;
+    digest_.Update(tuple, old_count, new_count);
+    if (new_count == 0) {
       map_.erase(it);
+    } else if (it == map_.end()) {
+      map_.emplace(tuple, new_count);
+    } else {
+      it->second = new_count;
     }
   }
   csn_ = new_csn;
@@ -43,6 +51,33 @@ void MaterializedView::Snapshot(CountMap* contents, Csn* csn) const {
   std::shared_lock<std::shared_mutex> lk(latch_);
   *contents = map_;
   *csn = csn_;
+}
+
+void MaterializedView::SnapshotWithDigest(CountMap* contents, Csn* csn,
+                                          ViewDigest* digest) const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  if (contents != nullptr) *contents = map_;
+  if (csn != nullptr) *csn = csn_;
+  if (digest != nullptr) *digest = digest_;
+}
+
+void MaterializedView::ScrubSnapshot(ViewDigest* recomputed,
+                                     ViewDigest* incremental,
+                                     Csn* csn) const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  if (recomputed != nullptr) *recomputed = ViewDigest::Compute(map_);
+  if (incremental != nullptr) *incremental = digest_;
+  if (csn != nullptr) *csn = csn_;
+}
+
+ViewDigest MaterializedView::digest() const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  return digest_;
+}
+
+void MaterializedView::ResetDigest() {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  digest_ = ViewDigest::Compute(map_);
 }
 
 CountMap MaterializedView::Contents() const {
@@ -70,6 +105,40 @@ int64_t MaterializedView::TotalCount() const {
   int64_t n = 0;
   for (const auto& [tuple, count] : map_) n += count;
   return n;
+}
+
+bool MaterializedView::CorruptRowBit(uint64_t seed) {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  if (map_.empty()) return false;
+  auto it = map_.begin();
+  std::advance(it, static_cast<long>(seed % map_.size()));
+  // Prefer damaging an integer payload cell: the flipped tuple re-keys the
+  // map (possibly colliding with an existing row), exactly what a bit flip
+  // in row storage would do to a hash-organized extent.
+  Tuple tuple = it->first;
+  for (size_t col = 0; col < tuple.size(); ++col) {
+    if (tuple[col].type() != ValueType::kInt64) continue;
+    const int64_t count = it->second;
+    int64_t v = tuple[col].AsInt64();
+    v ^= static_cast<int64_t>(1) << ((seed / 7) % 16);
+    tuple[col] = Value(v);
+    map_.erase(it);
+    auto [slot, inserted] = map_.try_emplace(std::move(tuple), count);
+    if (!inserted) {
+      slot->second += count;
+      if (slot->second == 0) map_.erase(slot);
+    }
+    return true;
+  }
+  // No integer column: flip a low bit of the multiplicity instead.
+  it->second ^= static_cast<int64_t>(1) << (seed % 3);
+  if (it->second == 0) map_.erase(it);
+  return true;
+}
+
+void MaterializedView::TamperDigest(uint64_t seed) {
+  std::unique_lock<std::shared_mutex> lk(latch_);
+  digest_.FlipBitForTest(seed);
 }
 
 }  // namespace rollview

@@ -8,6 +8,14 @@
 // between the apply driver and concurrent view readers is the callers'
 // responsibility (they take the view's named lock through the Db lock
 // manager -- this is the reader/apply contention experiment E5 measures).
+//
+// Alongside the contents the view maintains an incremental ViewDigest
+// (ivm/digest.h): Replace recomputes it, Merge folds every multiplicity
+// change into it under the same latch acquisition, so digest and contents
+// are always mutually consistent. The online scrubber cross-checks the
+// incremental digest against a recompute from the stored contents; the
+// corruption hooks below damage one without the other so drills can prove
+// detection.
 
 #ifndef ROLLVIEW_IVM_MATERIALIZED_VIEW_H_
 #define ROLLVIEW_IVM_MATERIALIZED_VIEW_H_
@@ -16,6 +24,7 @@
 
 #include "common/csn.h"
 #include "common/status.h"
+#include "ivm/digest.h"
 #include "ra/net_effect.h"
 #include "schema/schema.h"
 #include "schema/tuple.h"
@@ -50,16 +59,46 @@ class MaterializedView {
   // separately races with a concurrent apply (contents would reflect a roll
   // the CSN does not, or vice versa).
   void Snapshot(CountMap* contents, Csn* csn) const;
+  // Snapshot plus the incremental digest, all mutually consistent. Null
+  // outputs are skipped.
+  void SnapshotWithDigest(CountMap* contents, Csn* csn,
+                          ViewDigest* digest) const;
+  // The scrubber's clean-pass hot path: recomputes a digest from the
+  // stored contents IN PLACE and copies out the incremental digest and
+  // CSN, all under one latch acquisition -- one scan, no O(n) contents
+  // copy. The two digests disagree iff contents or digest are damaged.
+  void ScrubSnapshot(ViewDigest* recomputed, ViewDigest* incremental,
+                     Csn* csn) const;
+
+  // The incrementally maintained content digest (copy).
+  ViewDigest digest() const;
+  // Rebuilds the digest from the stored contents -- the repair for a
+  // tampered digest whose contents the scrubber has verified good.
+  void ResetDigest();
 
   // Number of distinct tuples.
   size_t cardinality() const;
   // Sum of counts (multiset size).
   int64_t TotalCount() const;
 
+  // --- Corruption drill hooks (scrub tests and FaultInjector call sites) ---
+
+  // Flips one bit of one stored row, chosen deterministically from `seed`,
+  // WITHOUT updating the digest -- models a latent storage bit flip that
+  // only a scrub recompute can expose. Prefers an integer payload column;
+  // falls back to flipping a low bit of the row's count. Returns false when
+  // the view is empty (nothing to corrupt).
+  bool CorruptRowBit(uint64_t seed);
+  // Flips one bit of the incremental digest, leaving the contents intact --
+  // the inverse failure the three-way scrub check must classify as
+  // digest-only damage.
+  void TamperDigest(uint64_t seed);
+
  private:
   Schema schema_;
   mutable std::shared_mutex latch_;
   CountMap map_;
+  ViewDigest digest_;  // guarded by latch_, always consistent with map_
   Csn csn_ = kNullCsn;
 };
 

@@ -1,0 +1,153 @@
+// Copyright 2026 The rollview Authors.
+//
+// Scrubber: online consistency scrubbing and self-healing repair for one
+// materialized view.
+//
+// The MV carries an incrementally maintained content digest (ivm/digest.h)
+// that every Merge/Replace folds in under the MV latch. A scrub pass, run
+// from the propagation driver between steps, cross-checks a sampled set of
+// digest buckets against a recompute from the stored contents -- catching
+// silent damage (bit flips in row storage, a tampered digest) that the
+// transaction machinery cannot see because it never manifests as a failed
+// operation.
+//
+// On mismatch the pass adjudicates WHICH side is damaged with a three-way
+// check against the Def. 4.2 oracle: SnapshotViewState recomputes the view
+// at the MV's materialization time from base-table versions. If the oracle
+// agrees with the stored contents, only the digest was damaged -- rebuild
+// it in place and move on. Otherwise (or when the oracle is unavailable and
+// the check must stay conservative) the view's contents are damaged: the
+// view is quarantined (reads obey DbOptions::quarantine_read_policy) and
+// repaired by replaying the last digest-good checkpoint plus the WAL
+// suffix through ViewManager::RecoverView -- the same machinery crash
+// recovery uses, applied to a live view. Repair is legal at any step
+// boundary, not only settled frontiers: between steps the durable
+// cursor/applied state equals the live state, so Def. 4.2's sub-interval
+// property makes the replayed roll land exactly on the live frontier. If
+// no digest-good checkpoint survives in the log, repair escalates to a
+// full recomputation (ViewManager::Materialize).
+//
+// Threading contract: Pass() and Repair() must run on the thread driving
+// propagation (or while propagation is quiescent) -- the WriteViewCheckpoint
+// contract, inherited through RecoverView. Apply and readers are excluded
+// through the lock manager (S lock for the snapshot, X for the repair), so
+// OLTP wins conflicts exactly as it does against the apply driver.
+
+#ifndef ROLLVIEW_IVM_SCRUB_H_
+#define ROLLVIEW_IVM_SCRUB_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "ivm/digest.h"
+#include "ivm/view_manager.h"
+
+namespace rollview {
+
+// When to run the expensive Def. 4.2 oracle (point-in-time recompute from
+// base-table versions).
+enum class DeepCheckMode : uint8_t {
+  // Never consult the oracle: any digest mismatch conservatively counts as
+  // content damage (quarantine + repair, even if only the digest was bad).
+  kNever = 0,
+  // Consult the oracle only to adjudicate an observed mismatch (default:
+  // steady-state passes stay cheap, the oracle runs only on findings).
+  kOnMismatch = 1,
+  // Consult the oracle on every pass, mismatch or not -- maximal paranoia
+  // for drills and acceptance tests.
+  kAlways = 2,
+};
+
+struct ScrubOptions {
+  // Digest buckets verified per pass, round-robin over ViewDigest::kBuckets.
+  // The full digest is covered every kBuckets/buckets_per_pass passes.
+  uint32_t buckets_per_pass = 4;
+  DeepCheckMode deep_check = DeepCheckMode::kOnMismatch;
+  // Repair in the same pass that detects damage. Off leaves the view
+  // quarantined for a later pass (or an operator) to repair.
+  bool repair = true;
+};
+
+// What one scrub pass concluded. Order matters for "worst outcome" folds.
+enum class ScrubOutcome : uint8_t {
+  kClean = 0,          // sampled buckets verified
+  kDigestRepaired,     // digest damage only: rebuilt from verified contents
+  kRepaired,           // content damage: checkpoint + WAL-suffix replay
+  kRebuilt,            // content damage: full recomputation fallback
+  kQuarantined,        // damage detected, repair disabled or deferred
+  kRepairFailed,       // repair ran and re-verification still fails
+};
+
+const char* ScrubOutcomeName(ScrubOutcome outcome);
+
+struct ScrubStats {
+  uint64_t passes = 0;            // Pass() invocations that ran a check
+  uint64_t buckets_checked = 0;   // sampled bucket verifications
+  uint64_t mismatches = 0;        // digest-vs-contents disagreements seen
+  uint64_t deep_checks = 0;       // oracle recomputations run
+  uint64_t digest_resets = 0;     // digest-only damage repaired in place
+  uint64_t quarantines = 0;       // quarantine transitions entered
+  uint64_t repairs = 0;           // checkpoint + suffix replays that verified
+  uint64_t rebuilds = 0;          // full-recompute escalations that verified
+  uint64_t repair_failures = 0;   // repair attempts that failed to verify
+};
+
+class Scrubber {
+ public:
+  Scrubber(ViewManager* views, View* view, ScrubOptions options)
+      : views_(views), view_(view), options_(options) {}
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  // One scrub pass: snapshot the MV (S lock), verify the next
+  // buckets_per_pass digest buckets, adjudicate and repair any finding per
+  // the options. An already-quarantined view skips detection and goes
+  // straight to repair (a previous pass deferred it, or a repair failed and
+  // is being retried). Returns non-OK only when the pass itself could not
+  // run or repair left the view quarantined -- transient errors (lock
+  // timeouts, injected faults) surface as-is so a supervised caller
+  // retries. `*outcome` (optional) reports what the pass concluded.
+  Status Pass(ScrubOutcome* outcome = nullptr);
+
+  // Forced repair, regardless of current health: X-lock the view, replay
+  // last-good-checkpoint + WAL suffix (RecoverView), escalate to full
+  // recompute if no digest-good checkpoint exists or re-verification
+  // fails, re-verify, and clear the quarantine. Sets `*outcome` to
+  // kRepaired / kRebuilt / kRepairFailed.
+  Status Repair(ScrubOutcome* outcome);
+
+  ScrubStats GetStats() const;
+  View* view() const { return view_; }
+
+ private:
+  // Compares the next sampled buckets (all of them under kAlways) of the
+  // recomputed digest against the incremental one; reports the first
+  // mismatching bucket in *bad_bucket and advances the round-robin cursor.
+  bool SampledBucketsOk(const ViewDigest& recomputed,
+                        const ViewDigest& incremental, uint32_t* bad_bucket);
+  // Runs the Def. 4.2 oracle at `mv_csn`; true when it could run, with
+  // *oracle_digest the digest of the recomputed truth.
+  bool RunDeepCheck(Csn mv_csn, ViewDigest* oracle_digest);
+  // Quarantines + (optionally) repairs after content damage was diagnosed.
+  Status QuarantineAndRepair(uint32_t bucket, const std::string& reason,
+                             ScrubOutcome* outcome);
+  // Post-repair verification: digest-vs-contents plus (when enabled and
+  // available) the oracle.
+  bool VerifyRepaired();
+
+  ViewManager* views_;
+  View* view_;
+  ScrubOptions options_;
+
+  uint32_t bucket_cursor_ = 0;  // round-robin sample position
+
+  mutable std::mutex stats_mu_;
+  ScrubStats stats_;  // guarded by stats_mu_
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_IVM_SCRUB_H_

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "capture/delta_table.h"
@@ -24,6 +25,15 @@
 namespace rollview {
 
 using ViewId = uint32_t;
+
+// Scrub health of one view. Healthy views serve reads normally; quarantined
+// views have a detected content corruption and serve per the Db's
+// QuarantineReadPolicy (fail-fast with a transient error, or knowingly
+// stale) until the scrubber's repair re-verifies them.
+enum class ViewHealth : uint8_t {
+  kHealthy = 0,
+  kQuarantined = 1,
+};
 
 // One remembered forward query (rolling deferred mode): delta interval
 // (lo, hi] and execution time. Kept until fully compensated.
@@ -105,6 +115,41 @@ struct View {
   void ClearCursors() {
     std::lock_guard<std::mutex> lk(cursor_mu);
     cursors_by_partition.clear();
+  }
+
+  // --- Scrub health ------------------------------------------------------
+  //
+  // The health flag is atomic so the read path (harness/mv_reader.cc) can
+  // gate without taking a lock; the bucket/reason details ride under a
+  // mutex because only the scrubber and diagnostics touch them.
+  std::atomic<ViewHealth> scrub_health{ViewHealth::kHealthy};
+  mutable std::mutex quarantine_mu;
+  uint32_t quarantine_bucket = 0;     // guarded by quarantine_mu
+  std::string quarantine_reason;      // guarded by quarantine_mu
+
+  bool quarantined() const {
+    return scrub_health.load(std::memory_order_acquire) ==
+           ViewHealth::kQuarantined;
+  }
+  void Quarantine(uint32_t bucket, std::string reason) {
+    {
+      std::lock_guard<std::mutex> lk(quarantine_mu);
+      quarantine_bucket = bucket;
+      quarantine_reason = std::move(reason);
+    }
+    scrub_health.store(ViewHealth::kQuarantined, std::memory_order_release);
+  }
+  void ClearQuarantine() {
+    scrub_health.store(ViewHealth::kHealthy, std::memory_order_release);
+    std::lock_guard<std::mutex> lk(quarantine_mu);
+    quarantine_bucket = 0;
+    quarantine_reason.clear();
+  }
+  // (bucket, reason) of the active quarantine; meaningful only while
+  // quarantined() holds.
+  std::pair<uint32_t, std::string> quarantine_info() const {
+    std::lock_guard<std::mutex> lk(quarantine_mu);
+    return {quarantine_bucket, quarantine_reason};
   }
 
   Csn high_water_mark() const {

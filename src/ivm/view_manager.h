@@ -52,6 +52,9 @@ class ViewManager {
                                    // checkpoint in the log, or a definition
                                    // mismatch); caller re-Materializes
     size_t checkpoints_seen = 0;
+    size_t checkpoints_corrupt = 0;  // undecodable or digest-failed
+                                     // checkpoints, skipped in favor of an
+                                     // earlier good one
     size_t cursor_records = 0;
     size_t delta_rows_restored = 0;  // checkpoint rows + replayed appends
     size_t rows_discarded = 0;  // committed rows of steps with no durable
@@ -84,6 +87,19 @@ class ViewManager {
   // counted in the report; the caller decides whether to Materialize it.
   Status Recover(const std::vector<WalRecord>& records,
                  RecoveryReport* report = nullptr);
+
+  // Single-view repair: rebuilds ONE live view from its latest digest-good
+  // checkpoint in `records` plus the log suffix -- the scrubber's
+  // self-healing primitive (ivm/scrub.h). Same restore machinery Recover
+  // uses after a crash, applied while the rest of the engine keeps running;
+  // the caller must hold the view's maintenance exclusion (X lock on
+  // mv_lock_resource) and guarantee the propagation driver is between steps,
+  // so live cursor/delta state equals the durable state being replayed.
+  // Returns NotFound when the log holds no usable checkpoint for the view
+  // (the caller escalates to a full Materialize). Clears the view's
+  // quarantine state on success.
+  Status RecoverView(View* view, const std::vector<WalRecord>& records,
+                     RecoveryReport* report = nullptr);
 
   // Largest CSN whose base-delta rows are guaranteed published: capture's
   // high-water mark, or the engine's stable CSN when there is no capture

@@ -24,6 +24,8 @@ const char* SpanKindName(SpanKind kind) {
       return "checkpoint";
     case SpanKind::kApply:
       return "apply";
+    case SpanKind::kScrub:
+      return "scrub";
   }
   return "unknown";
 }

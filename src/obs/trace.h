@@ -44,6 +44,7 @@ enum class SpanKind : uint8_t {
   kWalAppend,     // view-delta buffer append + commit inside a query txn
   kCheckpoint,    // root: a cadence checkpoint after a step
   kApply,         // root: the apply driver rolling the MV forward
+  kScrub,         // root: one scrub pass (digest check, possibly repair)
 };
 
 const char* SpanKindName(SpanKind kind);

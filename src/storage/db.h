@@ -56,6 +56,19 @@ struct TableOptions {
   std::vector<size_t> indexed_columns;
 };
 
+// What a view read does while the scrubber has the view quarantined
+// (ivm/scrub.h detected content corruption and repair has not yet
+// re-verified it).
+enum class QuarantineReadPolicy : uint8_t {
+  // Fail with a transient Busy: readers retry and succeed once repair
+  // clears the quarantine. The default -- never serve known-bad data.
+  kFailFast = 0,
+  // Serve the (possibly damaged) contents anyway: availability over
+  // integrity, for deployments where a stale-or-damaged answer beats an
+  // error.
+  kServeStale = 1,
+};
+
 struct DbOptions {
   LockManager::Options lock_options;
   // When > 0, a transaction holding this many row locks on one table
@@ -73,6 +86,8 @@ struct DbOptions {
   // overlaps log-force latency. Zero (the default) disables it; benches use
   // it to model log-force-bound propagation (EXPERIMENTS.md E13).
   std::chrono::microseconds commit_latency{0};
+  // Read behavior against quarantined views (see enum above).
+  QuarantineReadPolicy quarantine_read_policy = QuarantineReadPolicy::kFailFast;
 };
 
 using TuplePredicate = std::function<bool(const Tuple&)>;
@@ -180,6 +195,7 @@ class Db {
   Wal* wal() { return &wal_; }
   LockManager* lock_manager() { return &lock_manager_; }
   UowTable* uow() { return &uow_; }
+  const DbOptions& options() const { return options_; }
 
   // Deterministic fault injection (common/fault_injector.h): injected
   // commit aborts here, injected Busy in the lock manager, injected WAL

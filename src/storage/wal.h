@@ -64,6 +64,9 @@ struct WalRecord {
     kViewCursor,       // propagation step completed; blob = frontier vectors
     kViewApplied,      // MV rolled forward; blob = applied CSN
     kViewCheckpoint,   // periodic durable snapshot of MV + delta + cursors
+    kViewScrub,        // scrub finding/repair audit record (informational:
+                       // recovery replays state, not scrub history)
+    kViewQuarantine,   // view/bucket quarantine entered or cleared
   };
 
   Kind kind = Kind::kInsert;
@@ -90,7 +93,9 @@ inline bool IsViewRecord(WalRecord::Kind k) {
          k == WalRecord::Kind::kViewDeltaAppend ||
          k == WalRecord::Kind::kViewCursor ||
          k == WalRecord::Kind::kViewApplied ||
-         k == WalRecord::Kind::kViewCheckpoint;
+         k == WalRecord::Kind::kViewCheckpoint ||
+         k == WalRecord::Kind::kViewScrub ||
+         k == WalRecord::Kind::kViewQuarantine;
 }
 
 class Wal {
@@ -101,7 +106,9 @@ class Wal {
   // Deterministic fault injection (common/fault_injector.h). Append sites
   // that can surface an error to a transaction call MaybeInjectWriteError()
   // *before* mutating any state; a non-OK result models a failed log write
-  // and the caller must abort the transaction.
+  // and the caller must abort the transaction. Covers both the legacy
+  // wal_error class and the storage-fault classes (EIO / short write /
+  // ENOSPC), all transient.
   // Atomic so installation from a test/driver thread publishes the fully
   // constructed injector to threads already appending (release/acquire).
   void SetFaultInjector(FaultInjector* injector) {
@@ -109,7 +116,10 @@ class Wal {
   }
   Status MaybeInjectWriteError() {
     FaultInjector* fi = injector_.load(std::memory_order_acquire);
-    return fi == nullptr ? Status::OK() : fi->MaybeWalError();
+    if (fi == nullptr) return Status::OK();
+    Status s = fi->MaybeWalError();
+    if (!s.ok()) return s;
+    return fi->MaybeStorageFault();
   }
 
   // Copies records with LSN >= `from` into `out` (up to `max` records).

@@ -254,6 +254,8 @@ void EncodeWalRecord(const WalRecord& record, std::string* out) {
     case WalRecord::Kind::kViewCursor:
     case WalRecord::Kind::kViewApplied:
     case WalRecord::Kind::kViewCheckpoint:
+    case WalRecord::Kind::kViewScrub:
+    case WalRecord::Kind::kViewQuarantine:
       PutFixed<uint32_t>(&body, record.view);
       PutString(&body, record.blob == nullptr ? std::string() : *record.blob);
       break;
@@ -317,7 +319,9 @@ Result<WalRecord> DecodeWalRecord(const std::string& data, size_t offset,
     case WalRecord::Kind::kViewDeltaAppend:
     case WalRecord::Kind::kViewCursor:
     case WalRecord::Kind::kViewApplied:
-    case WalRecord::Kind::kViewCheckpoint: {
+    case WalRecord::Kind::kViewCheckpoint:
+    case WalRecord::Kind::kViewScrub:
+    case WalRecord::Kind::kViewQuarantine: {
       auto blob = std::make_shared<std::string>();
       if (!GetFixed(data, &pos, &rec.view) ||
           !GetString(data, &pos, blob.get())) {

@@ -110,5 +110,71 @@ TEST(FaultInjectorTest, CaptureLagSpikeSwallowsARunOfPolls) {
   EXPECT_EQ(fi.GetStats().lag_spikes, 2u);
 }
 
+TEST(FaultInjectorTest, StorageFaultClassesAreTransientAndOrdered) {
+  // EIO is checked before short write before ENOSPC; each class surfaces
+  // as a transient Busy naming the failure so supervision logs read true.
+  FaultInjector::Options opts;
+  opts.storage_eio_probability = 1.0;
+  opts.storage_short_write_probability = 1.0;
+  opts.storage_enospc_probability = 1.0;
+  FaultInjector fi(opts);
+  // Unscoped threads are spared, like every other storage fault point
+  // (checked before entering the Scope: scoping is thread-local, not
+  // per-injector).
+  EXPECT_OK(fi.MaybeStorageFault());
+  FaultInjector::Scope scope;
+  Status s = fi.MaybeStorageFault();
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_NE(s.ToString().find("EIO"), std::string::npos) << s.ToString();
+  EXPECT_EQ(fi.GetStats().injected_eio, 1u);
+  EXPECT_EQ(fi.GetStats().injected_short_writes, 0u);
+
+  FaultInjector::Options short_only;
+  short_only.storage_short_write_probability = 1.0;
+  FaultInjector fi2(short_only);
+  s = fi2.MaybeStorageFault();
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_NE(s.ToString().find("short write"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(fi2.GetStats().injected_short_writes, 1u);
+
+  FaultInjector::Options enospc_only;
+  enospc_only.storage_enospc_probability = 1.0;
+  FaultInjector fi3(enospc_only);
+  s = fi3.MaybeStorageFault();
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_NE(s.ToString().find("ENOSPC"), std::string::npos) << s.ToString();
+  EXPECT_EQ(fi3.GetStats().injected_enospc, 1u);
+}
+
+TEST(FaultInjectorTest, CorruptionSeedsAreDeterministic) {
+  // Two injectors under the same seed emit the same corruption schedule
+  // AND the same per-fire corruption seeds, so a drill's damage is exactly
+  // reproducible.
+  FaultInjector::Options opts;
+  opts.seed = 7;
+  opts.mv_corrupt_probability = 0.5;
+  opts.digest_tamper_probability = 0.5;
+  opts.checkpoint_corrupt_probability = 0.5;
+  FaultInjector a(opts), b(opts);
+  FaultInjector::Scope scope;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t sa = 0, sb = 0;
+    EXPECT_EQ(a.MaybeCorruptMvRow(&sa), b.MaybeCorruptMvRow(&sb));
+    EXPECT_EQ(sa, sb);
+    EXPECT_EQ(a.MaybeTamperDigest(&sa), b.MaybeTamperDigest(&sb));
+    EXPECT_EQ(sa, sb);
+    EXPECT_EQ(a.MaybeCorruptCheckpoint(&sa), b.MaybeCorruptCheckpoint(&sb));
+    EXPECT_EQ(sa, sb);
+  }
+  FaultInjector::Stats sa = a.GetStats(), sb = b.GetStats();
+  EXPECT_EQ(sa.injected_mv_corruptions, sb.injected_mv_corruptions);
+  EXPECT_EQ(sa.injected_digest_tampers, sb.injected_digest_tampers);
+  EXPECT_EQ(sa.injected_checkpoint_corruptions,
+            sb.injected_checkpoint_corruptions);
+  EXPECT_GT(sa.injected_mv_corruptions, 0u);
+}
+
 }  // namespace
 }  // namespace rollview

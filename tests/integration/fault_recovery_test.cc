@@ -86,6 +86,12 @@ TEST(FaultRecoveryTest, MaintenanceSurvivesInjectedFaultStorm) {
   // failure between Drain and the assertion.
   fi.set_armed(false);
   ASSERT_OK(service.Drain(env.db()->stable_csn()));
+  // A driver whose last injected fault landed just before the device healed
+  // may still be sleeping out its backoff; health clears on its next (now
+  // clean) step, so give it a bounded window rather than one instant check.
+  for (int i = 0; i < 500 && service.Health() != DriverHealth::kRunning; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_EQ(service.Health(), DriverHealth::kRunning);
   EXPECT_EQ(service.propagate_health(), DriverHealth::kRunning);
   EXPECT_EQ(service.apply_health(), DriverHealth::kRunning);
@@ -110,6 +116,76 @@ TEST(FaultRecoveryTest, MaintenanceSurvivesInjectedFaultStorm) {
   DeltaRows oracle = OracleViewState(env.db(), view, view->mv->csn());
   EXPECT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()))
       << "MV diverges from oracle after fault storm";
+  env.db()->SetFaultInjector(nullptr);
+}
+
+TEST(FaultRecoveryTest, StorageFaultStormDegradesAndRecovers) {
+  // Storage-fault classes (EIO, short write, ENOSPC) on the WAL append and
+  // checkpoint write paths: maintenance must treat every one as transient,
+  // walk through kDegraded, and still converge once the device "heals".
+  TestEnv env;
+  FaultInjector::Options fopts;
+  fopts.seed = 0xe10;
+  fopts.storage_eio_probability = 0.10;
+  fopts.storage_short_write_probability = 0.05;
+  fopts.storage_enospc_probability = 0.05;
+  FaultInjector fi(fopts);
+  env.db()->SetFaultInjector(&fi);
+
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(env.db(), 60, 30, 8, 311));
+  env.CatchUpCapture();
+  ASSERT_OK_AND_ASSIGN(View* view,
+                       env.views()->CreateView("V", workload.ViewDef()));
+  ASSERT_OK(env.views()->Materialize(view));
+  env.StartCapture();
+
+  MaintenanceService::Options mopts;
+  mopts.runner.max_retries = 0;       // every transient reaches the supervisor
+  mopts.degraded_after = 1;           // one streaked failure shows as degraded
+  mopts.target_rows_per_query = 16;
+  mopts.checkpoint_every_steps = 2;   // exercise the checkpoint write path
+  mopts.backoff.initial = std::chrono::microseconds(100);
+  mopts.backoff.max = std::chrono::microseconds(5000);
+  MaintenanceService service(env.views(), view, mopts);
+  service.Start();
+
+  UpdateStream updates(env.db(), workload.RStream(1, 411), 411);
+  Worker::Options wopts;
+  wopts.name = "updater";
+  wopts.target_ops_per_sec = 200.0;
+  Worker updater([&updates] { return updates.RunTransaction(); }, wopts);
+  updater.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_OK(updater.Join());
+
+  // Converge with the storm still blowing, then heal the device and settle.
+  Csn frontier = env.db()->stable_csn();
+  ASSERT_OK(service.Drain(frontier));
+  fi.set_armed(false);
+  ASSERT_OK(service.Drain(env.db()->stable_csn()));
+  // A driver whose last injected fault landed just before the device healed
+  // may still be sleeping out its backoff; health clears on its next (now
+  // clean) step, so give it a bounded window rather than one instant check.
+  for (int i = 0; i < 500 && service.Health() != DriverHealth::kRunning; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(service.Health(), DriverHealth::kRunning);
+  ASSERT_OK(service.Stop());  // no driver died permanently
+
+  // The storm fired across the storage classes and supervision absorbed it.
+  FaultInjector::Stats fs = fi.GetStats();
+  EXPECT_GT(fs.injected_eio + fs.injected_short_writes + fs.injected_enospc,
+            0u);
+  DriverStats ps = service.propagate_driver_stats();
+  DriverStats as = service.apply_driver_stats();
+  EXPECT_GT(ps.transient_errors + as.transient_errors, 0u);
+  EXPECT_GT(ps.recoveries + as.recoveries, 0u);
+  EXPECT_GT(ps.degraded_entries + as.degraded_entries, 0u);
+
+  DeltaRows oracle = OracleViewState(env.db(), view, view->mv->csn());
+  EXPECT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()))
+      << "MV diverges from oracle after storage-fault storm";
   env.db()->SetFaultInjector(nullptr);
 }
 

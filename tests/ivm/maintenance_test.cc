@@ -415,6 +415,56 @@ TEST_F(MaintenanceTest, AdaptiveSheddingPausesRetentionAndRecovers) {
   EXPECT_TRUE(MvMatchesOracle());
 }
 
+TEST_F(MaintenanceTest, DrainCompletesWhileShedding) {
+  // Regression: shedding turns off non-critical work (retention, stretched
+  // checkpoints) but must never gate Drain -- CheckDrainProgress only fails
+  // on kFailed or paused propagation, and a shedding service keeps rolling
+  // strips. Configure the SLO machine so the very first observed window
+  // violates and recovery is unreachable within the test (ok_to_recover
+  // huge), then drain the whole backlog while the posture stays "shedding".
+  MaintenanceService::Options opts;
+  opts.interval_mode = MaintenanceService::Options::IntervalMode::kAdaptive;
+  opts.controller.initial_target_rows = 2;
+  opts.controller.min_target_rows = 2;
+  opts.controller.staleness_slo = 4;
+  opts.controller.violations_to_shed = 1;
+  opts.controller.ok_to_recover = 1000;  // stays shedding for the whole drain
+  opts.checkpoint_every_steps = 2;
+  opts.shedding_checkpoint_stretch = 8;  // stretched cadence, still progresses
+  std::vector<bool> transitions;
+  opts.on_shedding = [&](bool on) { transitions.push_back(on); };
+  MaintenanceService service(env_.views(), view_, opts);
+
+  RunUpdates(30, 17);
+  ASSERT_OK(env_.capture()->WaitForCsn(env_.db()->stable_csn()));
+
+  // Shedding engages only for contention-driven staleness: manufacture one
+  // real OLTP lock wait inside the controller's first observation window.
+  LockManager* lm = env_.db()->lock_manager();
+  ResourceId contended = ResourceId::Named(778);
+  ASSERT_OK(lm->Acquire(990011, contended, LockMode::kX));
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm->Acquire(990012, contended, LockMode::kX).ok());
+    lm->ReleaseAll(990012);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  lm->ReleaseAll(990011);
+  waiter.join();
+
+  Csn target = env_.db()->stable_csn();
+  ASSERT_OK(service.Drain(target));  // must complete despite shedding
+
+  EXPECT_GE(view_->high_water_mark(), target);
+  EXPECT_GE(view_->mv->csn(), target);
+  ASSERT_FALSE(transitions.empty());
+  EXPECT_TRUE(transitions.front());
+  EXPECT_TRUE(service.shedding());  // never recovered -- and never needed to
+  IntervalController::Stats cs = service.interval_controller()->GetStats();
+  EXPECT_GE(cs.shed_entries, 1u);
+  EXPECT_EQ(cs.shed_exits, 0u);
+  EXPECT_TRUE(MvMatchesOracle());
+}
+
 // Standalone (short lock-wait timeout needs its own Db): a propagation step
 // that times out waiting on an OLTP table lock surfaces as transient Busy,
 // is counted, and is retried by the supervisor -- never kFailed, and the

@@ -1,0 +1,368 @@
+// Online consistency scrubbing: the digest algebra (order-independent,
+// count-linear, bucket-localized), clean passes, detection and three-way
+// adjudication of injected damage (MV row bit flips vs digest tampering),
+// the quarantine read policies, and self-healing repair via checkpoint +
+// WAL-suffix replay.
+
+#include "ivm/scrub.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "common/fault_injector.h"
+#include "harness/mv_reader.h"
+#include "ivm/checkpoint.h"
+#include "ivm/digest.h"
+#include "ivm/maintenance.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+Tuple MakeTuple(int64_t a, int64_t b) {
+  return Tuple{Value(a), Value(b)};
+}
+
+std::vector<WalRecord> WalRecordsOfKind(Db* db, WalRecord::Kind kind) {
+  std::vector<WalRecord> all;
+  db->wal()->ReadFrom(0, 1u << 24, &all);
+  std::vector<WalRecord> out;
+  for (WalRecord& rec : all) {
+    if (rec.kind == kind) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<ViewScrubBlob> ScrubBlobs(Db* db) {
+  std::vector<ViewScrubBlob> out;
+  for (const WalRecord& rec :
+       WalRecordsOfKind(db, WalRecord::Kind::kViewScrub)) {
+    ViewScrubBlob blob;
+    EXPECT_TRUE(rec.blob != nullptr && DecodeViewScrubBlob(*rec.blob, &blob));
+    out.push_back(std::move(blob));
+  }
+  return out;
+}
+
+std::vector<ViewQuarantineBlob> QuarantineBlobs(Db* db) {
+  std::vector<ViewQuarantineBlob> out;
+  for (const WalRecord& rec :
+       WalRecordsOfKind(db, WalRecord::Kind::kViewQuarantine)) {
+    ViewQuarantineBlob blob;
+    EXPECT_TRUE(rec.blob != nullptr &&
+                DecodeViewQuarantineBlob(*rec.blob, &blob));
+    out.push_back(std::move(blob));
+  }
+  return out;
+}
+
+// --- Digest algebra ---
+
+TEST(ViewDigestTest, OrderIndependentAndCountLinear) {
+  // Build the same multiset along three different update orders; every
+  // path must land on the same digest, and each must equal the full
+  // recompute -- the phi-multiset algebra of Def. 4.2 restated for digests.
+  CountMap contents;
+  for (int64_t i = 0; i < 40; ++i) contents[MakeTuple(i, i * 7)] = (i % 5) + 1;
+  ViewDigest recompute = ViewDigest::Compute(contents);
+
+  std::vector<std::pair<Tuple, int64_t>> items(contents.begin(),
+                                               contents.end());
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    std::shuffle(items.begin(), items.end(), std::mt19937(seed));
+    ViewDigest d;
+    for (const auto& [tuple, count] : items) {
+      // Count-linear: walk to the final count in two hops.
+      int64_t mid = count / 2;
+      d.Update(tuple, 0, mid);
+      d.Update(tuple, mid, count);
+    }
+    EXPECT_EQ(d, recompute);
+  }
+}
+
+TEST(ViewDigestTest, ZeroCountsVanish) {
+  ViewDigest d;
+  d.Update(MakeTuple(1, 2), 0, 3);
+  d.Update(MakeTuple(4, 5), 0, 1);
+  d.Update(MakeTuple(1, 2), 3, 0);
+  d.Update(MakeTuple(4, 5), 1, 0);
+  EXPECT_EQ(d, ViewDigest{});
+  EXPECT_EQ(d.total_rows(), 0);
+}
+
+TEST(ViewDigestTest, DamageIsBucketLocal) {
+  CountMap contents;
+  for (int64_t i = 0; i < 64; ++i) contents[MakeTuple(i, i)] = 1;
+  ViewDigest before = ViewDigest::Compute(contents);
+
+  Tuple victim = MakeTuple(11, 11);
+  contents[victim] = 2;  // silent multiplicity change
+  ViewDigest after = ViewDigest::Compute(contents);
+
+  uint32_t damaged = ViewDigest::BucketOf(victim);
+  for (uint32_t b = 0; b < ViewDigest::kBuckets; ++b) {
+    if (b == damaged) {
+      EXPECT_NE(before.bucket(b), after.bucket(b));
+    } else {
+      EXPECT_EQ(before.bucket(b), after.bucket(b));
+    }
+  }
+}
+
+TEST(ViewDigestTest, TamperFlipsExactlyOneBucket) {
+  CountMap contents;
+  for (int64_t i = 0; i < 32; ++i) contents[MakeTuple(i, i + 1)] = 1;
+  ViewDigest d = ViewDigest::Compute(contents);
+  ViewDigest pristine = d;
+  d.FlipBitForTest(123);
+  EXPECT_NE(d, pristine);
+  int differing = 0;
+  for (uint32_t b = 0; b < ViewDigest::kBuckets; ++b) {
+    if (d.bucket(b) != pristine.bucket(b)) ++differing;
+  }
+  EXPECT_EQ(differing, 1);
+}
+
+// --- Scrub passes against a live view ---
+
+class ScrubTest : public ::testing::Test {
+ protected:
+  ScrubTest()
+      : env_([] {
+          CaptureOptions copts;
+          copts.truncate_wal = false;  // repair replays the WAL
+          return copts;
+        }()) {}
+
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        workload_, TwoTableWorkload::Create(env_.db(), 60, 30, 8, /*seed=*/5));
+    env_.CatchUpCapture();
+    ASSERT_OK_AND_ASSIGN(view_,
+                         env_.views()->CreateView("V", workload_.ViewDef()));
+    ASSERT_OK(env_.views()->Materialize(view_));
+  }
+
+  // Runs `n` update transactions and drains maintenance to the frontier,
+  // so the view has delta/cursor/applied WAL history past its initial
+  // checkpoint.
+  void Advance(int n, uint64_t seed) {
+    UpdateStream updates(env_.db(), workload_.RStream(1, seed), seed);
+    ASSERT_OK(updates.RunTransactions(n));
+    env_.CatchUpCapture();
+    MaintenanceService::Options mopts;
+    mopts.target_rows_per_query = 8;
+    MaintenanceService service(env_.views(), view_, mopts);
+    ASSERT_OK(service.Drain(env_.db()->stable_csn()));
+    ASSERT_OK(service.Stop());
+  }
+
+  ScrubOptions FullSweep(DeepCheckMode mode = DeepCheckMode::kOnMismatch) {
+    ScrubOptions o;
+    o.buckets_per_pass = ViewDigest::kBuckets;  // one pass covers everything
+    o.deep_check = mode;
+    return o;
+  }
+
+  TestEnv env_;
+  TwoTableWorkload workload_;
+  View* view_ = nullptr;
+};
+
+TEST_F(ScrubTest, CleanPassesStayClean) {
+  Advance(10, 21);
+  Scrubber scrubber(env_.views(), view_, ScrubOptions{});
+  // Four passes at the default 4 buckets/pass cover all 16 buckets.
+  for (int i = 0; i < 4; ++i) {
+    ScrubOutcome outcome = ScrubOutcome::kRepairFailed;
+    ASSERT_OK(scrubber.Pass(&outcome));
+    EXPECT_EQ(outcome, ScrubOutcome::kClean);
+  }
+  ScrubStats stats = scrubber.GetStats();
+  EXPECT_EQ(stats.passes, 4u);
+  EXPECT_EQ(stats.buckets_checked, ViewDigest::kBuckets);
+  EXPECT_EQ(stats.mismatches, 0u);
+  EXPECT_EQ(stats.deep_checks, 0u);
+  EXPECT_EQ(stats.quarantines, 0u);
+  EXPECT_FALSE(view_->quarantined());
+  EXPECT_TRUE(ScrubBlobs(env_.db()).empty());
+}
+
+TEST_F(ScrubTest, DetectsAndRepairsMvRowCorruption) {
+  Advance(12, 22);
+  DeltaRows oracle_before =
+      OracleViewState(env_.db(), view_, view_->mv->csn());
+
+  ASSERT_TRUE(view_->mv->CorruptRowBit(/*seed=*/7));
+  Scrubber scrubber(env_.views(), view_, FullSweep());
+  ScrubOutcome outcome = ScrubOutcome::kClean;
+  ASSERT_OK(scrubber.Pass(&outcome));
+  EXPECT_EQ(outcome, ScrubOutcome::kRepaired);
+
+  // Repaired, verified, quarantine cleared; contents match the oracle.
+  EXPECT_FALSE(view_->quarantined());
+  EXPECT_TRUE(NetEquivalent(oracle_before, view_->mv->AsDeltaRows()));
+  EXPECT_EQ(view_->mv->digest(),
+            ViewDigest::Compute(view_->mv->Contents()));
+
+  ScrubStats stats = scrubber.GetStats();
+  EXPECT_EQ(stats.mismatches, 1u);
+  EXPECT_GE(stats.deep_checks, 1u);
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(stats.repairs, 1u);
+  EXPECT_EQ(stats.digest_resets, 0u);
+  EXPECT_EQ(stats.repair_failures, 0u);
+
+  // Audit trail: mismatch then repaired, quarantine entered then cleared.
+  std::vector<ViewScrubBlob> scrubs = ScrubBlobs(env_.db());
+  ASSERT_EQ(scrubs.size(), 2u);
+  EXPECT_EQ(scrubs[0].outcome, "mismatch");
+  EXPECT_EQ(scrubs[1].outcome, "repaired");
+  EXPECT_EQ(scrubs[0].view_name, "V");
+  std::vector<ViewQuarantineBlob> quarantines = QuarantineBlobs(env_.db());
+  ASSERT_EQ(quarantines.size(), 2u);
+  EXPECT_TRUE(quarantines[0].entered);
+  EXPECT_FALSE(quarantines[1].entered);
+
+  // A follow-up pass is clean.
+  ASSERT_OK(scrubber.Pass(&outcome));
+  EXPECT_EQ(outcome, ScrubOutcome::kClean);
+}
+
+TEST_F(ScrubTest, TamperedDigestIsRepairedInPlace) {
+  Advance(8, 23);
+  CountMap contents_before = view_->mv->Contents();
+
+  view_->mv->TamperDigest(/*seed=*/3);
+  Scrubber scrubber(env_.views(), view_, FullSweep());
+  ScrubOutcome outcome = ScrubOutcome::kClean;
+  ASSERT_OK(scrubber.Pass(&outcome));
+  EXPECT_EQ(outcome, ScrubOutcome::kDigestRepaired);
+
+  // The oracle vouched for the contents: no quarantine, no replay, just a
+  // digest rebuild. Readers never saw damage.
+  EXPECT_FALSE(view_->quarantined());
+  EXPECT_EQ(view_->mv->Contents(), contents_before);
+  EXPECT_EQ(view_->mv->digest(),
+            ViewDigest::Compute(view_->mv->Contents()));
+  ScrubStats stats = scrubber.GetStats();
+  EXPECT_EQ(stats.mismatches, 1u);
+  EXPECT_EQ(stats.digest_resets, 1u);
+  EXPECT_EQ(stats.quarantines, 0u);
+  EXPECT_EQ(stats.repairs, 0u);
+  std::vector<ViewScrubBlob> scrubs = ScrubBlobs(env_.db());
+  ASSERT_EQ(scrubs.size(), 2u);
+  EXPECT_EQ(scrubs[1].outcome, "digest_reset");
+}
+
+TEST_F(ScrubTest, WithoutOracleTamperIsConservativelyRepaired) {
+  Advance(8, 24);
+  view_->mv->TamperDigest(/*seed=*/9);
+  // kNever: no oracle to adjudicate, so even digest-only damage takes the
+  // conservative quarantine + replay path -- correctness over cheapness.
+  Scrubber scrubber(env_.views(), view_, FullSweep(DeepCheckMode::kNever));
+  ScrubOutcome outcome = ScrubOutcome::kClean;
+  ASSERT_OK(scrubber.Pass(&outcome));
+  EXPECT_EQ(outcome, ScrubOutcome::kRepaired);
+  EXPECT_FALSE(view_->quarantined());
+  ScrubStats stats = scrubber.GetStats();
+  EXPECT_EQ(stats.deep_checks, 0u);
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(stats.repairs, 1u);
+  EXPECT_EQ(view_->mv->digest(),
+            ViewDigest::Compute(view_->mv->Contents()));
+}
+
+TEST_F(ScrubTest, QuarantineGatesFailFastReadsUntilRepair) {
+  Advance(8, 25);
+  ASSERT_TRUE(view_->mv->CorruptRowBit(/*seed=*/11));
+
+  // repair=false: detection quarantines and stops.
+  ScrubOptions opts = FullSweep();
+  opts.repair = false;
+  Scrubber scrubber(env_.views(), view_, opts);
+  ScrubOutcome outcome = ScrubOutcome::kClean;
+  ASSERT_OK(scrubber.Pass(&outcome));
+  EXPECT_EQ(outcome, ScrubOutcome::kQuarantined);
+  ASSERT_TRUE(view_->quarantined());
+  auto [bucket, reason] = view_->quarantine_info();
+  EXPECT_FALSE(reason.empty());
+  EXPECT_LT(bucket, ViewDigest::kBuckets);
+
+  // Default policy is fail-fast: reads bounce with a transient Busy.
+  MvReader reader(env_.views(), view_);
+  Status s = reader.ReadOnce();
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(reader.quarantine_rejects(), 1u);
+
+  // A pass on an already-quarantined view goes straight to repair once
+  // repair is enabled.
+  opts.repair = true;
+  Scrubber repairer(env_.views(), view_, opts);
+  ASSERT_OK(repairer.Pass(&outcome));
+  EXPECT_EQ(outcome, ScrubOutcome::kRepaired);
+  EXPECT_FALSE(view_->quarantined());
+  ASSERT_OK(reader.ReadOnce());
+  EXPECT_EQ(reader.quarantine_rejects(), 1u);
+}
+
+TEST(ScrubServeStaleTest, ServeStalePolicyReadsThroughQuarantine) {
+  DbOptions dopts;
+  dopts.quarantine_read_policy = QuarantineReadPolicy::kServeStale;
+  Db db(dopts);
+  CaptureOptions copts;
+  copts.truncate_wal = false;
+  LogCapture capture(&db, copts);
+  ViewManager views(&db, &capture);
+
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(&db, 40, 20, 8, /*seed=*/6));
+  capture.CatchUp();
+  ASSERT_OK_AND_ASSIGN(View* view, views.CreateView("V", workload.ViewDef()));
+  ASSERT_OK(views.Materialize(view));
+
+  view->Quarantine(3, "drill");
+  MvReader reader(&views, view);
+  ASSERT_OK(reader.ReadOnce());  // stale-but-available beats unavailable
+  EXPECT_EQ(reader.quarantine_rejects(), 0u);
+  view->ClearQuarantine();
+}
+
+TEST_F(ScrubTest, RepairSurfacesInjectedStorageFaultsAsTransient) {
+  Advance(8, 26);
+  ASSERT_TRUE(view_->mv->CorruptRowBit(/*seed=*/13));
+  view_->Quarantine(0, "drill: detected by an earlier pass");
+
+  // Every scoped WAL write fails (EIO): the repair's finishing checkpoint
+  // inside RecoverView cannot commit, so the pass must surface a transient
+  // error and KEEP the quarantine -- half-repaired is not repaired.
+  FaultInjector::Options fopts;
+  fopts.seed = 77;
+  fopts.storage_eio_probability = 1.0;
+  FaultInjector fi(fopts);
+  env_.db()->SetFaultInjector(&fi);
+
+  Scrubber scrubber(env_.views(), view_, FullSweep());
+  ScrubOutcome outcome = ScrubOutcome::kClean;
+  Status s = scrubber.Pass(&outcome);  // quarantined: goes straight to repair
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsTransient()) << s.ToString();
+  EXPECT_TRUE(view_->quarantined());
+  EXPECT_GT(fi.GetStats().injected_eio, 0u);
+
+  fi.set_armed(false);
+  ASSERT_OK(scrubber.Pass(&outcome));  // supervised retry: fault cleared
+  EXPECT_EQ(outcome, ScrubOutcome::kRepaired);
+  EXPECT_FALSE(view_->quarantined());
+  EXPECT_TRUE(NetEquivalent(
+      OracleViewState(env_.db(), view_, view_->mv->csn()),
+      view_->mv->AsDeltaRows()));
+  env_.db()->SetFaultInjector(nullptr);
+}
+
+}  // namespace
+}  // namespace rollview

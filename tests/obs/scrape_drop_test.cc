@@ -1,0 +1,81 @@
+// Scrape-vs-drop race surface: a scraper thread (the rollview_inspect /
+// Prometheus endpoint shape -- Snapshot + render, in a loop) hammers a
+// MetricsRegistry while MaintenanceService instances register their ~40
+// callback instruments, run briefly, and tear down (destructor = Stop +
+// DropOwner). Snapshot and DropOwner serialize on the registry mutex, so a
+// sampled callback must never touch a dead service; this test exists to
+// hold that line under TSan (the "obs" + "concurrency" CI labels).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ivm/maintenance.h"
+#include "obs/registry.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+TEST(ScrapeDropTest, ScrapersRaceServiceTeardownSafely) {
+  TestEnv env;
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(env.db(), 40, 20, 8, 901));
+  env.CatchUpCapture();
+  ASSERT_OK_AND_ASSIGN(View* view,
+                       env.views()->CreateView("V", workload.ViewDef()));
+  ASSERT_OK(env.views()->Materialize(view));
+  env.StartCapture();
+
+  obs::MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scrapes{0};
+
+  // Scrapers: full Snapshot + both renderings + a point lookup, flat out.
+  std::vector<std::thread> scrapers;
+  for (int i = 0; i < 3; ++i) {
+    scrapers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::MetricsSnapshot snap = registry.Snapshot();
+        std::string text = snap.ToPrometheusText();
+        std::string json = snap.ToJson();
+        EXPECT_EQ(text.empty(), snap.samples().empty());
+        EXPECT_FALSE(json.empty());
+        snap.CounterTotal("rollview_step_total");
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Churn: build a fully-instrumented service (including scrub metrics),
+  // let it take a few steps, destroy it -- DropOwner racing the scrapers.
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    MaintenanceService::Options mopts;
+    mopts.target_rows_per_query = 16;
+    mopts.checkpoint_every_steps = 2;
+    mopts.scrub_every_steps = 1;
+    mopts.trace_journal_capacity = 16;
+    auto service =
+        std::make_unique<MaintenanceService>(env.views(), view, mopts);
+    service->RegisterMetrics(&registry);
+    service->Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    service.reset();  // Stop() + DropOwner() under the scrape storm
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : scrapers) t.join();
+  EXPECT_GT(scrapes.load(), 0u);
+  // All owners dropped: the registry is empty again and a final snapshot
+  // samples nothing stale.
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_TRUE(registry.Snapshot().samples().empty());
+}
+
+}  // namespace
+}  // namespace rollview
