@@ -18,14 +18,25 @@
 // it, the filtered build is computed once per snapshot and every later
 // query probes only admitted rows, borrowing them zero-copy.
 //
+// Three arms per sweep point:
+//   off       interpreted executor, build cache off (the oldest behavior)
+//   on        interpreted executor, snapshot-keyed build cache on
+//   compiled  compiled delta programs + materialized half-join views for
+//             forward queries (ra/delta_program.h); compensations and the
+//             build cache behave as in `on`
+//
 // Modes:
-//   bench_executor                      full sweep, writes BENCH_executor.json
+//   bench_executor                      full sweep, writes BENCH_executor.json;
+//                                       asserts the compiled arm >= 2x the
+//                                       interpreted cache-on arm at the
+//                                       smallest interval
 //   bench_executor --smoke [baseline]   one sweep point; when a committed
 //                                       BENCH_executor.json path is given,
 //                                       exits nonzero if deterministic
 //                                       counters drift from it or the
-//                                       cache-on speedup floor is missed
-//                                       (the perf-smoke ctest label).
+//                                       cache-on / compiled speedup floors
+//                                       are missed (the perf-smoke ctest
+//                                       label).
 
 #include <cstring>
 #include <fstream>
@@ -63,7 +74,7 @@ SpjViewDef SelectiveViewDef(const TwoTableWorkload& workload) {
 }
 
 struct PointResult {
-  std::string arm;  // "off" | "on"
+  std::string arm;  // "off" | "on" | "compiled"
   Csn interval = 0;
   // Every counter below is read back out of the registry snapshot -- the
   // one serializer path shared by all benches -- not from bespoke stats
@@ -82,10 +93,26 @@ struct PointResult {
   uint64_t cache_misses = 0;
   double build_ms = 0;
   double exec_q_us = 0;  // mean time inside JoinExecutor::Execute per query
+  uint64_t compiled_queries = 0;
+  uint64_t hj_hits = 0;
+  uint64_t hj_misses = 0;
 };
 
+struct ArmConfig {
+  const char* name;
+  bool cache_on;
+  bool compiled;
+};
+constexpr ArmConfig kArms[] = {
+    {"off", false, false},
+    {"on", true, false},
+    {"compiled", true, true},
+};
+constexpr int kNumArms = 3;
+
 PointResult RunPoint(Env* env, const TwoTableWorkload& workload, Csn t0,
-                     Csn t_end, Csn interval, bool cache_on, int point_id) {
+                     Csn t_end, Csn interval, const ArmConfig& arm,
+                     int point_id) {
   // Each sweep point starts cold so points (and the smoke subset) are
   // self-contained and exactly reproducible.
   if (env->db.build_cache() != nullptr) env->db.build_cache()->Clear();
@@ -98,7 +125,8 @@ PointResult RunPoint(Env* env, const TwoTableWorkload& workload, Csn t0,
   view->delta_hwm.store(t0);
 
   PropagatorOptions opts;
-  opts.runner.use_build_cache = cache_on;
+  opts.runner.use_build_cache = arm.cache_on;
+  opts.runner.use_compiled_programs = arm.compiled;
   Propagator prop(&env->views, view,
                   std::make_unique<FixedInterval>(interval), opts);
   Stopwatch total;
@@ -107,7 +135,7 @@ PointResult RunPoint(Env* env, const TwoTableWorkload& workload, Csn t0,
   }
 
   PointResult res;
-  res.arm = cache_on ? "on" : "off";
+  res.arm = arm.name;
   res.interval = interval;
   res.total_ms = total.ElapsedMillis();
   res.view_name = view->name;
@@ -155,6 +183,12 @@ PointResult RunPoint(Env* env, const TwoTableWorkload& workload, Csn t0,
           : static_cast<double>(
                 snap.CounterValue("rollview_exec_nanos_total", v)) /
                 1e3 / static_cast<double>(res.queries);
+  res.compiled_queries =
+      snap.CounterValue("rollview_compiled_queries_total", v);
+  res.hj_hits = snap.CounterValue("rollview_half_join_probes_total",
+                                  with({{"outcome", "hit"}}));
+  res.hj_misses = snap.CounterValue("rollview_half_join_probes_total",
+                                    with({{"outcome", "miss"}}));
   return res;
 }
 
@@ -254,6 +288,9 @@ bool CheckAgainstBaseline(const std::vector<BaselineRow>& baseline,
   expect_int("rows_borrowed", res.rows_borrowed);
   expect_int("cache_hits", res.cache_hits);
   expect_int("cache_misses", res.cache_misses);
+  expect_int("compiled_queries", res.compiled_queries);
+  expect_int("hj_hits", res.hj_hits);
+  expect_int("hj_misses", res.hj_misses);
   return ok;
 }
 
@@ -302,8 +339,8 @@ int Main(int argc, char** argv) {
             : std::vector<Csn>{Csn(4), Csn(64), t_end - t0};
 
   TablePrinter table({"arm", "interval", "queries", "mean_q_us", "exec_q_us",
-                      "rows_cp", "rows_bw", "hits", "misses", "build_ms",
-                      "total_ms"});
+                      "rows_cp", "rows_bw", "hits", "misses", "hj_hits",
+                      "build_ms", "total_ms"});
   table.PrintHeader();
 
   JsonReport report("executor");
@@ -311,19 +348,19 @@ int Main(int argc, char** argv) {
   int point_id = 0;
   const int reps = smoke ? 3 : 5;
   for (Csn interval : intervals) {
-    // Wall times are best-of-`reps`, with the arms interleaved off/on per
+    // Wall times are best-of-`reps`, with the arm order rotated per
     // repetition so machine drift (thermal, other tenants) cancels instead
     // of biasing whichever arm runs later. Counters are deterministic and
     // asserted identical across repetitions.
-    std::vector<PointResult> best(2);
+    std::vector<PointResult> best(kNumArms);
     for (int rep = 0; rep < reps; ++rep) {
-      for (int pos = 0; pos < 2; ++pos) {
-        // Alternate which arm goes first: the engine accumulates state (WAL,
-        // view deltas) across runs, so a fixed order would bias the second
-        // position.
-        int arm = (rep % 2 == 0) ? pos : 1 - pos;
+      for (int pos = 0; pos < kNumArms; ++pos) {
+        // Rotate which arm goes first: the engine accumulates state (WAL,
+        // view deltas) across runs, so a fixed order would bias the later
+        // positions.
+        int arm = (pos + rep) % kNumArms;
         PointResult res = RunPoint(&env, workload, t0, t_end, interval,
-                                   arm == 1, point_id++);
+                                   kArms[arm], point_id++);
         if (rep == 0) {
           best[arm] = std::move(res);
           continue;
@@ -331,7 +368,9 @@ int Main(int argc, char** argv) {
         if (res.queries != best[arm].queries ||
             res.rows_out != best[arm].rows_out ||
             res.rows_copied != best[arm].rows_copied ||
-            res.cache_hits != best[arm].cache_hits) {
+            res.cache_hits != best[arm].cache_hits ||
+            res.compiled_queries != best[arm].compiled_queries ||
+            res.hj_hits != best[arm].hj_hits) {
           std::fprintf(stderr, "FAIL: nondeterministic counters across reps "
                                "(arm=%s interval=%llu)\n",
                        res.arm.c_str(),
@@ -346,7 +385,8 @@ int Main(int argc, char** argv) {
                       Fmt(res.mean_q_us, 1), Fmt(res.exec_q_us, 1),
                       FmtInt(res.rows_copied), FmtInt(res.rows_borrowed),
                       FmtInt(res.cache_hits), FmtInt(res.cache_misses),
-                      Fmt(res.build_ms), Fmt(res.total_ms)});
+                      FmtInt(res.hj_hits), Fmt(res.build_ms),
+                      Fmt(res.total_ms)});
       report.BeginRow();
       RegistryRowEmitter emit(&report, &res.snapshot);
       const obs::Labels v{{"view", res.view_name}};
@@ -374,25 +414,52 @@ int Main(int argc, char** argv) {
       emit.Counter("cache_misses", "rollview_build_cache_queries_total",
                    {{"view", res.view_name}, {"outcome", "miss"}});
       emit.Num("build_ms", res.build_ms);
+      emit.Counter("compiled_queries", "rollview_compiled_queries_total", v);
+      emit.Counter("compiled_probe_rows", "rollview_compiled_probe_rows_total",
+                   v);
+      emit.Counter("compiled_kernel_evals",
+                   "rollview_compiled_kernel_evals_total", v);
+      emit.Counter("hj_hits", "rollview_half_join_probes_total",
+                   {{"view", res.view_name}, {"outcome", "hit"}});
+      emit.Counter("hj_misses", "rollview_half_join_probes_total",
+                   {{"view", res.view_name}, {"outcome", "miss"}});
+      emit.Counter("hj_advances", "rollview_half_join_maintenance_total",
+                   {{"view", res.view_name}, {"kind", "advance"}});
+      emit.Counter("hj_rebuilds", "rollview_half_join_maintenance_total",
+                   {{"view", res.view_name}, {"kind", "rebuild"}});
       results.push_back(std::move(res));
     }
   }
 
   bool ok = true;
   std::printf("\n");
-  for (size_t i = 0; i + 1 < results.size(); i += 2) {
+  for (size_t i = 0; i + kNumArms - 1 < results.size(); i += kNumArms) {
     const PointResult& off = results[i];
     const PointResult& on = results[i + 1];
+    const PointResult& compiled = results[i + 2];
     double speedup = on.mean_q_us > 0 ? off.mean_q_us / on.mean_q_us : 0;
     std::printf("interval %-6llu per-query speedup (cache on vs off): "
                 "%.2fx  (%.1fus -> %.1fus)\n",
                 static_cast<unsigned long long>(off.interval), speedup,
                 off.mean_q_us, on.mean_q_us);
-    if (off.rows_out != on.rows_out) {
+    double cspeed = compiled.mean_q_us > 0
+                        ? on.mean_q_us / compiled.mean_q_us
+                        : 0;
+    std::printf("interval %-6llu per-query speedup (compiled vs interpreted):"
+                " %.2fx  (%.1fus -> %.1fus)\n",
+                static_cast<unsigned long long>(off.interval), cspeed,
+                on.mean_q_us, compiled.mean_q_us);
+    if (off.rows_out != on.rows_out || on.rows_out != compiled.rows_out) {
       std::fprintf(stderr,
-                   "FAIL: cache changed results (rows_out %llu vs %llu)\n",
+                   "FAIL: arms disagree (rows_out %llu / %llu / %llu)\n",
                    static_cast<unsigned long long>(off.rows_out),
-                   static_cast<unsigned long long>(on.rows_out));
+                   static_cast<unsigned long long>(on.rows_out),
+                   static_cast<unsigned long long>(compiled.rows_out));
+      ok = false;
+    }
+    if (compiled.compiled_queries == 0) {
+      std::fprintf(stderr,
+                   "FAIL: compiled arm never took the compiled path\n");
       ok = false;
     }
     if (smoke && speedup < 1.1) {
@@ -400,6 +467,21 @@ int Main(int argc, char** argv) {
       // the headline >= 2x number lives.
       std::fprintf(stderr, "SMOKE FAIL: speedup %.2fx below 1.1x floor\n",
                    speedup);
+      ok = false;
+    }
+    if (smoke && cspeed < 1.3) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: compiled speedup %.2fx below 1.3x floor\n",
+                   cspeed);
+      ok = false;
+    }
+    if (!smoke && i == 0 && cspeed < 2.0) {
+      // The headline acceptance number: compiled >= 2x interpreted at the
+      // smallest interval, where per-query fixed costs dominate.
+      std::fprintf(stderr,
+                   "FAIL: compiled speedup %.2fx below 2.0x at the smallest "
+                   "interval\n",
+                   cspeed);
       ok = false;
     }
   }

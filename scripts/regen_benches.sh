@@ -6,10 +6,12 @@
 #   scripts/regen_benches.sh [build_dir]
 #
 # The perf-smoke ctest label (bench_executor_smoke) compares deterministic
-# counters against the committed BENCH_executor.json and enforces a wide
-# wall-clock floor on the cache-on speedup, so rerun this script -- on a
-# quiet machine -- whenever an intentional change shifts those counters,
-# then commit the refreshed JSON together with the change.
+# counters against the committed BENCH_executor.json and enforces wide
+# wall-clock floors on the cache-on and compiled-program speedups, so rerun
+# this script -- on a quiet machine -- whenever an intentional change
+# shifts those counters, then commit the refreshed JSON together with the
+# change. The full (non-smoke) bench_executor additionally asserts the
+# compiled arm's >= 2x speedup at E11's smallest interval.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Drive the sanitizer presets over the robustness-critical ctest labels:
 #
-#   tsan   -> scrub + concurrency + parallel   (races in scrub-vs-apply
-#             locking, scrape-vs-drop teardown, partition strip barriers)
-#   asan   -> scrub + recovery                 (WAL replay, checkpoint
-#             decode, repair escalation memory safety)
-#   ubsan  -> scrub + recovery + parallel      (digest mixing arithmetic,
-#             cursor folding, partition math)
+#   tsan   -> scrub + concurrency + parallel + compiled   (races in
+#             scrub-vs-apply locking, scrape-vs-drop teardown, partition
+#             strip barriers, half-join probe-vs-advance latching)
+#   asan   -> scrub + recovery + compiled      (WAL replay, checkpoint
+#             decode, repair escalation, half-join rebuild memory safety)
+#   ubsan  -> scrub + recovery + parallel + compiled   (digest mixing
+#             arithmetic, cursor folding, partition math, flat-kernel
+#             address arithmetic)
 #
 #   scripts/run_sanitizers.sh [tsan|asan|ubsan]...
 #
@@ -26,9 +28,9 @@ fi
 
 labels_for() {
   case "$1" in
-    tsan)  echo "scrub|concurrency|parallel" ;;
-    asan)  echo "scrub|recovery" ;;
-    ubsan) echo "scrub|recovery|parallel" ;;
+    tsan)  echo "scrub|concurrency|parallel|compiled" ;;
+    asan)  echo "scrub|recovery|compiled" ;;
+    ubsan) echo "scrub|recovery|parallel|compiled" ;;
     *)
       echo "unknown sanitizer '$1' (expected tsan, asan or ubsan)" >&2
       return 1

@@ -50,6 +50,13 @@ struct RunnerOptions {
   // of successive steps -- share one build per table. Off forces the
   // uncached scan/probe paths (the cache-off arm of bench_executor).
   bool use_build_cache = true;
+  // Dispatch single-delta-term forward queries through the view's compiled
+  // delta programs (ra/delta_program.h) when the view has them
+  // (DbOptions::compile_delta_programs). Compensation queries and
+  // uncompiled terms always run interpreted; any compiled-path failure
+  // falls back to the interpreted executor within the same transaction.
+  // Off forces the interpreted path (the interpreted arm of bench_executor).
+  bool use_compiled_programs = true;
 };
 
 struct RunnerStats {

@@ -1,0 +1,60 @@
+#include "ra/compiled_pred.h"
+
+#include <utility>
+
+namespace rollview {
+
+void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == Expr::Kind::kAnd) {
+    CollectConjuncts(e->lhs(), out);
+    CollectConjuncts(e->rhs(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+ExprPtr AndTogether(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return Expr::And(std::move(a), std::move(b));
+}
+
+Expr::CmpOp MirrorCmp(Expr::CmpOp op) {
+  switch (op) {
+    case Expr::CmpOp::kLt: return Expr::CmpOp::kGt;
+    case Expr::CmpOp::kLe: return Expr::CmpOp::kGe;
+    case Expr::CmpOp::kGt: return Expr::CmpOp::kLt;
+    case Expr::CmpOp::kGe: return Expr::CmpOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+CompiledPred CompilePred(const ExprPtr& pred) {
+  CompiledPred out;
+  if (pred == nullptr) return out;
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(pred, &conjuncts);
+  for (ExprPtr& c : conjuncts) {
+    if (c->kind() == Expr::Kind::kCompare) {
+      const ExprPtr& l = c->lhs();
+      const ExprPtr& r = c->rhs();
+      if (l->kind() == Expr::Kind::kColumn &&
+          r->kind() == Expr::Kind::kLiteral) {
+        out.simple.push_back(
+            CompiledPred::Simple{l->column_index(), c->cmp_op(), r->literal()});
+        continue;
+      }
+      if (l->kind() == Expr::Kind::kLiteral &&
+          r->kind() == Expr::Kind::kColumn) {
+        out.simple.push_back(CompiledPred::Simple{
+            r->column_index(), MirrorCmp(c->cmp_op()), l->literal()});
+        continue;
+      }
+    }
+    out.rest = AndTogether(std::move(out.rest), std::move(c));
+  }
+  return out;
+}
+
+}  // namespace rollview

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/csn.h"
+#include "ra/compiled_pred.h"
 
 namespace rollview {
 
@@ -83,95 +84,6 @@ class PartialSet {
   std::vector<int64_t> counts_;
   std::vector<Csn> tss_;
 };
-
-// Flattens a conjunction tree into its conjuncts.
-void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
-  if (e == nullptr) return;
-  if (e->kind() == Expr::Kind::kAnd) {
-    CollectConjuncts(e->lhs(), out);
-    CollectConjuncts(e->rhs(), out);
-  } else {
-    out->push_back(e);
-  }
-}
-
-ExprPtr AndTogether(ExprPtr a, ExprPtr b) {
-  if (a == nullptr) return b;
-  if (b == nullptr) return a;
-  return Expr::And(std::move(a), std::move(b));
-}
-
-// A pushed-down term predicate, flattened for per-row evaluation. Conjuncts
-// of the shape `Column <op> Literal` (or mirrored) run as direct Value
-// comparisons -- no Expr-tree recursion, no per-row Value copies -- which
-// matters because this runs on every raw row of every delta range a query
-// materializes. Anything else falls back to the Expr interpreter.
-struct CompiledPred {
-  struct Simple {
-    size_t col;
-    Expr::CmpOp op;
-    Value lit;
-  };
-  std::vector<Simple> simple;
-  ExprPtr rest;  // conjuncts the fast path cannot represent (may be null)
-
-  bool empty() const { return simple.empty() && rest == nullptr; }
-
-  bool Admits(const Tuple& t) const {
-    for (const Simple& s : simple) {
-      const Value& v = t[s.col];
-      if (v.is_null()) return false;
-      bool r = false;
-      switch (s.op) {
-        case Expr::CmpOp::kEq: r = (v == s.lit); break;
-        case Expr::CmpOp::kNe: r = (v != s.lit); break;
-        case Expr::CmpOp::kLt: r = (v < s.lit); break;
-        case Expr::CmpOp::kLe: r = (v <= s.lit); break;
-        case Expr::CmpOp::kGt: r = (v > s.lit); break;
-        case Expr::CmpOp::kGe: r = (v >= s.lit); break;
-      }
-      if (!r) return false;
-    }
-    return rest == nullptr || rest->EvalBool(t);
-  }
-};
-
-Expr::CmpOp MirrorCmp(Expr::CmpOp op) {
-  switch (op) {
-    case Expr::CmpOp::kLt: return Expr::CmpOp::kGt;
-    case Expr::CmpOp::kLe: return Expr::CmpOp::kGe;
-    case Expr::CmpOp::kGt: return Expr::CmpOp::kLt;
-    case Expr::CmpOp::kGe: return Expr::CmpOp::kLe;
-    default: return op;  // kEq / kNe are symmetric
-  }
-}
-
-CompiledPred CompilePred(const ExprPtr& pred) {
-  CompiledPred out;
-  if (pred == nullptr) return out;
-  std::vector<ExprPtr> conjuncts;
-  CollectConjuncts(pred, &conjuncts);
-  for (ExprPtr& c : conjuncts) {
-    if (c->kind() == Expr::Kind::kCompare) {
-      const ExprPtr& l = c->lhs();
-      const ExprPtr& r = c->rhs();
-      if (l->kind() == Expr::Kind::kColumn &&
-          r->kind() == Expr::Kind::kLiteral) {
-        out.simple.push_back(
-            CompiledPred::Simple{l->column_index(), c->cmp_op(), r->literal()});
-        continue;
-      }
-      if (l->kind() == Expr::Kind::kLiteral &&
-          r->kind() == Expr::Kind::kColumn) {
-        out.simple.push_back(CompiledPred::Simple{
-            r->column_index(), MirrorCmp(c->cmp_op()), l->literal()});
-        continue;
-      }
-    }
-    out.rest = AndTogether(std::move(out.rest), std::move(c));
-  }
-  return out;
-}
 
 }  // namespace
 

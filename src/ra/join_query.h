@@ -109,6 +109,17 @@ struct ExecStats {
   // Wall time inside JoinExecutor::Execute (includes build_nanos), so
   // callers can split executor cost from transaction/WAL/capture overhead.
   uint64_t exec_nanos = 0;
+  // Compiled delta-program path (ra/delta_program.h). A compiled forward
+  // query probes materialized half-join views instead of re-joining terms;
+  // these split its work from the interpreted executor's.
+  uint64_t compiled_queries = 0;      // ViewPrograms::ExecuteForward calls
+  uint64_t compiled_probe_rows = 0;   // delta rows driven through programs
+  uint64_t compiled_kernel_evals = 0;  // flat-kernel match combinations
+  uint64_t half_join_hits = 0;        // half-join index probes that matched
+  uint64_t half_join_misses = 0;      // ... that found no bucket
+  uint64_t half_join_advances = 0;    // incremental half-join maintenances
+  uint64_t half_join_advance_rows = 0;  // signed rows applied by advances
+  uint64_t half_join_rebuilds = 0;    // full snapshot rebuilds
 
   void Add(const ExecStats& o) {
     input_rows += o.input_rows;
@@ -124,6 +135,14 @@ struct ExecStats {
     build_cache_misses += o.build_cache_misses;
     build_nanos += o.build_nanos;
     exec_nanos += o.exec_nanos;
+    compiled_queries += o.compiled_queries;
+    compiled_probe_rows += o.compiled_probe_rows;
+    compiled_kernel_evals += o.compiled_kernel_evals;
+    half_join_hits += o.half_join_hits;
+    half_join_misses += o.half_join_misses;
+    half_join_advances += o.half_join_advances;
+    half_join_advance_rows += o.half_join_advance_rows;
+    half_join_rebuilds += o.half_join_rebuilds;
   }
 };
 

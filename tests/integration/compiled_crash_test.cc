@@ -1,0 +1,248 @@
+// Copyright 2026 The rollview Authors.
+//
+// Crash consistency of the compiled delta programs' auxiliary half-join
+// views. Half-join state is volatile and DERIVED: it is never checkpointed,
+// so every crash image by construction captures the state "between the
+// main-view apply and the half-join apply" -- the WAL holds the view's
+// committed strips while the auxiliary indexes are simply gone. Recovery
+// must (a) recompile the programs at view re-registration, (b) reset any
+// derived state (ViewManager::Recover calls ViewPrograms::Reset), and
+// (c) let the first compiled forward query rebuild each half-join view from
+// base-table snapshots at exactly the state the main view's high-water mark
+// implies -- proven here by resuming compiled maintenance after seeded
+// crash points and checking the MV against from-scratch recomputation plus
+// the Definition 4.2 timed-delta windows.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/rng.h"
+#include "harness/crash_harness.h"
+#include "ivm/maintenance.h"
+#include "ra/delta_program.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+struct CompiledHistory {
+  std::unique_ptr<TestEnv> env;
+  TwoTableWorkload workload;
+  View* view = nullptr;
+  // Seeded crash images taken between a completed drain (main-view strips
+  // durable in the WAL) and the next round's half-join maintenance.
+  std::vector<std::string> snapshots;
+  std::string final_wal;
+  Csn frontier = kNullCsn;
+};
+
+CompiledHistory BuildCompiledHistory(uint64_t seed) {
+  CompiledHistory h;
+  CaptureOptions copts;
+  copts.truncate_wal = false;
+  h.env = std::make_unique<TestEnv>(copts);
+  Db* db = h.env->db();
+
+  auto workload = TwoTableWorkload::Create(db, 60, 40, 8, seed);
+  EXPECT_TRUE(workload.ok());
+  h.workload = workload.value();
+  h.env->CatchUpCapture();
+  auto view = h.env->views()->CreateView("V", h.workload.ViewDef());
+  EXPECT_TRUE(view.ok());
+  h.view = view.value();
+  EXPECT_TRUE(h.env->views()->Materialize(h.view).ok());
+  EXPECT_NE(h.view->programs, nullptr);
+  EXPECT_EQ(h.view->programs->num_compiled(), 2u);
+
+  MaintenanceService::Options mopts;
+  mopts.checkpoint_every_steps = 3;
+  mopts.target_rows_per_query = 6;
+  mopts.apply_continuously = true;
+  mopts.prune_view_delta = false;
+  MaintenanceService service(h.env->views(), h.view, mopts);
+
+  FaultInjector::Options fopts;
+  fopts.seed = seed ^ 0x48414C46;  // "HALF"
+  fopts.crash_probability = 0.5;
+  FaultInjector fi(fopts);
+
+  UpdateStream r_updates(db, h.workload.RStream(1, seed + 1), seed + 1);
+  UpdateStream s_updates(db, h.workload.SStream(2, seed + 2), seed + 2);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_TRUE(r_updates.RunTransactions(3).ok());
+    EXPECT_TRUE(s_updates.RunTransactions(2).ok());
+    h.env->CatchUpCapture();
+    EXPECT_TRUE(service.Drain(db->stable_csn()).ok());
+    if (fi.MaybeCrashPoint()) {
+      h.snapshots.push_back(SnapshotEncodedWal(db));
+    }
+  }
+  // The compiled path must actually have run during the history (the
+  // half-joins are resident), or this file proves nothing.
+  EXPECT_GT(h.view->programs->half_join_rows(), 0u);
+  h.frontier = h.view->high_water_mark();
+  h.final_wal = SnapshotEncodedWal(db);
+  return h;
+}
+
+// Recovers `damaged`, verifies the derived half-join state was reset and
+// is rebuilt by resumed COMPILED maintenance to a view identical to
+// recomputation. Returns false only when the cut predates the base tables.
+bool RecoverAndVerifyCompiled(const CompiledHistory& h,
+                              const std::string& damaged, bool deep,
+                              uint64_t seed) {
+  auto recovered = CrashAndRecover(damaged, {{"V", h.workload.ViewDef()}});
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+  if (!recovered.ok()) return true;
+  RecoveredSystem sys = std::move(recovered).value();
+
+  View* view = sys.views->Find("V");
+  if (view == nullptr) {
+    EXPECT_FALSE(sys.unregistered_views.empty());
+    return false;
+  }
+  // Programs are recompiled at re-registration (definitions live in code);
+  // the half-join state starts EMPTY -- nothing derived survives a crash,
+  // whether or not a checkpoint did.
+  EXPECT_NE(view->programs, nullptr);
+  EXPECT_EQ(view->programs->num_compiled(), 2u);
+  EXPECT_EQ(view->programs->half_join_rows(), 0u)
+      << "derived half-join state must not be restored from the log";
+  if (sys.report.views_recovered == 0) {
+    EXPECT_TRUE(sys.views->Materialize(view).ok());
+    EXPECT_EQ(view->programs->half_join_rows(), 0u);  // Reset on rebuild
+  }
+
+  // Resume maintenance on the compiled path (the default), push fresh
+  // updates through it, and drain: the first forward query per term
+  // rebuilds its half-joins from snapshots at the lock-frozen state --
+  // which must line up exactly with the main view's recovered hwm, or the
+  // oracle comparison below breaks.
+  MaintenanceService::Options mopts;
+  mopts.checkpoint_every_steps = 3;
+  mopts.target_rows_per_query = 6;
+  mopts.apply_continuously = true;
+  mopts.prune_view_delta = false;
+  MaintenanceService service(sys.views.get(), view, mopts);
+
+  UpdateStream r_fresh(sys.db.get(), h.workload.RStream(5, seed), seed);
+  UpdateStream s_fresh(sys.db.get(), h.workload.SStream(6, seed + 1),
+                       seed + 1);
+  EXPECT_TRUE(r_fresh.RunTransactions(4).ok());
+  EXPECT_TRUE(s_fresh.RunTransactions(2).ok());
+  sys.capture->CatchUp();
+  Csn frontier = sys.db->stable_csn();
+  EXPECT_TRUE(service.Drain(frontier).ok());
+  EXPECT_GE(view->high_water_mark(), frontier);
+  EXPECT_GE(view->mv->csn(), frontier);
+
+  // The compiled path ran post-recovery: the half-joins are resident again.
+  EXPECT_GT(view->programs->half_join_rows(), 0u)
+      << "resumed maintenance did not rebuild the half-join views";
+
+  DeltaRows oracle = OracleViewState(sys.db.get(), view, view->mv->csn());
+  EXPECT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()))
+      << "recovered+resumed compiled MV diverges from recomputation";
+
+  if (deep) {
+    Csn from = view->propagate_from.load(std::memory_order_acquire);
+    Csn to = view->high_water_mark();
+    if (to > from) {
+      EXPECT_TRUE(CheckTimedDeltaSweep(sys.db.get(), view, from, to,
+                                       std::max<Csn>(1, (to - from) / 7)));
+    }
+  }
+  return true;
+}
+
+class CompiledCrashTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    history_ = new CompiledHistory(BuildCompiledHistory(0x4A4F494E));
+  }
+  static void TearDownTestSuite() {
+    delete history_;
+    history_ = nullptr;
+  }
+  static CompiledHistory* history_;
+};
+
+CompiledHistory* CompiledCrashTest::history_ = nullptr;
+
+// The seeded schedule: every image was taken right after a drain committed
+// main-view strips -- the exact "between main-view apply and half-join
+// apply" window, since the half-joins are volatile. Each must recover to a
+// view identical to recomputation with the half-joins rebuilt at the hwm.
+TEST_F(CompiledCrashTest, SeededCrashPointsRebuildHalfJoinsAtHwm) {
+  const CompiledHistory& h = *history_;
+  ASSERT_GE(h.snapshots.size(), 2u) << "crash schedule fired too rarely";
+  for (size_t i = 0; i < h.snapshots.size(); ++i) {
+    SCOPED_TRACE("seeded crash point " + std::to_string(i));
+    EXPECT_TRUE(RecoverAndVerifyCompiled(h, h.snapshots[i], /*deep=*/i == 0,
+                                         /*seed=*/0xB00 + 16 * i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Arbitrary byte cuts (torn tails) and bit flips across the final log: the
+// compiled recovery path holds at any damage point, not just the seeded
+// post-drain boundaries.
+TEST_F(CompiledCrashTest, RandomCutsRecoverCompiledConsistently) {
+  const CompiledHistory& h = *history_;
+  ASSERT_GT(h.final_wal.size(), 1000u);
+  Rng rng(0x68616C66);  // "half"
+  int verified = 0;
+  const int kTrials = 18;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CrashSpec spec;
+    spec.keep_bytes = rng.Uniform(h.final_wal.size() / 4, h.final_wal.size());
+    if (trial % 3 == 2) {
+      spec.flip_bit = true;
+      spec.flip_offset = rng.Uniform(0, h.final_wal.size() - 1);
+    }
+    std::string damaged = ApplyCrashSpec(h.final_wal, spec);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": keep " +
+                 std::to_string(spec.keep_bytes) + "/" +
+                 std::to_string(h.final_wal.size()) +
+                 (spec.flip_bit ? " flip@" + std::to_string(spec.flip_offset)
+                                : ""));
+    if (RecoverAndVerifyCompiled(h, damaged, /*deep=*/trial == 0,
+                                 /*seed=*/0xD0D0 + 16 * trial)) {
+      ++verified;
+    }
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GE(verified, kTrials / 2);
+}
+
+// A clean recovery (full log, no damage) still starts the half-joins empty
+// -- derived state is never trusted across a restart -- and the resumed
+// compiled pipeline converges without re-propagating anything.
+TEST_F(CompiledCrashTest, CleanRecoveryResetsDerivedState) {
+  const CompiledHistory& h = *history_;
+  auto recovered =
+      CrashAndRecover(h.final_wal, {{"V", h.workload.ViewDef()}});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  RecoveredSystem sys = std::move(recovered).value();
+  EXPECT_FALSE(sys.torn_tail);
+  EXPECT_EQ(sys.report.views_recovered, 1u);
+
+  View* view = sys.views->Find("V");
+  ASSERT_NE(view, nullptr);
+  ASSERT_NE(view->programs, nullptr);
+  EXPECT_EQ(view->programs->half_join_rows(), 0u);
+  EXPECT_EQ(view->programs->half_join_bytes(), 0u);
+  EXPECT_GE(view->high_water_mark(), h.frontier);
+
+  MaintenanceService service(sys.views.get(), view);
+  ASSERT_OK(service.Drain(sys.db->stable_csn()));
+  DeltaRows oracle = OracleViewState(sys.db.get(), view, view->mv->csn());
+  EXPECT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()));
+}
+
+}  // namespace
+}  // namespace rollview
