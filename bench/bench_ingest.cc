@@ -1,0 +1,381 @@
+// E16 -- durable ingest: the price of fsync, and the group-commit rebate.
+//
+// Three arms over an identical multi-client commit storm:
+//
+//   memory        in-memory WAL (no durability) -- the upper bound
+//   single-sync   file-backed log, wal_group_commit=false: every commit
+//                 pays its own fsync, serialized through the flusher
+//   group-commit  file-backed log, batched flusher: all committers waiting
+//                 at the sync point share one fsync
+//
+// Headline claim: at C concurrent committers, group commit recovers >= 3x
+// single-sync throughput (the ~150us fsync is amortized across the whole
+// commit group) while acknowledging exactly the same durability -- Commit
+// returns only after the commit record's batch is on disk. A separate
+// single-client deterministic pass proves all three arms converge to
+// identical post-drain views, and a recovery sweep times RecoverFromWalDir
+// against the retained log-suffix length (no checkpoint = full replay,
+// post-checkpoint = image + empty suffix).
+//
+// Usage:
+//   bench_ingest                      full arms, writes BENCH_ingest.json
+//   bench_ingest --smoke [baseline]   short run; asserts the >= 3x speedup,
+//                                     cross-arm view equality, and baseline
+//                                     sanity (perf-smoke label)
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/crash_harness.h"
+#include "ivm/checkpoint.h"
+#include "ivm/maintenance.h"
+#include "ra/net_effect.h"
+#include "storage/wal_segment.h"
+#include "workload/update_stream.h"
+
+namespace rollview {
+namespace bench {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("bench_ingest_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;  // the Db ctor creates it
+}
+
+DbOptions ArmOptions(const std::string& wal_dir, bool group_commit) {
+  DbOptions options;
+  options.wal_dir = wal_dir;
+  options.wal_segment_bytes = 1u << 18;
+  options.wal_group_commit = group_commit;
+  return options;
+}
+
+struct IngestResult {
+  std::string arm;
+  uint64_t commits = 0;
+  double ingest_ms = 0;
+  double txns_per_s = 0;
+  uint64_t syncs = 0;
+  uint64_t batches = 0;
+  double commits_per_sync = 0;
+  obs::MetricsSnapshot snapshot;
+};
+
+// The measured storm: `clients` threads each commit `txns_per_client`
+// update transactions against disjoint key partitions. Durability cost is
+// the only thing that differs between arms.
+IngestResult RunIngestArm(const std::string& arm, const DbOptions& options,
+                          size_t clients, size_t txns_per_client, int reps) {
+  IngestResult best;
+  best.arm = arm;
+  best.commits = clients * txns_per_client;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::string dir = options.wal_dir;
+    if (!dir.empty()) {
+      std::filesystem::remove_all(dir);
+    }
+    // Registry before Env: the WAL flusher records into registry-owned
+    // histograms, so the registry must outlive the engine.
+    obs::MetricsRegistry registry;
+    Env env(options);
+    TwoTableWorkload workload = ValueOrDie(
+        TwoTableWorkload::Create(&env.db, /*r_rows=*/400, /*s_rows=*/200,
+                                 /*join_domain=*/64, /*seed=*/7),
+        "workload");
+    env.capture.CatchUp();
+    View* view =
+        ValueOrDie(env.views.CreateView("V", workload.ViewDef()), "view");
+    CheckOk(env.views.Materialize(view), "materialize");
+
+    env.db.wal()->RegisterMetrics(&registry, &env);
+
+    std::vector<std::thread> committers;
+    committers.reserve(clients);
+    Stopwatch sw;
+    for (size_t c = 0; c < clients; ++c) {
+      committers.emplace_back([&, c] {
+        UpdateStream stream(&env.db,
+                            workload.RStream(static_cast<uint32_t>(c + 1),
+                                             /*seed=*/100 + c),
+                            /*seed=*/100 + c);
+        CheckOk(stream.RunTransactions(txns_per_client), "storm txns");
+      });
+    }
+    for (std::thread& t : committers) t.join();
+    double ingest_ms = sw.ElapsedMillis();
+    double tps = ingest_ms > 0
+                     ? static_cast<double>(best.commits) / (ingest_ms / 1000.0)
+                     : 0;
+
+    uint64_t syncs = 0, batches = 0;
+    if (env.db.wal()->durable()) {
+      WalSegmentStore::CountersSnapshot c2 = env.db.wal()->store()->counters();
+      syncs = c2.syncs;
+      batches = c2.batches;
+    }
+    // Best-of-reps: the commit sequence is seeded, the wall clock is not.
+    if (rep == 0 || tps > best.txns_per_s) {
+      best.ingest_ms = ingest_ms;
+      best.txns_per_s = tps;
+      best.syncs = syncs;
+      best.batches = batches;
+      best.commits_per_sync =
+          syncs > 0 ? static_cast<double>(best.commits) / syncs : 0;
+      best.snapshot = registry.Snapshot();
+    }
+  }
+  return best;
+}
+
+// Deterministic single-client history: identical seeds through each arm's
+// engine, drained to the stable frontier. Every arm must land on the same
+// view contents -- durability must never change query answers.
+DeltaRows EquivalencePass(const DbOptions& options, Csn* final_csn) {
+  if (!options.wal_dir.empty()) {
+    std::filesystem::remove_all(options.wal_dir);
+  }
+  Env env(options);
+  TwoTableWorkload workload = ValueOrDie(
+      TwoTableWorkload::Create(&env.db, 120, 80, 32, /*seed=*/21),
+      "workload");
+  env.capture.CatchUp();
+  View* view =
+      ValueOrDie(env.views.CreateView("V", workload.ViewDef()), "view");
+  CheckOk(env.views.Materialize(view), "materialize");
+  UpdateStream updates(&env.db, workload.RStream(1, 0x33), 0x33);
+  CheckOk(updates.RunTransactions(40), "history");
+  env.capture.CatchUp();
+  MaintenanceService service(&env.views, view);
+  CheckOk(service.Drain(env.db.stable_csn()), "drain");
+  DeltaRows oracle = ValueOrDie(
+      SnapshotViewState(&env.db, view->resolved, view->mv->csn()), "oracle");
+  if (!NetEquivalent(oracle, view->mv->AsDeltaRows())) {
+    CheckOk(Status::Internal("drained view diverges from recomputation"),
+            "equivalence");
+  }
+  *final_csn = view->mv->csn();
+  return view->mv->AsDeltaRows();
+}
+
+struct RecoveryPoint {
+  std::string label;
+  uint64_t records_replayed = 0;
+  uint64_t wal_bytes = 0;
+  double recover_ms = 0;
+};
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.is_regular_file()) total += e.file_size();
+  }
+  return total;
+}
+
+// Recovery time against suffix length: the same seeded history torn down
+// (a) mid-flight with no checkpoint -- recovery replays the whole log --
+// and (b) right after PublishDurableCheckpoint -- recovery loads the image
+// and replays an empty suffix.
+RecoveryPoint RunRecoveryPoint(const std::string& label, bool checkpoint) {
+  std::string dir = FreshDir("recover_" + label);
+  SpjViewDef def;
+  {
+    Env env(ArmOptions(dir, /*group_commit=*/true));
+    TwoTableWorkload workload = ValueOrDie(
+        TwoTableWorkload::Create(&env.db, 120, 80, 32, /*seed=*/21),
+        "workload");
+    def = workload.ViewDef();
+    env.capture.CatchUp();
+    View* view =
+        ValueOrDie(env.views.CreateView("V", workload.ViewDef()), "view");
+    CheckOk(env.views.Materialize(view), "materialize");
+    UpdateStream updates(&env.db, workload.RStream(1, 0x33), 0x33);
+    CheckOk(updates.RunTransactions(40), "history");
+    env.capture.CatchUp();
+    MaintenanceService service(&env.views, view);
+    CheckOk(service.Drain(env.db.stable_csn()), "drain");
+    if (checkpoint) {
+      CheckOk(PublishDurableCheckpoint(&env.db, &env.views).status(),
+              "checkpoint");
+    }
+  }  // teardown == crash
+
+  RecoveryPoint point;
+  point.label = label;
+  point.wal_bytes = DirBytes(dir);
+  Stopwatch sw;
+  RecoveredSystem sys = ValueOrDie(
+      RecoverFromWalDir(dir, {{"V", def}}), "recover");
+  point.recover_ms = sw.ElapsedMillis();
+  point.records_replayed = sys.records_recovered;
+  return point;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      baseline_path = argv[i];
+    }
+  }
+
+  Banner("E16: bench_ingest",
+         "Group commit recovers >= 3x single-sync ingest throughput at "
+         "concurrent committers, with identical post-drain views and "
+         "checkpoint-bounded recovery time.");
+
+  const size_t clients = smoke ? 6 : 8;
+  const size_t txns_per_client = smoke ? 50 : 150;
+  const int reps = smoke ? 2 : 3;
+
+  IngestResult memory = RunIngestArm(
+      "memory", DbOptions{}, clients, txns_per_client, reps);
+  IngestResult single = RunIngestArm(
+      "single-sync", ArmOptions(FreshDir("single"), /*group_commit=*/false),
+      clients, txns_per_client, reps);
+  IngestResult group = RunIngestArm(
+      "group-commit", ArmOptions(FreshDir("group"), /*group_commit=*/true),
+      clients, txns_per_client, reps);
+
+  double speedup =
+      single.txns_per_s > 0 ? group.txns_per_s / single.txns_per_s : 0;
+
+  TablePrinter table({"arm", "commits", "ingest_ms", "txns_per_s", "syncs",
+                      "commits_per_sync"});
+  table.PrintHeader();
+  JsonReport report("ingest");
+  int failures = 0;
+  for (const IngestResult* r : {&memory, &single, &group}) {
+    table.PrintRow({r->arm, FmtInt(r->commits), Fmt(r->ingest_ms, 1),
+                    Fmt(r->txns_per_s, 0), FmtInt(r->syncs),
+                    Fmt(r->commits_per_sync, 2)});
+    report.BeginRow();
+    RegistryRowEmitter emit(&report, &r->snapshot);
+    emit.Str("arm", r->arm);
+    emit.Int("clients", clients);
+    emit.Int("commits", r->commits);
+    emit.Num("ingest_ms", r->ingest_ms, 3);
+    emit.Num("txns_per_s", r->txns_per_s, 1);
+    emit.Int("syncs", r->syncs);
+    emit.Int("batches", r->batches);
+    emit.Num("commits_per_sync", r->commits_per_sync, 2);
+    emit.Counter("group_commit_batches",
+                 "rollview_wal_group_commit_batches_total");
+    emit.Gauge("wal_segments", "rollview_wal_segments");
+    emit.PercentileMicros("sync_p50_us", "rollview_wal_sync_nanos", {}, 0.5);
+    emit.PercentileMicros("sync_p95_us", "rollview_wal_sync_nanos", {}, 0.95);
+    emit.Num("speedup_vs_single", r->arm == "group-commit" ? speedup : 0, 2);
+  }
+
+  // Cross-arm equivalence: durability must be invisible to query results.
+  Csn csn_memory = 0, csn_single = 0, csn_group = 0;
+  DeltaRows view_memory = EquivalencePass(DbOptions{}, &csn_memory);
+  DeltaRows view_single = EquivalencePass(
+      ArmOptions(FreshDir("eq_single"), false), &csn_single);
+  DeltaRows view_group = EquivalencePass(
+      ArmOptions(FreshDir("eq_group"), true), &csn_group);
+  bool views_equal = NetEquivalent(view_memory, view_single) &&
+                     NetEquivalent(view_memory, view_group) &&
+                     csn_memory == csn_single && csn_single == csn_group;
+  if (!views_equal) {
+    std::printf("FAIL: post-drain views diverge across durability arms\n");
+    failures++;
+  }
+
+  // Recovery cost vs retained suffix.
+  RecoveryPoint full = RunRecoveryPoint("no-checkpoint", false);
+  RecoveryPoint ckpt = RunRecoveryPoint("checkpointed", true);
+  TablePrinter rtable({"recovery", "records", "wal_bytes", "recover_ms"});
+  rtable.PrintHeader();
+  for (const RecoveryPoint* p : {&full, &ckpt}) {
+    rtable.PrintRow({p->label, FmtInt(p->records_replayed),
+                     FmtInt(p->wal_bytes), Fmt(p->recover_ms, 2)});
+    report.BeginRow();
+    report.Str("arm", "recovery-" + p->label);
+    report.Int("records_replayed", p->records_replayed);
+    report.Int("wal_bytes", p->wal_bytes);
+    report.Num("recover_ms", p->recover_ms, 3);
+  }
+
+  // Structural assertions (both modes).
+  if (single.syncs < single.commits) {
+    std::printf("FAIL: single-sync arm batched commits (%llu syncs for "
+                "%llu commits)\n",
+                static_cast<unsigned long long>(single.syncs),
+                static_cast<unsigned long long>(single.commits));
+    failures++;
+  }
+  if (group.commits_per_sync <= 1.0) {
+    std::printf("FAIL: group-commit arm never batched (commits_per_sync = "
+                "%.2f)\n",
+                group.commits_per_sync);
+    failures++;
+  }
+  if (memory.syncs != 0) {
+    std::printf("FAIL: memory arm recorded fsyncs\n");
+    failures++;
+  }
+  if (speedup < 3.0) {
+    std::printf("FAIL: group-commit speedup %.2fx < 3x over single-sync\n",
+                speedup);
+    failures++;
+  }
+
+  if (smoke && !baseline_path.empty()) {
+    // The committed baseline must carry every arm; values are
+    // timing-dependent and only representative at full-run length.
+    std::string needles[] = {"memory", "single-sync", "group-commit",
+                             "recovery-no-checkpoint",
+                             "recovery-checkpointed"};
+    FILE* f = std::fopen(baseline_path.c_str(), "rb");
+    if (f == nullptr) {
+      std::printf("SMOKE FAIL: cannot open baseline %s\n",
+                  baseline_path.c_str());
+      failures++;
+    } else {
+      std::string contents;
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        contents.append(buf, n);
+      }
+      std::fclose(f);
+      for (const std::string& needle : needles) {
+        if (contents.find("\"" + needle + "\"") == std::string::npos) {
+          std::printf("SMOKE FAIL: baseline %s missing arm %s\n",
+                      baseline_path.c_str(), needle.c_str());
+          failures++;
+        }
+      }
+    }
+  }
+
+  if (!smoke) report.Write();
+  std::printf(
+      "\nShape: single-sync fsyncs every record alone (commits_per_sync =\n"
+      "%.2f); group commit amortizes it across every committer parked at\n"
+      "the sync point (commits_per_sync = %.2f), recovering %.2fx\n"
+      "throughput. The deterministic pass lands all three arms on\n"
+      "net-equivalent views at the same CSN, and recovery cost tracks the\n"
+      "retained suffix: a checkpoint collapses replay to the image.\n",
+      single.commits_per_sync, group.commits_per_sync, speedup);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rollview
+
+int main(int argc, char** argv) {
+  return rollview::bench::Main(argc, argv);
+}

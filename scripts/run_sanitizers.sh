@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Drive the sanitizer presets over the robustness-critical ctest labels:
 #
-#   tsan   -> scrub + concurrency + parallel + compiled   (races in
-#             scrub-vs-apply locking, scrape-vs-drop teardown, partition
-#             strip barriers, half-join probe-vs-advance latching)
-#   asan   -> scrub + recovery + compiled      (WAL replay, checkpoint
-#             decode, repair escalation, half-join rebuild memory safety)
-#   ubsan  -> scrub + recovery + parallel + compiled   (digest mixing
-#             arithmetic, cursor folding, partition math, flat-kernel
-#             address arithmetic)
+#   tsan   -> scrub + concurrency + parallel + compiled + durability
+#             (races in scrub-vs-apply locking, scrape-vs-drop teardown,
+#             partition strip barriers, half-join probe-vs-advance
+#             latching, group-commit flusher vs committers vs fault storms)
+#   asan   -> scrub + recovery + compiled + durability   (WAL replay,
+#             checkpoint decode, repair escalation, half-join rebuild
+#             memory safety, segment scan over torn/corrupt files)
+#   ubsan  -> scrub + recovery + parallel + compiled + durability
+#             (digest mixing arithmetic, cursor folding, partition math,
+#             flat-kernel address arithmetic, CRC/LSN framing arithmetic)
 #
 #   scripts/run_sanitizers.sh [tsan|asan|ubsan]...
 #
@@ -28,9 +30,9 @@ fi
 
 labels_for() {
   case "$1" in
-    tsan)  echo "scrub|concurrency|parallel|compiled" ;;
-    asan)  echo "scrub|recovery|compiled" ;;
-    ubsan) echo "scrub|recovery|parallel|compiled" ;;
+    tsan)  echo "scrub|concurrency|parallel|compiled|durability" ;;
+    asan)  echo "scrub|recovery|compiled|durability" ;;
+    ubsan) echo "scrub|recovery|parallel|compiled|durability" ;;
     *)
       echo "unknown sanitizer '$1' (expected tsan, asan or ubsan)" >&2
       return 1

@@ -63,6 +63,20 @@ Status FaultInjector::MaybeStorageFault() {
   return Status::OK();
 }
 
+StorageFaultClass FaultInjector::MaybeStorageFaultClass() {
+  if (Fire(options_.storage_eio_probability, &Stats::injected_eio)) {
+    return StorageFaultClass::kEio;
+  }
+  if (Fire(options_.storage_short_write_probability,
+           &Stats::injected_short_writes)) {
+    return StorageFaultClass::kShortWrite;
+  }
+  if (Fire(options_.storage_enospc_probability, &Stats::injected_enospc)) {
+    return StorageFaultClass::kEnospc;
+  }
+  return StorageFaultClass::kNone;
+}
+
 bool FaultInjector::MaybeCorruptMvRow(uint64_t* seed) {
   return FireWithSeed(options_.mv_corrupt_probability,
                       &Stats::injected_mv_corruptions, seed);

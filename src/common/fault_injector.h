@@ -36,6 +36,18 @@
 
 namespace rollview {
 
+// Which storage-fault class an injected I/O failure models. The in-memory
+// WAL collapses all of them into one transient Status (MaybeStorageFault);
+// the file-backed segment store branches on the class: EIO and short writes
+// poison the active segment and rotate (fsyncgate semantics), ENOSPC parks
+// the flusher in an out-of-space retry loop.
+enum class StorageFaultClass : uint8_t {
+  kNone = 0,
+  kEio,
+  kShortWrite,
+  kEnospc,
+};
+
 class FaultInjector {
  public:
   struct Options {
@@ -123,6 +135,10 @@ class FaultInjector {
   // ENOSPC, checked in that order. All transient (Busy) with the class
   // named in the message.
   Status MaybeStorageFault();
+  // Class-resolved variant for call sites that react differently per class
+  // (the file-backed segment store). Same probabilities, counters and seed
+  // stream discipline as MaybeStorageFault; kNone when nothing fires.
+  StorageFaultClass MaybeStorageFaultClass();
   // True when this Poll call should stall (process nothing).
   bool MaybeCaptureLag();
   // True when the harness should crash the process image here (see

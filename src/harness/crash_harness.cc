@@ -1,6 +1,8 @@
 #include "harness/crash_harness.h"
 
+#include "ivm/checkpoint.h"
 #include "storage/wal_codec.h"
+#include "storage/wal_segment.h"
 
 namespace rollview {
 
@@ -57,6 +59,44 @@ Result<RecoveredSystem> CrashAndRecover(const std::string& encoded_wal,
 
   ROLLVIEW_RETURN_NOT_OK(
       sys.views->Recover(prefix.records, &sys.report));
+  return std::move(sys);
+}
+
+Result<RecoveredSystem> RecoverFromWalDir(const std::string& dir,
+                                          const std::vector<ViewDefSpec>& defs,
+                                          DbOptions db_options) {
+  ROLLVIEW_ASSIGN_OR_RETURN(WalDirScan scan, ScanWalDir(dir));
+  std::vector<WalRecord> records = std::move(scan.image);
+  records.insert(records.end(), scan.suffix.begin(), scan.suffix.end());
+
+  RecoveredSystem sys;
+  sys.records_recovered = records.size();
+  sys.torn_tail = scan.torn_tail;
+
+  // Replay runs against the in-memory log (Db::Recover clears wal_dir);
+  // the directory is re-attached once the replayed state is complete.
+  ROLLVIEW_ASSIGN_OR_RETURN(sys.db, Db::Recover(records, db_options));
+
+  CaptureOptions copts;
+  copts.truncate_wal = false;  // the reattach snapshots the log from LSN 0
+  sys.capture = std::make_unique<LogCapture>(sys.db.get(), copts);
+  sys.capture->CatchUp();
+
+  sys.views = std::make_unique<ViewManager>(sys.db.get(), sys.capture.get());
+  for (const ViewDefSpec& spec : defs) {
+    Result<View*> v = sys.views->CreateView(spec.name, spec.def);
+    if (!v.ok()) {
+      sys.unregistered_views.push_back(spec.name);
+    }
+  }
+  ROLLVIEW_RETURN_NOT_OK(sys.views->Recover(records, &sys.report));
+
+  DurableWalOptions wopts;
+  wopts.dir = dir;
+  wopts.segment_bytes = db_options.wal_segment_bytes;
+  wopts.group_commit = db_options.wal_group_commit;
+  ROLLVIEW_RETURN_NOT_OK(AttachDurableWalDir(
+      sys.db.get(), sys.views.get(), wopts, scan.max_generation + 1));
   return std::move(sys);
 }
 

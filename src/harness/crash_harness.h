@@ -75,6 +75,24 @@ Result<RecoveredSystem> CrashAndRecover(const std::string& encoded_wal,
                                         const std::vector<ViewDefSpec>& defs,
                                         DbOptions db_options = DbOptions{});
 
+// File-backed analogue of CrashAndRecover, for crashes that left their
+// damage in a durable WAL directory (storage/wal_segment.h) rather than an
+// encoded byte string: scans the directory (latest checkpoint image +
+// retained segment suffix), replays both through the same recovery stack,
+// then re-attaches the directory at the next generation --
+// ivm/checkpoint.h AttachDurableWalDir publishes the recovered engine's
+// checkpoint as the commit point of recovery and starts the group-commit
+// flusher. The returned system is immediately writable; crashing it again
+// is just dropping it and calling RecoverFromWalDir on the same directory,
+// which also makes a crash *during* recovery (before the publish lands)
+// idempotent. `db_options.wal_segment_bytes` / `wal_group_commit` shape the
+// re-attached store; `wal_dir` in the options is ignored (the `dir`
+// argument wins). `records_recovered` counts image + suffix records;
+// `torn_tail` reports a cut in the last segment.
+Result<RecoveredSystem> RecoverFromWalDir(const std::string& dir,
+                                          const std::vector<ViewDefSpec>& defs,
+                                          DbOptions db_options = DbOptions{});
+
 }  // namespace rollview
 
 #endif  // ROLLVIEW_HARNESS_CRASH_HARNESS_H_

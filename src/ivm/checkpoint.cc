@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
+#include "capture/uow_table.h"
+#include "ivm/view_manager.h"
+#include "storage/versioned_table.h"
 #include "storage/wal_codec.h"
+#include "storage/wal_segment.h"
 
 namespace rollview {
 
@@ -320,6 +325,12 @@ Status WriteViewCheckpoint(Db* db, View* view) {
   // so a surfaced fault leaves nothing half-written.
   FaultInjector::Scope fault_scope;
   ROLLVIEW_RETURN_NOT_OK(db->wal()->MaybeInjectWriteError());
+  ROLLVIEW_ASSIGN_OR_RETURN(WalRecord rec, BuildViewCheckpointRecord(db, view));
+  db->wal()->Append(std::move(rec));
+  return Status::OK();
+}
+
+Result<WalRecord> BuildViewCheckpointRecord(Db* db, View* view) {
   ViewCheckpointBlob blob;
   blob.view_name = view->name;
   // Order matters against a concurrent apply driver: scan the view delta
@@ -376,8 +387,166 @@ Status WriteViewCheckpoint(Db* db, View* view) {
           static_cast<char>(1u << ((seed / 13) % 8));
     }
   }
-  db->wal()->Append(MakeViewRecord(WalRecord::Kind::kViewCheckpoint, view->id,
-                                   std::move(encoded)));
+  return MakeViewRecord(WalRecord::Kind::kViewCheckpoint, view->id,
+                        std::move(encoded));
+}
+
+Result<std::vector<WalRecord>> BuildWalImage(Db* db, ViewManager* views,
+                                             Csn covered_csn) {
+  std::vector<WalRecord> image;
+
+  // 1. Catalog, in TableId order -- Db::Recover checks that replayed
+  // creations reproduce the original ids.
+  std::vector<TableId> tables = db->AllTableIds();
+  std::sort(tables.begin(), tables.end());
+  for (TableId id : tables) {
+    VersionedTable* t = db->table(id);
+    if (t == nullptr) return Status::Internal("catalog lists unknown table");
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kCreateTable;
+    rec.table = id;
+    rec.create = std::make_shared<CreateTablePayload>();
+    rec.create->name = t->name();
+    rec.create->schema = t->schema();
+    rec.create->capture_mode = db->capture_mode(id);
+    rec.create->indexed_columns = t->indexed_columns();
+    image.push_back(std::move(rec));
+  }
+
+  // 2. Committed history, one synthetic transaction per commit CSN. Each
+  // version's [begin, end) interval contributes its insert at `begin` and
+  // (when the delete is covered) its delete at `end`; deletes of versions
+  // above coverage stay out -- the retained suffix replays them against the
+  // image's inserts.
+  struct Event {
+    TableId table;
+    Tuple tuple;
+    Csn end;  // the owning version's end_csn (pairs same-CSN churn)
+  };
+  struct Group {
+    std::vector<Event> deletes;  // versions born earlier, dying at this CSN
+    std::vector<Event> inserts;  // versions born at this CSN
+  };
+  std::map<Csn, Group> groups;
+  for (TableId id : tables) {
+    db->table(id)->VisitVersions([&](const Tuple& t, Csn begin, Csn end) {
+      if (begin > covered_csn) return;
+      if (end != kMaxCsn && end <= covered_csn && end != begin) {
+        groups[end].deletes.push_back(Event{id, t, end});
+      }
+      groups[begin].inserts.push_back(Event{id, t, end});
+    });
+  }
+  for (auto& [csn, g] : groups) {
+    // Transaction identity: the UOW table still remembers most commits;
+    // for CSNs it no longer covers, the CSN itself is a safe synthetic id
+    // (each image transaction is contiguous and consumed by its own commit
+    // record, so ids may repeat across groups without mixing ops). The
+    // epoch fallback commit time only degrades wall-clock refresh
+    // (CsnAtOrBefore) for those ancient CSNs.
+    TxnId txn = static_cast<TxnId>(csn);
+    WallTime commit_time{};
+    if (std::optional<UowTable::Entry> e = db->uow()->LookupCsn(csn)) {
+      txn = e->txn;
+      commit_time = e->commit_time;
+    }
+    auto push_op = [&](WalRecord::Kind kind, const Event& ev) {
+      WalRecord rec;
+      rec.kind = kind;
+      rec.txn = txn;
+      rec.table = ev.table;
+      rec.tuple = ev.tuple;
+      image.push_back(std::move(rec));
+    };
+    // Deletes of earlier-born versions go first, mirroring an update's
+    // delete-then-insert op order: a replayed delete must not land on the
+    // same-CSN replacement row it would otherwise match first.
+    for (const Event& ev : g.deletes) {
+      push_op(WalRecord::Kind::kDelete, ev);
+    }
+    for (const Event& ev : g.inserts) {
+      push_op(WalRecord::Kind::kInsert, ev);
+      // A version born and killed by the same transaction replays as an
+      // insert immediately undone; its delete must follow its own insert
+      // or it would find no target.
+      if (ev.end == csn) push_op(WalRecord::Kind::kDelete, ev);
+    }
+    WalRecord commit;
+    commit.kind = WalRecord::Kind::kCommit;
+    commit.txn = txn;
+    commit.commit_csn = csn;
+    commit.commit_time = commit_time;
+    image.push_back(std::move(commit));
+  }
+
+  // Commits that left no base-table versions (pure view-state maintenance
+  // transactions, fully-churned history) still advanced the CSN clock; a
+  // final empty commit pins the replayed stable CSN to the coverage CSN so
+  // recovered view state (MV csn, cursors) is never "ahead of" the engine.
+  if (covered_csn != kNullCsn &&
+      (groups.empty() || groups.rbegin()->first < covered_csn)) {
+    WalRecord commit;
+    commit.kind = WalRecord::Kind::kCommit;
+    commit.txn = static_cast<TxnId>(covered_csn);
+    commit.commit_csn = covered_csn;
+    if (std::optional<UowTable::Entry> e = db->uow()->LookupCsn(covered_csn)) {
+      commit.txn = e->txn;
+      commit.commit_time = e->commit_time;
+    }
+    image.push_back(std::move(commit));
+  }
+
+  // 3. Views, in id order: registration plus a fresh checkpoint snapshot.
+  // Unmaterialized views carry no checkpoint, so recovery counts them
+  // unrecovered -- the same outcome a live log would produce.
+  if (views != nullptr) {
+    std::vector<View*> all = views->AllViews();
+    std::sort(all.begin(), all.end(),
+              [](const View* a, const View* b) { return a->id < b->id; });
+    for (View* v : all) {
+      image.push_back(MakeCreateViewRecord(*v));
+      if (v->mv->csn() == kNullCsn) continue;
+      ROLLVIEW_ASSIGN_OR_RETURN(WalRecord rec,
+                                BuildViewCheckpointRecord(db, v));
+      image.push_back(std::move(rec));
+    }
+  }
+  return image;
+}
+
+Result<DurableCheckpointReport> PublishDurableCheckpoint(Db* db,
+                                                         ViewManager* views) {
+  Wal* wal = db->wal();
+  if (!wal->durable()) {
+    return Status::InvalidArgument("no durable wal backend attached");
+  }
+  DurableCheckpointReport report;
+  // Quiescence makes this boundary exact: nothing is appending, so every
+  // record below next_lsn() is in the queue or on disk, and every commit at
+  // or below stable_csn() is fully represented in the versioned tables.
+  report.covered_end_lsn = wal->next_lsn();
+  report.covered_csn = db->stable_csn();
+  ROLLVIEW_ASSIGN_OR_RETURN(std::vector<WalRecord> image,
+                            BuildWalImage(db, views, report.covered_csn));
+  report.image_records = image.size();
+  std::string encoded = EncodeWal(image);
+  report.image_bytes = encoded.size();
+  ROLLVIEW_RETURN_NOT_OK(wal->store()->PublishCheckpoint(
+      report.covered_end_lsn, report.covered_csn, encoded));
+  return report;
+}
+
+Status AttachDurableWalDir(Db* db, ViewManager* views,
+                           const DurableWalOptions& options,
+                           uint64_t generation) {
+  ROLLVIEW_RETURN_NOT_OK(
+      db->wal()->OpenDurable(options, generation, /*require_empty=*/false));
+  // The publish is the commit point of recovery: once the new generation's
+  // checkpoint is durable, the old generation's files are deleted (inside
+  // the publish) and the flusher may start appending segments. A crash
+  // before this completes leaves the previous generation authoritative.
+  ROLLVIEW_RETURN_NOT_OK(PublishDurableCheckpoint(db, views).status());
+  db->wal()->store()->Start();
   return Status::OK();
 }
 

@@ -174,6 +174,65 @@ WalRecord MakeViewQuarantineRecord(const View& view, bool entered,
 // of the encoded payload (the scrubber's checkpoint-damage drill).
 Status WriteViewCheckpoint(Db* db, View* view);
 
+// Builds (without appending) the kViewCheckpoint record WriteViewCheckpoint
+// would append, including the corruption drill. Same threading contract.
+// The durable-checkpoint image builder embeds fresh view snapshots in the
+// published image through this.
+Result<WalRecord> BuildViewCheckpointRecord(Db* db, View* view);
+
+// --- Durable WAL checkpointing (file-backed segmented log) ---------------
+//
+// The segment store (storage/wal_segment.h) retains log suffixes only back
+// to the latest durable checkpoint; everything older must be reconstructible
+// from the checkpoint image alone. The image is itself a WAL: a synthetic
+// record sequence that Db::Recover + ViewManager::Recover replay exactly as
+// they would a real log, so recovery has one code path regardless of where
+// the records came from.
+
+class ViewManager;
+
+struct DurableCheckpointReport {
+  Lsn covered_end_lsn = 0;   // records with lsn < this are covered
+  Csn covered_csn = kNullCsn;
+  size_t image_records = 0;
+  size_t image_bytes = 0;    // encoded image size
+};
+
+// Rebuilds a self-contained WAL image equivalent to the engine's committed
+// history at `covered_csn`: catalog records in TableId order, then one
+// synthetic transaction per commit CSN regenerated from the versioned
+// tables' validity intervals (VersionedTable::VisitVersions), then each
+// view's kCreateView plus a fresh checkpoint snapshot (materialized views
+// only -- unmaterialized ones recover as "unrecovered", same as from a live
+// log). Versions born above `covered_csn` are excluded: the retained log
+// suffix replays them on top, so including them would double-apply.
+//
+// MUST run at a quiescent point: no active transactions (version txn fields
+// settled, stable CSN final) and maintenance drained or paused (the
+// per-view snapshot inherits WriteViewCheckpoint's threading contract).
+Result<std::vector<WalRecord>> BuildWalImage(Db* db, ViewManager* views,
+                                             Csn covered_csn);
+
+// Publishes a durable checkpoint covering every record appended so far:
+// snapshots the coverage boundary (next LSN, stable CSN), builds the image,
+// and hands it to the segment store's atomic publish (temp file + fsync +
+// rename + directory fsync). After it returns OK, segments entirely below
+// the boundary become prunable. Same quiescence contract as BuildWalImage.
+// `views` may be null (no view layer; the image then carries tables only).
+Result<DurableCheckpointReport> PublishDurableCheckpoint(Db* db,
+                                                         ViewManager* views);
+
+// Recovery reattach: opens a segment store on `options.dir` at `generation`
+// (which must exceed every generation already in the directory), publishes
+// the recovered engine's checkpoint as the commit point of recovery -- the
+// publish also deletes all older-generation files -- and starts the
+// group-commit flusher. Crashing anywhere before the publish completes
+// leaves the previous generation intact, so re-running recovery from the
+// same directory is idempotent.
+Status AttachDurableWalDir(Db* db, ViewManager* views,
+                           const DurableWalOptions& options,
+                           uint64_t generation);
+
 // Cadence driver: owns "when to checkpoint". The propagate driver calls
 // OnStep() after every successful step; every `every_steps`-th call writes
 // a checkpoint (inheriting WriteViewCheckpoint's threading contract).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ivm/partition.h"
+#include "storage/wal_segment.h"
 
 namespace rollview {
 
@@ -317,7 +318,9 @@ void MaintenanceService::ObserveContention() {
 
   staleness_gauge_.Set(static_cast<int64_t>(snap.staleness));
   backlog_gauge_.Set(static_cast<int64_t>(snap.backlog_rows));
-  if (controller_->Observe(snap)) ApplyShedding(controller_->shedding());
+  // shedding() (not the controller's own state) so a controller recovery
+  // cannot lift shedding while the WAL device is still full.
+  if (controller_->Observe(snap)) ApplyShedding(shedding());
   target_rows_gauge_.Set(static_cast<int64_t>(controller_->target_rows()));
 }
 
@@ -354,6 +357,11 @@ void MaintenanceService::ApplyShedding(bool on) {
         std::memory_order_release);
   }
   if (options_.on_shedding) options_.on_shedding(on);
+}
+
+bool MaintenanceService::WalOutOfSpace() const {
+  Wal* wal = views_->db()->wal();
+  return wal->durable() && wal->store()->out_of_space();
 }
 
 DriverHealth MaintenanceService::SteadyHealth(const Driver* driver) const {
@@ -447,6 +455,13 @@ void MaintenanceService::DriverLoop(Driver* driver,
       driver->consecutive.store(0, std::memory_order_relaxed);
       backoff =
           std::chrono::duration_cast<std::chrono::nanoseconds>(policy.initial);
+      if (driver == &propagate_driver_ &&
+          wal_shedding_.load(std::memory_order_relaxed) && !WalOutOfSpace()) {
+        // Space came back and a step went through: hand shedding control
+        // back to the staleness-SLO machine.
+        wal_shedding_.store(false, std::memory_order_release);
+        ApplyShedding(shedding());
+      }
       driver->health.store(SteadyHealth(driver), std::memory_order_release);
       if (!advanced) InterruptibleSleep(options_.idle_sleep);
       continue;
@@ -455,13 +470,24 @@ void MaintenanceService::DriverLoop(Driver* driver,
     ++consecutive_failures;
     driver->consecutive.store(consecutive_failures,
                               std::memory_order_relaxed);
+    // A full WAL device is an environmental stall, not a driver defect:
+    // the flusher retries while space is reclaimed, so the failure streak
+    // must never trip the kFailed latch (which would strand the view after
+    // the disk drains). Shed load and keep retrying instead.
+    bool wal_full = WalOutOfSpace();
     bool terminal =
-        !s.IsTransient() || (options_.failed_after > 0 &&
-                             consecutive_failures >= options_.failed_after);
+        !s.IsTransient() ||
+        (!wal_full && options_.failed_after > 0 &&
+         consecutive_failures >= options_.failed_after);
     RecordError(s, terminal);
     if (terminal) {
       driver->health.store(DriverHealth::kFailed, std::memory_order_release);
       return;
+    }
+    if (wal_full && driver == &propagate_driver_ &&
+        !wal_shedding_.load(std::memory_order_relaxed)) {
+      wal_shedding_.store(true, std::memory_order_release);
+      ApplyShedding(true);
     }
 
     {

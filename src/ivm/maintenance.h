@@ -226,10 +226,13 @@ class MaintenanceService {
   const IntervalController* interval_controller() const {
     return controller_.get();
   }
-  // True while the staleness-SLO machine is shedding load. Mirrored into
-  // propagate_health() as kShedding.
+  // True while load is being shed: the staleness-SLO machine tripped, or
+  // the durable WAL is out of space (maintenance then runs at reduced cost
+  // until the flusher drains). Mirrored into propagate_health() as
+  // kShedding.
   bool shedding() const {
-    return controller_ != nullptr && controller_->shedding();
+    return wal_shedding_.load(std::memory_order_acquire) ||
+           (controller_ != nullptr && controller_->shedding());
   }
   // Level gauges sampled at each contention observation (kAdaptive only):
   // view staleness in CSN units, the controller's current rows-per-query
@@ -278,6 +281,9 @@ class MaintenanceService {
   // transient errors per the backoff policy and health state machine.
   void DriverLoop(Driver* driver, std::atomic<bool>* paused,
                   const std::function<Status(bool*)>& step, uint64_t salt);
+  // True while the durable WAL backend reports ENOSPC (always false for the
+  // in-memory log).
+  bool WalOutOfSpace() const;
   // Sleeps up to `d`, waking early on Stop().
   void InterruptibleSleep(std::chrono::nanoseconds d);
   void RecordError(const Status& s, bool terminal);
@@ -354,6 +360,9 @@ class MaintenanceService {
   std::condition_variable wake_cv_;
 
   Driver propagate_driver_{"propagate"};
+  // Latched by the propagate driver on an ENOSPC-stalled WAL; cleared on
+  // the first successful step once space returns. Read by shedding().
+  std::atomic<bool> wal_shedding_{false};
   Driver apply_driver_{"apply"};
   mutable std::mutex stats_mu_;
 

@@ -32,16 +32,29 @@ RetentionManager::PruneReport RetentionManager::PruneOnce() {
   report.base_floor = global_floor == kMaxCsn ? kNullCsn : global_floor;
 
   Db* db = views_->db();
+  // Durable-WAL coupling: the file-backed log retains only the suffix above
+  // the latest durable checkpoint, and that suffix is replayed against the
+  // checkpoint's image of the versioned tables. Destroying in-memory state
+  // above the image's coverage (a version whose delete the suffix still
+  // replays, a delta row the recovered capture re-reads) would make the
+  // NEXT checkpoint's image incomplete -- so every floor is clamped to the
+  // coverage CSN. Without a durable backend the clamp is kMaxCsn (no-op).
+  // The unclamped floor still reaches the segment store so it can hold
+  // covered segments a lagging view may want for diagnostics.
+  Csn durable_clamp = db->wal()->durable_covered_csn();
+  report.durable_clamp_applied = durable_clamp < global_floor;
+  db->wal()->SetRetentionFloor(report.base_floor);
   for (const auto& [table, floor] : floors) {
-    if (floor == kNullCsn) continue;
-    report.base_delta_rows += db->delta(table)->Prune(floor);
+    Csn clamped = std::min(floor, durable_clamp);
+    if (clamped == kNullCsn) continue;
+    report.base_delta_rows += db->delta(table)->Prune(clamped);
     if (options_.gc_versions) {
-      db->table(table)->GarbageCollect(floor);
+      db->table(table)->GarbageCollect(clamped);
     }
   }
   if (options_.prune_view_deltas) {
     for (View* v : views) {
-      Csn floor = v->mv->csn();
+      Csn floor = std::min(v->mv->csn(), durable_clamp);
       if (floor == kNullCsn) continue;
       report.view_delta_rows += v->view_delta->Prune(floor);
     }

@@ -48,6 +48,10 @@ class RetentionManager {
     uint64_t base_delta_rows = 0;
     uint64_t view_delta_rows = 0;
     Csn base_floor = kNullCsn;  // floor applied to base deltas (global min)
+    // True when the durable checkpoint's coverage CSN capped the floors:
+    // state above coverage must survive until the next checkpoint publishes,
+    // because recovery replays the retained log suffix against the image.
+    bool durable_clamp_applied = false;
   };
 
   // One retention pass over every table and view. Safe to run concurrently

@@ -36,8 +36,10 @@ Result<View*> ViewManager::CreateView(const std::string& name,
   views_.push_back(std::move(view));
   // Durable id -> name binding: view ids restart per crash generation, so
   // every later view record in the log resolves its id through the most
-  // recent preceding kCreateView.
-  db_->wal()->Append(MakeCreateViewRecord(*views_.back()));
+  // recent preceding kCreateView. Catalog records are forced to disk like
+  // CreateTable's: losing one would orphan every later record of the view.
+  Lsn lsn = db_->wal()->Append(MakeCreateViewRecord(*views_.back()));
+  if (db_->wal()->durable()) db_->wal()->SyncTo(lsn).ok();
   return views_.back().get();
 }
 

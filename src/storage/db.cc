@@ -5,6 +5,7 @@
 
 #include "ra/build_cache.h"
 #include "storage/wal_codec.h"
+#include "storage/wal_segment.h"
 
 namespace rollview {
 
@@ -14,6 +15,19 @@ Db::Db(DbOptions options)
       wall_clock_([] { return std::chrono::system_clock::now(); }) {
   if (options_.build_cache_bytes > 0) {
     build_cache_ = std::make_unique<BuildCache>(options_.build_cache_bytes);
+  }
+  if (!options_.wal_dir.empty()) {
+    // Fresh engine, generation 1. An existing log in the directory fails
+    // the open (kept attached in its failed state, so commits surface the
+    // error); recovery paths attach their own store at a later generation.
+    DurableWalOptions wopts;
+    wopts.dir = options_.wal_dir;
+    wopts.segment_bytes = options_.wal_segment_bytes;
+    wopts.group_commit = options_.wal_group_commit;
+    if (wal_.OpenDurable(wopts, /*generation=*/1, /*require_empty=*/true)
+            .ok()) {
+      wal_.store()->Start();
+    }
   }
 }
 
@@ -51,7 +65,13 @@ Result<TableId> Db::CreateTable(const std::string& name, Schema schema,
   rec.create = std::make_shared<CreateTablePayload>(CreateTablePayload{
       name, std::move(schema), options.capture_mode,
       options.indexed_columns});
-  wal_.Append(std::move(rec));
+  Lsn lsn = wal_.Append(std::move(rec));
+  if (wal_.durable()) {
+    // Force the catalog record to disk now: data records replayed against a
+    // table whose creation record only existed in a later unsynced batch
+    // would fail recovery loudly but needlessly.
+    ROLLVIEW_RETURN_NOT_OK(wal_.SyncTo(lsn));
+  }
   return id;
 }
 
@@ -292,6 +312,11 @@ Status Db::Commit(Txn* txn) {
     ROLLVIEW_RETURN_NOT_OK(wal_.MaybeInjectWriteError());
     ROLLVIEW_RETURN_NOT_OK(fi->MaybeCommitAbort());
   }
+  // Fail fast while the log device is unwritable (out of space, failed
+  // open): the transaction stays active and the caller aborts/retries,
+  // instead of every committer piling up behind a parked flusher.
+  ROLLVIEW_RETURN_NOT_OK(wal_.CheckWritable());
+  Lsn commit_lsn = 0;
   {
     std::lock_guard<std::mutex> lk(commit_mu_);
     Csn csn = next_csn_++;
@@ -329,15 +354,22 @@ Status Db::Commit(Txn* txn) {
       }
       p.delta->Append(std::move(p.row));
     }
-    wal_.Append(WalRecord{WalRecord::Kind::kCommit, 0, txn->id(),
-                          kInvalidTableId, {}, csn, now});
+    commit_lsn = wal_.Append(WalRecord{WalRecord::Kind::kCommit, 0, txn->id(),
+                                       kInvalidTableId, {}, csn, now});
     stable_csn_.store(csn, std::memory_order_release);
   }
   txn->state_ = TxnState::kCommitted;
   lock_manager_.ReleaseAll(txn->id());
-  if (options_.commit_latency.count() > 0) {
-    // Simulated log-force wait, outside commit_mu_ and after lock release:
-    // concurrent committers overlap it, group-commit style.
+  if (wal_.durable()) {
+    // Real group-commit log force, outside commit_mu_ and after lock
+    // release: concurrent committers block together on the flusher's next
+    // fsync, so their waits overlap exactly as the simulated knob modeled.
+    // A sync failure here means the store crashed or stopped -- the commit
+    // is applied in memory but not durable, exactly a crash's in-flight
+    // tail, and the caller must treat the engine as down.
+    ROLLVIEW_RETURN_NOT_OK(wal_.SyncTo(commit_lsn));
+  } else if (options_.commit_latency.count() > 0) {
+    // Simulated log-force wait for the in-memory path.
     std::this_thread::sleep_for(options_.commit_latency);
   }
   return Status::OK();
@@ -367,6 +399,12 @@ Status Db::Abort(Txn* txn) {
 
 Result<std::unique_ptr<Db>> Db::Recover(const std::vector<WalRecord>& records,
                                         DbOptions options) {
+  // Replay always runs against the in-memory log: the replayed history is
+  // re-emitted with fresh LSNs that diverge from the on-disk ones, so a
+  // durable backend must be re-attached at a new generation *after* replay
+  // (harness/crash_harness.h RecoverFromWalDir does this, then publishes
+  // the new generation's checkpoint as the commit point of recovery).
+  options.wal_dir.clear();
   auto db = std::make_unique<Db>(options);
   std::unordered_map<TxnId, std::vector<const WalRecord*>> pending;
   Csn max_csn = kNullCsn;

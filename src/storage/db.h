@@ -84,8 +84,22 @@ struct DbOptions {
   // an in-memory WAL). Charged AFTER the commit critical section, so
   // concurrent committers overlap their waits exactly as group commit
   // overlaps log-force latency. Zero (the default) disables it; benches use
-  // it to model log-force-bound propagation (EXPERIMENTS.md E13).
+  // it to model log-force-bound propagation (EXPERIMENTS.md E13). Ignored
+  // when wal_dir is set: the file-backed WAL's real group-commit sync
+  // replaces the simulation.
   std::chrono::microseconds commit_latency{0};
+  // When non-empty, the WAL is file-backed: a segmented on-disk log in this
+  // directory, written through a group-commit flusher; Commit blocks until
+  // its commit record's batch is fsynced (storage/wal_segment.h). The
+  // directory must not already hold a log (recover one with
+  // harness/crash_harness.h RecoverFromWalDir instead). Empty (the
+  // default): the log is in-memory only, as before.
+  std::string wal_dir;
+  // Segment rotation threshold for the file-backed WAL.
+  size_t wal_segment_bytes = 1u << 20;
+  // False caps every flusher batch at one record -- one fsync per commit
+  // (the "single-sync" baseline of EXPERIMENTS.md E16).
+  bool wal_group_commit = true;
   // Read behavior against quarantined views (see enum above).
   QuarantineReadPolicy quarantine_read_policy = QuarantineReadPolicy::kFailFast;
   // Compile per-relation propagation queries into delta programs with

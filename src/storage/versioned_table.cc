@@ -141,6 +141,15 @@ void VersionedTable::ScanVisitSnapshot(
   ScanVisitImpl([&](const Version& v) { return VisibleAt(v, csn); }, pred, fn);
 }
 
+void VersionedTable::VisitVersions(
+    const std::function<void(const Tuple&, Csn begin, Csn end)>& fn) const {
+  std::shared_lock<std::shared_mutex> lk(latch_);
+  for (const Version& v : versions_) {
+    if (v.insert_aborted || v.begin_csn == kNullCsn) continue;
+    fn(v.tuple, v.begin_csn, v.end_csn);
+  }
+}
+
 void VersionedTable::ProbeVisitCurrent(
     TxnId txn, size_t col, const Value& key,
     const std::function<void(const Tuple&)>& fn) const {

@@ -102,6 +102,15 @@ class VersionedTable {
   void ProbeVisitSnapshot(Csn csn, size_t col, const Value& key,
                           const std::function<void(const Tuple&)>& fn) const;
 
+  // Visits every committed, non-aborted version with its validity interval
+  // [begin_csn, end_csn) -- end_csn is kMaxCsn for live versions and for
+  // versions whose delete is still pending. The durable-checkpoint image
+  // builder (ivm/checkpoint.cc) regenerates the table's full committed
+  // history from these intervals. Same latch contract as the visitors
+  // above: `fn` must not re-enter this table or block.
+  void VisitVersions(
+      const std::function<void(const Tuple&, Csn begin, Csn end)>& fn) const;
+
   // All tuples visible to `txn` right now (committed + own pending).
   std::vector<Tuple> CurrentScan(TxnId txn) const;
   // Visible tuples matching `pred`.

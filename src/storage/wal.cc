@@ -3,14 +3,65 @@
 #include <cassert>
 
 #include "obs/registry.h"
+#include "storage/wal_codec.h"
+#include "storage/wal_segment.h"
 
 namespace rollview {
+
+Wal::Wal() = default;
+Wal::~Wal() = default;
 
 Lsn Wal::Append(WalRecord record) {
   std::lock_guard<std::mutex> lk(mu_);
   record.lsn = next_lsn_;
+  if (store_ != nullptr) {
+    // Encoded under mu_ so the store's queue order matches LSN order (and
+    // thus commit-CSN order for kCommit records).
+    std::string bytes;
+    EncodeWalRecord(record, &bytes);
+    Csn csn = record.kind == WalRecord::Kind::kCommit ? record.commit_csn
+                                                      : kNullCsn;
+    store_->Enqueue(record.lsn, csn, std::move(bytes));
+  }
   records_.push_back(std::move(record));
   return next_lsn_++;
+}
+
+Status Wal::OpenDurable(const DurableWalOptions& options, uint64_t generation,
+                        bool require_empty) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (store_ != nullptr) {
+    return Status::AlreadyExists("durable wal backend already attached");
+  }
+  store_ = std::make_unique<WalSegmentStore>();
+  store_->SetFaultInjector(injector_.load(std::memory_order_acquire));
+  // On failure the store stays attached in its failed state: commits then
+  // fail through CheckWritable instead of silently losing durability.
+  return store_->Open(options, generation, next_lsn_, require_empty);
+}
+
+Status Wal::SyncTo(Lsn lsn) {
+  if (store_ == nullptr) return Status::OK();
+  return store_->SyncTo(lsn);
+}
+
+Status Wal::CheckWritable() const {
+  if (store_ == nullptr) return Status::OK();
+  return store_->CheckWritable();
+}
+
+Csn Wal::durable_covered_csn() const {
+  if (store_ == nullptr) return kMaxCsn;
+  return store_->covered_csn();
+}
+
+void Wal::SetRetentionFloor(Csn floor) {
+  if (store_ != nullptr) store_->SetRetentionFloor(floor);
+}
+
+void Wal::SetFaultInjector(FaultInjector* injector) {
+  injector_.store(injector, std::memory_order_release);
+  if (store_ != nullptr) store_->SetFaultInjector(injector);
 }
 
 Lsn Wal::ReadFrom(Lsn from, size_t max, std::vector<WalRecord>* out) const {
@@ -50,6 +101,64 @@ void Wal::RegisterMetrics(obs::MetricsRegistry* registry,
   registry->RegisterGaugeFn(
       "rollview_wal_records", {},
       [this] { return static_cast<int64_t>(size()); }, owner);
+  if (store_ == nullptr) return;
+  WalSegmentStore* store = store_.get();
+  registry->RegisterGaugeFn(
+      "rollview_wal_segments", {},
+      [store] { return static_cast<int64_t>(store->segment_count()); }, owner);
+  registry->RegisterGaugeFn(
+      "rollview_wal_bytes", {{"state", "active"}},
+      [store] {
+        return static_cast<int64_t>(store->bytes_by_state().active);
+      },
+      owner);
+  registry->RegisterGaugeFn(
+      "rollview_wal_bytes", {{"state", "sealed"}},
+      [store] {
+        return static_cast<int64_t>(store->bytes_by_state().sealed);
+      },
+      owner);
+  registry->RegisterGaugeFn(
+      "rollview_wal_bytes", {{"state", "retained"}},
+      [store] {
+        return static_cast<int64_t>(store->bytes_by_state().retained);
+      },
+      owner);
+  registry->RegisterGaugeFn(
+      "rollview_wal_durable_end_lsn", {},
+      [store] { return static_cast<int64_t>(store->durable_end_lsn()); },
+      owner);
+  registry->RegisterGaugeFn(
+      "rollview_wal_covered_end_lsn", {},
+      [store] { return static_cast<int64_t>(store->covered_end_lsn()); },
+      owner);
+  registry->RegisterCounterFn(
+      "rollview_wal_storage_faults_total", {{"class", "eio"}},
+      [store] { return store->counters().faults_eio; },
+      owner);
+  registry->RegisterCounterFn(
+      "rollview_wal_storage_faults_total", {{"class", "short_write"}},
+      [store] { return store->counters().faults_short_write; },
+      owner);
+  registry->RegisterCounterFn(
+      "rollview_wal_storage_faults_total", {{"class", "enospc"}},
+      [store] { return store->counters().faults_enospc; },
+      owner);
+  registry->RegisterCounterFn(
+      "rollview_wal_group_commit_batches_total", {},
+      [store] { return store->counters().batches; },
+      owner);
+  registry->RegisterCounterFn(
+      "rollview_wal_checkpoints_published_total", {},
+      [store] { return store->counters().checkpoints_published; },
+      owner);
+  // Histograms are registry-owned (stable for the registry's lifetime,
+  // which the Db metrics contract already requires to outlive the engine).
+  // Batch size is recorded in records, not nanos -- the histogram type is
+  // a unit-agnostic reservoir.
+  store->AttachHistograms(
+      registry->GetHistogram("rollview_wal_group_commit_batch_size"),
+      registry->GetHistogram("rollview_wal_sync_nanos"));
 }
 
 }  // namespace rollview

@@ -7,8 +7,14 @@
 // the log-capture process (capture/log_capture.h, the paper's DPropR
 // analogue) relies on to advance its high-water mark monotonically.
 //
-// The log is kept in memory; truncation of consumed prefixes is supported so
-// long-running benchmarks stay bounded.
+// The in-memory deque is the capture read path; truncation of consumed
+// prefixes is supported so long-running benchmarks stay bounded. When
+// DbOptions::wal_dir is set, the log is additionally durable: every append
+// is encoded and handed to a file-backed segment store
+// (storage/wal_segment.h) whose group-commit flusher batches appends and
+// fsyncs; SyncTo is the commit acknowledgment point. With wal_dir empty
+// (the default) nothing touches disk and existing tests/benches keep their
+// fast path.
 
 #ifndef ROLLVIEW_STORAGE_WAL_H_
 #define ROLLVIEW_STORAGE_WAL_H_
@@ -34,6 +40,9 @@ namespace rollview {
 namespace obs {
 class MetricsRegistry;
 }  // namespace obs
+
+struct DurableWalOptions;
+class WalSegmentStore;
 
 using Lsn = uint64_t;
 
@@ -100,8 +109,36 @@ inline bool IsViewRecord(WalRecord::Kind k) {
 
 class Wal {
  public:
-  // Appends a record, assigning it the next LSN (returned).
+  Wal();
+  ~Wal();
+
+  // Appends a record, assigning it the next LSN (returned). With a durable
+  // backend attached the encoded record is also enqueued for the
+  // group-commit flusher (in LSN order -- encoding happens under the same
+  // mutex that assigns the LSN).
   Lsn Append(WalRecord record);
+
+  // --- Durable backing (file-backed segmented log) ---
+
+  // Attaches a segment store at `generation`, starting from the current
+  // next_lsn(). On failure the store is kept in its failed state so
+  // CheckWritable()/SyncTo surface the error instead of silently running
+  // in-memory. Call store()->Start() to launch the flusher (recovery
+  // publishes its checkpoint first).
+  Status OpenDurable(const DurableWalOptions& options, uint64_t generation,
+                     bool require_empty);
+  bool durable() const { return store_ != nullptr; }
+  WalSegmentStore* store() const { return store_.get(); }
+
+  // Blocks until the record at `lsn` is durable. No-op without a backend.
+  Status SyncTo(Lsn lsn);
+  // Fail-fast commit gate: transient Busy while the device is out of space.
+  Status CheckWritable() const;
+  // CSN coverage of the latest durable checkpoint; kMaxCsn without a
+  // backend (retention is then unconstrained by durability).
+  Csn durable_covered_csn() const;
+  // Forwards the RetentionManager prune floor to segment retention.
+  void SetRetentionFloor(Csn floor);
 
   // Deterministic fault injection (common/fault_injector.h). Append sites
   // that can surface an error to a transaction call MaybeInjectWriteError()
@@ -111,9 +148,9 @@ class Wal {
   // ENOSPC), all transient.
   // Atomic so installation from a test/driver thread publishes the fully
   // constructed injector to threads already appending (release/acquire).
-  void SetFaultInjector(FaultInjector* injector) {
-    injector_.store(injector, std::memory_order_release);
-  }
+  // Forwarded to the durable backend (whose flusher draws class-resolved
+  // storage faults) when one is attached.
+  void SetFaultInjector(FaultInjector* injector);
   Status MaybeInjectWriteError() {
     FaultInjector* fi = injector_.load(std::memory_order_acquire);
     if (fi == nullptr) return Status::OK();
@@ -132,8 +169,11 @@ class Wal {
   Lsn next_lsn() const;
   size_t size() const;
 
-  // Registers rollview_wal_next_lsn and rollview_wal_records gauges. The
-  // caller must DropOwner(owner) on the registry before the WAL dies.
+  // Registers rollview_wal_next_lsn and rollview_wal_records gauges; with a
+  // durable backend also the segment/durability telemetry
+  // (rollview_wal_segments, rollview_wal_bytes{state}, group-commit batch
+  // size + sync latency histograms, rollview_wal_storage_faults_total).
+  // The caller must DropOwner(owner) on the registry before the WAL dies.
   void RegisterMetrics(obs::MetricsRegistry* registry,
                        const void* owner) const;
 
@@ -143,6 +183,7 @@ class Wal {
   std::deque<WalRecord> records_;
   Lsn first_lsn_ = 0;  // LSN of records_.front()
   Lsn next_lsn_ = 0;
+  std::unique_ptr<WalSegmentStore> store_;
 };
 
 }  // namespace rollview

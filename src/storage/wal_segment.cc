@@ -1,0 +1,1094 @@
+#include "storage/wal_segment.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/wal_codec.h"
+
+namespace rollview {
+
+namespace {
+
+constexpr char kSegmentMagic[8] = {'R', 'V', 'W', 'A', 'L', 'S', 'G', '1'};
+constexpr char kCkptMagic[8] = {'R', 'V', 'W', 'A', 'L', 'C', 'K', '1'};
+constexpr uint32_t kSegmentVersion = 1;
+constexpr uint32_t kCkptVersion = 1;
+constexpr uint32_t kFlagSealed = 1u << 0;
+constexpr uint32_t kFlagPrevPoisoned = 1u << 1;
+constexpr size_t kCkptHeaderBytes = 56;
+
+// Classification of one real or injected I/O attempt.
+enum class IoClass { kOk, kEnospc, kFailed };
+
+IoClass ClassifyErrno(int err) {
+  return err == ENOSPC ? IoClass::kEnospc : IoClass::kFailed;
+}
+
+IoClass WriteFully(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ClassifyErrno(errno);
+    }
+    if (w == 0) return IoClass::kFailed;
+    off += static_cast<size_t>(w);
+  }
+  return IoClass::kOk;
+}
+
+IoClass PwriteFully(int fd, const char* data, size_t n, off_t pos) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::pwrite(fd, data + off, n - off, pos + static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ClassifyErrno(errno);
+    }
+    if (w == 0) return IoClass::kFailed;
+    off += static_cast<size_t>(w);
+  }
+  return IoClass::kOk;
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Internal("open wal dir for fsync failed: " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal("fsync of wal dir failed: " + dir);
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  if (errno == ENOENT) {
+    // One level of parent creation covers the test-tempdir layouts.
+    size_t slash = dir.find_last_of('/');
+    if (slash != std::string::npos && slash > 0) {
+      ROLLVIEW_RETURN_NOT_OK(EnsureDirectory(dir.substr(0, slash)));
+      if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::Internal("mkdir failed for wal dir: " + dir);
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Internal("open failed: " + path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal("read failed: " + path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool ParseHex16(const std::string& s, size_t pos, uint64_t* v) {
+  if (pos + 16 > s.size()) return false;
+  uint64_t acc = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    char c = s[pos + i];
+    acc <<= 4;
+    if (c >= '0' && c <= '9') {
+      acc |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      acc |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *v = acc;
+  return true;
+}
+
+// Deterministic cut point for a simulated torn batch tail (crash or injected
+// short write mid-append): 25/50/75% of the batch, keyed by its first LSN.
+size_t TornCut(Lsn first_lsn, size_t n) {
+  if (n == 0) return 0;
+  return (n * ((first_lsn % 3) + 1)) / 4;
+}
+
+}  // namespace
+
+std::string EncodeSegmentHeader(const SegmentHeader& h) {
+  std::string out;
+  out.append(kSegmentMagic, sizeof(kSegmentMagic));
+  wal_io::PutU32(&out, kSegmentVersion);
+  uint32_t flags = (h.sealed ? kFlagSealed : 0u) |
+                   (h.prev_poisoned ? kFlagPrevPoisoned : 0u);
+  wal_io::PutU32(&out, flags);
+  wal_io::PutU64(&out, h.generation);
+  wal_io::PutU64(&out, h.first_lsn);
+  wal_io::PutU64(&out, h.last_lsn);
+  wal_io::PutU64(&out, h.min_csn);
+  wal_io::PutU64(&out, h.max_csn);
+  wal_io::PutU32(&out, 0);  // reserved
+  wal_io::PutU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<SegmentHeader> DecodeSegmentHeader(const std::string& data) {
+  if (data.size() < kSegmentHeaderBytes) {
+    return Status::OutOfRange("segment header truncated");
+  }
+  if (std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Status::Internal("bad segment magic");
+  }
+  size_t pos = sizeof(kSegmentMagic);
+  uint32_t version = 0, flags = 0, reserved = 0, crc = 0;
+  SegmentHeader h;
+  if (!wal_io::GetU32(data, &pos, &version) ||
+      !wal_io::GetU32(data, &pos, &flags) ||
+      !wal_io::GetU64(data, &pos, &h.generation) ||
+      !wal_io::GetU64(data, &pos, &h.first_lsn) ||
+      !wal_io::GetU64(data, &pos, &h.last_lsn) ||
+      !wal_io::GetU64(data, &pos, &h.min_csn) ||
+      !wal_io::GetU64(data, &pos, &h.max_csn) ||
+      !wal_io::GetU32(data, &pos, &reserved) ||
+      !wal_io::GetU32(data, &pos, &crc)) {
+    return Status::Internal("segment header decode failed");
+  }
+  if (crc != Crc32(data.data(), pos - sizeof(uint32_t))) {
+    return Status::Internal("segment header checksum mismatch");
+  }
+  if (version != kSegmentVersion) {
+    return Status::Internal("unsupported segment version");
+  }
+  h.sealed = (flags & kFlagSealed) != 0;
+  h.prev_poisoned = (flags & kFlagPrevPoisoned) != 0;
+  return h;
+}
+
+std::string SegmentFileName(uint64_t generation, Lsn first_lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx-%016llx.seg",
+                static_cast<unsigned long long>(generation),
+                static_cast<unsigned long long>(first_lsn));
+  return buf;
+}
+
+std::string CheckpointFileName(uint64_t generation) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ckpt-%016llx.ckpt",
+                static_cast<unsigned long long>(generation));
+  return buf;
+}
+
+// --- Directory scan (recovery read path) ---------------------------------
+
+namespace {
+
+struct CkptFile {
+  uint64_t generation = 0;
+  std::string path;
+};
+struct SegFile {
+  uint64_t generation = 0;
+  Lsn first_lsn = 0;
+  std::string path;
+};
+
+struct DirListing {
+  std::vector<CkptFile> ckpts;
+  std::vector<SegFile> segs;
+  bool exists = false;
+};
+
+Result<DirListing> ListWalDir(const std::string& dir) {
+  DirListing out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return out;  // fresh database
+    return Status::Internal("opendir failed: " + dir);
+  }
+  out.exists = true;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    uint64_t gen = 0, first = 0;
+    if (name.size() == 4 + 16 + 1 + 16 + 4 && name.rfind("wal-", 0) == 0 &&
+        name.compare(name.size() - 4, 4, ".seg") == 0 &&
+        ParseHex16(name, 4, &gen) && name[20] == '-' &&
+        ParseHex16(name, 21, &first)) {
+      out.segs.push_back(SegFile{gen, first, dir + "/" + name});
+    } else if (name.size() == 5 + 16 + 5 && name.rfind("ckpt-", 0) == 0 &&
+               name.compare(name.size() - 5, 5, ".ckpt") == 0 &&
+               ParseHex16(name, 5, &gen)) {
+      out.ckpts.push_back(CkptFile{gen, dir + "/" + name});
+    }
+    // Anything else (ckpt-*.tmp from an interrupted publish, stray files)
+    // is ignored.
+  }
+  ::closedir(d);
+  return out;
+}
+
+std::string EncodeCkptHeader(uint64_t generation, Lsn covered_end_lsn,
+                             Csn covered_csn, const std::string& body) {
+  std::string out;
+  out.append(kCkptMagic, sizeof(kCkptMagic));
+  wal_io::PutU32(&out, kCkptVersion);
+  wal_io::PutU32(&out, 0);  // reserved
+  wal_io::PutU64(&out, generation);
+  wal_io::PutU64(&out, covered_end_lsn);
+  wal_io::PutU64(&out, covered_csn);
+  wal_io::PutU64(&out, body.size());
+  wal_io::PutU32(&out, Crc32(body.data(), body.size()));
+  wal_io::PutU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+struct DecodedCkpt {
+  uint64_t generation = 0;
+  Lsn covered_end_lsn = 0;
+  Csn covered_csn = 0;
+  std::vector<WalRecord> image;
+};
+
+Result<DecodedCkpt> DecodeCkptFile(const std::string& path) {
+  ROLLVIEW_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+  if (data.size() < kCkptHeaderBytes) {
+    return Status::Internal("checkpoint file truncated: " + path);
+  }
+  if (std::memcmp(data.data(), kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    return Status::Internal("bad checkpoint magic: " + path);
+  }
+  size_t pos = sizeof(kCkptMagic);
+  uint32_t version = 0, reserved = 0, body_crc = 0, header_crc = 0;
+  uint64_t body_size = 0;
+  DecodedCkpt out;
+  if (!wal_io::GetU32(data, &pos, &version) ||
+      !wal_io::GetU32(data, &pos, &reserved) ||
+      !wal_io::GetU64(data, &pos, &out.generation) ||
+      !wal_io::GetU64(data, &pos, &out.covered_end_lsn) ||
+      !wal_io::GetU64(data, &pos, &out.covered_csn) ||
+      !wal_io::GetU64(data, &pos, &body_size) ||
+      !wal_io::GetU32(data, &pos, &body_crc) ||
+      !wal_io::GetU32(data, &pos, &header_crc)) {
+    return Status::Internal("checkpoint header decode failed: " + path);
+  }
+  if (header_crc != Crc32(data.data(), pos - sizeof(uint32_t))) {
+    return Status::Internal("checkpoint header checksum mismatch: " + path);
+  }
+  if (version != kCkptVersion) {
+    return Status::Internal("unsupported checkpoint version: " + path);
+  }
+  if (data.size() - pos != body_size) {
+    return Status::Internal("checkpoint body size mismatch: " + path);
+  }
+  std::string body = data.substr(pos);
+  if (body_crc != Crc32(body.data(), body.size())) {
+    return Status::Internal("checkpoint body checksum mismatch: " + path);
+  }
+  ROLLVIEW_ASSIGN_OR_RETURN(out.image, DecodeWal(body));
+  return out;
+}
+
+}  // namespace
+
+Result<WalDirScan> ScanWalDir(const std::string& dir) {
+  WalDirScan scan;
+  ROLLVIEW_ASSIGN_OR_RETURN(DirListing listing, ListWalDir(dir));
+  for (const CkptFile& c : listing.ckpts) {
+    scan.max_generation = std::max(scan.max_generation, c.generation);
+  }
+  for (const SegFile& s : listing.segs) {
+    scan.max_generation = std::max(scan.max_generation, s.generation);
+  }
+  if (!listing.ckpts.empty()) {
+    const CkptFile* best = &listing.ckpts[0];
+    for (const CkptFile& c : listing.ckpts) {
+      if (c.generation > best->generation) best = &c;
+    }
+    // The newest checkpoint is the recovery anchor; damage to it is
+    // unrecoverable media corruption, so it fails loudly rather than
+    // silently falling back to a stale generation.
+    ROLLVIEW_ASSIGN_OR_RETURN(DecodedCkpt ckpt, DecodeCkptFile(best->path));
+    if (ckpt.generation != best->generation) {
+      return Status::Internal("checkpoint generation mismatch: " + best->path);
+    }
+    scan.checkpoint_generation = ckpt.generation;
+    scan.covered_end_lsn = ckpt.covered_end_lsn;
+    scan.covered_csn = ckpt.covered_csn;
+    scan.image = std::move(ckpt.image);
+  }
+
+  // Segment suffix: only the newest generation is replayable. Segments of a
+  // generation newer than the newest checkpoint can only exist if that
+  // generation's checkpoint was destroyed (publish strictly precedes the
+  // first append of a generation) -- fail loudly. Older generations are
+  // fully covered leftovers awaiting deletion.
+  std::vector<SegFile> segs;
+  uint64_t seg_gen = 0;
+  for (const SegFile& s : listing.segs) {
+    seg_gen = std::max(seg_gen, s.generation);
+  }
+  if (seg_gen > 0) {
+    if (scan.checkpoint_generation == 0) {
+      for (const SegFile& s : listing.segs) {
+        if (s.generation != seg_gen) {
+          return Status::Internal(
+              "wal dir holds multiple segment generations but no checkpoint");
+        }
+      }
+      segs = listing.segs;
+    } else if (seg_gen > scan.checkpoint_generation) {
+      return Status::Internal(
+          "segment generation newer than newest checkpoint (checkpoint "
+          "destroyed?)");
+    } else {
+      for (const SegFile& s : listing.segs) {
+        if (s.generation == scan.checkpoint_generation) segs.push_back(s);
+      }
+    }
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const SegFile& a, const SegFile& b) {
+              return a.first_lsn < b.first_lsn;
+            });
+
+  // Two passes: headers first (a segment's tolerance for a torn tail
+  // depends on its successor's prev_poisoned flag), then bodies in order.
+  struct LoadedSeg {
+    SegmentHeader header;
+    std::string data;
+  };
+  std::vector<LoadedSeg> loaded;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    ROLLVIEW_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(segs[i].path));
+    bool last = i + 1 == segs.size();
+    if (data.size() < kSegmentHeaderBytes) {
+      // A header can only be torn in the very last segment (creation
+      // crashed before any record was acknowledged in it).
+      if (!last) {
+        return Status::Internal("torn segment header mid-stream: " +
+                                segs[i].path);
+      }
+      scan.torn_tail = true;
+      break;
+    }
+    auto header = DecodeSegmentHeader(data);
+    if (!header.ok()) return header.status();
+    if (header->generation != segs[i].generation ||
+        header->first_lsn != segs[i].first_lsn) {
+      return Status::Internal("segment header does not match file name: " +
+                              segs[i].path);
+    }
+    loaded.push_back(LoadedSeg{*header, std::move(data)});
+  }
+
+  Lsn next_expected = scan.covered_end_lsn;
+  if (!loaded.empty() && scan.checkpoint_generation == 0 &&
+      loaded[0].header.first_lsn != 0) {
+    return Status::Internal("first segment does not start at lsn 0");
+  }
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    const LoadedSeg& seg = loaded[i];
+    bool last = i + 1 == loaded.size();
+    bool successor_poisoned = !last && loaded[i + 1].header.prev_poisoned;
+    if (scan.checkpoint_generation != 0 || i > 0) {
+      if (seg.header.first_lsn > next_expected) {
+        return Status::Internal(
+            "lsn gap entering segment (covered suffix stranded): " +
+            SegmentFileName(seg.header.generation, seg.header.first_lsn));
+      }
+    }
+    std::string body = seg.data.substr(kSegmentHeaderBytes);
+    WalPrefix prefix = DecodeWalPrefix(body);
+    bool damaged = prefix.torn_tail || !prefix.corruption.ok() ||
+                   prefix.valid_bytes != body.size();
+    if (seg.header.sealed) {
+      if (damaged || prefix.records.empty() ||
+          prefix.records.back().lsn != seg.header.last_lsn) {
+        return Status::Internal(
+            "sealed segment corrupt (mid-stream damage): " +
+            SegmentFileName(seg.header.generation, seg.header.first_lsn));
+      }
+    } else if (!last && !successor_poisoned) {
+      return Status::Internal(
+          "unsealed segment mid-stream without poisoned-rotation marker: " +
+          SegmentFileName(seg.header.generation, seg.header.first_lsn));
+    } else if (damaged && last) {
+      scan.torn_tail = true;
+    }
+    // Per-record continuity inside the segment.
+    Lsn expect = seg.header.first_lsn;
+    for (const WalRecord& rec : prefix.records) {
+      if (rec.lsn != expect) {
+        return Status::Internal("lsn discontinuity inside segment");
+      }
+      ++expect;
+    }
+    std::vector<WalRecord> records = std::move(prefix.records);
+    if (successor_poisoned) {
+      // The successor re-appended this segment's unacknowledged batch;
+      // everything at or beyond its first LSN here is a duplicate (or a
+      // torn fragment) and is dropped.
+      Lsn succ_first = loaded[i + 1].header.first_lsn;
+      while (!records.empty() && records.back().lsn >= succ_first) {
+        records.pop_back();
+        ++scan.records_dropped;
+      }
+    }
+    if (!records.empty()) {
+      Lsn seg_end = records.back().lsn + 1;
+      if (!last && loaded[i + 1].header.first_lsn > seg_end) {
+        return Status::Internal("lsn gap between segments");
+      }
+      next_expected = std::max(next_expected, seg_end);
+    }
+    for (WalRecord& rec : records) {
+      if (rec.lsn >= scan.covered_end_lsn) {
+        scan.suffix.push_back(std::move(rec));
+      }
+    }
+    ++scan.segments_read;
+  }
+  // Suffix continuity against the checkpoint boundary.
+  if (!scan.suffix.empty() && scan.suffix.front().lsn != scan.covered_end_lsn) {
+    return Status::Internal(
+        "replay suffix does not start at checkpoint coverage (segments "
+        "missing)");
+  }
+  for (size_t i = 1; i < scan.suffix.size(); ++i) {
+    if (scan.suffix[i].lsn != scan.suffix[i - 1].lsn + 1) {
+      return Status::Internal("replay suffix has an lsn gap");
+    }
+  }
+  return scan;
+}
+
+// --- Writer side ----------------------------------------------------------
+
+WalSegmentStore::~WalSegmentStore() {
+  Stop();
+  std::lock_guard<std::mutex> lk(smu_);
+  if (active_fd_ >= 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+}
+
+Status WalSegmentStore::Open(const DurableWalOptions& options,
+                             uint64_t generation, Lsn next_lsn,
+                             bool require_empty) {
+  options_ = options;
+  generation_ = generation;
+  durable_end_lsn_.store(next_lsn, std::memory_order_release);
+  Status s = EnsureDirectory(options_.dir);
+  if (!s.ok()) {
+    open_status_ = s;
+    return s;
+  }
+  if (require_empty) {
+    auto listing = ListWalDir(options_.dir);
+    if (!listing.ok()) {
+      open_status_ = listing.status();
+      return open_status_;
+    }
+    if (!listing->segs.empty() || !listing->ckpts.empty()) {
+      open_status_ = Status::AlreadyExists(
+          "wal dir holds an existing log; recover it instead of opening "
+          "fresh: " + options_.dir);
+      return open_status_;
+    }
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+void WalSegmentStore::Start() {
+  if (!opened_ || flusher_running_) return;
+  flusher_running_ = true;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void WalSegmentStore::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  durable_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void WalSegmentStore::Enqueue(Lsn lsn, Csn commit_csn, std::string bytes) {
+  if (!opened_ || crashed()) return;
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    queue_.push_back(QueuedRecord{lsn, commit_csn, std::move(bytes)});
+  }
+  queue_cv_.notify_one();
+}
+
+Status WalSegmentStore::SyncTo(Lsn lsn) {
+  if (!opened_) return open_status_.ok() ? Status::Internal("wal not open")
+                                         : open_status_;
+  auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lk(qmu_);
+  durable_cv_.wait(lk, [&] {
+    return crashed() || durable_end_lsn() > lsn ||
+           (stopping_ && !flusher_running_);
+  });
+  if (durable_end_lsn() > lsn) {
+    LatencyHistogram* sync_hist =
+        sync_nanos_hist_.load(std::memory_order_acquire);
+    if (sync_hist != nullptr) {
+      auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+      sync_hist->Record(static_cast<uint64_t>(nanos));
+    }
+    return Status::OK();
+  }
+  if (crashed()) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+  return Status::Internal("wal stopped before record became durable");
+}
+
+Status WalSegmentStore::CheckWritable() const {
+  if (!opened_) {
+    return open_status_.ok() ? Status::Internal("wal not open") : open_status_;
+  }
+  if (crashed()) return Status::Internal("wal crashed (simulated power cut)");
+  if (out_of_space()) {
+    return Status::Busy(
+        "wal device out of space; commit fails fast until space recovers");
+  }
+  return Status::OK();
+}
+
+bool WalSegmentStore::CrashAt(const char* point) {
+  if (!crash_hook_) return false;
+  if (!crash_hook_(point)) return false;
+  crashed_.store(true, std::memory_order_release);
+  FailAllWaiters();
+  return true;
+}
+
+void WalSegmentStore::FailAllWaiters() {
+  // The crashed_/stopping_ flags these notifies publish are written
+  // outside qmu_; passing through the mutex first means any waiter that
+  // evaluated its predicate before the flag flipped has reached its wait
+  // (released qmu_) by the time we notify, so the wakeup cannot be lost.
+  { std::lock_guard<std::mutex> lk(qmu_); }
+  queue_cv_.notify_all();
+  durable_cv_.notify_all();
+}
+
+StorageFaultClass WalSegmentStore::DrawInjectedFault() {
+  FaultInjector* fi = injector_.load(std::memory_order_acquire);
+  if (fi == nullptr) return StorageFaultClass::kNone;
+  return fi->MaybeStorageFaultClass();
+}
+
+void WalSegmentStore::FlusherLoop() {
+  for (;;) {
+    std::vector<QueuedRecord> batch;
+    {
+      std::unique_lock<std::mutex> lk(qmu_);
+      queue_cv_.wait(lk, [&] {
+        return stopping_ || crashed() || !queue_.empty();
+      });
+      if (crashed() || (queue_.empty() && stopping_)) {
+        flusher_running_ = false;
+        break;
+      }
+      size_t take = options_.group_commit ? queue_.size() : 1;
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    FlushBatch(&batch);
+    durable_cv_.notify_all();
+    if (crashed()) {
+      std::lock_guard<std::mutex> lk(qmu_);
+      flusher_running_ = false;
+      break;
+    }
+  }
+  FailAllWaiters();
+}
+
+void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
+  // Records a published checkpoint already covers need no flush: the image
+  // supersedes them (this happens when a checkpoint lands between enqueue
+  // and drain). Their waiters were released when coverage advanced.
+  Lsn covered = covered_end_lsn();
+  while (!batch->empty() && batch->front().lsn < covered) {
+    batch->erase(batch->begin());
+  }
+  if (batch->empty()) return;
+
+  Lsn first_lsn = batch->front().lsn;
+  Lsn end_lsn = batch->back().lsn + 1;
+  std::string bytes;
+  Csn batch_min = 0, batch_max = 0;
+  for (const QueuedRecord& r : *batch) {
+    bytes += r.bytes;
+    if (r.commit_csn != kNullCsn) {
+      if (batch_min == 0 || r.commit_csn < batch_min) batch_min = r.commit_csn;
+      if (r.commit_csn > batch_max) batch_max = r.commit_csn;
+    }
+  }
+
+  bool prev_poisoned = false;
+  for (;;) {
+    if (crashed()) return;
+    {
+      std::lock_guard<std::mutex> lk(qmu_);
+      if (stopping_ && out_of_space()) return;  // give up the retry loop
+    }
+    if (active_fd_ < 0) {
+      Status s = EnsureActiveSegment(first_lsn, prev_poisoned);
+      if (!s.ok()) {
+        if (crashed()) return;
+        std::this_thread::sleep_for(options_.enospc_retry);
+        continue;
+      }
+      prev_poisoned = false;
+    }
+
+    // Injected storage faults, drawn before the real write so a fixed seed
+    // gives a fixed fault schedule regardless of device behavior.
+    StorageFaultClass injected = DrawInjectedFault();
+    if (injected == StorageFaultClass::kEnospc) {
+      faults_enospc_.fetch_add(1, std::memory_order_relaxed);
+      out_of_space_.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(options_.enospc_retry);
+      continue;
+    }
+    if (injected == StorageFaultClass::kEio) {
+      faults_eio_.fetch_add(1, std::memory_order_relaxed);
+      PoisonActiveSegment();
+      prev_poisoned = true;
+      continue;
+    }
+    if (injected == StorageFaultClass::kShortWrite) {
+      // A short write leaves real torn bytes behind before the rotation --
+      // the on-disk shape recovery must tolerate in a poisoned segment.
+      faults_short_write_.fetch_add(1, std::memory_order_relaxed);
+      size_t cut = TornCut(first_lsn, bytes.size());
+      (void)WriteFully(active_fd_, bytes.data(), cut);
+      PoisonActiveSegment();
+      prev_poisoned = true;
+      continue;
+    }
+
+    if (crash_hook_) {
+      // A crash mid-append persists a deterministic partial prefix of the
+      // batch: the classic torn tail.
+      std::lock_guard<std::mutex> lk(smu_);
+      if (active_fd_ >= 0 && crash_hook_("segment.append")) {
+        size_t cut = TornCut(first_lsn, bytes.size());
+        (void)WriteFully(active_fd_, bytes.data(), cut);
+        crashed_.store(true, std::memory_order_release);
+        FailAllWaiters();
+        return;
+      }
+    }
+
+    IoClass wrote = WriteFully(active_fd_, bytes.data(), bytes.size());
+    if (wrote == IoClass::kEnospc) {
+      faults_enospc_.fetch_add(1, std::memory_order_relaxed);
+      out_of_space_.store(true, std::memory_order_release);
+      // The partial write (if any) poisons the segment: we will not append
+      // more bytes after an incomplete batch.
+      PoisonActiveSegment();
+      prev_poisoned = true;
+      std::this_thread::sleep_for(options_.enospc_retry);
+      continue;
+    }
+    if (wrote == IoClass::kFailed) {
+      faults_eio_.fetch_add(1, std::memory_order_relaxed);
+      PoisonActiveSegment();
+      prev_poisoned = true;
+      continue;
+    }
+
+    if (CrashAt("segment.sync")) return;
+    if (::fsync(active_fd_) != 0) {
+      // fsyncgate: a failed fsync leaves the page cache in unknown state;
+      // never fsync-retry the same file. Poison and rotate.
+      if (errno == ENOSPC) {
+        faults_enospc_.fetch_add(1, std::memory_order_relaxed);
+        out_of_space_.store(true, std::memory_order_release);
+      } else {
+        faults_eio_.fetch_add(1, std::memory_order_relaxed);
+      }
+      PoisonActiveSegment();
+      prev_poisoned = true;
+      std::this_thread::sleep_for(options_.enospc_retry);
+      continue;
+    }
+
+    // Batch is durable: publish, account, maybe rotate.
+    out_of_space_.store(false, std::memory_order_release);
+    bool rotate = false;
+    {
+      std::lock_guard<std::mutex> lk(smu_);
+      SegmentMeta& meta = segments_.back();
+      meta.bytes += bytes.size();
+      meta.end_lsn = end_lsn;
+      if (batch_min != 0) {
+        if (active_min_csn_ == 0 || batch_min < active_min_csn_) {
+          active_min_csn_ = batch_min;
+        }
+        if (batch_max > active_max_csn_) active_max_csn_ = batch_max;
+      }
+      rotate = meta.bytes >= options_.segment_bytes;
+    }
+    // Account (including the registry-owned histogram) BEFORE the durable
+    // floor advances: once a committer's SyncTo returns, the flusher must
+    // be provably done touching external metric objects for that batch, or
+    // a caller that tears its registry down after joining its committers
+    // races a use-after-free here.
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    records_flushed_.fetch_add(batch->size(), std::memory_order_relaxed);
+    bytes_appended_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    LatencyHistogram* batch_hist =
+        batch_size_hist_.load(std::memory_order_acquire);
+    if (batch_hist != nullptr) {
+      batch_hist->Record(batch->size());
+    }
+    {
+      // Advance the durable floor under the queue mutex: a committer that
+      // just evaluated the SyncTo predicate still holds qmu_, and a bare
+      // atomic store + notify here could land in the window before it
+      // sleeps -- a lost wakeup that strands the committer forever once
+      // the flusher goes idle.
+      std::lock_guard<std::mutex> lk(qmu_);
+      durable_end_lsn_.store(end_lsn, std::memory_order_release);
+    }
+    if (rotate) {
+      (void)SealActiveSegment();
+    }
+    return;
+  }
+}
+
+Status WalSegmentStore::EnsureActiveSegment(Lsn first_lsn,
+                                            bool prev_poisoned) {
+  if (CrashAt("segment.create")) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+  StorageFaultClass injected = DrawInjectedFault();
+  if (injected == StorageFaultClass::kEnospc) {
+    faults_enospc_.fetch_add(1, std::memory_order_relaxed);
+    out_of_space_.store(true, std::memory_order_release);
+    return Status::Busy("injected ENOSPC creating segment");
+  }
+  if (injected != StorageFaultClass::kNone) {
+    faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Busy("injected EIO creating segment");
+  }
+  std::string path = options_.dir + "/" + SegmentFileName(generation_,
+                                                          first_lsn);
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (errno == ENOSPC) out_of_space_.store(true, std::memory_order_release);
+    faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Busy("segment create failed: " + path);
+  }
+  SegmentHeader header;
+  header.generation = generation_;
+  header.first_lsn = first_lsn;
+  header.prev_poisoned = prev_poisoned;
+  std::string encoded = EncodeSegmentHeader(header);
+  IoClass wrote = WriteFully(fd, encoded.data(), encoded.size());
+  if (wrote != IoClass::kOk || ::fsync(fd) != 0) {
+    if (wrote == IoClass::kEnospc || errno == ENOSPC) {
+      out_of_space_.store(true, std::memory_order_release);
+      faults_enospc_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status::Busy("segment header write failed: " + path);
+  }
+  // The directory entry must be durable before any record in this file is
+  // acknowledged; one directory sync per segment covers all of them.
+  Status dsync = SyncDirectory(options_.dir);
+  if (!dsync.ok()) {
+    faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+    return Status::Busy(dsync.message());
+  }
+  {
+    std::lock_guard<std::mutex> lk(smu_);
+    SegmentMeta meta;
+    meta.path = path;
+    meta.header = header;
+    meta.bytes = kSegmentHeaderBytes;
+    meta.end_lsn = first_lsn;
+    meta.active = true;
+    segments_.push_back(std::move(meta));
+    active_fd_ = fd;
+    active_min_csn_ = 0;
+    active_max_csn_ = 0;
+  }
+  segments_created_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WalSegmentStore::SealActiveSegment() {
+  if (CrashAt("rotate.pre_seal")) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+  SegmentHeader sealed;
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(smu_);
+    if (active_fd_ < 0) return Status::OK();
+    SegmentMeta& meta = segments_.back();
+    sealed = meta.header;
+    sealed.sealed = true;
+    sealed.last_lsn = meta.end_lsn - 1;
+    sealed.min_csn = active_min_csn_;
+    sealed.max_csn = active_max_csn_;
+    fd = active_fd_;
+  }
+  std::string encoded = EncodeSegmentHeader(sealed);
+  IoClass wrote = PwriteFully(fd, encoded.data(), encoded.size(), 0);
+  if (wrote != IoClass::kOk || ::fsync(fd) != 0) {
+    // Every record in the segment is already durable; only the seal marker
+    // failed. Poison so the successor carries prev_poisoned and recovery
+    // accepts the unsealed header.
+    faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    PoisonActiveSegment();
+    return Status::Busy("segment seal failed");
+  }
+  if (CrashAt("rotate.post_seal")) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+  {
+    std::lock_guard<std::mutex> lk(smu_);
+    SegmentMeta& meta = segments_.back();
+    meta.header = sealed;
+    meta.active = false;
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  segments_sealed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void WalSegmentStore::PoisonActiveSegment() {
+  std::lock_guard<std::mutex> lk(smu_);
+  if (active_fd_ < 0) return;
+  SegmentMeta& meta = segments_.back();
+  meta.active = false;
+  meta.poisoned = true;
+  // Rolled-up CSN range so retention still gates on the poisoned file.
+  meta.header.min_csn = active_min_csn_;
+  meta.header.max_csn = active_max_csn_;
+  ::close(active_fd_);
+  active_fd_ = -1;
+  segments_poisoned_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status WalSegmentStore::PublishCheckpoint(Lsn covered_end_lsn, Csn covered_csn,
+                                          const std::string& image) {
+  if (!opened_) {
+    return open_status_.ok() ? Status::Internal("wal not open") : open_status_;
+  }
+  if (crashed()) return Status::Internal("wal crashed (simulated power cut)");
+  if (covered_end_lsn < this->covered_end_lsn()) {
+    return Status::InvalidArgument("checkpoint coverage must be monotone");
+  }
+  StorageFaultClass injected = DrawInjectedFault();
+  if (injected != StorageFaultClass::kNone) {
+    if (injected == StorageFaultClass::kEnospc) {
+      faults_enospc_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::Busy("injected storage fault on checkpoint publish");
+  }
+  if (CrashAt("checkpoint.pre_temp")) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+  std::string tmp = options_.dir + "/" + CheckpointFileName(generation_) +
+                    ".tmp";
+  std::string final_path = options_.dir + "/" + CheckpointFileName(generation_);
+  std::string header = EncodeCkptHeader(generation_, covered_end_lsn,
+                                        covered_csn, image);
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (errno == ENOSPC) {
+      faults_enospc_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::Busy("checkpoint temp create failed: " + tmp);
+  }
+  IoClass wrote = WriteFully(fd, header.data(), header.size());
+  if (wrote == IoClass::kOk) {
+    wrote = WriteFully(fd, image.data(), image.size());
+  }
+  if (wrote != IoClass::kOk || ::fsync(fd) != 0) {
+    if (wrote == IoClass::kEnospc || errno == ENOSPC) {
+      faults_enospc_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Busy("checkpoint temp write failed: " + tmp);
+  }
+  ::close(fd);
+  if (CrashAt("checkpoint.post_temp_sync")) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+  if (CrashAt("checkpoint.pre_rename")) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    ::unlink(tmp.c_str());
+    return Status::Busy("checkpoint rename failed: " + final_path);
+  }
+  if (CrashAt("checkpoint.post_rename")) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+  Status dsync = SyncDirectory(options_.dir);
+  if (!dsync.ok()) {
+    // The rename itself is durable or not; without the directory sync we
+    // cannot know. Treat as transient -- the caller may republish.
+    faults_eio_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Busy(dsync.message());
+  }
+  if (CrashAt("checkpoint.dir_sync")) {
+    return Status::Internal("wal crashed (simulated power cut)");
+  }
+
+  covered_end_lsn_.store(covered_end_lsn, std::memory_order_release);
+  covered_csn_.store(covered_csn, std::memory_order_release);
+  checkpoints_published_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Coverage supersedes flushing: queued records below the boundary are
+    // dropped and their waiters acknowledged via the durable floor.
+    std::lock_guard<std::mutex> lk(qmu_);
+    while (!queue_.empty() && queue_.front().lsn < covered_end_lsn) {
+      queue_.pop_front();
+    }
+    if (durable_end_lsn() < covered_end_lsn) {
+      durable_end_lsn_.store(covered_end_lsn, std::memory_order_release);
+    }
+  }
+  durable_cv_.notify_all();
+
+  // Older generations are now fully superseded by this checkpoint.
+  auto listing = ListWalDir(options_.dir);
+  if (listing.ok()) {
+    for (const SegFile& s : listing->segs) {
+      if (s.generation < generation_) {
+        if (CrashAt("prune.pre_unlink")) {
+          return Status::Internal("wal crashed (simulated power cut)");
+        }
+        ::unlink(s.path.c_str());
+        segments_deleted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (const CkptFile& c : listing->ckpts) {
+      if (c.generation < generation_) ::unlink(c.path.c_str());
+    }
+  }
+  PruneSegments();
+  return Status::OK();
+}
+
+size_t WalSegmentStore::PruneSegments() {
+  std::lock_guard<std::mutex> lk(smu_);
+  return PruneSegmentsLocked();
+}
+
+size_t WalSegmentStore::PruneSegmentsLocked() {
+  Lsn covered = covered_end_lsn();
+  Csn csn_gate = std::min(covered_csn(), retention_floor_.load(
+                                             std::memory_order_acquire));
+  size_t deleted = 0;
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    const SegmentMeta& meta = *it;
+    bool coverable = !meta.active && meta.end_lsn <= covered &&
+                     meta.end_lsn > meta.header.first_lsn;
+    bool below_floor = meta.header.max_csn <= csn_gate;
+    if (coverable && below_floor) {
+      if (CrashAt("prune.pre_unlink")) return deleted;
+      ::unlink(meta.path.c_str());
+      it = segments_.erase(it);
+      ++deleted;
+      segments_deleted_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+  return deleted;
+}
+
+WalSegmentStore::CountersSnapshot WalSegmentStore::counters() const {
+  CountersSnapshot c;
+  c.segments_created = segments_created_.load(std::memory_order_relaxed);
+  c.segments_sealed = segments_sealed_.load(std::memory_order_relaxed);
+  c.segments_deleted = segments_deleted_.load(std::memory_order_relaxed);
+  c.segments_poisoned = segments_poisoned_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  c.records_flushed = records_flushed_.load(std::memory_order_relaxed);
+  c.bytes_appended = bytes_appended_.load(std::memory_order_relaxed);
+  c.syncs = syncs_.load(std::memory_order_relaxed);
+  c.checkpoints_published =
+      checkpoints_published_.load(std::memory_order_relaxed);
+  c.faults_eio = faults_eio_.load(std::memory_order_relaxed);
+  c.faults_short_write = faults_short_write_.load(std::memory_order_relaxed);
+  c.faults_enospc = faults_enospc_.load(std::memory_order_relaxed);
+  return c;
+}
+
+WalSegmentStore::BytesByState WalSegmentStore::bytes_by_state() const {
+  std::lock_guard<std::mutex> lk(smu_);
+  BytesByState out;
+  Lsn covered = covered_end_lsn();
+  for (const SegmentMeta& meta : segments_) {
+    if (meta.active) {
+      out.active += meta.bytes;
+    } else if (meta.end_lsn <= covered) {
+      // Covered but still on disk: only the retention floor keeps it.
+      out.retained += meta.bytes;
+    } else {
+      out.sealed += meta.bytes;
+    }
+  }
+  return out;
+}
+
+size_t WalSegmentStore::segment_count() const {
+  std::lock_guard<std::mutex> lk(smu_);
+  return segments_.size();
+}
+
+}  // namespace rollview

@@ -1,0 +1,339 @@
+// Copyright 2026 The rollview Authors.
+//
+// File-backed segmented WAL: the durable artifact behind storage/wal.h when
+// DbOptions::wal_dir is set. The paper's prototype gets crash safety for
+// free by keeping propagation state in ordinary DB2 tables; our engine logs
+// that state instead, so the log itself must survive the process.
+//
+// Layout of a WAL directory:
+//
+//   wal-<generation>-<first_lsn>.seg   segment files (hex-named, LSN-sorted)
+//   ckpt-<generation>.ckpt             durable checkpoint of one generation
+//   ckpt-<generation>.tmp              in-flight checkpoint (ignored on scan)
+//
+// Each segment starts with a fixed 64-byte header (magic, flags, generation,
+// first LSN; last LSN + CSN range filled in when the segment is sealed at
+// rotation) followed by records in the wal_codec framing ([len][crc][body]).
+// A checkpoint file carries the coverage boundary (covered_end_lsn,
+// covered_csn) plus an encoded WAL image that reproduces the full committed
+// state at that boundary; recovery = decode image + replay the retained
+// segment suffix (records with lsn >= covered_end_lsn).
+//
+// Group commit: committers enqueue encoded records (under the Wal mutex, so
+// queue order == LSN order == CSN order) and block in SyncTo; a single
+// flusher thread drains the queue, appends the batch with one write, issues
+// one fsync, publishes durable_end_lsn and wakes the waiters. A commit is
+// acknowledged only after its batch's sync.
+//
+// Storage-fault state machine (fsyncgate semantics): a failed append or
+// fsync leaves the kernel page cache in unknown state, so the active segment
+// is marked poisoned and closed, a fresh segment is opened with the
+// prev_poisoned header flag, and the whole un-acknowledged batch is
+// re-appended there -- never retried into the old file. ENOSPC instead
+// parks the flusher in a retry loop with out_of_space() raised so OLTP
+// commits fail fast with a transient Status until space recovers. Recovery
+// tolerates a torn tail in the last segment (or in a poisoned segment whose
+// successor carries prev_poisoned, truncated at the successor's first LSN)
+// and fails loudly on any other corruption or LSN gap.
+//
+// Generations: every recovery re-emits the replayed history into a fresh
+// in-memory log whose LSNs diverge from the on-disk ones, so a recovered
+// engine attaches at generation g+1 and immediately publishes a g+1
+// checkpoint (the commit point of recovery); files of older generations are
+// deleted only after that publish succeeds, which makes a crash anywhere
+// inside recovery idempotent -- the scan simply picks the highest-generation
+// valid checkpoint again.
+
+#ifndef ROLLVIEW_STORAGE_WAL_SEGMENT_H_
+#define ROLLVIEW_STORAGE_WAL_SEGMENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace rollview {
+
+struct DurableWalOptions {
+  std::string dir;
+  // Rotation threshold: a segment is sealed once its byte size (header +
+  // records) reaches this. Small values exercise rotation; production-ish
+  // callers want megabytes.
+  size_t segment_bytes = 1u << 20;
+  // When false the flusher caps every batch at one record -- the
+  // "single-sync" arm of EXPERIMENTS.md E16, one fsync per commit.
+  bool group_commit = true;
+  // Flusher back-off while the device is out of space.
+  std::chrono::milliseconds enospc_retry{2};
+};
+
+// On-disk header of one segment file (fixed kSegmentHeaderBytes bytes).
+struct SegmentHeader {
+  uint64_t generation = 0;
+  Lsn first_lsn = 0;
+  // Valid only when sealed: the last record's LSN and the [min,max] commit
+  // CSN range of the segment (0/0 when it holds no commit records).
+  Lsn last_lsn = 0;
+  Csn min_csn = 0;
+  Csn max_csn = 0;
+  bool sealed = false;
+  // The predecessor segment was poisoned by an append/fsync failure; its
+  // tail may be torn and overlaps this segment's re-appended batch.
+  bool prev_poisoned = false;
+};
+
+inline constexpr size_t kSegmentHeaderBytes = 64;
+
+std::string EncodeSegmentHeader(const SegmentHeader& h);
+Result<SegmentHeader> DecodeSegmentHeader(const std::string& data);
+
+std::string SegmentFileName(uint64_t generation, Lsn first_lsn);
+std::string CheckpointFileName(uint64_t generation);
+
+// Result of scanning a WAL directory for recovery.
+struct WalDirScan {
+  // Highest generation seen across checkpoint and segment files; a
+  // recovered engine re-attaches at max_generation + 1. 0 when the
+  // directory is empty or absent.
+  uint64_t max_generation = 0;
+  // Coverage boundary of the newest valid checkpoint (zeros when none).
+  uint64_t checkpoint_generation = 0;
+  Lsn covered_end_lsn = 0;
+  Csn covered_csn = 0;
+  // The checkpoint's encoded image, decoded.
+  std::vector<WalRecord> image;
+  // Records from the retained segment suffix with lsn >= covered_end_lsn.
+  std::vector<WalRecord> suffix;
+  size_t segments_read = 0;
+  bool torn_tail = false;        // the last segment ended mid-record
+  size_t records_dropped = 0;    // torn/overlapping records discarded
+};
+
+// Scans `dir` and reconstructs the replay input: the newest valid
+// checkpoint's image plus the same-generation segment suffix. A missing or
+// empty directory yields an empty scan (fresh database). Mid-stream
+// corruption -- a bad CRC inside a sealed segment, an LSN gap, a damaged
+// checkpoint -- fails with Internal; only the last segment (or a poisoned
+// one whose successor says so) may be torn.
+Result<WalDirScan> ScanWalDir(const std::string& dir);
+
+// The writer side: owns the segment files of one generation, the group
+// commit queue and flusher thread, checkpoint publishing and retention.
+// Thread safety: Enqueue is called under the owning Wal's mutex (which
+// serializes LSN assignment); everything else is internally synchronized.
+class WalSegmentStore {
+ public:
+  WalSegmentStore() = default;
+  ~WalSegmentStore();
+
+  WalSegmentStore(const WalSegmentStore&) = delete;
+  WalSegmentStore& operator=(const WalSegmentStore&) = delete;
+
+  // Prepares the store (creates `dir` if needed) without starting the
+  // flusher. `next_lsn` is the first LSN that will be enqueued. When
+  // `require_empty` is set, pre-existing wal files in the directory fail
+  // with AlreadyExists -- a fresh Db must not silently shadow a log that
+  // needs recovery (recovery paths pass false: older-generation files are
+  // legitimately still present).
+  Status Open(const DurableWalOptions& options, uint64_t generation,
+              Lsn next_lsn, bool require_empty);
+  // Starts the flusher thread. Separate from Open so recovery can publish
+  // its checkpoint before any concurrent appends flow.
+  void Start();
+  // Drains the queue, syncs, and joins the flusher. Idempotent.
+  void Stop();
+
+  // Queues one encoded record for the flusher. `commit_csn` is kNullCsn for
+  // non-commit records; commit CSNs feed the per-segment CSN range used by
+  // retention. Caller guarantees ascending, gap-free LSNs.
+  void Enqueue(Lsn lsn, Csn commit_csn, std::string bytes);
+
+  // Blocks until every record with lsn' <= lsn is durable (or the store
+  // fails hard). The group-commit acknowledgment point.
+  Status SyncTo(Lsn lsn);
+
+  // Fail-fast gate for OLTP commits: transient Busy while out of space,
+  // Internal after a simulated crash or failed Open.
+  Status CheckWritable() const;
+
+  bool out_of_space() const {
+    return out_of_space_.load(std::memory_order_acquire);
+  }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  Lsn durable_end_lsn() const {
+    return durable_end_lsn_.load(std::memory_order_acquire);
+  }
+
+  // --- Checkpoint + retention ---
+
+  // Atomically publishes a checkpoint covering [begin, covered_end_lsn):
+  // temp write, fsync, rename over ckpt-<generation>.ckpt, fsync directory.
+  // Also advances the durable floor (records below coverage need not be
+  // flushed), deletes older-generation files, and prunes covered segments.
+  Status PublishCheckpoint(Lsn covered_end_lsn, Csn covered_csn,
+                           const std::string& image);
+
+  // Deletes sealed segments fully covered by the latest checkpoint AND
+  // whose CSN range lies at or below the retention floor. Returns the
+  // number of files deleted. Never touches the active segment.
+  size_t PruneSegments();
+
+  // Retention floor pushed by RetentionManager::PruneOnce: segments holding
+  // commits above it are kept even when checkpoint-covered. Defaults to
+  // kMaxCsn (no constraint beyond coverage).
+  void SetRetentionFloor(Csn floor) {
+    retention_floor_.store(floor, std::memory_order_release);
+  }
+
+  Lsn covered_end_lsn() const {
+    return covered_end_lsn_.load(std::memory_order_acquire);
+  }
+  Csn covered_csn() const {
+    return covered_csn_.load(std::memory_order_acquire);
+  }
+  uint64_t generation() const { return generation_; }
+  const std::string& dir() const { return options_.dir; }
+
+  // --- Fault injection + crash harness ---
+
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  // Crash hook: called at named points ("segment.create", "segment.append",
+  // "segment.sync", "rotate.pre_seal", "rotate.post_seal",
+  // "checkpoint.pre_temp", "checkpoint.post_temp_sync",
+  // "checkpoint.pre_rename", "checkpoint.post_rename",
+  // "checkpoint.dir_sync", "prune.pre_unlink"). Returning true simulates a
+  // power cut: the store stops all further I/O (a "segment.append" crash
+  // first writes a deterministic partial prefix of the batch -- a real torn
+  // tail) and every waiter is released with an error. Install before Start.
+  void SetCrashHook(std::function<bool(const char*)> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
+  // --- Telemetry ---
+
+  struct CountersSnapshot {
+    uint64_t segments_created = 0;
+    uint64_t segments_sealed = 0;
+    uint64_t segments_deleted = 0;
+    uint64_t segments_poisoned = 0;
+    uint64_t batches = 0;
+    uint64_t records_flushed = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t syncs = 0;
+    uint64_t checkpoints_published = 0;
+    uint64_t faults_eio = 0;
+    uint64_t faults_short_write = 0;
+    uint64_t faults_enospc = 0;
+  };
+  CountersSnapshot counters() const;
+
+  struct BytesByState {
+    uint64_t active = 0;    // the unsealed segment being appended
+    uint64_t sealed = 0;    // sealed but not yet checkpoint-covered
+    uint64_t retained = 0;  // covered, kept only by the retention floor
+  };
+  BytesByState bytes_by_state() const;
+  size_t segment_count() const;
+
+  // Optional histograms (registry-owned; must outlive the store): batch
+  // size in records, sync latency in nanos. Atomic because attachment
+  // typically happens after Start() -- the flusher may already be reading.
+  void AttachHistograms(LatencyHistogram* batch_size,
+                        LatencyHistogram* sync_nanos) {
+    batch_size_hist_.store(batch_size, std::memory_order_release);
+    sync_nanos_hist_.store(sync_nanos, std::memory_order_release);
+  }
+
+ private:
+  struct QueuedRecord {
+    Lsn lsn;
+    Csn commit_csn;
+    std::string bytes;
+  };
+  struct SegmentMeta {
+    std::string path;
+    SegmentHeader header;
+    uint64_t bytes = 0;   // current file size
+    Lsn end_lsn = 0;      // one past the last appended LSN
+    bool active = false;
+    bool poisoned = false;
+  };
+
+  void FlusherLoop();
+  // Appends `batch` durably, rotating/poisoning as needed. On return either
+  // everything in the batch is durable or the store has crashed/stopped.
+  void FlushBatch(std::vector<QueuedRecord>* batch);
+  Status EnsureActiveSegment(Lsn first_lsn, bool prev_poisoned);
+  Status SealActiveSegment();
+  void PoisonActiveSegment();
+  bool CrashAt(const char* point);
+  void FailAllWaiters();
+  StorageFaultClass DrawInjectedFault();
+  size_t PruneSegmentsLocked();
+
+  DurableWalOptions options_;
+  uint64_t generation_ = 0;
+  Status open_status_ = Status::OK();
+  bool opened_ = false;
+
+  std::atomic<FaultInjector*> injector_{nullptr};
+  std::function<bool(const char*)> crash_hook_;
+
+  // Queue: fed by Enqueue (under the Wal mutex), drained by the flusher.
+  mutable std::mutex qmu_;
+  std::condition_variable queue_cv_;   // wakes the flusher
+  std::condition_variable durable_cv_; // wakes SyncTo waiters
+  std::deque<QueuedRecord> queue_;
+  bool stopping_ = false;
+  std::thread flusher_;
+  bool flusher_running_ = false;
+
+  // Segment state: owned by the flusher; smu_ guards the metadata reads
+  // from metrics/retention threads.
+  mutable std::mutex smu_;
+  std::vector<SegmentMeta> segments_;
+  int active_fd_ = -1;
+  Csn active_min_csn_ = 0;
+  Csn active_max_csn_ = 0;
+
+  std::atomic<Lsn> durable_end_lsn_{0};
+  std::atomic<Lsn> covered_end_lsn_{0};
+  std::atomic<Csn> covered_csn_{0};
+  std::atomic<Csn> retention_floor_{kMaxCsn};
+  std::atomic<bool> out_of_space_{false};
+  std::atomic<bool> crashed_{false};
+
+  // Telemetry (relaxed atomics; scraped by registry callbacks).
+  std::atomic<uint64_t> segments_created_{0};
+  std::atomic<uint64_t> segments_sealed_{0};
+  std::atomic<uint64_t> segments_deleted_{0};
+  std::atomic<uint64_t> segments_poisoned_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> records_flushed_{0};
+  std::atomic<uint64_t> bytes_appended_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> checkpoints_published_{0};
+  std::atomic<uint64_t> faults_eio_{0};
+  std::atomic<uint64_t> faults_short_write_{0};
+  std::atomic<uint64_t> faults_enospc_{0};
+  std::atomic<LatencyHistogram*> batch_size_hist_{nullptr};
+  std::atomic<LatencyHistogram*> sync_nanos_hist_{nullptr};
+};
+
+}  // namespace rollview
+
+#endif  // ROLLVIEW_STORAGE_WAL_SEGMENT_H_

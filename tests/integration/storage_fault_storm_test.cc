@@ -1,0 +1,275 @@
+// Storage-fault storms against a live engine on a durable segmented WAL:
+// an ENOSPC storm must park the group-commit flusher, fail OLTP commits
+// fast (transient Busy), drive maintenance into kDegraded/kShedding --
+// and NEVER kFailed, even past Options::failed_after, because a full
+// device is an environmental condition, not a bug -- then recover
+// completely once space returns. An EIO burst must poison-and-rotate
+// segments (fsyncgate semantics) without losing an acknowledged record.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/fault_injector.h"
+#include "harness/crash_harness.h"
+#include "ivm/checkpoint.h"
+#include "ivm/maintenance.h"
+#include "storage/wal_segment.h"
+#include "tests/test_util.h"
+#include "workload/update_stream.h"
+
+namespace rollview {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "fault_storm_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// Engine bundle over a file-backed WAL directory, attached manually so the
+// test controls the store's options and fault injector.
+struct DurableEnv {
+  std::string dir;
+  std::unique_ptr<Db> db;
+  std::unique_ptr<LogCapture> capture;
+  std::unique_ptr<ViewManager> views;
+
+  explicit DurableEnv(const std::string& wal_dir) : dir(wal_dir) {
+    db = std::make_unique<Db>();
+    DurableWalOptions wopts;
+    wopts.dir = wal_dir;
+    wopts.segment_bytes = 8192;
+    wopts.enospc_retry = std::chrono::milliseconds(1);
+    EXPECT_OK(db->wal()->OpenDurable(wopts, 1, true));
+    db->wal()->store()->Start();
+    CaptureOptions copts;
+    copts.truncate_wal = false;
+    capture = std::make_unique<LogCapture>(db.get(), copts);
+    views = std::make_unique<ViewManager>(db.get(), capture.get());
+  }
+};
+
+TEST(StorageFaultStormTest, EnospcStormDegradesShedsAndRecovers) {
+  std::string dir = FreshDir("enospc");
+  DurableEnv env(dir);
+  Db* db = env.db.get();
+  WalSegmentStore* store = db->wal()->store();
+
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(db, 40, 30, 8, 0xE205));
+  env.capture->CatchUp();
+  ASSERT_OK_AND_ASSIGN(View* view,
+                       env.views->CreateView("V", workload.ViewDef()));
+  ASSERT_OK(env.views->Materialize(view));
+  env.capture->Start();
+
+  MaintenanceService::Options mopts;
+  mopts.target_rows_per_query = 8;
+  mopts.degraded_after = 1;
+  mopts.failed_after = 3;  // low on purpose: the storm must NOT trip it
+  mopts.prune_view_delta = false;
+  MaintenanceService service(env.views.get(), view, mopts);
+
+  // Seed un-propagated work so maintenance has commits to attempt while
+  // the device is full. The service starts only after the storm latches:
+  // a driver that happened to be mid-sync at that instant would simply
+  // park with the flusher until space returns (a legitimate casualty,
+  // played by the pump thread below) instead of exercising the
+  // fail-fast/degrade path this test is about.
+  UpdateStream updates(db, workload.RStream(1, 0x51), 0x51);
+  ASSERT_OK(updates.RunTransactions(4));
+
+  // The storm: every flusher write hits ENOSPC. Installed on the store
+  // only -- the in-memory append path stays clean, so commits reach the
+  // real fail-fast gate (CheckWritable) instead of an injected abort.
+  FaultInjector::Options fopts;
+  fopts.seed = 0x5702;
+  fopts.storage_enospc_probability = 1.0;
+  fopts.scoped_only = false;  // the flusher thread never enters a Scope
+  FaultInjector fi(fopts);
+  store->SetFaultInjector(&fi);
+
+  // A committer caught mid-sync when the device fills simply blocks until
+  // space returns (it is the group whose batch is parked), so that
+  // casualty runs on its own thread. The guard disarms the injector before
+  // joining so an assertion failure on the main thread cannot deadlock
+  // behind the parked flusher.
+  std::atomic<bool> pump_done{false};
+  std::thread pump([&] {
+    UpdateStream storm(db, workload.RStream(3, 0x52), 0x52);
+    for (int i = 0; i < 200 && !pump_done.load(); ++i) {
+      Status s = storm.RunTransaction(/*max_retries=*/1);
+      EXPECT_TRUE(s.ok() || s.IsTransient()) << s.ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    pump_done.store(true);
+  });
+  struct PumpGuard {
+    FaultInjector& fi;
+    std::atomic<bool>& done;
+    std::thread& t;
+    ~PumpGuard() {
+      fi.set_armed(false);
+      done.store(true);
+      if (t.joinable()) t.join();
+    }
+  } pump_guard{fi, pump_done, pump};
+
+  ASSERT_TRUE(WaitFor([&] { return store->out_of_space(); }));
+  // Fail-fast gate: once the device is known-full, new commits bounce with
+  // transient Busy from Db::Commit's CheckWritable check -- they do not
+  // pile up behind the parked flusher (the pump thread above is the one
+  // committer allowed to block: it was already inside the sync).
+  {
+    Status gate = db->wal()->CheckWritable();
+    EXPECT_TRUE(gate.IsBusy()) << gate.ToString();
+    EXPECT_TRUE(gate.IsTransient()) << gate.ToString();
+    UpdateStream probe(db, workload.RStream(7, 0x54), 0x54);
+    Status s = probe.RunTransaction(/*max_retries=*/0);
+    EXPECT_TRUE(s.IsBusy()) << "commit did not fail fast: " << s.ToString();
+  }
+
+  // Now that the gate is provably closed, start maintenance: every
+  // propagation attempt hits the fail-fast gate deterministically.
+  service.Start();
+
+  // Maintenance degrades (or sheds) but never dies: watch both drivers
+  // across the storm window, well past failed_after consecutive failures.
+  bool saw_degraded_or_shedding = false;
+  auto until = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < until) {
+    DriverHealth p = service.propagate_health();
+    DriverHealth a = service.apply_health();
+    ASSERT_NE(p, DriverHealth::kFailed) << "propagate died during ENOSPC";
+    ASSERT_NE(a, DriverHealth::kFailed) << "apply died during ENOSPC";
+    if (p == DriverHealth::kDegraded || p == DriverHealth::kShedding ||
+        a == DriverHealth::kDegraded || service.shedding()) {
+      saw_degraded_or_shedding = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(saw_degraded_or_shedding)
+      << "storm never surfaced as degraded/shedding";
+  EXPECT_GE(store->counters().faults_enospc, 1u);
+  EXPECT_FALSE(store->crashed());
+
+  // Space returns: the parked batch drains, the gate reopens, shedding
+  // clears, and the pipeline converges.
+  fi.set_armed(false);
+  ASSERT_TRUE(WaitFor([&] { return !store->out_of_space(); }));
+  pump_done.store(true);
+  pump.join();
+  ASSERT_TRUE(WaitFor([&] { return db->wal()->CheckWritable().ok(); }));
+  UpdateStream after(db, workload.RStream(5, 0x53), 0x53);
+  ASSERT_OK(after.RunTransactions(3));
+  Csn frontier = db->stable_csn();
+  ASSERT_OK(service.Drain(frontier));
+  EXPECT_NE(service.propagate_health(), DriverHealth::kFailed);
+  EXPECT_NE(service.apply_health(), DriverHealth::kFailed);
+  ASSERT_TRUE(WaitFor([&] { return !service.shedding(); }));
+  ASSERT_OK(service.Stop());
+  env.capture->Stop();
+  store->SetFaultInjector(nullptr);
+
+  DeltaRows oracle = OracleViewState(db, view, view->mv->csn());
+  EXPECT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()))
+      << "view diverged across the ENOSPC storm";
+
+  // Durability survived the storm: recovery reproduces the post-storm view.
+  ASSERT_OK(PublishDurableCheckpoint(db, env.views.get()).status());
+  DeltaRows live = view->mv->AsDeltaRows();
+  Csn live_csn = view->mv->csn();
+  env.views.reset();
+  env.capture.reset();
+  env.db.reset();
+  ASSERT_OK_AND_ASSIGN(RecoveredSystem sys,
+                       RecoverFromWalDir(dir, {{"V", workload.ViewDef()}}));
+  View* rv = sys.views->Find("V");
+  ASSERT_NE(rv, nullptr);
+  EXPECT_EQ(rv->mv->csn(), live_csn);
+  EXPECT_TRUE(NetEquivalent(live, rv->mv->AsDeltaRows()));
+}
+
+TEST(StorageFaultStormTest, EioBurstPoisonsSegmentsWithoutLosingRecords) {
+  std::string dir = FreshDir("eio");
+  DurableEnv env(dir);
+  Db* db = env.db.get();
+  WalSegmentStore* store = db->wal()->store();
+
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(db, 30, 20, 8, 0xE10B));
+  env.capture->CatchUp();
+  ASSERT_OK_AND_ASSIGN(View* view,
+                       env.views->CreateView("V", workload.ViewDef()));
+  ASSERT_OK(env.views->Materialize(view));
+
+  // Burst: every other write around fails with EIO. Each failure poisons
+  // the active segment and rotates; the unacked batch is re-appended, so
+  // every commit below still succeeds (slowly).
+  FaultInjector::Options fopts;
+  fopts.seed = 0xE10;
+  fopts.storage_eio_probability = 0.5;
+  fopts.scoped_only = false;
+  FaultInjector fi(fopts);
+  store->SetFaultInjector(&fi);
+
+  UpdateStream updates(db, workload.RStream(1, 0x61), 0x61);
+  ASSERT_OK(updates.RunTransactions(8));
+  fi.set_armed(false);
+  store->SetFaultInjector(nullptr);
+
+  auto c = store->counters();
+  EXPECT_GE(c.segments_poisoned, 1u) << "burst never poisoned a segment";
+  EXPECT_GE(c.faults_eio, 1u);
+  EXPECT_FALSE(store->crashed());
+  EXPECT_OK(db->wal()->CheckWritable());
+
+  env.capture->CatchUp();
+  MaintenanceService service(env.views.get(), view);
+  ASSERT_OK(service.Drain(db->stable_csn()));
+  DeltaRows oracle = OracleViewState(db, view, view->mv->csn());
+  ASSERT_TRUE(NetEquivalent(oracle, view->mv->AsDeltaRows()));
+
+  // Every acknowledged commit is on disk despite the poisoned segments:
+  // tear down without a checkpoint and replay the raw directory.
+  DeltaRows live = view->mv->AsDeltaRows();
+  Csn live_csn = view->mv->csn();
+  env.views.reset();
+  env.capture.reset();
+  env.db.reset();
+  ASSERT_OK_AND_ASSIGN(RecoveredSystem sys,
+                       RecoverFromWalDir(dir, {{"V", workload.ViewDef()}}));
+  View* rv = sys.views->Find("V");
+  ASSERT_NE(rv, nullptr);
+  MaintenanceService rservice(sys.views.get(), rv);
+  if (sys.report.views_recovered == 0) {
+    ASSERT_OK(sys.views->Materialize(rv));
+  }
+  ASSERT_OK(rservice.Drain(sys.db->stable_csn()));
+  EXPECT_GE(rv->mv->csn(), live_csn);
+  EXPECT_TRUE(
+      NetEquivalent(live, OracleViewState(sys.db.get(), rv, live_csn)));
+  DeltaRows roracle = OracleViewState(sys.db.get(), rv, rv->mv->csn());
+  EXPECT_TRUE(NetEquivalent(roracle, rv->mv->AsDeltaRows()));
+}
+
+}  // namespace
+}  // namespace rollview

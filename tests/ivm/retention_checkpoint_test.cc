@@ -1,0 +1,198 @@
+// Durable-checkpoint retention clamp (the prune-ahead-of-checkpoint
+// hazard): after a checkpoint covering CSN C is published, deletions above
+// C live only in the retained log suffix -- recovery replays them against
+// the image, so the MVCC versions they closed must survive garbage
+// collection until the *next* checkpoint widens coverage. RetentionManager
+// clamps every prune/GC floor to the durable coverage CSN; these tests
+// provoke the hazard deliberately (delete rows that were alive at C, then
+// run gc_versions retention whose unclamped floor is far above C) and prove
+// (a) the snapshot at C stays reconstructible and (b) a full
+// publish -> prune -> recover cycle reproduces the live view, i.e. deleted
+// segments were never needed.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "harness/crash_harness.h"
+#include "ivm/checkpoint.h"
+#include "ivm/maintenance.h"
+#include "ivm/retention.h"
+#include "storage/wal_segment.h"
+#include "tests/test_util.h"
+#include "workload/update_stream.h"
+
+namespace rollview {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "retention_ckpt_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Engine bundle over a file-backed WAL directory. Capture keeps the
+// in-memory log intact (truncate_wal=false): checkpoint images are built
+// from MVCC state, but the reattach after recovery snapshots from LSN 0.
+struct DurableEnv {
+  std::string dir;
+  std::unique_ptr<Db> db;
+  std::unique_ptr<LogCapture> capture;
+  std::unique_ptr<ViewManager> views;
+
+  explicit DurableEnv(const std::string& wal_dir, size_t segment_bytes) {
+    dir = wal_dir;
+    DbOptions dopts;
+    dopts.wal_dir = wal_dir;
+    dopts.wal_segment_bytes = segment_bytes;
+    db = std::make_unique<Db>(dopts);
+    CaptureOptions copts;
+    copts.truncate_wal = false;
+    capture = std::make_unique<LogCapture>(db.get(), copts);
+    views = std::make_unique<ViewManager>(db.get(), capture.get());
+  }
+};
+
+TEST(RetentionCheckpointTest, ClampBlocksGcAboveDurableCoverage) {
+  std::string dir = FreshDir("clamp");
+  DurableEnv env(dir, /*segment_bytes=*/4096);
+  Db* db = env.db.get();
+  ASSERT_TRUE(db->wal()->durable());
+
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(db, 40, 30, 8, 0xC1A3));
+  env.capture->CatchUp();
+  ASSERT_OK_AND_ASSIGN(View* view,
+                       env.views->CreateView("V", workload.ViewDef()));
+  ASSERT_OK(env.views->Materialize(view));
+
+  MaintenanceService::Options mopts;
+  mopts.target_rows_per_query = 16;
+  mopts.prune_view_delta = false;
+  MaintenanceService service(env.views.get(), view, mopts);
+  UpdateStream updates(db, workload.RStream(1, 0x11), 0x11);
+  ASSERT_OK(updates.RunTransactions(4));
+  env.capture->CatchUp();
+  ASSERT_OK(service.Drain(db->stable_csn()));
+
+  // Publish: coverage = everything up to here.
+  ASSERT_OK_AND_ASSIGN(DurableCheckpointReport ckpt,
+                       PublishDurableCheckpoint(db, env.views.get()));
+  Csn c1 = ckpt.covered_csn;
+  ASSERT_EQ(c1, db->stable_csn());
+  ASSERT_EQ(db->wal()->durable_covered_csn(), c1);
+  ASSERT_GT(ckpt.image_records, 0u);
+
+  DeltaRows view_at_c1 = OracleViewState(db, view, c1);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> r_at_c1,
+                       db->SnapshotScan(workload.r, c1));
+  ASSERT_GE(r_at_c1.size(), 4u);
+
+  // Provoke the hazard: delete rows that were alive at coverage, so their
+  // versions now end strictly above c1, then advance the view well past
+  // the deletions.
+  {
+    auto txn = db->Begin();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_OK_AND_ASSIGN(int64_t n,
+                           db->DeleteTuple(txn.get(), workload.r, r_at_c1[i]));
+      ASSERT_EQ(n, 1);
+    }
+    ASSERT_OK(db->Commit(txn.get()));
+  }
+  ASSERT_OK(updates.RunTransactions(4));
+  env.capture->CatchUp();
+  ASSERT_OK(service.Drain(db->stable_csn()));
+  ASSERT_GT(view->high_water_mark(), c1);
+
+  // gc_versions retention with an unclamped floor at the view's HWM would
+  // collect exactly those versions. The clamp must cap it at c1.
+  RetentionOptions ropts;
+  ropts.base_delta_policy = RetentionOptions::BaseDeltaPolicy::kPropagated;
+  ropts.gc_versions = true;
+  RetentionManager retention(env.views.get(), ropts);
+  RetentionManager::PruneReport report = retention.PruneOnce();
+  EXPECT_TRUE(report.durable_clamp_applied)
+      << "floor " << report.base_floor << " vs coverage " << c1;
+
+  // The coverage snapshot is still fully reconstructible: the deleted
+  // rows' versions survived GC.
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> r_after_gc,
+                       db->SnapshotScan(workload.r, c1));
+  EXPECT_EQ(r_after_gc.size(), r_at_c1.size());
+  DeltaRows view_at_c1_after = OracleViewState(db, view, c1);
+  EXPECT_TRUE(NetEquivalent(view_at_c1, view_at_c1_after))
+      << "version GC above durable coverage destroyed the checkpoint "
+         "snapshot";
+
+  // The next publish widens coverage past the deletions; only now may
+  // retention advance (and the covered segments be pruned).
+  ASSERT_OK_AND_ASSIGN(DurableCheckpointReport ckpt2,
+                       PublishDurableCheckpoint(db, env.views.get()));
+  EXPECT_GT(ckpt2.covered_csn, c1);
+  EXPECT_EQ(db->wal()->durable_covered_csn(), ckpt2.covered_csn);
+  retention.PruneOnce();
+
+  // Full cycle: tear the live system down and recover from the directory.
+  // Every segment deleted by the publishes must be genuinely redundant.
+  DeltaRows live = view->mv->AsDeltaRows();
+  Csn live_csn = view->mv->csn();
+  env.views.reset();
+  env.capture.reset();
+  env.db.reset();
+
+  DbOptions ropts2;
+  ropts2.wal_segment_bytes = 4096;
+  ASSERT_OK_AND_ASSIGN(
+      RecoveredSystem sys,
+      RecoverFromWalDir(dir, {{"V", workload.ViewDef()}}, ropts2));
+  View* rv = sys.views->Find("V");
+  ASSERT_NE(rv, nullptr);
+  ASSERT_EQ(sys.report.views_recovered, 1u);
+  MaintenanceService rservice(sys.views.get(), rv, mopts);
+  ASSERT_OK(rservice.Drain(sys.db->stable_csn()));
+  EXPECT_GE(rv->mv->csn(), live_csn);
+  DeltaRows oracle = OracleViewState(sys.db.get(), rv, rv->mv->csn());
+  EXPECT_TRUE(NetEquivalent(oracle, rv->mv->AsDeltaRows()))
+      << "recovered view diverges from recomputation";
+  EXPECT_TRUE(NetEquivalent(live, OracleViewState(sys.db.get(), rv, live_csn)))
+      << "recovered history lost the live view's state";
+}
+
+// Without a durable backend the coverage CSN is kMaxCsn: retention runs
+// exactly as before (no clamp, flag never set).
+TEST(RetentionCheckpointTest, InMemoryWalUnconstrained) {
+  TestEnv env;
+  ASSERT_FALSE(env.db()->wal()->durable());
+  EXPECT_EQ(env.db()->wal()->durable_covered_csn(), kMaxCsn);
+
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(env.db(), 20, 15, 8, 0xF00));
+  env.CatchUpCapture();
+  ASSERT_OK_AND_ASSIGN(View* view,
+                       env.views()->CreateView("V", workload.ViewDef()));
+  ASSERT_OK(env.views()->Materialize(view));
+  MaintenanceService service(env.views(), view);
+  ASSERT_OK(service.Drain(env.db()->stable_csn()));
+
+  RetentionOptions ropts;
+  ropts.gc_versions = true;
+  RetentionManager retention(env.views(), ropts);
+  RetentionManager::PruneReport report = retention.PruneOnce();
+  EXPECT_FALSE(report.durable_clamp_applied);
+}
+
+// PublishDurableCheckpoint on an in-memory WAL is a contract violation.
+TEST(RetentionCheckpointTest, PublishRequiresDurableBackend) {
+  TestEnv env;
+  Result<DurableCheckpointReport> r =
+      PublishDurableCheckpoint(env.db(), env.views());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace rollview
