@@ -39,7 +39,12 @@ Result<View*> ViewManager::CreateView(const std::string& name,
   // recent preceding kCreateView. Catalog records are forced to disk like
   // CreateTable's: losing one would orphan every later record of the view.
   Lsn lsn = db_->wal()->Append(MakeCreateViewRecord(*views_.back()));
-  if (db_->wal()->durable()) db_->wal()->SyncTo(lsn).ok();
+  if (db_->wal()->durable()) {
+    // Propagate a failed force like CreateTable does: a caller told the
+    // view exists while its catalog record never reached disk would lose
+    // the whole view on recovery.
+    ROLLVIEW_RETURN_NOT_OK(db_->wal()->SyncTo(lsn));
+  }
   return views_.back().get();
 }
 

@@ -655,7 +655,6 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
     }
   }
 
-  bool prev_poisoned = false;
   for (;;) {
     if (crashed()) return;
     {
@@ -663,13 +662,12 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
       if (stopping_ && out_of_space()) return;  // give up the retry loop
     }
     if (active_fd_ < 0) {
-      Status s = EnsureActiveSegment(first_lsn, prev_poisoned);
+      Status s = EnsureActiveSegment(first_lsn);
       if (!s.ok()) {
         if (crashed()) return;
         std::this_thread::sleep_for(options_.enospc_retry);
         continue;
       }
-      prev_poisoned = false;
     }
 
     // Injected storage faults, drawn before the real write so a fixed seed
@@ -684,7 +682,6 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
     if (injected == StorageFaultClass::kEio) {
       faults_eio_.fetch_add(1, std::memory_order_relaxed);
       PoisonActiveSegment();
-      prev_poisoned = true;
       continue;
     }
     if (injected == StorageFaultClass::kShortWrite) {
@@ -694,7 +691,6 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
       size_t cut = TornCut(first_lsn, bytes.size());
       (void)WriteFully(active_fd_, bytes.data(), cut);
       PoisonActiveSegment();
-      prev_poisoned = true;
       continue;
     }
 
@@ -710,6 +706,12 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
         return;
       }
     }
+    if (fail_hook_ && fail_hook_("segment.append")) {
+      // Transient injected EIO: same path as a real failed write.
+      faults_eio_.fetch_add(1, std::memory_order_relaxed);
+      PoisonActiveSegment();
+      continue;
+    }
 
     IoClass wrote = WriteFully(active_fd_, bytes.data(), bytes.size());
     if (wrote == IoClass::kEnospc) {
@@ -718,14 +720,12 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
       // The partial write (if any) poisons the segment: we will not append
       // more bytes after an incomplete batch.
       PoisonActiveSegment();
-      prev_poisoned = true;
       std::this_thread::sleep_for(options_.enospc_retry);
       continue;
     }
     if (wrote == IoClass::kFailed) {
       faults_eio_.fetch_add(1, std::memory_order_relaxed);
       PoisonActiveSegment();
-      prev_poisoned = true;
       continue;
     }
 
@@ -740,7 +740,6 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
         faults_eio_.fetch_add(1, std::memory_order_relaxed);
       }
       PoisonActiveSegment();
-      prev_poisoned = true;
       std::this_thread::sleep_for(options_.enospc_retry);
       continue;
     }
@@ -791,10 +790,19 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
   }
 }
 
-Status WalSegmentStore::EnsureActiveSegment(Lsn first_lsn,
-                                            bool prev_poisoned) {
+Status WalSegmentStore::EnsureActiveSegment(Lsn first_lsn) {
   if (CrashAt("segment.create")) {
     return Status::Internal("wal crashed (simulated power cut)");
+  }
+  // The prev_poisoned flag is derived from the persistent segment state, not
+  // threaded through the caller: a poison can happen outside FlushBatch's
+  // retry loop (a failed seal after the batch was acknowledged), and any
+  // per-batch flag would reset before the successor is created, leaving the
+  // poisoned predecessor's unsealed header unexplained to recovery.
+  bool prev_poisoned;
+  {
+    std::lock_guard<std::mutex> lk(smu_);
+    prev_poisoned = !segments_.empty() && segments_.back().poisoned;
   }
   StorageFaultClass injected = DrawInjectedFault();
   if (injected == StorageFaultClass::kEnospc) {
@@ -874,7 +882,10 @@ Status WalSegmentStore::SealActiveSegment() {
     fd = active_fd_;
   }
   std::string encoded = EncodeSegmentHeader(sealed);
-  IoClass wrote = PwriteFully(fd, encoded.data(), encoded.size(), 0);
+  IoClass wrote = IoClass::kFailed;
+  if (!fail_hook_ || !fail_hook_("rotate.seal")) {
+    wrote = PwriteFully(fd, encoded.data(), encoded.size(), 0);
+  }
   if (wrote != IoClass::kOk || ::fsync(fd) != 0) {
     // Every record in the segment is already durable; only the seal marker
     // failed. Poison so the successor carries prev_poisoned and recovery
@@ -901,15 +912,25 @@ Status WalSegmentStore::SealActiveSegment() {
 void WalSegmentStore::PoisonActiveSegment() {
   std::lock_guard<std::mutex> lk(smu_);
   if (active_fd_ < 0) return;
+  ::close(active_fd_);
+  active_fd_ = -1;
+  segments_poisoned_.fetch_add(1, std::memory_order_relaxed);
   SegmentMeta& meta = segments_.back();
+  if (meta.end_lsn == meta.header.first_lsn) {
+    // No record in this segment was ever acknowledged, so the replacement
+    // segment reuses the identical file name (same generation, same first
+    // LSN) and O_TRUNCs this very file. Keeping the meta would leave two
+    // entries sharing one path: segment_count/bytes_by_state inflate
+    // forever and, once the live entry is pruned, the stale one points at
+    // a deleted file.
+    segments_.pop_back();
+    return;
+  }
   meta.active = false;
   meta.poisoned = true;
   // Rolled-up CSN range so retention still gates on the poisoned file.
   meta.header.min_csn = active_min_csn_;
   meta.header.max_csn = active_max_csn_;
-  ::close(active_fd_);
-  active_fd_ = -1;
-  segments_poisoned_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status WalSegmentStore::PublishCheckpoint(Lsn covered_end_lsn, Csn covered_csn,
@@ -1033,20 +1054,22 @@ size_t WalSegmentStore::PruneSegmentsLocked() {
   Csn csn_gate = std::min(covered_csn(), retention_floor_.load(
                                              std::memory_order_acquire));
   size_t deleted = 0;
-  for (auto it = segments_.begin(); it != segments_.end();) {
-    const SegmentMeta& meta = *it;
+  // Only a contiguous prefix may go: segments_ is LSN-ordered, and deleting
+  // a later segment while an earlier one is held back (retention floor,
+  // uncovered, active) would leave a mid-stream LSN hole -- a commit-less
+  // segment has max_csn == 0 and always clears the CSN gate -- that the
+  // next recovery scan rightly refuses as a gap.
+  while (!segments_.empty()) {
+    const SegmentMeta& meta = segments_.front();
     bool coverable = !meta.active && meta.end_lsn <= covered &&
                      meta.end_lsn > meta.header.first_lsn;
     bool below_floor = meta.header.max_csn <= csn_gate;
-    if (coverable && below_floor) {
-      if (CrashAt("prune.pre_unlink")) return deleted;
-      ::unlink(meta.path.c_str());
-      it = segments_.erase(it);
-      ++deleted;
-      segments_deleted_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      ++it;
-    }
+    if (!coverable || !below_floor) break;
+    if (CrashAt("prune.pre_unlink")) return deleted;
+    ::unlink(meta.path.c_str());
+    segments_.erase(segments_.begin());
+    ++deleted;
+    segments_deleted_.fetch_add(1, std::memory_order_relaxed);
   }
   return deleted;
 }

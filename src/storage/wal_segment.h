@@ -222,6 +222,14 @@ class WalSegmentStore {
   void SetCrashHook(std::function<bool(const char*)> hook) {
     crash_hook_ = std::move(hook);
   }
+  // Non-fatal I/O failure hook: called at named points ("segment.append",
+  // "rotate.seal"); returning true makes that single I/O attempt report EIO
+  // while the store keeps running -- the transient-fault sibling of
+  // SetCrashHook, used to drive the poison-and-rotate paths
+  // deterministically. Install before Start.
+  void SetFailHook(std::function<bool(const char*)> hook) {
+    fail_hook_ = std::move(hook);
+  }
 
   // --- Telemetry ---
 
@@ -277,7 +285,7 @@ class WalSegmentStore {
   // Appends `batch` durably, rotating/poisoning as needed. On return either
   // everything in the batch is durable or the store has crashed/stopped.
   void FlushBatch(std::vector<QueuedRecord>* batch);
-  Status EnsureActiveSegment(Lsn first_lsn, bool prev_poisoned);
+  Status EnsureActiveSegment(Lsn first_lsn);
   Status SealActiveSegment();
   void PoisonActiveSegment();
   bool CrashAt(const char* point);
@@ -292,6 +300,7 @@ class WalSegmentStore {
 
   std::atomic<FaultInjector*> injector_{nullptr};
   std::function<bool(const char*)> crash_hook_;
+  std::function<bool(const char*)> fail_hook_;
 
   // Queue: fed by Enqueue (under the Wal mutex), drained by the flusher.
   mutable std::mutex qmu_;

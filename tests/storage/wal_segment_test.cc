@@ -450,6 +450,151 @@ TEST(WalSegmentTest, EioPoisonsAndRotates) {
   }
 }
 
+// A transient EIO on the seal marker alone (every record in the segment is
+// already durable) must not make the log unrecoverable: the seal failure
+// poisons the segment, and the successor created by a *later* batch still
+// has to carry prev_poisoned so recovery accepts the unsealed mid-stream
+// header. Regression: the poison state used to live in a per-batch local
+// and was lost before the successor was created.
+TEST(WalSegmentTest, SealFailureMarksSuccessorPrevPoisoned) {
+  std::string dir = FreshDir("seal_fail");
+  DurableWalOptions opts;
+  opts.dir = dir;
+  opts.segment_bytes = 256;
+  WalSegmentStore store;
+  ASSERT_OK(store.Open(opts, 1, 0, true));
+  std::atomic<int> seal_attempts{0};
+  store.SetFailHook([&](const char* at) {
+    return std::string_view(at) == "rotate.seal" &&
+           seal_attempts.fetch_add(1) == 0;  // only the first seal fails
+  });
+  store.Start();
+  for (Lsn lsn = 0; lsn < 40; ++lsn) {
+    WalRecord r = MakeCommit(lsn, lsn + 1);
+    store.Enqueue(lsn, r.commit_csn, Encode(r));
+    ASSERT_OK(store.SyncTo(lsn));
+  }
+  ASSERT_GE(seal_attempts.load(), 1);
+  EXPECT_GE(store.counters().segments_poisoned, 1u);
+  EXPECT_FALSE(store.crashed());
+  store.Stop();
+
+  ASSERT_OK_AND_ASSIGN(WalDirScan scan, ScanWalDir(dir));
+  ASSERT_EQ(scan.suffix.size(), 40u);
+  for (size_t i = 0; i < 40; ++i) EXPECT_EQ(scan.suffix[i].lsn, i);
+  bool successor_poisoned = false;
+  for (const std::string& path : SegmentFiles(dir)) {
+    std::ifstream in(path, std::ios::binary);
+    std::string head(kSegmentHeaderBytes, '\0');
+    in.read(head.data(), static_cast<std::streamsize>(head.size()));
+    auto h = DecodeSegmentHeader(head);
+    if (h.ok() && h->prev_poisoned) successor_poisoned = true;
+  }
+  EXPECT_TRUE(successor_poisoned);
+}
+
+// Retention must never punch a mid-stream hole. A commit-less segment has
+// max_csn == 0 and always clears the CSN gate, so the old per-segment
+// predicate deleted it even when an *earlier* segment was held back by the
+// retention floor -- recovery then refused the log with an LSN gap. Only a
+// contiguous prefix may be pruned.
+TEST(WalSegmentTest, PruneStopsAtRetainedSegmentInsteadOfPunchingHoles) {
+  std::string dir = FreshDir("prune_prefix");
+  DurableWalOptions opts;
+  opts.dir = dir;
+  opts.segment_bytes = 256;
+  WalSegmentStore store;
+  ASSERT_OK(store.Open(opts, 1, 0, true));
+  store.Start();
+  // Commit segments first (max_csn > 0)...
+  Lsn lsn = 0;
+  for (; lsn < 12; ++lsn) {
+    WalRecord r = MakeCommit(lsn, lsn + 1);
+    store.Enqueue(lsn, r.commit_csn, Encode(r));
+    ASSERT_OK(store.SyncTo(lsn));
+  }
+  // ...then commit-less segments (aborts only: max_csn stays 0)...
+  for (; lsn < 24; ++lsn) {
+    WalRecord r;
+    r.kind = WalRecord::Kind::kAbort;
+    r.lsn = lsn;
+    r.txn = lsn + 1;
+    store.Enqueue(lsn, kNullCsn, Encode(r));
+    ASSERT_OK(store.SyncTo(lsn));
+  }
+  // ...then commits again.
+  for (; lsn < 36; ++lsn) {
+    WalRecord r = MakeCommit(lsn, lsn + 1);
+    store.Enqueue(lsn, r.commit_csn, Encode(r));
+    ASSERT_OK(store.SyncTo(lsn));
+  }
+  ASSERT_GT(store.segment_count(), 3u);
+
+  // Cover everything, but keep a low retention floor: a lagging view still
+  // needs commits above CSN 1, so the early commit segments must stay.
+  store.SetRetentionFloor(1);
+  std::vector<WalRecord> image;
+  for (Lsn l = 0; l < 36; ++l) image.push_back(MakeCommit(l, l + 1));
+  ASSERT_OK(store.PublishCheckpoint(36, 36, EncodeWal(image)));
+  store.PruneSegments();
+  // At most the first segment (if it holds only CSN 1) may go; in
+  // particular the covered commit-less segments behind the retained ones
+  // survive, and the directory still scans without a gap.
+  EXPECT_LE(store.counters().segments_deleted, 1u);
+  {
+    ASSERT_OK_AND_ASSIGN(WalDirScan scan, ScanWalDir(dir));
+    EXPECT_EQ(scan.covered_end_lsn, 36u);
+    EXPECT_TRUE(scan.suffix.empty());
+  }
+
+  // Lifting the floor releases the whole covered prefix.
+  store.SetRetentionFloor(kMaxCsn);
+  store.PruneSegments();
+  EXPECT_GE(store.counters().segments_deleted, 3u);
+  store.Stop();
+  ASSERT_OK_AND_ASSIGN(WalDirScan scan, ScanWalDir(dir));
+  EXPECT_EQ(scan.covered_end_lsn, 36u);
+  EXPECT_TRUE(scan.suffix.empty());
+}
+
+// A poison that lands before any record in the segment is acknowledged
+// (creation succeeded, first append failed) must not leak a stale meta:
+// the replacement segment reuses the identical file name, so a kept entry
+// would alias the live one's path and inflate segment_count/bytes_by_state
+// forever.
+TEST(WalSegmentTest, EmptySegmentPoisonLeavesNoStaleMeta) {
+  std::string dir = FreshDir("empty_poison");
+  DurableWalOptions opts;
+  opts.dir = dir;
+  opts.enospc_retry = std::chrono::milliseconds(1);
+  WalSegmentStore store;
+  ASSERT_OK(store.Open(opts, 1, 0, true));
+  std::atomic<int> append_attempts{0};
+  store.SetFailHook([&](const char* at) {
+    return std::string_view(at) == "segment.append" &&
+           append_attempts.fetch_add(1) < 3;  // first three appends fail
+  });
+  store.Start();
+  EnqueueCommits(&store, 0, 1);
+  ASSERT_OK(store.SyncTo(0));
+  auto c = store.counters();
+  EXPECT_EQ(c.segments_poisoned, 3u);
+  EXPECT_EQ(c.segments_created, 4u);
+  // Exactly one live segment tracked -- the active one -- and one file.
+  EXPECT_EQ(store.segment_count(), 1u);
+  auto bytes = store.bytes_by_state();
+  EXPECT_GT(bytes.active, 0u);
+  EXPECT_EQ(bytes.sealed, 0u);
+  EXPECT_EQ(bytes.retained, 0u);
+  EXPECT_EQ(SegmentFiles(dir).size(), 1u);
+  store.Stop();
+
+  ASSERT_OK_AND_ASSIGN(WalDirScan scan, ScanWalDir(dir));
+  ASSERT_EQ(scan.suffix.size(), 1u);
+  EXPECT_EQ(scan.suffix[0].lsn, 0u);
+  EXPECT_EQ(scan.suffix[0].commit_csn, 1u);
+}
+
 // Every durability transition has a seeded crash point; a crash at any of
 // them must leave a directory that scans to a clean prefix of the enqueued
 // records (checkpoint points may instead surface the pre-publish state --
