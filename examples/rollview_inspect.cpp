@@ -19,6 +19,11 @@
 //                quiescence, and the scrape gains the durability metrics
 //                (rollview_wal_segments, rollview_wal_bytes{state},
 //                group-commit batch/sync histograms, storage fault counters)
+//   --watch      live dashboard mode: instead of the one-shot report,
+//                redraw a per-view freshness frame (e2e percentiles, stage
+//                breakdown, staleness, SLO burn, driver counters) every
+//                --interval ms for the duration of the storm
+//   --interval I watch refresh period in ms (default 100)
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +38,7 @@
 #include "ivm/checkpoint.h"
 #include "ivm/maintenance.h"
 #include "ivm/view_manager.h"
+#include "obs/freshness.h"
 #include "obs/inspect.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -54,7 +60,9 @@ int main(int argc, char** argv) {
   size_t traces = 8;
   bool prom = false;
   bool json = false;
+  bool watch = false;
   int run_millis = 400;
+  int interval_millis = 100;
   std::string wal_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
@@ -63,14 +71,19 @@ int main(int argc, char** argv) {
       prom = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
     } else if (std::strcmp(argv[i], "--millis") == 0 && i + 1 < argc) {
       run_millis = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_millis = std::atoi(argv[++i]);
+      if (interval_millis < 1) interval_millis = 1;
     } else if (std::strcmp(argv[i], "--wal-dir") == 0 && i + 1 < argc) {
       wal_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: rollview_inspect [--traces N] [--prom] [--json] "
-                   "[--millis M] [--wal-dir D]\n");
+                   "[--watch] [--interval I] [--millis M] [--wal-dir D]\n");
       return 2;
     }
   }
@@ -83,9 +96,13 @@ int main(int argc, char** argv) {
   //    raw pointers into it, so it must outlive the Db -- declaring it
   //    after would free those histograms while the flusher still runs.
   obs::MetricsRegistry registry;
+  // The freshness tracker follows the same lifetime rule: the Db's commit
+  // path and the WAL flusher stamp into it, so it must outlive the Db.
+  obs::FreshnessTracker freshness;
   DbOptions dbopts;
   dbopts.wal_dir = wal_dir;
   Db db(dbopts);
+  db.SetFreshnessTracker(&freshness);
   if (!wal_dir.empty()) {
     Status writable = db.wal()->CheckWritable();
     if (!writable.ok()) {
@@ -115,12 +132,25 @@ int main(int argc, char** argv) {
   mopts.interval_mode = MaintenanceService::Options::IntervalMode::kAdaptive;
   mopts.apply_continuously = true;
   mopts.trace_journal_capacity = 128;
+  mopts.freshness = &freshness;
+  // A 25ms commit-to-visibility SLO with a 10% error budget over a 1s
+  // window: generous enough that the storm normally stays green, tight
+  // enough that a stall shows up as burn (and, past 1.0, sheds).
+  mopts.freshness_slo.target_staleness_nanos = 25ull * 1000 * 1000;
   MaintenanceService service(&views, view, mopts);
   service.RegisterMetrics(&registry);
   db.lock_manager()->RegisterMetrics(&registry, &registry);
   db.wal()->RegisterMetrics(&registry, &registry);
   if (db.build_cache() != nullptr) {
     db.build_cache()->RegisterMetrics(&registry, &registry);
+  }
+  // Durable backend: let the group-commit flusher emit kWalFlush root
+  // traces into the service's journal -- the cross-thread causality link
+  // from an fsynced batch's CSN range to the propagation steps that later
+  // pick those commits up. Detached below before the service (which owns
+  // the journal) is destroyed.
+  if (db.wal()->durable() && service.trace_journal() != nullptr) {
+    db.wal()->store()->AttachTraceJournal(service.trace_journal());
   }
   service.Start();
 
@@ -143,11 +173,28 @@ int main(int argc, char** argv) {
   for (auto& u : updaters) u->Start();
 
   // 4. A mid-flight scrape: this is what a monitoring agent would see
-  //    while the storm is still running.
-  std::this_thread::sleep_for(std::chrono::milliseconds(run_millis / 2));
-  obs::MetricsSnapshot live = registry.Snapshot();
-
-  std::this_thread::sleep_for(std::chrono::milliseconds(run_millis / 2));
+  //    while the storm is still running. In --watch mode the wait is spent
+  //    redrawing the live dashboard instead of sleeping through it.
+  obs::MetricsSnapshot live;
+  if (watch) {
+    const int frames = run_millis / interval_millis > 0
+                           ? run_millis / interval_millis
+                           : 1;
+    for (int f = 0; f < frames; ++f) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_millis));
+      live = registry.Snapshot();
+      // ANSI clear + home, then the frame; a dumb pipe just sees frames
+      // separated by the escape sequence.
+      std::printf("\x1b[2J\x1b[H%s",
+                  obs::RenderWatchFrame(live, static_cast<uint64_t>(f + 1))
+                      .c_str());
+      std::fflush(stdout);
+    }
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(run_millis / 2));
+    live = registry.Snapshot();
+    std::this_thread::sleep_for(std::chrono::milliseconds(run_millis / 2));
+  }
   for (auto& u : updaters) CHECK_OK(u->Join());
   CHECK_OK(service.Drain(db.stable_csn()));
 
@@ -180,6 +227,11 @@ int main(int argc, char** argv) {
     if (journal != nullptr) {
       std::printf("%s\n", journal->ToJson(traces).c_str());
     }
+  } else if (watch) {
+    // Close the dashboard with a quiescent frame; the storm frames already
+    // scrolled by above.
+    std::printf("\n=== quiescent ===\n%s",
+                obs::RenderWatchFrame(final_snap, 0).c_str());
   } else {
     std::printf("=== mid-flight (storm still running) ===\n%s\n",
                 obs::RenderViewDigest(live).c_str());
@@ -191,6 +243,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The WAL flusher's journal pointer must not outlive the service that
+  // owns the journal.
+  if (db.wal()->durable()) {
+    db.wal()->store()->AttachTraceJournal(nullptr);
+  }
   CHECK_OK(service.Stop());
   capture.Stop();
   return 0;

@@ -22,7 +22,8 @@ build_dir="$(cd "${build_dir}" && pwd)"  # absolute: we cd away below
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_executor bench_fault_recovery bench_recovery \
-           bench_contention bench_multiview bench_scrub >/dev/null
+           bench_contention bench_multiview bench_scrub \
+           bench_freshness >/dev/null
 
 # Each bench writes BENCH_<experiment>.json into its working directory.
 workdir="$(mktemp -d)"
@@ -30,7 +31,8 @@ trap 'rm -rf "${workdir}"' EXIT
 cd "${workdir}"
 
 for bench in bench_executor bench_fault_recovery bench_recovery \
-             bench_contention bench_multiview bench_scrub; do
+             bench_contention bench_multiview bench_scrub \
+             bench_freshness; do
   echo "== ${bench}"
   "${build_dir}/bench/${bench}"
 done

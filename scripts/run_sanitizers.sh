@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Drive the sanitizer presets over the robustness-critical ctest labels:
 #
-#   tsan   -> scrub + concurrency + parallel + compiled + durability
+#   tsan   -> scrub + concurrency + parallel + compiled + durability + obs
 #             (races in scrub-vs-apply locking, scrape-vs-drop teardown,
 #             partition strip barriers, half-join probe-vs-advance
-#             latching, group-commit flusher vs committers vs fault storms)
-#   asan   -> scrub + recovery + compiled + durability   (WAL replay,
+#             latching, group-commit flusher vs committers vs fault storms,
+#             freshness stamping across committer/flusher/strip/apply
+#             threads, trace ring under concurrent writers and scrapes)
+#   asan   -> scrub + recovery + compiled + durability + obs   (WAL replay,
 #             checkpoint decode, repair escalation, half-join rebuild
-#             memory safety, segment scan over torn/corrupt files)
+#             memory safety, segment scan over torn/corrupt files,
+#             borrowed-instrument registration/drop lifetimes)
 #   ubsan  -> scrub + recovery + parallel + compiled + durability
 #             (digest mixing arithmetic, cursor folding, partition math,
 #             flat-kernel address arithmetic, CRC/LSN framing arithmetic)
@@ -30,8 +33,8 @@ fi
 
 labels_for() {
   case "$1" in
-    tsan)  echo "scrub|concurrency|parallel|compiled|durability" ;;
-    asan)  echo "scrub|recovery|compiled|durability" ;;
+    tsan)  echo "scrub|concurrency|parallel|compiled|durability|obs" ;;
+    asan)  echo "scrub|recovery|compiled|durability|obs" ;;
     ubsan) echo "scrub|recovery|parallel|compiled|durability" ;;
     *)
       echo "unknown sanitizer '$1' (expected tsan, asan or ubsan)" >&2

@@ -1,5 +1,7 @@
 #include "harness/mv_reader.h"
 
+#include "obs/freshness.h"
+
 namespace rollview {
 
 Status MvReader::ReadOnce(int64_t* out_total_count) {
@@ -28,6 +30,7 @@ Status MvReader::ReadOnce(int64_t* out_total_count) {
   }
   if (out_total_count != nullptr) *out_total_count = total;
   ++reads_;
+  if (freshness_ != nullptr) freshness_->OnRead();
   return Status::OK();
 }
 

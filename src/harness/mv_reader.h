@@ -18,6 +18,10 @@
 
 namespace rollview {
 
+namespace obs {
+class ViewFreshness;
+}  // namespace obs
+
 class MvReader {
  public:
   MvReader(ViewManager* views, View* view) : views_(views), view_(view) {}
@@ -26,6 +30,11 @@ class MvReader {
   // observed multiset size through `out` (optional).
   Status ReadOnce(int64_t* out_total_count = nullptr);
 
+  // Freshness channel (obs/freshness.h): each successful read records the
+  // staleness the reader observed into rollview_read_staleness_nanos --
+  // the user-facing side of the freshness SLO. Null disables (default).
+  void set_freshness(obs::ViewFreshness* channel) { freshness_ = channel; }
+
   uint64_t reads() const { return reads_; }
   // Reads rejected by the fail-fast quarantine gate.
   uint64_t quarantine_rejects() const { return quarantine_rejects_; }
@@ -33,6 +42,7 @@ class MvReader {
  private:
   ViewManager* views_;
   View* view_;
+  obs::ViewFreshness* freshness_ = nullptr;
   uint64_t reads_ = 0;
   uint64_t quarantine_rejects_ = 0;
 };

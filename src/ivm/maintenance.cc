@@ -113,6 +113,21 @@ MaintenanceService::MaintenanceService(ViewManager* views, View* view,
       plain_->set_tracer(&propagate_tracer_);
     }
   }
+  if (options_.freshness != nullptr) {
+    // Seed visibility at the current MV position: commits already applied
+    // predate tracking and never enter the histograms.
+    freshness_ch_ =
+        options_.freshness->RegisterView(view_->name, view_->mv->csn());
+    if (parallel_ != nullptr) {
+      // Parallel strips stamp t_comp at the fold site, before the hwm
+      // publishes (so the apply driver can never consume an unstamped
+      // advance); the serial paths stamp from PropagateStep.
+      parallel_->set_freshness(freshness_ch_);
+    }
+    if (options_.freshness_slo.target_staleness_nanos > 0) {
+      slo_ = std::make_unique<obs::FreshnessSlo>(options_.freshness_slo);
+    }
+  }
 }
 
 MaintenanceService::~MaintenanceService() {
@@ -158,6 +173,13 @@ Status MaintenanceService::PropagateStep(bool* advanced) {
       propagate_tracer_.SetNextStepContext(streak, health, target);
     }
   }
+  // Freshness pickup stamp: the strip's start time, taken before the step
+  // runs so time spent inside the strip counts as propagation, not pickup.
+  // The boundary it consumed up to is only known afterwards.
+  const Csn fresh_hwm_before =
+      freshness_ch_ != nullptr ? view_->high_water_mark() : kNullCsn;
+  const uint64_t fresh_t0 =
+      freshness_ch_ != nullptr ? freshness_ch_->Now() : 0;
   Status s = [&]() -> Status {
     if (parallel_ != nullptr) {
       Result<bool> r = parallel_->Step();
@@ -203,6 +225,18 @@ Status MaintenanceService::PropagateStep(bool* advanced) {
     }
     return Status::OK();
   }();
+
+  if (freshness_ch_ != nullptr && s.ok() && *advanced) {
+    const Csn hwm_after = view_->high_water_mark();
+    if (hwm_after > fresh_hwm_before) {
+      freshness_ch_->OnStripStart(fresh_t0, hwm_after);
+      if (parallel_ == nullptr) {
+        // Serial propagators publish the hwm inside Step; t_comp is now.
+        // (Parallel strips stamped it at FoldHwm, per partition fold.)
+        freshness_ch_->OnHwmAdvance(hwm_after, freshness_ch_->Now());
+      }
+    }
+  }
 
   // Scrub cadence: counted over every successful iteration -- advanced or
   // idle -- so a quiescent system still gets scrubbed. Runs here, on the
@@ -269,6 +303,19 @@ Status MaintenanceService::PropagateStep(bool* advanced) {
       std::chrono::microseconds pause = controller_->recommended_pause();
       if (pause.count() > 0) InterruptibleSleep(pause);
     }
+  }
+
+  // Time-domain SLO: evaluated every iteration (advanced or idle -- a
+  // stalled pipeline is exactly when staleness grows), on the thread
+  // driving PropagateStep, where the strips are quiescent and shedding
+  // transitions are race-free (the ApplyShedding contract).
+  if (slo_ != nullptr && s.ok()) {
+    const bool flipped =
+        slo_->Observe(freshness_ch_->StalenessNanos(), freshness_ch_->Now());
+    // Mirror every iteration (not just on flips) so a Start() after a
+    // stop-while-shedding re-converges with the evaluator's latch.
+    slo_shedding_.store(slo_->shedding(), std::memory_order_release);
+    if (flipped) ApplyShedding(shedding());
   }
   return s;
 }
@@ -391,6 +438,20 @@ Status MaintenanceService::ApplyStep(bool* advanced) {
     apply_tracer_.Attr(1, "t_b", static_cast<int64_t>(hwm));
     Status s = applier_->RollTo(hwm);
     apply_tracer_.AddStepRows(astats.rows_selected - rows_before);
+    if (s.ok() && freshness_ch_ != nullptr) {
+      // Close the freshness loop inside the apply trace: the commit range
+      // that just became visible, decomposed into the stage histograms.
+      obs::ViewFreshness::VisibleReport rep =
+          freshness_ch_->OnVisible(view_->mv->csn());
+      uint32_t span = apply_tracer_.OpenSpan(obs::SpanKind::kFreshness);
+      apply_tracer_.Attr(span, "commits",
+                         static_cast<int64_t>(rep.commits));
+      apply_tracer_.Attr(span, "evicted",
+                         static_cast<int64_t>(rep.evicted));
+      apply_tracer_.Attr(span, "max_e2e_us",
+                         static_cast<int64_t>(rep.max_e2e_nanos / 1000));
+      apply_tracer_.CloseSpan(span, true);
+    }
     apply_tracer_.EndStep(
         s.ok() ? obs::StepOutcome::kOk
                : (s.IsTransient() ? obs::StepOutcome::kTransientError
@@ -401,6 +462,9 @@ Status MaintenanceService::ApplyStep(bool* advanced) {
     return s;
   }
   Status s = applier_->RollTo(hwm);
+  if (s.ok() && freshness_ch_ != nullptr) {
+    freshness_ch_->OnVisible(view_->mv->csn());
+  }
   std::lock_guard<std::mutex> lk(stats_mu_);
   apply_mirror_ = astats;
   return s;
@@ -546,6 +610,9 @@ void MaintenanceService::Start() {
     error_ = Status::OK();
     last_error_ = Status::OK();
   }
+  // The time-domain SLO latch is regime state, like the controller's: a
+  // restart re-evaluates from fresh observations.
+  slo_shedding_.store(false, std::memory_order_release);
   propagate_driver_.health.store(DriverHealth::kRunning,
                                  std::memory_order_release);
   propagate_thread_ = std::thread([this] {
@@ -931,6 +998,68 @@ void MaintenanceService::RegisterMetrics(obs::MetricsRegistry* registry) {
         "rollview_trace_steps_total", lv, [j] { return j->recorded(); },
         owner);
   }
+  if (freshness_ch_ != nullptr) {
+    // End-to-end commit-to-visibility latency plus the four-stage
+    // decomposition (docs/ALGORITHMS.md §15). The histograms are owned by
+    // the channel, which outlives this service (it lives on the tracker);
+    // borrowed registration, dropped with the rest of `owner`.
+    obs::ViewFreshness* ch = freshness_ch_;
+    registry->RegisterHistogram("rollview_freshness_e2e_nanos", lv,
+                                ch->e2e_hist(), owner);
+    for (size_t i = 0; i < obs::kFreshnessStageCount; ++i) {
+      const obs::FreshnessStage stage = static_cast<obs::FreshnessStage>(i);
+      registry->RegisterHistogram(
+          "rollview_freshness_stage_nanos",
+          {{"view", v}, {"stage", obs::FreshnessStageName(stage)}},
+          ch->stage_hist(stage), owner);
+    }
+    registry->RegisterHistogram("rollview_read_staleness_nanos", lv,
+                                ch->read_staleness_hist(), owner);
+    registry->RegisterCounterFn(
+        "rollview_freshness_commits_total", lv,
+        [ch] { return ch->commits_total(); }, owner);
+    registry->RegisterCounterFn(
+        "rollview_freshness_evicted_total", lv,
+        [ch] { return ch->evicted_total(); }, owner);
+    // Time-domain sibling of rollview_view_staleness_csn (microseconds:
+    // gauges are integral and sub-second lags are the interesting regime).
+    registry->RegisterGaugeFn(
+        "rollview_view_staleness_usec", lv,
+        [ch] { return ch->StalenessMicros(); }, owner);
+  }
+  if (slo_ != nullptr) {
+    const obs::FreshnessSlo* slo = slo_.get();
+    registry->RegisterGaugeFn(
+        "rollview_slo_target_usec", lv,
+        [slo] {
+          return static_cast<int64_t>(
+              slo->options().target_staleness_nanos / 1000);
+        },
+        owner);
+    registry->RegisterGaugeFn(
+        "rollview_slo_burn_x1000", lv, [slo] { return slo->burn_x1000(); },
+        owner);
+    registry->RegisterGaugeFn(
+        "rollview_slo_breaching", lv,
+        [slo] { return static_cast<int64_t>(slo->breaching() ? 1 : 0); },
+        owner);
+    struct SloEvent {
+      const char* name;
+      uint64_t obs::FreshnessSlo::Stats::* field;
+    };
+    const SloEvent slo_events[] = {
+        {"eval", &obs::FreshnessSlo::Stats::evals},
+        {"violation", &obs::FreshnessSlo::Stats::violations},
+        {"shed_entry", &obs::FreshnessSlo::Stats::shed_entries},
+        {"shed_exit", &obs::FreshnessSlo::Stats::shed_exits},
+    };
+    for (const SloEvent& e : slo_events) {
+      auto field = e.field;
+      registry->RegisterCounterFn(
+          "rollview_slo_events_total", {{"view", v}, {"event", e.name}},
+          [slo, field] { return slo->stats().*field; }, owner);
+    }
+  }
   if (controller_ != nullptr) {
     // AIMD / shedding state machine events (GetStats copies under the
     // controller's own mutex).
@@ -1017,7 +1146,11 @@ Status MaintenanceService::Drain(Csn target) {
     }
     return Status::OK();
   }
-  return applier_->RollTo(view_->high_water_mark());
+  Status s = applier_->RollTo(view_->high_water_mark());
+  if (s.ok() && freshness_ch_ != nullptr) {
+    freshness_ch_->OnVisible(view_->mv->csn());
+  }
+  return s;
 }
 
 void RetentionService::Start() {

@@ -42,6 +42,7 @@
 #include "ivm/retention.h"
 #include "ivm/rolling.h"
 #include "ivm/scrub.h"
+#include "obs/freshness.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "storage/lock_manager.h"
@@ -155,6 +156,21 @@ class MaintenanceService {
     // tracing compiled in but disabled -- no journal is allocated and the
     // propagators run with a null tracer, so the hot path pays one branch.
     size_t trace_journal_capacity = 0;
+
+    // --- Freshness (obs/freshness.h) ---
+    // When set, the drivers stamp the per-CSN freshness pipeline: strip
+    // pickup and t_comp on propagation, MV visibility on apply, exporting
+    // per-view commit-to-visibility histograms with a per-stage
+    // decomposition and the time-domain staleness gauge. The tracker must
+    // outlive this service (commit/durable stamps come from the Db/WAL,
+    // wired separately via Db::SetFreshnessTracker).
+    obs::FreshnessTracker* freshness = nullptr;
+    // Time-domain staleness SLO over the freshness tracker's staleness
+    // signal (ignored unless `freshness` is set). When its burn rate trips,
+    // the service sheds exactly like the controller's CSN-unit SLO machine
+    // (same ApplyShedding actions, same on_shedding hook, kShedding
+    // health); target_staleness_nanos == 0 (the default) disables it.
+    obs::FreshnessSloOptions freshness_slo;
   };
 
   MaintenanceService(ViewManager* views, View* view)
@@ -232,6 +248,7 @@ class MaintenanceService {
   // kShedding.
   bool shedding() const {
     return wal_shedding_.load(std::memory_order_acquire) ||
+           slo_shedding_.load(std::memory_order_acquire) ||
            (controller_ != nullptr && controller_->shedding());
   }
   // Level gauges sampled at each contention observation (kAdaptive only):
@@ -244,6 +261,12 @@ class MaintenanceService {
   // The step-trace journal; null unless Options::trace_journal_capacity
   // > 0. Thread-safe (see obs::TraceJournal).
   obs::TraceJournal* trace_journal() const { return journal_.get(); }
+
+  // This view's freshness channel; null unless Options::freshness was set.
+  obs::ViewFreshness* freshness() const { return freshness_ch_; }
+  // The time-domain SLO evaluator; null unless configured (freshness set
+  // and freshness_slo.target_staleness_nanos > 0).
+  const obs::FreshnessSlo* freshness_slo() const { return slo_.get(); }
 
   // Registers this view's maintenance telemetry on `registry` under
   // rollview_* names labeled {view="<name>"} (see docs/ALGORITHMS.md §10):
@@ -358,6 +381,13 @@ class MaintenanceService {
   // Wakes drivers sleeping on idle/backoff/pause.
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
+
+  // Freshness pipeline (null/false when Options::freshness is unset). The
+  // SLO latch is flipped only by the propagate driver (or a synchronous
+  // Drain caller); read by shedding().
+  obs::ViewFreshness* freshness_ch_ = nullptr;
+  std::unique_ptr<obs::FreshnessSlo> slo_;
+  std::atomic<bool> slo_shedding_{false};
 
   Driver propagate_driver_{"propagate"};
   // Latched by the propagate driver on an ENOSPC-stalled WAL; cleared on

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "ivm/partition.h"
+#include "obs/freshness.h"
 
 namespace rollview {
 
@@ -114,7 +115,15 @@ void PartitionedRollingPropagator::FoldHwm(uint32_t p, Csn local) {
   for (uint32_t q = 0; q < partitions(); ++q) {
     floor = std::min(floor, hwm_slots_[q].load(std::memory_order_acquire));
   }
-  if (floor != kMaxCsn) view_->AdvanceHwm(floor);
+  if (floor != kMaxCsn) {
+    // t_comp freshness stamp before the hwm publishes: once AdvanceHwm
+    // returns, the apply driver may make every commit <= floor visible,
+    // and its OnVisible must find this boundary already stamped. Re-folds
+    // that do not advance the floor are deduped by the channel.
+    obs::ViewFreshness* ch = freshness_.load(std::memory_order_acquire);
+    if (ch != nullptr) ch->OnHwmAdvance(floor, ch->Now());
+    view_->AdvanceHwm(floor);
+  }
 }
 
 Result<bool> PartitionedRollingPropagator::Step() {

@@ -32,6 +32,10 @@
 
 namespace rollview {
 
+namespace obs {
+class ViewFreshness;
+}  // namespace obs
+
 struct ParallelRollingOptions {
   // Per-strip propagation options; the partition slice field is filled in
   // per strip by Create.
@@ -99,6 +103,14 @@ class PartitionedRollingPropagator {
   // Size must equal partitions(); null entries detach.
   void SetTracers(const std::vector<obs::StepTracer*>& tracers);
 
+  // Freshness channel (obs/freshness.h): each hwm fold stamps the t_comp
+  // boundary *before* publishing the advance, so the apply driver can
+  // never make an unstamped commit visible. Atomic -- attachable while
+  // rounds run; nullptr detaches.
+  void set_freshness(obs::ViewFreshness* channel) {
+    freshness_.store(channel, std::memory_order_release);
+  }
+
   // The published local mark of partition p (what the strip last folded
   // into the view-level minimum); starts at the strip's resumed mark.
   Csn partition_hwm(uint32_t p) const {
@@ -118,6 +130,7 @@ class PartitionedRollingPropagator {
   // Monotone per-partition marks; a racy minimum over them only ever
   // under-approximates, and View::AdvanceHwm is itself monotone.
   std::unique_ptr<std::atomic<Csn>[]> hwm_slots_;
+  std::atomic<obs::ViewFreshness*> freshness_{nullptr};
   WorkerPool* pool_ = nullptr;
   std::unique_ptr<WorkerPool> owned_pool_;
 };

@@ -31,6 +31,47 @@ void Append(std::string* out, const char* fmt, ...) {
   *out += buf;
 }
 
+// A gauge cell for the digest: the value when the sample exists, `-` when
+// the metric is absent from the snapshot. GaugeValue alone cannot tell an
+// absent gauge from a true zero.
+std::string GaugeCell(const MetricsSnapshot& snapshot, const std::string& name,
+                      const Labels& labels) {
+  const Sample* s = snapshot.Find(name, labels);
+  if (s == nullptr) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, s->gauge);
+  return buf;
+}
+
+std::string CounterCell(const MetricsSnapshot& snapshot,
+                        const std::string& name, const Labels& labels) {
+  const Sample* s = snapshot.Find(name, labels);
+  if (s == nullptr) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, s->counter);
+  return buf;
+}
+
+// Milliseconds with one decimal, from nanos.
+std::string MillisCell(uint64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(nanos) / 1e6);
+  return buf;
+}
+
+// The views present in a snapshot: the label values of the hwm gauge every
+// maintained view registers.
+std::set<std::string> ViewsIn(const MetricsSnapshot& snapshot) {
+  std::set<std::string> views;
+  for (const Sample& s : snapshot.samples()) {
+    if (s.name != "rollview_view_hwm_csn") continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "view") views.insert(v);
+    }
+  }
+  return views;
+}
+
 }  // namespace
 
 std::string RenderSnapshot(const MetricsSnapshot& snapshot) {
@@ -69,30 +110,42 @@ std::string RenderSnapshot(const MetricsSnapshot& snapshot) {
 }
 
 std::string RenderViewDigest(const MetricsSnapshot& snapshot) {
-  // The views present are exactly the label values of the hwm gauge every
-  // maintained view registers.
-  std::set<std::string> views;
-  for (const Sample& s : snapshot.samples()) {
-    if (s.name != "rollview_view_hwm_csn") continue;
-    for (const auto& [k, v] : s.labels) {
-      if (k == "view") views.insert(v);
-    }
-  }
+  std::set<std::string> views = ViewsIn(snapshot);
   if (views.empty()) return "";
 
   std::string out = "views:\n";
   for (const std::string& view : views) {
     const Labels lv{{"view", view}};
+    // Find-based cells: a gauge the view never registered (e.g. shedding
+    // telemetry on a non-adaptive service snapshotted by a bare registry)
+    // renders as `-`, not a fake 0.
+    const Sample* shed = snapshot.Find("rollview_view_shedding", lv);
     Append(&out,
-           "  %-12s hwm=%" PRId64 " mv=%" PRId64 " staleness=%" PRId64
-           " target_rows=%" PRId64 " backlog=%" PRId64 " shedding=%s\n",
-           view.c_str(), snapshot.GaugeValue("rollview_view_hwm_csn", lv),
-           snapshot.GaugeValue("rollview_view_mv_csn", lv),
-           snapshot.GaugeValue("rollview_view_staleness_csn", lv),
-           snapshot.GaugeValue("rollview_view_target_rows", lv),
-           snapshot.GaugeValue("rollview_view_backlog_rows", lv),
-           snapshot.GaugeValue("rollview_view_shedding", lv) != 0 ? "yes"
-                                                                  : "no");
+           "  %-12s hwm=%s mv=%s staleness=%s target_rows=%s backlog=%s"
+           " shedding=%s\n",
+           view.c_str(),
+           GaugeCell(snapshot, "rollview_view_hwm_csn", lv).c_str(),
+           GaugeCell(snapshot, "rollview_view_mv_csn", lv).c_str(),
+           GaugeCell(snapshot, "rollview_view_staleness_csn", lv).c_str(),
+           GaugeCell(snapshot, "rollview_view_target_rows", lv).c_str(),
+           GaugeCell(snapshot, "rollview_view_backlog_rows", lv).c_str(),
+           shed == nullptr ? "-" : (shed->gauge != 0 ? "yes" : "no"));
+    // Freshness digest, present only when the view exports the pipeline.
+    const HistogramSummary* e2e =
+        snapshot.Histogram("rollview_freshness_e2e_nanos", lv);
+    if (e2e != nullptr) {
+      Append(&out,
+             "  %-12s staleness=%sus e2e p50=%sms p99=%sms commits=%s"
+             " evicted=%s slo_burn=%s\n",
+             "",
+             GaugeCell(snapshot, "rollview_view_staleness_usec", lv).c_str(),
+             MillisCell(e2e->p50).c_str(), MillisCell(e2e->p99).c_str(),
+             CounterCell(snapshot, "rollview_freshness_commits_total", lv)
+                 .c_str(),
+             CounterCell(snapshot, "rollview_freshness_evicted_total", lv)
+                 .c_str(),
+             GaugeCell(snapshot, "rollview_slo_burn_x1000", lv).c_str());
+    }
     // Compiled delta-program digest, present only when the view ran any
     // compiled forward queries (half-join residency rides along).
     const uint64_t compiled =
@@ -112,6 +165,93 @@ std::string RenderViewDigest(const MetricsSnapshot& snapshot) {
              snapshot.GaugeValue("rollview_half_join_rows", lv),
              snapshot.GaugeValue("rollview_half_join_bytes", lv));
     }
+  }
+  return out;
+}
+
+std::string RenderWatchFrame(const MetricsSnapshot& snapshot, uint64_t frame) {
+  std::set<std::string> views = ViewsIn(snapshot);
+  std::string out;
+  Append(&out, "rollview watch  frame=%" PRIu64 "  views=%zu\n", frame,
+         views.size());
+  if (views.empty()) {
+    out += "  (no per-view gauges in snapshot)\n";
+    return out;
+  }
+  for (const std::string& view : views) {
+    const Labels lv{{"view", view}};
+    const Sample* shed = snapshot.Find("rollview_view_shedding", lv);
+    Append(&out,
+           "%-12s hwm=%s mv=%s staleness=%scsn/%sus backlog=%s shedding=%s\n",
+           view.c_str(),
+           GaugeCell(snapshot, "rollview_view_hwm_csn", lv).c_str(),
+           GaugeCell(snapshot, "rollview_view_mv_csn", lv).c_str(),
+           GaugeCell(snapshot, "rollview_view_staleness_csn", lv).c_str(),
+           GaugeCell(snapshot, "rollview_view_staleness_usec", lv).c_str(),
+           GaugeCell(snapshot, "rollview_view_backlog_rows", lv).c_str(),
+           shed == nullptr ? "-" : (shed->gauge != 0 ? "YES" : "no"));
+    const HistogramSummary* e2e =
+        snapshot.Histogram("rollview_freshness_e2e_nanos", lv);
+    if (e2e == nullptr) {
+      Append(&out, "  freshness  -\n");
+    } else {
+      Append(&out,
+             "  freshness  p50=%sms p95=%sms p99=%sms max=%sms"
+             "  commits=%s evicted=%s\n",
+             MillisCell(e2e->p50).c_str(), MillisCell(e2e->p95).c_str(),
+             MillisCell(e2e->p99).c_str(), MillisCell(e2e->max_nanos).c_str(),
+             CounterCell(snapshot, "rollview_freshness_commits_total", lv)
+                 .c_str(),
+             CounterCell(snapshot, "rollview_freshness_evicted_total", lv)
+                 .c_str());
+      // Stage shares: the stage sums telescope to the e2e sum exactly, so
+      // each stage's share of total time is its sum over the e2e sum.
+      static const char* kStages[] = {"durable", "pickup", "propagate",
+                                      "apply"};
+      out += "  stages    ";
+      for (const char* stage : kStages) {
+        const HistogramSummary* h =
+            snapshot.Histogram("rollview_freshness_stage_nanos",
+                               {{"view", view}, {"stage", stage}});
+        if (h == nullptr || e2e->sum_nanos == 0) {
+          Append(&out, " %s=-", stage);
+        } else {
+          Append(&out, " %s=%.0f%%", stage,
+                 100.0 * static_cast<double>(h->sum_nanos) /
+                     static_cast<double>(e2e->sum_nanos));
+        }
+      }
+      out += "\n";
+    }
+    const Sample* burn = snapshot.Find("rollview_slo_burn_x1000", lv);
+    if (burn != nullptr) {
+      const Sample* breaching = snapshot.Find("rollview_slo_breaching", lv);
+      Append(&out, "  slo        target=%sus burn=%.2f breaching=%s sheds=%s\n",
+             GaugeCell(snapshot, "rollview_slo_target_usec", lv).c_str(),
+             static_cast<double>(burn->gauge) / 1000.0,
+             breaching == nullptr ? "-"
+                                  : (breaching->gauge != 0 ? "YES" : "no"),
+             CounterCell(snapshot, "rollview_slo_events_total",
+                         {{"view", view}, {"event", "shed_entry"}})
+                 .c_str());
+    }
+    Append(&out, "  drivers    propagate ok=%s err=%s  apply ok=%s err=%s\n",
+           CounterCell(snapshot, "rollview_step_total",
+                       {{"view", view}, {"driver", "propagate"},
+                        {"outcome", "ok"}})
+               .c_str(),
+           CounterCell(snapshot, "rollview_step_total",
+                       {{"view", view}, {"driver", "propagate"},
+                        {"outcome", "transient_error"}})
+               .c_str(),
+           CounterCell(snapshot, "rollview_step_total",
+                       {{"view", view}, {"driver", "apply"},
+                        {"outcome", "ok"}})
+               .c_str(),
+           CounterCell(snapshot, "rollview_step_total",
+                       {{"view", view}, {"driver", "apply"},
+                        {"outcome", "transient_error"}})
+               .c_str());
   }
   return out;
 }

@@ -26,6 +26,10 @@ const char* SpanKindName(SpanKind kind) {
       return "apply";
     case SpanKind::kScrub:
       return "scrub";
+    case SpanKind::kWalFlush:
+      return "wal_flush";
+    case SpanKind::kFreshness:
+      return "freshness";
   }
   return "unknown";
 }

@@ -45,6 +45,12 @@ enum class SpanKind : uint8_t {
   kCheckpoint,    // root: a cadence checkpoint after a step
   kApply,         // root: the apply driver rolling the MV forward
   kScrub,         // root: one scrub pass (digest check, possibly repair)
+  kWalFlush,      // root: one group-commit flusher batch (carries the
+                  // csn_min/csn_max it made durable -- the cross-thread
+                  // link from the flusher to the step traces whose
+                  // t_a/t_b ranges it covers)
+  kFreshness,     // child of kApply: the commit range that became visible,
+                  // with its freshness accounting
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/freshness.h"
 #include "ra/build_cache.h"
 #include "storage/wal_codec.h"
 #include "storage/wal_segment.h"
@@ -317,6 +318,17 @@ Status Db::Commit(Txn* txn) {
   // instead of every committer piling up behind a parked flusher.
   ROLLVIEW_RETURN_NOT_OK(wal_.CheckWritable());
   Lsn commit_lsn = 0;
+  // A commit the maintenance pipeline must eventually reflect: any write to
+  // a log-captured base table (published later by LogCapture::Poll), or a
+  // trigger-captured delta append (detected below when it records the UOW).
+  // Resolved before commit_mu_: capture_mode takes the catalog lock.
+  bool delta_commit = false;
+  for (const Txn::WriteOp& op : txn->write_ops_) {
+    if (capture_mode(op.table->id()) == CaptureMode::kLog) {
+      delta_commit = true;
+      break;
+    }
+  }
   {
     std::lock_guard<std::mutex> lk(commit_mu_);
     Csn csn = next_csn_++;
@@ -338,6 +350,7 @@ Status Db::Commit(Txn* txn) {
         if (!recorded_uow) {
           uow_.Record(txn->id(), csn, now);
           recorded_uow = true;
+          delta_commit = true;
         }
       }
       if (p.wal_view != 0) {
@@ -360,6 +373,16 @@ Status Db::Commit(Txn* txn) {
   }
   txn->state_ = TxnState::kCommitted;
   lock_manager_.ReleaseAll(txn->id());
+  if (delta_commit) {
+    if (obs::FreshnessTracker* ft = freshness_tracker()) {
+      // Commit ack: the transaction is committed and its locks released.
+      // The group-commit fsync below is durability, stamped by the flusher.
+      // Only delta-producing (UOW) commits are stamped: they are what the
+      // views must reflect. Maintenance's own appends and read-only
+      // commits consume CSNs but carry no freshness obligation.
+      ft->OnCommit(txn->commit_csn_);
+    }
+  }
   if (wal_.durable()) {
     // Real group-commit log force, outside commit_mu_ and after lock
     // release: concurrent committers block together on the flusher's next

@@ -113,6 +113,9 @@ struct DbOptions {
 using TuplePredicate = std::function<bool(const Tuple&)>;
 
 class BuildCache;
+namespace obs {
+class FreshnessTracker;
+}  // namespace obs
 
 class Db {
  public:
@@ -244,6 +247,18 @@ class Db {
   // leave the default (system_clock::now).
   void SetWallClock(std::function<WallTime()> clock);
 
+  // Freshness pipeline (obs/freshness.h): when attached, Commit stamps the
+  // commit-ack time of each CSN and a durable WAL forwards its group-commit
+  // fsync frontier. The tracker must outlive the Db (or be detached with
+  // nullptr first).
+  void SetFreshnessTracker(obs::FreshnessTracker* tracker) {
+    freshness_.store(tracker, std::memory_order_release);
+    wal_.SetFreshnessTracker(tracker);
+  }
+  obs::FreshnessTracker* freshness_tracker() const {
+    return freshness_.load(std::memory_order_acquire);
+  }
+
   // --- Snapshot pinning ---
   //
   // A pinned snapshot guarantees SnapshotScan(table, pin.csn()) keeps
@@ -302,6 +317,7 @@ class Db {
   UowTable uow_;
   std::unique_ptr<BuildCache> build_cache_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+  std::atomic<obs::FreshnessTracker*> freshness_{nullptr};
 
   mutable std::mutex catalog_mu_;
   std::unordered_map<std::string, TableId> by_name_;

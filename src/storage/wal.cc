@@ -64,6 +64,10 @@ void Wal::SetFaultInjector(FaultInjector* injector) {
   if (store_ != nullptr) store_->SetFaultInjector(injector);
 }
 
+void Wal::SetFreshnessTracker(obs::FreshnessTracker* tracker) {
+  if (store_ != nullptr) store_->AttachFreshness(tracker);
+}
+
 Lsn Wal::ReadFrom(Lsn from, size_t max, std::vector<WalRecord>* out) const {
   std::lock_guard<std::mutex> lk(mu_);
   if (from < first_lsn_) from = first_lsn_;

@@ -38,6 +38,7 @@
 namespace rollview {
 
 namespace obs {
+class FreshnessTracker;
 class MetricsRegistry;
 }  // namespace obs
 
@@ -158,6 +159,12 @@ class Wal {
     if (!s.ok()) return s;
     return fi->MaybeStorageFault();
   }
+
+  // Freshness pipeline: with a durable backend the flusher stamps the
+  // durable CSN frontier into the tracker after each group-commit fsync
+  // (obs/freshness.h). No-op for the in-memory log (commit ack is then the
+  // durability point and the durable stage lag reads as zero).
+  void SetFreshnessTracker(obs::FreshnessTracker* tracker);
 
   // Copies records with LSN >= `from` into `out` (up to `max` records).
   // Returns the LSN one past the last record copied (the next `from`).

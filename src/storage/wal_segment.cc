@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/freshness.h"
+#include "obs/trace.h"
 #include "storage/wal_codec.h"
 
 namespace rollview {
@@ -773,6 +775,32 @@ void WalSegmentStore::FlushBatch(std::vector<QueuedRecord>* batch) {
         batch_size_hist_.load(std::memory_order_acquire);
     if (batch_hist != nullptr) {
       batch_hist->Record(batch->size());
+    }
+    if (batch_max != 0) {
+      // Durable-frontier freshness stamp: every commit <= batch_max is now
+      // fsynced. Same pre-floor window as the histogram, same lifetime
+      // argument.
+      obs::FreshnessTracker* ft = freshness_.load(std::memory_order_acquire);
+      if (ft != nullptr) ft->OnDurable(batch_max);
+    }
+    obs::TraceJournal* journal = trace_journal_.load(std::memory_order_acquire);
+    if (journal != nullptr) {
+      // One kWalFlush root trace per batch: the csn_min/csn_max attrs are
+      // the causal link from this flusher fsync to the propagation-step
+      // traces whose [t_a, t_b] strips consume those commits.
+      obs::StepTracer tracer;
+      tracer.set_journal(journal);
+      tracer.BeginStep(obs::SpanKind::kWalFlush, 0, "wal", ++flush_seq_);
+      tracer.AttrCurrent("records", static_cast<int64_t>(batch->size()));
+      tracer.AttrCurrent("bytes", static_cast<int64_t>(bytes.size()));
+      tracer.AttrCurrent("lsn_first", static_cast<int64_t>(first_lsn));
+      tracer.AttrCurrent("lsn_last", static_cast<int64_t>(end_lsn - 1));
+      if (batch_min != 0) {
+        tracer.AttrCurrent("csn_min", static_cast<int64_t>(batch_min));
+        tracer.AttrCurrent("csn_max", static_cast<int64_t>(batch_max));
+      }
+      tracer.AddStepRows(batch->size());
+      tracer.EndStep(obs::StepOutcome::kOk);
     }
     {
       // Advance the durable floor under the queue mutex: a committer that

@@ -66,6 +66,11 @@
 
 namespace rollview {
 
+namespace obs {
+class FreshnessTracker;
+class TraceJournal;
+}  // namespace obs
+
 struct DurableWalOptions {
   std::string dir;
   // Rotation threshold: a segment is sealed once its byte size (header +
@@ -266,6 +271,24 @@ class WalSegmentStore {
     sync_nanos_hist_.store(sync_nanos, std::memory_order_release);
   }
 
+  // Freshness pipeline (obs/freshness.h): after each fsynced batch the
+  // flusher stamps the durable CSN frontier (the batch's max commit CSN)
+  // into the tracker. The tracker must outlive the store, or be detached
+  // with nullptr first. Atomic: attached after Start().
+  void AttachFreshness(obs::FreshnessTracker* tracker) {
+    freshness_.store(tracker, std::memory_order_release);
+  }
+
+  // Step tracing: each group-commit batch emits one kWalFlush root trace
+  // carrying its record count, byte size, LSN range, and commit-CSN range
+  // -- the cross-thread causality link from the flusher to the propagation
+  // steps whose [t_a, t_b] intervals those CSNs land in. The journal is
+  // typically owned by a MaintenanceService that dies before the Db owning
+  // this store: detach with nullptr before the journal is destroyed.
+  void AttachTraceJournal(obs::TraceJournal* journal) {
+    trace_journal_.store(journal, std::memory_order_release);
+  }
+
  private:
   struct QueuedRecord {
     Lsn lsn;
@@ -341,6 +364,9 @@ class WalSegmentStore {
   std::atomic<uint64_t> faults_enospc_{0};
   std::atomic<LatencyHistogram*> batch_size_hist_{nullptr};
   std::atomic<LatencyHistogram*> sync_nanos_hist_{nullptr};
+  std::atomic<obs::FreshnessTracker*> freshness_{nullptr};
+  std::atomic<obs::TraceJournal*> trace_journal_{nullptr};
+  uint64_t flush_seq_ = 0;  // flusher thread only: kWalFlush trace seq
 };
 
 }  // namespace rollview

@@ -1,0 +1,486 @@
+// Copyright 2026 The rollview Authors.
+//
+// The freshness pipeline's acceptance tests. The deterministic core drives
+// every stage stamp from a fake clock -- commit ack, WAL durable, strip
+// pickup, t_comp, MV visible -- and asserts the exact per-stage lags, the
+// telescoping identity (stage lags sum to end-to-end latency exactly, even
+// with missing or out-of-order stamps), ring eviction accounting, and the
+// time-domain staleness gauge, all without a single sleep. The SLO section
+// walks the burn-rate evaluator through breach, shed, and recovery against
+// hand-computed burn rates. A threaded smoke races committers, a flusher,
+// strips, the apply path, and scrapes for TSan. The integration test wires
+// a FreshnessTracker through a real Db + MaintenanceService and checks the
+// exported metric family end to end.
+
+#include "obs/freshness.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/mv_reader.h"
+#include "harness/worker.h"
+#include "ivm/maintenance.h"
+#include "obs/registry.h"
+#include "tests/test_util.h"
+
+namespace rollview {
+namespace {
+
+uint64_t StageSum(obs::ViewFreshness* ch) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < obs::kFreshnessStageCount; ++i) {
+    sum += ch->stage_hist(static_cast<obs::FreshnessStage>(i))->sum_nanos();
+  }
+  return sum;
+}
+
+// --------------------------------------------------------------------------
+// BoundarySeries.
+
+TEST(BoundarySeriesTest, EarliestCoveringEventWins) {
+  obs::BoundarySeries series(8);
+  EXPECT_EQ(series.StampFor(1), 0u);  // nothing retained
+
+  series.Push(10, 100);
+  series.Push(20, 200);
+  series.Push(30, 300);
+  // The stamp is the earliest event whose boundary covers the CSN.
+  EXPECT_EQ(series.StampFor(5), 100u);
+  EXPECT_EQ(series.StampFor(10), 100u);
+  EXPECT_EQ(series.StampFor(11), 200u);
+  EXPECT_EQ(series.StampFor(20), 200u);
+  EXPECT_EQ(series.StampFor(30), 300u);
+  EXPECT_EQ(series.StampFor(31), 0u);  // frontier has not reached it
+  EXPECT_EQ(series.frontier(), 30u);
+
+  // Non-advancing events never move an existing stamp.
+  series.Push(20, 999);
+  series.Push(30, 999);
+  EXPECT_EQ(series.StampFor(20), 200u);
+  EXPECT_EQ(series.StampFor(30), 300u);
+  EXPECT_EQ(series.size(), 3u);
+}
+
+TEST(BoundarySeriesTest, CapacityAndGc) {
+  obs::BoundarySeries series(3);
+  for (Csn b = 1; b <= 5; ++b) series.Push(b * 10, b * 100);
+  EXPECT_EQ(series.size(), 3u);  // 30, 40, 50 retained
+  EXPECT_EQ(series.StampFor(15), 300u);  // evicted events round later
+  EXPECT_EQ(series.StampFor(45), 500u);
+
+  series.DropCoveredThrough(40);
+  // Only events selectable for some csn > 40 remain.
+  EXPECT_EQ(series.size(), 1u);
+  EXPECT_EQ(series.StampFor(45), 500u);
+  EXPECT_EQ(series.frontier(), 50u);
+}
+
+// --------------------------------------------------------------------------
+// Deterministic stage decomposition under a fake clock.
+
+TEST(FreshnessTrackerTest, EveryStageStampExactUnderFakeClock) {
+  uint64_t now = 0;
+  obs::FreshnessOptions opts;
+  opts.clock = [&now] { return now; };
+  obs::FreshnessTracker tracker(opts);
+  obs::ViewFreshness* ch = tracker.RegisterView("V", /*visible_start=*/0);
+
+  // commit ack @100, durable @250, strip starts @300, t_comp @400,
+  // visible @500: e2e 400 = durable 150 + pickup 50 + propagate 100
+  // + apply 100.
+  now = 100;
+  tracker.OnCommit(1);
+  EXPECT_EQ(tracker.last_commit_csn(), 1u);
+  EXPECT_EQ(tracker.commits_stamped(), 1u);
+  now = 250;
+  tracker.OnDurable(1);
+  EXPECT_EQ(tracker.durable_frontier(), 1u);
+  ch->OnStripStart(/*start_nanos=*/300, /*boundary=*/1);
+  ch->OnHwmAdvance(/*hwm=*/1, /*nanos=*/400);
+  now = 500;
+  obs::ViewFreshness::VisibleReport rep = ch->OnVisible(1);
+
+  EXPECT_EQ(rep.commits, 1u);
+  EXPECT_EQ(rep.evicted, 0u);
+  EXPECT_EQ(rep.max_e2e_nanos, 400u);
+  EXPECT_EQ(ch->e2e_hist()->count(), 1u);
+  EXPECT_EQ(ch->e2e_hist()->sum_nanos(), 400u);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kDurable)->sum_nanos(), 150u);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kPickup)->sum_nanos(), 50u);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kPropagate)->sum_nanos(),
+            100u);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kApply)->sum_nanos(), 100u);
+  EXPECT_EQ(ch->visible_csn(), 1u);
+  EXPECT_EQ(ch->commits_total(), 1u);
+  EXPECT_EQ(ch->evicted_total(), 0u);
+}
+
+TEST(FreshnessTrackerTest, TelescopingHoldsWithMissingAndLateStamps) {
+  uint64_t now = 0;
+  obs::FreshnessOptions opts;
+  opts.clock = [&now] { return now; };
+  obs::FreshnessTracker tracker(opts);
+  obs::ViewFreshness* ch = tracker.RegisterView("V", 0);
+
+  // csn 1: no durable stamp at all (in-memory WAL). The durable stage must
+  // contribute zero and pickup absorb the gap.
+  now = 100;
+  tracker.OnCommit(1);
+  ch->OnStripStart(300, 1);
+  ch->OnHwmAdvance(1, 350);
+  now = 400;
+  ch->OnVisible(1);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kDurable)->sum_nanos(), 0u);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kPickup)->sum_nanos(), 200u);
+  EXPECT_EQ(ch->e2e_hist()->sum_nanos(), 300u);
+  EXPECT_EQ(StageSum(ch), ch->e2e_hist()->sum_nanos());
+
+  // csn 2: the strip picked the commit up BEFORE the flusher stamped it
+  // durable (group commit lagging behind a fast propagator). Clamping
+  // squeezes pickup/propagate to zero rather than going negative, and the
+  // telescoping identity still holds exactly.
+  now = 1000;
+  tracker.OnCommit(2);
+  ch->OnStripStart(1050, 2);  // pickup stamp 1050
+  ch->OnHwmAdvance(2, 1100);  // t_comp 1100
+  now = 1600;
+  tracker.OnDurable(2);  // durable stamp 1600, after both
+  now = 1700;
+  obs::ViewFreshness::VisibleReport rep = ch->OnVisible(2);
+  EXPECT_EQ(rep.commits, 1u);
+  EXPECT_EQ(rep.max_e2e_nanos, 700u);
+  // durable 600, pickup 0 (clamped), propagate 0 (clamped), apply 100.
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kDurable)->sum_nanos(),
+            0u + 600u);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kPickup)->sum_nanos(),
+            200u + 0u);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kPropagate)->sum_nanos(),
+            50u + 0u);
+  EXPECT_EQ(ch->stage_hist(obs::FreshnessStage::kApply)->sum_nanos(),
+            50u + 100u);
+  EXPECT_EQ(StageSum(ch), ch->e2e_hist()->sum_nanos());
+}
+
+TEST(FreshnessTrackerTest, BatchVisibilityMeasuresEveryCommitOnce) {
+  uint64_t now = 0;
+  obs::FreshnessOptions opts;
+  opts.clock = [&now] { return now; };
+  obs::FreshnessTracker tracker(opts);
+  obs::ViewFreshness* ch = tracker.RegisterView("V", 0);
+
+  for (Csn c = 1; c <= 5; ++c) {
+    now = c * 100;
+    tracker.OnCommit(c);
+  }
+  now = 600;
+  tracker.OnDurable(5);
+  ch->OnStripStart(700, 5);
+  ch->OnHwmAdvance(5, 800);
+  now = 1000;
+  obs::ViewFreshness::VisibleReport rep = ch->OnVisible(5);
+  EXPECT_EQ(rep.commits, 5u);
+  EXPECT_EQ(rep.evicted, 0u);
+  EXPECT_EQ(ch->e2e_hist()->count(), 5u);
+  // e2e per commit: 1000 - c*100 -> 900+800+700+600+500 = 3500.
+  EXPECT_EQ(ch->e2e_hist()->sum_nanos(), 3500u);
+  EXPECT_EQ(rep.max_e2e_nanos, 900u);
+  EXPECT_EQ(StageSum(ch), 3500u);
+
+  // Re-announcing the same visibility measures nothing twice.
+  rep = ch->OnVisible(5);
+  EXPECT_EQ(rep.commits, 0u);
+  EXPECT_EQ(ch->e2e_hist()->count(), 5u);
+}
+
+TEST(FreshnessTrackerTest, RingEvictionIsCountedNotMeasured) {
+  uint64_t now = 0;
+  obs::FreshnessOptions opts;
+  opts.clock = [&now] { return now; };
+  opts.commit_capacity = 4;
+  obs::FreshnessTracker tracker(opts);
+  obs::ViewFreshness* ch = tracker.RegisterView("V", 0);
+  EXPECT_EQ(tracker.commit_capacity(), 4u);
+
+  for (Csn c = 1; c <= 10; ++c) {
+    now = c * 10;
+    tracker.OnCommit(c);
+  }
+  now = 200;
+  tracker.OnDurable(10);
+  ch->OnStripStart(210, 10);
+  ch->OnHwmAdvance(10, 220);
+  now = 300;
+  obs::ViewFreshness::VisibleReport rep = ch->OnVisible(10);
+  // Only the last 4 commits (7..10) still have stamps; 1..6 were evicted.
+  EXPECT_EQ(rep.commits + rep.evicted, 10u);
+  EXPECT_EQ(rep.commits, 4u);
+  EXPECT_EQ(rep.evicted, 6u);
+  EXPECT_EQ(ch->commits_total(), 4u);
+  EXPECT_EQ(ch->evicted_total(), 6u);
+  EXPECT_EQ(ch->e2e_hist()->count(), 4u);
+  EXPECT_EQ(StageSum(ch), ch->e2e_hist()->sum_nanos());
+}
+
+TEST(FreshnessTrackerTest, StalenessIsAgeOfOldestUnseenCommit) {
+  uint64_t now = 0;
+  obs::FreshnessOptions opts;
+  opts.clock = [&now] { return now; };
+  obs::FreshnessTracker tracker(opts);
+  obs::ViewFreshness* ch = tracker.RegisterView("V", 0);
+
+  EXPECT_EQ(ch->StalenessNanos(), 0u);  // nothing committed yet
+  now = 1000;
+  tracker.OnCommit(1);
+  now = 2000;
+  tracker.OnCommit(2);
+  now = 5000;
+  // Oldest unseen commit is csn 1, stamped at 1000.
+  EXPECT_EQ(ch->StalenessNanos(), 4000u);
+  EXPECT_EQ(ch->StalenessMicros(), 4);
+
+  ch->OnHwmAdvance(1, 5000);
+  ch->OnVisible(1);
+  // csn 1 visible; oldest unseen is now csn 2 (stamped 2000).
+  EXPECT_EQ(ch->StalenessNanos(), 3000u);
+  ch->OnHwmAdvance(2, 5000);
+  ch->OnVisible(2);
+  EXPECT_EQ(ch->StalenessNanos(), 0u);  // fully caught up
+
+  // A reader records what it saw into the read-staleness histogram.
+  now = 9000;
+  tracker.OnCommit(3);
+  now = 9500;
+  ch->OnRead();
+  EXPECT_EQ(ch->read_staleness_hist()->count(), 1u);
+  EXPECT_EQ(ch->read_staleness_hist()->sum_nanos(), 500u);
+}
+
+TEST(FreshnessTrackerTest, RegisterViewIsIdempotentPerName) {
+  obs::FreshnessTracker tracker;
+  obs::ViewFreshness* a = tracker.RegisterView("A", 0);
+  obs::ViewFreshness* b = tracker.RegisterView("B", 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracker.RegisterView("A", 7), a);  // same channel, seed ignored
+  EXPECT_EQ(tracker.FindView("A"), a);
+  EXPECT_EQ(tracker.FindView("B"), b);
+  EXPECT_EQ(tracker.FindView("C"), nullptr);
+}
+
+// --------------------------------------------------------------------------
+// SLO burn-rate evaluator.
+
+TEST(FreshnessSloTest, BurnRateShedAndRecoveryWithHysteresis) {
+  obs::FreshnessSloOptions opts;
+  opts.target_staleness_nanos = 100;
+  opts.window_nanos = 1000;
+  opts.budget_fraction = 0.25;  // 1/4 of samples may violate at burn 1.0
+  opts.shed_burn = 1.0;
+  opts.recover_burn = 0.5;
+  opts.min_samples = 4;
+  obs::FreshnessSlo slo(opts);
+  ASSERT_TRUE(slo.enabled());
+
+  // Three healthy samples: below min_samples, no action.
+  EXPECT_FALSE(slo.Observe(10, 100));
+  EXPECT_FALSE(slo.Observe(10, 200));
+  EXPECT_FALSE(slo.Observe(10, 300));
+  EXPECT_FALSE(slo.shedding());
+  EXPECT_FALSE(slo.breaching());
+
+  // Fourth sample violates: 1 of 4 over target -> violating fraction 0.25,
+  // burn = 0.25 / 0.25 = 1.0 -> sheds (flip returned).
+  EXPECT_TRUE(slo.Observe(500, 400));
+  EXPECT_TRUE(slo.shedding());
+  EXPECT_TRUE(slo.breaching());
+  EXPECT_EQ(slo.burn_x1000(), 1000);
+
+  // Healthy samples dilute the window: 5..7 samples keep burn above the
+  // recover threshold (0.8, 0.67, 0.57 -- no flip), the 8th hits exactly
+  // 1/8 violating = burn 0.5 <= recover_burn and shedding exits.
+  EXPECT_FALSE(slo.Observe(10, 510));
+  EXPECT_FALSE(slo.Observe(10, 520));
+  EXPECT_FALSE(slo.Observe(10, 530));
+  EXPECT_TRUE(slo.shedding());
+  EXPECT_TRUE(slo.Observe(10, 540));
+  EXPECT_FALSE(slo.shedding());
+  EXPECT_EQ(slo.burn_x1000(), 500);
+
+  // The violating sample ages out of the 1000ns window entirely.
+  EXPECT_FALSE(slo.Observe(10, 1500));
+  EXPECT_EQ(slo.burn_x1000(), 0);
+
+  obs::FreshnessSlo::Stats stats = slo.stats();
+  EXPECT_EQ(stats.evals, 9u);
+  EXPECT_EQ(stats.violations, 1u);
+  EXPECT_EQ(stats.shed_entries, 1u);
+  EXPECT_EQ(stats.shed_exits, 1u);
+}
+
+TEST(FreshnessSloTest, ZeroTargetDisables) {
+  obs::FreshnessSlo slo(obs::FreshnessSloOptions{});
+  EXPECT_FALSE(slo.enabled());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(slo.Observe(1u << 30, 100 + i));
+  }
+  EXPECT_FALSE(slo.shedding());
+  EXPECT_EQ(slo.stats().shed_entries, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Concurrency smoke: committers, flusher, strips, apply, and scrapes race.
+// Run under TSan via the concurrency label; asserts conservation, not
+// timing.
+
+TEST(FreshnessTrackerTest, ConcurrentStampingSmoke) {
+  obs::FreshnessOptions opts;
+  opts.commit_capacity = 1 << 10;
+  obs::FreshnessTracker tracker(opts);
+  obs::ViewFreshness* ch = tracker.RegisterView("V", 0);
+
+  constexpr int kCommitters = 3;
+  constexpr Csn kPerCommitter = 400;
+  std::atomic<Csn> next_csn{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCommitters; ++t) {
+    threads.emplace_back([&] {
+      for (Csn i = 0; i < kPerCommitter; ++i) {
+        tracker.OnCommit(next_csn.fetch_add(1) + 1);
+      }
+    });
+  }
+  threads.emplace_back([&] {  // flusher
+    while (!done.load(std::memory_order_acquire)) {
+      tracker.OnDurable(tracker.last_commit_csn());
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&] {  // strip + hwm + apply
+    Csn seen = 0;
+    while (seen < kCommitters * kPerCommitter) {
+      Csn target = tracker.last_commit_csn();
+      if (target > seen) {
+        uint64_t t0 = ch->Now();
+        ch->OnStripStart(t0, target);
+        ch->OnHwmAdvance(target, ch->Now());
+        ch->OnVisible(target);
+        seen = target;
+      }
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&] {  // scraper
+    while (!done.load(std::memory_order_acquire)) {
+      (void)ch->StalenessNanos();
+      (void)ch->e2e_hist()->count();
+      (void)StageSum(ch);
+      std::this_thread::yield();
+    }
+  });
+
+  for (int t = 0; t < kCommitters; ++t) threads[t].join();
+  threads[kCommitters + 1].join();  // applier drains every commit
+  done.store(true, std::memory_order_release);
+  threads[kCommitters].join();
+  threads.back().join();
+
+  // Final catch-up pass from the applier thread's perspective.
+  ch->OnHwmAdvance(tracker.last_commit_csn(), ch->Now());
+  ch->OnVisible(tracker.last_commit_csn());
+
+  const uint64_t total = kCommitters * kPerCommitter;
+  EXPECT_EQ(tracker.commits_stamped(), total);
+  // Every commit was either measured or evicted, exactly once.
+  EXPECT_EQ(ch->commits_total() + ch->evicted_total(), total);
+  EXPECT_EQ(ch->e2e_hist()->count(), ch->commits_total());
+  // Telescoping survives concurrency: the stages sum to e2e exactly.
+  EXPECT_EQ(StageSum(ch), ch->e2e_hist()->sum_nanos());
+  EXPECT_EQ(ch->StalenessNanos(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Integration: a real Db + MaintenanceService exports the metric family.
+
+TEST(FreshnessIntegrationTest, ServicePipelineExportsFreshnessMetrics) {
+  TestEnv env;
+  obs::FreshnessTracker tracker;
+  env.db()->SetFreshnessTracker(&tracker);
+
+  ASSERT_OK_AND_ASSIGN(TwoTableWorkload workload,
+                       TwoTableWorkload::Create(env.db(), 60, 30, 8, 99));
+  env.CatchUpCapture();
+  ASSERT_OK_AND_ASSIGN(View* view,
+                       env.views()->CreateView("V", workload.ViewDef()));
+  ASSERT_OK(env.views()->Materialize(view));
+  env.StartCapture();
+
+  obs::MetricsRegistry registry;
+  MaintenanceService::Options mopts;
+  mopts.apply_continuously = true;
+  mopts.freshness = &tracker;
+  mopts.freshness_slo.target_staleness_nanos = 1ull * 1000 * 1000 * 1000;
+  MaintenanceService service(env.views(), view, mopts);
+  service.RegisterMetrics(&registry);
+  ASSERT_NE(service.freshness(), nullptr);
+  ASSERT_NE(service.freshness_slo(), nullptr);
+  service.Start();
+
+  UpdateStream stream(env.db(), workload.RStream(1, 77), 77);
+  for (int i = 0; i < 40; ++i) ASSERT_OK(stream.RunTransaction());
+  ASSERT_OK(service.Drain(env.db()->stable_csn()));
+  ASSERT_OK(service.Stop());
+
+  obs::ViewFreshness* ch = service.freshness();
+  EXPECT_GT(ch->commits_total(), 0u);
+  EXPECT_GT(ch->e2e_hist()->count(), 0u);
+  EXPECT_EQ(StageSum(ch), ch->e2e_hist()->sum_nanos());
+  // Drained: the view has seen every delta-producing commit. (stable_csn
+  // itself keeps moving past visible_csn -- maintenance's own appends
+  // consume CSNs -- but those carry no freshness obligation.)
+  EXPECT_GE(ch->visible_csn(), tracker.last_commit_csn());
+  EXPECT_EQ(ch->StalenessNanos(), 0u);
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const obs::Labels lv{{"view", "V"}};
+  const obs::HistogramSummary* e2e =
+      snap.Histogram("rollview_freshness_e2e_nanos", lv);
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count, ch->e2e_hist()->count());
+  uint64_t stage_sum = 0;
+  for (size_t i = 0; i < obs::kFreshnessStageCount; ++i) {
+    const obs::HistogramSummary* h = snap.Histogram(
+        "rollview_freshness_stage_nanos",
+        {{"view", "V"},
+         {"stage", obs::FreshnessStageName(
+                       static_cast<obs::FreshnessStage>(i))}});
+    ASSERT_NE(h, nullptr);
+    stage_sum += h->sum_nanos;
+  }
+  EXPECT_EQ(stage_sum, e2e->sum_nanos);
+  EXPECT_EQ(snap.CounterValue("rollview_freshness_commits_total", lv),
+            ch->commits_total());
+  EXPECT_EQ(snap.GaugeValue("rollview_view_staleness_usec", lv), 0);
+  // SLO gauges: a 1s target against a drained in-memory pipeline is green.
+  EXPECT_EQ(snap.GaugeValue("rollview_slo_target_usec", lv), 1000000);
+  EXPECT_EQ(snap.GaugeValue("rollview_slo_breaching", lv), 0);
+  EXPECT_GT(snap.CounterValue("rollview_slo_events_total",
+                              {{"view", "V"}, {"event", "eval"}}),
+            0u);
+
+  // Readers feed the read-staleness histogram through MvReader.
+  MvReader reader(env.views(), view);
+  reader.set_freshness(ch);
+  ASSERT_OK(reader.ReadOnce());
+  EXPECT_EQ(ch->read_staleness_hist()->count(), 1u);
+
+  env.db()->SetFreshnessTracker(nullptr);
+}
+
+}  // namespace
+}  // namespace rollview

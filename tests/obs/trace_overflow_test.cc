@@ -1,0 +1,207 @@
+// Copyright 2026 The rollview Authors.
+//
+// Bounds-and-accounting tests for the tracing layer and the histogram
+// merge path. The span budget must be exact: a step that opens more spans
+// than kMaxSpansPerStep journals precisely the overflow count in
+// dropped_spans, an abandoned BeginStep never reaches the journal, and a
+// ring under concurrent writers plus Snapshot/DumpTrace readers neither
+// loses nor duplicates a trace id. LatencyHistogram::MergeFrom must
+// combine count/sum/max exactly regardless of merge order, and reproduce
+// identical percentiles for identical merge sequences (the deterministic
+// reservoir).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/trace.h"
+
+namespace rollview {
+namespace {
+
+// --------------------------------------------------------------------------
+// Span-budget overflow accounting.
+
+TEST(TraceOverflowTest, DroppedSpanCountIsExact) {
+  obs::TraceJournal journal(4);
+  obs::StepTracer tracer;
+  tracer.set_journal(&journal);
+
+  constexpr size_t kOverflow = 37;
+  tracer.BeginStep(obs::SpanKind::kStep, 1, "V", 1);
+  // The root occupies slot 1; this fills the budget exactly...
+  for (size_t i = 1; i < obs::StepTracer::kMaxSpansPerStep; ++i) {
+    uint32_t id = tracer.OpenSpan(obs::SpanKind::kForward);
+    ASSERT_NE(id, 0u) << "span " << i << " should fit the budget";
+    tracer.CloseSpan(id, true);
+  }
+  // ...and every one of these must be dropped and counted.
+  for (size_t i = 0; i < kOverflow; ++i) {
+    uint32_t id = tracer.OpenSpan(obs::SpanKind::kCompensation);
+    EXPECT_EQ(id, 0u);
+    tracer.CloseSpan(id, true);   // no-op handle: must not corrupt the tree
+    tracer.Attr(id, "rows", 1);   // ditto
+  }
+  tracer.EndStep(obs::StepOutcome::kOk);
+
+  std::vector<obs::StepTrace> traces = journal.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].spans.size(), obs::StepTracer::kMaxSpansPerStep);
+  EXPECT_EQ(traces[0].dropped_spans, kOverflow);
+  // The renderers surface the loss instead of hiding it.
+  EXPECT_NE(journal.DumpTrace(1).find("dropped_spans=37"), std::string::npos);
+  EXPECT_NE(journal.ToJson(1).find("\"dropped_spans\": 37"),
+            std::string::npos);
+}
+
+TEST(TraceOverflowTest, AbandonedBeginStepNeverReachesJournal) {
+  obs::TraceJournal journal(8);
+  obs::StepTracer tracer;
+  tracer.set_journal(&journal);
+
+  tracer.BeginStep(obs::SpanKind::kStep, 1, "V", 1);
+  tracer.OpenSpan(obs::SpanKind::kForward);  // left open, never ended
+  // A new step abandons the active trace: it must vanish, not be recorded
+  // half-built.
+  tracer.BeginStep(obs::SpanKind::kStep, 1, "V", 2);
+  tracer.EndStep(obs::StepOutcome::kOk);
+
+  EXPECT_EQ(journal.recorded(), 1u);
+  std::vector<obs::StepTrace> traces = journal.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].seq, 2u);
+}
+
+TEST(TraceOverflowTest, ConcurrentWritersAndReadersConserveTraceIds) {
+  constexpr size_t kCapacity = 16;  // far smaller than the write volume
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 200;
+  obs::TraceJournal journal(kCapacity);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Hammer the exporters while writers overwrite the ring; TSan (the
+    // concurrency label) checks the locking, the assertions below check
+    // the accounting.
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)journal.Snapshot();
+      (void)journal.DumpTrace(4);
+      (void)journal.Last(3);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&journal, w] {
+      obs::StepTracer tracer;  // builders are per-thread; the ring is shared
+      tracer.set_journal(&journal);
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        tracer.BeginStep(obs::SpanKind::kStep, static_cast<uint32_t>(w),
+                         "V", i);
+        uint32_t id = tracer.OpenSpan(obs::SpanKind::kForward);
+        tracer.AttrCurrent("writer", w);
+        tracer.CloseSpan(id, true);
+        tracer.AddStepRows(1);
+        tracer.EndStep(obs::StepOutcome::kOk);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const uint64_t total = kWriters * kPerWriter;
+  EXPECT_EQ(journal.recorded(), total);
+  std::vector<obs::StepTrace> retained = journal.Snapshot();
+  ASSERT_EQ(retained.size(), kCapacity);
+  // Exactly the `capacity` highest trace ids survive, each exactly once,
+  // oldest first.
+  std::set<uint64_t> ids;
+  for (const obs::StepTrace& t : retained) ids.insert(t.trace_id);
+  EXPECT_EQ(ids.size(), kCapacity);
+  EXPECT_EQ(*ids.rbegin(), total);
+  EXPECT_EQ(*ids.begin(), total - kCapacity + 1);
+  for (size_t i = 1; i < retained.size(); ++i) {
+    EXPECT_EQ(retained[i].trace_id, retained[i - 1].trace_id + 1);
+  }
+}
+
+// --------------------------------------------------------------------------
+// LatencyHistogram::MergeFrom determinism.
+
+TEST(MergeFromTest, CountSumMaxExactUnderAnyMergeOrder) {
+  // Three shards with disjoint, recognizable sample sets.
+  constexpr size_t kShards = 3;
+  LatencyHistogram shards[kShards];
+  uint64_t expect_count = 0, expect_sum = 0, expect_max = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    for (uint64_t i = 1; i <= 500; ++i) {
+      const uint64_t v = (s + 1) * 1000 + i;
+      shards[s].Record(v);
+      ++expect_count;
+      expect_sum += v;
+      expect_max = std::max(expect_max, v);
+    }
+  }
+
+  std::vector<std::vector<size_t>> orders = {
+      {0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}};
+  for (const auto& order : orders) {
+    LatencyHistogram merged;
+    for (size_t s : order) merged.MergeFrom(shards[s]);
+    EXPECT_EQ(merged.count(), expect_count);
+    EXPECT_EQ(merged.sum_nanos(), expect_sum);
+    EXPECT_EQ(merged.max_nanos(), expect_max);
+    // 1500 samples fit the reservoir, so percentiles are exact and
+    // therefore order-independent too: the p50 of 1000+i / 2000+i / 3000+i
+    // interleaved lands in the middle shard's range.
+    const uint64_t p50 = merged.Percentile(0.5);
+    EXPECT_GE(p50, 2000u);
+    EXPECT_LE(p50, 3000u);
+    EXPECT_EQ(merged.Percentile(1.0), expect_max);
+  }
+}
+
+TEST(MergeFromTest, IdenticalMergeSequencesAreBitIdentical) {
+  // Push well past the reservoir so percentiles depend on sampling, then
+  // verify the deterministic reservoir makes equal histories equal --
+  // replaying the same shards in the same order twice must agree on every
+  // percentile, not just the exact aggregates.
+  constexpr size_t kShards = 4;
+  LatencyHistogram shards[kShards];
+  for (size_t s = 0; s < kShards; ++s) {
+    for (uint64_t i = 0; i < 3000; ++i) {
+      shards[s].Record((i * 2654435761u + s * 40503u) % 1000000);
+    }
+  }
+
+  LatencyHistogram a, b;
+  for (size_t s = 0; s < kShards; ++s) {
+    a.MergeFrom(shards[s]);
+    b.MergeFrom(shards[s]);
+  }
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum_nanos(), b.sum_nanos());
+  EXPECT_EQ(a.max_nanos(), b.max_nanos());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.Percentile(q), b.Percentile(q)) << "q=" << q;
+  }
+
+  // And merging an empty histogram is a no-op in both directions.
+  LatencyHistogram empty;
+  const uint64_t before = a.count();
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.count(), before);
+  empty.MergeFrom(LatencyHistogram{});
+  EXPECT_EQ(empty.count(), 0u);
+}
+
+}  // namespace
+}  // namespace rollview
